@@ -1,0 +1,79 @@
+// Shared benchmark-harness pieces.
+//
+// Each fig*_ binary registers one google-benchmark entry per configuration
+// the corresponding paper figure sweeps, reports the *virtual* execution
+// time as manual time, and exposes the figure's metric (GFLOPS, GB/s,
+// MPixels/s) as a counter.  After the benchmarks run, a paper-style table —
+// one row per series, one column per x-axis point — is printed so the
+// figure's shape can be eyeballed directly and captured in EXPERIMENTS.md.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+/// Collects (series, x, value) points and prints them as an aligned table.
+class FigureTable {
+public:
+  FigureTable(std::string title, std::string metric)
+      : title_(std::move(title)), metric_(std::move(metric)) {}
+
+  void add(const std::string& series, const std::string& x, double value) {
+    if (std::find(xs_.begin(), xs_.end(), x) == xs_.end()) xs_.push_back(x);
+    if (std::find(series_order_.begin(), series_order_.end(), series) == series_order_.end())
+      series_order_.push_back(series);
+    values_[series][x] = value;
+  }
+
+  void print() const {
+    std::printf("\n=== %s [%s] ===\n", title_.c_str(), metric_.c_str());
+    std::printf("%-34s", "series");
+    for (const auto& x : xs_) std::printf("%12s", x.c_str());
+    std::printf("\n");
+    for (const auto& s : series_order_) {
+      std::printf("%-34s", s.c_str());
+      for (const auto& x : xs_) {
+        auto it = values_.at(s).find(x);
+        if (it == values_.at(s).end()) {
+          std::printf("%12s", "-");
+        } else {
+          std::printf("%12.2f", it->second);
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+private:
+  std::string title_;
+  std::string metric_;
+  std::vector<std::string> xs_;
+  std::vector<std::string> series_order_;
+  std::map<std::string, std::map<std::string, double>> values_;
+};
+
+/// Integer knob overridable from the environment (OMPSS_BENCH_<NAME>).
+inline long env_knob(const char* name, long def) {
+  std::string var = std::string("OMPSS_BENCH_") + name;
+  const char* v = std::getenv(var.c_str());
+  return v != nullptr ? std::atol(v) : def;
+}
+
+/// Standard main body: run benchmarks, then print the table.
+inline int run_and_print(int argc, char** argv, const FigureTable& table) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  table.print();
+  return 0;
+}
+
+}  // namespace bench

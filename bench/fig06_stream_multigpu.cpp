@@ -1,0 +1,50 @@
+// Figure 6: STREAM on the multi-GPU node.
+// Sweep: GPUs {1,2,4} x cache {nocache, wt, wb} x scheduler {bf, dep,
+// affinity}.  Paper shape: memory management dominates — no-cache and
+// write-through drown in useless transfers, write-back performs well; the
+// scheduler barely matters (the task structure is trivial).
+#include "apps/stream/stream.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apps::stream::Params params(int gpus) {
+  apps::stream::Params p;
+  p.gpus = gpus;  // the paper allocates 768 MB per GPU
+  p.blocks_per_gpu = static_cast<int>(bench::env_knob("STREAM_BLOCKS", 32));
+  p.block_phys = static_cast<std::size_t>(bench::env_knob("STREAM_BS", 2048));
+  p.block_logical = 768.0e6 / 3.0 / sizeof(double) / p.blocks_per_gpu;
+  p.ntimes = static_cast<int>(bench::env_knob("STREAM_NTIMES", 10));
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("Fig. 6 — STREAM, multi-GPU node", "GB/s (logical)");
+
+  for (const char* cache : {"nocache", "wt", "wb"}) {
+    for (const char* sched : {"bf", "dep", "affinity"}) {
+      for (int gpus : {1, 2, 4}) {
+        std::string series = std::string(cache) + "/" + sched;
+        std::string name = "fig06/stream/" + series + "/gpus:" + std::to_string(gpus);
+        benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+          double gbps = 0;
+          for (auto _ : st) {
+            auto p = params(gpus);
+            auto cfg = apps::multi_gpu_node(gpus, p.byte_scale());
+            cfg.scheduler = sched;
+            cfg.cache_policy = cache;
+            ompss::Env env(cfg);
+            auto r = apps::stream::run_ompss(env, p);
+            st.SetIterationTime(r.seconds);
+            gbps = r.gbps;
+          }
+          st.counters["GBps"] = gbps;
+          table.add(series, std::to_string(gpus) + "gpu", gbps);
+        })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  return bench::run_and_print(argc, argv, table);
+}

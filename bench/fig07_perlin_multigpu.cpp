@@ -1,0 +1,48 @@
+// Figure 7: Perlin noise on the multi-GPU node.
+// Sweep: GPUs {1,2,4} x {Flush, NoFlush} x cache {nocache, wt, wb}.
+// Paper shape: minimizing transfers wins — NoFlush clearly beats Flush
+// (which pays the image round trip every step).
+#include "apps/perlin/perlin.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apps::perlin::Params params(bool flush) {
+  apps::perlin::Params p;
+  p.dim_phys = static_cast<int>(bench::env_knob("PERLIN_DIM", 512));
+  p.dim_logical = 1024;  // the paper's image
+  p.bands = static_cast<int>(bench::env_knob("PERLIN_BANDS", 16));
+  p.steps = static_cast<int>(bench::env_knob("PERLIN_STEPS", 10));
+  p.flush = flush;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("Fig. 7 — Perlin noise, multi-GPU node", "MPixels/s");
+
+  for (bool flush : {true, false}) {
+    for (const char* cache : {"nocache", "wt", "wb"}) {
+      for (int gpus : {1, 2, 4}) {
+        std::string series = std::string(flush ? "flush" : "noflush") + "/" + cache;
+        std::string name = "fig07/perlin/" + series + "/gpus:" + std::to_string(gpus);
+        benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+          double mpps = 0;
+          for (auto _ : st) {
+            auto p = params(flush);
+            auto cfg = apps::multi_gpu_node(gpus, p.byte_scale());
+            cfg.cache_policy = cache;
+            ompss::Env env(cfg);
+            auto r = apps::perlin::run_ompss(env, p);
+            st.SetIterationTime(r.seconds);
+            mpps = r.mpixels_per_s;
+          }
+          st.counters["MPixps"] = mpps;
+          table.add(series, std::to_string(gpus) + "gpu", mpps);
+        })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  return bench::run_and_print(argc, argv, table);
+}

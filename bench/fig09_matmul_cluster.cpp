@@ -1,0 +1,67 @@
+// Figure 9: Matrix multiply on the GPU cluster.
+// Sweep: nodes {1,2,4,8} x {MtoS, StoS} x init {seq, smp, gpu} x presend
+// {0,1,2}.  Paper shape: slave-to-slave transfers are a must for
+// scalability; parallel initialization (smp best, gpu next) beats sequential
+// master-side initialization; presend helps as node counts grow, provided
+// StoS keeps the master NIC free.
+#include "apps/matmul/matmul.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apps::matmul::Params params() {
+  apps::matmul::Params p;
+  p.nb = static_cast<int>(bench::env_knob("MATMUL_NB", 12));
+  p.bs_phys = static_cast<std::size_t>(bench::env_knob("MATMUL_BS", 48));
+  p.bs_logical = 12288.0 / p.nb;
+  return p;
+}
+
+const char* init_name(apps::matmul::InitMode m) {
+  switch (m) {
+    case apps::matmul::InitMode::kSeq: return "seq";
+    case apps::matmul::InitMode::kSmp: return "smp";
+    case apps::matmul::InitMode::kGpu: return "gpu";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("Fig. 9 — Matmul, GPU cluster", "GFLOPS");
+  auto p = params();
+  using apps::matmul::InitMode;
+
+  for (bool stos : {false, true}) {
+    for (InitMode init : {InitMode::kSeq, InitMode::kSmp, InitMode::kGpu}) {
+      for (int presend : {0, 1, 2}) {
+        for (int nodes : {1, 2, 4, 8}) {
+          std::string series = std::string(stos ? "StoS" : "MtoS") + "/" + init_name(init) +
+                               "/ps" + std::to_string(presend);
+          std::string name = "fig09/matmul/" + series + "/nodes:" + std::to_string(nodes);
+          benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+            double gflops = 0;
+            for (auto _ : st) {
+              auto cfg = apps::gpu_cluster(nodes, p.byte_scale());
+              cfg.slave_to_slave = stos;
+              cfg.presend = presend;
+              // Best single-node parameters (paper §IV-B2): write-back +
+              // overlap/prefetch on the GPUs.
+              cfg.node.cache_policy = "wb";
+              cfg.node.overlap = true;
+              cfg.node.prefetch = true;
+              ompss::Env env(cfg);
+              auto r = apps::matmul::run_ompss(env, p, init);
+              st.SetIterationTime(r.seconds);
+              gflops = r.gflops;
+            }
+            st.counters["GFLOPS"] = gflops;
+            table.add(series, std::to_string(nodes) + "n", gflops);
+          })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+  return bench::run_and_print(argc, argv, table);
+}

@@ -1,0 +1,60 @@
+// Figure 10: Matrix multiply — OmpSs (best setup) vs MPI+CUDA (SUMMA).
+// Paper shape: MPI wins at 1–2 nodes (no runtime overhead), OmpSs overtakes
+// at 4–8 nodes thanks to asynchronous transfers and presend.
+#include "apps/matmul/matmul.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apps::matmul::Params params() {
+  apps::matmul::Params p;
+  p.nb = static_cast<int>(bench::env_knob("MATMUL_NB", 12));
+  p.bs_phys = static_cast<std::size_t>(bench::env_knob("MATMUL_BS", 48));
+  p.bs_logical = 12288.0 / p.nb;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("Fig. 10 — Matmul: OmpSs vs MPI+CUDA", "GFLOPS");
+  auto p = params();
+
+  for (int nodes : {1, 2, 4, 8}) {
+    std::string name = "fig10/matmul/ompss/nodes:" + std::to_string(nodes);
+    benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+      double gflops = 0;
+      for (auto _ : st) {
+        // Best setup from Fig. 9: StoS + smp init + presend 2.
+        auto cfg = apps::gpu_cluster(nodes, p.byte_scale());
+        cfg.slave_to_slave = true;
+        cfg.presend = 2;
+        cfg.node.cache_policy = "wb";
+        cfg.node.overlap = true;
+        cfg.node.prefetch = true;
+        ompss::Env env(cfg);
+        auto r = apps::matmul::run_ompss(env, p, apps::matmul::InitMode::kSmp);
+        st.SetIterationTime(r.seconds);
+        gflops = r.gflops;
+      }
+      st.counters["GFLOPS"] = gflops;
+      table.add("OmpSs", std::to_string(nodes) + "n", gflops);
+    })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  for (int nodes : {1, 2, 4, 8}) {
+    std::string name = "fig10/matmul/mpicuda/nodes:" + std::to_string(nodes);
+    benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+      double gflops = 0;
+      for (auto _ : st) {
+        vt::Clock clock;
+        auto r = apps::matmul::run_mpicuda(p, clock, nodes, apps::qdr_infiniband(p.byte_scale()),
+                                           apps::gtx480(p.byte_scale()));
+        st.SetIterationTime(r.seconds);
+        gflops = r.gflops;
+      }
+      st.counters["GFLOPS"] = gflops;
+      table.add("MPI+CUDA", std::to_string(nodes) + "n", gflops);
+    })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return bench::run_and_print(argc, argv, table);
+}

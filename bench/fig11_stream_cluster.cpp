@@ -1,0 +1,58 @@
+// Figure 11: STREAM on the GPU cluster — OmpSs vs MPI+CUDA.
+// Paper shape: no inter-node traffic, so both scale essentially linearly
+// and reach comparable rates.
+#include "apps/stream/stream.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apps::stream::Params params(int nodes) {
+  apps::stream::Params p;
+  p.gpus = nodes;  // 768 MB per node's GPU
+  p.blocks_per_gpu = static_cast<int>(bench::env_knob("STREAM_BLOCKS", 32));
+  p.block_phys = static_cast<std::size_t>(bench::env_knob("STREAM_BS", 2048));
+  p.block_logical = 768.0e6 / 3.0 / sizeof(double) / p.blocks_per_gpu;
+  p.ntimes = static_cast<int>(bench::env_knob("STREAM_NTIMES", 10));
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("Fig. 11 — STREAM, GPU cluster", "GB/s (logical)");
+
+  for (int nodes : {1, 2, 4, 8}) {
+    std::string name = "fig11/stream/ompss/nodes:" + std::to_string(nodes);
+    benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+      double gbps = 0;
+      for (auto _ : st) {
+        auto p = params(nodes);
+        auto cfg = apps::gpu_cluster(nodes, p.byte_scale());
+        cfg.node.cache_policy = "wb";
+        ompss::Env env(cfg);
+        auto r = apps::stream::run_ompss(env, p);
+        st.SetIterationTime(r.seconds);
+        gbps = r.gbps;
+      }
+      st.counters["GBps"] = gbps;
+      table.add("OmpSs", std::to_string(nodes) + "n", gbps);
+    })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  for (int nodes : {1, 2, 4, 8}) {
+    std::string name = "fig11/stream/mpicuda/nodes:" + std::to_string(nodes);
+    benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+      double gbps = 0;
+      for (auto _ : st) {
+        auto p = params(nodes);
+        vt::Clock clock;
+        auto r = apps::stream::run_mpicuda(p, clock, nodes, apps::qdr_infiniband(p.byte_scale()),
+                                           apps::gtx480(p.byte_scale()));
+        st.SetIterationTime(r.seconds);
+        gbps = r.gbps;
+      }
+      st.counters["GBps"] = gbps;
+      table.add("MPI+CUDA", std::to_string(nodes) + "n", gbps);
+    })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return bench::run_and_print(argc, argv, table);
+}

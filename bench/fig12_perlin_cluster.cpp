@@ -1,0 +1,70 @@
+// Figure 12: Perlin noise on the GPU cluster — Flush/NoFlush, OmpSs vs
+// MPI+CUDA.  Paper shape: the Flush variant's per-step image round trip
+// cannot be overlapped, so it saturates; NoFlush scales.  OmpSs and MPI+CUDA
+// face the same wall and end up comparable.
+#include "apps/perlin/perlin.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apps::perlin::Params params(bool flush, int nodes) {
+  apps::perlin::Params p;
+  p.dim_phys = static_cast<int>(bench::env_knob("PERLIN_DIM", 512));
+  p.dim_logical = 1024;
+  p.bands = static_cast<int>(bench::env_knob("PERLIN_BANDS", 16));
+  p.steps = static_cast<int>(bench::env_knob("PERLIN_STEPS", 10));
+  p.flush = flush;
+  (void)nodes;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("Fig. 12 — Perlin noise, GPU cluster", "MPixels/s");
+
+  for (bool flush : {true, false}) {
+    for (int nodes : {1, 2, 4, 8}) {
+      std::string series = std::string("ompss/") + (flush ? "flush" : "noflush");
+      std::string name = "fig12/perlin/" + series + "/nodes:" + std::to_string(nodes);
+      benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+        double mpps = 0;
+        for (auto _ : st) {
+          auto p = params(flush, nodes);
+          auto cfg = apps::gpu_cluster(nodes, p.byte_scale());
+          cfg.node.cache_policy = "wb";
+          cfg.node.overlap = true;
+          cfg.node.prefetch = true;
+          cfg.presend = 2;
+          cfg.rr_chunk = std::max(1, p.bands / nodes);  // spread first-touch bands
+          ompss::Env env(cfg);
+          auto r = apps::perlin::run_ompss(env, p);
+          st.SetIterationTime(r.seconds);
+          mpps = r.mpixels_per_s;
+        }
+        st.counters["MPixps"] = mpps;
+        table.add(series, std::to_string(nodes) + "n", mpps);
+      })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (bool flush : {true, false}) {
+    for (int nodes : {1, 2, 4, 8}) {
+      std::string series = std::string("mpicuda/") + (flush ? "flush" : "noflush");
+      std::string name = "fig12/perlin/" + series + "/nodes:" + std::to_string(nodes);
+      benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+        double mpps = 0;
+        for (auto _ : st) {
+          auto p = params(flush, nodes);
+          vt::Clock clock;
+          auto r = apps::perlin::run_mpicuda(p, clock, nodes, apps::qdr_infiniband(p.byte_scale()),
+                                             apps::gtx480(p.byte_scale()));
+          st.SetIterationTime(r.seconds);
+          mpps = r.mpixels_per_s;
+        }
+        st.counters["MPixps"] = mpps;
+        table.add(series, std::to_string(nodes) + "n", mpps);
+      })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+  return bench::run_and_print(argc, argv, table);
+}

@@ -1,0 +1,62 @@
+// Figure 13: N-Body on the GPU cluster — OmpSs vs MPI+CUDA.
+// Paper shape: the all-to-all of positions after every step leaves little to
+// overlap; MPI+CUDA is ahead at 1–2 nodes, but the OmpSs version scales
+// better towards 4–8 nodes.
+#include "apps/nbody/nbody.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apps::nbody::Params params() {
+  apps::nbody::Params p;
+  p.n_phys = static_cast<int>(bench::env_knob("NBODY_N", 1024));
+  p.n_logical = 20000.0;
+  p.nb = static_cast<int>(bench::env_knob("NBODY_NB", 8));
+  p.iters = static_cast<int>(bench::env_knob("NBODY_ITERS", 10));
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("Fig. 13 — N-Body, GPU cluster", "GFLOPS");
+  auto p = params();
+
+  for (int nodes : {1, 2, 4, 8}) {
+    std::string name = "fig13/nbody/ompss/nodes:" + std::to_string(nodes);
+    benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+      double gflops = 0;
+      for (auto _ : st) {
+        auto cfg = apps::gpu_cluster(nodes, p.byte_scale());
+        cfg.slave_to_slave = true;
+        cfg.presend = 1;
+        cfg.node.cache_policy = "wb";
+        cfg.node.overlap = true;
+        cfg.node.prefetch = true;
+        cfg.rr_chunk = std::max(1, p.nb / nodes);  // spread first-touch blocks
+        ompss::Env env(cfg);
+        auto r = apps::nbody::run_ompss(env, p);
+        st.SetIterationTime(r.seconds);
+        gflops = r.gflops;
+      }
+      st.counters["GFLOPS"] = gflops;
+      table.add("OmpSs", std::to_string(nodes) + "n", gflops);
+    })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  for (int nodes : {1, 2, 4, 8}) {
+    std::string name = "fig13/nbody/mpicuda/nodes:" + std::to_string(nodes);
+    benchmark::RegisterBenchmark(name.c_str(), [=, &table](benchmark::State& st) {
+      double gflops = 0;
+      for (auto _ : st) {
+        vt::Clock clock;
+        auto r = apps::nbody::run_mpicuda(p, clock, nodes, apps::qdr_infiniband(p.byte_scale()),
+                                          apps::gtx480(p.byte_scale()));
+        st.SetIterationTime(r.seconds);
+        gflops = r.gflops;
+      }
+      st.counters["GFLOPS"] = gflops;
+      table.add("MPI+CUDA", std::to_string(nodes) + "n", gflops);
+    })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return bench::run_and_print(argc, argv, table);
+}

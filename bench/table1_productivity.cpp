@@ -1,0 +1,153 @@
+// Table I: productivity comparison — useful lines of code of the four
+// shipped versions of each benchmark, with the percentage increase over the
+// serial version.  The counts are computed from the actual sources in this
+// repository (stripping blank and comment-only lines), so the table
+// regenerates itself as the code evolves.  Shared per-app kernels
+// (kernels.cpp) play the role of CUBLAS / user-provided CUDA kernels in the
+// paper and are excluded from every version, as the paper excludes the
+// kernel bodies it does not generate.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef OMPSS_SOURCE_DIR
+#error "OMPSS_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Counts "useful" lines: not blank, not comment-only (// or /*...*/ spans),
+/// not a lone brace — approximating the paper's methodology of counting
+/// lines that carry code.
+int count_useful_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "table1: cannot open %s\n", path.c_str());
+    return -1;
+  }
+  int count = 0;
+  bool in_block_comment = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string t = trim(line);
+    if (in_block_comment) {
+      auto end = t.find("*/");
+      if (end == std::string::npos) continue;
+      t = trim(t.substr(end + 2));
+      in_block_comment = false;
+    }
+    if (t.rfind("/*", 0) == 0) {
+      auto end = t.find("*/", 2);
+      if (end == std::string::npos) {
+        in_block_comment = true;
+        continue;
+      }
+      t = trim(t.substr(end + 2));
+    }
+    if (t.empty()) continue;
+    if (t.rfind("//", 0) == 0) continue;
+    if (t == "{" || t == "}" || t == "};" || t == "});") continue;
+    ++count;
+  }
+  return count;
+}
+
+/// Counts useful lines and, separately, OmpSs pragma lines in a file.
+struct PragmaCount {
+  int useful = 0;
+  int pragmas = 0;
+};
+
+PragmaCount count_with_pragmas(const std::string& path) {
+  std::ifstream in(path);
+  PragmaCount c;
+  if (!in) {
+    std::fprintf(stderr, "table1: cannot open %s\n", path.c_str());
+    c.useful = -1;
+    return c;
+  }
+  std::string line;
+  bool joining = false;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    std::string t = trim(line);
+    if (in_block_comment) {
+      auto end = t.find("*/");
+      if (end == std::string::npos) continue;
+      t = trim(t.substr(end + 2));
+      in_block_comment = false;
+    }
+    if (t.rfind("/*", 0) == 0) {
+      auto end = t.find("*/", 2);
+      if (end == std::string::npos) {
+        in_block_comment = true;
+        continue;
+      }
+      t = trim(t.substr(end + 2));
+    }
+    if (t.empty() || t.rfind("//", 0) == 0) continue;
+    if (t == "{" || t == "}" || t == "};" || t == "});") continue;
+    bool is_pragma = joining || t.rfind("#pragma omp", 0) == 0;
+    joining = is_pragma && !t.empty() && t.back() == '\\';
+    ++c.useful;
+    if (is_pragma) ++c.pragmas;
+  }
+  return c;
+}
+
+struct Row {
+  const char* name;
+  const char* dir;
+};
+
+}  // namespace
+
+int main() {
+  const std::string base = std::string(OMPSS_SOURCE_DIR) + "/src/apps/";
+  const Row rows[] = {
+      {"Matmul", "matmul"}, {"STREAM", "stream"}, {"Perlin", "perlin"}, {"Nbody", "nbody"}};
+
+  std::printf("\n=== Table I — useful lines of code per version ===\n");
+  std::printf("%-10s %8s %14s %14s %14s\n", "Benchmark", "Serial", "CUDA", "MPI+CUDA",
+              "OmpSs+CUDA");
+  for (const Row& row : rows) {
+    int serial = count_useful_lines(base + row.dir + "/serial.cpp");
+    int cuda = count_useful_lines(base + row.dir + "/cuda.cpp");
+    int mpicuda = count_useful_lines(base + row.dir + "/mpicuda.cpp");
+    int ompss = count_useful_lines(base + row.dir + "/ompss.cpp");
+    auto pct = [serial](int v) { return 100.0 * (v - serial) / serial; };
+    std::printf("%-10s %8d %8d(%+4.0f%%) %8d(%+4.0f%%) %8d(%+4.0f%%)\n", row.name, serial, cuda,
+                pct(cuda), mpicuda, pct(mpicuda), ompss, pct(ompss));
+  }
+  std::printf(
+      "\nNote: the OmpSs column above counts the library-form versions (C++ lambda\n"
+      "syntax), which is wordier than the paper's pragma dialect.  The faithful\n"
+      "measure of the paper's claim is the pragma form below: the OmpSs version is\n"
+      "the serial program plus directives.\n");
+
+  std::printf("\n=== Table I (pragma form) — annotated programs via mcc ===\n");
+  std::printf("%-10s %8s %16s\n", "Benchmark", "Serial", "OmpSs (pragmas)");
+  const char* annotated[][2] = {{"Matmul", "annotated_matmul.ompss.c"},
+                                {"STREAM", "annotated_stream.ompss.c"},
+                                {"Perlin", "annotated_perlin.ompss.c"},
+                                {"Nbody", "annotated_nbody.ompss.c"}};
+  for (const auto& row : annotated) {
+    PragmaCount c =
+        count_with_pragmas(std::string(OMPSS_SOURCE_DIR) + "/examples/" + row[1]);
+    int serial = c.useful - c.pragmas;
+    std::printf("%-10s %8d %10d(%+4.0f%%)\n", row[0], serial, c.useful,
+                100.0 * c.pragmas / serial);
+  }
+  std::printf(
+      "\nPaper's trend to reproduce: CUDA adds lines over serial, MPI+CUDA adds the\n"
+      "most, OmpSs adds the least (directives only; the runtime moves the data).\n\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared tile kernels — the stand-in for the CUBLAS calls the paper uses.
+#include "apps/matmul/matmul.hpp"
+
+namespace apps::matmul {
+
+void sgemm_block(const float* a, const float* b, float* c, std::size_t bs) {
+  // C += A * B, row-major tiles; ikj order for stride-1 inner loops.
+  for (std::size_t i = 0; i < bs; ++i) {
+    for (std::size_t k = 0; k < bs; ++k) {
+      const float aik = a[i * bs + k];
+      const float* brow = &b[k * bs];
+      float* crow = &c[i * bs];
+      for (std::size_t j = 0; j < bs; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void init_block(float* blk, std::size_t bs, unsigned seed) {
+  // Deterministic per-element pseudo-random fill (reproducible across
+  // versions regardless of which device initializes the tile).
+  unsigned state = seed * 2654435761u + 97u;
+  for (std::size_t i = 0; i < bs * bs; ++i) {
+    state = state * 1664525u + 1013904223u;
+    blk[i] = static_cast<float>((state >> 8) & 0xFFFF) / 65536.0f - 0.5f;
+  }
+}
+
+BlockMatrix::BlockMatrix(int nb, std::size_t bs) : nb_(nb), bs_(bs) {
+  blocks_.resize(static_cast<std::size_t>(nb) * static_cast<std::size_t>(nb));
+  for (auto& blk : blocks_) blk.assign(bs * bs, 0.0f);
+}
+
+float* BlockMatrix::block(int i, int j) {
+  return blocks_[static_cast<std::size_t>(i) * static_cast<std::size_t>(nb_) +
+                 static_cast<std::size_t>(j)]
+      .data();
+}
+
+const float* BlockMatrix::block(int i, int j) const {
+  return blocks_[static_cast<std::size_t>(i) * static_cast<std::size_t>(nb_) +
+                 static_cast<std::size_t>(j)]
+      .data();
+}
+
+void BlockMatrix::fill(unsigned seed) {
+  for (int i = 0; i < nb_; ++i)
+    for (int j = 0; j < nb_; ++j)
+      init_block(block(i, j), bs_, seed + static_cast<unsigned>(i * nb_ + j));
+}
+
+void BlockMatrix::zero() {
+  for (auto& blk : blocks_) std::fill(blk.begin(), blk.end(), 0.0f);
+}
+
+double BlockMatrix::checksum() const {
+  double sum = 0;
+  for (const auto& blk : blocks_)
+    for (float v : blk) sum += v;
+  return sum;
+}
+
+}  // namespace apps::matmul

@@ -1,0 +1,89 @@
+// Blocked single-precision matrix multiply — the paper's first benchmark.
+//
+// The matrix is stored in BSxBS tiles (paper: 12288x12288 floats in
+// 1024x1024 tiles, computed with CUBLAS sgemm).  Four versions live in this
+// directory, mirroring the paper's productivity comparison (Table I):
+//   serial.cpp   — plain blocked loop nest.
+//   cuda.cpp     — single GPU, explicit copies + kernel launches.
+//   mpicuda.cpp  — SUMMA over minimpi ranks, one GPU per rank (paper [15]).
+//   ompss.cpp    — the Fig. 1 code: one task per tile-gemm with
+//                  input/input/inout clauses; runs unchanged on one GPU,
+//                  multiple GPUs, or a cluster.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "apps/platform.hpp"
+#include "minimpi/minimpi.hpp"
+#include "ompss/ompss.hpp"
+
+namespace apps::matmul {
+
+struct Params {
+  int nb = 8;                  ///< tiles per dimension
+  std::size_t bs_phys = 64;    ///< physical tile edge (floats)
+  double bs_logical = 1536.0;  ///< logical tile edge (paper: 12288/nb)
+  unsigned seed = 42;
+
+  double byte_scale() const {
+    double r = bs_logical / static_cast<double>(bs_phys);
+    return r * r;
+  }
+  double logical_n() const { return nb * bs_logical; }
+  double total_flops() const { return 2.0 * logical_n() * logical_n() * logical_n(); }
+  double task_flops() const { return 2.0 * bs_logical * bs_logical * bs_logical; }
+  double task_bytes() const { return 3.0 * bs_logical * bs_logical * sizeof(float); }
+  std::size_t block_bytes() const { return bs_phys * bs_phys * sizeof(float); }
+  double init_flops() const { return 2.0 * bs_logical * bs_logical; }
+};
+
+/// Tile-major matrix: each BSxBS tile is contiguous (a coherence region).
+class BlockMatrix {
+public:
+  BlockMatrix(int nb, std::size_t bs);
+
+  float* block(int i, int j);
+  const float* block(int i, int j) const;
+  std::size_t block_bytes() const { return bs_ * bs_ * sizeof(float); }
+  int nb() const { return nb_; }
+  std::size_t bs() const { return bs_; }
+
+  void fill(unsigned seed);
+  void zero();
+  double checksum() const;
+
+private:
+  int nb_;
+  std::size_t bs_;
+  std::vector<std::vector<float>> blocks_;
+};
+
+// Shared kernels (the stand-in for CUBLAS sgemm; all versions link these).
+void sgemm_block(const float* a, const float* b, float* c, std::size_t bs);
+void init_block(float* blk, std::size_t bs, unsigned seed);
+
+struct Result {
+  double seconds = 0;   ///< virtual seconds of the measured compute phase
+  double gflops = 0;    ///< logical GFLOP/s
+  double checksum = 0;  ///< sum over C for verification
+};
+
+/// Reference implementation (host, no runtime).
+Result run_serial(const Params& p);
+
+/// Single-GPU CUDA version: explicit allocation, copies and launches.
+Result run_cuda(const Params& p, vt::Clock& clock, const simcuda::DeviceProps& gpu);
+
+enum class InitMode { kSeq, kSmp, kGpu };
+
+/// OmpSs version (the paper's Fig. 1).  The same code drives one GPU, a
+/// multi-GPU node or a GPU cluster depending on how `env` was configured.
+Result run_ompss(ompss::Env& env, const Params& p, InitMode init = InitMode::kSeq);
+
+/// MPI+CUDA SUMMA baseline: `ranks` processes in a 2D grid, one GPU each.
+Result run_mpicuda(const Params& p, vt::Clock& clock, int ranks,
+                   const simnet::LinkProps& link, const simcuda::DeviceProps& gpu);
+
+}  // namespace apps::matmul

@@ -1,0 +1,70 @@
+// Single-GPU CUDA N-Body: explicit buffers, ping-pong on the device,
+// copy-back at the end.
+#include "apps/nbody/nbody.hpp"
+
+namespace apps::nbody {
+
+Result run_cuda(const Params& p, vt::Clock& clock, const simcuda::DeviceProps& gpu) {
+  simcuda::Platform platform(clock, {gpu});
+  simcuda::Device& dev = platform.device(0);
+
+  const int bb = p.block_bodies();
+  const std::size_t blk_bytes = p.block_bytes();
+  const std::size_t total_bytes = blk_bytes * static_cast<std::size_t>(p.nb);
+  std::vector<float> pos(static_cast<std::size_t>(p.n_phys) * 4);
+  std::vector<float> vel(static_cast<std::size_t>(p.n_phys) * 4);
+  for (int b = 0; b < p.nb; ++b)
+    init_bodies(&pos[static_cast<std::size_t>(b * bb) * 4], &vel[static_cast<std::size_t>(b * bb) * 4],
+                b * bb, bb, p.seed);
+
+  Result r;
+  vt::AttachGuard guard(clock, "cuda-main");
+
+  auto* dpos0 = static_cast<float*>(dev.malloc(total_bytes));
+  auto* dpos1 = static_cast<float*>(dev.malloc(total_bytes));
+  auto* dvel = static_cast<float*>(dev.malloc(total_bytes));
+  if (!dpos0 || !dpos1 || !dvel) throw std::runtime_error("nbody/cuda: GPU out of memory");
+
+  double t0 = clock.now();
+  dev.memcpy_h2d(dpos0, pos.data(), total_bytes);
+  dev.memcpy_h2d(dvel, vel.data(), total_bytes);
+
+  float* cur = dpos0;
+  float* nxt = dpos1;
+  const int nb = p.nb;
+  const float dt = p.dt, eps2 = p.eps2;
+  for (int it = 0; it < p.iters; ++it) {
+    for (int b = 0; b < nb; ++b) {
+      float* cur_cap = cur;
+      float* nxt_cap = nxt;
+      float* vel_cap = dvel;
+      dev.launch_kernel(dev.default_stream(), {p.task_flops(), 0.0},
+                        [cur_cap, nxt_cap, vel_cap, nb, bb, b, dt, eps2] {
+                          std::vector<const float*> srcs(static_cast<std::size_t>(nb));
+                          for (int s = 0; s < nb; ++s)
+                            srcs[static_cast<std::size_t>(s)] =
+                                cur_cap + static_cast<std::size_t>(s * bb) * 4;
+                          nbody_block_step(srcs.data(), nb, bb,
+                                           cur_cap + static_cast<std::size_t>(b * bb) * 4,
+                                           vel_cap + static_cast<std::size_t>(b * bb) * 4,
+                                           nxt_cap + static_cast<std::size_t>(b * bb) * 4, bb, dt,
+                                           eps2);
+                        });
+    }
+    dev.synchronize();
+    std::swap(cur, nxt);
+  }
+  dev.memcpy_d2h(pos.data(), cur, total_bytes);
+  double t1 = clock.now();
+
+  dev.free(dpos0);
+  dev.free(dpos1);
+  dev.free(dvel);
+
+  r.seconds = t1 - t0;
+  r.gflops = p.total_flops() / r.seconds / 1e9;
+  for (float v : pos) r.checksum += v;
+  return r;
+}
+
+}  // namespace apps::nbody

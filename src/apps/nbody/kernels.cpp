@@ -1,0 +1,65 @@
+// Shared N-Body kernels (the paper uses the NVIDIA SDK example kernel).
+#include "apps/nbody/nbody.hpp"
+
+#include <cmath>
+
+namespace apps::nbody {
+
+void nbody_block_step(const float* const* pos_blocks, int nb, int block_bodies,
+                      const float* pos_targets, float* vel_targets, float* pos_out, int tn,
+                      float dt, float eps2) {
+  for (int t = 0; t < tn; ++t) {
+    const float px = pos_targets[t * 4 + 0];
+    const float py = pos_targets[t * 4 + 1];
+    const float pz = pos_targets[t * 4 + 2];
+    const float pm = pos_targets[t * 4 + 3];
+    float ax = 0, ay = 0, az = 0;
+    // Source blocks in ascending order so every version (serial, CUDA, MPI,
+    // OmpSs — wherever the blocks live) accumulates in the same order and
+    // produces bit-identical floats.
+    for (int b = 0; b < nb; ++b) {
+      const float* src = pos_blocks[b];
+      for (int s = 0; s < block_bodies; ++s) {
+        float dx = src[s * 4 + 0] - px;
+        float dy = src[s * 4 + 1] - py;
+        float dz = src[s * 4 + 2] - pz;
+        float r2 = dx * dx + dy * dy + dz * dz + eps2;
+        float inv = 1.0f / std::sqrt(r2);
+        float inv3 = inv * inv * inv * src[s * 4 + 3];
+        ax += dx * inv3;
+        ay += dy * inv3;
+        az += dz * inv3;
+      }
+    }
+    vel_targets[t * 4 + 0] += ax * dt;
+    vel_targets[t * 4 + 1] += ay * dt;
+    vel_targets[t * 4 + 2] += az * dt;
+    pos_out[t * 4 + 0] = px + vel_targets[t * 4 + 0] * dt;
+    pos_out[t * 4 + 1] = py + vel_targets[t * 4 + 1] * dt;
+    pos_out[t * 4 + 2] = pz + vel_targets[t * 4 + 2] * dt;
+    pos_out[t * 4 + 3] = pm;
+  }
+}
+
+void init_bodies(float* pos, float* vel, int first, int count, unsigned seed) {
+  unsigned state = seed * 2654435761u + 12345u;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<float>((state >> 8) & 0xFFFF) / 65536.0f - 0.5f;
+  };
+  // Skip the stream to this block's offset so initialization is identical
+  // regardless of which version (or node) performs it.
+  for (int i = 0; i < first * 7; ++i) next();
+  for (int i = 0; i < count; ++i) {
+    pos[i * 4 + 0] = next() * 10.0f;
+    pos[i * 4 + 1] = next() * 10.0f;
+    pos[i * 4 + 2] = next() * 10.0f;
+    pos[i * 4 + 3] = 0.5f + (next() + 0.5f);  // mass in [0.5, 1.5)
+    vel[i * 4 + 0] = next();
+    vel[i * 4 + 1] = next();
+    vel[i * 4 + 2] = next();
+    vel[i * 4 + 3] = 0.0f;
+  }
+}
+
+}  // namespace apps::nbody

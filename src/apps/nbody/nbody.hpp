@@ -1,0 +1,66 @@
+// N-Body simulation (paper §IV-A2): all-pairs gravitational interaction of
+// 20000 bodies, 10 time steps.  After every step the updated positions must
+// reach every GPU (all-to-all), which is what limits overlap on the cluster
+// (Fig. 13) and creates device-memory pressure on the multi-GPU node
+// (Fig. 8).
+//
+// Bodies are blocked; each step spawns one task per target block reading
+// every source block of the current positions and producing the next
+// positions (ping-pong buffers) plus updated velocities.
+//
+// Versions: serial.cpp, cuda.cpp, mpicuda.cpp, ompss.cpp (Table I).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/platform.hpp"
+#include "minimpi/minimpi.hpp"
+#include "ompss/ompss.hpp"
+
+namespace apps::nbody {
+
+/// xyzm layout: 4 floats per body (position + mass); velocities separate.
+struct Params {
+  int n_phys = 1024;          ///< physical bodies
+  double n_logical = 20000.0; ///< logical bodies (paper)
+  int nb = 8;                 ///< blocks
+  int iters = 10;
+  float dt = 0.01f;
+  float eps2 = 0.1f;
+  unsigned seed = 7;
+
+  int block_bodies() const { return n_phys / nb; }
+  std::size_t block_bytes() const {
+    return static_cast<std::size_t>(block_bodies()) * 4 * sizeof(float);
+  }
+  double byte_scale() const { return n_logical / n_phys; }
+  double logical_block() const { return n_logical / nb; }
+  /// ~20 flops per pairwise interaction, per target block per step.
+  double task_flops() const { return 20.0 * logical_block() * n_logical; }
+  double total_flops() const { return 20.0 * n_logical * n_logical * iters; }
+};
+
+/// Computes one step for `tn` target bodies: accumulate accelerations over
+/// the `nb` source blocks (in ascending order, so every version produces
+/// bit-identical sums), then integrate velocities and positions.
+void nbody_block_step(const float* const* pos_blocks, int nb, int block_bodies,
+                      const float* pos_targets, float* vel_targets, float* pos_out, int tn,
+                      float dt, float eps2);
+
+/// Deterministic initial conditions for bodies [first, first+count).
+void init_bodies(float* pos, float* vel, int first, int count, unsigned seed);
+
+struct Result {
+  double seconds = 0;
+  double gflops = 0;
+  double checksum = 0;  ///< sum of final positions
+};
+
+Result run_serial(const Params& p);
+Result run_cuda(const Params& p, vt::Clock& clock, const simcuda::DeviceProps& gpu);
+Result run_ompss(ompss::Env& env, const Params& p);
+Result run_mpicuda(const Params& p, vt::Clock& clock, int ranks,
+                   const simnet::LinkProps& link, const simcuda::DeviceProps& gpu);
+
+}  // namespace apps::nbody

@@ -1,0 +1,37 @@
+// Serial N-Body: the reference (and Table I's LoC baseline).
+#include "apps/nbody/nbody.hpp"
+
+namespace apps::nbody {
+
+Result run_serial(const Params& p) {
+  const int bb = p.block_bodies();
+  std::vector<std::vector<float>> pos[2];
+  std::vector<std::vector<float>> vel(static_cast<std::size_t>(p.nb),
+                                      std::vector<float>(static_cast<std::size_t>(bb) * 4));
+  for (auto& buf : pos)
+    buf.assign(static_cast<std::size_t>(p.nb),
+               std::vector<float>(static_cast<std::size_t>(bb) * 4));
+  for (int b = 0; b < p.nb; ++b)
+    init_bodies(pos[0][static_cast<std::size_t>(b)].data(),
+                vel[static_cast<std::size_t>(b)].data(), b * bb, bb, p.seed);
+
+  int cur = 0;
+  for (int it = 0; it < p.iters; ++it) {
+    std::vector<const float*> srcs(static_cast<std::size_t>(p.nb));
+    for (int b = 0; b < p.nb; ++b) srcs[static_cast<std::size_t>(b)] =
+        pos[cur][static_cast<std::size_t>(b)].data();
+    for (int b = 0; b < p.nb; ++b) {
+      nbody_block_step(srcs.data(), p.nb, bb, pos[cur][static_cast<std::size_t>(b)].data(),
+                       vel[static_cast<std::size_t>(b)].data(),
+                       pos[1 - cur][static_cast<std::size_t>(b)].data(), bb, p.dt, p.eps2);
+    }
+    cur = 1 - cur;
+  }
+
+  Result r;
+  for (int b = 0; b < p.nb; ++b)
+    for (float v : pos[cur][static_cast<std::size_t>(b)]) r.checksum += v;
+  return r;
+}
+
+}  // namespace apps::nbody

@@ -1,0 +1,63 @@
+// Classic 2D gradient-noise kernel (the per-pixel work every version runs).
+#include "apps/perlin/perlin.hpp"
+
+#include <cmath>
+
+namespace apps::perlin {
+
+namespace {
+
+inline std::uint32_t hash2(int x, int y, int step) {
+  std::uint32_t h = static_cast<std::uint32_t>(x) * 374761393u +
+                    static_cast<std::uint32_t>(y) * 668265263u +
+                    static_cast<std::uint32_t>(step) * 2246822519u;
+  h = (h ^ (h >> 13)) * 1274126177u;
+  return h ^ (h >> 16);
+}
+
+inline float grad_dot(std::uint32_t h, float fx, float fy) {
+  // Eight gradient directions.
+  switch (h & 7u) {
+    case 0: return fx + fy;
+    case 1: return fx - fy;
+    case 2: return -fx + fy;
+    case 3: return -fx - fy;
+    case 4: return fx;
+    case 5: return -fx;
+    case 6: return fy;
+    default: return -fy;
+  }
+}
+
+inline float fade(float t) { return t * t * t * (t * (t * 6 - 15) + 10); }
+
+}  // namespace
+
+void perlin_band(std::uint32_t* out, int dim, int row0, int rows, int step) {
+  const float cell = 16.0f;  // noise lattice period in pixels
+  for (int r = 0; r < rows; ++r) {
+    int y = row0 + r;
+    float gy = static_cast<float>(y) / cell;
+    int y0 = static_cast<int>(gy);
+    float fy = gy - static_cast<float>(y0);
+    float wy = fade(fy);
+    for (int x = 0; x < dim; ++x) {
+      float gx = static_cast<float>(x) / cell;
+      int x0 = static_cast<int>(gx);
+      float fx = gx - static_cast<float>(x0);
+      float wx = fade(fx);
+      float n00 = grad_dot(hash2(x0, y0, step), fx, fy);
+      float n10 = grad_dot(hash2(x0 + 1, y0, step), fx - 1, fy);
+      float n01 = grad_dot(hash2(x0, y0 + 1, step), fx, fy - 1);
+      float n11 = grad_dot(hash2(x0 + 1, y0 + 1, step), fx - 1, fy - 1);
+      float nx0 = n00 + wx * (n10 - n00);
+      float nx1 = n01 + wx * (n11 - n01);
+      float v = nx0 + wy * (nx1 - nx0);  // in roughly [-1, 1]
+      auto level = static_cast<std::uint32_t>((v * 0.5f + 0.5f) * 255.0f) & 0xFFu;
+      out[static_cast<std::size_t>(r) * static_cast<std::size_t>(dim) +
+          static_cast<std::size_t>(x)] = 0xFF000000u | (level << 16) | (level << 8) | level;
+    }
+  }
+}
+
+}  // namespace apps::perlin

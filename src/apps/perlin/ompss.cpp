@@ -1,0 +1,45 @@
+// OmpSs Perlin: one task per row band per step.  The Flush variant ends each
+// step with a flushing taskwait (data back to host memory); NoFlush keeps the
+// bands on the GPUs and only flushes once at the end.
+#include "apps/perlin/perlin.hpp"
+
+namespace apps::perlin {
+
+Result run_ompss(ompss::Env& env, const Params& p) {
+  const int dim = p.dim_phys;
+  std::vector<std::uint32_t> image(static_cast<std::size_t>(dim) * static_cast<std::size_t>(dim));
+
+  Result r;
+  env.run([&] {
+    double t0 = env.clock().now();
+    const int rows = p.rows_per_band();
+    for (int step = 0; step < p.steps; ++step) {
+      for (int b = 0; b < p.bands; ++b) {
+        int row0 = b * rows;
+        std::uint32_t* band =
+            &image[static_cast<std::size_t>(row0) * static_cast<std::size_t>(dim)];
+        ompss::task()
+            .device(ompss::Device::kCuda)
+            .out(band, p.band_bytes())
+            .flops(p.band_flops())
+            .label("perlin")
+            .run([dim, row0, rows, step](ompss::Ctx& ctx) {
+              perlin_band(static_cast<std::uint32_t*>(ctx.data(0)), dim, row0, rows, step);
+            });
+      }
+      if (p.flush) {
+        ompss::taskwait();  // image must be in host memory after each step
+      } else {
+        ompss::taskwait_noflush();
+      }
+    }
+    if (!p.flush) ompss::taskwait();
+    r.seconds = env.clock().now() - t0;
+  });
+
+  r.mpixels_per_s = p.total_mpixels() / r.seconds;
+  for (std::uint32_t v : image) r.checksum += static_cast<double>(v & 0xFFu);
+  return r;
+}
+
+}  // namespace apps::perlin

@@ -1,0 +1,64 @@
+// Perlin-noise image filter (paper §IV-A2): generates gradient noise over a
+// 1024x1024 image, applied `steps` times.  Two usage patterns matter:
+//   * Flush   — the image returns to host memory after every step (as if a
+//               different filter consumed it there).
+//   * NoFlush — the image stays on the GPUs across steps (a GPU-resident
+//               filter pipeline).
+// Tasks are horizontal bands of rows.
+//
+// Versions: serial.cpp, cuda.cpp, mpicuda.cpp, ompss.cpp (Table I).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "apps/platform.hpp"
+#include "minimpi/minimpi.hpp"
+#include "ompss/ompss.hpp"
+
+namespace apps::perlin {
+
+struct Params {
+  int dim_phys = 512;        ///< physical image edge (pixels)
+  double dim_logical = 1024; ///< logical image edge (paper: 1024)
+  int bands = 16;            ///< row-band tasks per step
+  int steps = 10;
+  bool flush = true;         ///< Flush vs NoFlush variant
+  /// Logical per-pixel work: a production multi-octave turbulence filter
+  /// runs several noise evaluations with fades and blends per pixel.
+  double flops_per_pixel = 2000.0;
+
+  double byte_scale() const {
+    double r = dim_logical / dim_phys;
+    return r * r;
+  }
+  int rows_per_band() const { return dim_phys / bands; }
+  std::size_t band_pixels() const {
+    return static_cast<std::size_t>(rows_per_band()) * static_cast<std::size_t>(dim_phys);
+  }
+  std::size_t band_bytes() const { return band_pixels() * sizeof(std::uint32_t); }
+  /// Logical flops per band per step (the paper-scale kernel cost).
+  double band_flops() const {
+    return flops_per_pixel * dim_logical * dim_logical / bands;
+  }
+  double total_mpixels() const { return dim_logical * dim_logical * steps / 1e6; }
+};
+
+/// Computes one band of the filter for time-step `step` into `out`
+/// (row-major ARGB pixels; `row0` is the band's first image row).
+void perlin_band(std::uint32_t* out, int dim, int row0, int rows, int step);
+
+struct Result {
+  double seconds = 0;
+  double mpixels_per_s = 0;  ///< logical Mpixels/s (the paper's Fig. 7 metric)
+  double checksum = 0;
+};
+
+Result run_serial(const Params& p);
+Result run_cuda(const Params& p, vt::Clock& clock, const simcuda::DeviceProps& gpu);
+Result run_ompss(ompss::Env& env, const Params& p);
+Result run_mpicuda(const Params& p, vt::Clock& clock, int ranks,
+                   const simnet::LinkProps& link, const simcuda::DeviceProps& gpu);
+
+}  // namespace apps::perlin

@@ -1,0 +1,23 @@
+// Serial Perlin filter: the reference (and Table I's LoC baseline).
+#include "apps/perlin/perlin.hpp"
+
+namespace apps::perlin {
+
+Result run_serial(const Params& p) {
+  const int dim = p.dim_phys;
+  std::vector<std::uint32_t> image(static_cast<std::size_t>(dim) * static_cast<std::size_t>(dim));
+
+  for (int step = 0; step < p.steps; ++step) {
+    for (int b = 0; b < p.bands; ++b) {
+      int row0 = b * p.rows_per_band();
+      perlin_band(&image[static_cast<std::size_t>(row0) * static_cast<std::size_t>(dim)], dim,
+                  row0, p.rows_per_band(), step);
+    }
+  }
+
+  Result r;
+  for (std::uint32_t v : image) r.checksum += static_cast<double>(v & 0xFFu);
+  return r;
+}
+
+}  // namespace apps::perlin

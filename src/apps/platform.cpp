@@ -1,0 +1,57 @@
+#include "apps/platform.hpp"
+
+namespace apps {
+
+simcuda::DeviceProps tesla_s2050(double byte_scale) {
+  simcuda::DeviceProps p;
+  p.name = "Tesla S2050 (sim)";
+  p.gflops = 1030.0;
+  p.mem_bandwidth = 148.0e9;
+  p.pcie_bandwidth = 6.0e9 / byte_scale;
+  p.memory_bytes = static_cast<std::size_t>(2.62e9 / byte_scale);
+  p.kernel_launch_overhead = 8.0e-6;
+  p.copy_overhead = 4.0e-6;
+  return p;
+}
+
+simcuda::DeviceProps gtx480(double byte_scale) {
+  simcuda::DeviceProps p;
+  p.name = "GTX 480 (sim)";
+  p.gflops = 1350.0;
+  p.mem_bandwidth = 177.4e9;
+  p.pcie_bandwidth = 6.0e9 / byte_scale;
+  p.memory_bytes = static_cast<std::size_t>(1.5e9 / byte_scale);
+  p.kernel_launch_overhead = 8.0e-6;
+  p.copy_overhead = 4.0e-6;
+  return p;
+}
+
+simnet::LinkProps qdr_infiniband(double byte_scale) {
+  simnet::LinkProps p;
+  p.bandwidth = 1.0e9 / byte_scale;  // the paper's "8 Gbits/s" peak
+  p.latency = 2.0e-6;
+  p.am_overhead = 3.0e-6;
+  return p;
+}
+
+nanos::RuntimeConfig multi_gpu_node(int gpus, double byte_scale) {
+  nanos::RuntimeConfig cfg;
+  cfg.smp_workers = 8;  // 2x Xeon E5440
+  cfg.smp_gflops = 9.0;
+  cfg.host_memcpy_bandwidth = 8.0e9 / byte_scale;
+  cfg.gpus.assign(static_cast<std::size_t>(gpus), tesla_s2050(byte_scale));
+  return cfg;
+}
+
+nanos::ClusterConfig gpu_cluster(int nodes, double byte_scale) {
+  nanos::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.link = qdr_infiniband(byte_scale);
+  cfg.node.smp_workers = 8;  // 2x Xeon E5620
+  cfg.node.smp_gflops = 10.0;
+  cfg.node.host_memcpy_bandwidth = 8.0e9 / byte_scale;
+  cfg.node.gpus.assign(1, gtx480(byte_scale));
+  return cfg;
+}
+
+}  // namespace apps

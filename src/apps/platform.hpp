@@ -1,0 +1,35 @@
+// Platform presets encoding the paper's two evaluation environments
+// (§IV-A1), with the logical/physical byte-scale split applied.
+//
+// Applications compute on physically scaled-down arrays but charge the cost
+// model with the paper's logical sizes.  Rather than tagging every transfer,
+// the scaling is folded into the platform description: bandwidths and
+// capacities are divided by `byte_scale` (the logical/physical byte ratio),
+// so a physical transfer of n bytes costs exactly what the logical transfer
+// of n*byte_scale bytes would.  Kernel flops are always given logically by
+// the apps, so compute rates stay unscaled.
+#pragma once
+
+#include "nanos/cluster.hpp"
+#include "nanos/runtime.hpp"
+#include "simcuda/simcuda.hpp"
+#include "simnet/simnet.hpp"
+
+namespace apps {
+
+/// Tesla S2050 (the 4-GPU node): 1.03 TFLOPS SP, 2.62 GB, PCIe ~6 GB/s.
+simcuda::DeviceProps tesla_s2050(double byte_scale);
+
+/// GTX 480 (one per cluster node): 1.35 TFLOPS SP, 1.5 GB, 177.4 GB/s.
+simcuda::DeviceProps gtx480(double byte_scale);
+
+/// QDR InfiniBand as the paper reports it: 8 Gbit/s peak, ~2 us latency.
+simnet::LinkProps qdr_infiniband(double byte_scale);
+
+/// The multi-GPU evaluation node: 2x Xeon E5440 (8 cores) + `gpus` S2050s.
+nanos::RuntimeConfig multi_gpu_node(int gpus, double byte_scale);
+
+/// The GPU cluster: per node 2x Xeon E5620 (8 cores) + 1 GTX480, QDR IB.
+nanos::ClusterConfig gpu_cluster(int nodes, double byte_scale);
+
+}  // namespace apps

@@ -1,0 +1,23 @@
+// The four STREAM kernels, shared by all versions (paper Fig. 3 shows the
+// CUDA wrapper around kernels like these).
+#include "apps/stream/stream.hpp"
+
+namespace apps::stream {
+
+void copy_kernel(const double* a, double* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i];
+}
+
+void scale_kernel(double* b, const double* c, double scalar, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) b[i] = scalar * c[i];
+}
+
+void add_kernel(const double* a, const double* b, double* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+}
+
+void triad_kernel(double* a, const double* b, const double* c, double scalar, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+}
+
+}  // namespace apps::stream

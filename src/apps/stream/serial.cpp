@@ -1,0 +1,23 @@
+// Serial STREAM: the reference loop nest (and Table I's LoC baseline).
+#include "apps/stream/stream.hpp"
+
+namespace apps::stream {
+
+Result run_serial(const Params& p) {
+  const std::size_t n = p.n_phys();
+  std::vector<double> a(n), b(n, 0.0), c(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a[i] = 1.0 + static_cast<double>(i % 97) / 97.0;
+
+  for (int t = 0; t < p.ntimes; ++t) {
+    copy_kernel(a.data(), c.data(), n);
+    scale_kernel(b.data(), c.data(), p.scalar, n);
+    add_kernel(a.data(), b.data(), c.data(), n);
+    triad_kernel(a.data(), b.data(), c.data(), p.scalar, n);
+  }
+
+  Result r;
+  for (double v : a) r.checksum += v;
+  return r;
+}
+
+}  // namespace apps::stream

@@ -1,0 +1,59 @@
+// STREAM benchmark (paper Fig. 2): copy / scale / add / triad over blocked
+// vectors, NTIMES iterations.  The paper allocates 768 MB per GPU; tasks are
+// BSIZE-element chunks of the three vectors.
+//
+// Versions (Table I):
+//   serial.cpp   — the original loop nest.
+//   cuda.cpp     — single GPU with explicit copies and kernel launches.
+//   mpicuda.cpp  — one rank per node, each with its own arrays (STREAM has
+//                  no inter-node traffic; barriers around iterations).
+//   ompss.cpp    — the Fig. 2 code: four annotated functions, one task per
+//                  block per operation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/platform.hpp"
+#include "minimpi/minimpi.hpp"
+#include "ompss/ompss.hpp"
+
+namespace apps::stream {
+
+struct Params {
+  int blocks_per_gpu = 32;       ///< tasks per vector per GPU per op
+  int gpus = 1;                  ///< total GPUs (scales the vectors, like the paper)
+  std::size_t block_phys = 2048; ///< physical doubles per block
+  double block_logical = 1.0e6;  ///< logical doubles per block (8 MB)
+  int ntimes = 10;
+  double scalar = 3.0;
+
+  int total_blocks() const { return blocks_per_gpu * gpus; }
+  std::size_t n_phys() const { return static_cast<std::size_t>(total_blocks()) * block_phys; }
+  double byte_scale() const { return block_logical / static_cast<double>(block_phys); }
+  std::size_t block_bytes() const { return block_phys * sizeof(double); }
+  /// Logical bytes moved per iteration (2+2+3+3 array touches).
+  double bytes_per_iter() const {
+    return 10.0 * block_logical * total_blocks() * sizeof(double);
+  }
+};
+
+// Shared kernels — the "handmade kernels" of the paper's MPI+CUDA version.
+void copy_kernel(const double* a, double* c, std::size_t n);
+void scale_kernel(double* b, const double* c, double scalar, std::size_t n);
+void add_kernel(const double* a, const double* b, double* c, std::size_t n);
+void triad_kernel(double* a, const double* b, const double* c, double scalar, std::size_t n);
+
+struct Result {
+  double seconds = 0;
+  double gbps = 0;       ///< logical GB/s over all iterations
+  double checksum = 0;   ///< sum over a after the last iteration
+};
+
+Result run_serial(const Params& p);
+Result run_cuda(const Params& p, vt::Clock& clock, const simcuda::DeviceProps& gpu);
+Result run_ompss(ompss::Env& env, const Params& p);
+Result run_mpicuda(const Params& p, vt::Clock& clock, int ranks,
+                   const simnet::LinkProps& link, const simcuda::DeviceProps& gpu);
+
+}  // namespace apps::stream

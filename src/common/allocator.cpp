@@ -1,0 +1,64 @@
+#include "common/allocator.hpp"
+
+#include <stdexcept>
+
+namespace common {
+
+FirstFitAllocator::FirstFitAllocator(std::size_t capacity, std::size_t alignment)
+    : capacity_(capacity), alignment_(alignment) {
+  if (alignment_ == 0 || (alignment_ & (alignment_ - 1)) != 0)
+    throw std::invalid_argument("FirstFitAllocator: alignment must be a power of two");
+  if (capacity_ > 0) free_list_[0] = capacity_;
+}
+
+std::optional<std::size_t> FirstFitAllocator::allocate(std::size_t bytes) {
+  if (bytes == 0) return std::nullopt;
+  bytes = align_up(bytes);
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second < bytes) continue;
+    std::size_t offset = it->first;
+    std::size_t block = it->second;
+    free_list_.erase(it);
+    if (block > bytes) free_list_[offset + bytes] = block - bytes;
+    allocated_[offset] = bytes;
+    return offset;
+  }
+  return std::nullopt;
+}
+
+void FirstFitAllocator::deallocate(std::size_t offset) {
+  auto it = allocated_.find(offset);
+  if (it == allocated_.end())
+    throw std::invalid_argument("FirstFitAllocator: deallocate of unknown offset");
+  std::size_t size = it->second;
+  allocated_.erase(it);
+  auto next = free_list_.find(offset + size);
+  if (next != free_list_.end()) {
+    size += next->second;
+    free_list_.erase(next);
+  }
+  auto prev = free_list_.lower_bound(offset);
+  if (prev != free_list_.begin()) {
+    --prev;
+    if (prev->first + prev->second == offset) {
+      prev->second += size;
+      return;
+    }
+  }
+  free_list_[offset] = size;
+}
+
+std::size_t FirstFitAllocator::free_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [off, size] : free_list_) total += size;
+  return total;
+}
+
+std::size_t FirstFitAllocator::largest_free_block() const {
+  std::size_t best = 0;
+  for (const auto& [off, size] : free_list_)
+    if (size > best) best = size;
+  return best;
+}
+
+}  // namespace common

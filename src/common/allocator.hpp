@@ -1,0 +1,41 @@
+// First-fit offset allocator with coalescing.
+//
+// Manages an abstract [0, capacity) byte range: simcuda uses it over each
+// device's memory slab; the cluster layer uses it on the master to carve
+// staging space out of each remote node's data segment (the way Nanos++
+// manages GASNet segments).  Not thread-safe; callers hold their own lock.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+namespace common {
+
+class FirstFitAllocator {
+public:
+  static constexpr std::size_t kDefaultAlignment = 256;
+
+  explicit FirstFitAllocator(std::size_t capacity, std::size_t alignment = kDefaultAlignment);
+
+  /// Returns the offset of a block of at least `bytes`, or nullopt when no
+  /// sufficiently large free block exists.
+  std::optional<std::size_t> allocate(std::size_t bytes);
+  /// Frees a block previously returned by allocate(); throws on bad offsets.
+  void deallocate(std::size_t offset);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t free_bytes() const;
+  std::size_t largest_free_block() const;
+  std::size_t allocated_blocks() const { return allocated_.size(); }
+
+private:
+  std::size_t align_up(std::size_t n) const { return (n + alignment_ - 1) & ~(alignment_ - 1); }
+
+  std::size_t capacity_;
+  std::size_t alignment_;
+  std::map<std::size_t, std::size_t> free_list_;   // offset -> size
+  std::map<std::size_t, std::size_t> allocated_;   // offset -> size
+};
+
+}  // namespace common

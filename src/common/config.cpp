@@ -1,0 +1,124 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+extern char** environ;
+
+namespace common {
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+void Config::parse_args(const std::string& args) {
+  std::stringstream ss(args);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError("malformed config entry (missing '='): '" + item + "'");
+    std::string key = trim(item.substr(0, eq));
+    std::string value = trim(item.substr(eq + 1));
+    if (key.empty()) throw ConfigError("malformed config entry (empty key): '" + item + "'");
+    values_[key] = value;
+  }
+}
+
+void Config::parse_env(const std::string& prefix) {
+  for (char** env = environ; *env != nullptr; ++env) {
+    std::string entry(*env);
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    std::string name = entry.substr(0, eq);
+    if (name.rfind(prefix, 0) != 0) continue;
+    std::string key = lower(name.substr(prefix.size()));
+    if (key.empty()) continue;
+    values_[key] = entry.substr(eq + 1);
+  }
+}
+
+void Config::set_double(const std::string& key, double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  values_[key] = os.str();
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& def) const {
+  return raw(key).value_or(def);
+}
+
+long long Config::get_int(const std::string& key, long long def) const {
+  auto v = raw(key);
+  if (!v) return def;
+  try {
+    size_t pos = 0;
+    long long r = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing");
+    return r;
+  } catch (const std::exception&) {
+    throw ConfigError("config key '" + key + "' is not an integer: '" + *v + "'");
+  }
+}
+
+size_t Config::get_size(const std::string& key, size_t def) const {
+  long long v = get_int(key, static_cast<long long>(def));
+  if (v < 0) throw ConfigError("config key '" + key + "' must be non-negative");
+  return static_cast<size_t>(v);
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  auto v = raw(key);
+  if (!v) return def;
+  try {
+    size_t pos = 0;
+    double r = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing");
+    return r;
+  } catch (const std::exception&) {
+    throw ConfigError("config key '" + key + "' is not a number: '" + *v + "'");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  auto v = raw(key);
+  if (!v) return def;
+  std::string s = lower(*v);
+  if (s == "true" || s == "yes" || s == "on" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "off" || s == "0") return false;
+  throw ConfigError("config key '" + key + "' is not a boolean: '" + *v + "'");
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    if (!out.empty()) out += ',';
+    out += k + '=' + v;
+  }
+  return out;
+}
+
+}  // namespace common

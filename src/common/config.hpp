@@ -1,0 +1,59 @@
+// Typed key/value configuration used by every subsystem.
+//
+// A Config is a flat string->string map with typed accessors.  It can be
+// populated programmatically, from "k=v,k=v" strings (the way Nanos++ reads
+// NX_ARGS) and from environment variables with a given prefix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace common {
+
+class ConfigError : public std::runtime_error {
+public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Config {
+public:
+  Config() = default;
+
+  /// Parse a comma-separated "key=value,key=value" list into this config.
+  /// Later assignments override earlier ones.  Whitespace around keys and
+  /// values is trimmed.  Throws ConfigError on malformed input.
+  void parse_args(const std::string& args);
+
+  /// Import every environment variable that starts with `prefix`; the key is
+  /// the lower-cased remainder of the variable name.
+  void parse_env(const std::string& prefix);
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+  void set_int(const std::string& key, long long v) { values_[key] = std::to_string(v); }
+  void set_bool(const std::string& key, bool v) { values_[key] = v ? "true" : "false"; }
+  void set_double(const std::string& key, double v);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get_string(const std::string& key, const std::string& def) const;
+  long long get_int(const std::string& key, long long def) const;
+  size_t get_size(const std::string& key, size_t def) const;
+  double get_double(const std::string& key, double def) const;
+  /// Accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Renders the config back to a canonical "k=v,k=v" string (sorted keys).
+  std::string to_string() const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace common

@@ -1,0 +1,57 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace common {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("OMPSS_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  std::string s(env);
+  if (s == "error") return LogLevel::kError;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+thread_local std::string t_thread_name;
+
+const char* tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+std::atomic<LogLevel> Log::level_{initial_level()};
+
+void Log::set_thread_name(const std::string& name) { t_thread_name = name; }
+
+std::string Log::thread_name() {
+  if (!t_thread_name.empty()) return t_thread_name;
+  std::ostringstream os;
+  os << "t" << std::this_thread::get_id();
+  return os.str();
+}
+
+void Log::write(LogLevel l, const std::string& msg) {
+  std::lock_guard<std::mutex> lk(log_mutex());
+  std::fprintf(stderr, "[%s][%s] %s\n", tag(l), thread_name().c_str(), msg.c_str());
+}
+
+}  // namespace common

@@ -1,0 +1,54 @@
+// Minimal thread-safe leveled logger.
+//
+// The level is read once from the OMPSS_LOG environment variable
+// (error|warn|info|debug) and can be overridden programmatically.  Debug
+// logging is cheap to leave in hot paths: the level check is a relaxed
+// atomic load and message formatting only happens when enabled.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace common {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Log {
+public:
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel l) { level_.store(l, std::memory_order_relaxed); }
+  static bool enabled(LogLevel l) { return static_cast<int>(l) <= static_cast<int>(level()); }
+
+  /// Writes one line (with level tag and thread name) to stderr under a lock.
+  static void write(LogLevel l, const std::string& msg);
+
+  /// Name of the calling thread as shown in log lines; defaults to "t<tid>".
+  static void set_thread_name(const std::string& name);
+  static std::string thread_name();
+
+private:
+  static std::atomic<LogLevel> level_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace common
+
+#define OMPSS_LOG_AT(lvl, ...)                                                  \
+  do {                                                                          \
+    if (::common::Log::enabled(lvl))                                            \
+      ::common::Log::write(lvl, ::common::detail::format_parts(__VA_ARGS__));   \
+  } while (0)
+
+#define LOG_ERROR(...) OMPSS_LOG_AT(::common::LogLevel::kError, __VA_ARGS__)
+#define LOG_WARN(...) OMPSS_LOG_AT(::common::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_INFO(...) OMPSS_LOG_AT(::common::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_DEBUG(...) OMPSS_LOG_AT(::common::LogLevel::kDebug, __VA_ARGS__)

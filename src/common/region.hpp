@@ -1,0 +1,55 @@
+// Address-range regions used by the dependency and coherence layers.
+//
+// A Region is a half-open byte range [start, start+size).  The paper's
+// dependence clauses name whole arrays/scalars; partial overlap of clause
+// regions is explicitly unsupported by the paper's implementation, so any
+// overlap is treated as a full dependence (conservative, matching §II-A3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace common {
+
+struct Region {
+  std::uintptr_t start = 0;
+  std::size_t size = 0;
+
+  Region() = default;
+  Region(std::uintptr_t s, std::size_t n) : start(s), size(n) {}
+  Region(const void* p, std::size_t n) : start(reinterpret_cast<std::uintptr_t>(p)), size(n) {}
+
+  std::uintptr_t end() const { return start + size; }
+  bool empty() const { return size == 0; }
+  void* ptr() const { return reinterpret_cast<void*>(start); }
+
+  bool overlaps(const Region& o) const {
+    return !empty() && !o.empty() && start < o.end() && o.start < end();
+  }
+  bool contains(const Region& o) const {
+    return o.empty() || (start <= o.start && o.end() <= end());
+  }
+
+  friend bool operator==(const Region& a, const Region& b) {
+    return a.start == b.start && a.size == b.size;
+  }
+  friend bool operator<(const Region& a, const Region& b) {
+    return a.start != b.start ? a.start < b.start : a.size < b.size;
+  }
+
+  std::string to_string() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[0x%zx,+%zu)", static_cast<size_t>(start), size);
+    return buf;
+  }
+};
+
+struct RegionHash {
+  std::size_t operator()(const Region& r) const {
+    return std::hash<std::uintptr_t>()(r.start) * 31 ^ std::hash<std::size_t>()(r.size);
+  }
+};
+
+}  // namespace common

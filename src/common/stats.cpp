@@ -1,0 +1,47 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace common {
+
+void Stats::add(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = values_.try_emplace(name);
+  StatValue& v = it->second;
+  if (inserted) {
+    v.min = v.max = value;
+  } else {
+    if (value < v.min) v.min = value;
+    if (value > v.max) v.max = value;
+  }
+  v.count += 1;
+  v.sum += value;
+}
+
+StatValue Stats::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = values_.find(name);
+  return it == values_.end() ? StatValue{} : it->second;
+}
+
+std::map<std::string, StatValue> Stats::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return values_;
+}
+
+void Stats::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  values_.clear();
+}
+
+std::string Stats::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : snapshot()) {
+    os << name << ": count=" << v.count << " sum=" << v.sum;
+    if (v.count > 1) os << " mean=" << v.mean() << " min=" << v.min << " max=" << v.max;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace common

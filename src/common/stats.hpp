@@ -1,0 +1,51 @@
+// Runtime statistics: named thread-safe counters and value accumulators.
+//
+// The coherence, cluster and GPU layers record transfer counts/bytes here;
+// tests assert on them (e.g. "write-back produced fewer transfers than
+// no-cache") and the benchmark harness prints them next to the performance
+// series, mirroring the discussion in the paper's §IV-B.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace common {
+
+/// Snapshot of one accumulator.
+struct StatValue {
+  std::uint64_t count = 0;  ///< number of add() calls
+  double sum = 0.0;         ///< sum of added values
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// A named collection of accumulators.  One instance is owned per Runtime so
+/// that concurrent simulations (e.g. several nodes) do not share state.
+class Stats {
+public:
+  /// Adds `value` to the accumulator called `name`, creating it on first use.
+  void add(const std::string& name, double value);
+  /// Shorthand for counting events: add(name, 1).
+  void incr(const std::string& name) { add(name, 1.0); }
+
+  StatValue get(const std::string& name) const;
+  double sum(const std::string& name) const { return get(name).sum; }
+  std::uint64_t count(const std::string& name) const { return get(name).count; }
+
+  std::map<std::string, StatValue> snapshot() const;
+  void clear();
+
+  /// Renders "name: count=… sum=…" lines, sorted by name.
+  std::string to_string() const;
+
+private:
+  mutable std::mutex mu_;
+  std::map<std::string, StatValue> values_;
+};
+
+}  // namespace common

@@ -1,0 +1,70 @@
+#include "mcc/funcsig.hpp"
+
+#include <stdexcept>
+
+#include "mcc/lexer.hpp"
+
+namespace mcc {
+
+int FuncSig::param_index(const std::string& pname) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == pname) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+FuncSig parse_function_header(const std::string& header) {
+  auto toks = tokenize(header);
+  TokenCursor cur(toks);
+  FuncSig sig;
+
+  if (!cur.accept("void"))
+    throw std::runtime_error("mcc: task functions must return void");
+  const Token& name = cur.next();
+  if (name.kind != TokKind::kIdent)
+    throw std::runtime_error("mcc: expected function name after 'void'");
+  sig.name = name.text;
+  cur.expect("(");
+
+  if (cur.accept(")")) return sig;  // no parameters
+  if (cur.peek().is("void") && cur.peek(1).is(")")) {
+    cur.next();
+    cur.next();
+    return sig;
+  }
+
+  for (;;) {
+    // A parameter is: type tokens (idents, 'const', '*', 'unsigned', …)
+    // ending with the parameter name; the name is the last identifier before
+    // ',' or ')'.
+    std::vector<Token> tokens;
+    int depth = 0;
+    for (;;) {
+      const Token& t = cur.peek();
+      if (t.kind == TokKind::kEnd)
+        throw std::runtime_error("mcc: unterminated parameter list");
+      if (depth == 0 && (t.is(",") || t.is(")"))) break;
+      if (t.is("(") || t.is("[")) ++depth;
+      if (t.is(")") || t.is("]")) --depth;
+      tokens.push_back(cur.next());
+    }
+    if (tokens.empty() || tokens.back().kind != TokKind::kIdent)
+      throw std::runtime_error("mcc: could not find parameter name");
+    Param p;
+    p.name = tokens.back().text;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (!p.type.empty() && tokens[i].kind != TokKind::kPunct) p.type += ' ';
+      p.type += tokens[i].text;
+      if (tokens[i].is("*")) p.is_pointer = true;
+    }
+    if (p.type.empty()) throw std::runtime_error("mcc: parameter '" + p.name + "' has no type");
+    sig.params.push_back(std::move(p));
+    if (cur.accept(",")) continue;
+    cur.expect(")");
+    break;
+  }
+  if (!cur.at_end()) throw std::runtime_error("mcc: trailing tokens after parameter list");
+  return sig;
+}
+
+}  // namespace mcc

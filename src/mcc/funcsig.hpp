@@ -1,0 +1,32 @@
+// Function-header parsing for annotated task functions.
+//
+// mcc accepts C-style headers of the form
+//   void name(type1 p1, type2 *p2, ..., int n)
+// Task functions must return void (the OmpSs rule: a task's results travel
+// through its output clauses, not a return value).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcc {
+
+struct Param {
+  std::string type;      ///< declared type, pointer stars included ("const double *")
+  std::string name;
+  bool is_pointer = false;
+};
+
+struct FuncSig {
+  std::string name;
+  std::vector<Param> params;
+  /// Index of the parameter called `name`, or -1.
+  int param_index(const std::string& pname) const;
+};
+
+/// Parses `header` — the text from the start of the declaration up to (and
+/// excluding) the trailing ';' or '{'.  Throws std::runtime_error on headers
+/// outside the supported subset.
+FuncSig parse_function_header(const std::string& header);
+
+}  // namespace mcc

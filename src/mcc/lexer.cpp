@@ -1,0 +1,82 @@
+#include "mcc/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace mcc {
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t b = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '_')) ++i;
+      out.push_back({TokKind::kIdent, src.substr(b, i - b), b});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t b = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > b &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E'))))
+        ++i;
+      out.push_back({TokKind::kNumber, src.substr(b, i - b), b});
+      continue;
+    }
+    // Multi-character operators mcc cares about in expressions.
+    static const char* two[] = {"->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+                                "-=", "*=", "/=", "::"};
+    bool matched = false;
+    for (const char* op : two) {
+      if (src.compare(i, 2, op) == 0) {
+        out.push_back({TokKind::kPunct, op, i});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string singles = "()[]{},;*&+-/%<>=!.?:|^~#";
+    if (singles.find(c) != std::string::npos) {
+      out.push_back({TokKind::kPunct, std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    throw std::runtime_error("mcc: unexpected character '" + std::string(1, c) + "' in pragma or declaration");
+  }
+  return out;
+}
+
+const Token& TokenCursor::peek(std::size_t ahead) const {
+  std::size_t k = i_ + ahead;
+  return k < toks_.size() ? toks_[k] : end_;
+}
+
+const Token& TokenCursor::next() {
+  if (i_ >= toks_.size()) return end_;
+  return toks_[i_++];
+}
+
+bool TokenCursor::accept(const char* text) {
+  if (!at_end() && toks_[i_].text == text) {
+    ++i_;
+    return true;
+  }
+  return false;
+}
+
+void TokenCursor::expect(const char* text) {
+  if (!accept(text))
+    throw std::runtime_error(std::string("mcc: expected '") + text + "', got '" +
+                             (at_end() ? "<end>" : toks_[i_].text) + "'");
+}
+
+}  // namespace mcc

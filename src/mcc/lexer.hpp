@@ -1,0 +1,48 @@
+// Minimal C tokenizer for the mcc source-to-source translator.
+//
+// mcc only needs to understand pragma lines and function headers; everything
+// else passes through verbatim.  The lexer therefore handles identifiers,
+// numbers, punctuation and (single-level) bracket matching — enough to parse
+// clause argument lists and parameter declarations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcc {
+
+enum class TokKind { kIdent, kNumber, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::size_t pos = 0;  // byte offset in the input
+
+  bool is(const char* s) const { return text == s; }
+};
+
+/// Tokenizes `src`; throws std::runtime_error on characters it cannot handle.
+std::vector<Token> tokenize(const std::string& src);
+
+/// Cursor over a token vector with convenience matchers.
+class TokenCursor {
+public:
+  explicit TokenCursor(const std::vector<Token>& toks) : toks_(toks) {}
+
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& next();
+  bool at_end() const { return i_ >= toks_.size(); }
+  /// Consumes the token if it matches `text`.
+  bool accept(const char* text);
+  /// Consumes a token that must match `text`; throws otherwise.
+  void expect(const char* text);
+  std::size_t position() const { return i_; }
+  void rewind(std::size_t pos) { i_ = pos; }
+
+private:
+  const std::vector<Token>& toks_;
+  std::size_t i_ = 0;
+  Token end_{};
+};
+
+}  // namespace mcc

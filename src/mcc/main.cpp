@@ -1,0 +1,64 @@
+// mcc — command-line driver.
+//
+//   mcc input.c [-o output.cpp]
+//
+// Translates the annotated source to C++ against the ompss:: API.  The
+// output is a regular translation unit: compile it with the host compiler
+// and link against the ompss libraries (Mercurium's pipeline, §III-A).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mcc/translate.hpp"
+
+int main(int argc, char** argv) {
+  const char* input = nullptr;
+  const char* output = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      output = argv[++i];
+    } else if (std::strcmp(argv[i], "-h") == 0 || std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: mcc input.c [-o output.cpp]\n");
+      return 0;
+    } else if (input == nullptr) {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr, "mcc: unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (input == nullptr) {
+    std::fprintf(stderr, "mcc: no input file\n");
+    return 2;
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "mcc: cannot open '%s'\n", input);
+    return 1;
+  }
+  std::ostringstream src;
+  src << in.rdbuf();
+
+  std::string translated;
+  try {
+    translated = mcc::translate(src.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mcc: %s\n", e.what());
+    return 1;
+  }
+
+  if (output != nullptr) {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "mcc: cannot write '%s'\n", output);
+      return 1;
+    }
+    out << translated;
+  } else {
+    std::cout << translated;
+  }
+  return 0;
+}

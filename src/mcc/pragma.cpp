@@ -1,0 +1,130 @@
+#include "mcc/pragma.hpp"
+
+#include <stdexcept>
+
+#include "mcc/lexer.hpp"
+
+namespace mcc {
+
+namespace {
+
+// Collects the raw token text up to the matching ')' of an already-consumed
+// '(' — used for expressions mcc keeps verbatim (sizes, cost).
+std::string collect_until_close(TokenCursor& cur) {
+  std::string out;
+  int depth = 1;
+  for (;;) {
+    const Token& t = cur.next();
+    if (t.kind == TokKind::kEnd) throw std::runtime_error("mcc: unterminated '(' in pragma");
+    if (t.is("(") || t.is("[")) ++depth;
+    if (t.is(")") || t.is("]")) {
+      if (t.is(")") && --depth == 0) break;
+      if (t.is("]")) --depth;
+    }
+    if (!out.empty()) out += ' ';
+    out += t.text;
+  }
+  return out;
+}
+
+void parse_dep_items(TokenCursor& cur, DepMode mode, std::vector<DepItem>& out) {
+  cur.expect("(");
+  for (;;) {
+    DepItem item;
+    item.mode = mode;
+    if (cur.accept("[")) {
+      // [size] name — array section.
+      std::string size;
+      int depth = 1;
+      for (;;) {
+        const Token& t = cur.next();
+        if (t.kind == TokKind::kEnd) throw std::runtime_error("mcc: unterminated '[' in clause");
+        if (t.is("[")) ++depth;
+        if (t.is("]") && --depth == 0) break;
+        if (!size.empty()) size += ' ';
+        size += t.text;
+      }
+      item.size_expr = size;
+    }
+    const Token& name = cur.next();
+    if (name.kind != TokKind::kIdent)
+      throw std::runtime_error("mcc: expected parameter name in dependence clause");
+    item.name = name.text;
+    out.push_back(std::move(item));
+    if (cur.accept(",")) continue;
+    cur.expect(")");
+    break;
+  }
+}
+
+}  // namespace
+
+Pragma parse_pragma(const std::string& line) {
+  Pragma p;
+  auto toks = tokenize(line);
+  TokenCursor cur(toks);
+  // "#" "pragma" omp ...
+  cur.expect("#");
+  if (!cur.accept("pragma")) return p;
+  if (!cur.accept("omp")) return p;
+
+  if (cur.accept("target")) {
+    p.kind = PragmaKind::kTarget;
+    while (!cur.at_end()) {
+      if (cur.accept("device")) {
+        cur.expect("(");
+        const Token& d = cur.next();
+        if (d.kind != TokKind::kIdent) throw std::runtime_error("mcc: bad device clause");
+        p.device = d.text;
+        cur.expect(")");
+      } else if (cur.accept("copy_deps")) {
+        p.copy_deps = true;
+      } else if (cur.accept("cost")) {
+        cur.expect("(");
+        p.cost_expr = collect_until_close(cur);
+      } else {
+        throw std::runtime_error("mcc: unknown target clause '" + cur.peek().text + "'");
+      }
+    }
+    return p;
+  }
+
+  if (cur.accept("task")) {
+    p.kind = PragmaKind::kTask;
+    while (!cur.at_end()) {
+      if (cur.accept("input")) {
+        parse_dep_items(cur, DepMode::kIn, p.deps);
+      } else if (cur.accept("output")) {
+        parse_dep_items(cur, DepMode::kOut, p.deps);
+      } else if (cur.accept("inout")) {
+        parse_dep_items(cur, DepMode::kInout, p.deps);
+      } else if (cur.accept("cost")) {
+        cur.expect("(");
+        p.cost_expr = collect_until_close(cur);
+      } else {
+        throw std::runtime_error("mcc: unknown task clause '" + cur.peek().text + "'");
+      }
+    }
+    return p;
+  }
+
+  if (cur.accept("taskwait")) {
+    p.kind = PragmaKind::kTaskwait;
+    while (!cur.at_end()) {
+      if (cur.accept("noflush")) {
+        p.noflush = true;
+      } else if (cur.accept("on")) {
+        cur.expect("(");
+        p.on_expr = collect_until_close(cur);
+      } else {
+        throw std::runtime_error("mcc: unknown taskwait clause '" + cur.peek().text + "'");
+      }
+    }
+    return p;
+  }
+
+  p.kind = PragmaKind::kOther;
+  return p;
+}
+
+}  // namespace mcc

@@ -1,0 +1,49 @@
+// Parser for the OmpSs pragma dialect mcc understands (paper §II-A3):
+//
+//   #pragma omp target device(cuda|smp) [copy_deps] [cost(expr)]
+//   #pragma omp task [input(items)] [output(items)] [inout(items)]
+//   #pragma omp taskwait [on(name)] [noflush]
+//
+// A dependence item is either `[size] name` (an array section of `size`
+// elements, the paper's Fig. 1/2 syntax) or a bare `name` (a scalar).
+// `cost(expr)` is an mcc extension: the work volume in flops handed to the
+// simulated platform's pricing model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcc {
+
+enum class PragmaKind { kTarget, kTask, kTaskwait, kOther };
+
+enum class DepMode { kIn, kOut, kInout };
+
+struct DepItem {
+  DepMode mode = DepMode::kIn;
+  std::string name;       ///< the pointer/scalar parameter the clause names
+  std::string size_expr;  ///< element count; empty for scalars
+};
+
+struct Pragma {
+  PragmaKind kind = PragmaKind::kOther;
+
+  // target
+  std::string device = "smp";  // device(...)
+  bool copy_deps = false;
+  std::string cost_expr;  // cost(...) extension
+
+  // task
+  std::vector<DepItem> deps;
+
+  // taskwait
+  bool noflush = false;
+  std::string on_expr;  // taskwait on(expr)
+};
+
+/// Parses one logical `#pragma ...` line (continuations already joined).
+/// Returns kOther for non-OmpSs pragmas (passed through untouched).
+Pragma parse_pragma(const std::string& line);
+
+}  // namespace mcc

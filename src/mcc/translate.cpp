@@ -1,0 +1,291 @@
+#include "mcc/translate.hpp"
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "mcc/funcsig.hpp"
+#include "mcc/pragma.hpp"
+
+namespace mcc {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Generates the spawning wrapper for an annotated task function.
+std::string make_wrapper(const FuncSig& sig, const Pragma& target, const Pragma& task) {
+  std::ostringstream os;
+  // Wrapper signature: identical to the original.
+  os << "void " << sig.name << "(";
+  for (std::size_t i = 0; i < sig.params.size(); ++i) {
+    if (i) os << ", ";
+    os << sig.params[i].type << " " << sig.params[i].name;
+  }
+  os << ") {\n";
+  os << "  ompss::task()\n";
+  os << "      .device(ompss::Device::"
+     << (target.device == "cuda" ? "kCuda" : "kSmp") << ")\n";
+  for (const DepItem& d : task.deps) {
+    int pi = sig.param_index(d.name);
+    if (pi < 0)
+      throw std::runtime_error("mcc: dependence clause names unknown parameter '" + d.name +
+                               "' of task '" + sig.name + "'");
+    if (!sig.params[static_cast<std::size_t>(pi)].is_pointer)
+      throw std::runtime_error("mcc: dependence on non-pointer parameter '" + d.name + "'");
+    const char* method = d.mode == DepMode::kIn    ? "in"
+                         : d.mode == DepMode::kOut ? "out"
+                                                   : "inout";
+    os << "      ." << method << "(" << d.name << ", ";
+    if (d.size_expr.empty()) {
+      os << "sizeof(*" << d.name << ")";
+    } else {
+      os << "(" << d.size_expr << ") * sizeof(*" << d.name << ")";
+    }
+    os << ")\n";
+  }
+  const std::string& cost = !task.cost_expr.empty() ? task.cost_expr : target.cost_expr;
+  if (!cost.empty()) os << "      .flops(" << cost << ")\n";
+  os << "      .label(\"" << sig.name << "\")\n";
+  os << "      .run([=](ompss::Ctx& mcc_ctx) {\n";
+  os << "        " << sig.name << "__task_impl(";
+  for (std::size_t i = 0; i < sig.params.size(); ++i) {
+    if (i) os << ", ";
+    const Param& p = sig.params[i];
+    int dep_index = -1;
+    for (std::size_t k = 0; k < task.deps.size(); ++k) {
+      if (task.deps[k].name == p.name) {
+        dep_index = static_cast<int>(k);
+        break;
+      }
+    }
+    if (dep_index >= 0) {
+      os << "static_cast<" << p.type << ">(mcc_ctx.data(" << dep_index << "))";
+    } else {
+      os << p.name;
+    }
+  }
+  os << ");\n";
+  os << "      });\n";
+  os << "}\n";
+  return os.str();
+}
+
+struct Translator {
+  std::istringstream in;
+  std::ostringstream out;
+
+  std::optional<Pragma> pending_target;
+  std::optional<Pragma> pending_task;
+  std::string pending_wrapper;  // emitted when the definition's braces close
+  int brace_depth = 0;
+  bool have_user_main = false;
+  bool user_main_has_args = false;
+  std::vector<std::string> declared_tasks;  // declared-but-not-yet-defined
+
+  explicit Translator(const std::string& src) : in(src) {}
+
+  void emit_header_and_wrapper(const std::string& header, bool is_definition) {
+    FuncSig sig = parse_function_header(header);
+    Pragma target = pending_target.value_or(Pragma{});
+    Pragma task = *pending_task;
+    pending_target.reset();
+    pending_task.reset();
+
+    std::string wrapper = make_wrapper(sig, target, task);
+    if (is_definition) {
+      out << "void " << sig.name << "__task_impl(";
+      for (std::size_t i = 0; i < sig.params.size(); ++i) {
+        if (i) out << ", ";
+        out << sig.params[i].type << " " << sig.params[i].name;
+      }
+      out << ") {\n";
+      brace_depth = 1;
+      pending_wrapper = std::move(wrapper);
+    } else {
+      out << "void " << sig.name << "__task_impl(";
+      for (std::size_t i = 0; i < sig.params.size(); ++i) {
+        if (i) out << ", ";
+        out << sig.params[i].type << " " << sig.params[i].name;
+      }
+      out << ");\n";
+      out << wrapper;
+      declared_tasks.push_back(sig.name);
+    }
+  }
+
+  // Rewrites a later plain definition of a previously annotated declaration.
+  bool try_rename_task_definition(const std::string& line) {
+    std::string t = trim(line);
+    if (!starts_with(t, "void ")) return false;
+    for (const std::string& name : declared_tasks) {
+      std::string needle = name;
+      std::size_t pos = t.find(needle);
+      if (pos == std::string::npos) continue;
+      std::size_t after = pos + needle.size();
+      // Must be followed (modulo spaces) by '(' and be a definition start.
+      std::size_t q = after;
+      while (q < t.size() && (t[q] == ' ' || t[q] == '\t')) ++q;
+      if (q >= t.size() || t[q] != '(') continue;
+      std::string renamed = line;
+      std::size_t lpos = renamed.find(name);
+      renamed.replace(lpos, name.size(), name + "__task_impl");
+      out << renamed << "\n";
+      update_depth(renamed);
+      return true;
+    }
+    return false;
+  }
+
+  void update_depth(const std::string& line) {
+    for (char c : line) {
+      if (c == '{') ++brace_depth;
+      if (c == '}') {
+        --brace_depth;
+        if (brace_depth == 0 && !pending_wrapper.empty()) {
+          // flushed by caller after the line is printed
+        }
+      }
+    }
+  }
+
+  void run() {
+    out << "// Generated by mcc — the OmpSs source-to-source translator.\n";
+    out << "#include \"ompss/ompss.hpp\"\n";
+    out << "#include <cstdlib>\n\n";
+
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string t = trim(line);
+
+      // Join pragma continuation lines.
+      while (!t.empty() && t.back() == '\\') {
+        std::string cont;
+        if (!std::getline(in, cont)) break;
+        t = t.substr(0, t.size() - 1) + " " + trim(cont);
+      }
+
+      if (starts_with(t, "#pragma")) {
+        Pragma p = parse_pragma(t);
+        switch (p.kind) {
+          case PragmaKind::kTarget:
+            pending_target = p;
+            continue;
+          case PragmaKind::kTask:
+            pending_task = p;
+            continue;
+          case PragmaKind::kTaskwait:
+            if (!p.on_expr.empty()) {
+              out << "ompss::taskwait_on(" << p.on_expr << ", 1);\n";
+            } else if (p.noflush) {
+              out << "ompss::taskwait_noflush();\n";
+            } else {
+              out << "ompss::taskwait();\n";
+            }
+            continue;
+          case PragmaKind::kOther:
+            out << line << "\n";
+            continue;
+        }
+      }
+
+      if (pending_task.has_value() && !t.empty()) {
+        // Accumulate the function header up to ';' or '{'.
+        std::string header = line;
+        while (header.find(';') == std::string::npos &&
+               header.find('{') == std::string::npos) {
+          std::string more;
+          if (!std::getline(in, more))
+            throw std::runtime_error("mcc: annotated declaration never terminated");
+          header += " " + more;
+        }
+        bool is_definition = header.find('{') != std::string::npos &&
+                             (header.find(';') == std::string::npos ||
+                              header.find('{') < header.find(';'));
+        std::size_t cut = is_definition ? header.find('{') : header.find(';');
+        std::string rest = header.substr(cut + 1);
+        header = header.substr(0, cut);
+        emit_header_and_wrapper(trim(header), is_definition);
+        if (!trim(rest).empty()) {
+          out << rest << "\n";
+          update_depth(rest);
+          if (brace_depth == 0 && !pending_wrapper.empty()) {
+            out << pending_wrapper;
+            pending_wrapper.clear();
+          }
+        }
+        continue;
+      }
+
+      // main() gets wrapped in an Env.
+      if (starts_with(t, "int main")) {
+        have_user_main = true;
+        std::size_t lp = line.find('(');
+        std::size_t rp = line.find(')');
+        std::string args = lp != std::string::npos && rp != std::string::npos
+                               ? trim(line.substr(lp + 1, rp - lp - 1))
+                               : "";
+        user_main_has_args = !args.empty() && args != "void";
+        std::string renamed = line;
+        renamed.replace(renamed.find("main"), 4, "mcc_user_main");
+        out << renamed << "\n";
+        update_depth(renamed);
+        continue;
+      }
+
+      if (try_rename_task_definition(line)) {
+        if (brace_depth == 0 && !pending_wrapper.empty()) {
+          out << pending_wrapper;
+          pending_wrapper.clear();
+        }
+        continue;
+      }
+
+      out << line << "\n";
+      update_depth(line);
+      if (brace_depth == 0 && !pending_wrapper.empty()) {
+        out << pending_wrapper;
+        pending_wrapper.clear();
+      }
+    }
+
+    if (pending_task.has_value())
+      throw std::runtime_error("mcc: task pragma not followed by a function");
+
+    if (have_user_main) {
+      out << "\nint main(int argc, char** argv) {\n";
+      out << "  (void)argc; (void)argv;\n";
+      out << "  common::Config cfg;\n";
+      out << "  if (const char* args = std::getenv(\"OMPSS_ARGS\")) cfg.parse_args(args);\n";
+      out << "  ompss::Env env(cfg);\n";
+      out << "  int rc = 0;\n";
+      if (user_main_has_args) {
+        out << "  env.run([&] { rc = mcc_user_main(argc, argv); });\n";
+      } else {
+        out << "  env.run([&] { rc = mcc_user_main(); });\n";
+      }
+      out << "  return rc;\n";
+      out << "}\n";
+    }
+  }
+};
+
+}  // namespace
+
+std::string translate(const std::string& source) {
+  Translator tr(source);
+  tr.run();
+  return tr.out.str();
+}
+
+}  // namespace mcc

@@ -1,0 +1,29 @@
+// The mcc source-to-source translator (the Mercurium stand-in).
+//
+// mcc rewrites an annotated C-like source into C++ against the ompss:: API:
+//
+//  * `#pragma omp target` + `#pragma omp task` on a function definition (or
+//    declaration): the function body is renamed to `<name>__task_impl` and a
+//    wrapper with the original name is generated that spawns a task — so
+//    every existing call site becomes a task spawn, exactly the paper's
+//    function-task semantics (§II-A3).
+//  * `#pragma omp taskwait [on(...)] [noflush]` becomes the corresponding
+//    ompss:: call.
+//  * `int main(...)` is renamed and re-emitted wrapped in an ompss::Env
+//    whose configuration comes from the OMPSS_ARGS environment variable
+//    (the NX_ARGS idiom).
+//
+// Everything else passes through verbatim; the output is a normal C++
+// translation unit to hand to the host compiler — mirroring Mercurium's
+// "source-to-source, then native backend" pipeline (§III-A).
+#pragma once
+
+#include <string>
+
+namespace mcc {
+
+/// Translates `source` (an annotated .c/.cpp text) to C++.  Throws
+/// std::runtime_error with a message naming the offending construct.
+std::string translate(const std::string& source);
+
+}  // namespace mcc

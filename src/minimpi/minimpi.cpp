@@ -1,0 +1,208 @@
+#include "minimpi/minimpi.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace minimpi {
+
+namespace {
+constexpr int kCollBase = 0x7fff0000;
+
+bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == kAnySource || want_src == src) && (want_tag == kAnyTag || want_tag == tag);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Request
+
+void Request::wait() {
+  if (!state_) return;  // trivially complete (e.g. zero-byte local op)
+  state_->done.wait();
+}
+
+bool Request::test() const { return !state_ || state_->done.is_set(); }
+
+// ---------------------------------------------------------------------------
+// World
+
+World::World(simnet::Network& net) : net_(net), boxes_(static_cast<std::size_t>(net.node_count())) {}
+
+Comm World::comm(int rank) {
+  if (rank < 0 || rank >= size()) throw std::out_of_range("minimpi: bad rank");
+  return Comm(*this, rank);
+}
+
+void World::post_send(int src, int dst, int tag, const void* buf, std::size_t bytes,
+                      std::shared_ptr<Request::State> local_done) {
+  PendingSend s;
+  s.src = src;
+  s.tag = tag;
+  s.buf = buf;
+  s.bytes = bytes;
+  s.keep_local = std::move(local_done);
+  if (bytes <= kEagerLimit) {
+    if (bytes > 0) {
+      s.eager_copy = std::make_shared<std::vector<char>>(
+          static_cast<const char*>(buf), static_cast<const char*>(buf) + bytes);
+      s.buf = s.eager_copy->data();
+    }
+    if (s.keep_local) {
+      s.keep_local->done.set();  // buffer is reusable right away
+      s.keep_local.reset();
+    }
+  }
+  PostedRecv matched;
+  bool have_match = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& box = boxes_[static_cast<std::size_t>(dst)];
+    for (auto it = box.recvs.begin(); it != box.recvs.end(); ++it) {
+      if (matches(it->src, it->tag, src, tag)) {
+        matched = *it;
+        box.recvs.erase(it);
+        have_match = true;
+        break;
+      }
+    }
+    if (!have_match) box.sends.push_back(s);
+  }
+  if (have_match) start_transfer(dst, s, matched);
+}
+
+void World::post_recv(int dst, int src, int tag, void* buf, std::size_t bytes,
+                      std::shared_ptr<Request::State> done) {
+  PostedRecv r;
+  r.src = src;
+  r.tag = tag;
+  r.buf = buf;
+  r.bytes = bytes;
+  r.done = std::move(done);
+  PendingSend matched;
+  bool have_match = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& box = boxes_[static_cast<std::size_t>(dst)];
+    for (auto it = box.sends.begin(); it != box.sends.end(); ++it) {
+      if (matches(src, tag, it->src, it->tag)) {
+        matched = *it;
+        box.sends.erase(it);
+        have_match = true;
+        break;
+      }
+    }
+    if (!have_match) box.recvs.push_back(std::move(r));
+  }
+  if (have_match) start_transfer(dst, matched, r);
+}
+
+void World::start_transfer(int dst, const PendingSend& s, const PostedRecv& r) {
+  if (r.bytes < s.bytes)
+    throw std::length_error("minimpi: receive buffer smaller than incoming message");
+  auto local = s.keep_local;
+  auto remote = r.done;
+  auto eager = s.eager_copy;  // keep the eager buffer alive until delivery
+  // Zero-byte messages are control-only but still traverse the wire (both
+  // completions fire from the network), so barriers cost real latency.
+  net_.endpoint(s.src).put(
+      dst, r.buf, s.buf, s.bytes,
+      /*on_local_complete=*/[local] {
+        if (local) local->done.set();
+      },
+      /*on_remote_complete=*/
+      [remote, eager] {
+        if (remote) remote->done.set();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Comm: point to point
+
+Request Comm::isend(int dst, int tag, const void* buf, std::size_t bytes) {
+  Request req;
+  req.state_ = std::make_shared<Request::State>(world_->network().clock());
+  world_->post_send(rank_, dst, tag, buf, bytes, req.state_);
+  return req;
+}
+
+Request Comm::irecv(int src, int tag, void* buf, std::size_t bytes) {
+  Request req;
+  req.state_ = std::make_shared<Request::State>(world_->network().clock());
+  world_->post_recv(rank_, src, tag, buf, bytes, req.state_);
+  return req;
+}
+
+void Comm::send(int dst, int tag, const void* buf, std::size_t bytes) {
+  isend(dst, tag, buf, bytes).wait();
+}
+
+void Comm::recv(int src, int tag, void* buf, std::size_t bytes) {
+  irecv(src, tag, buf, bytes).wait();
+}
+
+void Comm::sendrecv(int dst, int sendtag, const void* sendbuf, std::size_t sendbytes, int src,
+                    int recvtag, void* recvbuf, std::size_t recvbytes) {
+  Request rr = irecv(src, recvtag, recvbuf, recvbytes);
+  Request sr = isend(dst, sendtag, sendbuf, sendbytes);
+  sr.wait();
+  rr.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Comm: collectives
+
+void Comm::barrier() {
+  // Linear gather to rank 0, then release.  Tag partitioned per phase.
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) recv(r, kCollBase + 0, nullptr, 0);
+    for (int r = 1; r < size(); ++r) send(r, kCollBase + 1, nullptr, 0);
+  } else {
+    send(0, kCollBase + 0, nullptr, 0);
+    recv(0, kCollBase + 1, nullptr, 0);
+  }
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  if (rank_ == root) {
+    std::vector<Request> reqs;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      reqs.push_back(isend(r, kCollBase + 2, buf, bytes));
+    }
+    for (auto& q : reqs) q.wait();
+  } else {
+    recv(root, kCollBase + 2, buf, bytes);
+  }
+}
+
+void Comm::allgather(const void* sendbuf, std::size_t bytes, void* recvbuf) {
+  // Straightforward implementation (gather to rank 0, then broadcast the
+  // assembled buffer) — matching the unoptimized MPI baselines the paper
+  // compares against (§IV-A2).  Rank 0's NIC serializes both phases, which
+  // is what limits the MPI+CUDA N-Body at scale.
+  char* out = static_cast<char*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * bytes, sendbuf, bytes);
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r)
+      recv(r, kCollBase + 3, out + static_cast<std::size_t>(r) * bytes, bytes);
+  } else {
+    send(0, kCollBase + 3, sendbuf, bytes);
+  }
+  bcast(recvbuf, static_cast<std::size_t>(size()) * bytes, /*root=*/0);
+}
+
+void Comm::reduce_sum(const double* sendbuf, double* recvbuf, std::size_t count, int root) {
+  if (rank_ == root) {
+    std::memcpy(recvbuf, sendbuf, count * sizeof(double));
+    std::vector<double> tmp(count);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv(r, kCollBase + 4, tmp.data(), count * sizeof(double));
+      for (std::size_t i = 0; i < count; ++i) recvbuf[i] += tmp[i];
+    }
+  } else {
+    send(root, kCollBase + 4, sendbuf, count * sizeof(double));
+  }
+}
+
+}  // namespace minimpi

@@ -1,0 +1,139 @@
+// minimpi — a small MPI-like message-passing library on top of simnet.
+//
+// The paper's baselines are MPI+CUDA programs.  To compare them against the
+// OmpSs runtime on equal footing, both must run over the same network model,
+// so minimpi implements the MPI subset those baselines need — blocking and
+// nonblocking point-to-point with tag matching, and the collectives the four
+// applications use — directly on simnet active messages and puts.
+//
+// Ranks are vt threads inside one process.  Large payloads move as simnet
+// puts (rendezvous: the transfer starts once the matching receive is posted),
+// so NIC occupancy and contention are modelled identically for minimpi and
+// for the Nanos++ cluster layer.
+//
+// Collectives are deliberately simple (linear), matching the paper's
+// description of its MPI baseline as a straightforward implementation.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simnet/simnet.hpp"
+#include "vt/sync.hpp"
+
+namespace minimpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+/// Completion handle for nonblocking operations.
+class Request {
+public:
+  Request() = default;
+
+  void wait();
+  bool test() const;
+
+private:
+  friend class World;
+  friend class Comm;
+  struct State {
+    explicit State(vt::Clock& c) : done(c) {}
+    vt::Flag done;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Comm;
+
+/// Shared matching state for all ranks.  Create one World per simulated MPI
+/// job; obtain per-rank Comm handles with comm(rank).
+class World {
+public:
+  /// Messages up to this size use the eager protocol (copied at post time).
+  static constexpr std::size_t kEagerLimit = 64u << 10;
+
+  explicit World(simnet::Network& net);
+
+  int size() const { return static_cast<int>(net_.node_count()); }
+  Comm comm(int rank);
+  simnet::Network& network() { return net_; }
+
+private:
+  friend class Comm;
+
+  struct PendingSend {
+    int src = 0;
+    int tag = 0;
+    const void* buf = nullptr;
+    std::size_t bytes = 0;
+    std::shared_ptr<Request::State> keep_local;
+    /// Small messages are sent eagerly: the payload is copied here at post
+    /// time and the sender completes immediately (real MPI's eager protocol;
+    /// without it, a blocking send of a small message could deadlock where
+    /// MPI programs legitimately rely on buffering).
+    std::shared_ptr<std::vector<char>> eager_copy;
+  };
+  struct PostedRecv {
+    int src = kAnySource;
+    int tag = kAnyTag;
+    void* buf = nullptr;
+    std::size_t bytes = 0;
+    std::shared_ptr<Request::State> done;
+  };
+
+  // Per destination rank: unmatched sends and posted receives.
+  struct Matchbox {
+    std::deque<PendingSend> sends;
+    std::deque<PostedRecv> recvs;
+  };
+
+  void post_send(int src, int dst, int tag, const void* buf, std::size_t bytes,
+                 std::shared_ptr<Request::State> local_done);
+  void post_recv(int dst, int src, int tag, void* buf, std::size_t bytes,
+                 std::shared_ptr<Request::State> done);
+  /// Starts the wire transfer for a matched (send, recv) pair.
+  void start_transfer(int dst, const PendingSend& s, const PostedRecv& r);
+
+  simnet::Network& net_;
+  std::mutex mu_;
+  std::vector<Matchbox> boxes_;
+};
+
+/// A rank's communicator handle.  Methods must be called from the thread
+/// simulating that rank (blocking calls park that thread on the clock).
+class Comm {
+public:
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+
+  // -- point to point ------------------------------------------------------
+  void send(int dst, int tag, const void* buf, std::size_t bytes);
+  void recv(int src, int tag, void* buf, std::size_t bytes);
+  Request isend(int dst, int tag, const void* buf, std::size_t bytes);
+  Request irecv(int src, int tag, void* buf, std::size_t bytes);
+  /// Simultaneous exchange; deadlock-free regardless of peer order.
+  void sendrecv(int dst, int sendtag, const void* sendbuf, std::size_t sendbytes, int src,
+                int recvtag, void* recvbuf, std::size_t recvbytes);
+
+  // -- collectives (tag space 0x7fff0000+ reserved) -------------------------
+  void barrier();
+  void bcast(void* buf, std::size_t bytes, int root);
+  /// Gathers `bytes` from every rank into recvbuf (rank-major) on all ranks.
+  void allgather(const void* sendbuf, std::size_t bytes, void* recvbuf);
+  /// Element-wise double sum into root's recvbuf.
+  void reduce_sum(const double* sendbuf, double* recvbuf, std::size_t count, int root);
+
+private:
+  friend class World;
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+}  // namespace minimpi

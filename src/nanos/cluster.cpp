@@ -1,0 +1,644 @@
+#include "nanos/cluster.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace nanos {
+
+namespace {
+
+struct StageDoneMsg {
+  std::uintptr_t start;
+  std::size_t size;
+  int node;
+};
+
+struct ForwardMsg {
+  std::uintptr_t start;  // master-side region identity
+  std::size_t size;
+  void* src_addr;   // copy location on the holding node
+  int dst_node;
+  void* dst_addr;   // copy location on the destination node
+};
+
+struct PullMsg {
+  std::uintptr_t start;
+  std::size_t size;
+  void* src_addr;     // copy location on the holding node
+  void* master_addr;  // the region's home in master memory
+};
+
+template <typename T>
+T read_msg(const void* payload, std::size_t bytes) {
+  T msg;
+  assert(bytes == sizeof(T));
+  (void)bytes;
+  std::memcpy(&msg, payload, sizeof(T));
+  return msg;
+}
+
+}  // namespace
+
+ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
+    : clock_(clock), cfg_(std::move(cfg)), comm_mon_(clock), worker_mon_(clock) {
+  net_ = std::make_unique<simnet::Network>(clock_, cfg_.nodes, cfg_.link);
+
+  vt::Hold hold(clock_);
+  nodes_.resize(static_cast<std::size_t>(cfg_.nodes));
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    NodeState& ns = nodes_[static_cast<std::size_t>(i)];
+    RuntimeConfig node_cfg = cfg_.node;
+    node_cfg.node_id = i;
+    // One trace file per runtime image (master and each slave).
+    if (!node_cfg.trace_path.empty()) node_cfg.trace_path += ".node" + std::to_string(i);
+    ns.rt = std::make_unique<Runtime>(clock_, std::move(node_cfg));
+    if (i > 0) {
+      ns.segment.reset(new char[cfg_.segment_bytes]);
+      ns.segalloc = std::make_unique<common::FirstFitAllocator>(cfg_.segment_bytes);
+      ns.comm_worker = std::make_unique<vt::Thread>(
+          clock_, "node" + std::to_string(i) + ".comm",
+          [this, i] { comm_worker_loop(i); }, /*service=*/true);
+    }
+  }
+
+  // Handler registration.  Slave-side handlers run on each node's RX thread
+  // (GASNet style); master-side handlers on node 0's RX thread.
+  for (int i = 1; i < cfg_.nodes; ++i) {
+    simnet::Endpoint& ep = net_->endpoint(i);
+    ep.register_handler(kNewTask, [this, i](int, const void* p, std::size_t n) {
+      handle_new_task(i, read_msg<RemoteTaskInfo*>(p, n));
+    });
+    ep.register_handler(kForward, [this, i](int src, const void* p, std::size_t n) {
+      handle_forward(i, src, p, n);
+    });
+    ep.register_handler(kPull, [this, i](int, const void* p, std::size_t n) {
+      handle_pull(i, p, n);
+    });
+  }
+  simnet::Endpoint& master = net_->endpoint(0);
+  master.register_handler(kTaskDone, [this](int, const void* p, std::size_t n) {
+    handle_task_done(read_msg<std::uint64_t>(p, n));
+  });
+  master.register_handler(kStageDone, [this](int, const void* p, std::size_t n) {
+    auto msg = read_msg<StageDoneMsg>(p, n);
+    std::vector<std::function<void()>> cbs;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      staged_locked(common::Region(msg.start, msg.size), msg.node, cbs);
+    }
+    for (auto& cb : cbs) cb();
+  });
+
+  domain_ = std::make_unique<DependencyDomain>(
+      clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); });
+
+  const int n_comm = cfg_.comm_threads > 0 ? cfg_.comm_threads : 1;
+  for (int i = 0; i < n_comm; ++i) {
+    comm_threads_.emplace_back(clock_, "comm" + std::to_string(i), [this] { comm_loop(); },
+                               /*service=*/true);
+  }
+}
+
+ClusterRuntime::~ClusterRuntime() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  comm_mon_.notify_all();
+  worker_mon_.notify_all();
+  for (auto& t : comm_threads_) t.join();
+  for (auto& ns : nodes_) {
+    if (ns.comm_worker) ns.comm_worker->join();
+  }
+  // NodeStates (and their Runtimes) are destroyed before net_ by member
+  // declaration order, so no handler can fire into a dead runtime.
+}
+
+void ClusterRuntime::post_comm_job(int node, std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    nodes_[static_cast<std::size_t>(node)].comm_jobs.push_back(std::move(job));
+  }
+  worker_mon_.notify_all();
+}
+
+void ClusterRuntime::comm_worker_loop(int node) {
+  NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    worker_mon_.wait(lk, [&] { return shutdown_ || !ns.comm_jobs.empty(); });
+    if (shutdown_) return;
+    auto job = std::move(ns.comm_jobs.front());
+    ns.comm_jobs.pop_front();
+    lk.unlock();
+    job();
+    lk.lock();
+  }
+}
+
+Task* ClusterRuntime::spawn(TaskDesc desc) {
+  Task* t = nodes_[0].rt->allocate_task(std::move(desc));
+  t->mutable_desc().completion_cb = [this, t] {
+    // Runs on the master node right before dependency completion: record the
+    // data this locally executed task wrote as living on node 0.
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Access& a : t->accesses()) {
+      if (a.copy && writes(a.mode)) record_write_locked(a.region, 0);
+    }
+  };
+  stats_.incr("cluster.tasks");
+  domain_->submit(t);
+  return t;
+}
+
+void ClusterRuntime::on_ready(Task* t, Task* releaser) {
+  int node = place_node(t, releaser);
+  t->target_node = node;
+  if (node == 0) {
+    stats_.incr("cluster.local_tasks");
+    int hint = (releaser != nullptr && releaser->target_node == 0) ? releaser->resource : -1;
+    dispatch_local(t, hint);
+    return;
+  }
+  stats_.incr("cluster.remote_tasks");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    nodes_[static_cast<std::size_t>(node)].queue.push_back(t);
+  }
+  comm_mon_.notify_all();
+}
+
+int ClusterRuntime::place_node(Task* t, Task* releaser) {
+  if (cfg_.nodes == 1) return 0;
+  const std::string& policy = cfg_.node_scheduler;
+  if (policy == "dep" && releaser != nullptr) return releaser->target_node;
+  if (policy == "affinity") {
+    std::lock_guard<std::mutex> lk(mu_);
+    double best = 0.0;
+    int best_node = -1;
+    bool tie = false;
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      double score = 0.0;
+      for (const Access& a : t->accesses()) {
+        if (!a.copy) continue;
+        auto it = dir_.find(a.region.start);
+        if (it == dir_.end() || it->second.version == 0) continue;  // task-untouched data
+        if (it->second.valid.count(n) == 0) continue;
+        // Outputs dominate: chaining onto the producer of the written block
+        // keeps accumulations local while inputs stream in.
+        score += static_cast<double>(a.region.size) * (writes(a.mode) ? 4.0 : 1.0);
+      }
+      if (score > best) {
+        best = score;
+        best_node = n;
+        tie = false;
+      } else if (score == best && best > 0.0) {
+        tie = true;
+      }
+    }
+    if (best_node >= 0 && !tie) return best_node;
+  }
+  // bf / unscored affinity / dep-without-releaser: chunked round robin
+  // (block distribution of first-touch work).
+  std::lock_guard<std::mutex> lk(mu_);
+  int chunk = cfg_.rr_chunk > 0 ? cfg_.rr_chunk : 1;
+  int node = (rr_cursor_ / chunk) % cfg_.nodes;
+  ++rr_cursor_;
+  return node;
+}
+
+void ClusterRuntime::comm_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  int scan = 1;
+  for (;;) {
+    Task* task = nullptr;
+    int node = -1;
+    // Staging pipeline depth: data for up to this many tasks per node may be
+    // in flight ahead of the send window, so transfers for later tasks
+    // overlap the computation of earlier ones.
+    const int stage_depth = 2 * (1 + cfg_.presend);
+    comm_mon_.wait(lk, [&] {
+      if (shutdown_) return true;
+      // Round-robin over remote nodes (paper: one communication thread
+      // polling the per-node task pool).
+      for (int k = 1; k < cfg_.nodes; ++k) {
+        int n = (scan + k - 1 - 1) % (cfg_.nodes - 1) + 1;
+        NodeState& ns = nodes_[static_cast<std::size_t>(n)];
+        if (!ns.queue.empty() && ns.preparing < stage_depth) {
+          task = ns.queue.front();
+          ns.queue.pop_front();
+          ++ns.preparing;
+          node = n;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (shutdown_) return;
+    scan = node + 1 > cfg_.nodes - 1 ? 1 : node + 1;
+    lk.unlock();
+    dispatch_remote(task, node);
+    lk.lock();
+  }
+}
+
+void* ClusterRuntime::node_addr_locked(NodeDirEntry& e, int node) {
+  if (node == 0) return e.region.ptr();
+  auto it = e.addr.find(node);
+  if (it != e.addr.end()) return it->second;
+  NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  auto offset = ns.segalloc->allocate(e.region.size);
+  if (!offset)
+    throw std::runtime_error("cluster: node data segment exhausted");
+  void* addr = ns.segment.get() + *offset;
+  e.addr[node] = addr;
+  return addr;
+}
+
+ClusterRuntime::NodeDirEntry& ClusterRuntime::dir_lookup_locked(const common::Region& r) {
+  auto [it, inserted] = dir_.try_emplace(r.start);
+  if (inserted) {
+    it->second.region = r;
+  } else if (!(it->second.region == r)) {
+    throw std::logic_error("cluster: copy region re-used with a different size");
+  }
+  return it->second;
+}
+
+void ClusterRuntime::record_write_locked(const common::Region& r, int node) {
+  NodeDirEntry& e = dir_lookup_locked(r);
+  ++e.version;
+  e.valid.clear();
+  e.valid.insert(node);
+}
+
+void ClusterRuntime::staged_locked(const common::Region& r, int node,
+                                   std::vector<std::function<void()>>& out) {
+  NodeDirEntry& e = dir_lookup_locked(r);
+  e.valid.insert(node);
+  auto it = e.staging_to.find(node);
+  if (it != e.staging_to.end()) {
+    stats_.add("cluster.transfer_latency", clock_.now() - it->second);
+    e.staging_to.erase(it);
+  }
+  stats_.incr("cluster.stagings");
+  // The landed copy can now serve the deferred destinations (tree fan-out).
+  std::vector<int> deferred = std::move(e.deferred);
+  e.deferred.clear();
+  for (int d : deferred) out.push_back(make_wire_action_locked(e, r, d));
+  // Waiters for this (region, node) copy.
+  auto range = region_waiters_.equal_range({r.start, node});
+  for (auto w = range.first; w != range.second; ++w) out.push_back(std::move(w->second));
+  region_waiters_.erase(range.first, range.second);
+}
+
+void ClusterRuntime::dispatch_local(Task* t, int releaser_resource) {
+  // Inputs produced on remote nodes must come home before node 0 executes.
+  auto pending = std::make_shared<int>(1);
+  auto pending_mu = std::make_shared<std::mutex>();
+  Runtime* master = nodes_[0].rt.get();
+  auto submit = [master, t, releaser_resource] { master->submit_external(t, releaser_resource); };
+  auto done = [pending, pending_mu, submit] {
+    bool fire;
+    {
+      std::lock_guard<std::mutex> lk(*pending_mu);
+      fire = --*pending == 0;
+    }
+    if (fire) submit();
+  };
+
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Access& a : t->accesses()) {
+      if (!a.copy || !reads(a.mode)) continue;
+      auto it = dir_.find(a.region.start);
+      if (it == dir_.end() || it->second.valid.count(0) != 0) continue;
+      {
+        std::lock_guard<std::mutex> plk(*pending_mu);
+        ++*pending;
+      }
+      auto action = stage_region_locked(a.region, 0, done);
+      if (action) actions.push_back(std::move(action));
+    }
+  }
+  for (auto& action : actions) action();
+  done();
+}
+
+void ClusterRuntime::dispatch_remote(Task* t, int node) {
+  auto* info = new RemoteTaskInfo;
+  info->dispatched_at = clock_.now();
+
+  // The send fires once every input region is resident on the target node.
+  auto pending = std::make_shared<int>(1);
+  auto pending_mu = std::make_shared<std::mutex>();
+  std::uint64_t ticket;
+  // Once staged, the task moves to the node's ready-to-send list; the send
+  // window (1 + presend outstanding on the slave) gates the actual send.
+  auto send = [this, info, node] {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      nodes_[static_cast<std::size_t>(node)].ready_to_send.push_back(info);
+      try_send_locked(node);
+    }
+    comm_mon_.notify_all();  // a staging slot may have opened
+  };
+  auto arm = [pending, pending_mu] {
+    std::lock_guard<std::mutex> lk(*pending_mu);
+    ++*pending;
+  };
+  auto done = [pending, pending_mu, send] {
+    bool fire;
+    {
+      std::lock_guard<std::mutex> lk(*pending_mu);
+      fire = --*pending == 0;
+    }
+    if (fire) send();
+  };
+
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ticket = next_ticket_++;
+    info->ticket = ticket;
+    info->master_task = t;
+    for (const Access& a : t->accesses()) {
+      RemoteAccess ra;
+      ra.master_region = a.region;
+      ra.mode = a.mode;
+      ra.copy = a.copy;
+      if (a.copy) {
+        NodeDirEntry& e = dir_lookup_locked(a.region);
+        ra.local_addr = node_addr_locked(e, node);
+        if (reads(a.mode) && e.valid.count(node) == 0) {
+          ra.freshly_staged = true;
+          arm();
+          auto action = stage_region_locked(a.region, node, done);
+          if (action) actions.push_back(std::move(action));
+        }
+      } else {
+        ra.local_addr = a.region.ptr();
+      }
+      info->accesses.push_back(ra);
+    }
+    in_flight_tasks_[ticket] = info;
+  }
+  for (auto& action : actions) action();
+  done();  // drop the initial token; sends if nothing needed staging
+}
+
+std::function<void()> ClusterRuntime::stage_region_locked(const common::Region& region, int node,
+                                                          std::function<void()> done) {
+  NodeDirEntry& e = dir_lookup_locked(region);
+  region_waiters_.emplace(std::make_pair(region.start, node), std::move(done));
+  if (e.staging_to.count(node) != 0) return nullptr;  // join the in-flight transfer
+  e.staging_to.emplace(node, clock_.now());
+  // Tree fan-out: if another copy of this region is already on the wire,
+  // wait for it and source from the new holder instead of piling onto the
+  // current one (with StoS; under MtoS everything relays via the master
+  // anyway, which is precisely its penalty).
+  if (cfg_.slave_to_slave && node != 0 && !e.staging_to.empty() && e.staging_to.size() > 1) {
+    e.deferred.push_back(node);
+    return nullptr;
+  }
+  return make_wire_action_locked(e, region, node);
+}
+
+std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
+                                                              const common::Region& region,
+                                                              int node) {
+  void* dst = node_addr_locked(e, node);
+  const std::size_t size = region.size;
+
+  // Slave nodes holding a current copy (rotating choice spreads source load
+  // as copies proliferate — the directory knows every source).
+  std::vector<int> holders;
+  for (int n : e.valid) {
+    if (n != 0 && n != node) holders.push_back(n);
+  }
+  int holder = holders.empty()
+                   ? -1
+                   : holders[static_cast<std::size_t>(holder_rr_++) % holders.size()];
+
+  if (node == 0) {
+    // Pull home (used by taskwait flush and the MtoS relay).
+    if (holder < 0) throw std::logic_error("cluster: pull with no slave holder");
+    PullMsg msg{region.start, size, e.addr.at(holder), region.ptr()};
+    simnet::Network* net = net_.get();
+    return [net, holder, msg] {
+      net->endpoint(0).am_short(holder, kPull, &msg, sizeof(msg));
+    };
+  }
+
+  if (cfg_.slave_to_slave && holder >= 0) {
+    // Direct slave-to-slave transfer (StoS).  Preferred over master-sourced
+    // puts even when the master also holds a copy: its NIC must stay free
+    // for control traffic and presends (paper §IV-B2).
+    ForwardMsg msg{region.start, size, e.addr.at(holder), node, dst};
+    simnet::Network* net = net_.get();
+    stats_.incr("cluster.stos_transfers");
+    return [net, holder, msg] {
+      net->endpoint(0).am_short(holder, kForward, &msg, sizeof(msg));
+    };
+  }
+
+  if (e.valid.count(0) != 0) {
+    // Master holds the current version (and either StoS is disabled or no
+    // slave has a copy): flush it off master GPUs if needed, then put it
+    // straight to the destination.
+    Runtime* master = nodes_[0].rt.get();
+    simnet::Network* net = net_.get();
+    return [this, master, net, region, node, dst, size] {
+      master->coherence().flush_region(region);
+      stats_.add("cluster.master_tx_bytes", static_cast<double>(size));
+      net->endpoint(0).put(
+          node, dst, region.ptr(), size, nullptr, [net, region, node, size] {
+            // Destination RX thread: acknowledge to the master.
+            StageDoneMsg msg{region.start, size, node};
+            net->endpoint(node).am_short(0, kStageDone, &msg, sizeof(msg));
+          });
+    };
+  }
+  if (holder < 0) throw std::logic_error("cluster: region valid nowhere");
+
+  // MtoS relay: stage to the master first, then forward from master memory.
+  stats_.incr("cluster.mtos_relays");
+  bool master_pull_needed = e.staging_to.count(0) == 0;
+  std::function<void()> pull_action;
+  if (master_pull_needed) {
+    e.staging_to.emplace(0, clock_.now());
+    PullMsg msg{region.start, size, e.addr.at(holder), region.ptr()};
+    simnet::Network* net = net_.get();
+    pull_action = [net, holder, msg] {
+      net->endpoint(0).am_short(holder, kPull, &msg, sizeof(msg));
+    };
+  }
+  // Once home, send it out to `node` (the waiter fires off the master RX
+  // thread with mu_ released).
+  Runtime* master = nodes_[0].rt.get();
+  simnet::Network* net = net_.get();
+  region_waiters_.emplace(std::make_pair(region.start, 0),
+                          [this, master, net, region, node, dst, size] {
+                            master->coherence().flush_region(region);
+                            stats_.add("cluster.master_tx_bytes", static_cast<double>(size));
+                            net->endpoint(0).put(node, dst, region.ptr(), size, nullptr,
+                                                 [net, region, node, size] {
+                                                   StageDoneMsg msg{region.start, size, node};
+                                                   net->endpoint(node).am_short(0, kStageDone,
+                                                                                &msg, sizeof(msg));
+                                                 });
+                          });
+  return pull_action;
+}
+
+void ClusterRuntime::try_send_locked(int node) {
+  NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  while (!ns.ready_to_send.empty() && ns.sent < 1 + cfg_.presend) {
+    RemoteTaskInfo* info = ns.ready_to_send.front();
+    ns.ready_to_send.pop_front();
+    --ns.preparing;
+    ++ns.sent;
+    info->sent_at = clock_.now();
+    stats_.add("cluster.stage_latency", info->sent_at - info->dispatched_at);
+    RemoteTaskInfo* p = info;
+    net_->endpoint(0).am_short(node, kNewTask, &p, sizeof(p));
+  }
+}
+
+void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
+  Runtime& rt = *nodes_[static_cast<std::size_t>(node)].rt;
+  TaskDesc d;
+  const TaskDesc& master_desc = info->master_task->desc();
+  d.fn = master_desc.fn;
+  d.device = master_desc.device;
+  d.cost = master_desc.cost;
+  d.label = master_desc.label;
+  for (const RemoteAccess& ra : info->accesses) {
+    Access a;
+    a.region = common::Region(ra.local_addr, ra.master_region.size);
+    a.mode = ra.mode;
+    a.copy = ra.copy;
+    d.accesses.push_back(a);
+    // Freshly staged bytes replace whatever the node's device caches held.
+    if (ra.freshly_staged) rt.coherence().host_overwritten(a.region);
+  }
+  std::uint64_t ticket = info->ticket;
+  simnet::Network* net = net_.get();
+  d.completion_cb = [net, node, ticket] {
+    net->endpoint(node).am_short(0, kTaskDone, &ticket, sizeof(ticket));
+  };
+  rt.spawn(std::move(d));
+}
+
+void ClusterRuntime::handle_task_done(std::uint64_t ticket) {
+  RemoteTaskInfo* info;
+  Task* t;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = in_flight_tasks_.find(ticket);
+    assert(it != in_flight_tasks_.end());
+    info = it->second;
+    in_flight_tasks_.erase(it);
+    t = info->master_task;
+    for (const RemoteAccess& ra : info->accesses) {
+      if (ra.copy && writes(ra.mode)) record_write_locked(ra.master_region, t->target_node);
+    }
+    stats_.add("cluster.exec_latency", clock_.now() - info->sent_at);
+    --nodes_[static_cast<std::size_t>(t->target_node)].sent;
+    try_send_locked(t->target_node);
+  }
+  delete info;
+  domain_->on_complete(t);
+  comm_mon_.notify_all();
+}
+
+void ClusterRuntime::handle_forward(int self, int /*src*/, const void* payload,
+                                    std::size_t bytes) {
+  auto msg = read_msg<ForwardMsg>(payload, bytes);
+  // Run off the RX thread: the flush may involve a GPU transfer, and the RX
+  // thread must stay responsive for incoming traffic.
+  post_comm_job(self, [this, self, msg] {
+    Runtime& rt = *nodes_[static_cast<std::size_t>(self)].rt;
+    // The current version may live on this node's GPU: bring it to node
+    // memory before putting it on the wire.
+    rt.coherence().flush_region(common::Region(msg.src_addr, msg.size));
+    simnet::Network* net = net_.get();
+    const std::uintptr_t start = msg.start;
+    const std::size_t size = msg.size;
+    const int dst = msg.dst_node;
+    net->endpoint(self).put(dst, msg.dst_addr, msg.src_addr, size, nullptr,
+                            [net, start, size, dst] {
+                              StageDoneMsg ack{start, size, dst};
+                              net->endpoint(dst).am_short(0, kStageDone, &ack, sizeof(ack));
+                            });
+  });
+}
+
+void ClusterRuntime::handle_pull(int self, const void* payload, std::size_t bytes) {
+  auto msg = read_msg<PullMsg>(payload, bytes);
+  post_comm_job(self, [this, self, msg] {
+    Runtime& rt = *nodes_[static_cast<std::size_t>(self)].rt;
+    rt.coherence().flush_region(common::Region(msg.src_addr, msg.size));
+    simnet::Network* net = net_.get();
+    ClusterRuntime* self_ptr = this;
+    const common::Region region(msg.start, msg.size);
+    net->endpoint(self).put(0, msg.master_addr, msg.src_addr, msg.size, nullptr,
+                            [self_ptr, region] {
+                              // Master RX thread: the region is home again.
+                              self_ptr->nodes_[0].rt->coherence().host_overwritten(region);
+                              std::vector<std::function<void()>> cbs;
+                              {
+                                std::lock_guard<std::mutex> lk(self_ptr->mu_);
+                                self_ptr->staged_locked(region, 0, cbs);
+                              }
+                              for (auto& cb : cbs) cb();
+                            });
+  });
+}
+
+void ClusterRuntime::taskwait_on(const common::Region& r) {
+  domain_->wait_on(r);
+  vt::CountLatch latch(clock_);
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = dir_.find(r.start);
+    if (it != dir_.end() && it->second.valid.count(0) == 0) {
+      latch.add();
+      auto action = stage_region_locked(it->second.region, 0, [&latch] { latch.done(); });
+      if (action) actions.push_back(std::move(action));
+    }
+  }
+  for (auto& a : actions) a();
+  latch.wait();
+  nodes_[0].rt->coherence().flush_region(r);
+}
+
+void ClusterRuntime::taskwait(bool flush) {
+  domain_->wait_all();
+  if (!flush) {
+    for (auto& ns : nodes_) ns.rt->rethrow_task_error();
+    return;
+  }
+  vt::CountLatch latch(clock_);
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [start, e] : dir_) {
+      if (e.valid.count(0) != 0) continue;
+      latch.add();
+      auto action = stage_region_locked(e.region, 0, [&latch] { latch.done(); });
+      if (action) actions.push_back(std::move(action));
+    }
+  }
+  for (auto& a : actions) a();
+  latch.wait();
+  nodes_[0].rt->coherence().flush_all();
+  // Surface task failures from any node (first one wins).
+  for (auto& ns : nodes_) ns.rt->rethrow_task_error();
+}
+
+}  // namespace nanos

@@ -1,0 +1,417 @@
+#include "nanos/coherence.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace nanos {
+
+CachePolicy parse_cache_policy(const std::string& s) {
+  if (s == "nocache") return CachePolicy::kNoCache;
+  if (s == "wt") return CachePolicy::kWriteThrough;
+  if (s == "wb") return CachePolicy::kWriteBack;
+  throw std::invalid_argument("unknown cache policy '" + s + "' (nocache|wt|wb)");
+}
+
+const char* to_string(CachePolicy p) {
+  switch (p) {
+    case CachePolicy::kNoCache: return "nocache";
+    case CachePolicy::kWriteThrough: return "wt";
+    case CachePolicy::kWriteBack: return "wb";
+  }
+  return "?";
+}
+
+CoherenceManager::CoherenceManager(vt::Clock& clock, simcuda::Platform& platform,
+                                   CachePolicy policy, bool overlap,
+                                   double host_memcpy_bandwidth, common::Stats& stats,
+                                   double eviction_overhead)
+    : clock_(clock),
+      platform_(platform),
+      policy_(policy),
+      overlap_(overlap),
+      host_bw_(host_memcpy_bandwidth),
+      eviction_overhead_(eviction_overhead),
+      stats_(stats),
+      busy_mon_(clock) {
+  xfer_streams_.reserve(static_cast<std::size_t>(platform_.device_count()));
+  for (int g = 0; g < platform_.device_count(); ++g)
+    xfer_streams_.push_back(platform_.device(g).create_stream());
+}
+
+CoherenceManager::~CoherenceManager() = default;
+
+void CoherenceManager::register_region(const common::Region& r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  (void)lookup_locked(r);
+}
+
+std::vector<CoherenceManager::RegionInfo*> CoherenceManager::overlapping_locked(
+    const common::Region& r) {
+  std::vector<RegionInfo*> out;
+  if (regions_.empty() || r.empty()) return out;
+  auto it = regions_.lower_bound(r.end());
+  while (it != regions_.begin()) {
+    --it;
+    if (it->second.region.overlaps(r)) out.push_back(&it->second);
+  }
+  return out;
+}
+
+CoherenceManager::RegionInfo& CoherenceManager::lookup_locked(const common::Region& r) {
+  auto [it, inserted] = regions_.try_emplace(r.start);
+  if (inserted) {
+    it->second.region = r;
+    // Partial overlap with neighbours is unsupported (paper §II-A3): the
+    // clause regions must tile, not straddle.
+    auto next = std::next(it);
+    if (next != regions_.end() && next->second.region.overlaps(r))
+      throw std::logic_error("coherence: partially overlapping copy regions are not supported");
+    if (it != regions_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.region.overlaps(r))
+        throw std::logic_error("coherence: partially overlapping copy regions are not supported");
+    }
+  } else if (!(it->second.region == r)) {
+    throw std::logic_error("coherence: copy region re-used with a different size");
+  }
+  return it->second;
+}
+
+void CoherenceManager::lock_region(std::unique_lock<std::mutex>& lk, RegionInfo& info) {
+  busy_mon_.wait(lk, [&info] { return !info.busy; });
+  info.busy = true;
+}
+
+void CoherenceManager::unlock_region(RegionInfo& info) {
+  info.busy = false;  // caller holds mu_
+  busy_mon_.notify_all();
+}
+
+void CoherenceManager::host_to_device(RegionInfo& info, int space, void* dev_ptr) {
+  simcuda::Device& d = dev(space);
+  simcuda::Stream* st = xfer_streams_[static_cast<std::size_t>(space - 1)];
+  const std::size_t n = info.region.size;
+  double trace_begin = trace_ ? trace_->begin() : 0;
+  stats_.incr("coh.h2d");
+  stats_.add("coh.h2d_bytes", static_cast<double>(n));
+  if (overlap_) {
+    // Stage through a page-locked buffer (allocated per datum, freed after
+    // the copy, §III-D2) so the transfer can overlap kernel execution.  The
+    // staging memcpy itself costs host-memory bandwidth.
+    void* pin = platform_.host_alloc_pinned(n);
+    std::memcpy(pin, info.region.ptr(), n);
+    clock_.sleep_for(static_cast<double>(n) / host_bw_);
+    d.memcpy_h2d_async(*st, dev_ptr, pin, n);
+    simcuda::Platform* plat = &platform_;
+    d.add_callback(*st, [plat, pin] { plat->host_free_pinned(pin); });
+  } else {
+    // Direct copy from user memory: blocks and serializes with kernels.
+    d.memcpy_h2d_async(*st, dev_ptr, info.region.ptr(), n);
+  }
+  if (trace_)
+    trace_->record("transfer", "gpu" + std::to_string(space - 1) + ".xfer", "h2d", trace_begin);
+}
+
+void CoherenceManager::device_to_host(RegionInfo& info, int space, void* dev_ptr) {
+  simcuda::Device& d = dev(space);
+  simcuda::Stream* st = xfer_streams_[static_cast<std::size_t>(space - 1)];
+  const std::size_t n = info.region.size;
+  double trace_begin = trace_ ? trace_->begin() : 0;
+  stats_.incr("coh.d2h");
+  stats_.add("coh.d2h_bytes", static_cast<double>(n));
+  if (overlap_) {
+    // Writebacks complete synchronously (the host copy must not be declared
+    // valid before data lands) but still run on the copy engine, so they
+    // overlap unrelated kernel work.
+    void* pin = platform_.host_alloc_pinned(n);
+    d.memcpy_d2h_async(*st, pin, dev_ptr, n);
+    st->synchronize();
+    std::memcpy(info.region.ptr(), pin, n);
+    clock_.sleep_for(static_cast<double>(n) / host_bw_);
+    platform_.host_free_pinned(pin);
+  } else {
+    d.memcpy_d2h_async(*st, info.region.ptr(), dev_ptr, n);  // blocking (unpinned)
+  }
+  if (trace_)
+    trace_->record("transfer", "gpu" + std::to_string(space - 1) + ".xfer", "d2h", trace_begin);
+}
+
+void CoherenceManager::fetch_to_host(RegionInfo& info) {
+  // Pick any GPU holding the current version.
+  int holder = -1;
+  for (int s : info.valid) {
+    if (s != kHostSpace) {
+      holder = s;
+      break;
+    }
+  }
+  if (holder < 0)
+    throw std::logic_error("coherence: region has no valid copy anywhere");
+  Copy& c = info.copies.at(holder);
+  device_to_host(info, holder, c.dev_ptr);
+  c.dirty = false;
+}
+
+void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int space,
+                                        std::size_t bytes) {
+  for (;;) {
+    void* p = dev(space).malloc(bytes);
+    if (p != nullptr) return p;
+    // Evict the least-recently-used unpinned, non-busy entry on this device.
+    RegionInfo* victim_info = nullptr;
+    std::uint64_t best = UINT64_MAX;
+    for (auto& [start, info] : regions_) {
+      if (info.busy) continue;
+      auto it = info.copies.find(space);
+      if (it == info.copies.end() || it->second.pins > 0 || it->second.dev_ptr == nullptr)
+        continue;
+      if (it->second.lru < best) {
+        best = it->second.lru;
+        victim_info = &info;
+      }
+    }
+    if (victim_info == nullptr)
+      throw std::runtime_error("coherence: device out of memory and nothing evictable");
+    stats_.incr("coh.evictions");
+    victim_info->busy = true;
+    Copy victim = victim_info->copies.at(space);
+    const bool only_current_copy = victim.version == victim_info->version &&
+                                   victim_info->valid.count(space) != 0 &&
+                                   victim_info->valid.count(kHostSpace) == 0;
+    lk.unlock();
+    // Replacement-mechanism bookkeeping (victim scan, directory update),
+    // then the writeback if the victim holds the only current copy.
+    if (eviction_overhead_ > 0) clock_.sleep_for(eviction_overhead_);
+    if (only_current_copy) device_to_host(*victim_info, space, victim.dev_ptr);
+    dev(space).free(victim.dev_ptr);
+    lk.lock();
+    if (only_current_copy) victim_info->valid.insert(kHostSpace);
+    victim_info->valid.erase(space);
+    victim_info->copies.erase(space);
+    unlock_region(*victim_info);
+  }
+}
+
+std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
+  std::vector<void*> out;
+  out.reserve(t.accesses().size());
+  for (const Access& a : t.accesses()) {
+    if (!a.copy || a.region.empty()) {
+      out.push_back(a.region.ptr());
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (space == kHostSpace) {
+      // Host access: make every overlapping device-held region current at
+      // home.  Works on the overlapping set so a parent's whole-array access
+      // composes with children's sub-block copies.
+      if (reads(a.mode)) {
+        for (RegionInfo* sub : overlapping_locked(a.region)) {
+          lock_region(lk, *sub);
+          if (sub->valid.count(kHostSpace) == 0) {
+            stats_.incr("coh.host_misses");
+            lk.unlock();
+            fetch_to_host(*sub);
+            lk.lock();
+            sub->valid.insert(kHostSpace);
+          }
+          unlock_region(*sub);
+        }
+      }
+      out.push_back(a.region.ptr());
+    } else {
+      RegionInfo& info = lookup_locked(a.region);
+      lock_region(lk, info);
+      auto it = info.copies.find(space);
+      const bool have_entry = it != info.copies.end() && it->second.dev_ptr != nullptr;
+      const bool hit = have_entry && it->second.version == info.version &&
+                       info.valid.count(space) != 0;
+      if (reads(a.mode) && !hit) {
+        stats_.incr("coh.misses");
+        if (info.valid.count(kHostSpace) == 0) {
+          // Current data lives on another GPU: stage through the host
+          // (GPU -> host -> target GPU, the paper's hierarchical path).
+          lk.unlock();
+          fetch_to_host(info);
+          lk.lock();
+          info.valid.insert(kHostSpace);
+        }
+        void* dptr = have_entry ? it->second.dev_ptr : alloc_on_device(lk, space, a.region.size);
+        lk.unlock();
+        host_to_device(info, space, dptr);
+        lk.lock();
+        Copy& c = info.copies[space];
+        c.dev_ptr = dptr;
+        c.version = info.version;
+        c.dirty = false;
+        info.valid.insert(space);
+      } else if (reads(a.mode)) {
+        stats_.incr("coh.hits");
+      } else if (!have_entry) {
+        // Pure output: allocate space, no transfer in.
+        void* dptr = alloc_on_device(lk, space, a.region.size);
+        Copy& c = info.copies[space];
+        c.dev_ptr = dptr;
+        c.version = info.version;  // stale until release bumps it
+        c.dirty = false;
+      }
+      Copy& c = info.copies.at(space);
+      ++c.pins;
+      c.lru = ++lru_tick_;
+      out.push_back(c.dev_ptr);
+      unlock_region(info);
+    }
+  }
+  return out;
+}
+
+void CoherenceManager::release(Task& t, int space) {
+  for (const Access& a : t.accesses()) {
+    if (!a.copy || a.region.empty()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (space == kHostSpace) {
+      if (!writes(a.mode)) continue;
+      // A host write invalidates device copies.  Only an exact-identity
+      // region is clobbered; entries strictly *contained* in the written
+      // range belong to child tasks whose device-resident results must be
+      // preserved (the nested-decomposition pattern of §III-D1).
+      for (RegionInfo* sub : overlapping_locked(a.region)) {
+        if (!(sub->region == a.region)) continue;
+        lock_region(lk, *sub);
+        ++sub->version;
+        sub->valid.clear();
+        sub->valid.insert(kHostSpace);
+        unlock_region(*sub);
+      }
+      continue;
+    }
+    RegionInfo& info = lookup_locked(a.region);
+    lock_region(lk, info);
+    if (writes(a.mode)) {
+      ++info.version;
+      info.valid.clear();
+      info.valid.insert(space);
+      Copy& cw = info.copies.at(space);
+      cw.version = info.version;
+      cw.dirty = true;
+    }
+    {
+      Copy& c = info.copies.at(space);
+      const bool wrote = writes(a.mode);
+      const bool propagate = (policy_ == CachePolicy::kNoCache ||
+                              policy_ == CachePolicy::kWriteThrough) &&
+                             wrote;
+      if (propagate) {
+        lk.unlock();
+        device_to_host(info, space, c.dev_ptr);
+        lk.lock();
+        info.valid.insert(kHostSpace);
+        c.dirty = false;
+      }
+      --c.pins;
+      if (policy_ == CachePolicy::kNoCache && c.pins == 0) {
+        // Data moves out after every task: drop the device copy entirely.
+        void* dptr = c.dev_ptr;
+        info.valid.erase(space);
+        if (wrote || info.valid.count(kHostSpace) != 0) {
+          info.copies.erase(space);
+          dev(space).free(dptr);
+        }
+      }
+    }
+    unlock_region(info);
+  }
+}
+
+void CoherenceManager::sync_transfers(int space) {
+  if (space == kHostSpace) return;
+  xfer_streams_.at(static_cast<std::size_t>(space - 1))->synchronize();
+}
+
+void CoherenceManager::host_overwritten(const common::Region& r) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (RegionInfo* info : overlapping_locked(r)) {
+    lock_region(lk, *info);
+    ++info->version;
+    info->valid.clear();
+    info->valid.insert(kHostSpace);
+    unlock_region(*info);
+  }
+}
+
+void CoherenceManager::flush_region(const common::Region& r) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (RegionInfo* info : overlapping_locked(r)) {
+    lock_region(lk, *info);
+    if (info->valid.count(kHostSpace) == 0) {
+      lk.unlock();
+      fetch_to_host(*info);
+      lk.lock();
+      info->valid.insert(kHostSpace);
+    }
+    unlock_region(*info);
+  }
+}
+
+void CoherenceManager::flush_all() {
+  // Group dirty regions by holding device and drain each device's list on
+  // its own thread: flushes of different GPUs proceed in parallel (only the
+  // per-device transfer stream serializes), which matters when a taskwait
+  // flush sits on the critical path (e.g. the Perlin Flush variant).
+  std::vector<std::vector<common::Region>> per_dev(
+      static_cast<std::size_t>(platform_.device_count()));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [start, info] : regions_) {
+      if (info.valid.count(kHostSpace) != 0) continue;
+      for (int s : info.valid) {
+        if (s != kHostSpace) {
+          per_dev[static_cast<std::size_t>(s - 1)].push_back(info.region);
+          break;
+        }
+      }
+    }
+  }
+  std::vector<vt::Thread> flushers;
+  for (std::size_t d = 0; d < per_dev.size(); ++d) {
+    if (per_dev[d].empty()) continue;
+    auto list = std::move(per_dev[d]);
+    flushers.emplace_back(clock_, "flush" + std::to_string(d), [this, list = std::move(list)] {
+      for (const common::Region& r : list) flush_region(r);
+    });
+  }
+  for (auto& t : flushers) t.join();
+}
+
+double CoherenceManager::affinity_bytes(const Task& t, int space) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  double bytes = 0;
+  for (const Access& a : t.accesses()) {
+    if (!a.copy) continue;
+    // Written regions dominate the score: keeping an accumulation chain
+    // where its output lives avoids the round trip of a dirty tile, which
+    // is costlier than re-fetching a read-only input.
+    const double weight = writes(a.mode) ? 4.0 : 1.0;
+    auto it = regions_.find(a.region.start);
+    if (it == regions_.end()) {
+      // Data the runtime never moved lives in host memory.
+      if (space == kHostSpace) bytes += static_cast<double>(a.region.size);
+      continue;
+    }
+    const RegionInfo& info = it->second;
+    if (space == kHostSpace) {
+      if (info.valid.count(kHostSpace) != 0) bytes += static_cast<double>(a.region.size);
+    } else {
+      auto c = info.copies.find(space);
+      if (c != info.copies.end() && c->second.version == info.version &&
+          info.valid.count(space) != 0)
+        bytes += weight * static_cast<double>(a.region.size);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace nanos

@@ -1,0 +1,159 @@
+// Coherence layer: directory + per-device software caches (paper §III-C3).
+//
+// A directory entry per user region tracks the current version number and the
+// set of address spaces holding that version (space 0 = host, 1+g = GPU g).
+// Each GPU has a software cache of device copies.  Three policies:
+//
+//  * no-cache      — data moves in before and out after every task; device
+//                    copies are freed immediately (the paper's baseline).
+//  * write-through — writes propagate to host memory at task completion, but
+//                    read copies stay cached for reuse.
+//  * write-back    — writes stay on the device until the copy is evicted, a
+//                    host consumer needs it, or a taskwait flushes (default).
+//
+// Capacity: device allocations go through simcuda's bounded allocator; on
+// failure the least-recently-used unpinned entry is evicted (written back
+// first if it holds the only current copy).  This is the mechanism behind the
+// paper's N-Body result, where eviction pressure makes no-cache win (Fig. 8).
+//
+// Transfers: with `overlap` enabled, copies stage through page-locked buffers
+// (allocated per datum and freed after use, §III-D2) so they can run on the
+// copy engine concurrently with kernels; the staging memcpy is charged at
+// host-memory bandwidth.  With overlap disabled, copies go directly from/to
+// user memory: simcuda then serializes them with kernels, like CUDA does.
+//
+// Locking: metadata under one mutex; wire transfers always happen with the
+// mutex released, guarded by per-region busy flags (so concurrent fetches of
+// different regions proceed in parallel, and same-region operations
+// serialize).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "nanos/task.hpp"
+#include "nanos/trace.hpp"
+#include "simcuda/simcuda.hpp"
+#include "vt/sync.hpp"
+
+namespace nanos {
+
+enum class CachePolicy { kNoCache, kWriteThrough, kWriteBack };
+
+CachePolicy parse_cache_policy(const std::string& s);
+const char* to_string(CachePolicy p);
+
+class CoherenceManager {
+public:
+  static constexpr int kHostSpace = 0;
+
+  /// `eviction_overhead`: simulated seconds of cache-replacement bookkeeping
+  /// charged per evicted entry (victim scan, directory update, allocator
+  /// churn) — the cost of the paper's "replacement mechanism", visible when
+  /// the working set exceeds device memory (Fig. 8).
+  CoherenceManager(vt::Clock& clock, simcuda::Platform& platform, CachePolicy policy,
+                   bool overlap, double host_memcpy_bandwidth, common::Stats& stats,
+                   double eviction_overhead = 20e-6);
+  ~CoherenceManager();
+
+  CoherenceManager(const CoherenceManager&) = delete;
+  CoherenceManager& operator=(const CoherenceManager&) = delete;
+
+  /// Makes every copy access of `t` valid in `space` and returns the
+  /// translated pointer per access (host pointer for dependence-only or SMP).
+  /// Issues/waits transfers as needed; pins device entries until release().
+  std::vector<void*> acquire(Task& t, int space);
+
+  /// Post-execution bookkeeping: bumps versions for written regions, applies
+  /// the cache policy (write-through/no-cache writebacks), unpins entries.
+  void release(Task& t, int space);
+
+  /// Makes the host copy of every region current (taskwait's implicit flush).
+  void flush_all();
+
+  /// Flushes one region to the host (taskwait on(...)).  Unknown regions are
+  /// a no-op: data that never moved is already current.
+  void flush_region(const common::Region& r);
+
+  /// Blocks until all transfers issued for GPU `space` have completed.  GPU
+  /// managers call this between acquire() and the kernel launch; with
+  /// overlap+prefetch the wait usually lands while the previous kernel runs.
+  void sync_transfers(int space);
+
+  /// Host bytes of `t`'s copy accesses already valid in `space` — the
+  /// locality-aware scheduler's affinity score input.
+  double affinity_bytes(const Task& t, int space) const;
+
+  /// Registers a region explicitly (optional; acquire auto-registers).
+  void register_region(const common::Region& r);
+
+  /// Declares that the host bytes of `r` were replaced from outside this
+  /// manager (e.g. the cluster layer staged fresh data into the node): any
+  /// device copy becomes stale.  Unknown regions are a no-op.
+  void host_overwritten(const common::Region& r);
+
+  CachePolicy policy() const { return policy_; }
+
+  /// Optional instrumentation sink for transfer intervals.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+private:
+  struct Copy {
+    void* dev_ptr = nullptr;
+    unsigned version = 0;
+    bool dirty = false;
+    int pins = 0;
+    std::uint64_t lru = 0;
+  };
+  struct RegionInfo {
+    common::Region region;
+    unsigned version = 0;
+    std::set<int> valid{kHostSpace};  // spaces holding the current version
+    std::map<int, Copy> copies;       // gpu space -> device copy
+    bool busy = false;                // a transfer for this region is running
+  };
+
+  simcuda::Device& dev(int space) { return platform_.device(space - 1); }
+
+  RegionInfo& lookup_locked(const common::Region& r);
+  /// Every registered region overlapping `r`.  Host-side operations
+  /// (acquire/release on SMP, flushes, external overwrites) work on the
+  /// overlapping set so a parent task's whole-array access composes with its
+  /// children's sub-block device copies.
+  std::vector<RegionInfo*> overlapping_locked(const common::Region& r);
+  void lock_region(std::unique_lock<std::mutex>& lk, RegionInfo& info);
+  void unlock_region(RegionInfo& info);
+
+  // Wire operations; called with `info.busy` held and mu_ released.
+  void host_to_device(RegionInfo& info, int space, void* dev_ptr);
+  void device_to_host(RegionInfo& info, int space, void* dev_ptr);
+  // Ensures host holds the current version. busy held.
+  void fetch_to_host(RegionInfo& info);
+
+  /// Allocates device memory for `bytes` on `space`, evicting LRU unpinned
+  /// entries (with writeback) until it fits.  mu_ held on entry and exit;
+  /// may release it around eviction writebacks.
+  void* alloc_on_device(std::unique_lock<std::mutex>& lk, int space, std::size_t bytes);
+
+  vt::Clock& clock_;
+  simcuda::Platform& platform_;
+  CachePolicy policy_;
+  bool overlap_;
+  double host_bw_;
+  double eviction_overhead_;
+  common::Stats& stats_;
+  TraceRecorder* trace_ = nullptr;
+
+  mutable std::mutex mu_;
+  vt::Monitor busy_mon_;
+  std::map<std::uintptr_t, RegionInfo> regions_;
+  std::uint64_t lru_tick_ = 0;
+  std::vector<simcuda::Stream*> xfer_streams_;  // one per device
+};
+
+}  // namespace nanos

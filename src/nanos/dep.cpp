@@ -1,0 +1,105 @@
+#include "nanos/dep.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nanos {
+
+void DependencyDomain::submit(Task* t) {
+  t->domain = this;
+  live_.add();
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    t->pending_preds = 0;
+    for (const Access& a : t->accesses()) {
+      // Arcs against the current state of every overlapping record.
+      for (RegionRecord* rec : overlapping_locked(a.region)) {
+        if (reads(a.mode)) add_arc_locked(rec->last_writer, t);  // RAW
+        if (writes(a.mode)) {
+          add_arc_locked(rec->last_writer, t);                   // WAW
+          for (Task* r : rec->readers_since_write) add_arc_locked(r, t);  // WAR
+        }
+      }
+      // State update.  Writers become the last writer of every overlapping
+      // record; an exact record is created if none exists for this region.
+      auto [it, inserted] = records_.try_emplace(a.region.start);
+      if (inserted) {
+        it->second.region = a.region;
+      } else if (!(it->second.region == a.region)) {
+        // Same start, different size: conservatively grow the record.
+        it->second.region.size = std::max(it->second.region.size, a.region.size);
+      }
+      if (writes(a.mode)) {
+        for (RegionRecord* rec : overlapping_locked(a.region)) {
+          rec->last_writer = t;
+          rec->readers_since_write.clear();
+        }
+      } else {
+        it->second.readers_since_write.push_back(t);
+      }
+    }
+    ready = t->pending_preds == 0;
+  }
+  if (ready) on_ready_(t, nullptr);
+}
+
+void DependencyDomain::on_complete(Task* t) {
+  std::vector<Task*> released;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Purge the completed task from the region state so future arcs are not
+    // created against it (its data is settled).
+    for (auto& [start, rec] : records_) {
+      if (rec.last_writer == t) rec.last_writer = nullptr;
+      auto& rs = rec.readers_since_write;
+      rs.erase(std::remove(rs.begin(), rs.end(), t), rs.end());
+    }
+    for (Task* succ : t->successors) {
+      assert(succ->pending_preds > 0);
+      if (--succ->pending_preds == 0) released.push_back(succ);
+    }
+    t->successors.clear();
+  }
+  t->done_flag().set();
+  for (Task* succ : released) on_ready_(succ, t);
+  live_.done();
+}
+
+void DependencyDomain::wait_all() { live_.wait(); }
+
+void DependencyDomain::wait_on(const common::Region& r) {
+  std::vector<Task*> producers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (RegionRecord* rec : overlapping_locked(r)) {
+      if (rec->last_writer != nullptr) producers.push_back(rec->last_writer);
+    }
+  }
+  for (Task* p : producers) p->done_flag().wait();
+}
+
+void DependencyDomain::add_arc_locked(Task* pred, Task* succ) {
+  if (pred == nullptr || pred == succ) return;
+  pred->successors.push_back(succ);
+  ++succ->pending_preds;
+}
+
+std::vector<DependencyDomain::RegionRecord*> DependencyDomain::overlapping_locked(
+    const common::Region& r) {
+  std::vector<RegionRecord*> out;
+  if (records_.empty() || r.empty()) return out;
+  // Candidate records start strictly before r.end(); walk back from there.
+  auto it = records_.lower_bound(r.end());
+  while (it != records_.begin()) {
+    --it;
+    if (it->second.region.overlaps(r)) out.push_back(&it->second);
+    // Records are sorted by start; once a record starts at/before r.start and
+    // does not overlap, nothing earlier can overlap either — unless an
+    // earlier record is larger.  Records may have arbitrary sizes, so keep
+    // scanning; region counts are block counts (small) in practice.
+  }
+  return out;
+}
+
+}  // namespace nanos

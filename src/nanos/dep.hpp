@@ -1,0 +1,72 @@
+// Dependency layer: builds the task DAG from input/output/inout clauses.
+//
+// Arcs are created for read-after-write, write-after-read and
+// write-after-write pairs (paper §III-C1).  The OmpSs model only connects
+// *sibling* tasks: each parent task owns a DependencyDomain for its children,
+// which is what makes the graph hierarchical and distributable.
+//
+// Region matching is conservative: any byte overlap creates a dependence.
+// (The paper's implementation does not support *partial* overlap semantics;
+// distinct-but-overlapping regions are therefore ordered, never split.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "nanos/task.hpp"
+#include "vt/sync.hpp"
+
+namespace nanos {
+
+/// Called when a task has no unsatisfied predecessors left and can be handed
+/// to the scheduler.  `releaser` is the just-finished predecessor (nullptr
+/// when the task was ready at submission) — the "dependencies" scheduling
+/// policy uses it to run successors on the releasing resource.
+using ReadyCallback = std::function<void(Task*, Task* releaser)>;
+
+class DependencyDomain {
+public:
+  DependencyDomain(vt::Clock& clock, ReadyCallback on_ready)
+      : clock_(clock), live_(clock), on_ready_(std::move(on_ready)) {}
+
+  /// Adds `t` to the graph.  If all its predecessors already completed the
+  /// ready callback fires inside this call.
+  void submit(Task* t);
+
+  /// Marks `t` complete; releases successors (firing ready callbacks for
+  /// those whose last predecessor this was).
+  void on_complete(Task* t);
+
+  /// Blocks until every task submitted so far has completed (taskwait).
+  void wait_all();
+
+  /// Blocks until the data produced into `r` (by the last writer submitted so
+  /// far) is available — the paper's `taskwait on(...)`.
+  void wait_on(const common::Region& r);
+
+  std::size_t live_tasks() const { return live_.pending(); }
+
+private:
+  struct RegionRecord {
+    common::Region region;
+    Task* last_writer = nullptr;
+    std::vector<Task*> readers_since_write;
+  };
+
+  // Adds an arc pred -> succ unless pred already completed. mu_ held.
+  void add_arc_locked(Task* pred, Task* succ);
+  // All records overlapping r.  mu_ held.
+  std::vector<RegionRecord*> overlapping_locked(const common::Region& r);
+
+  vt::Clock& clock_;
+  std::mutex mu_;
+  vt::CountLatch live_;
+  ReadyCallback on_ready_;
+  std::map<std::uintptr_t, RegionRecord> records_;  // keyed by region start
+  std::map<Task*, bool> completed_;                 // live graph nodes -> done?
+};
+
+}  // namespace nanos

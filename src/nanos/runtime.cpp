@@ -1,0 +1,261 @@
+#include "nanos/runtime.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace nanos {
+
+namespace {
+thread_local Task* t_current_task = nullptr;
+thread_local Runtime* t_current_runtime = nullptr;
+
+struct CurrentTaskScope {
+  CurrentTaskScope(Runtime* rt, Task* t)
+      : prev_task(t_current_task), prev_rt(t_current_runtime) {
+    t_current_task = t;
+    t_current_runtime = rt;
+  }
+  ~CurrentTaskScope() {
+    t_current_task = prev_task;
+    t_current_runtime = prev_rt;
+  }
+  Task* prev_task;
+  Runtime* prev_rt;
+};
+}  // namespace
+
+RuntimeConfig RuntimeConfig::from(const common::Config& c) {
+  RuntimeConfig cfg;
+  cfg.scheduler = c.get_string("scheduler", cfg.scheduler);
+  cfg.cache_policy = c.get_string("cache", cfg.cache_policy);
+  cfg.overlap = c.get_bool("overlap", cfg.overlap);
+  cfg.prefetch = c.get_bool("prefetch", cfg.prefetch);
+  cfg.smp_workers = static_cast<int>(c.get_int("smp_workers", cfg.smp_workers));
+  cfg.smp_gflops = c.get_double("smp_gflops", cfg.smp_gflops);
+  cfg.host_memcpy_bandwidth = c.get_double("host_bw", cfg.host_memcpy_bandwidth);
+  cfg.trace_path = c.get_string("trace", cfg.trace_path);
+  cfg.presend = static_cast<int>(c.get_int("presend", cfg.presend));
+  cfg.slave_to_slave = c.get_bool("stos", cfg.slave_to_slave);
+  int gpus = static_cast<int>(c.get_int("gpus", 0));
+  for (int i = 0; i < gpus; ++i) cfg.gpus.emplace_back();
+  return cfg;
+}
+
+Task* Runtime::current_task() { return t_current_task; }
+
+Runtime* Runtime::current_runtime() { return t_current_runtime; }
+
+Runtime::Runtime(vt::Clock& clock, RuntimeConfig cfg)
+    : clock_(clock), cfg_(std::move(cfg)), platform_(clock, cfg_.gpus) {
+  if (!cfg_.trace_path.empty()) trace_ = std::make_unique<TraceRecorder>(clock_);
+  coherence_ = std::make_unique<CoherenceManager>(
+      clock_, platform_, parse_cache_policy(cfg_.cache_policy), cfg_.overlap,
+      cfg_.host_memcpy_bandwidth, stats_, cfg_.eviction_overhead);
+  coherence_->set_trace(trace_.get());
+
+  std::vector<DeviceKind> kinds;
+  for (int i = 0; i < cfg_.smp_workers; ++i) kinds.push_back(DeviceKind::kSmp);
+  for (int g = 0; g < platform_.device_count(); ++g) kinds.push_back(DeviceKind::kCuda);
+
+  const int smp_workers = cfg_.smp_workers;
+  AffinityFn affinity = [this, smp_workers](const Task& t, int resource) {
+    int space = resource < smp_workers ? CoherenceManager::kHostSpace
+                                       : resource - smp_workers + 1;
+    return coherence_->affinity_bytes(t, space);
+  };
+  sched_ = Scheduler::create(cfg_.scheduler, clock_, kinds, std::move(affinity));
+
+  root_domain_ = std::make_unique<DependencyDomain>(
+      clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); });
+
+  vt::Hold hold(clock_);
+  for (int g = 0; g < platform_.device_count(); ++g)
+    compute_streams_.push_back(platform_.device(g).create_stream());
+  for (int i = 0; i < cfg_.smp_workers; ++i) {
+    threads_.emplace_back(
+        clock_, "smp" + std::to_string(i), [this, i] { worker_loop(i); }, /*service=*/true);
+  }
+  for (int g = 0; g < platform_.device_count(); ++g) {
+    int resource = cfg_.smp_workers + g;
+    threads_.emplace_back(
+        clock_, "gpumgr" + std::to_string(g),
+        [this, resource, g] { gpu_manager_loop(resource, g); }, /*service=*/true);
+  }
+}
+
+Runtime::~Runtime() {
+  sched_->shutdown();
+  for (auto& t : threads_) t.join();
+  if (trace_ && !trace_->write(cfg_.trace_path))
+    LOG_WARN("could not write trace to ", cfg_.trace_path);
+}
+
+DependencyDomain& Runtime::domain_for_spawn() {
+  Task* cur = current_task();
+  if (cur == nullptr) return *root_domain_;
+  if (!cur->child_domain) {
+    cur->child_domain = std::make_unique<DependencyDomain>(
+        clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); });
+  }
+  return *cur->child_domain;
+}
+
+Task* Runtime::allocate_task(TaskDesc desc) {
+  std::lock_guard<std::mutex> lk(tasks_mu_);
+  tasks_.push_back(std::make_unique<Task>(next_task_id_++, std::move(desc), clock_));
+  return tasks_.back().get();
+}
+
+Task* Runtime::spawn(TaskDesc desc) {
+  Task* t = allocate_task(std::move(desc));
+  stats_.incr("tasks.spawned");
+  domain_for_spawn().submit(t);
+  return t;
+}
+
+void Runtime::on_ready(Task* t, Task* releaser) {
+  sched_->submit(t, releaser != nullptr ? releaser->resource : -1);
+}
+
+bool Runtime::has_task_error() const {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  return task_error_ != nullptr;
+}
+
+void Runtime::record_task_error(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lk(error_mu_);
+  if (!task_error_) task_error_ = std::move(e);  // first error wins
+  stats_.incr("tasks.failed");
+}
+
+void Runtime::rethrow_task_error() {
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    std::swap(e, task_error_);
+  }
+  if (e) std::rethrow_exception(e);
+}
+
+void Runtime::taskwait(bool flush) {
+  Task* cur = current_task();
+  if (cur != nullptr) {
+    if (cur->child_domain) cur->child_domain->wait_all();
+  } else {
+    root_domain_->wait_all();
+  }
+  if (flush) coherence_->flush_all();
+  rethrow_task_error();
+}
+
+void Runtime::taskwait_on(const common::Region& r) {
+  Task* cur = current_task();
+  DependencyDomain& dom =
+      cur != nullptr && cur->child_domain ? *cur->child_domain : *root_domain_;
+  dom.wait_on(r);
+  coherence_->flush_region(r);
+}
+
+void Runtime::worker_loop(int resource) {
+  for (;;) {
+    Task* t = sched_->get(resource);
+    if (t == nullptr) return;
+    run_smp_task(t, resource);
+  }
+}
+
+void Runtime::run_smp_task(Task* t, int resource) {
+  double trace_begin = trace_ ? trace_->begin() : 0;
+  std::vector<void*> ptrs = coherence_->acquire(*t, CoherenceManager::kHostSpace);
+  // SMP compute time from the cost model (real body work is free in vt).
+  double duration = t->desc().cost.flops / (cfg_.smp_gflops * 1e9);
+  if (duration > 0) clock_.sleep_for(duration);
+  {
+    CurrentTaskScope scope(this, t);
+    TaskContext ctx(*this, *t, std::move(ptrs), nullptr, nullptr, cfg_.node_id);
+    try {
+      if (t->desc().fn) t->desc().fn(ctx);
+    } catch (const vt::Cancelled&) {
+      throw;  // simulation unwinding, not an application error
+    } catch (...) {
+      // A failing task must not kill the worker: capture the error, let the
+      // graph settle, and surface it at the next taskwait.
+      record_task_error(std::current_exception());
+    }
+    // Implicit wait for children: a parent is not complete before its
+    // descendants are (the data they produced is part of its effects).
+    if (t->child_domain) t->child_domain->wait_all();
+  }
+  coherence_->release(*t, CoherenceManager::kHostSpace);
+  if (trace_) trace_->record("task", "smp" + std::to_string(resource), t->label(), trace_begin);
+  finish_task(t, resource);
+}
+
+void Runtime::gpu_manager_loop(int resource, int gpu) {
+  const int space = gpu + 1;
+  simcuda::Device& dev = platform_.device(gpu);
+  simcuda::Stream* compute = compute_streams_[static_cast<std::size_t>(gpu)];
+
+  Task* next = nullptr;
+  std::vector<void*> next_ptrs;
+  for (;;) {
+    Task* t;
+    std::vector<void*> ptrs;
+    if (next != nullptr) {
+      t = next;
+      ptrs = std::move(next_ptrs);
+      next = nullptr;
+    } else {
+      t = sched_->get(resource);
+      if (t == nullptr) return;
+      ptrs = coherence_->acquire(*t, space);
+    }
+    double trace_begin = trace_ ? trace_->begin() : 0;
+    // Inputs must be resident before the kernel starts.
+    coherence_->sync_transfers(space);
+
+    simcuda::Event done(clock_);
+    {
+      // The task body runs as the kernel payload on the device, operating on
+      // the translated (device-memory) pointers.
+      TaskContext ctx(*this, *t, std::move(ptrs), &dev, compute, cfg_.node_id);
+      TaskFn fn = t->desc().fn;
+      Runtime* rt = this;
+      dev.launch_kernel(*compute, t->desc().cost, [rt, fn = std::move(fn), ctx]() mutable {
+        try {
+          if (fn) fn(ctx);
+        } catch (...) {
+          // Kernel payloads run on the device engine; a failure there must
+          // not kill the engine thread either.
+          rt->record_task_error(std::current_exception());
+        }
+      });
+    }
+    dev.record_event(*compute, done);
+
+    if (cfg_.prefetch) {
+      // Acquire the next task's data while the kernel runs (paper §III-D2).
+      next = sched_->try_get(resource);
+      if (next != nullptr) next_ptrs = coherence_->acquire(*next, space);
+    }
+
+    done.synchronize();
+    coherence_->release(*t, space);
+    if (trace_) trace_->record("task", "gpu" + std::to_string(gpu), t->label(), trace_begin);
+    finish_task(t, resource);
+  }
+}
+
+void Runtime::finish_task(Task* t, int resource) {
+  stats_.incr("tasks.executed");
+  t->resource = resource;
+  if (t->desc().completion_cb) t->desc().completion_cb();
+  t->domain->on_complete(t);
+}
+
+void Runtime::submit_external(Task* t, int releaser_resource) {
+  sched_->submit(t, releaser_resource);
+}
+
+}  // namespace nanos

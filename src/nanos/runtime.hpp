@@ -1,0 +1,142 @@
+// The Nanos++ runtime (single node): ties together the dependency layer, the
+// scheduler, the coherence layer and the simulated GPU platform.
+//
+// Execution flow of a task (paper §III-C): submitted to the dependency
+// graph → when its inputs are settled, handed to the scheduler → a worker
+// (SMP) or GPU manager thread picks it → the coherence layer stages its data
+// into the executing address space → it runs → the graph releases its
+// successors.
+//
+// One GPU manager thread per GPU (paper §III-D2) launches kernels, issues
+// transfers, and — when prefetch is enabled — acquires the *next* task's data
+// while the current kernel executes, which only pays off combined with the
+// overlap option (pinned staging), exactly as the paper observes.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "nanos/coherence.hpp"
+#include "nanos/dep.hpp"
+#include "nanos/scheduler.hpp"
+#include "nanos/task.hpp"
+#include "nanos/trace.hpp"
+#include "simcuda/simcuda.hpp"
+#include "vt/clock.hpp"
+
+namespace nanos {
+
+struct RuntimeConfig {
+  std::string scheduler = "dep";      ///< bf | dep | affinity
+  std::string cache_policy = "wb";    ///< nocache | wt | wb
+  bool overlap = false;               ///< pinned staging + async transfers
+  bool prefetch = false;              ///< GPU managers pre-acquire next task
+  int smp_workers = 4;
+  std::vector<simcuda::DeviceProps> gpus;
+  double smp_gflops = 10.0;           ///< per-core rate pricing SMP tasks
+  double host_memcpy_bandwidth = 8.0e9;
+  double eviction_overhead = 20.0e-6; ///< replacement bookkeeping per victim
+
+  /// Non-empty: record a Chrome trace of task/transfer intervals and write
+  /// it here when the runtime shuts down (the instrumentation layer).
+  std::string trace_path;
+
+  // Cluster-only knobs (consumed by ClusterRuntime).
+  int presend = 0;                    ///< tasks sent ahead per remote node
+  bool slave_to_slave = true;         ///< direct transfers between slaves
+  int node_id = 0;                    ///< this runtime's cluster node id
+
+  /// Reads the keys above from a common::Config (e.g. parsed from NX_ARGS).
+  static RuntimeConfig from(const common::Config& c);
+};
+
+class Runtime {
+public:
+  Runtime(vt::Clock& clock, RuntimeConfig cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Creates a task.  Called from an application thread it spawns into the
+  /// root domain; called from inside a task body it spawns a child of that
+  /// task (sibling-only dependences, paper §III-C1).
+  Task* spawn(TaskDesc desc);
+
+  /// Waits for all tasks of the current domain; then, unless `flush` is
+  /// false (the paper's `taskwait noflush`), makes host data current.
+  /// If any task body threw, the *first* captured exception is rethrown here
+  /// (after all tasks settled); the runtime remains usable.
+  void taskwait(bool flush = true);
+
+  /// The paper's `taskwait on(...)`: waits only for the producers of `r` and
+  /// flushes just that region to the host.
+  void taskwait_on(const common::Region& r);
+
+  vt::Clock& clock() { return clock_; }
+  const RuntimeConfig& config() const { return cfg_; }
+  common::Stats& stats() { return stats_; }
+  simcuda::Platform& gpu_platform() { return platform_; }
+  CoherenceManager& coherence() { return *coherence_; }
+  /// Non-null when tracing was enabled via RuntimeConfig::trace_path.
+  TraceRecorder* trace() { return trace_.get(); }
+
+  /// True if a task body threw and the error has not been consumed yet.
+  bool has_task_error() const;
+  /// Captures `e` as this runtime's pending task error (first one wins).
+  void record_task_error(std::exception_ptr e);
+  /// Rethrows and clears the pending error, if any.
+  void rethrow_task_error();
+
+  int gpu_count() const { return platform_.device_count(); }
+
+  /// Task executed on the calling thread right now (nullptr outside bodies).
+  static Task* current_task();
+  /// Runtime executing the calling thread's current task (nullptr outside
+  /// bodies).  On a cluster this is the *node's* runtime, so API-level
+  /// nested spawns land in the right image.
+  static Runtime* current_runtime();
+
+  /// Cluster hook: hands an already-dependency-released task straight to this
+  /// node's scheduler (its domain pointer must already be set).
+  void submit_external(Task* t, int releaser_resource);
+
+  /// Cluster hook: creates a Task owned by this runtime without submitting it
+  /// to any domain.
+  Task* allocate_task(TaskDesc desc);
+
+private:
+  friend class ClusterRuntime;
+
+  void worker_loop(int resource);
+  void gpu_manager_loop(int resource, int gpu);
+  void run_smp_task(Task* t, int resource);
+  void finish_task(Task* t, int resource);
+  void on_ready(Task* t, Task* releaser);
+  DependencyDomain& domain_for_spawn();
+
+  vt::Clock& clock_;
+  RuntimeConfig cfg_;
+  common::Stats stats_;
+  simcuda::Platform platform_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<CoherenceManager> coherence_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<DependencyDomain> root_domain_;
+
+  std::mutex tasks_mu_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::uint64_t next_task_id_ = 1;
+
+  mutable std::mutex error_mu_;
+  std::exception_ptr task_error_;
+
+  std::vector<simcuda::Stream*> compute_streams_;  // one per GPU
+  std::vector<vt::Thread> threads_;
+};
+
+}  // namespace nanos

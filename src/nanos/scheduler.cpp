@@ -1,0 +1,172 @@
+#include "nanos/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace nanos {
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// SchedulerBase
+
+void SchedulerBase::submit(Task* t, int releaser_resource) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    place_locked(t, releaser_resource);
+    ++queued_count_;
+  }
+  mon_.notify_all();
+}
+
+Task* SchedulerBase::get(int resource) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Task* t = nullptr;
+  mon_.wait(lk, [&] {
+    if (shutdown_) return true;
+    t = pick_locked(resource);
+    return t != nullptr;
+  });
+  if (t != nullptr) --queued_count_;
+  return t;
+}
+
+Task* SchedulerBase::try_get(int resource) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) return nullptr;
+  Task* t = pick_locked(resource);
+  if (t != nullptr) --queued_count_;
+  return t;
+}
+
+void SchedulerBase::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  mon_.notify_all();
+}
+
+std::size_t SchedulerBase::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_count_;
+}
+
+// ---------------------------------------------------------------------------
+// breadth-first
+
+void BreadthFirstScheduler::place_locked(Task* t, int) {
+  (t->device() == DeviceKind::kCuda ? cuda_queue_ : smp_queue_).push_back(t);
+}
+
+Task* BreadthFirstScheduler::pick_locked(int resource) {
+  auto& q = kind_of(resource) == DeviceKind::kCuda ? cuda_queue_ : smp_queue_;
+  if (q.empty()) return nullptr;
+  Task* t = q.front();
+  q.pop_front();
+  t->resource = resource;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// dependencies (successor-first)
+
+void DependenciesScheduler::place_locked(Task* t, int releaser_resource) {
+  if (releaser_resource >= 0 &&
+      kind_of(releaser_resource) == (t->device() == DeviceKind::kCuda ? DeviceKind::kCuda
+                                                                      : DeviceKind::kSmp) &&
+      next_for_[static_cast<std::size_t>(releaser_resource)].empty()) {
+    // *One* successor of the just-finished task runs next on its resource
+    // (they share data).  Further released successors go to the global
+    // queue — reserving them all would starve the other resources.
+    next_for_[static_cast<std::size_t>(releaser_resource)].push_back(t);
+    return;
+  }
+  BreadthFirstScheduler::place_locked(t, releaser_resource);
+}
+
+Task* DependenciesScheduler::pick_locked(int resource) {
+  auto& slot = next_for_[static_cast<std::size_t>(resource)];
+  if (!slot.empty()) {
+    Task* t = slot.front();
+    slot.pop_front();
+    t->resource = resource;
+    return t;
+  }
+  return BreadthFirstScheduler::pick_locked(resource);
+}
+
+// ---------------------------------------------------------------------------
+// locality-aware (affinity)
+
+void AffinityScheduler::place_locked(Task* t, int) {
+  // Score every resource of the matching kind; the task goes to the clear
+  // winner's local queue, or to the global queue when nobody stands out.
+  const DeviceKind kind = t->device();
+  double best = 0.0;
+  int best_resource = -1;
+  bool tie = false;
+  for (std::size_t r = 0; r < resource_count(); ++r) {
+    if (kind_of(static_cast<int>(r)) != kind) continue;
+    double score = affinity_ ? affinity_(*t, static_cast<int>(r)) : 0.0;
+    if (score > best) {
+      best = score;
+      best_resource = static_cast<int>(r);
+      tie = false;
+    } else if (score == best && best > 0.0) {
+      tie = true;
+    }
+  }
+  if (best_resource >= 0 && !tie) {
+    local_[static_cast<std::size_t>(best_resource)].push_back(t);
+  } else {
+    (kind == DeviceKind::kCuda ? global_cuda_ : global_smp_).push_back(t);
+  }
+}
+
+Task* AffinityScheduler::pick_locked(int resource) {
+  // 1. own local queue
+  auto& mine = local_[static_cast<std::size_t>(resource)];
+  if (!mine.empty()) {
+    Task* t = mine.front();
+    mine.pop_front();
+    t->resource = resource;
+    return t;
+  }
+  // 2. global queue of my kind
+  auto& global = kind_of(resource) == DeviceKind::kCuda ? global_cuda_ : global_smp_;
+  if (!global.empty()) {
+    Task* t = global.front();
+    global.pop_front();
+    t->resource = resource;
+    return t;
+  }
+  // 3. steal from the back of a peer's local queue (load balance)
+  for (std::size_t r = 0; r < resource_count(); ++r) {
+    if (static_cast<int>(r) == resource || kind_of(static_cast<int>(r)) != kind_of(resource))
+      continue;
+    auto& q = local_[r];
+    if (!q.empty()) {
+      Task* t = q.back();
+      q.pop_back();
+      t->resource = resource;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace detail
+
+std::unique_ptr<Scheduler> Scheduler::create(const std::string& policy, vt::Clock& clock,
+                                             std::vector<DeviceKind> resource_kinds,
+                                             AffinityFn affinity) {
+  if (policy == "bf")
+    return std::make_unique<detail::BreadthFirstScheduler>(clock, std::move(resource_kinds));
+  if (policy == "dep" || policy == "default" || policy == "dependencies")
+    return std::make_unique<detail::DependenciesScheduler>(clock, std::move(resource_kinds));
+  if (policy == "affinity" || policy == "locality")
+    return std::make_unique<detail::AffinityScheduler>(clock, std::move(resource_kinds),
+                                                       std::move(affinity));
+  throw std::invalid_argument("unknown scheduler policy '" + policy + "' (bf|dep|affinity)");
+}
+
+}  // namespace nanos

@@ -1,0 +1,136 @@
+// Task schedulers (paper §III-C2).
+//
+// Resources are the execution slots of one node: SMP worker threads and GPU
+// manager threads, each typed by the device kind it can execute.  Three
+// policies are provided:
+//
+//  * breadth-first ("bf")    — one global FIFO per device kind.
+//  * dependencies ("dep")    — breadth-first, but when a finishing task
+//    releases a successor, that successor runs next on the releasing
+//    resource (it shares data with its predecessor, so this minimizes
+//    transfers).  This is the runtime's default policy.
+//  * locality-aware ("affinity") — on submission, an affinity score (bytes of
+//    the task's data already resident, big data prioritized) is computed per
+//    resource; the task goes to the queue of the best resource, or to a
+//    global queue when no resource stands out.  Resources drain their local
+//    queue first, then the global queue, then steal from peers.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nanos/task.hpp"
+#include "vt/sync.hpp"
+
+namespace nanos {
+
+/// Affinity oracle: bytes of `task`'s data currently resident on `resource`.
+/// Wired to CoherenceManager::affinity_bytes by the runtime.
+using AffinityFn = std::function<double(const Task&, int resource)>;
+
+class Scheduler {
+public:
+  virtual ~Scheduler() = default;
+
+  /// Hands a ready task to the scheduler.  `releaser_resource` is the
+  /// resource whose task completion released this one (-1 if none).
+  virtual void submit(Task* t, int releaser_resource) = 0;
+
+  /// Blocks until a task is available for `resource` (or shutdown; nullptr).
+  virtual Task* get(int resource) = 0;
+
+  /// Non-blocking variant used by the GPU prefetcher.
+  virtual Task* try_get(int resource) = 0;
+
+  /// Wakes all blocked get() calls with nullptr.
+  virtual void shutdown() = 0;
+
+  /// Tasks queued but not yet picked (diagnostics).
+  virtual std::size_t queued() const = 0;
+
+  /// Factory. `policy` is one of "bf", "dep", "affinity";
+  /// `resource_kinds[i]` is the device kind resource i executes.
+  static std::unique_ptr<Scheduler> create(const std::string& policy, vt::Clock& clock,
+                                           std::vector<DeviceKind> resource_kinds,
+                                           AffinityFn affinity);
+};
+
+namespace detail {
+
+/// Common blocking/shutdown machinery; policies implement placement/picking.
+class SchedulerBase : public Scheduler {
+public:
+  SchedulerBase(vt::Clock& clock, std::vector<DeviceKind> kinds)
+      : mon_(clock), kinds_(std::move(kinds)) {}
+
+  void submit(Task* t, int releaser_resource) final;
+  Task* get(int resource) final;
+  Task* try_get(int resource) final;
+  void shutdown() final;
+  std::size_t queued() const final;
+
+protected:
+  // Both run with mu_ held.
+  virtual void place_locked(Task* t, int releaser_resource) = 0;
+  virtual Task* pick_locked(int resource) = 0;
+
+  DeviceKind kind_of(int r) const { return kinds_.at(static_cast<std::size_t>(r)); }
+  std::size_t resource_count() const { return kinds_.size(); }
+
+  mutable std::mutex mu_;
+  std::size_t queued_count_ = 0;  // maintained by SchedulerBase
+
+private:
+  vt::Monitor mon_;
+  std::vector<DeviceKind> kinds_;
+  bool shutdown_ = false;
+};
+
+class BreadthFirstScheduler : public SchedulerBase {
+public:
+  using SchedulerBase::SchedulerBase;
+
+protected:
+  void place_locked(Task* t, int releaser_resource) override;
+  Task* pick_locked(int resource) override;
+
+  std::deque<Task*> smp_queue_;
+  std::deque<Task*> cuda_queue_;
+};
+
+/// Breadth-first plus successor-first dispatch.
+class DependenciesScheduler : public BreadthFirstScheduler {
+public:
+  DependenciesScheduler(vt::Clock& clock, std::vector<DeviceKind> kinds)
+      : BreadthFirstScheduler(clock, kinds), next_for_(kinds.size()) {}
+
+protected:
+  void place_locked(Task* t, int releaser_resource) override;
+  Task* pick_locked(int resource) override;
+
+private:
+  std::vector<std::deque<Task*>> next_for_;  // per-resource successor slots
+};
+
+class AffinityScheduler : public SchedulerBase {
+public:
+  AffinityScheduler(vt::Clock& clock, std::vector<DeviceKind> kinds, AffinityFn affinity)
+      : SchedulerBase(clock, kinds), affinity_(std::move(affinity)), local_(kinds.size()) {}
+
+protected:
+  void place_locked(Task* t, int releaser_resource) override;
+  Task* pick_locked(int resource) override;
+
+private:
+  AffinityFn affinity_;
+  std::vector<std::deque<Task*>> local_;
+  std::deque<Task*> global_smp_;
+  std::deque<Task*> global_cuda_;
+};
+
+}  // namespace detail
+}  // namespace nanos

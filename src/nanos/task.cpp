@@ -1,0 +1,12 @@
+#include "nanos/task.hpp"
+
+#include "nanos/dep.hpp"
+
+namespace nanos {
+
+Task::Task(std::uint64_t id, TaskDesc desc, vt::Clock& clock)
+    : id_(id), desc_(std::move(desc)), done_(clock) {}
+
+Task::~Task() = default;
+
+}  // namespace nanos

@@ -1,0 +1,135 @@
+// Task model of the Nanos++ reimplementation.
+//
+// A task carries: the body to execute, its data accesses (the paper's
+// input/output/inout clauses, optionally with copy semantics via copy_deps),
+// the target device kind, and a cost model entry used by the simulated
+// platform to price its execution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/region.hpp"
+#include "simcuda/simcuda.hpp"
+
+namespace nanos {
+
+class Runtime;
+class Task;
+
+enum class DeviceKind { kSmp, kCuda };
+
+enum class AccessMode { kIn, kOut, kInout };
+
+inline bool reads(AccessMode m) { return m != AccessMode::kOut; }
+inline bool writes(AccessMode m) { return m != AccessMode::kIn; }
+
+/// One dependence/copy clause instance on a task.
+struct Access {
+  common::Region region;
+  AccessMode mode = AccessMode::kIn;
+  /// copy semantics (the paper's copy_in/copy_out/copy_deps): the coherence
+  /// layer must materialize this region in the executing device's address
+  /// space.  Dependence-only accesses (copy=false) still order tasks.
+  bool copy = true;
+
+  static Access in(const void* p, std::size_t n) { return {{p, n}, AccessMode::kIn, true}; }
+  static Access out(void* p, std::size_t n) { return {{p, n}, AccessMode::kOut, true}; }
+  static Access inout(void* p, std::size_t n) { return {{p, n}, AccessMode::kInout, true}; }
+};
+
+/// Handed to the task body at execution time.
+class TaskContext {
+public:
+  TaskContext(Runtime& rt, Task& task, std::vector<void*> translated, simcuda::Device* device,
+              simcuda::Stream* stream, int node)
+      : rt_(rt), task_(task), translated_(std::move(translated)), device_(device),
+        stream_(stream), node_(node) {}
+
+  /// Pointer for access `i`, translated into the executing device's address
+  /// space (device memory for CUDA tasks, the original host pointer for SMP).
+  void* data(std::size_t i) const { return translated_.at(i); }
+  template <typename T>
+  T* data_as(std::size_t i) const {
+    return static_cast<T*>(data(i));
+  }
+
+  Runtime& runtime() { return rt_; }
+  Task& task() { return task_; }
+  /// Executing GPU, or nullptr for SMP tasks.
+  simcuda::Device* device() const { return device_; }
+  simcuda::Stream* stream() const { return stream_; }
+  /// Cluster node executing the task (0 on a single node).
+  int node() const { return node_; }
+
+private:
+  Runtime& rt_;
+  Task& task_;
+  std::vector<void*> translated_;
+  simcuda::Device* device_;
+  simcuda::Stream* stream_;
+  int node_;
+};
+
+using TaskFn = std::function<void(TaskContext&)>;
+
+/// Everything needed to create a task (what Mercurium would assemble from the
+/// pragmas; what the ompss:: API builder assembles for the user).
+struct TaskDesc {
+  TaskFn fn;
+  std::vector<Access> accesses;
+  DeviceKind device = DeviceKind::kSmp;
+  /// Work volume: drives the kernel duration for CUDA tasks and the modelled
+  /// compute time for SMP tasks.
+  simcuda::KernelCost cost;
+  std::string label = "task";
+  /// Invoked on the executing node right before the task is reported complete
+  /// to its dependency domain.  The cluster layer uses it to update the
+  /// node-level directory and to send TASK_DONE for remotely executed tasks.
+  std::function<void()> completion_cb;
+};
+
+class DependencyDomain;
+
+/// Runtime-internal task state.  Users interact through TaskDesc / ompss::.
+class Task {
+public:
+  // Out of line: child_domain's type is incomplete at this point.
+  Task(std::uint64_t id, TaskDesc desc, vt::Clock& clock);
+  ~Task();
+
+  std::uint64_t id() const { return id_; }
+  const TaskDesc& desc() const { return desc_; }
+  TaskDesc& mutable_desc() { return desc_; }
+  const std::vector<Access>& accesses() const { return desc_.accesses; }
+  DeviceKind device() const { return desc_.device; }
+  const std::string& label() const { return desc_.label; }
+
+  vt::Flag& done_flag() { return done_; }
+
+  // -- dependency-graph state (owned by DependencyDomain) -------------------
+  std::vector<Task*> successors;
+  std::size_t pending_preds = 0;
+  DependencyDomain* domain = nullptr;
+  bool submitted_to_sched = false;
+
+  // -- scheduling state ------------------------------------------------------
+  /// Resource the task ran on; -1 until placed.
+  int resource = -1;
+  /// Cluster node chosen by the master's scheduler; 0 = local.
+  int target_node = 0;
+
+  /// Lazily created domain for this task's children (nested parallelism).
+  std::unique_ptr<DependencyDomain> child_domain;
+
+private:
+  std::uint64_t id_;
+  TaskDesc desc_;
+  vt::Flag done_;
+};
+
+}  // namespace nanos

@@ -1,0 +1,68 @@
+#include "nanos/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace nanos {
+
+double TraceRecorder::begin() const { return clock_.now(); }
+
+void TraceRecorder::record(const std::string& category, const std::string& resource,
+                           std::string name, double begin_time) {
+  Event e;
+  e.name = std::move(name);
+  e.category = category;
+  e.resource = resource;
+  e.begin = begin_time;
+  e.end = clock_.now();
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  auto evs = events();
+  std::sort(evs.begin(), evs.end(),
+            [](const Event& a, const Event& b) { return a.begin < b.begin; });
+  // Stable tid per resource, in first-seen order.
+  std::map<std::string, int> tids;
+  for (const Event& e : evs) tids.emplace(e.resource, static_cast<int>(tids.size()) + 1);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& e : evs) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[e.resource]
+       << ",\"ts\":" << e.begin * 1e6 << ",\"dur\":" << (e.end - e.begin) * 1e6 << "}";
+  }
+  // Thread-name metadata so viewers label rows by resource.
+  for (const auto& [resource, tid] : tids) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << resource << "\"}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool TraceRecorder::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace nanos

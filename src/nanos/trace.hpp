@@ -1,0 +1,55 @@
+// Execution tracing (the Nanos++ instrumentation layer's analogue).
+//
+// Nanos++ ships an instrumentation plugin that emits Paraver traces; here we
+// record the same events — task execution intervals per resource, data
+// transfers, and runtime phases — in virtual time, and write them as a
+// Chrome trace-event JSON (load it in chrome://tracing or Perfetto).
+//
+// Enable per runtime with RuntimeConfig::trace_path (config key `trace`).
+// Recording is thread-safe and cheap: one vector append under a mutex per
+// event, with all timestamps taken from the virtual clock, so the trace is
+// exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vt/clock.hpp"
+
+namespace nanos {
+
+class TraceRecorder {
+public:
+  explicit TraceRecorder(vt::Clock& clock) : clock_(clock) {}
+
+  struct Event {
+    std::string name;      ///< task label / transfer kind
+    std::string category;  ///< "task" | "transfer" | "runtime"
+    std::string resource;  ///< "smp3", "gpu1", "node2.comm", …
+    double begin = 0;      ///< virtual seconds
+    double end = 0;
+  };
+
+  /// Opens an interval; returns its begin timestamp (pass to end_event).
+  double begin() const;
+  void record(const std::string& category, const std::string& resource, std::string name,
+              double begin_time);
+
+  std::vector<Event> events() const;
+  std::size_t event_count() const;
+
+  /// Chrome trace-event format ("traceEvents" array of complete events,
+  /// microsecond timestamps, one tid per resource).
+  std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+private:
+  vt::Clock& clock_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace nanos

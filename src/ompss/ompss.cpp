@@ -1,0 +1,129 @@
+#include "ompss/ompss.hpp"
+
+#include <stdexcept>
+
+namespace ompss {
+
+namespace {
+Env* g_current = nullptr;
+
+nanos::ClusterConfig cluster_config_from(const common::Config& c) {
+  nanos::ClusterConfig cfg;
+  cfg.nodes = static_cast<int>(c.get_int("nodes", 1));
+  cfg.node = nanos::RuntimeConfig::from(c);
+  cfg.presend = cfg.node.presend;
+  cfg.slave_to_slave = cfg.node.slave_to_slave;
+  cfg.node_scheduler = c.get_string("node_scheduler", "affinity");
+  cfg.segment_bytes = c.get_size("segment_mb", 256) << 20;
+  cfg.link.bandwidth = c.get_double("net_bw", cfg.link.bandwidth);
+  cfg.link.latency = c.get_double("net_latency", cfg.link.latency);
+  return cfg;
+}
+}  // namespace
+
+Env::Env(const common::Config& cfg) {
+  clock_ = std::make_unique<vt::Clock>();
+  if (cfg.get_int("nodes", 1) > 1) {
+    cluster_ = std::make_unique<nanos::ClusterRuntime>(*clock_, cluster_config_from(cfg));
+  } else {
+    local_ = std::make_unique<nanos::Runtime>(*clock_, nanos::RuntimeConfig::from(cfg));
+  }
+}
+
+Env::Env(nanos::RuntimeConfig cfg) {
+  clock_ = std::make_unique<vt::Clock>();
+  local_ = std::make_unique<nanos::Runtime>(*clock_, std::move(cfg));
+}
+
+Env::Env(nanos::ClusterConfig cfg) {
+  clock_ = std::make_unique<vt::Clock>();
+  if (cfg.nodes > 1) {
+    cluster_ = std::make_unique<nanos::ClusterRuntime>(*clock_, std::move(cfg));
+  } else {
+    local_ = std::make_unique<nanos::Runtime>(*clock_, std::move(cfg.node));
+  }
+}
+
+Env::~Env() {
+  if (g_current == this) g_current = nullptr;
+  // Runtimes join their workers before the clock is destroyed.
+  cluster_.reset();
+  local_.reset();
+}
+
+Env* Env::current() { return g_current; }
+
+void Env::run(const std::function<void()>& body) {
+  if (g_current != nullptr && g_current != this)
+    throw std::logic_error("ompss: another Env is already running");
+  g_current = this;
+  vt::Thread driver(*clock_, "app-main", body);
+  driver.join();
+  g_current = nullptr;
+}
+
+nanos::Runtime& Env::node_runtime(int node) {
+  if (cluster_) return cluster_->node_runtime(node);
+  if (node != 0) throw std::out_of_range("ompss: single-node Env has only node 0");
+  return *local_;
+}
+
+common::Stats& Env::stats() { return cluster_ ? cluster_->stats() : local_->stats(); }
+
+nanos::Task* Env::spawn(nanos::TaskDesc desc) {
+  if (cluster_) return cluster_->spawn(std::move(desc));
+  return local_->spawn(std::move(desc));
+}
+
+void Env::taskwait(bool flush) {
+  if (cluster_) {
+    cluster_->taskwait(flush);
+  } else {
+    local_->taskwait(flush);
+  }
+}
+
+void Env::taskwait_on(const common::Region& r) {
+  if (cluster_) {
+    cluster_->taskwait_on(r);
+  } else {
+    local_->taskwait_on(r);
+  }
+}
+
+nanos::Task* TaskBuilder::run(nanos::TaskFn fn) {
+  Env* env = Env::current();
+  desc_.fn = std::move(fn);
+  // Inside a task body, spawn through the *executing* runtime — on a cluster
+  // that is the node's own image, so nested decomposition stays node-local
+  // (paper §III-D1: remote tasks create local subtasks).
+  if (nanos::Runtime* rt = nanos::Runtime::current_runtime())
+    return rt->spawn(std::move(desc_));
+  if (env == nullptr) throw std::logic_error("ompss: task() outside Env::run()");
+  return env->spawn(std::move(desc_));
+}
+
+void taskwait() {
+  Env* env = Env::current();
+  // Inside a task body: wait this task's children on its own node.
+  if (nanos::Runtime* rt = nanos::Runtime::current_runtime()) {
+    rt->taskwait(true);
+    return;
+  }
+  if (env == nullptr) throw std::logic_error("ompss: taskwait() outside Env::run()");
+  env->taskwait(true);
+}
+
+void taskwait_noflush() {
+  Env* env = Env::current();
+  if (env == nullptr) throw std::logic_error("ompss: taskwait() outside Env::run()");
+  env->taskwait(false);
+}
+
+void taskwait_on(const void* p, std::size_t n) {
+  Env* env = Env::current();
+  if (env == nullptr) throw std::logic_error("ompss: taskwait_on() outside Env::run()");
+  env->taskwait_on(common::Region(p, n));
+}
+
+}  // namespace ompss

@@ -1,0 +1,147 @@
+// ompss — the public programming interface.
+//
+// This is the layer the Mercurium compiler targets: each `#pragma omp task`
+// becomes a TaskBuilder chain, `#pragma omp target device(cuda)` a
+// .device(Device::kCuda), the dependence clauses .in/.out/.inout calls, and
+// `#pragma omp taskwait [on(...)] [noflush]` the taskwait functions.  The
+// mcc mini-compiler in src/mcc emits exactly this API; applications may also
+// use it directly (as the examples/ do).
+//
+// An Env owns one simulated execution: the virtual clock, and either a
+// single-node Runtime or a ClusterRuntime, selected by the "nodes" config
+// key.  Env::run() executes the application body on an attached driver
+// thread; inside it the free functions (ompss::task(), ompss::taskwait(), …)
+// address the active Env.
+//
+// Example (the paper's Fig. 1 matmul tile loop):
+//
+//   ompss::Env env(cfg);
+//   env.run([&] {
+//     for (i…) for (j…) for (k…)
+//       ompss::task()
+//           .device(ompss::Device::kCuda)
+//           .in(a[i][k], bs).in(b[k][j], bs).inout(c[i][j], bs)
+//           .flops(2.0 * BS * BS * BS)
+//           .run([=](ompss::Ctx& ctx) { sgemm_kernel(ctx); });
+//     ompss::taskwait();
+//   });
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "nanos/cluster.hpp"
+#include "nanos/runtime.hpp"
+
+namespace ompss {
+
+using Ctx = nanos::TaskContext;
+using Device = nanos::DeviceKind;
+
+/// One simulated execution environment (clock + runtime(s)).
+class Env {
+public:
+  /// Config keys: nodes (default 1), gpus, smp_workers, scheduler, cache,
+  /// overlap, prefetch, presend, stos, node_scheduler, segment_mb, plus the
+  /// link/device model keys (see RuntimeConfig::from and platform presets).
+  explicit Env(const common::Config& cfg);
+  /// Full-control constructors used by the benchmark harness.
+  Env(nanos::RuntimeConfig cfg);
+  Env(nanos::ClusterConfig cfg);
+  ~Env();
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// Runs `body` as the application's main on an attached driver thread and
+  /// joins it.  While it runs, the ompss:: free functions address this Env.
+  void run(const std::function<void()>& body);
+
+  vt::Clock& clock() { return *clock_; }
+  bool is_cluster() const { return cluster_ != nullptr; }
+  int node_count() const { return cluster_ ? cluster_->node_count() : 1; }
+  nanos::Runtime& node_runtime(int node = 0);
+  nanos::ClusterRuntime* cluster() { return cluster_.get(); }
+  common::Stats& stats();
+
+  nanos::Task* spawn(nanos::TaskDesc desc);
+  void taskwait(bool flush);
+  void taskwait_on(const common::Region& r);
+
+  /// The Env whose run() is active (set for the driver and all its workers'
+  /// task bodies via the runtime).  Null outside run().
+  static Env* current();
+
+private:
+  std::unique_ptr<vt::Clock> clock_;
+  std::unique_ptr<nanos::Runtime> local_;
+  std::unique_ptr<nanos::ClusterRuntime> cluster_;
+};
+
+/// Fluent task construction mirroring the pragma clauses.
+class TaskBuilder {
+public:
+  TaskBuilder() = default;
+
+  TaskBuilder& device(Device d) {
+    desc_.device = d;
+    return *this;
+  }
+  /// input([n] p) clause with copy semantics (copy_deps).
+  TaskBuilder& in(const void* p, std::size_t n) {
+    desc_.accesses.push_back(nanos::Access::in(p, n));
+    return *this;
+  }
+  /// output([n] p) clause.
+  TaskBuilder& out(void* p, std::size_t n) {
+    desc_.accesses.push_back(nanos::Access::out(p, n));
+    return *this;
+  }
+  /// inout([n] p) clause.
+  TaskBuilder& inout(void* p, std::size_t n) {
+    desc_.accesses.push_back(nanos::Access::inout(p, n));
+    return *this;
+  }
+  /// Dependence-only access (no copy semantics — a task without copy_deps).
+  TaskBuilder& dep(const void* p, std::size_t n, nanos::AccessMode mode) {
+    nanos::Access a;
+    a.region = common::Region(p, n);
+    a.mode = mode;
+    a.copy = false;
+    desc_.accesses.push_back(a);
+    return *this;
+  }
+  /// Work volume: prices the kernel (CUDA) or compute time (SMP).
+  TaskBuilder& flops(double f) {
+    desc_.cost.flops = f;
+    return *this;
+  }
+  TaskBuilder& bytes(double b) {
+    desc_.cost.bytes = b;
+    return *this;
+  }
+  TaskBuilder& label(std::string s) {
+    desc_.label = std::move(s);
+    return *this;
+  }
+
+  /// Finalizes and spawns the task with `fn` as its body.
+  nanos::Task* run(nanos::TaskFn fn);
+
+private:
+  nanos::TaskDesc desc_;
+};
+
+/// Starts a task definition (the `#pragma omp task` entry point).
+inline TaskBuilder task() { return {}; }
+
+/// `#pragma omp taskwait`
+void taskwait();
+/// `#pragma omp taskwait noflush`
+void taskwait_noflush();
+/// `#pragma omp taskwait on(p[0;n])`
+void taskwait_on(const void* p, std::size_t n);
+
+}  // namespace ompss

@@ -1,0 +1,315 @@
+#include "simcuda/simcuda.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace simcuda {
+
+// ---------------------------------------------------------------------------
+// Stream
+
+void Stream::synchronize() {
+  std::shared_ptr<detail::Op> last;
+  {
+    std::lock_guard<std::mutex> lk(device_.mu_);
+    if (queue_.empty()) return;
+    last = queue_.back();
+  }
+  last->done.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Device
+
+Device::Device(Platform& platform, int id, const DeviceProps& props)
+    : platform_(platform),
+      id_(id),
+      props_(props),
+      slab_(new char[props.memory_bytes]),
+      mem_(props.memory_bytes),
+      work_mon_(platform.clock()) {
+  default_stream_ = create_stream();
+  const std::string prefix = "gpu" + std::to_string(id_);
+  kernel_engine_ = vt::Thread(
+      platform_.clock(), prefix + ".kernel",
+      [this] { engine_loop(detail::Op::Kind::kKernel); }, /*service=*/true);
+  copy_engine_ = vt::Thread(
+      platform_.clock(), prefix + ".copy",
+      [this] { engine_loop(detail::Op::Kind::kCopyH2D); }, /*service=*/true);
+}
+
+Device::~Device() {
+  synchronize();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_mon_.notify_all();
+  kernel_engine_.join();
+  copy_engine_.join();
+}
+
+void* Device::malloc(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  std::lock_guard<std::mutex> lk(mem_mu_);
+  auto offset = mem_.allocate(bytes);
+  if (!offset) return nullptr;  // caller must evict and retry
+  return slab_.get() + *offset;
+}
+
+void Device::free(void* ptr) {
+  if (ptr == nullptr) return;
+  if (!owns(ptr))
+    throw std::invalid_argument("simcuda: free() of a pointer not allocated on this device");
+  std::lock_guard<std::mutex> lk(mem_mu_);
+  mem_.deallocate(static_cast<std::size_t>(static_cast<char*>(ptr) - slab_.get()));
+}
+
+std::size_t Device::free_bytes() const {
+  std::lock_guard<std::mutex> lk(mem_mu_);
+  return mem_.free_bytes();
+}
+
+std::size_t Device::largest_free_block() const {
+  std::lock_guard<std::mutex> lk(mem_mu_);
+  return mem_.largest_free_block();
+}
+
+bool Device::owns(const void* ptr) const {
+  const char* p = static_cast<const char*>(ptr);
+  return p >= slab_.get() && p < slab_.get() + props_.memory_bytes;
+}
+
+Stream* Device::create_stream() {
+  std::lock_guard<std::mutex> lk(mu_);
+  streams_.emplace_back(new Stream(*this));
+  return streams_.back().get();
+}
+
+void Device::destroy_stream(Stream* s) {
+  if (s == default_stream_)
+    throw std::invalid_argument("simcuda: cannot destroy the default stream");
+  s->synchronize();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->get() == s) {
+      if (!(*it)->queue_.empty())
+        throw std::logic_error("simcuda: destroying a stream with pending work");
+      streams_.erase(it);
+      return;
+    }
+  }
+  throw std::invalid_argument("simcuda: destroy_stream of a foreign stream");
+}
+
+void Device::enqueue(Stream& s, std::shared_ptr<detail::Op> op, bool blocking) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) throw std::logic_error("simcuda: enqueue after shutdown");
+    s.queue_.push_back(op);
+  }
+  work_mon_.notify_all();
+  if (blocking) op->done.wait();
+}
+
+void Device::memcpy_h2d_async(Stream& s, void* dst_dev, const void* src_host, std::size_t bytes) {
+  assert(owns(dst_dev));
+  auto op = std::make_shared<detail::Op>(platform_.clock());
+  op->kind = detail::Op::Kind::kCopyH2D;
+  op->duration = props_.copy_overhead + static_cast<double>(bytes) / props_.pcie_bandwidth;
+  op->payload = [dst_dev, src_host, bytes] { std::memcpy(dst_dev, src_host, bytes); };
+  stats_.incr("h2d_ops");
+  stats_.add("h2d_bytes", static_cast<double>(bytes));
+  // CUDA executes async copies synchronously when the host buffer is not
+  // page-locked; reproducing that is what motivates the runtime's pinned
+  // staging buffers (paper §III-D2).
+  const bool blocking = !platform_.is_pinned(src_host, bytes);
+  if (blocking) {
+    stats_.incr("h2d_unpinned_ops");
+    op->on_kernel_engine = true;
+  }
+  enqueue(s, std::move(op), blocking);
+}
+
+void Device::memcpy_d2h_async(Stream& s, void* dst_host, const void* src_dev, std::size_t bytes) {
+  assert(owns(src_dev));
+  auto op = std::make_shared<detail::Op>(platform_.clock());
+  op->kind = detail::Op::Kind::kCopyD2H;
+  op->duration = props_.copy_overhead + static_cast<double>(bytes) / props_.pcie_bandwidth;
+  op->payload = [dst_host, src_dev, bytes] { std::memcpy(dst_host, src_dev, bytes); };
+  stats_.incr("d2h_ops");
+  stats_.add("d2h_bytes", static_cast<double>(bytes));
+  const bool blocking = !platform_.is_pinned(dst_host, bytes);
+  if (blocking) {
+    stats_.incr("d2h_unpinned_ops");
+    op->on_kernel_engine = true;
+  }
+  enqueue(s, std::move(op), blocking);
+}
+
+void Device::memcpy_h2d(void* dst_dev, const void* src_host, std::size_t bytes) {
+  auto op = std::make_shared<detail::Op>(platform_.clock());
+  op->kind = detail::Op::Kind::kCopyH2D;
+  op->duration = props_.copy_overhead + static_cast<double>(bytes) / props_.pcie_bandwidth;
+  op->payload = [dst_dev, src_host, bytes] { std::memcpy(dst_dev, src_host, bytes); };
+  stats_.incr("h2d_ops");
+  stats_.add("h2d_bytes", static_cast<double>(bytes));
+  enqueue(default_stream(), std::move(op), /*blocking=*/true);
+}
+
+void Device::memcpy_d2h(void* dst_host, const void* src_dev, std::size_t bytes) {
+  auto op = std::make_shared<detail::Op>(platform_.clock());
+  op->kind = detail::Op::Kind::kCopyD2H;
+  op->duration = props_.copy_overhead + static_cast<double>(bytes) / props_.pcie_bandwidth;
+  op->payload = [dst_host, src_dev, bytes] { std::memcpy(dst_host, src_dev, bytes); };
+  stats_.incr("d2h_ops");
+  stats_.add("d2h_bytes", static_cast<double>(bytes));
+  enqueue(default_stream(), std::move(op), /*blocking=*/true);
+}
+
+void Device::launch_kernel(Stream& s, const KernelCost& cost, KernelFn fn) {
+  auto op = std::make_shared<detail::Op>(platform_.clock());
+  op->kind = detail::Op::Kind::kKernel;
+  double compute = cost.flops / (props_.gflops * 1e9);
+  double memory = cost.bytes / props_.mem_bandwidth;
+  op->duration = props_.kernel_launch_overhead + std::max(compute, memory);
+  op->payload = std::move(fn);
+  stats_.incr("kernels");
+  stats_.add("kernel_flops", cost.flops);
+  enqueue(s, std::move(op), /*blocking=*/false);
+}
+
+void Device::record_event(Stream& s, Event& ev) {
+  auto op = std::make_shared<detail::Op>(platform_.clock());
+  op->kind = detail::Op::Kind::kEventRecord;
+  op->event = &ev;
+  enqueue(s, std::move(op), /*blocking=*/false);
+}
+
+void Device::add_callback(Stream& s, std::function<void()> fn) {
+  auto op = std::make_shared<detail::Op>(platform_.clock());
+  op->kind = detail::Op::Kind::kCallback;
+  op->payload = std::move(fn);
+  enqueue(s, std::move(op), /*blocking=*/false);
+}
+
+void Device::synchronize() {
+  // Snapshot the streams, then synchronize each.  New work submitted
+  // concurrently is the caller's responsibility (same contract as CUDA).
+  std::vector<Stream*> snapshot;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snapshot.reserve(streams_.size());
+    for (auto& s : streams_) snapshot.push_back(s.get());
+  }
+  for (Stream* s : snapshot) s->synchronize();
+}
+
+std::shared_ptr<detail::Op> Device::pick_op_locked(bool want_copy, Stream** out_stream) {
+  const std::size_t n = streams_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Stream* s = streams_[(rr_cursor_ + k) % n].get();
+    if (s->queue_.empty()) continue;
+    auto& op = s->queue_.front();
+    if (op->claimed) continue;
+    bool is_copy = (op->kind == detail::Op::Kind::kCopyH2D ||
+                    op->kind == detail::Op::Kind::kCopyD2H) &&
+                   !op->on_kernel_engine;
+    bool is_kernel = op->kind == detail::Op::Kind::kKernel || op->on_kernel_engine;
+    bool is_misc = !is_copy && !is_kernel;  // events/callbacks: either engine
+    if ((want_copy && (is_copy || is_misc)) || (!want_copy && (is_kernel || is_misc))) {
+      *out_stream = s;
+      rr_cursor_ = (rr_cursor_ + k + 1) % n;
+      return op;
+    }
+  }
+  return nullptr;
+}
+
+void Device::complete_op_locked(Stream& s) {
+  assert(!s.queue_.empty());
+  s.queue_.pop_front();
+}
+
+void Device::engine_loop(detail::Op::Kind kind) {
+  const bool want_copy = kind == detail::Op::Kind::kCopyH2D;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    Stream* stream = nullptr;
+    std::shared_ptr<detail::Op> op;
+    work_mon_.wait(lk, [&] {
+      if (shutdown_) return true;
+      op = pick_op_locked(want_copy, &stream);
+      return op != nullptr;
+    });
+    if (op == nullptr) return;  // shutdown
+    op->claimed = true;
+    lk.unlock();
+
+    if (op->duration > 0) platform_.clock().sleep_for(op->duration);
+    if (op->payload) op->payload();
+    if (op->event != nullptr) op->event->complete(platform_.clock().now());
+
+    lk.lock();
+    complete_op_locked(*stream);
+    lk.unlock();
+    op->done.set();
+    // The next op in that stream may now be eligible — possibly for the
+    // *other* engine, so wake everyone.
+    work_mon_.notify_all();
+    lk.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Platform
+
+Platform::Platform(vt::Clock& clock, std::vector<DeviceProps> devices) : clock_(clock) {
+  vt::Hold hold(clock_);  // engines must not trip the clock during startup
+  devices_.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    devices_.emplace_back(std::make_unique<Device>(*this, static_cast<int>(i), devices[i]));
+}
+
+Platform::~Platform() = default;
+
+void* Platform::host_alloc_pinned(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  char* p = new char[bytes];
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  pinned_[reinterpret_cast<std::uintptr_t>(p)] = bytes;
+  return p;
+}
+
+void Platform::host_free_pinned(void* ptr) {
+  if (ptr == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(pin_mu_);
+    auto it = pinned_.find(reinterpret_cast<std::uintptr_t>(ptr));
+    if (it == pinned_.end())
+      throw std::invalid_argument("simcuda: host_free_pinned of a non-pinned pointer");
+    pinned_.erase(it);
+  }
+  delete[] static_cast<char*>(ptr);
+}
+
+bool Platform::is_pinned(const void* ptr, std::size_t bytes) const {
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  auto start = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = pinned_.upper_bound(start);
+  if (it == pinned_.begin()) return false;
+  --it;
+  return start >= it->first && start + bytes <= it->first + it->second;
+}
+
+std::size_t Platform::pinned_bytes() const {
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  std::size_t total = 0;
+  for (const auto& [p, s] : pinned_) total += s;
+  return total;
+}
+
+}  // namespace simcuda

@@ -1,0 +1,231 @@
+// simcuda — a simulated CUDA platform.
+//
+// The paper's runtime sits on top of the CUDA driver: streams, events, async
+// copies, page-locked host memory and per-GPU memory of limited size.  This
+// module reproduces that API surface on the virtual-time layer:
+//
+//  * A Device owns a real host-memory slab of configurable capacity managed
+//    by a first-fit allocator — "device pointers" are real pointers into the
+//    slab, so kernels compute real results and capacity pressure triggers
+//    genuine out-of-memory conditions (the effect behind the paper's N-Body
+//    cache-policy result, Fig. 8).
+//  * Each device has one kernel engine and one copy engine (vt threads).
+//    Operations in the same stream execute in FIFO order; operations in
+//    different streams may overlap across engines — exactly the condition
+//    under which the paper's transfer/computation overlap pays off.
+//  * Async copies whose host-side buffer is NOT page-locked block the calling
+//    thread until the copy completes, mirroring CUDA's fallback behaviour.
+//    This is what makes the runtime's pinned intermediate buffers
+//    (paper §III-D2) meaningful.
+//  * Durations come from a cost model: copies take bytes/pcie_bandwidth,
+//    kernels take max(flops/gflops, bytes/mem_bandwidth) plus launch
+//    overhead.  Wall-clock cost is zero — everything advances virtual time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/allocator.hpp"
+#include "common/stats.hpp"
+#include "vt/clock.hpp"
+#include "vt/sync.hpp"
+
+namespace simcuda {
+
+/// Performance/capacity description of one simulated GPU.
+struct DeviceProps {
+  std::string name = "SimGPU";
+  double gflops = 1030.0;              ///< single-precision GFLOP/s
+  double mem_bandwidth = 148.0e9;      ///< device-memory bytes/s
+  double pcie_bandwidth = 6.0e9;       ///< host<->device bytes/s per direction
+  std::size_t memory_bytes = 512u << 20;  ///< device memory capacity
+  double kernel_launch_overhead = 8.0e-6;
+  double copy_overhead = 2.0e-6;
+};
+
+/// Work attributed to a kernel launch; drives its simulated duration.
+struct KernelCost {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+using KernelFn = std::function<void()>;
+
+class Device;
+class Event;
+class Platform;
+class Stream;
+
+namespace detail {
+
+struct Op {
+  enum class Kind { kCopyH2D, kCopyD2H, kKernel, kEventRecord, kCallback };
+
+  explicit Op(vt::Clock& clock) : done(clock) {}
+
+  Kind kind = Kind::kKernel;
+  double duration = 0.0;       // simulated seconds on the engine
+  std::function<void()> payload;  // real work: memcpy / kernel body / callback
+  simcuda::Event* event = nullptr;
+  bool claimed = false;        // an engine is executing it
+  /// Copies from/to non-page-locked host memory go through the kernel engine:
+  /// they cannot overlap kernel execution (CUDA stages them synchronously),
+  /// which is why the runtime's pinned buffers + overlap option matter.
+  bool on_kernel_engine = false;
+  vt::Flag done;
+};
+
+}  // namespace detail
+
+/// CUDA-event analogue: recorded into a stream, completed when the engine
+/// reaches it; carries the virtual completion timestamp.
+class Event {
+public:
+  explicit Event(vt::Clock& clock) : flag_(clock) {}
+
+  bool query() const { return flag_.is_set(); }
+  void synchronize() { flag_.wait(); }
+  /// Virtual time at which the event completed (valid once query()).
+  double timestamp() const { return timestamp_; }
+
+private:
+  friend class Device;
+  void complete(double t) {
+    timestamp_ = t;
+    flag_.set();
+  }
+
+  vt::Flag flag_;
+  double timestamp_ = 0.0;
+};
+
+/// An in-order operation queue on a device.  Create via Device::create_stream.
+class Stream {
+public:
+  /// Blocks until every operation enqueued so far has completed.
+  void synchronize();
+
+  Device& device() { return device_; }
+
+private:
+  friend class Device;
+  explicit Stream(Device& d) : device_(d) {}
+
+  Device& device_;
+  std::deque<std::shared_ptr<detail::Op>> queue_;  // guarded by Device::mu_
+};
+
+class Device {
+public:
+  Device(Platform& platform, int id, const DeviceProps& props);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int id() const { return id_; }
+  const DeviceProps& props() const { return props_; }
+
+  /// Allocates device memory; returns nullptr when no sufficient block exists
+  /// (the caller — typically the software cache — must evict and retry).
+  void* malloc(std::size_t bytes);
+  void free(void* ptr);
+  std::size_t capacity() const { return props_.memory_bytes; }
+  std::size_t free_bytes() const;
+  std::size_t largest_free_block() const;
+  /// True if `ptr` points into this device's memory slab.
+  bool owns(const void* ptr) const;
+
+  Stream* create_stream();
+  void destroy_stream(Stream* s);
+  Stream& default_stream() { return *default_stream_; }
+
+  /// Async host-to-device copy.  If `src_host` is not page-locked the call
+  /// blocks until the copy completes (CUDA's unpinned-memory behaviour).
+  void memcpy_h2d_async(Stream& s, void* dst_dev, const void* src_host, std::size_t bytes);
+  /// Async device-to-host copy; same pinned-memory rule applies to dst_host.
+  void memcpy_d2h_async(Stream& s, void* dst_host, const void* src_dev, std::size_t bytes);
+  /// Synchronous copies on the default stream.
+  void memcpy_h2d(void* dst_dev, const void* src_host, std::size_t bytes);
+  void memcpy_d2h(void* dst_host, const void* src_dev, std::size_t bytes);
+
+  /// Enqueues a kernel: `fn` runs (with real effects) when the kernel engine
+  /// reaches it; the engine then advances virtual time by the modelled cost.
+  void launch_kernel(Stream& s, const KernelCost& cost, KernelFn fn);
+
+  void record_event(Stream& s, Event& ev);
+  /// Runs `fn` on an engine thread once prior work in the stream completed.
+  void add_callback(Stream& s, std::function<void()> fn);
+
+  /// Blocks until all work on all streams of this device completed.
+  void synchronize();
+
+  common::Stats& stats() { return stats_; }
+  Platform& platform() { return platform_; }
+
+private:
+  friend class Stream;
+
+  void enqueue(Stream& s, std::shared_ptr<detail::Op> op, bool blocking);
+  void engine_loop(detail::Op::Kind copy_or_kernel);
+  std::shared_ptr<detail::Op> pick_op_locked(bool want_copy, Stream** out_stream);
+  void complete_op_locked(Stream& s);
+
+  Platform& platform_;
+  const int id_;
+  const DeviceProps props_;
+
+  // Device memory slab managed by a first-fit allocator.
+  std::unique_ptr<char[]> slab_;
+  mutable std::mutex mem_mu_;
+  common::FirstFitAllocator mem_;
+
+  mutable std::mutex mu_;   // guards streams/queues
+  vt::Monitor work_mon_;    // engines wait here
+  std::vector<std::unique_ptr<Stream>> streams_;
+  Stream* default_stream_ = nullptr;
+  bool shutdown_ = false;
+  std::size_t rr_cursor_ = 0;  // round-robin fairness over streams
+
+  common::Stats stats_;
+
+  vt::Thread kernel_engine_;
+  vt::Thread copy_engine_;
+};
+
+/// The collection of simulated GPUs visible to one (simulated) node, plus the
+/// page-locked host-memory registry.
+class Platform {
+public:
+  Platform(vt::Clock& clock, std::vector<DeviceProps> devices);
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  vt::Clock& clock() { return clock_; }
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+
+  /// cudaMallocHost analogue: page-locked host memory.
+  void* host_alloc_pinned(std::size_t bytes);
+  void host_free_pinned(void* ptr);
+  bool is_pinned(const void* ptr, std::size_t bytes) const;
+  std::size_t pinned_bytes() const;
+
+private:
+  vt::Clock& clock_;
+  std::vector<std::unique_ptr<Device>> devices_;
+
+  mutable std::mutex pin_mu_;
+  std::map<std::uintptr_t, std::size_t> pinned_;  // start -> size
+};
+
+}  // namespace simcuda

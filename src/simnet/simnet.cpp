@@ -1,0 +1,203 @@
+#include "simnet/simnet.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace simnet {
+
+// ---------------------------------------------------------------------------
+// Endpoint
+
+Endpoint::Endpoint(Network& net, int node)
+    : net_(net), node_(node), tx_mon_(net.clock()), rx_mon_(net.clock()) {}
+
+void Endpoint::start() {
+  const std::string prefix = "node" + std::to_string(node_);
+  tx_thread_ = vt::Thread(net_.clock(), prefix + ".tx", [this] { tx_loop(); }, /*service=*/true);
+  rx_thread_ = vt::Thread(net_.clock(), prefix + ".rx", [this] { rx_loop(); }, /*service=*/true);
+}
+
+void Endpoint::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  tx_mon_.notify_all();
+  rx_mon_.notify_all();
+  if (tx_thread_.joinable()) tx_thread_.join();
+  if (rx_thread_.joinable()) rx_thread_.join();
+}
+
+void Endpoint::register_handler(int id, AmHandler handler) {
+  std::lock_guard<std::mutex> lk(handlers_mu_);
+  if (id < 0) throw std::invalid_argument("simnet: handler id must be >= 0");
+  if (handlers_.size() <= static_cast<std::size_t>(id))
+    handlers_.resize(static_cast<std::size_t>(id) + 1);
+  handlers_[static_cast<std::size_t>(id)] = std::move(handler);
+}
+
+void Endpoint::am_short(int dst, int handler, const void* payload, std::size_t bytes) {
+  auto m = std::make_shared<Message>();
+  m->src = node_;
+  m->dst = dst;
+  m->handler = handler;
+  if (bytes > 0) {
+    m->inline_payload.resize(bytes);
+    std::memcpy(m->inline_payload.data(), payload, bytes);
+  }
+  m->bytes = bytes;
+  stats_.incr("am_short");
+  enqueue_tx(std::move(m));
+}
+
+void Endpoint::put(int dst, void* dst_addr, const void* src, std::size_t bytes,
+                   std::function<void()> on_local_complete,
+                   std::function<void()> on_remote_complete, int handler) {
+  auto m = std::make_shared<Message>();
+  m->src = node_;
+  m->dst = dst;
+  m->handler = handler;
+  m->src_addr = src;
+  m->dst_addr = dst_addr;
+  m->bytes = bytes;
+  m->is_put = true;
+  m->on_local_complete = std::move(on_local_complete);
+  m->on_remote_complete = std::move(on_remote_complete);
+  stats_.incr("put_ops");
+  stats_.add("put_bytes", static_cast<double>(bytes));
+  enqueue_tx(std::move(m));
+}
+
+void Endpoint::enqueue_tx(MessagePtr m) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) throw std::logic_error("simnet: send after shutdown");
+    if (m->is_put && m->bytes > 0) {
+      tx_bulk_.push_back(std::move(m));
+      stats_.add("tx_bulk_qlen", static_cast<double>(tx_bulk_.size()));
+    } else {
+      tx_shorts_.push_back(std::move(m));
+    }
+  }
+  tx_mon_.notify_all();
+}
+
+void Endpoint::enqueue_rx(MessagePtr m) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;  // dropping at teardown is fine
+    if (m->is_put && m->bytes > 0) {
+      rx_bulk_.push_back(std::move(m));
+      stats_.add("rx_bulk_qlen", static_cast<double>(rx_bulk_.size()));
+    } else {
+      rx_shorts_.push_back(std::move(m));
+    }
+  }
+  rx_mon_.notify_all();
+}
+
+void Endpoint::tx_loop() {
+  vt::Clock& clock = net_.clock();
+  const LinkProps& link = net_.props();
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    tx_mon_.wait(lk,
+                 [this] { return shutdown_ || !tx_shorts_.empty() || !tx_bulk_.empty(); });
+    if (shutdown_ && tx_shorts_.empty() && tx_bulk_.empty()) return;
+    auto& q = !tx_shorts_.empty() ? tx_shorts_ : tx_bulk_;
+    MessagePtr m = q.front();
+    q.pop_front();
+    lk.unlock();
+
+    m->tx_start = clock.now();
+    // Outbound NIC occupancy: serialized by this very loop.  Every message
+    // pays the fixed AM overhead; puts add their bandwidth term.
+    double occupancy = link.am_overhead;
+    if (m->is_put) occupancy += static_cast<double>(m->bytes) / link.bandwidth;
+    if (m->src != m->dst && occupancy > 0) clock.sleep_for(occupancy);
+    if (m->is_put) {
+      // Data leaves the source buffer as it is transmitted; once the whole
+      // message is on the wire the buffer is reusable (local completion).
+      if (m->bytes > 0) {
+        m->inline_payload.resize(m->bytes);
+        std::memcpy(m->inline_payload.data(), m->src_addr, m->bytes);
+      }
+      stats_.add("tx_bytes", static_cast<double>(m->bytes));
+      if (m->on_local_complete) m->on_local_complete();
+    }
+    net_.endpoint(m->dst).enqueue_rx(std::move(m));
+
+    lk.lock();
+  }
+}
+
+void Endpoint::rx_loop() {
+  vt::Clock& clock = net_.clock();
+  const LinkProps& link = net_.props();
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    rx_mon_.wait(lk,
+                 [this] { return shutdown_ || !rx_shorts_.empty() || !rx_bulk_.empty(); });
+    if (shutdown_) return;
+    auto& q = !rx_shorts_.empty() ? rx_shorts_ : rx_bulk_;
+    MessagePtr m = q.front();
+    q.pop_front();
+    lk.unlock();
+
+    if (m->src != m->dst) {
+      // Wire latency relative to transmission start (usually already past),
+      // then inbound NIC occupancy, serialized by this loop.
+      clock.sleep_until(m->tx_start + link.latency);
+      double occupancy = link.am_overhead;
+      if (m->is_put) occupancy += static_cast<double>(m->bytes) / link.bandwidth;
+      if (occupancy > 0) clock.sleep_for(occupancy);
+    }
+    deliver(m);
+
+    lk.lock();
+  }
+}
+
+void Endpoint::deliver(const MessagePtr& m) {
+  stats_.add("rx_bytes", static_cast<double>(m->bytes));
+  const void* body = m->inline_payload.data();
+  if (m->is_put) {
+    if (m->bytes > 0) std::memcpy(m->dst_addr, m->inline_payload.data(), m->bytes);
+    body = m->dst_addr;
+    if (m->on_remote_complete) m->on_remote_complete();
+  }
+  if (m->handler >= 0) {
+    AmHandler handler;
+    {
+      std::lock_guard<std::mutex> lk(handlers_mu_);
+      if (static_cast<std::size_t>(m->handler) < handlers_.size())
+        handler = handlers_[static_cast<std::size_t>(m->handler)];
+    }
+    if (!handler) {
+      LOG_ERROR("simnet: node ", node_, " received AM for unregistered handler ", m->handler);
+      return;
+    }
+    handler(m->src, body, m->bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Network
+
+Network::Network(vt::Clock& clock, int nodes, const LinkProps& props)
+    : clock_(clock), props_(props) {
+  if (nodes <= 0) throw std::invalid_argument("simnet: node count must be positive");
+  vt::Hold hold(clock_);
+  endpoints_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) endpoints_.emplace_back(new Endpoint(*this, i));
+  for (auto& ep : endpoints_) ep->start();
+}
+
+Network::~Network() {
+  for (auto& ep : endpoints_) ep->stop();
+}
+
+}  // namespace simnet

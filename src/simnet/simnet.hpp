@@ -1,0 +1,149 @@
+// simnet — a simulated cluster interconnect with GASNet-style active
+// messages.
+//
+// The paper's cluster layer is built on GASNet: control information travels
+// as short active messages, bulk data as puts into remote memory, and
+// handlers run on the receiving side's polling thread.  simnet reproduces
+// that model over the virtual clock:
+//
+//  * Each node has an Endpoint with one TX thread and one RX thread.  The TX
+//    thread transmits queued messages in FIFO order, occupying the node's
+//    outbound NIC for bytes/bandwidth per message; the RX thread receives in
+//    arrival order, occupying the inbound NIC likewise, then runs the
+//    registered handler inline (GASNet's rule: handlers must be short).
+//  * Because both NIC directions serialize, a master node that sources every
+//    transfer becomes a bottleneck exactly the way Fig. 9's MtoS (no
+//    slave-to-slave) configuration does in the paper — and enabling direct
+//    slave-to-slave puts relieves it.
+//  * Messages between a given (src, dst) pair are delivered in FIFO order —
+//    the guarantee the cluster runtime's protocol relies on.
+//  * put() writes into destination-node memory identified by a raw pointer
+//    (the cluster layer hands out addresses from per-node segments).  The
+//    local-completion callback fires once the source buffer has been read
+//    (safe to reuse); the remote-completion callback fires on the RX thread
+//    after the data landed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "vt/clock.hpp"
+#include "vt/sync.hpp"
+
+namespace simnet {
+
+/// Performance model of one node's network interface.
+struct LinkProps {
+  double bandwidth = 1.0e9;   ///< bytes/s, each direction independently
+  double latency = 2.0e-6;    ///< wire latency per message
+  double am_overhead = 3.0e-6;  ///< fixed processing cost of a short AM
+};
+
+/// Active-message handler: runs on the destination's RX thread.
+/// `payload`/`bytes` describe the message body (inline data for shorts, the
+/// destination buffer for puts with a completion handler).
+using AmHandler = std::function<void(int src_node, const void* payload, std::size_t bytes)>;
+
+class Network;
+
+class Endpoint {
+public:
+  int node() const { return node_; }
+
+  /// Registers `handler` under `id` (node-local table).  Not thread-safe
+  /// against concurrent delivery; register everything before traffic starts.
+  void register_handler(int id, AmHandler handler);
+
+  /// Sends a short active message.  The payload (small, control-sized) is
+  /// copied immediately; the call never blocks.
+  void am_short(int dst, int handler, const void* payload, std::size_t bytes);
+
+  /// Writes `bytes` from `src` into `dst_addr` on node `dst`.
+  ///  - on_local_complete: source buffer has been read; safe to reuse.
+  ///  - on_remote_complete: data landed at the destination.
+  ///  - handler >= 0: additionally invoke that handler on the destination
+  ///    with (src_node, dst_addr, bytes) — GASNet's AMLong.
+  void put(int dst, void* dst_addr, const void* src, std::size_t bytes,
+           std::function<void()> on_local_complete = nullptr,
+           std::function<void()> on_remote_complete = nullptr, int handler = -1);
+
+  common::Stats& stats() { return stats_; }
+
+private:
+  friend class Network;
+
+  struct Message {
+    int src = 0;
+    int dst = 0;
+    int handler = -1;
+    std::vector<char> inline_payload;  // short AM body
+    const void* src_addr = nullptr;    // put source
+    void* dst_addr = nullptr;          // put destination
+    std::size_t bytes = 0;
+    bool is_put = false;
+    double tx_start = 0.0;
+    std::function<void()> on_local_complete;
+    std::function<void()> on_remote_complete;
+  };
+  using MessagePtr = std::shared_ptr<Message>;
+
+  Endpoint(Network& net, int node);
+  void start();
+  void stop();
+  void tx_loop();
+  void rx_loop();
+  void enqueue_tx(MessagePtr m);
+  void enqueue_rx(MessagePtr m);
+  void deliver(const MessagePtr& m);
+
+  Network& net_;
+  int node_;
+
+  std::mutex mu_;
+  vt::Monitor tx_mon_;
+  vt::Monitor rx_mon_;
+  // Short AMs bypass queued bulk puts (packet-granular interleaving on the
+  // wire): a completion ack must not wait for megabytes of unrelated data.
+  // FIFO order still holds within each class per (src, dst) pair.
+  std::deque<MessagePtr> tx_shorts_;
+  std::deque<MessagePtr> tx_bulk_;
+  std::deque<MessagePtr> rx_shorts_;
+  std::deque<MessagePtr> rx_bulk_;
+  bool shutdown_ = false;
+
+  std::mutex handlers_mu_;
+  std::vector<AmHandler> handlers_;
+
+  common::Stats stats_;
+
+  vt::Thread tx_thread_;
+  vt::Thread rx_thread_;
+};
+
+/// A cluster of `nodes` endpoints sharing one link model.
+class Network {
+public:
+  Network(vt::Clock& clock, int nodes, const LinkProps& props = {});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  vt::Clock& clock() { return clock_; }
+  const LinkProps& props() const { return props_; }
+  int node_count() const { return static_cast<int>(endpoints_.size()); }
+  Endpoint& endpoint(int node) { return *endpoints_.at(static_cast<std::size_t>(node)); }
+
+private:
+  vt::Clock& clock_;
+  LinkProps props_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace simnet

@@ -1,0 +1,319 @@
+#include "vt/clock.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "vt/sync.hpp"
+
+namespace vt {
+
+namespace {
+thread_local Clock* t_clock = nullptr;
+thread_local detail::ThreadRec* t_rec = nullptr;
+}  // namespace
+
+Clock::~Clock() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (attached_ != 0) {
+    LOG_ERROR("vt::Clock destroyed with ", attached_, " thread(s) still attached");
+  }
+  for (detail::ThreadRec* rec : all_) delete rec;
+}
+
+double Clock::now() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return now_;
+}
+
+Clock* Clock::current() { return t_clock; }
+
+detail::ThreadRec* Clock::current_rec() { return t_rec; }
+
+size_t Clock::attached_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return attached_;
+}
+
+void Clock::set_deadlock_handler(DeadlockHandler h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  deadlock_handler_ = std::move(h);
+}
+
+void Clock::attach(const std::string& name) {
+  if (t_clock != nullptr) throw std::logic_error("vt: thread already attached to a clock");
+  auto* rec = new detail::ThreadRec(name);
+  rec->attached = true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    all_.insert(rec);
+    ++attached_;
+    ++running_;
+  }
+  t_clock = this;
+  t_rec = rec;
+}
+
+void Clock::detach() {
+  if (t_clock != this || t_rec == nullptr)
+    throw std::logic_error("vt: detach() from a thread not attached to this clock");
+  detail::ThreadRec* rec = t_rec;
+  t_clock = nullptr;
+  t_rec = nullptr;
+  std::lock_guard<std::mutex> lk(mu_);
+  all_.erase(rec);
+  delete rec;
+  --attached_;
+  --running_;
+  maybe_advance_locked();
+}
+
+detail::ThreadRec* Clock::pre_attach(const std::string& name, bool service) {
+  auto* rec = new detail::ThreadRec(name);
+  rec->attached = true;
+  rec->service = service;
+  std::lock_guard<std::mutex> lk(mu_);
+  all_.insert(rec);
+  ++attached_;
+  ++running_;
+  return rec;
+}
+
+void Clock::adopt(detail::ThreadRec* rec) {
+  if (t_clock != nullptr) throw std::logic_error("vt: thread already attached to a clock");
+  t_clock = this;
+  t_rec = rec;
+}
+
+void Clock::abandon(detail::ThreadRec* rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  all_.erase(rec);
+  delete rec;
+  --attached_;
+  --running_;
+  maybe_advance_locked();
+}
+
+void Clock::sleep_for(double sec) {
+  if (sec < 0) throw std::invalid_argument("vt: negative sleep duration");
+  std::unique_lock<std::mutex> lk(mu_);
+  sleep_until_locked(lk, now_ + sec);
+}
+
+void Clock::sleep_until(double t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  sleep_until_locked(lk, t);
+}
+
+void Clock::sleep_until_locked(std::unique_lock<std::mutex>& lk, double t) {
+  if (t_clock != this || t_rec == nullptr || !t_rec->attached)
+    throw std::logic_error("vt: sleep from a thread not attached to this clock");
+  if (cancelled_) throw Cancelled{};
+  if (t <= now_) return;
+  detail::ThreadRec* rec = t_rec;
+  rec->woken = false;
+  rec->timed_out = false;
+  add_timed_locked(rec, t);
+  block_running_locked();
+  wait_until_woken(lk, rec);
+  resume_running_locked(rec);
+}
+
+void Clock::block_running_locked() {
+  --running_;
+  maybe_advance_locked();
+}
+
+void Clock::resume_running_locked(detail::ThreadRec* rec) {
+  assert(pending_wakeups_ > 0);
+  --pending_wakeups_;
+  if (rec->attached) {
+    ++running_;
+  } else {
+    // An unattached thread resuming does not count towards running_, so the
+    // system may be quiescent again right now — re-check advancement.
+    maybe_advance_locked();
+  }
+}
+
+void Clock::add_timed_locked(detail::ThreadRec* rec, double t) {
+  rec->wake_time = t;
+  rec->in_timed_set = true;
+  timed_.emplace(t, rec);
+}
+
+void Clock::remove_timed_locked(detail::ThreadRec* rec) {
+  if (!rec->in_timed_set) return;
+  auto range = timed_.equal_range({rec->wake_time, rec});
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == rec) {
+      timed_.erase(it);
+      break;
+    }
+  }
+  rec->in_timed_set = false;
+}
+
+void Clock::wake_locked(detail::ThreadRec* rec, bool timed_out) {
+  if (rec->woken) return;
+  if (rec->waiting_on != nullptr) {
+    auto& ws = rec->waiting_on->waiters_;
+    ws.erase(std::remove(ws.begin(), ws.end(), rec), ws.end());
+    rec->waiting_on = nullptr;
+  }
+  remove_timed_locked(rec);
+  rec->woken = true;
+  rec->timed_out = timed_out;
+  ++pending_wakeups_;
+  rec->cv.notify_one();
+}
+
+void Clock::wait_until_woken(std::unique_lock<std::mutex>& lk, detail::ThreadRec* rec) {
+  rec->cv.wait(lk, [rec] { return rec->woken; });
+  if (rec->cancelled) {
+    resume_running_locked(rec);
+    rec->cancelled = false;
+    throw Cancelled{};
+  }
+}
+
+void Clock::maybe_advance_locked() {
+  if (running_ > 0 || pending_wakeups_ > 0) return;
+  if (timed_.empty()) {
+    if (attached_ == 0) return;
+    // If every blocked thread is a service thread the system is merely idle
+    // (work queues are empty); only a stuck non-service thread is a deadlock.
+    bool nonservice_blocked = false;
+    for (const detail::ThreadRec* rec : all_) {
+      if (!rec->service && !rec->woken && rec->waiting_on != nullptr) {
+        nonservice_blocked = true;
+        break;
+      }
+    }
+    if (!nonservice_blocked) return;
+    // No thread can make progress and no timed wakeup exists: deadlock.
+    std::string report = deadlock_report_locked();
+    if (deadlock_handler_) {
+      deadlock_handler_(report);
+    } else {
+      std::fprintf(stderr, "%s", report.c_str());
+      std::abort();
+    }
+    cancel_all_locked();
+    return;
+  }
+  double t = timed_.begin()->first;
+  if (t > now_) now_ = t;
+  while (!timed_.empty() && timed_.begin()->first <= now_) {
+    wake_locked(timed_.begin()->second, /*timed_out=*/true);
+  }
+}
+
+void Clock::cancel_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cancel_all_locked();
+}
+
+void Clock::cancel_all_locked() {
+  cancelled_ = true;
+  for (detail::ThreadRec* rec : all_) {
+    if (!rec->woken && (rec->waiting_on != nullptr || rec->in_timed_set)) {
+      rec->cancelled = true;
+      wake_locked(rec, /*timed_out=*/false);
+    }
+  }
+}
+
+std::string Clock::deadlock_report_locked() const {
+  std::ostringstream os;
+  os << "vt: DEADLOCK at virtual time " << now_ << "s — all " << attached_
+     << " attached thread(s) are blocked on events:\n";
+  for (const detail::ThreadRec* rec : all_) {
+    os << "  thread '" << rec->name << "': ";
+    if (rec->waiting_on != nullptr)
+      os << "waiting on monitor @" << static_cast<const void*>(rec->waiting_on);
+    else if (rec->in_timed_set)
+      os << "timed wait until " << rec->wake_time;
+    else if (rec->woken)
+      os << "wakeup in flight";
+    else
+      os << "running";
+    os << '\n';
+  }
+  return os.str();
+}
+
+struct Thread::Impl {
+  explicit Impl(Clock& clock) : done(clock) {}
+  std::thread os_thread;
+  Flag done;
+};
+
+Hold::Hold(Clock& clock) : clock_(clock) {
+  std::lock_guard<std::mutex> lk(clock_.mu_);
+  ++clock_.running_;
+}
+
+Hold::~Hold() {
+  std::lock_guard<std::mutex> lk(clock_.mu_);
+  --clock_.running_;
+  clock_.maybe_advance_locked();
+}
+
+Thread::Thread() = default;
+Thread::Thread(Thread&&) noexcept = default;
+Thread& Thread::operator=(Thread&&) noexcept = default;
+
+bool Thread::joinable() const { return impl_ && impl_->os_thread.joinable(); }
+
+Thread::Thread(Clock& clock, const std::string& name, std::function<void()> body, bool service)
+    : impl_(std::make_unique<Impl>(clock)) {
+  detail::ThreadRec* rec = clock.pre_attach(name, service);
+  Impl* impl = impl_.get();
+  try {
+    impl->os_thread = std::thread([&clock, rec, impl, body = std::move(body)]() mutable {
+      clock.adopt(rec);
+      common::Log::set_thread_name(rec->name);
+      try {
+        body();
+      } catch (const Cancelled&) {
+        LOG_DEBUG("thread cancelled");
+      }
+      impl->done.set();
+      clock.detach();
+    });
+  } catch (...) {
+    clock.abandon(rec);
+    throw;
+  }
+}
+
+Thread::~Thread() {
+  if (joinable()) join();
+}
+
+void Thread::join() {
+  if (!impl_ || !impl_->os_thread.joinable())
+    throw std::logic_error("vt::Thread: join on non-joinable thread");
+  // Wait via the clock first so an attached joiner does not stall virtual
+  // time while the target still needs it to advance.  A deadlock
+  // cancellation may interrupt this wait; the target thread is unwinding at
+  // that point and will still set its done flag, so simply wait again.
+  for (;;) {
+    try {
+      impl_->done.wait();
+      break;
+    } catch (const Cancelled&) {
+      // The clock is poisoned; the target is unwinding and will set the flag
+      // without blocking.  Yield so it gets CPU time on small hosts.
+      std::this_thread::yield();
+      continue;
+    }
+  }
+  impl_->os_thread.join();
+}
+
+}  // namespace vt

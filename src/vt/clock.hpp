@@ -1,0 +1,197 @@
+// Virtual-time coordination layer.
+//
+// Every thread that participates in a simulation attaches to a Clock.  A
+// thread is either RUNNING (executing code) or blocked in one of the vt
+// primitives (sleep_for/sleep_until, Monitor::wait, …).  Virtual time only
+// advances when *no* attached thread is running and no wakeup is in flight:
+// the clock then jumps to the earliest pending timed wakeup.  CPU work
+// between vt calls is free in virtual time; all modelled costs (kernel
+// durations, PCIe and network transfer times) are expressed as explicit
+// sleeps by the simulated platform layers.
+//
+// This gives deterministic, noise-free timing on any host — including the
+// single-core machines this reproduction targets — while the runtime under
+// test remains a genuinely multi-threaded program.
+//
+// Deadlock: if every attached thread is blocked on an event (no timed wakeup
+// pending anywhere), the simulation cannot progress.  The clock detects this,
+// produces a report naming each thread and what it waits on, and invokes the
+// deadlock handler (default: print and abort).  If the handler returns, all
+// blocked vt waits throw vt::Cancelled so the process can unwind cleanly —
+// tests rely on this to assert on deadlock detection.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vt {
+
+class Clock;
+class Monitor;
+
+/// Thrown out of blocking vt calls after deadlock cancellation (or an
+/// explicit Clock::cancel_all()).
+struct Cancelled {};
+
+namespace detail {
+
+struct ThreadRec {
+  explicit ThreadRec(std::string n) : name(std::move(n)) {}
+
+  std::string name;
+  std::condition_variable cv;  // waits on Clock::mu_
+  bool attached = false;       // counted in running_/attached_
+  bool service = false;        // expected to idle; exempt from deadlock detection
+  bool woken = false;
+  bool timed_out = false;
+  bool cancelled = false;
+  double wake_time = 0.0;
+  Monitor* waiting_on = nullptr;  // non-null while in a Monitor's waiter list
+  bool in_timed_set = false;
+};
+
+}  // namespace detail
+
+class Clock {
+public:
+  Clock() = default;
+  ~Clock();
+
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+
+  /// Current virtual time in seconds.
+  double now() const;
+
+  /// Blocks the calling (attached) thread for `sec` of virtual time.
+  void sleep_for(double sec);
+  /// Blocks the calling (attached) thread until virtual time `t`.
+  void sleep_until(double t);
+
+  /// Registers the calling thread as a simulation participant.
+  void attach(const std::string& name);
+  /// Deregisters the calling thread (must be attached).
+  void detach();
+
+  /// The Clock the calling thread is attached to, or nullptr.
+  static Clock* current();
+
+  size_t attached_count() const;
+
+  /// Invoked (with internal lock held) when a deadlock is detected.  If it
+  /// returns, all blocked waits are cancelled.  Default prints and aborts.
+  using DeadlockHandler = std::function<void(const std::string& report)>;
+  void set_deadlock_handler(DeadlockHandler h);
+
+  /// Wakes every blocked vt wait with vt::Cancelled and poisons the clock:
+  /// any *future* blocking wait also throws.  Used for unwinding after a
+  /// detected deadlock (and by tests); a cancelled simulation cannot resume.
+  void cancel_all();
+
+private:
+  friend class Hold;
+  friend class Monitor;
+  friend class Thread;
+
+  // Pre-attachment: Thread registers the child with the clock *before* the
+  // OS thread starts, so virtual time cannot race ahead of thread startup.
+  detail::ThreadRec* pre_attach(const std::string& name, bool service);
+  void adopt(detail::ThreadRec* rec);        // called on the child thread
+  void abandon(detail::ThreadRec* rec);      // if the OS thread never started
+
+  /// The calling thread's record, or nullptr when unattached.
+  static detail::ThreadRec* current_rec();
+
+  // All below require mu_ held.
+  void sleep_until_locked(std::unique_lock<std::mutex>& lk, double t);
+  void block_running_locked();               // running_--, maybe advance
+  void resume_running_locked(detail::ThreadRec* rec);
+  void add_timed_locked(detail::ThreadRec* rec, double t);
+  void remove_timed_locked(detail::ThreadRec* rec);
+  void wake_locked(detail::ThreadRec* rec, bool timed_out);
+  void maybe_advance_locked();
+  void cancel_all_locked();
+  std::string deadlock_report_locked() const;
+  void wait_until_woken(std::unique_lock<std::mutex>& lk, detail::ThreadRec* rec);
+
+  mutable std::mutex mu_;
+  double now_ = 0.0;
+  size_t attached_ = 0;
+  size_t running_ = 0;
+  size_t pending_wakeups_ = 0;
+  std::multiset<std::pair<double, detail::ThreadRec*>> timed_;
+  std::set<detail::ThreadRec*> all_;  // every live rec, for diagnostics/cancel
+  DeadlockHandler deadlock_handler_;
+  bool cancelled_ = false;  // sticky: set by cancel_all
+};
+
+/// RAII inhibitor: while a Hold exists, virtual time cannot advance and
+/// deadlock detection is suppressed.  An *unattached* orchestrator (a test
+/// main, a benchmark driver, a runtime constructor) must hold one while it
+/// constructs threads or enqueues work, otherwise the clock may legitimately
+/// advance — or declare a deadlock — in the window between two thread
+/// constructions.  Release the Hold before blocking on simulation results.
+class Hold {
+public:
+  explicit Hold(Clock& clock);
+  ~Hold();
+
+  Hold(const Hold&) = delete;
+  Hold& operator=(const Hold&) = delete;
+
+private:
+  Clock& clock_;
+};
+
+/// RAII attachment for a thread that already exists (e.g. a test's main
+/// thread).
+class AttachGuard {
+public:
+  AttachGuard(Clock& clock, const std::string& name) : clock_(clock) { clock_.attach(name); }
+  ~AttachGuard() { clock_.detach(); }
+
+  AttachGuard(const AttachGuard&) = delete;
+  AttachGuard& operator=(const AttachGuard&) = delete;
+
+private:
+  Clock& clock_;
+};
+
+/// std::thread wrapper whose body participates in the clock.  The thread is
+/// accounted as RUNNING from construction, so there is no startup window in
+/// which virtual time can advance past it.  vt::Cancelled escaping the body
+/// terminates the thread quietly (used for deadlock-cancellation unwinding).
+class Thread {
+public:
+  Thread();
+  /// `service`: marks a thread that is *expected* to block indefinitely on a
+  /// work queue (engines, workers, pollers).  When every blocked thread is a
+  /// service thread the clock treats the system as idle rather than
+  /// deadlocked; deadlock is only declared while a non-service thread (a
+  /// task, a driver, a joiner) is stuck too.
+  Thread(Clock& clock, const std::string& name, std::function<void()> body,
+         bool service = false);
+  ~Thread();
+
+  Thread(Thread&&) noexcept;
+  Thread& operator=(Thread&&) noexcept;
+
+  bool joinable() const;
+  /// Safe to call from an attached thread: the underlying OS join happens
+  /// only after the target has detached from the clock.
+  void join();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vt

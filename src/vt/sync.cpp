@@ -1,0 +1,135 @@
+#include "vt/sync.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vt {
+
+Monitor::~Monitor() {
+  std::lock_guard<std::mutex> lk(clock_.mu_);
+  assert(waiters_.empty() && "vt::Monitor destroyed with blocked waiters");
+}
+
+void Monitor::wait(std::unique_lock<std::mutex>& lk) { do_wait(lk, false, 0.0); }
+
+bool Monitor::wait_until(std::unique_lock<std::mutex>& lk, double deadline) {
+  return do_wait(lk, true, deadline);
+}
+
+bool Monitor::do_wait(std::unique_lock<std::mutex>& lk, bool timed, double deadline) {
+  if (!lk.owns_lock()) throw std::logic_error("vt::Monitor: wait without holding the lock");
+  Clock* cur = Clock::current();
+  if (cur != nullptr && cur != &clock_)
+    throw std::logic_error("vt::Monitor: wait from a thread attached to a different clock");
+
+  detail::ThreadRec* rec = Clock::current_rec();
+  detail::ThreadRec local("<unattached>");
+  const bool attached = (cur == &clock_) && rec != nullptr && rec->attached;
+  if (!attached) rec = &local;
+
+  bool timed_out = false;
+  {
+    std::unique_lock<std::mutex> clk(clock_.mu_);
+    if (clock_.cancelled_) throw Cancelled{};
+    if (timed && deadline <= clock_.now_) return false;
+    rec->woken = false;
+    rec->timed_out = false;
+    rec->cancelled = false;
+    rec->waiting_on = this;
+    waiters_.push_back(rec);
+    if (!attached) clock_.all_.insert(rec);
+    if (timed) clock_.add_timed_locked(rec, deadline);
+    if (attached) clock_.block_running_locked();
+    lk.unlock();
+    try {
+      clock_.wait_until_woken(clk, rec);
+      clock_.resume_running_locked(rec);
+    } catch (...) {
+      if (!attached) clock_.all_.erase(rec);
+      clk.unlock();
+      lk.lock();
+      throw;
+    }
+    timed_out = rec->timed_out;
+    if (!attached) clock_.all_.erase(rec);
+  }
+  lk.lock();
+  return !timed_out;
+}
+
+void Monitor::notify_one() {
+  std::lock_guard<std::mutex> lk(clock_.mu_);
+  if (!waiters_.empty()) clock_.wake_locked(waiters_.front(), /*timed_out=*/false);
+}
+
+void Monitor::notify_all() {
+  std::lock_guard<std::mutex> lk(clock_.mu_);
+  while (!waiters_.empty()) clock_.wake_locked(waiters_.front(), /*timed_out=*/false);
+}
+
+void Flag::set() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    set_ = true;
+  }
+  mon_.notify_all();
+}
+
+void Flag::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  set_ = false;
+}
+
+bool Flag::is_set() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return set_;
+}
+
+void Flag::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  mon_.wait(lk, [this] { return set_; });
+}
+
+bool Flag::wait_for(double timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return mon_.wait_for(lk, timeout, [this] { return set_; });
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  size_t gen = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    mon_.notify_all();
+    return;
+  }
+  mon_.wait(lk, [this, gen] { return generation_ != gen; });
+}
+
+void CountLatch::add(size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  count_ += n;
+}
+
+void CountLatch::done(size_t n) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (count_ < n) throw std::logic_error("vt::CountLatch: done() below zero");
+    count_ -= n;
+    if (count_ != 0) return;
+  }
+  mon_.notify_all();
+}
+
+size_t CountLatch::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+void CountLatch::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  mon_.wait(lk, [this] { return count_ == 0; });
+}
+
+}  // namespace vt

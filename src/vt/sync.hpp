@@ -1,0 +1,123 @@
+// Blocking primitives that cooperate with the virtual clock.
+//
+// Monitor is the condition-variable analogue: every blocking wait in the
+// simulated platform and in the Nanos++ runtime reimplementation goes through
+// it (directly or via Flag/Barrier/Channel), so the clock always knows
+// whether a thread is runnable.  Plain std::mutex is still used for short
+// critical sections — a mutex holder is RUNNING, so those never interact with
+// virtual time.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "vt/clock.hpp"
+
+namespace vt {
+
+class Monitor {
+public:
+  explicit Monitor(Clock& clock) : clock_(clock) {}
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Blocks until notified.  `lk` (the caller's own mutex) is released while
+  /// blocked and re-acquired before returning.  Works from attached threads
+  /// (participating in virtual time) and unattached ones (outside it).
+  void wait(std::unique_lock<std::mutex>& lk);
+
+  /// Blocks until notified or until virtual time `deadline`.
+  /// Returns false if the deadline fired first.
+  bool wait_until(std::unique_lock<std::mutex>& lk, double deadline);
+
+  /// Blocks until notified or for `timeout` virtual seconds.
+  bool wait_for(std::unique_lock<std::mutex>& lk, double timeout) {
+    return wait_until(lk, clock_.now() + timeout);
+  }
+
+  template <typename Pred>
+  void wait(std::unique_lock<std::mutex>& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+
+  /// Predicate form with deadline; returns the final predicate value.
+  template <typename Pred>
+  bool wait_until(std::unique_lock<std::mutex>& lk, double deadline, Pred pred) {
+    while (!pred()) {
+      if (!wait_until(lk, deadline)) return pred();
+    }
+    return true;
+  }
+
+  template <typename Pred>
+  bool wait_for(std::unique_lock<std::mutex>& lk, double timeout, Pred pred) {
+    return wait_until(lk, clock_.now() + timeout, std::move(pred));
+  }
+
+  void notify_one();
+  void notify_all();
+
+  Clock& clock() { return clock_; }
+
+private:
+  friend class Clock;
+
+  bool do_wait(std::unique_lock<std::mutex>& lk, bool timed, double deadline);
+
+  Clock& clock_;
+  std::vector<detail::ThreadRec*> waiters_;  // guarded by clock_.mu_
+};
+
+/// One-shot (resettable) boolean flag.
+class Flag {
+public:
+  explicit Flag(Clock& clock) : mon_(clock) {}
+
+  void set();
+  void reset();
+  bool is_set() const;
+  void wait();
+  /// Returns false on virtual-time timeout.
+  bool wait_for(double timeout);
+
+private:
+  mutable std::mutex mu_;
+  Monitor mon_;
+  bool set_ = false;
+};
+
+/// Reusable rendezvous for a fixed number of participants.
+class Barrier {
+public:
+  Barrier(Clock& clock, size_t parties) : mon_(clock), parties_(parties) {}
+
+  /// Blocks until `parties` threads have arrived, then releases them all.
+  void arrive_and_wait();
+
+private:
+  std::mutex mu_;
+  Monitor mon_;
+  size_t parties_;
+  size_t arrived_ = 0;
+  size_t generation_ = 0;
+};
+
+/// Counts outstanding work items; wait() blocks until the count is zero.
+class CountLatch {
+public:
+  explicit CountLatch(Clock& clock) : mon_(clock) {}
+
+  void add(size_t n = 1);
+  void done(size_t n = 1);
+  size_t pending() const;
+  void wait();
+
+private:
+  mutable std::mutex mu_;
+  Monitor mon_;
+  size_t count_ = 0;
+};
+
+}  // namespace vt

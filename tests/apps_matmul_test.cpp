@@ -1,0 +1,107 @@
+// Matmul application tests: all four versions agree with the serial
+// reference on every execution environment.
+#include <gtest/gtest.h>
+
+#include "apps/matmul/matmul.hpp"
+
+namespace {
+
+using apps::matmul::InitMode;
+using apps::matmul::Params;
+using apps::matmul::run_cuda;
+using apps::matmul::run_mpicuda;
+using apps::matmul::run_ompss;
+using apps::matmul::run_serial;
+
+Params small_params() {
+  Params p;
+  p.nb = 4;
+  p.bs_phys = 32;
+  p.bs_logical = 1024.0;
+  return p;
+}
+
+TEST(MatmulTest, SerialChecksumIsDeterministic) {
+  Params p = small_params();
+  auto r1 = run_serial(p);
+  auto r2 = run_serial(p);
+  EXPECT_DOUBLE_EQ(r1.checksum, r2.checksum);
+  EXPECT_NE(r1.checksum, 0.0);
+}
+
+TEST(MatmulTest, CudaMatchesSerial) {
+  Params p = small_params();
+  auto ref = run_serial(p);
+  vt::Clock clock;
+  auto r = run_cuda(p, clock, apps::tesla_s2050(p.byte_scale()));
+  EXPECT_NEAR(r.checksum, ref.checksum, std::abs(ref.checksum) * 1e-5 + 1e-3);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+TEST(MatmulTest, OmpssSingleGpuMatchesSerial) {
+  Params p = small_params();
+  auto ref = run_serial(p);
+  ompss::Env env(apps::multi_gpu_node(1, p.byte_scale()));
+  auto r = run_ompss(env, p, InitMode::kSeq);
+  EXPECT_NEAR(r.checksum, ref.checksum, std::abs(ref.checksum) * 1e-5 + 1e-3);
+}
+
+TEST(MatmulTest, OmpssMultiGpuAllPoliciesMatchSerial) {
+  Params p = small_params();
+  auto ref = run_serial(p);
+  for (const char* sched : {"bf", "dep", "affinity"}) {
+    for (const char* cache : {"nocache", "wt", "wb"}) {
+      auto cfg = apps::multi_gpu_node(4, p.byte_scale());
+      cfg.scheduler = sched;
+      cfg.cache_policy = cache;
+      ompss::Env env(cfg);
+      auto r = run_ompss(env, p, InitMode::kSeq);
+      EXPECT_NEAR(r.checksum, ref.checksum, std::abs(ref.checksum) * 1e-5 + 1e-3)
+          << sched << "/" << cache;
+    }
+  }
+}
+
+TEST(MatmulTest, OmpssClusterAllInitModesMatchSerial) {
+  Params p = small_params();
+  auto ref = run_serial(p);
+  for (InitMode init : {InitMode::kSeq, InitMode::kSmp, InitMode::kGpu}) {
+    for (bool stos : {false, true}) {
+      auto cfg = apps::gpu_cluster(4, p.byte_scale());
+      cfg.slave_to_slave = stos;
+      cfg.presend = 1;
+      ompss::Env env(cfg);
+      auto r = run_ompss(env, p, init);
+      EXPECT_NEAR(r.checksum, ref.checksum, std::abs(ref.checksum) * 1e-5 + 1e-3)
+          << "init=" << static_cast<int>(init) << " stos=" << stos;
+    }
+  }
+}
+
+TEST(MatmulTest, MpiCudaMatchesSerialOnGrids) {
+  Params p = small_params();
+  auto ref = run_serial(p);
+  for (int ranks : {1, 2, 4}) {
+    vt::Clock clock;
+    auto r = run_mpicuda(p, clock, ranks, apps::qdr_infiniband(p.byte_scale()),
+                         apps::gtx480(p.byte_scale()));
+    EXPECT_NEAR(r.checksum, ref.checksum, std::abs(ref.checksum) * 1e-5 + 1e-3)
+        << ranks << " ranks";
+  }
+}
+
+TEST(MatmulTest, MultiGpuIsFasterThanSingle) {
+  Params p = small_params();
+  auto run_with = [&](int gpus) {
+    auto cfg = apps::multi_gpu_node(gpus, p.byte_scale());
+    cfg.scheduler = "affinity";
+    cfg.cache_policy = "wb";
+    ompss::Env env(cfg);
+    return run_ompss(env, p, InitMode::kSeq).seconds;
+  };
+  double t1 = run_with(1);
+  double t4 = run_with(4);
+  EXPECT_LT(t4, t1);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Application tests for STREAM, Perlin and N-Body: every version of every
+// app must agree with its serial reference, in every execution environment.
+#include <gtest/gtest.h>
+
+#include "apps/nbody/nbody.hpp"
+#include "apps/perlin/perlin.hpp"
+#include "apps/stream/stream.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// STREAM
+
+apps::stream::Params stream_params(int gpus = 1) {
+  apps::stream::Params p;
+  p.blocks_per_gpu = 8;
+  p.gpus = gpus;
+  p.block_phys = 512;
+  p.ntimes = 3;
+  return p;
+}
+
+TEST(StreamTest, SerialIsDeterministic) {
+  auto p = stream_params();
+  EXPECT_DOUBLE_EQ(apps::stream::run_serial(p).checksum, apps::stream::run_serial(p).checksum);
+}
+
+TEST(StreamTest, CudaMatchesSerial) {
+  auto p = stream_params();
+  auto ref = apps::stream::run_serial(p);
+  vt::Clock clock;
+  auto r = apps::stream::run_cuda(p, clock, apps::tesla_s2050(p.byte_scale()));
+  EXPECT_DOUBLE_EQ(r.checksum, ref.checksum);
+  EXPECT_GT(r.gbps, 0.0);
+}
+
+TEST(StreamTest, OmpssMatchesSerialAllCaches) {
+  for (const char* cache : {"nocache", "wt", "wb"}) {
+    auto p = stream_params(2);
+    auto ref = apps::stream::run_serial(p);
+    auto cfg = apps::multi_gpu_node(2, p.byte_scale());
+    cfg.cache_policy = cache;
+    ompss::Env env(cfg);
+    auto r = apps::stream::run_ompss(env, p);
+    EXPECT_DOUBLE_EQ(r.checksum, ref.checksum) << cache;
+  }
+}
+
+TEST(StreamTest, OmpssClusterMatchesSerial) {
+  auto p = stream_params(4);
+  auto ref = apps::stream::run_serial(p);
+  ompss::Env env(apps::gpu_cluster(4, p.byte_scale()));
+  auto r = apps::stream::run_ompss(env, p);
+  EXPECT_DOUBLE_EQ(r.checksum, ref.checksum);
+}
+
+TEST(StreamTest, MpiCudaMatchesSerial) {
+  auto p = stream_params(2);  // 2 ranks worth of data
+  auto ref = apps::stream::run_serial(p);
+  vt::Clock clock;
+  auto r = apps::stream::run_mpicuda(p, clock, 2, apps::qdr_infiniband(p.byte_scale()),
+                                     apps::gtx480(p.byte_scale()));
+  EXPECT_DOUBLE_EQ(r.checksum, ref.checksum);
+}
+
+// ---------------------------------------------------------------------------
+// Perlin
+
+apps::perlin::Params perlin_params(bool flush) {
+  apps::perlin::Params p;
+  p.dim_phys = 128;
+  p.bands = 8;
+  p.steps = 4;
+  p.flush = flush;
+  return p;
+}
+
+TEST(PerlinTest, SerialIsDeterministic) {
+  auto p = perlin_params(true);
+  EXPECT_DOUBLE_EQ(apps::perlin::run_serial(p).checksum, apps::perlin::run_serial(p).checksum);
+  EXPECT_GT(apps::perlin::run_serial(p).checksum, 0.0);
+}
+
+TEST(PerlinTest, CudaMatchesSerialBothVariants) {
+  for (bool flush : {true, false}) {
+    auto p = perlin_params(flush);
+    auto ref = apps::perlin::run_serial(p);
+    vt::Clock clock;
+    auto r = apps::perlin::run_cuda(p, clock, apps::tesla_s2050(p.byte_scale()));
+    EXPECT_DOUBLE_EQ(r.checksum, ref.checksum) << "flush=" << flush;
+  }
+}
+
+TEST(PerlinTest, OmpssMatchesSerialBothVariants) {
+  for (bool flush : {true, false}) {
+    auto p = perlin_params(flush);
+    auto ref = apps::perlin::run_serial(p);
+    ompss::Env env(apps::multi_gpu_node(2, p.byte_scale()));
+    auto r = apps::perlin::run_ompss(env, p);
+    EXPECT_DOUBLE_EQ(r.checksum, ref.checksum) << "flush=" << flush;
+  }
+}
+
+TEST(PerlinTest, OmpssClusterMatchesSerial) {
+  for (bool flush : {true, false}) {
+    auto p = perlin_params(flush);
+    auto ref = apps::perlin::run_serial(p);
+    ompss::Env env(apps::gpu_cluster(2, p.byte_scale()));
+    auto r = apps::perlin::run_ompss(env, p);
+    EXPECT_DOUBLE_EQ(r.checksum, ref.checksum) << "flush=" << flush;
+  }
+}
+
+TEST(PerlinTest, MpiCudaMatchesSerial) {
+  for (bool flush : {true, false}) {
+    auto p = perlin_params(flush);
+    auto ref = apps::perlin::run_serial(p);
+    vt::Clock clock;
+    auto r = apps::perlin::run_mpicuda(p, clock, 2, apps::qdr_infiniband(p.byte_scale()),
+                                       apps::gtx480(p.byte_scale()));
+    EXPECT_DOUBLE_EQ(r.checksum, ref.checksum) << "flush=" << flush;
+  }
+}
+
+TEST(PerlinTest, NoFlushIsFasterThanFlush) {
+  auto pf = perlin_params(true);
+  auto pn = perlin_params(false);
+  pf.steps = pn.steps = 8;
+  double tf, tn;
+  {
+    ompss::Env env(apps::multi_gpu_node(2, pf.byte_scale()));
+    tf = apps::perlin::run_ompss(env, pf).seconds;
+  }
+  {
+    ompss::Env env(apps::multi_gpu_node(2, pn.byte_scale()));
+    tn = apps::perlin::run_ompss(env, pn).seconds;
+  }
+  EXPECT_LT(tn, tf);
+}
+
+// ---------------------------------------------------------------------------
+// N-Body
+
+apps::nbody::Params nbody_params() {
+  apps::nbody::Params p;
+  p.n_phys = 256;
+  p.nb = 4;
+  p.iters = 3;
+  return p;
+}
+
+TEST(NbodyTest, SerialIsDeterministic) {
+  auto p = nbody_params();
+  EXPECT_DOUBLE_EQ(apps::nbody::run_serial(p).checksum, apps::nbody::run_serial(p).checksum);
+}
+
+TEST(NbodyTest, CudaMatchesSerial) {
+  auto p = nbody_params();
+  auto ref = apps::nbody::run_serial(p);
+  vt::Clock clock;
+  auto r = apps::nbody::run_cuda(p, clock, apps::tesla_s2050(p.byte_scale()));
+  EXPECT_DOUBLE_EQ(r.checksum, ref.checksum);
+}
+
+TEST(NbodyTest, OmpssMatchesSerialAllCaches) {
+  for (const char* cache : {"nocache", "wt", "wb"}) {
+    auto p = nbody_params();
+    auto ref = apps::nbody::run_serial(p);
+    auto cfg = apps::multi_gpu_node(2, p.byte_scale());
+    cfg.cache_policy = cache;
+    ompss::Env env(cfg);
+    auto r = apps::nbody::run_ompss(env, p);
+    EXPECT_DOUBLE_EQ(r.checksum, ref.checksum) << cache;
+  }
+}
+
+TEST(NbodyTest, OmpssClusterMatchesSerial) {
+  auto p = nbody_params();
+  auto ref = apps::nbody::run_serial(p);
+  ompss::Env env(apps::gpu_cluster(2, p.byte_scale()));
+  auto r = apps::nbody::run_ompss(env, p);
+  EXPECT_DOUBLE_EQ(r.checksum, ref.checksum);
+}
+
+TEST(NbodyTest, MpiCudaMatchesSerial) {
+  auto p = nbody_params();
+  auto ref = apps::nbody::run_serial(p);
+  vt::Clock clock;
+  auto r = apps::nbody::run_mpicuda(p, clock, 2, apps::qdr_infiniband(p.byte_scale()),
+                                    apps::gtx480(p.byte_scale()));
+  EXPECT_DOUBLE_EQ(r.checksum, ref.checksum);
+}
+
+}  // namespace

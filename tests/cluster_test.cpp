@@ -1,0 +1,398 @@
+// Cluster-layer tests: remote execution, data staging (master-to-slave and
+// slave-to-slave), write-back at node level, presend, taskwait flush, and
+// remote subtask spawning.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "nanos/cluster.hpp"
+#include "vt/clock.hpp"
+
+namespace {
+
+using nanos::Access;
+using nanos::ClusterConfig;
+using nanos::ClusterRuntime;
+using nanos::DeviceKind;
+using nanos::TaskDesc;
+
+ClusterConfig base_cluster(int nodes, const std::string& placement = "affinity") {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node_scheduler = placement;
+  cfg.rr_chunk = 1;  // these tests rely on strict per-task alternation
+  cfg.segment_bytes = 32u << 20;
+  cfg.node.smp_workers = 2;
+  cfg.node.scheduler = "dep";
+  cfg.node.cache_policy = "wb";
+  simcuda::DeviceProps props;
+  props.memory_bytes = 8u << 20;
+  props.gflops = 1000.0;
+  props.pcie_bandwidth = 1e9;
+  props.copy_overhead = 0;
+  props.kernel_launch_overhead = 0;
+  cfg.node.gpus.assign(1, props);
+  cfg.link.bandwidth = 1e9;
+  return cfg;
+}
+
+void run_app(ClusterConfig cfg, const std::function<void(ClusterRuntime&)>& body) {
+  vt::Clock clock;
+  ClusterRuntime rt(clock, std::move(cfg));
+  vt::Thread driver(clock, "app", [&] { body(rt); });
+  driver.join();
+}
+
+TaskDesc gpu_task(std::vector<Access> acc, nanos::TaskFn fn, double flops = 1e6) {
+  TaskDesc d;
+  d.device = DeviceKind::kCuda;
+  d.accesses = std::move(acc);
+  d.fn = std::move(fn);
+  d.cost.flops = flops;
+  return d;
+}
+
+TaskDesc smp_task(std::vector<Access> acc, nanos::TaskFn fn, double flops = 0) {
+  TaskDesc d;
+  d.device = DeviceKind::kSmp;
+  d.accesses = std::move(acc);
+  d.fn = std::move(fn);
+  d.cost.flops = flops;
+  return d;
+}
+
+TEST(ClusterTest, SingleNodeBehavesLikeLocalRuntime) {
+  std::vector<float> a(256, 1.0f);
+  run_app(base_cluster(1), [&](ClusterRuntime& rt) {
+    rt.spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) {
+                        auto* f = c.data_as<float>(0);
+                        for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+                      }));
+    rt.taskwait();
+  });
+  for (float v : a) ASSERT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(ClusterTest, RemoteTaskExecutesAndResultsComeHome) {
+  std::vector<float> a(256);
+  std::iota(a.begin(), a.end(), 0.0f);
+  run_app(base_cluster(2, "bf"), [&](ClusterRuntime& rt) {
+    // Round-robin placement: spawn two tasks so one lands on node 1.
+    std::vector<float> b(256, 0.0f);
+    int nodes_seen[2] = {0, 0};
+    std::mutex mu;
+    auto mark = [&](nanos::TaskContext& c) {
+      std::lock_guard<std::mutex> lk(mu);
+      nodes_seen[c.node()]++;
+    };
+    rt.spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                      [&](nanos::TaskContext& c) {
+                        mark(c);
+                        auto* f = c.data_as<float>(0);
+                        for (int i = 0; i < 256; ++i) f[i] *= 2.0f;
+                      }));
+    rt.spawn(gpu_task({Access::inout(b.data(), b.size() * sizeof(float))},
+                      [&](nanos::TaskContext& c) {
+                        mark(c);
+                        auto* f = c.data_as<float>(0);
+                        for (int i = 0; i < 256; ++i) f[i] = 1.0f;
+                      }));
+    rt.taskwait();
+    EXPECT_EQ(nodes_seen[0], 1);
+    EXPECT_EQ(nodes_seen[1], 1);
+    for (float v : b) ASSERT_FLOAT_EQ(v, 1.0f);
+  });
+  for (int i = 0; i < 256; ++i) ASSERT_FLOAT_EQ(a[static_cast<std::size_t>(i)], 2.0f * i);
+}
+
+TEST(ClusterTest, RemoteTaskSeesStagedInputs) {
+  std::vector<float> in(512), out(512, 0.0f);
+  std::iota(in.begin(), in.end(), 10.0f);
+  run_app(base_cluster(2, "bf"), [&](ClusterRuntime& rt) {
+    // Force both tasks through round robin; the dependent one may run on
+    // either node — its input must be staged correctly in both cases.
+    rt.spawn(smp_task({Access::inout(in.data(), in.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) {
+                        auto* f = c.data_as<float>(0);
+                        for (int i = 0; i < 512; ++i) f[i] += 1.0f;
+                      }));
+    rt.spawn(gpu_task({Access::in(in.data(), in.size() * sizeof(float)),
+                       Access::out(out.data(), out.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) {
+                        auto* src = c.data_as<float>(0);
+                        auto* dst = c.data_as<float>(1);
+                        for (int i = 0; i < 512; ++i) dst[i] = src[i] * 3.0f;
+                      }));
+    rt.taskwait();
+  });
+  for (int i = 0; i < 512; ++i)
+    ASSERT_FLOAT_EQ(out[static_cast<std::size_t>(i)], (10.0f + i + 1.0f) * 3.0f);
+}
+
+TEST(ClusterTest, WriteBackAtNodeLevel) {
+  // Without a flush, remotely produced data stays remote.
+  std::vector<float> a(128, 0.0f);
+  run_app(base_cluster(2, "bf"), [&](ClusterRuntime& rt) {
+    rt.spawn(smp_task({}, [](nanos::TaskContext&) {}));  // occupies node 0 slot
+    rt.spawn(gpu_task({Access::out(a.data(), a.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) {
+                        auto* f = c.data_as<float>(0);
+                        for (int i = 0; i < 128; ++i) f[i] = 6.0f;
+                      }));
+    rt.taskwait(/*flush=*/false);
+    EXPECT_FLOAT_EQ(a[0], 0.0f);  // still on node 1
+    rt.taskwait(/*flush=*/true);
+    EXPECT_FLOAT_EQ(a[0], 6.0f);
+  });
+}
+
+TEST(ClusterTest, ChainAcrossNodesStaysCoherent) {
+  // A chain of +1 tasks forced across nodes by round robin: every hop moves
+  // the data (slave-to-slave or via the master) and the sum must be exact.
+  std::vector<float> a(256, 0.0f);
+  for (bool stos : {false, true}) {
+    std::fill(a.begin(), a.end(), 0.0f);
+    ClusterConfig cfg = base_cluster(4, "bf");
+    cfg.slave_to_slave = stos;
+    run_app(cfg, [&](ClusterRuntime& rt) {
+      for (int step = 0; step < 8; ++step) {
+        rt.spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                          [](nanos::TaskContext& c) {
+                            auto* f = c.data_as<float>(0);
+                            for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+                          }));
+      }
+      rt.taskwait();
+    });
+    for (float v : a) ASSERT_FLOAT_EQ(v, 8.0f) << "stos=" << stos;
+  }
+}
+
+TEST(ClusterTest, SlaveToSlaveReducesMasterTraffic) {
+  auto run_chain = [&](bool stos) {
+    std::vector<float> data(4096, 0.0f);
+    ClusterConfig cfg = base_cluster(4, "bf");
+    cfg.slave_to_slave = stos;
+    double master_tx = 0;
+    run_app(cfg, [&](ClusterRuntime& rt) {
+      for (int step = 0; step < 12; ++step) {
+        rt.spawn(gpu_task({Access::inout(data.data(), data.size() * sizeof(float))},
+                          [](nanos::TaskContext& c) { c.data_as<float>(0)[0] += 1.0f; }));
+      }
+      rt.taskwait();
+      master_tx = rt.network().endpoint(0).stats().sum("tx_bytes");
+    });
+    return master_tx;
+  };
+  double mtos_bytes = run_chain(false);
+  double stos_bytes = run_chain(true);
+  EXPECT_LT(stos_bytes, mtos_bytes * 0.7);  // the relay traffic disappears
+}
+
+TEST(ClusterTest, AffinityPlacementChainsOnProducerNode) {
+  std::vector<float> a(1024, 0.0f);
+  std::vector<int> nodes_used;
+  std::mutex mu;
+  run_app(base_cluster(4, "affinity"), [&](ClusterRuntime& rt) {
+    for (int step = 0; step < 6; ++step) {
+      rt.spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                        [&](nanos::TaskContext& c) {
+                          std::lock_guard<std::mutex> lk(mu);
+                          nodes_used.push_back(c.node());
+                        }));
+    }
+    rt.taskwait();
+  });
+  ASSERT_EQ(nodes_used.size(), 6u);
+  // After the first write establishes ownership, all successors follow it.
+  for (std::size_t i = 1; i < nodes_used.size(); ++i)
+    EXPECT_EQ(nodes_used[i], nodes_used[1]) << "task " << i;
+}
+
+TEST(ClusterTest, PresendKeepsMultipleTasksInFlight) {
+  // Independent tasks bound for one node: with presend the transfers of
+  // queued tasks overlap the running one, shortening the makespan.
+  auto run_with_presend = [&](int presend) {
+    constexpr int kTasks = 6;
+    constexpr std::size_t kFloats = (1u << 20) / sizeof(float);
+    static std::vector<std::vector<float>> blocks;
+    blocks.assign(kTasks, std::vector<float>(kFloats, 1.0f));
+    ClusterConfig cfg = base_cluster(2, "bf");
+    cfg.presend = presend;
+    cfg.node.overlap = true;
+    cfg.node.prefetch = true;
+    double elapsed = 0;
+    run_app(cfg, [&](ClusterRuntime& rt) {
+      double t0 = rt.clock().now();
+      for (int i = 0; i < kTasks; ++i) {
+        // Forced to node 1: round robin over 2 nodes with 2*i spawns… instead
+        // use affinity-defeating independent regions and let bf alternate;
+        // only measure total makespan.
+        rt.spawn(gpu_task(
+            {Access::inout(blocks[static_cast<std::size_t>(i)].data(), kFloats * sizeof(float))},
+            [](nanos::TaskContext& c) { c.data_as<float>(0)[0] += 1.0f; },
+            /*flops=*/5e9));  // 5 ms kernel vs ~1 ms transfer
+      }
+      rt.taskwait(/*flush=*/false);
+      elapsed = rt.clock().now() - t0;
+    });
+    return elapsed;
+  };
+  double t_nopresend = run_with_presend(0);
+  double t_presend = run_with_presend(2);
+  EXPECT_LT(t_presend, t_nopresend);  // communication hides behind compute
+}
+
+TEST(ClusterTest, RemoteTaskSpawnsLocalSubtasks) {
+  std::vector<float> a(256, 0.0f);
+  run_app(base_cluster(2, "bf"), [&](ClusterRuntime& rt) {
+    rt.spawn(smp_task({}, [](nanos::TaskContext&) {}));  // node 0
+    rt.spawn(smp_task(
+        {Access::inout(a.data(), a.size() * sizeof(float))},
+        [](nanos::TaskContext& ctx) {
+          // Runs on node 1; decomposes its block into two local GPU subtasks
+          // through its node's own runtime (paper: scalable decomposition).
+          auto* base = ctx.data_as<float>(0);
+          EXPECT_EQ(ctx.node(), 1);
+          for (int half = 0; half < 2; ++half) {
+            TaskDesc sub;
+            sub.device = DeviceKind::kCuda;
+            sub.accesses = {Access::inout(base + half * 128, 128 * sizeof(float))};
+            sub.fn = [](nanos::TaskContext& c) {
+              auto* f = c.data_as<float>(0);
+              for (int i = 0; i < 128; ++i) f[i] += 2.0f;
+            };
+            ctx.runtime().spawn(std::move(sub));
+          }
+          // Parent waits implicitly for children before completing.
+        }));
+    rt.taskwait();
+  });
+  for (float v : a) ASSERT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(ClusterTest, ManyTasksAcrossFourNodes) {
+  static constexpr int kBlocks = 16;
+  static constexpr int kSteps = 4;
+  static constexpr std::size_t kFloats = 256;
+  std::vector<std::vector<float>> blocks(kBlocks, std::vector<float>(kFloats, 1.0f));
+  run_app(base_cluster(4, "affinity"), [&](ClusterRuntime& rt) {
+    for (int s = 0; s < kSteps; ++s) {
+      for (int b = 0; b < kBlocks; ++b) {
+        rt.spawn(gpu_task(
+            {Access::inout(blocks[static_cast<std::size_t>(b)].data(), kFloats * sizeof(float))},
+            [](nanos::TaskContext& c) {
+              auto* f = c.data_as<float>(0);
+              for (std::size_t i = 0; i < kFloats; ++i) f[i] *= 2.0f;
+            }));
+      }
+    }
+    rt.taskwait();
+  });
+  for (const auto& blk : blocks)
+    for (float v : blk) ASSERT_FLOAT_EQ(v, 16.0f);
+}
+
+TEST(ClusterTest, MixedDependentGraphMatchesReference) {
+  // y = sum of x blocks, computed via per-block scale on various nodes and a
+  // final SMP reduction that must gather every block.
+  static constexpr int kBlocks = 8;
+  static constexpr std::size_t kFloats = 512;
+  std::vector<std::vector<float>> x(kBlocks, std::vector<float>(kFloats));
+  for (int b = 0; b < kBlocks; ++b)
+    std::iota(x[static_cast<std::size_t>(b)].begin(), x[static_cast<std::size_t>(b)].end(),
+              static_cast<float>(b));
+  double expected = 0;
+  for (const auto& blk : x)
+    for (float v : blk) expected += 2.0 * v;
+
+  double sum = 0;
+  run_app(base_cluster(4, "bf"), [&](ClusterRuntime& rt) {
+    for (int b = 0; b < kBlocks; ++b) {
+      rt.spawn(gpu_task(
+          {Access::inout(x[static_cast<std::size_t>(b)].data(), kFloats * sizeof(float))},
+          [](nanos::TaskContext& c) {
+            auto* f = c.data_as<float>(0);
+            for (std::size_t i = 0; i < kFloats; ++i) f[i] *= 2.0f;
+          }));
+    }
+    std::vector<Access> acc;
+    acc.reserve(kBlocks);
+    for (int b = 0; b < kBlocks; ++b)
+      acc.push_back(Access::in(x[static_cast<std::size_t>(b)].data(), kFloats * sizeof(float)));
+    rt.spawn(smp_task(acc, [&](nanos::TaskContext& c) {
+      for (int b = 0; b < kBlocks; ++b) {
+        auto* f = static_cast<const float*>(c.data(static_cast<std::size_t>(b)));
+        for (std::size_t i = 0; i < kFloats; ++i) sum += f[i];
+      }
+    }));
+    rt.taskwait();
+  });
+  EXPECT_NEAR(sum, expected, 1e-3);
+}
+
+TEST(ClusterTest, TaskwaitOnPullsOnlyThatRegion) {
+  std::vector<float> a(128, 0.0f), b(128, 0.0f);
+  run_app(base_cluster(2, "bf"), [&](ClusterRuntime& rt) {
+    rt.spawn(smp_task({}, [](nanos::TaskContext&) {}));  // occupies node 0 slot
+    rt.spawn(gpu_task({Access::out(a.data(), a.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 3.0f; },
+                      /*flops=*/1e6));
+    rt.spawn(smp_task({}, [](nanos::TaskContext&) {}));  // keep rr phase aligned
+    rt.spawn(gpu_task({Access::out(b.data(), b.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 4.0f; },
+                      /*flops=*/1e12));  // still running at the wait
+    rt.taskwait_on(common::Region(a.data(), a.size() * sizeof(float)));
+    EXPECT_FLOAT_EQ(a[0], 3.0f);  // pulled home from node 1
+    EXPECT_FLOAT_EQ(b[0], 0.0f);  // untouched, producer still running
+    rt.taskwait();
+    EXPECT_FLOAT_EQ(b[0], 4.0f);
+  });
+}
+
+TEST(ClusterTest, MultipleCommThreadsProduceSameResults) {
+  static constexpr int kBlocks2 = 12;
+  static constexpr std::size_t kF = 256;
+  auto run_with = [&](int comm_threads) {
+    std::vector<std::vector<float>> blocks(kBlocks2, std::vector<float>(kF, 1.0f));
+    ClusterConfig cfg = base_cluster(4, "affinity");
+    cfg.comm_threads = comm_threads;
+    cfg.presend = 1;
+    run_app(cfg, [&](ClusterRuntime& rt) {
+      for (int s = 0; s < 3; ++s) {
+        for (int blk = 0; blk < kBlocks2; ++blk) {
+          rt.spawn(gpu_task(
+              {Access::inout(blocks[static_cast<std::size_t>(blk)].data(), kF * sizeof(float))},
+              [](nanos::TaskContext& c) {
+                auto* f = c.data_as<float>(0);
+                for (std::size_t i = 0; i < kF; ++i) f[i] += 2.0f;
+              }));
+        }
+      }
+      rt.taskwait();
+    });
+    double sum = 0;
+    for (const auto& blk : blocks)
+      for (float v : blk) sum += v;
+    return sum;
+  };
+  double one = run_with(1);
+  double three = run_with(3);
+  EXPECT_DOUBLE_EQ(one, three);
+  EXPECT_DOUBLE_EQ(one, kBlocks2 * static_cast<double>(kF) * 7.0);  // 1 + 3*2
+}
+
+TEST(ClusterTest, StatsDistinguishLocalAndRemote) {
+  run_app(base_cluster(2, "bf"), [&](ClusterRuntime& rt) {
+    for (int i = 0; i < 4; ++i) rt.spawn(smp_task({}, [](nanos::TaskContext&) {}));
+    rt.taskwait();
+    EXPECT_EQ(rt.stats().count("cluster.tasks"), 4u);
+    EXPECT_EQ(rt.stats().count("cluster.local_tasks"), 2u);
+    EXPECT_EQ(rt.stats().count("cluster.remote_tasks"), 2u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,281 @@
+// Coherence-layer tests: directory versioning, the three cache policies,
+// eviction with write-back, flushes, and affinity scoring.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "nanos/coherence.hpp"
+#include "vt/clock.hpp"
+
+namespace {
+
+using nanos::Access;
+using nanos::CachePolicy;
+using nanos::CoherenceManager;
+using nanos::Task;
+using nanos::TaskDesc;
+
+constexpr int kHost = CoherenceManager::kHostSpace;
+
+class CoherenceTest : public ::testing::Test {
+protected:
+  CoherenceTest() = default;
+
+  void init(CachePolicy policy, int gpus = 2, std::size_t dev_mem = 1u << 20,
+            bool overlap = false) {
+    simcuda::DeviceProps props;
+    props.memory_bytes = dev_mem;
+    props.pcie_bandwidth = 1e9;
+    props.copy_overhead = 0;
+    props.kernel_launch_overhead = 0;
+    platform_ = std::make_unique<simcuda::Platform>(
+        clock_, std::vector<simcuda::DeviceProps>(static_cast<std::size_t>(gpus), props));
+    coh_ = std::make_unique<CoherenceManager>(clock_, *platform_, policy, overlap, 8e9, stats_);
+    guard_ = std::make_unique<vt::AttachGuard>(clock_, "main");
+  }
+
+  Task* make_task(std::vector<Access> accesses) {
+    TaskDesc d;
+    d.accesses = std::move(accesses);
+    tasks_.push_back(std::make_unique<Task>(next_id_++, std::move(d), clock_));
+    return tasks_.back().get();
+  }
+
+  // Runs one task's data protocol on `space` and lets `mutate` stand in for
+  // the kernel body.
+  std::vector<void*> run(Task* t, int space, const std::function<void(std::vector<void*>&)>& body = nullptr) {
+    auto ptrs = coh_->acquire(*t, space);
+    coh_->sync_transfers(space);
+    if (body) body(ptrs);
+    coh_->release(*t, space);
+    return ptrs;
+  }
+
+  vt::Clock clock_;
+  common::Stats stats_;
+  std::unique_ptr<simcuda::Platform> platform_;
+  std::unique_ptr<CoherenceManager> coh_;
+  std::unique_ptr<vt::AttachGuard> guard_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST_F(CoherenceTest, HostAccessReturnsOriginalPointers) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(256, 1.0f);
+  Task* t = make_task({Access::inout(a.data(), a.size() * sizeof(float))});
+  auto ptrs = run(t, kHost);
+  EXPECT_EQ(ptrs[0], a.data());
+}
+
+TEST_F(CoherenceTest, GpuAcquireCopiesInputData) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(256);
+  std::iota(a.begin(), a.end(), 0.0f);
+  Task* t = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  auto ptrs = run(t, 1);
+  ASSERT_NE(ptrs[0], static_cast<void*>(a.data()));  // device copy
+  EXPECT_TRUE(platform_->device(0).owns(ptrs[0]));
+  EXPECT_EQ(std::memcmp(ptrs[0], a.data(), a.size() * sizeof(float)), 0);
+}
+
+TEST_F(CoherenceTest, WriteBackKeepsDataOnGpuUntilFlush) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(256, 0.0f);
+  Task* w = make_task({Access::inout(a.data(), a.size() * sizeof(float))});
+  run(w, 1, [](std::vector<void*>& p) {
+    auto* f = static_cast<float*>(p[0]);
+    for (int i = 0; i < 256; ++i) f[i] = 7.0f;
+  });
+  // Host copy is stale under write-back…
+  EXPECT_FLOAT_EQ(a[0], 0.0f);
+  EXPECT_EQ(stats_.count("coh.d2h"), 0u);
+  // …until a flush brings it home.
+  coh_->flush_all();
+  EXPECT_FLOAT_EQ(a[0], 7.0f);
+  EXPECT_EQ(stats_.count("coh.d2h"), 1u);
+}
+
+TEST_F(CoherenceTest, WriteThroughPropagatesOnRelease) {
+  init(CachePolicy::kWriteThrough);
+  std::vector<float> a(256, 0.0f);
+  Task* w = make_task({Access::inout(a.data(), a.size() * sizeof(float))});
+  run(w, 1, [](std::vector<void*>& p) { static_cast<float*>(p[0])[0] = 3.5f; });
+  EXPECT_FLOAT_EQ(a[0], 3.5f);  // already home, no flush needed
+  EXPECT_EQ(stats_.count("coh.d2h"), 1u);
+}
+
+TEST_F(CoherenceTest, WriteThroughKeepsReadCopyForReuse) {
+  init(CachePolicy::kWriteThrough);
+  std::vector<float> a(256, 1.0f);
+  Task* r1 = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  Task* r2 = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  run(r1, 1);
+  run(r2, 1);
+  EXPECT_EQ(stats_.count("coh.h2d"), 1u);  // second read hits the cache
+  EXPECT_EQ(stats_.count("coh.hits"), 1u);
+}
+
+TEST_F(CoherenceTest, NoCacheMovesDataEveryTime) {
+  init(CachePolicy::kNoCache);
+  std::vector<float> a(256, 1.0f);
+  Task* r1 = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  Task* r2 = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  run(r1, 1);
+  run(r2, 1);
+  EXPECT_EQ(stats_.count("coh.h2d"), 2u);  // no reuse
+  // And device memory is returned after each task.
+  EXPECT_EQ(platform_->device(0).free_bytes(), platform_->device(0).capacity());
+}
+
+TEST_F(CoherenceTest, NoCacheWritebackHappensImmediately) {
+  init(CachePolicy::kNoCache);
+  std::vector<float> a(16, 0.0f);
+  Task* w = make_task({Access::out(a.data(), a.size() * sizeof(float))});
+  run(w, 1, [](std::vector<void*>& p) { static_cast<float*>(p[0])[3] = 9.0f; });
+  EXPECT_FLOAT_EQ(a[3], 9.0f);
+}
+
+TEST_F(CoherenceTest, GpuToGpuGoesThroughHost) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(64, 0.0f);
+  Task* w = make_task({Access::out(a.data(), a.size() * sizeof(float))});
+  run(w, 1, [](std::vector<void*>& p) { static_cast<float*>(p[0])[0] = 5.0f; });
+  Task* r = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  auto ptrs = run(r, 2);
+  // The read on GPU 1 staged via the host: one d2h (writeback) + one h2d.
+  EXPECT_EQ(stats_.count("coh.d2h"), 1u);
+  EXPECT_GE(stats_.count("coh.h2d"), 1u);
+  EXPECT_FLOAT_EQ(static_cast<float*>(ptrs[0])[0], 5.0f);
+  EXPECT_FLOAT_EQ(a[0], 5.0f);  // the staging also refreshed the host
+}
+
+TEST_F(CoherenceTest, HostWriteInvalidatesGpuCopies) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(64, 1.0f);
+  Task* r = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  run(r, 1);
+  // An SMP task rewrites the data on the host.
+  Task* w = make_task({Access::inout(a.data(), a.size() * sizeof(float))});
+  run(w, kHost, [](std::vector<void*>& p) { static_cast<float*>(p[0])[0] = 2.0f; });
+  // The GPU copy is now stale: a new GPU read must transfer again.
+  Task* r2 = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  auto ptrs = run(r2, 1);
+  EXPECT_EQ(stats_.count("coh.h2d"), 2u);
+  EXPECT_FLOAT_EQ(static_cast<float*>(ptrs[0])[0], 2.0f);
+}
+
+TEST_F(CoherenceTest, SmpReadAfterGpuWriteFetchesToHost) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(64, 0.0f);
+  Task* w = make_task({Access::out(a.data(), a.size() * sizeof(float))});
+  run(w, 1, [](std::vector<void*>& p) { static_cast<float*>(p[0])[1] = 4.0f; });
+  Task* r = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  run(r, kHost);
+  EXPECT_FLOAT_EQ(a[1], 4.0f);
+}
+
+TEST_F(CoherenceTest, EvictionWritesBackDirtyVictim) {
+  // Device holds 1 MiB; two 384 KiB regions fit, the third forces eviction.
+  init(CachePolicy::kWriteBack, /*gpus=*/1, /*dev_mem=*/1u << 20);
+  constexpr std::size_t kN = (384u << 10) / sizeof(float);
+  std::vector<float> a(kN, 0.0f), b(kN, 0.0f), c(kN, 0.0f);
+  auto write_task = [&](std::vector<float>& v, float val) {
+    Task* t = make_task({Access::inout(v.data(), v.size() * sizeof(float))});
+    run(t, 1, [val](std::vector<void*>& p) { static_cast<float*>(p[0])[0] = val; });
+  };
+  write_task(a, 1.0f);
+  write_task(b, 2.0f);
+  EXPECT_EQ(stats_.count("coh.evictions"), 0u);
+  write_task(c, 3.0f);  // evicts `a` (LRU), writing it back first
+  EXPECT_GE(stats_.count("coh.evictions"), 1u);
+  EXPECT_FLOAT_EQ(a[0], 1.0f);  // the dirty victim reached the host
+  // And `a` can still be read back correctly later.
+  Task* r = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  auto ptrs = run(r, 1);
+  EXPECT_FLOAT_EQ(static_cast<float*>(ptrs[0])[0], 1.0f);
+}
+
+TEST_F(CoherenceTest, OversizedRegionThrows) {
+  init(CachePolicy::kWriteBack, /*gpus=*/1, /*dev_mem=*/1u << 16);
+  std::vector<float> big((1u << 18) / sizeof(float));
+  Task* t = make_task({Access::in(big.data(), big.size() * sizeof(float))});
+  EXPECT_THROW(coh_->acquire(*t, 1), std::runtime_error);
+}
+
+TEST_F(CoherenceTest, PartialOverlapRejected) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(128);
+  Task* t1 = make_task({Access::in(a.data(), 64 * sizeof(float))});
+  run(t1, 1);
+  Task* t2 = make_task({Access::in(a.data() + 32, 64 * sizeof(float))});
+  EXPECT_THROW(coh_->acquire(*t2, 1), std::logic_error);
+}
+
+TEST_F(CoherenceTest, RegionReuseWithDifferentSizeRejected) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(128);
+  Task* t1 = make_task({Access::in(a.data(), 64 * sizeof(float))});
+  run(t1, 1);
+  Task* t2 = make_task({Access::in(a.data(), 128 * sizeof(float))});
+  EXPECT_THROW(coh_->acquire(*t2, 1), std::logic_error);
+}
+
+TEST_F(CoherenceTest, AffinityBytesTracksResidency) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(256), b(256);
+  Task* ra = make_task({Access::in(a.data(), a.size() * sizeof(float))});
+  run(ra, 1);  // a now on GPU 0 (space 1)
+  Task* t = make_task({Access::in(a.data(), a.size() * sizeof(float)),
+                       Access::in(b.data(), b.size() * sizeof(float))});
+  EXPECT_DOUBLE_EQ(coh_->affinity_bytes(*t, 1), 256 * sizeof(float));  // only a
+  EXPECT_DOUBLE_EQ(coh_->affinity_bytes(*t, 2), 0.0);
+  EXPECT_DOUBLE_EQ(coh_->affinity_bytes(*t, kHost), 2 * 256 * sizeof(float));
+}
+
+TEST_F(CoherenceTest, FlushRegionBringsOnlyThatRegionHome) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(64, 0.0f), b(64, 0.0f);
+  auto write_on_gpu = [&](std::vector<float>& v, float val) {
+    Task* t = make_task({Access::out(v.data(), v.size() * sizeof(float))});
+    run(t, 1, [val](std::vector<void*>& p) { static_cast<float*>(p[0])[0] = val; });
+  };
+  write_on_gpu(a, 1.0f);
+  write_on_gpu(b, 2.0f);
+  coh_->flush_region(common::Region(a.data(), a.size() * sizeof(float)));
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+  EXPECT_FLOAT_EQ(b[0], 0.0f);  // untouched
+}
+
+TEST_F(CoherenceTest, OverlapModeProducesSameData) {
+  init(CachePolicy::kWriteBack, /*gpus=*/1, /*dev_mem=*/1u << 20, /*overlap=*/true);
+  std::vector<float> a(256);
+  std::iota(a.begin(), a.end(), 0.0f);
+  Task* t = make_task({Access::inout(a.data(), a.size() * sizeof(float))});
+  run(t, 1, [](std::vector<void*>& p) {
+    auto* f = static_cast<float*>(p[0]);
+    for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+  });
+  coh_->flush_all();
+  for (int i = 0; i < 256; ++i) ASSERT_FLOAT_EQ(a[static_cast<std::size_t>(i)], i + 1.0f);
+  // All pinned staging buffers were freed.
+  EXPECT_EQ(platform_->pinned_bytes(), 0u);
+}
+
+TEST_F(CoherenceTest, DependenceOnlyAccessIsUntouched) {
+  init(CachePolicy::kWriteBack);
+  std::vector<float> a(64, 1.0f);
+  nanos::Access dep_only;
+  dep_only.region = common::Region(a.data(), a.size() * sizeof(float));
+  dep_only.mode = nanos::AccessMode::kInout;
+  dep_only.copy = false;
+  Task* t = make_task({dep_only});
+  auto ptrs = run(t, 1);
+  EXPECT_EQ(ptrs[0], static_cast<void*>(a.data()));  // raw pointer, no copy
+  EXPECT_EQ(stats_.count("coh.h2d"), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/config.hpp"
+#include "common/region.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using common::Config;
+using common::ConfigError;
+using common::Region;
+using common::Stats;
+
+TEST(ConfigTest, ParseArgsBasic) {
+  Config c;
+  c.parse_args("scheduler=affinity,cache=wb,gpus=4");
+  EXPECT_EQ(c.get_string("scheduler", ""), "affinity");
+  EXPECT_EQ(c.get_string("cache", ""), "wb");
+  EXPECT_EQ(c.get_int("gpus", 0), 4);
+}
+
+TEST(ConfigTest, ParseArgsTrimsWhitespace) {
+  Config c;
+  c.parse_args("  a = 1 ,  b = two  ");
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get_string("b", ""), "two");
+}
+
+TEST(ConfigTest, LaterEntriesOverride) {
+  Config c;
+  c.parse_args("x=1,x=2");
+  EXPECT_EQ(c.get_int("x", 0), 2);
+}
+
+TEST(ConfigTest, MalformedEntriesThrow) {
+  Config c;
+  EXPECT_THROW(c.parse_args("novalue"), ConfigError);
+  EXPECT_THROW(c.parse_args("=5"), ConfigError);
+}
+
+TEST(ConfigTest, DefaultsWhenMissing) {
+  Config c;
+  EXPECT_EQ(c.get_int("missing", 42), 42);
+  EXPECT_EQ(c.get_string("missing", "d"), "d");
+  EXPECT_TRUE(c.get_bool("missing", true));
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 1.5), 1.5);
+}
+
+TEST(ConfigTest, BoolParsing) {
+  Config c;
+  c.parse_args("a=true,b=No,c=ON,d=0");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+  c.set("e", "maybe");
+  EXPECT_THROW(c.get_bool("e", false), ConfigError);
+}
+
+TEST(ConfigTest, NumericValidation) {
+  Config c;
+  c.set("n", "12x");
+  EXPECT_THROW(c.get_int("n", 0), ConfigError);
+  c.set("d", "1.5.2");
+  EXPECT_THROW(c.get_double("d", 0), ConfigError);
+  c.set("neg", "-1");
+  EXPECT_THROW(c.get_size("neg", 0), ConfigError);
+}
+
+TEST(ConfigTest, ParseEnvWithPrefix) {
+  ::setenv("OMPSSTEST_SCHEDULER", "bf", 1);
+  ::setenv("OMPSSTEST_PRESEND", "2", 1);
+  ::setenv("OTHERVAR_X", "nope", 1);
+  Config c;
+  c.parse_env("OMPSSTEST_");
+  EXPECT_EQ(c.get_string("scheduler", ""), "bf");
+  EXPECT_EQ(c.get_int("presend", 0), 2);
+  EXPECT_FALSE(c.has("x"));
+  ::unsetenv("OMPSSTEST_SCHEDULER");
+  ::unsetenv("OMPSSTEST_PRESEND");
+  ::unsetenv("OTHERVAR_X");
+}
+
+TEST(ConfigTest, RoundTripToString) {
+  Config c;
+  c.parse_args("b=2,a=1");
+  EXPECT_EQ(c.to_string(), "a=1,b=2");
+  Config c2;
+  c2.parse_args(c.to_string());
+  EXPECT_EQ(c2.get_int("a", 0), 1);
+}
+
+TEST(RegionTest, OverlapCases) {
+  Region a(reinterpret_cast<void*>(0x1000), 0x100);
+  EXPECT_TRUE(a.overlaps(Region(std::uintptr_t{0x1080}, std::size_t{0x10})));   // inside
+  EXPECT_TRUE(a.overlaps(Region(std::uintptr_t{0x0FF0}, std::size_t{0x20})));   // left edge
+  EXPECT_TRUE(a.overlaps(Region(std::uintptr_t{0x10F0}, std::size_t{0x100})));  // right edge
+  EXPECT_FALSE(a.overlaps(Region(std::uintptr_t{0x1100}, std::size_t{0x10})));  // adjacent
+  EXPECT_FALSE(a.overlaps(Region(std::uintptr_t{0x0F00}, std::size_t{0x100}))); // before
+  EXPECT_FALSE(a.overlaps(Region(std::uintptr_t{0x1080}, std::size_t{0})));     // empty
+}
+
+TEST(RegionTest, Contains) {
+  Region a(std::uintptr_t{0x1000}, std::size_t{0x100});
+  EXPECT_TRUE(a.contains(Region(std::uintptr_t{0x1000}, std::size_t{0x100})));
+  EXPECT_TRUE(a.contains(Region(std::uintptr_t{0x1010}, std::size_t{0x10})));
+  EXPECT_FALSE(a.contains(Region(std::uintptr_t{0x10FF}, std::size_t{0x2})));
+  EXPECT_TRUE(a.contains(Region(std::uintptr_t{0x2000}, std::size_t{0})));  // empty always contained
+}
+
+TEST(RegionTest, OrderingAndEquality) {
+  Region a(std::uintptr_t{0x1000}, std::size_t{8});
+  Region b(std::uintptr_t{0x1000}, std::size_t{16});
+  Region c(std::uintptr_t{0x2000}, std::size_t{8});
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_EQ(a, Region(std::uintptr_t{0x1000}, std::size_t{8}));
+}
+
+TEST(StatsTest, AccumulatesValues) {
+  Stats s;
+  s.add("bytes", 10);
+  s.add("bytes", 30);
+  s.incr("count");
+  auto v = s.get("bytes");
+  EXPECT_EQ(v.count, 2u);
+  EXPECT_DOUBLE_EQ(v.sum, 40);
+  EXPECT_DOUBLE_EQ(v.min, 10);
+  EXPECT_DOUBLE_EQ(v.max, 30);
+  EXPECT_DOUBLE_EQ(v.mean(), 20);
+  EXPECT_EQ(s.count("count"), 1u);
+}
+
+TEST(StatsTest, MissingIsZero) {
+  Stats s;
+  EXPECT_EQ(s.count("nope"), 0u);
+  EXPECT_DOUBLE_EQ(s.sum("nope"), 0.0);
+}
+
+TEST(StatsTest, ClearResets) {
+  Stats s;
+  s.add("x", 1);
+  s.clear();
+  EXPECT_EQ(s.count("x"), 0u);
+}
+
+TEST(StatsTest, SnapshotIsConsistent) {
+  Stats s;
+  s.add("a", 1);
+  s.add("b", 2);
+  auto snap = s.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.at("b").sum, 2);
+}
+
+}  // namespace

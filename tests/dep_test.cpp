@@ -1,0 +1,233 @@
+// Dependency-layer tests: RAW/WAR/WAW arcs, readiness callbacks, taskwait
+// semantics, conservative overlap handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "nanos/dep.hpp"
+#include "nanos/task.hpp"
+#include "vt/clock.hpp"
+
+namespace {
+
+using nanos::Access;
+using nanos::DependencyDomain;
+using nanos::Task;
+using nanos::TaskDesc;
+
+class DepTest : public ::testing::Test {
+protected:
+  DepTest()
+      : domain_(clock_, [this](Task* t, Task* releaser) {
+          ready_.push_back(t);
+          releasers_.push_back(releaser);
+        }) {}
+
+  Task* make_task(std::vector<Access> accesses) {
+    TaskDesc d;
+    d.accesses = std::move(accesses);
+    tasks_.push_back(std::make_unique<Task>(next_id_++, std::move(d), clock_));
+    return tasks_.back().get();
+  }
+
+  bool is_ready(Task* t) const {
+    return std::find(ready_.begin(), ready_.end(), t) != ready_.end();
+  }
+
+  vt::Clock clock_;
+  std::vector<Task*> ready_;
+  std::vector<Task*> releasers_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  DependencyDomain domain_;
+  std::uint64_t next_id_ = 1;
+};
+
+double data_a[64], data_b[64], data_c[64];
+
+TEST_F(DepTest, IndependentTasksAreImmediatelyReady) {
+  Task* t1 = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* t2 = make_task({Access::out(data_b, sizeof(data_b))});
+  domain_.submit(t1);
+  domain_.submit(t2);
+  EXPECT_TRUE(is_ready(t1));
+  EXPECT_TRUE(is_ready(t2));
+  EXPECT_EQ(releasers_[0], nullptr);
+}
+
+TEST_F(DepTest, RawChainReleasesInOrder) {
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* r = make_task({Access::in(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  domain_.submit(r);
+  EXPECT_TRUE(is_ready(w));
+  EXPECT_FALSE(is_ready(r));  // blocked on the writer
+  domain_.on_complete(w);
+  EXPECT_TRUE(is_ready(r));
+  EXPECT_EQ(releasers_.back(), w);  // released by w — the "dep" policy hint
+}
+
+TEST_F(DepTest, TwoReadersRunInParallelAfterWriter) {
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* r1 = make_task({Access::in(data_a, sizeof(data_a))});
+  Task* r2 = make_task({Access::in(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  domain_.submit(r1);
+  domain_.submit(r2);
+  domain_.on_complete(w);
+  EXPECT_TRUE(is_ready(r1));
+  EXPECT_TRUE(is_ready(r2));
+}
+
+TEST_F(DepTest, WarBlocksWriterUntilReadersFinish) {
+  Task* w1 = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* r1 = make_task({Access::in(data_a, sizeof(data_a))});
+  Task* r2 = make_task({Access::in(data_a, sizeof(data_a))});
+  Task* w2 = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w1);
+  domain_.submit(r1);
+  domain_.submit(r2);
+  domain_.submit(w2);
+  domain_.on_complete(w1);
+  EXPECT_FALSE(is_ready(w2));
+  domain_.on_complete(r1);
+  EXPECT_FALSE(is_ready(w2));  // one reader still outstanding
+  domain_.on_complete(r2);
+  EXPECT_TRUE(is_ready(w2));
+}
+
+TEST_F(DepTest, WawSerializesWriters) {
+  Task* w1 = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* w2 = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w1);
+  domain_.submit(w2);
+  EXPECT_FALSE(is_ready(w2));
+  domain_.on_complete(w1);
+  EXPECT_TRUE(is_ready(w2));
+}
+
+TEST_F(DepTest, InoutActsAsReadAndWrite) {
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* io = make_task({Access::inout(data_a, sizeof(data_a))});
+  Task* r = make_task({Access::in(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  domain_.submit(io);
+  domain_.submit(r);
+  EXPECT_FALSE(is_ready(io));
+  EXPECT_FALSE(is_ready(r));
+  domain_.on_complete(w);
+  EXPECT_TRUE(is_ready(io));
+  EXPECT_FALSE(is_ready(r));  // reads the *new* version produced by io
+  domain_.on_complete(io);
+  EXPECT_TRUE(is_ready(r));
+}
+
+TEST_F(DepTest, DisjointRegionsOfSameArrayAreIndependent) {
+  Task* w1 = make_task({Access::out(data_a, 32 * sizeof(double))});
+  Task* w2 = make_task({Access::out(data_a + 32, 32 * sizeof(double))});
+  domain_.submit(w1);
+  domain_.submit(w2);
+  EXPECT_TRUE(is_ready(w1));
+  EXPECT_TRUE(is_ready(w2));
+}
+
+TEST_F(DepTest, OverlappingRegionsAreConservativelyOrdered) {
+  // [0,48) and [32,64): distinct regions, byte overlap — must be ordered.
+  Task* w1 = make_task({Access::out(data_a, 48 * sizeof(double))});
+  Task* w2 = make_task({Access::out(data_a + 32, 32 * sizeof(double))});
+  domain_.submit(w1);
+  domain_.submit(w2);
+  EXPECT_TRUE(is_ready(w1));
+  EXPECT_FALSE(is_ready(w2));
+  domain_.on_complete(w1);
+  EXPECT_TRUE(is_ready(w2));
+}
+
+TEST_F(DepTest, MultiAccessTaskDependsOnAllProducers) {
+  Task* wa = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* wb = make_task({Access::out(data_b, sizeof(data_b))});
+  Task* sum = make_task({Access::in(data_a, sizeof(data_a)), Access::in(data_b, sizeof(data_b)),
+                         Access::out(data_c, sizeof(data_c))});
+  domain_.submit(wa);
+  domain_.submit(wb);
+  domain_.submit(sum);
+  domain_.on_complete(wa);
+  EXPECT_FALSE(is_ready(sum));
+  domain_.on_complete(wb);
+  EXPECT_TRUE(is_ready(sum));
+}
+
+TEST_F(DepTest, DependenceOnlyAccessesStillOrder) {
+  auto dep_only = [](void* p, std::size_t n, nanos::AccessMode m) {
+    Access a;
+    a.region = common::Region(p, n);
+    a.mode = m;
+    a.copy = false;
+    return a;
+  };
+  Task* w = make_task({dep_only(data_a, sizeof(data_a), nanos::AccessMode::kOut)});
+  Task* r = make_task({dep_only(data_a, sizeof(data_a), nanos::AccessMode::kIn)});
+  domain_.submit(w);
+  domain_.submit(r);
+  EXPECT_FALSE(is_ready(r));
+  domain_.on_complete(w);
+  EXPECT_TRUE(is_ready(r));
+}
+
+TEST_F(DepTest, WaitOnBlocksUntilProducerCompletes) {
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  vt::Flag reached(clock_);
+  // Hold: this (unattached) test thread drives completion, so the waiter
+  // blocking alone must not be declared a deadlock.
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock_);
+  vt::Thread waiter(clock_, "waiter", [&] {
+    domain_.wait_on(common::Region(data_a, sizeof(data_a)));
+    reached.set();
+  });
+  EXPECT_FALSE(reached.is_set());
+  domain_.on_complete(w);
+  hold.reset();
+  reached.wait();
+  waiter.join();
+}
+
+TEST_F(DepTest, WaitAllWaitsForEveryTask) {
+  Task* t1 = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* t2 = make_task({Access::out(data_b, sizeof(data_b))});
+  domain_.submit(t1);
+  domain_.submit(t2);
+  EXPECT_EQ(domain_.live_tasks(), 2u);
+  domain_.on_complete(t1);
+  EXPECT_EQ(domain_.live_tasks(), 1u);
+  domain_.on_complete(t2);
+  EXPECT_EQ(domain_.live_tasks(), 0u);
+  domain_.wait_all();  // returns immediately
+}
+
+TEST_F(DepTest, CompletedProducersCreateNoArcs) {
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  domain_.on_complete(w);
+  Task* r = make_task({Access::in(data_a, sizeof(data_a))});
+  domain_.submit(r);
+  EXPECT_TRUE(is_ready(r));  // the producer is done; no arc against it
+}
+
+TEST_F(DepTest, LongChainPropagatesOneAtATime) {
+  constexpr int kLen = 20;
+  std::vector<Task*> chain;
+  for (int i = 0; i < kLen; ++i)
+    chain.push_back(make_task({Access::inout(data_a, sizeof(data_a))}));
+  for (Task* t : chain) domain_.submit(t);
+  for (int i = 0; i < kLen; ++i) {
+    ASSERT_TRUE(is_ready(chain[static_cast<std::size_t>(i)])) << "link " << i;
+    if (i + 1 < kLen) {
+      EXPECT_FALSE(is_ready(chain[static_cast<std::size_t>(i + 1)]));
+    }
+    domain_.on_complete(chain[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace

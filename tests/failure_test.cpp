@@ -1,0 +1,148 @@
+// Failure injection: task bodies that throw must not kill workers or device
+// engines; the first error surfaces at the next taskwait and the runtime
+// (and the rest of the task graph) keeps working.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "nanos/cluster.hpp"
+#include "nanos/runtime.hpp"
+
+namespace {
+
+using nanos::Access;
+using nanos::DeviceKind;
+using nanos::TaskDesc;
+
+nanos::RuntimeConfig small_runtime(int gpus) {
+  nanos::RuntimeConfig cfg;
+  cfg.smp_workers = 2;
+  simcuda::DeviceProps props;
+  props.memory_bytes = 1u << 20;
+  cfg.gpus.assign(static_cast<std::size_t>(gpus), props);
+  return cfg;
+}
+
+TaskDesc throwing_task(DeviceKind kind) {
+  TaskDesc d;
+  d.device = kind;
+  d.label = "boom";
+  d.fn = [](nanos::TaskContext&) { throw std::runtime_error("injected failure"); };
+  return d;
+}
+
+TEST(FailureTest, SmpTaskThrowSurfacesAtTaskwait) {
+  vt::Clock clock;
+  nanos::Runtime rt(clock, small_runtime(0));
+  bool caught = false;
+  vt::Thread driver(clock, "app", [&] {
+    rt.spawn(throwing_task(DeviceKind::kSmp));
+    try {
+      rt.taskwait();
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "injected failure";
+    }
+  });
+  driver.join();
+  EXPECT_TRUE(caught);
+}
+
+TEST(FailureTest, GpuKernelThrowDoesNotKillEngine) {
+  vt::Clock clock;
+  nanos::Runtime rt(clock, small_runtime(1));
+  std::vector<float> a(32, 0.0f);
+  bool caught = false;
+  vt::Thread driver(clock, "app", [&] {
+    rt.spawn(throwing_task(DeviceKind::kCuda));
+    try {
+      rt.taskwait();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+    // The engine survived: subsequent kernels still execute.
+    TaskDesc ok;
+    ok.device = DeviceKind::kCuda;
+    ok.accesses = {Access::inout(a.data(), a.size() * sizeof(float))};
+    ok.fn = [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 9.0f; };
+    rt.spawn(std::move(ok));
+    rt.taskwait();
+  });
+  driver.join();
+  EXPECT_TRUE(caught);
+  EXPECT_FLOAT_EQ(a[0], 9.0f);
+  EXPECT_EQ(rt.stats().count("tasks.failed"), 1u);
+}
+
+TEST(FailureTest, OtherTasksStillCompleteAroundFailure) {
+  vt::Clock clock;
+  nanos::Runtime rt(clock, small_runtime(1));
+  std::vector<int> done(10, 0);
+  int errors = 0;
+  vt::Thread driver(clock, "app", [&] {
+    for (int i = 0; i < 10; ++i) {
+      if (i == 4) {
+        rt.spawn(throwing_task(DeviceKind::kSmp));
+        continue;
+      }
+      TaskDesc d;
+      d.device = (i % 2 == 0) ? DeviceKind::kSmp : DeviceKind::kCuda;
+      d.accesses = {Access::inout(&done[static_cast<std::size_t>(i)], sizeof(int))};
+      d.fn = [](nanos::TaskContext& c) { *c.data_as<int>(0) = 1; };
+      rt.spawn(std::move(d));
+    }
+    try {
+      rt.taskwait();
+    } catch (const std::runtime_error&) {
+      errors++;
+    }
+    // Error consumed: a second taskwait is clean.
+    rt.taskwait();
+  });
+  driver.join();
+  EXPECT_EQ(errors, 1);
+  int completed = 0;
+  for (int v : done) completed += v;
+  EXPECT_EQ(completed, 9);
+}
+
+TEST(FailureTest, FirstOfManyErrorsWins) {
+  vt::Clock clock;
+  nanos::Runtime rt(clock, small_runtime(0));
+  int caught = 0;
+  vt::Thread driver(clock, "app", [&] {
+    for (int i = 0; i < 5; ++i) rt.spawn(throwing_task(DeviceKind::kSmp));
+    try {
+      rt.taskwait();
+    } catch (const std::runtime_error&) {
+      caught++;
+    }
+  });
+  driver.join();
+  EXPECT_EQ(caught, 1);
+  EXPECT_EQ(rt.stats().count("tasks.failed"), 5u);
+}
+
+TEST(FailureTest, RemoteTaskThrowSurfacesAtClusterTaskwait) {
+  vt::Clock clock;
+  nanos::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node_scheduler = "bf";
+  cfg.rr_chunk = 1;
+  cfg.node = small_runtime(1);
+  nanos::ClusterRuntime rt(clock, cfg);
+  bool caught = false;
+  vt::Thread driver(clock, "app", [&] {
+    rt.spawn(throwing_task(DeviceKind::kSmp));  // node 0
+    rt.spawn(throwing_task(DeviceKind::kSmp));  // node 1 (remote)
+    try {
+      rt.taskwait();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  });
+  driver.join();
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// mcc translator tests: pragma parsing, function-header parsing, wrapper
+// generation, and a full translate→host-compile→execute round trip.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "mcc/funcsig.hpp"
+#include "mcc/pragma.hpp"
+#include "mcc/translate.hpp"
+
+namespace {
+
+using mcc::DepMode;
+using mcc::parse_function_header;
+using mcc::parse_pragma;
+using mcc::PragmaKind;
+
+// ---------------------------------------------------------------------------
+// pragma parsing
+
+TEST(MccPragmaTest, TargetDeviceCuda) {
+  auto p = parse_pragma("#pragma omp target device(cuda) copy_deps");
+  EXPECT_EQ(p.kind, PragmaKind::kTarget);
+  EXPECT_EQ(p.device, "cuda");
+  EXPECT_TRUE(p.copy_deps);
+}
+
+TEST(MccPragmaTest, TargetDefaultsToSmp) {
+  auto p = parse_pragma("#pragma omp target copy_deps");
+  EXPECT_EQ(p.device, "smp");
+}
+
+TEST(MccPragmaTest, TaskWithArraySections) {
+  auto p = parse_pragma("#pragma omp task input([n] a, [n] b) output([n] c)");
+  EXPECT_EQ(p.kind, PragmaKind::kTask);
+  ASSERT_EQ(p.deps.size(), 3u);
+  EXPECT_EQ(p.deps[0].mode, DepMode::kIn);
+  EXPECT_EQ(p.deps[0].name, "a");
+  EXPECT_EQ(p.deps[0].size_expr, "n");
+  EXPECT_EQ(p.deps[2].mode, DepMode::kOut);
+  EXPECT_EQ(p.deps[2].name, "c");
+}
+
+TEST(MccPragmaTest, TaskScalarAndInout) {
+  auto p = parse_pragma("#pragma omp task inout(x)");
+  ASSERT_EQ(p.deps.size(), 1u);
+  EXPECT_EQ(p.deps[0].mode, DepMode::kInout);
+  EXPECT_EQ(p.deps[0].name, "x");
+  EXPECT_TRUE(p.deps[0].size_expr.empty());
+}
+
+TEST(MccPragmaTest, TaskSizeExpression) {
+  auto p = parse_pragma("#pragma omp task input([bs*bs] tile)");
+  ASSERT_EQ(p.deps.size(), 1u);
+  EXPECT_EQ(p.deps[0].size_expr, "bs * bs");
+}
+
+TEST(MccPragmaTest, CostExtension) {
+  auto p = parse_pragma("#pragma omp task input([n] a) cost(2.0*n)");
+  EXPECT_EQ(p.cost_expr, "2.0 * n");
+}
+
+TEST(MccPragmaTest, TaskwaitVariants) {
+  EXPECT_EQ(parse_pragma("#pragma omp taskwait").kind, PragmaKind::kTaskwait);
+  EXPECT_TRUE(parse_pragma("#pragma omp taskwait noflush").noflush);
+  EXPECT_EQ(parse_pragma("#pragma omp taskwait on(a)").on_expr, "a");
+}
+
+TEST(MccPragmaTest, ForeignPragmaIsOther) {
+  EXPECT_EQ(parse_pragma("#pragma once").kind, PragmaKind::kOther);
+  EXPECT_EQ(parse_pragma("#pragma omp parallel for").kind, PragmaKind::kOther);
+}
+
+TEST(MccPragmaTest, UnknownClauseThrows) {
+  EXPECT_THROW(parse_pragma("#pragma omp task frobnicate(a)"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// function headers
+
+TEST(MccFuncSigTest, PointerAndValueParams) {
+  auto sig = parse_function_header("void add(const double *a, double *c, int n)");
+  EXPECT_EQ(sig.name, "add");
+  ASSERT_EQ(sig.params.size(), 3u);
+  EXPECT_EQ(sig.params[0].type, "const double*");
+  EXPECT_TRUE(sig.params[0].is_pointer);
+  EXPECT_EQ(sig.params[2].type, "int");
+  EXPECT_FALSE(sig.params[2].is_pointer);
+  EXPECT_EQ(sig.param_index("c"), 1);
+  EXPECT_EQ(sig.param_index("zz"), -1);
+}
+
+TEST(MccFuncSigTest, NoParams) {
+  EXPECT_TRUE(parse_function_header("void f()").params.empty());
+  EXPECT_TRUE(parse_function_header("void f(void)").params.empty());
+}
+
+TEST(MccFuncSigTest, NonVoidReturnRejected) {
+  EXPECT_THROW(parse_function_header("int f(int x)"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// translation
+
+TEST(MccTranslateTest, GeneratesWrapperForDeclaration) {
+  std::string out = mcc::translate(
+      "#pragma omp target device(cuda) copy_deps\n"
+      "#pragma omp task input([n] a) output([n] c)\n"
+      "void copy(double *a, double *c, int n);\n");
+  EXPECT_NE(out.find("void copy__task_impl(double* a, double* c, int n);"), std::string::npos);
+  EXPECT_NE(out.find(".device(ompss::Device::kCuda)"), std::string::npos);
+  EXPECT_NE(out.find(".in(a, (n) * sizeof(*a))"), std::string::npos);
+  EXPECT_NE(out.find(".out(c, (n) * sizeof(*c))"), std::string::npos);
+  EXPECT_NE(out.find("copy__task_impl(static_cast<double*>(mcc_ctx.data(0))"), std::string::npos);
+}
+
+TEST(MccTranslateTest, RenamesLaterDefinition) {
+  std::string out = mcc::translate(
+      "#pragma omp task inout([n] a)\n"
+      "void bump(double *a, int n);\n"
+      "void bump(double *a, int n) {\n"
+      "  for (int i = 0; i < n; ++i) a[i] += 1;\n"
+      "}\n");
+  EXPECT_NE(out.find("void bump__task_impl(double *a, int n) {"), std::string::npos);
+}
+
+TEST(MccTranslateTest, DefinitionAnnotatedDirectly) {
+  std::string out = mcc::translate(
+      "#pragma omp task output([n] a)\n"
+      "void zero(double *a, int n) {\n"
+      "  for (int i = 0; i < n; ++i) a[i] = 0;\n"
+      "}\n");
+  // Renamed impl with the body, then the wrapper after the closing brace.
+  auto impl = out.find("void zero__task_impl(double* a, int n) {");
+  auto wrapper = out.find("void zero(double* a, int n) {");
+  ASSERT_NE(impl, std::string::npos);
+  ASSERT_NE(wrapper, std::string::npos);
+  EXPECT_LT(impl, wrapper);
+}
+
+TEST(MccTranslateTest, TaskwaitForms) {
+  std::string out = mcc::translate(
+      "#pragma omp taskwait\n"
+      "#pragma omp taskwait noflush\n"
+      "#pragma omp taskwait on(a)\n");
+  EXPECT_NE(out.find("ompss::taskwait();"), std::string::npos);
+  EXPECT_NE(out.find("ompss::taskwait_noflush();"), std::string::npos);
+  EXPECT_NE(out.find("ompss::taskwait_on(a, 1);"), std::string::npos);
+}
+
+TEST(MccTranslateTest, MainIsWrappedInEnv) {
+  std::string out = mcc::translate("int main() {\n  return 0;\n}\n");
+  EXPECT_NE(out.find("int mcc_user_main()"), std::string::npos);
+  EXPECT_NE(out.find("ompss::Env env(cfg);"), std::string::npos);
+  EXPECT_NE(out.find("env.run([&] { rc = mcc_user_main(); });"), std::string::npos);
+}
+
+TEST(MccTranslateTest, DanglingTaskPragmaThrows) {
+  EXPECT_THROW(mcc::translate("#pragma omp task input([n] a)\n"), std::runtime_error);
+}
+
+TEST(MccTranslateTest, DependenceOnUnknownParamThrows) {
+  EXPECT_THROW(mcc::translate("#pragma omp task input([n] zz)\n"
+                              "void f(double *a, int n);\n"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// end to end: translate an annotated STREAM-like program, compile it with the
+// host compiler against the ompss libraries, run it, check its output.
+
+TEST(MccEndToEndTest, TranslateCompileRun) {
+#ifndef MCC_E2E_ENABLED
+  GTEST_SKIP() << "end-to-end harness not configured";
+#else
+  const std::string src_dir = MCC_SOURCE_DIR;
+  const std::string build_dir = MCC_BINARY_DIR;
+  const std::string work = ::testing::TempDir() + "/mcc_e2e";
+  ASSERT_EQ(std::system(("mkdir -p " + work).c_str()), 0);
+
+  // Translate the shipped annotated example.
+  std::string cmd = build_dir + "/src/mcc/mcc " + src_dir +
+                    "/examples/annotated_stream.ompss.c -o " + work + "/gen.cpp";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  // Host-compile against the project libraries.
+  std::string compile =
+      "c++ -std=c++20 -I" + src_dir + "/src " + work + "/gen.cpp " +
+      build_dir + "/src/ompss/libompss_api.a " + build_dir + "/src/nanos/libnanos.a " +
+      build_dir + "/src/simcuda/libsimcuda.a " + build_dir + "/src/simnet/libsimnet.a " +
+      build_dir + "/src/vt/libompss_vt.a " + build_dir + "/src/common/libompss_common.a " +
+      "-lpthread -o " + work + "/prog";
+  ASSERT_EQ(std::system(compile.c_str()), 0) << compile;
+
+  // Run with two simulated GPUs and verify the program's own check passes.
+  std::string run = "OMPSS_ARGS='gpus=2' " + work + "/prog > " + work + "/out.txt";
+  ASSERT_EQ(std::system(run.c_str()), 0) << run;
+  std::ifstream out(work + "/out.txt");
+  std::stringstream ss;
+  ss << out.rdbuf();
+  EXPECT_NE(ss.str().find("STREAM check: PASS"), std::string::npos) << ss.str();
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Tests for the public ompss:: API layer (Env, TaskBuilder, taskwait forms).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ompss/ompss.hpp"
+
+namespace {
+
+common::Config gpu_config(int gpus, int nodes = 1) {
+  common::Config c;
+  c.set_int("gpus", gpus);
+  c.set_int("nodes", nodes);
+  c.set_int("smp_workers", 2);
+  return c;
+}
+
+TEST(OmpssEnvTest, SingleNodeFromConfig) {
+  ompss::Env env(gpu_config(2));
+  EXPECT_FALSE(env.is_cluster());
+  EXPECT_EQ(env.node_count(), 1);
+  EXPECT_EQ(env.node_runtime(0).gpu_count(), 2);
+  EXPECT_THROW(env.node_runtime(1), std::out_of_range);
+}
+
+TEST(OmpssEnvTest, ClusterFromConfig) {
+  ompss::Env env(gpu_config(1, 4));
+  EXPECT_TRUE(env.is_cluster());
+  EXPECT_EQ(env.node_count(), 4);
+  EXPECT_NE(env.cluster(), nullptr);
+}
+
+TEST(OmpssEnvTest, CurrentIsSetOnlyDuringRun) {
+  ompss::Env env(gpu_config(0));
+  EXPECT_EQ(ompss::Env::current(), nullptr);
+  env.run([&] { EXPECT_EQ(ompss::Env::current(), &env); });
+  EXPECT_EQ(ompss::Env::current(), nullptr);
+}
+
+TEST(OmpssEnvTest, TaskOutsideRunThrows) {
+  EXPECT_THROW(ompss::task().run([](ompss::Ctx&) {}), std::logic_error);
+  EXPECT_THROW(ompss::taskwait(), std::logic_error);
+}
+
+TEST(OmpssBuilderTest, ClausesReachTheTask) {
+  ompss::Env env(gpu_config(1));
+  std::vector<float> a(64, 1.0f), b(64, 0.0f);
+  env.run([&] {
+    nanos::Task* t = ompss::task()
+                         .device(ompss::Device::kCuda)
+                         .in(a.data(), a.size() * sizeof(float))
+                         .out(b.data(), b.size() * sizeof(float))
+                         .flops(123.0)
+                         .bytes(456.0)
+                         .label("probe")
+                         .run([](ompss::Ctx& ctx) {
+                           auto* src = ctx.data_as<const float>(0);
+                           auto* dst = ctx.data_as<float>(1);
+                           for (int i = 0; i < 64; ++i) dst[i] = src[i] * 2;
+                         });
+    EXPECT_EQ(t->device(), ompss::Device::kCuda);
+    EXPECT_EQ(t->accesses().size(), 2u);
+    EXPECT_DOUBLE_EQ(t->desc().cost.flops, 123.0);
+    EXPECT_DOUBLE_EQ(t->desc().cost.bytes, 456.0);
+    EXPECT_EQ(t->label(), "probe");
+    ompss::taskwait();
+  });
+  for (float v : b) ASSERT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(OmpssBuilderTest, DependenceOnlyAccess) {
+  ompss::Env env(gpu_config(0));
+  int order = 0, first = 0, second = 0;
+  double token = 0;
+  env.run([&] {
+    ompss::task().dep(&token, sizeof(token), nanos::AccessMode::kOut).run([&](ompss::Ctx&) {
+      first = ++order;
+    });
+    ompss::task().dep(&token, sizeof(token), nanos::AccessMode::kIn).run([&](ompss::Ctx&) {
+      second = ++order;
+    });
+    ompss::taskwait();
+  });
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}
+
+TEST(OmpssTaskwaitTest, NoflushLeavesDeviceDataAndFlushBringsIt) {
+  ompss::Env env(gpu_config(1));
+  std::vector<float> a(32, 0.0f);
+  env.run([&] {
+    ompss::task()
+        .device(ompss::Device::kCuda)
+        .inout(a.data(), a.size() * sizeof(float))
+        .run([](ompss::Ctx& ctx) { ctx.data_as<float>(0)[0] = 7.0f; });
+    ompss::taskwait_noflush();
+    EXPECT_FLOAT_EQ(a[0], 0.0f);  // still on the device (write-back default)
+    ompss::taskwait();
+    EXPECT_FLOAT_EQ(a[0], 7.0f);
+  });
+}
+
+TEST(OmpssTaskwaitTest, TaskwaitOnSpecificRegion) {
+  ompss::Env env(gpu_config(1));
+  std::vector<float> a(32, 0.0f), b(32, 0.0f);
+  env.run([&] {
+    ompss::task()
+        .device(ompss::Device::kCuda)
+        .out(a.data(), a.size() * sizeof(float))
+        .flops(1e3)
+        .run([](ompss::Ctx& ctx) { ctx.data_as<float>(0)[0] = 1.0f; });
+    ompss::task()
+        .device(ompss::Device::kCuda)
+        .out(b.data(), b.size() * sizeof(float))
+        .flops(1e10)  // long-running
+        .run([](ompss::Ctx& ctx) { ctx.data_as<float>(0)[0] = 2.0f; });
+    ompss::taskwait_on(a.data(), a.size() * sizeof(float));
+    EXPECT_FLOAT_EQ(a[0], 1.0f);
+    ompss::taskwait();
+    EXPECT_FLOAT_EQ(b[0], 2.0f);
+  });
+}
+
+TEST(OmpssEnvTest, RunsOnClusterUnchangedCode) {
+  // The paper's headline: identical task code on 1 GPU or a 4-node cluster.
+  auto body = [](ompss::Env& env, std::vector<float>& v) {
+    env.run([&] {
+      for (int blk = 0; blk < 8; ++blk) {
+        float* p = v.data() + blk * 128;
+        ompss::task()
+            .device(ompss::Device::kCuda)
+            .inout(p, 128 * sizeof(float))
+            .flops(1e6)
+            .run([](ompss::Ctx& ctx) {
+              auto* f = ctx.data_as<float>(0);
+              for (int i = 0; i < 128; ++i) f[i] += 1.0f;
+            });
+      }
+      ompss::taskwait();
+    });
+  };
+  std::vector<float> v1(1024, 0.0f), v2(1024, 0.0f);
+  {
+    ompss::Env env(gpu_config(1));
+    body(env, v1);
+  }
+  {
+    ompss::Env env(gpu_config(1, 4));
+    body(env, v2);
+  }
+  EXPECT_EQ(v1, v2);
+  for (float x : v1) ASSERT_FLOAT_EQ(x, 1.0f);
+}
+
+TEST(OmpssBuilderTest, NestedTasksInsideClusterTaskStayOnNode) {
+  // A remote task decomposes its block into subtasks via the *same* ompss::
+  // API (what mcc-generated code does); the children must run on the
+  // executing node, not round-trip through the master.
+  ompss::Env env(gpu_config(1, 2));
+  std::vector<float> a(256, 0.0f);
+  std::vector<int> child_nodes(2, -1);
+  env.run([&] {
+    ompss::task().run([](ompss::Ctx&) {});  // occupies node 0 (round robin)
+    ompss::task()
+        .inout(a.data(), a.size() * sizeof(float))
+        .run([&](ompss::Ctx& parent) {
+          float* base = parent.data_as<float>(0);
+          int my_node = parent.node();
+          for (int half = 0; half < 2; ++half) {
+            ompss::task()
+                .device(ompss::Device::kCuda)
+                .inout(base + half * 128, 128 * sizeof(float))
+                .run([&child_nodes, half, my_node](ompss::Ctx& c) {
+                  EXPECT_EQ(c.node(), my_node);
+                  child_nodes[static_cast<std::size_t>(half)] = c.node();
+                  auto* f = c.data_as<float>(0);
+                  for (int i = 0; i < 128; ++i) f[i] += 1.0f;
+                });
+          }
+          ompss::taskwait();  // waits only this task's children, on-node
+        });
+    ompss::taskwait();
+  });
+  for (float v : a) ASSERT_FLOAT_EQ(v, 1.0f);
+  EXPECT_NE(child_nodes[0], -1);
+  EXPECT_EQ(child_nodes[0], child_nodes[1]);
+}
+
+TEST(OmpssEnvTest, SequentialEnvsAreIndependent) {
+  for (int i = 0; i < 3; ++i) {
+    ompss::Env env(gpu_config(1));
+    int ran = 0;
+    env.run([&] {
+      ompss::task().run([&](ompss::Ctx&) { ran = 1; });
+      ompss::taskwait();
+    });
+    EXPECT_EQ(ran, 1);
+    EXPECT_GE(env.clock().now(), 0.0);
+  }
+}
+
+}  // namespace

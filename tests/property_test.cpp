@@ -1,0 +1,311 @@
+// Property-based tests: randomized inputs exercised against reference
+// oracles, parameterized over every runtime configuration.
+//
+//  * Random task DAGs (random regions, modes, device kinds) must produce
+//    results bit-identical to serial spawn-order execution under every
+//    scheduler x cache-policy x GPU-count combination, single-node and
+//    cluster.  This holds by the OmpSs contract: any execution respecting
+//    the RAW/WAR/WAW order over the declared accesses is serially
+//    equivalent.
+//  * Random alloc/free sequences on the first-fit allocator must never
+//    overlap live blocks, never leak, and fully coalesce when drained.
+//  * Random coherence traffic (serialized task protocol over random spaces
+//    and policies) must leave host memory exactly as a plain CPU execution.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "common/allocator.hpp"
+#include "nanos/cluster.hpp"
+#include "nanos/runtime.hpp"
+
+namespace {
+
+using nanos::Access;
+using nanos::AccessMode;
+using nanos::DeviceKind;
+using nanos::TaskDesc;
+
+// ---------------------------------------------------------------------------
+// Random task DAGs vs serial oracle
+
+struct RandomOp {
+  // Per task: the regions it reads and writes plus its coefficient.
+  std::vector<int> reads;
+  std::vector<int> writes;   // subset semantics: inout when also in reads
+  float coeff = 0;
+  DeviceKind device = DeviceKind::kSmp;
+};
+
+constexpr int kRegions = 12;
+constexpr int kFloats = 96;
+constexpr int kTasks = 60;
+
+std::vector<RandomOp> make_ops(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<RandomOp> ops(kTasks);
+  for (auto& op : ops) {
+    std::uniform_int_distribution<int> nreads(0, 2), region(0, kRegions - 1);
+    int nr = nreads(rng);
+    for (int i = 0; i < nr; ++i) op.reads.push_back(region(rng));
+    int nw = 1 + (rng() % 2);
+    for (int i = 0; i < nw; ++i) {
+      int r = region(rng);
+      bool dup = false;
+      for (int w : op.writes) dup |= (w == r);
+      if (!dup) op.writes.push_back(r);
+    }
+    op.coeff = static_cast<float>(rng() % 1000) / 512.0f;
+    op.device = (rng() % 2 == 0) ? DeviceKind::kSmp : DeviceKind::kCuda;
+  }
+  return ops;
+}
+
+// The task body: reads contribute a probe sum; each written region is
+// updated elementwise.  Deterministic per task, order-sensitive per region.
+void apply_op(const RandomOp& op, std::vector<float*> read_ptrs,
+              std::vector<float*> write_ptrs) {
+  float in_sum = 0;
+  for (float* r : read_ptrs) in_sum += r[0] + r[kFloats - 1];
+  for (std::size_t w = 0; w < write_ptrs.size(); ++w) {
+    float* p = write_ptrs[w];
+    for (int i = 0; i < kFloats; ++i)
+      p[i] = p[i] * 0.5f + op.coeff + in_sum * 0.125f + static_cast<float>(i) * 0.001f;
+  }
+}
+
+std::vector<std::vector<float>> initial_data() {
+  std::vector<std::vector<float>> data(kRegions, std::vector<float>(kFloats));
+  for (int r = 0; r < kRegions; ++r)
+    for (int i = 0; i < kFloats; ++i)
+      data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] =
+          static_cast<float>(r) + static_cast<float>(i) * 0.01f;
+  return data;
+}
+
+std::vector<std::vector<float>> serial_oracle(const std::vector<RandomOp>& ops) {
+  auto data = initial_data();
+  for (const RandomOp& op : ops) {
+    std::vector<float*> reads, writes;
+    for (int r : op.reads) reads.push_back(data[static_cast<std::size_t>(r)].data());
+    for (int w : op.writes) writes.push_back(data[static_cast<std::size_t>(w)].data());
+    apply_op(op, reads, writes);
+  }
+  return data;
+}
+
+TaskDesc make_task_desc(const RandomOp& op, std::vector<std::vector<float>>& data) {
+  TaskDesc d;
+  d.device = op.device;
+  const std::size_t bytes = kFloats * sizeof(float);
+  for (int r : op.reads)
+    d.accesses.push_back(Access::in(data[static_cast<std::size_t>(r)].data(), bytes));
+  for (int w : op.writes)
+    d.accesses.push_back(Access::inout(data[static_cast<std::size_t>(w)].data(), bytes));
+  std::size_t nreads = op.reads.size();
+  std::size_t nwrites = op.writes.size();
+  RandomOp op_copy = op;
+  d.fn = [op_copy, nreads, nwrites](nanos::TaskContext& ctx) {
+    std::vector<float*> reads, writes;
+    for (std::size_t i = 0; i < nreads; ++i)
+      reads.push_back(static_cast<float*>(ctx.data(i)));
+    for (std::size_t i = 0; i < nwrites; ++i)
+      writes.push_back(static_cast<float*>(ctx.data(nreads + i)));
+    apply_op(op_copy, reads, writes);
+  };
+  d.cost.flops = 1e6;
+  return d;
+}
+
+using GraphParam = std::tuple<unsigned /*seed*/, const char* /*sched*/, const char* /*cache*/>;
+
+class RandomGraphTest : public ::testing::TestWithParam<GraphParam> {};
+
+TEST_P(RandomGraphTest, SingleNodeMatchesSerialOracle) {
+  auto [seed, sched, cache] = GetParam();
+  auto ops = make_ops(seed);
+  auto expect = serial_oracle(ops);
+
+  auto data = initial_data();
+  {
+    nanos::RuntimeConfig cfg;
+    cfg.scheduler = sched;
+    cfg.cache_policy = cache;
+    cfg.smp_workers = 3;
+    simcuda::DeviceProps props;
+    props.memory_bytes = 1u << 20;
+    props.copy_overhead = 0;
+    props.kernel_launch_overhead = 0;
+    cfg.gpus.assign(3, props);
+    cfg.overlap = (seed % 2) == 0;
+    cfg.prefetch = cfg.overlap;
+    vt::Clock clock;
+    nanos::Runtime rt(clock, cfg);
+    vt::Thread driver(clock, "app", [&] {
+      for (const RandomOp& op : ops) rt.spawn(make_task_desc(op, data));
+      rt.taskwait();
+    });
+    driver.join();
+  }
+  for (int r = 0; r < kRegions; ++r)
+    for (int i = 0; i < kFloats; ++i)
+      ASSERT_FLOAT_EQ(data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                      expect[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)])
+          << "region " << r << " index " << i;
+}
+
+TEST_P(RandomGraphTest, ClusterMatchesSerialOracle) {
+  auto [seed, sched, cache] = GetParam();
+  auto ops = make_ops(seed + 1000);
+  auto expect = serial_oracle(ops);
+
+  auto data = initial_data();
+  {
+    nanos::ClusterConfig cfg;
+    cfg.nodes = 3;
+    cfg.node_scheduler = sched;
+    cfg.rr_chunk = 2;
+    cfg.presend = static_cast<int>(seed % 3);
+    cfg.slave_to_slave = (seed % 2) == 0;
+    cfg.segment_bytes = 8u << 20;
+    cfg.node.scheduler = sched;
+    cfg.node.cache_policy = cache;
+    cfg.node.smp_workers = 2;
+    simcuda::DeviceProps props;
+    props.memory_bytes = 1u << 20;
+    props.copy_overhead = 0;
+    props.kernel_launch_overhead = 0;
+    cfg.node.gpus.assign(1, props);
+    vt::Clock clock;
+    nanos::ClusterRuntime rt(clock, cfg);
+    vt::Thread driver(clock, "app", [&] {
+      for (const RandomOp& op : ops) {
+        TaskDesc d = make_task_desc(op, data);
+        rt.spawn(std::move(d));
+      }
+      rt.taskwait();
+    });
+    driver.join();
+  }
+  for (int r = 0; r < kRegions; ++r)
+    for (int i = 0; i < kFloats; ++i)
+      ASSERT_FLOAT_EQ(data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                      expect[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)])
+          << "region " << r << " index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomGraphTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values("bf", "dep", "affinity"),
+                       ::testing::Values("nocache", "wt", "wb")),
+    [](const ::testing::TestParamInfo<GraphParam>& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_" + std::get<1>(info.param) +
+             "_" + std::get<2>(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// First-fit allocator against a reference model
+
+TEST(AllocatorPropertyTest, RandomAllocFreeNeverOverlapsAndCoalesces) {
+  for (unsigned seed : {11u, 22u, 33u}) {
+    std::mt19937 rng(seed);
+    common::FirstFitAllocator alloc(1u << 20, 64);
+    std::map<std::size_t, std::size_t> live;  // offset -> requested size
+    for (int step = 0; step < 2000; ++step) {
+      bool do_alloc = live.empty() || (rng() % 3 != 0);
+      if (do_alloc) {
+        std::size_t want = 1 + rng() % 5000;
+        auto off = alloc.allocate(want);
+        if (off) {
+          // No overlap with any live block.
+          for (const auto& [o, s] : live) {
+            std::size_t aligned = (s + 63) & ~std::size_t{63};
+            ASSERT_TRUE(*off >= o + aligned || *off + want <= o)
+                << "overlap at step " << step;
+          }
+          live[*off] = want;
+        } else {
+          // Failure implies genuinely insufficient contiguous space.
+          ASSERT_LT(alloc.largest_free_block(), want);
+        }
+      } else {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng() % live.size()));
+        alloc.deallocate(it->first);
+        live.erase(it);
+      }
+    }
+    for (const auto& [o, s] : live) alloc.deallocate(o);
+    EXPECT_EQ(alloc.free_bytes(), 1u << 20);
+    EXPECT_EQ(alloc.largest_free_block(), 1u << 20);  // fully coalesced
+    EXPECT_EQ(alloc.allocated_blocks(), 0u);
+  }
+}
+
+TEST(AllocatorPropertyTest, DoubleFreeAndBadOffsetThrow) {
+  common::FirstFitAllocator alloc(4096);
+  auto off = alloc.allocate(128);
+  ASSERT_TRUE(off.has_value());
+  alloc.deallocate(*off);
+  EXPECT_THROW(alloc.deallocate(*off), std::invalid_argument);
+  EXPECT_THROW(alloc.deallocate(12345), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Random serialized coherence traffic leaves host memory correct
+
+TEST(CoherencePropertyTest, RandomTrafficMatchesCpuExecution) {
+  using nanos::CachePolicy;
+  for (CachePolicy policy :
+       {CachePolicy::kNoCache, CachePolicy::kWriteThrough, CachePolicy::kWriteBack}) {
+    for (unsigned seed : {5u, 6u}) {
+      std::mt19937 rng(seed);
+      constexpr int kRegs = 6;
+      constexpr int kElems = 128;
+      std::vector<std::vector<float>> data(kRegs, std::vector<float>(kElems, 1.0f));
+      std::vector<std::vector<float>> expect = data;
+
+      vt::Clock clock;
+      simcuda::DeviceProps props;
+      props.memory_bytes = 2u << 10 << 4;  // tight: forces eviction traffic
+      props.copy_overhead = 0;
+      props.kernel_launch_overhead = 0;
+      simcuda::Platform platform(clock, {props, props});
+      common::Stats stats;
+      nanos::CoherenceManager coh(clock, platform, policy, false, 8e9, stats);
+      vt::AttachGuard guard(clock, "main");
+
+      std::vector<std::unique_ptr<nanos::Task>> tasks;
+      for (int step = 0; step < 120; ++step) {
+        int r = static_cast<int>(rng() % kRegs);
+        int space = static_cast<int>(rng() % 3);  // host, gpu0, gpu1
+        float add = static_cast<float>(rng() % 100) * 0.25f;
+        TaskDesc d;
+        d.accesses = {
+            Access::inout(data[static_cast<std::size_t>(r)].data(), kElems * sizeof(float))};
+        tasks.push_back(std::make_unique<nanos::Task>(static_cast<std::uint64_t>(step),
+                                                      std::move(d), clock));
+        nanos::Task& t = *tasks.back();
+        auto ptrs = coh.acquire(t, space);
+        coh.sync_transfers(space);
+        auto* p = static_cast<float*>(ptrs[0]);
+        for (int i = 0; i < kElems; ++i) p[i] += add;
+        coh.release(t, space);
+        for (int i = 0; i < kElems; ++i)
+          expect[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] += add;
+      }
+      coh.flush_all();
+      for (int r = 0; r < kRegs; ++r)
+        for (int i = 0; i < kElems; ++i)
+          ASSERT_FLOAT_EQ(data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                          expect[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)])
+              << "policy " << static_cast<int>(policy) << " region " << r;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,319 @@
+// End-to-end runtime tests: task graphs executing on SMP workers and
+// simulated GPUs, correctness under every scheduler × cache-policy
+// combination, taskwait semantics, prefetch/overlap, and nesting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "nanos/runtime.hpp"
+#include "vt/clock.hpp"
+
+namespace {
+
+using nanos::Access;
+using nanos::DeviceKind;
+using nanos::Runtime;
+using nanos::RuntimeConfig;
+using nanos::TaskDesc;
+
+RuntimeConfig base_config(int gpus, const std::string& sched = "dep",
+                          const std::string& cache = "wb") {
+  RuntimeConfig cfg;
+  cfg.scheduler = sched;
+  cfg.cache_policy = cache;
+  cfg.smp_workers = 2;
+  simcuda::DeviceProps props;
+  props.memory_bytes = 8u << 20;
+  props.gflops = 1000.0;
+  props.pcie_bandwidth = 1e9;
+  props.copy_overhead = 0;
+  props.kernel_launch_overhead = 0;
+  cfg.gpus.assign(static_cast<std::size_t>(gpus), props);
+  return cfg;
+}
+
+/// Runs `body` on an attached driver thread against a fresh runtime.
+void run_app(RuntimeConfig cfg, const std::function<void(Runtime&)>& body) {
+  vt::Clock clock;
+  Runtime rt(clock, std::move(cfg));
+  vt::Thread driver(clock, "app", [&] { body(rt); });
+  driver.join();
+}
+
+TaskDesc gpu_task(std::vector<Access> acc, nanos::TaskFn fn, double flops = 1e6) {
+  TaskDesc d;
+  d.device = DeviceKind::kCuda;
+  d.accesses = std::move(acc);
+  d.fn = std::move(fn);
+  d.cost.flops = flops;
+  return d;
+}
+
+TaskDesc smp_task(std::vector<Access> acc, nanos::TaskFn fn, double flops = 0) {
+  TaskDesc d;
+  d.device = DeviceKind::kSmp;
+  d.accesses = std::move(acc);
+  d.fn = std::move(fn);
+  d.cost.flops = flops;
+  return d;
+}
+
+TEST(RuntimeTest, SingleSmpTaskRuns) {
+  int value = 0;
+  run_app(base_config(0), [&](Runtime& rt) {
+    rt.spawn(smp_task({}, [&](nanos::TaskContext&) { value = 42; }));
+    rt.taskwait();
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(RuntimeTest, SingleGpuTaskComputesOnDeviceMemory) {
+  std::vector<float> a(1024, 2.0f);
+  run_app(base_config(1), [&](Runtime& rt) {
+    rt.spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) {
+                        auto* f = c.data_as<float>(0);
+                        for (int i = 0; i < 1024; ++i) f[i] *= 3.0f;
+                        EXPECT_TRUE(c.device()->owns(f));
+                      }));
+    rt.taskwait();
+  });
+  for (float v : a) ASSERT_FLOAT_EQ(v, 6.0f);
+}
+
+TEST(RuntimeTest, DependentChainProducesSerialResult) {
+  std::vector<float> a(256, 1.0f);
+  run_app(base_config(2), [&](Runtime& rt) {
+    for (int step = 0; step < 5; ++step) {
+      rt.spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                        [](nanos::TaskContext& c) {
+                          auto* f = c.data_as<float>(0);
+                          for (int i = 0; i < 256; ++i) f[i] = f[i] * 2.0f + 1.0f;
+                        }));
+    }
+    rt.taskwait();
+  });
+  // x -> 2x+1 five times from 1.0: 1,3,7,15,31,63
+  for (float v : a) ASSERT_FLOAT_EQ(v, 63.0f);
+}
+
+TEST(RuntimeTest, MixedSmpAndGpuGraph) {
+  std::vector<float> a(128, 0.0f), b(128, 0.0f), c(128, 0.0f);
+  run_app(base_config(1), [&](Runtime& rt) {
+    rt.spawn(smp_task({Access::out(a.data(), a.size() * sizeof(float))},
+                      [](nanos::TaskContext& ctx) {
+                        auto* f = ctx.data_as<float>(0);
+                        for (int i = 0; i < 128; ++i) f[i] = static_cast<float>(i);
+                      }));
+    rt.spawn(gpu_task({Access::in(a.data(), a.size() * sizeof(float)),
+                       Access::out(b.data(), b.size() * sizeof(float))},
+                      [](nanos::TaskContext& ctx) {
+                        auto* in = ctx.data_as<float>(0);
+                        auto* out = ctx.data_as<float>(1);
+                        for (int i = 0; i < 128; ++i) out[i] = in[i] * 10.0f;
+                      }));
+    rt.spawn(smp_task({Access::in(b.data(), b.size() * sizeof(float)),
+                       Access::out(c.data(), c.size() * sizeof(float))},
+                      [](nanos::TaskContext& ctx) {
+                        auto* in = ctx.data_as<float>(0);
+                        auto* out = ctx.data_as<float>(1);
+                        for (int i = 0; i < 128; ++i) out[i] = in[i] + 1.0f;
+                      }));
+    rt.taskwait();
+  });
+  for (int i = 0; i < 128; ++i) ASSERT_FLOAT_EQ(c[static_cast<std::size_t>(i)], i * 10.0f + 1.0f);
+}
+
+TEST(RuntimeTest, IndependentGpuTasksRunConcurrently) {
+  // Two 10ms kernels on two GPUs should take ~10ms of virtual time.
+  std::vector<float> a(64), b(64);
+  double elapsed = 0;
+  run_app(base_config(2), [&](Runtime& rt) {
+    double t0 = rt.clock().now();
+    rt.spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                      [](nanos::TaskContext&) {}, /*flops=*/1e10));
+    rt.spawn(gpu_task({Access::inout(b.data(), b.size() * sizeof(float))},
+                      [](nanos::TaskContext&) {}, /*flops=*/1e10));
+    rt.taskwait();
+    elapsed = rt.clock().now() - t0;
+  });
+  EXPECT_GT(elapsed, 9e-3);
+  EXPECT_LT(elapsed, 13e-3);  // parallel, not 20 ms serial
+}
+
+TEST(RuntimeTest, TaskwaitNoflushLeavesDataOnDevice) {
+  std::vector<float> a(256, 0.0f);
+  run_app(base_config(1), [&](Runtime& rt) {
+    rt.spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 5.0f; }));
+    rt.taskwait(/*flush=*/false);
+    EXPECT_FLOAT_EQ(a[0], 0.0f);  // still only on the GPU (write-back)
+    rt.taskwait(/*flush=*/true);
+    EXPECT_FLOAT_EQ(a[0], 5.0f);
+  });
+}
+
+TEST(RuntimeTest, TaskwaitOnWaitsOnlyThatRegion) {
+  std::vector<float> a(64, 0.0f), b(64, 0.0f);
+  run_app(base_config(1), [&](Runtime& rt) {
+    rt.spawn(gpu_task({Access::out(a.data(), a.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 1.0f; },
+                      /*flops=*/1e6));
+    rt.spawn(gpu_task({Access::out(b.data(), b.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 2.0f; },
+                      /*flops=*/1e12));  // 1 second: still running at wait-on
+    rt.taskwait_on(common::Region(a.data(), a.size() * sizeof(float)));
+    EXPECT_FLOAT_EQ(a[0], 1.0f);
+    rt.taskwait();
+    EXPECT_FLOAT_EQ(b[0], 2.0f);
+  });
+}
+
+TEST(RuntimeTest, NestedTasksCompleteBeforeParent) {
+  std::vector<int> order;
+  std::mutex mu;
+  run_app(base_config(0), [&](Runtime& rt) {
+    rt.spawn(smp_task({}, [&](nanos::TaskContext& ctx) {
+      for (int i = 0; i < 3; ++i) {
+        ctx.runtime().spawn(smp_task({}, [&, i](nanos::TaskContext&) {
+          std::lock_guard<std::mutex> lk(mu);
+          order.push_back(i);
+        }));
+      }
+      // Parent returns; the runtime must wait for the children implicitly.
+    }));
+    rt.taskwait();
+  });
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(RuntimeTest, NestedTaskwaitInsideTask) {
+  int observed = -1;
+  std::vector<float> a(16, 0.0f);
+  run_app(base_config(1), [&](Runtime& rt) {
+    rt.spawn(smp_task({}, [&](nanos::TaskContext& ctx) {
+      ctx.runtime().spawn(gpu_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                                   [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 9.0f; }));
+      ctx.runtime().taskwait();  // waits only this task's children
+      observed = static_cast<int>(a[0]);
+    }));
+    rt.taskwait();
+  });
+  EXPECT_EQ(observed, 9);
+}
+
+TEST(RuntimeTest, ManyIndependentTasksAllExecute) {
+  constexpr int kN = 200;
+  std::vector<int> flags(kN, 0);
+  run_app(base_config(2), [&](Runtime& rt) {
+    for (int i = 0; i < kN; ++i) {
+      auto desc = (i % 2 == 0)
+                      ? smp_task({Access::out(&flags[static_cast<std::size_t>(i)], sizeof(int))},
+                                 [&flags, i](nanos::TaskContext&) { flags[static_cast<std::size_t>(i)] = 1; })
+                      : gpu_task({Access::inout(&flags[static_cast<std::size_t>(i)], sizeof(int))},
+                                 [](nanos::TaskContext& c) { *c.data_as<int>(0) = 1; });
+      rt.spawn(std::move(desc));
+    }
+    rt.taskwait();
+  });
+  EXPECT_EQ(std::accumulate(flags.begin(), flags.end(), 0), kN);
+}
+
+TEST(RuntimeTest, StatsCountTasks) {
+  run_app(base_config(1), [&](Runtime& rt) {
+    for (int i = 0; i < 5; ++i) rt.spawn(smp_task({}, [](nanos::TaskContext&) {}));
+    rt.taskwait();
+    EXPECT_EQ(rt.stats().count("tasks.spawned"), 5u);
+    EXPECT_EQ(rt.stats().count("tasks.executed"), 5u);
+  });
+}
+
+TEST(RuntimeTest, ConfigFromCommonConfig) {
+  common::Config c;
+  c.parse_args("scheduler=affinity,cache=wt,overlap=true,prefetch=true,smp_workers=3,gpus=2,presend=2,stos=false");
+  RuntimeConfig cfg = RuntimeConfig::from(c);
+  EXPECT_EQ(cfg.scheduler, "affinity");
+  EXPECT_EQ(cfg.cache_policy, "wt");
+  EXPECT_TRUE(cfg.overlap);
+  EXPECT_TRUE(cfg.prefetch);
+  EXPECT_EQ(cfg.smp_workers, 3);
+  EXPECT_EQ(cfg.gpus.size(), 2u);
+  EXPECT_EQ(cfg.presend, 2);
+  EXPECT_FALSE(cfg.slave_to_slave);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: a fixed blocked-stencil task graph must produce the serial
+// result under every (scheduler × cache × gpus × overlap/prefetch) combo.
+
+using PolicyParam = std::tuple<std::string, std::string, int, bool>;
+
+class PolicyMatrixTest : public ::testing::TestWithParam<PolicyParam> {};
+
+TEST_P(PolicyMatrixTest, BlockedPipelineMatchesSerialReference) {
+  const auto& [sched, cache, gpus, overlap] = GetParam();
+
+  static constexpr int kBlocks = 8;
+  static constexpr int kBlockFloats = 512;
+  static constexpr int kSteps = 4;
+
+  // Serial reference.
+  std::vector<float> ref(kBlocks * kBlockFloats);
+  std::iota(ref.begin(), ref.end(), 0.0f);
+  for (int s = 0; s < kSteps; ++s) {
+    for (int b = 0; b < kBlocks; ++b) {
+      for (int i = 0; i < kBlockFloats; ++i) {
+        float& x = ref[static_cast<std::size_t>(b * kBlockFloats + i)];
+        x = x * 1.5f + static_cast<float>(b);
+      }
+    }
+    // Shift: block b reads block b-1's sum (cross-block dependence).
+    for (int b = kBlocks - 1; b > 0; --b) {
+      ref[static_cast<std::size_t>(b * kBlockFloats)] +=
+          ref[static_cast<std::size_t>((b - 1) * kBlockFloats)];
+    }
+  }
+
+  std::vector<float> data(kBlocks * kBlockFloats);
+  std::iota(data.begin(), data.end(), 0.0f);
+
+  RuntimeConfig cfg = base_config(gpus, sched, cache);
+  cfg.overlap = overlap;
+  cfg.prefetch = overlap;
+  run_app(cfg, [&](Runtime& rt) {
+    auto block = [&](int b) { return data.data() + b * kBlockFloats; };
+    const std::size_t bytes = kBlockFloats * sizeof(float);
+    for (int s = 0; s < kSteps; ++s) {
+      for (int b = 0; b < kBlocks; ++b) {
+        rt.spawn(gpu_task({Access::inout(block(b), bytes)}, [b](nanos::TaskContext& c) {
+          auto* f = c.data_as<float>(0);
+          for (int i = 0; i < kBlockFloats; ++i) f[i] = f[i] * 1.5f + static_cast<float>(b);
+        }));
+      }
+      for (int b = kBlocks - 1; b > 0; --b) {
+        rt.spawn(gpu_task(
+            {Access::in(block(b - 1), bytes), Access::inout(block(b), bytes)},
+            [](nanos::TaskContext& c) { c.data_as<float>(1)[0] += c.data_as<float>(0)[0]; }));
+      }
+    }
+    rt.taskwait();
+  });
+
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_FLOAT_EQ(data[i], ref[i]) << "at index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyMatrixTest,
+    ::testing::Combine(::testing::Values("bf", "dep", "affinity"),
+                       ::testing::Values("nocache", "wt", "wb"), ::testing::Values(1, 2, 4),
+                       ::testing::Values(false, true)),
+    [](const ::testing::TestParamInfo<PolicyParam>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_g" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) ? "_ovl" : "_novl");
+    });
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Scheduler policy tests: FIFO order (bf), successor-first dispatch (dep),
+// affinity placement and stealing (locality-aware).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "nanos/scheduler.hpp"
+#include "vt/clock.hpp"
+
+namespace {
+
+using nanos::DeviceKind;
+using nanos::Scheduler;
+using nanos::Task;
+using nanos::TaskDesc;
+
+class SchedTest : public ::testing::Test {
+protected:
+  Task* make_task(DeviceKind kind, std::string label = "t") {
+    TaskDesc d;
+    d.device = kind;
+    d.label = std::move(label);
+    tasks_.push_back(std::make_unique<Task>(next_id_++, std::move(d), clock_));
+    return tasks_.back().get();
+  }
+
+  vt::Clock clock_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST_F(SchedTest, FactoryRejectsUnknownPolicy) {
+  EXPECT_THROW(Scheduler::create("fancy", clock_, {DeviceKind::kSmp}, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(SchedTest, BreadthFirstIsFifoPerKind) {
+  auto s = Scheduler::create("bf", clock_, {DeviceKind::kSmp, DeviceKind::kCuda}, nullptr);
+  Task* a = make_task(DeviceKind::kSmp);
+  Task* b = make_task(DeviceKind::kCuda);
+  Task* c = make_task(DeviceKind::kSmp);
+  s->submit(a, -1);
+  s->submit(b, -1);
+  s->submit(c, -1);
+  EXPECT_EQ(s->queued(), 3u);
+  EXPECT_EQ(s->try_get(0), a);  // smp resource sees smp tasks in order
+  EXPECT_EQ(s->try_get(1), b);  // cuda resource sees cuda tasks
+  EXPECT_EQ(s->try_get(0), c);
+  EXPECT_EQ(s->try_get(0), nullptr);
+  EXPECT_EQ(s->queued(), 0u);
+}
+
+TEST_F(SchedTest, KindsNeverCross) {
+  auto s = Scheduler::create("bf", clock_, {DeviceKind::kSmp, DeviceKind::kCuda}, nullptr);
+  Task* gpu_task = make_task(DeviceKind::kCuda);
+  s->submit(gpu_task, -1);
+  EXPECT_EQ(s->try_get(0), nullptr);  // smp resource cannot take a cuda task
+  EXPECT_EQ(s->try_get(1), gpu_task);
+}
+
+TEST_F(SchedTest, GetBlocksUntilSubmission) {
+  auto s = Scheduler::create("bf", clock_, {DeviceKind::kSmp}, nullptr);
+  Task* t = make_task(DeviceKind::kSmp);
+  Task* got = nullptr;
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock_);
+  vt::Thread worker(clock_, "worker", [&] { got = s->get(0); });
+  s->submit(t, -1);
+  hold.reset();
+  worker.join();
+  EXPECT_EQ(got, t);
+}
+
+TEST_F(SchedTest, ShutdownReleasesBlockedGetters) {
+  auto s = Scheduler::create("bf", clock_, {DeviceKind::kSmp}, nullptr);
+  Task* got = reinterpret_cast<Task*>(0x1);
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock_);
+  vt::Thread worker(clock_, "worker", [&] { got = s->get(0); });
+  s->shutdown();
+  hold.reset();
+  worker.join();
+  EXPECT_EQ(got, nullptr);
+}
+
+TEST_F(SchedTest, DependenciesPolicyPrefersReleasedSuccessor) {
+  auto s = Scheduler::create("dep", clock_, {DeviceKind::kCuda, DeviceKind::kCuda}, nullptr);
+  Task* queued1 = make_task(DeviceKind::kCuda);
+  Task* queued2 = make_task(DeviceKind::kCuda);
+  Task* successor = make_task(DeviceKind::kCuda);
+  s->submit(queued1, -1);
+  s->submit(queued2, -1);
+  // `successor` was released by a task that ran on resource 0: it must be the
+  // next pick for resource 0 even though queued1/2 arrived earlier.
+  s->submit(successor, /*releaser_resource=*/0);
+  EXPECT_EQ(s->try_get(0), successor);
+  EXPECT_EQ(s->try_get(0), queued1);
+  EXPECT_EQ(s->try_get(1), queued2);
+}
+
+TEST_F(SchedTest, DependenciesPolicySuccessorSlotDoesNotLeakAcrossResources) {
+  auto s = Scheduler::create("dep", clock_, {DeviceKind::kCuda, DeviceKind::kCuda}, nullptr);
+  Task* successor = make_task(DeviceKind::kCuda);
+  s->submit(successor, /*releaser_resource=*/1);
+  // Resource 0 takes from the shared queue order; the successor is reserved
+  // for resource 1 first... but must still be stealable if 1 never asks?
+  // The policy keeps it in 1's slot; resource 0 finds nothing.
+  EXPECT_EQ(s->try_get(1), successor);
+}
+
+TEST_F(SchedTest, DependenciesPolicyKindMismatchFallsBack) {
+  // A CUDA successor released by an SMP resource goes to the global queue.
+  auto s = Scheduler::create("dep", clock_, {DeviceKind::kSmp, DeviceKind::kCuda}, nullptr);
+  Task* cuda_succ = make_task(DeviceKind::kCuda);
+  s->submit(cuda_succ, /*releaser_resource=*/0);  // resource 0 is SMP
+  EXPECT_EQ(s->try_get(1), cuda_succ);
+}
+
+TEST_F(SchedTest, AffinityPlacesOnBestResource) {
+  std::map<const Task*, std::map<int, double>> scores;
+  auto oracle = [&](const Task& t, int r) -> double {
+    auto it = scores.find(&t);
+    if (it == scores.end()) return 0.0;
+    auto jt = it->second.find(r);
+    return jt == it->second.end() ? 0.0 : jt->second;
+  };
+  auto s = Scheduler::create("affinity", clock_, {DeviceKind::kCuda, DeviceKind::kCuda}, oracle);
+  Task* t0 = make_task(DeviceKind::kCuda);
+  Task* t1 = make_task(DeviceKind::kCuda);
+  scores[t0] = {{0, 1024.0}, {1, 0.0}};
+  scores[t1] = {{0, 0.0}, {1, 4096.0}};
+  s->submit(t0, -1);
+  s->submit(t1, -1);
+  // Each resource drains its own local queue first.
+  EXPECT_EQ(s->try_get(1), t1);
+  EXPECT_EQ(s->try_get(0), t0);
+}
+
+TEST_F(SchedTest, AffinityTieGoesToGlobalQueue) {
+  auto oracle = [](const Task&, int) { return 512.0; };  // identical everywhere
+  auto s = Scheduler::create("affinity", clock_, {DeviceKind::kCuda, DeviceKind::kCuda}, oracle);
+  Task* t = make_task(DeviceKind::kCuda);
+  s->submit(t, -1);
+  // No clear winner: any resource can take it from the global queue.
+  EXPECT_EQ(s->try_get(1), t);
+}
+
+TEST_F(SchedTest, AffinityZeroScoreGoesToGlobalQueue) {
+  auto s = Scheduler::create("affinity", clock_, {DeviceKind::kCuda, DeviceKind::kCuda},
+                             [](const Task&, int) { return 0.0; });
+  Task* t = make_task(DeviceKind::kCuda);
+  s->submit(t, -1);
+  EXPECT_EQ(s->try_get(0), t);
+}
+
+TEST_F(SchedTest, AffinityStealsFromBusyPeer) {
+  std::map<const Task*, std::map<int, double>> scores;
+  auto oracle = [&](const Task& t, int r) -> double {
+    auto it = scores.find(&t);
+    return it != scores.end() && it->second.count(r) ? it->second[r] : 0.0;
+  };
+  auto s = Scheduler::create("affinity", clock_, {DeviceKind::kCuda, DeviceKind::kCuda}, oracle);
+  Task* t0 = make_task(DeviceKind::kCuda);
+  Task* t1 = make_task(DeviceKind::kCuda);
+  scores[t0] = {{0, 100.0}};
+  scores[t1] = {{0, 100.0}};  // both pile onto resource 0
+  s->submit(t0, -1);
+  s->submit(t1, -1);
+  // Resource 1 has nothing local or global: it steals from the *back* of
+  // resource 0's queue (the least-affine recent work).
+  EXPECT_EQ(s->try_get(1), t1);
+  EXPECT_EQ(s->try_get(0), t0);
+}
+
+TEST_F(SchedTest, AffinityStealRespectsKind) {
+  auto s = Scheduler::create("affinity", clock_, {DeviceKind::kSmp, DeviceKind::kCuda},
+                             [](const Task&, int r) { return r == 0 ? 10.0 : 0.0; });
+  Task* smp_task = make_task(DeviceKind::kSmp);
+  s->submit(smp_task, -1);
+  EXPECT_EQ(s->try_get(1), nullptr);  // cuda resource won't steal smp work
+  EXPECT_EQ(s->try_get(0), smp_task);
+}
+
+}  // namespace

@@ -1,0 +1,364 @@
+// Tests for the simulated CUDA platform: allocator behaviour, stream
+// ordering, engine overlap, the pinned-memory rule for async copies, and the
+// cost model's virtual-time accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "simcuda/simcuda.hpp"
+#include "vt/clock.hpp"
+
+namespace {
+
+using simcuda::Device;
+using simcuda::DeviceProps;
+using simcuda::KernelCost;
+using simcuda::Platform;
+
+DeviceProps small_props() {
+  DeviceProps p;
+  p.memory_bytes = 1u << 20;  // 1 MiB
+  p.gflops = 1000.0;          // 1 TFLOP/s
+  p.pcie_bandwidth = 1.0e9;   // 1 GB/s: 1 MB ≈ 1 ms
+  p.mem_bandwidth = 100.0e9;
+  p.kernel_launch_overhead = 0.0;
+  p.copy_overhead = 0.0;
+  return p;
+}
+
+class SimCudaTest : public ::testing::Test {
+protected:
+  SimCudaTest() : platform_(clock_, {small_props(), small_props()}) {}
+
+  vt::Clock clock_;
+  Platform platform_;
+};
+
+TEST_F(SimCudaTest, DeviceCountAndProps) {
+  EXPECT_EQ(platform_.device_count(), 2);
+  EXPECT_EQ(platform_.device(0).id(), 0);
+  EXPECT_EQ(platform_.device(1).id(), 1);
+  EXPECT_EQ(platform_.device(0).capacity(), 1u << 20);
+}
+
+TEST_F(SimCudaTest, AllocatorBasicAllocFree) {
+  Device& d = platform_.device(0);
+  void* a = d.malloc(1000);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(d.owns(a));
+  std::size_t free_after = d.free_bytes();
+  EXPECT_LT(free_after, d.capacity());
+  d.free(a);
+  EXPECT_EQ(d.free_bytes(), d.capacity());
+}
+
+TEST_F(SimCudaTest, AllocatorReturnsNullOnExhaustion) {
+  Device& d = platform_.device(0);
+  void* a = d.malloc(900u << 10);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(d.malloc(200u << 10), nullptr);  // no room left
+  d.free(a);
+  EXPECT_NE(a = d.malloc(200u << 10), nullptr);
+  d.free(a);
+}
+
+TEST_F(SimCudaTest, AllocatorCoalescesFreedNeighbors) {
+  Device& d = platform_.device(0);
+  void* a = d.malloc(256u << 10);
+  void* b = d.malloc(256u << 10);
+  void* c = d.malloc(256u << 10);
+  ASSERT_TRUE(a && b && c);
+  // Largest free block now is the tail (< 256 KiB + change).
+  d.free(a);
+  d.free(c);
+  // a and c are not adjacent: freeing b must merge all three + tail.
+  d.free(b);
+  EXPECT_EQ(d.largest_free_block(), d.capacity());
+}
+
+TEST_F(SimCudaTest, AllocatorZeroBytesReturnsNull) {
+  EXPECT_EQ(platform_.device(0).malloc(0), nullptr);
+}
+
+TEST_F(SimCudaTest, FreeingForeignPointerThrows) {
+  Device& d = platform_.device(0);
+  char local;
+  EXPECT_THROW(d.free(&local), std::invalid_argument);
+}
+
+TEST_F(SimCudaTest, DeviceIsolation) {
+  // A pointer from device 0 does not belong to device 1.
+  void* a = platform_.device(0).malloc(128);
+  EXPECT_TRUE(platform_.device(0).owns(a));
+  EXPECT_FALSE(platform_.device(1).owns(a));
+  platform_.device(0).free(a);
+}
+
+TEST_F(SimCudaTest, SyncCopiesRoundTrip) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  std::vector<float> src(1024);
+  std::iota(src.begin(), src.end(), 0.0f);
+  std::vector<float> dst(1024, -1.0f);
+  void* dev = d.malloc(src.size() * sizeof(float));
+  ASSERT_NE(dev, nullptr);
+  d.memcpy_h2d(dev, src.data(), src.size() * sizeof(float));
+  d.memcpy_d2h(dst.data(), dev, src.size() * sizeof(float));
+  EXPECT_EQ(src, dst);
+  d.free(dev);
+}
+
+TEST_F(SimCudaTest, CopyTimeMatchesBandwidthModel) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  std::vector<char> host(512u << 10);
+  void* dev = d.malloc(host.size());
+  double t0 = clock_.now();
+  d.memcpy_h2d(dev, host.data(), host.size());  // 512 KiB at 1 GB/s
+  double elapsed = clock_.now() - t0;
+  EXPECT_NEAR(elapsed, static_cast<double>(host.size()) / 1e9, 1e-9);
+  d.free(dev);
+}
+
+TEST_F(SimCudaTest, KernelDurationFollowsCostModel) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  double t0 = clock_.now();
+  // 2 GFLOP at 1 TFLOP/s = 2 ms (compute-bound)
+  d.launch_kernel(d.default_stream(), KernelCost{2e9, 0.0}, [] {});
+  d.default_stream().synchronize();
+  EXPECT_NEAR(clock_.now() - t0, 2e-3, 1e-9);
+  // Memory-bound: 1 GB at 100 GB/s = 10 ms > flops time.
+  t0 = clock_.now();
+  d.launch_kernel(d.default_stream(), KernelCost{1e6, 1e9}, [] {});
+  d.default_stream().synchronize();
+  EXPECT_NEAR(clock_.now() - t0, 1e-2, 1e-9);
+}
+
+TEST_F(SimCudaTest, KernelsRunRealPayloads) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  constexpr std::size_t kN = 256;
+  auto* dev = static_cast<float*>(d.malloc(kN * sizeof(float)));
+  std::vector<float> init(kN, 2.0f);
+  d.memcpy_h2d(dev, init.data(), kN * sizeof(float));
+  d.launch_kernel(d.default_stream(), KernelCost{static_cast<double>(kN), 0.0}, [dev] {
+    for (std::size_t i = 0; i < kN; ++i) dev[i] *= 3.0f;
+  });
+  std::vector<float> out(kN);
+  d.memcpy_d2h(out.data(), dev, kN * sizeof(float));
+  for (float v : out) EXPECT_FLOAT_EQ(v, 6.0f);
+  d.free(dev);
+}
+
+TEST_F(SimCudaTest, SameStreamOpsSerialize) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  double t0 = clock_.now();
+  for (int i = 0; i < 3; ++i)
+    d.launch_kernel(d.default_stream(), KernelCost{1e9, 0.0}, [] {});  // 1 ms each
+  d.default_stream().synchronize();
+  EXPECT_NEAR(clock_.now() - t0, 3e-3, 1e-9);
+}
+
+TEST_F(SimCudaTest, DistinctStreamCopiesAndKernelsOverlap) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  simcuda::Stream* s1 = d.create_stream();
+  simcuda::Stream* s2 = d.create_stream();
+  void* dev = d.malloc(512u << 10);
+  void* pin = platform_.host_alloc_pinned(512u << 10);
+
+  // 512 KiB copy ≈ 0.512 ms on the copy engine, 1 GFLOP kernel = 1 ms on the
+  // kernel engine.  In different streams they overlap: total ≈ max, not sum.
+  double t0 = clock_.now();
+  d.memcpy_h2d_async(*s1, dev, pin, 512u << 10);
+  d.launch_kernel(*s2, KernelCost{1e9, 0.0}, [] {});
+  d.synchronize();
+  double elapsed = clock_.now() - t0;
+  EXPECT_NEAR(elapsed, 1e-3, 1e-7);
+
+  // In the *same* stream they serialize.
+  t0 = clock_.now();
+  d.memcpy_h2d_async(*s1, dev, pin, 512u << 10);
+  d.launch_kernel(*s1, KernelCost{1e9, 0.0}, [] {});
+  d.synchronize();
+  elapsed = clock_.now() - t0;
+  EXPECT_NEAR(elapsed, 1e-3 + static_cast<double>(512u << 10) / 1e9, 1e-7);
+
+  platform_.host_free_pinned(pin);
+  d.free(dev);
+  d.destroy_stream(s1);
+  d.destroy_stream(s2);
+}
+
+TEST_F(SimCudaTest, UnpinnedAsyncCopyBlocksCaller) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  std::vector<char> unpinned(256u << 10);
+  void* dev = d.malloc(unpinned.size());
+  double t0 = clock_.now();
+  d.memcpy_h2d_async(d.default_stream(), dev, unpinned.data(), unpinned.size());
+  // The call itself must have consumed the transfer time (synchronous).
+  EXPECT_GT(clock_.now() - t0, 0.0);
+  EXPECT_NEAR(clock_.now() - t0, static_cast<double>(256u << 10) / 1e9, 1e-7);
+  EXPECT_EQ(d.stats().count("h2d_unpinned_ops"), 1u);
+  d.free(dev);
+}
+
+TEST_F(SimCudaTest, PinnedAsyncCopyReturnsImmediately) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  void* pin = platform_.host_alloc_pinned(256u << 10);
+  void* dev = d.malloc(256u << 10);
+  double t0 = clock_.now();
+  d.memcpy_h2d_async(d.default_stream(), dev, pin, 256u << 10);
+  EXPECT_DOUBLE_EQ(clock_.now(), t0);  // returned without blocking
+  d.default_stream().synchronize();
+  EXPECT_GT(clock_.now(), t0);
+  EXPECT_EQ(d.stats().count("h2d_unpinned_ops"), 0u);
+  platform_.host_free_pinned(pin);
+  d.free(dev);
+}
+
+TEST_F(SimCudaTest, PinnedRegistryTracksSubranges) {
+  char* pin = static_cast<char*>(platform_.host_alloc_pinned(4096));
+  EXPECT_TRUE(platform_.is_pinned(pin, 4096));
+  EXPECT_TRUE(platform_.is_pinned(pin + 1024, 1024));
+  EXPECT_FALSE(platform_.is_pinned(pin + 2048, 4096));  // runs past the end
+  char local[16];
+  EXPECT_FALSE(platform_.is_pinned(local, sizeof(local)));
+  EXPECT_EQ(platform_.pinned_bytes(), 4096u);
+  platform_.host_free_pinned(pin);
+  EXPECT_EQ(platform_.pinned_bytes(), 0u);
+  EXPECT_THROW(platform_.host_free_pinned(local), std::invalid_argument);
+}
+
+TEST_F(SimCudaTest, EventsRecordCompletionTimestamps) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  simcuda::Event ev(clock_);
+  d.launch_kernel(d.default_stream(), KernelCost{1e9, 0.0}, [] {});  // 1 ms
+  d.record_event(d.default_stream(), ev);
+  EXPECT_FALSE(ev.query());
+  ev.synchronize();
+  EXPECT_TRUE(ev.query());
+  EXPECT_NEAR(ev.timestamp(), 1e-3, 1e-9);
+}
+
+TEST_F(SimCudaTest, CallbacksRunAfterPriorWork) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  std::vector<int> sequence;
+  d.launch_kernel(d.default_stream(), KernelCost{1e9, 0.0}, [&] { sequence.push_back(1); });
+  d.add_callback(d.default_stream(), [&] { sequence.push_back(2); });
+  d.launch_kernel(d.default_stream(), KernelCost{1e9, 0.0}, [&] { sequence.push_back(3); });
+  d.synchronize();
+  EXPECT_EQ(sequence, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SimCudaTest, TwoDevicesRunConcurrently) {
+  vt::AttachGuard guard(clock_, "main");
+  double t0 = clock_.now();
+  platform_.device(0).launch_kernel(platform_.device(0).default_stream(), KernelCost{5e9, 0.0},
+                                    [] {});
+  platform_.device(1).launch_kernel(platform_.device(1).default_stream(), KernelCost{5e9, 0.0},
+                                    [] {});
+  platform_.device(0).synchronize();
+  platform_.device(1).synchronize();
+  // Two 5 ms kernels on two devices: 5 ms total, not 10.
+  EXPECT_NEAR(clock_.now() - t0, 5e-3, 1e-9);
+}
+
+TEST_F(SimCudaTest, StatsCountTransfers) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  std::vector<char> buf(1024);
+  void* dev = d.malloc(1024);
+  d.memcpy_h2d(dev, buf.data(), 1024);
+  d.memcpy_d2h(buf.data(), dev, 1024);
+  d.memcpy_d2h(buf.data(), dev, 1024);
+  EXPECT_EQ(d.stats().count("h2d_ops"), 1u);
+  EXPECT_EQ(d.stats().count("d2h_ops"), 2u);
+  EXPECT_DOUBLE_EQ(d.stats().sum("d2h_bytes"), 2048.0);
+  d.free(dev);
+}
+
+TEST_F(SimCudaTest, ManyStreamsInterleaveFairly) {
+  // Four streams with 4 kernels each: FIFO within a stream, round-robin
+  // across streams; all 16 complete and the total equals the serial sum on
+  // the single kernel engine.
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  std::vector<simcuda::Stream*> streams;
+  std::atomic<int> ran{0};
+  for (int s = 0; s < 4; ++s) streams.push_back(d.create_stream());
+  double t0 = clock_.now();
+  for (int k = 0; k < 4; ++k)
+    for (auto* s : streams)
+      d.launch_kernel(*s, KernelCost{1e9, 0.0}, [&ran] { ran++; });  // 1 ms each
+  d.synchronize();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_NEAR(clock_.now() - t0, 16e-3, 1e-6);
+  for (auto* s : streams) d.destroy_stream(s);
+}
+
+TEST_F(SimCudaTest, DestroyDefaultStreamRejected) {
+  Device& d = platform_.device(0);
+  EXPECT_THROW(d.destroy_stream(&d.default_stream()), std::invalid_argument);
+}
+
+TEST_F(SimCudaTest, AllocationStressAgainstCapacity) {
+  // Fill, free every other, refill smaller: the allocator must track
+  // capacity exactly and never hand out overlapping blocks.
+  Device& d = platform_.device(0);
+  std::vector<void*> blocks;
+  for (;;) {
+    void* p = d.malloc(64u << 10);
+    if (p == nullptr) break;
+    for (void* q : blocks) EXPECT_NE(p, q);
+    blocks.push_back(p);
+  }
+  EXPECT_EQ(blocks.size(), (1u << 20) / (64u << 10));
+  for (std::size_t i = 0; i < blocks.size(); i += 2) d.free(blocks[i]);
+  std::size_t refilled = 0;
+  while (d.malloc(32u << 10) != nullptr) ++refilled;
+  EXPECT_EQ(refilled, blocks.size());  // two 32K per freed 64K hole
+  for (std::size_t i = 1; i < blocks.size(); i += 2) d.free(blocks[i]);
+}
+
+TEST_F(SimCudaTest, EventOrderingAcrossStreams) {
+  vt::AttachGuard guard(clock_, "main");
+  Device& d = platform_.device(0);
+  simcuda::Stream* s1 = d.create_stream();
+  simcuda::Stream* s2 = d.create_stream();
+  simcuda::Event e1(clock_), e2(clock_);
+  d.launch_kernel(*s1, KernelCost{2e9, 0.0}, [] {});  // 2 ms
+  d.record_event(*s1, e1);
+  d.launch_kernel(*s2, KernelCost{1e9, 0.0}, [] {});  // 1 ms — but same engine!
+  d.record_event(*s2, e2);
+  e1.synchronize();
+  e2.synchronize();
+  // One kernel engine: the s2 kernel runs after s1's (round-robin pick saw
+  // s1 first), so e2 completes last.
+  EXPECT_GT(e2.timestamp(), e1.timestamp());
+  d.destroy_stream(s1);
+  d.destroy_stream(s2);
+}
+
+TEST_F(SimCudaTest, LaunchOverheadIsCharged) {
+  DeviceProps p = small_props();
+  p.kernel_launch_overhead = 5e-6;
+  vt::Clock clock;
+  Platform platform(clock, {p});
+  vt::AttachGuard guard(clock, "main");
+  Device& d = platform.device(0);
+  double t0 = clock.now();
+  d.launch_kernel(d.default_stream(), KernelCost{0.0, 0.0}, [] {});
+  d.default_stream().synchronize();
+  EXPECT_NEAR(clock.now() - t0, 5e-6, 1e-12);
+}
+
+}  // namespace

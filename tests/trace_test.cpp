@@ -1,0 +1,94 @@
+// Instrumentation-layer tests: event recording, resource attribution,
+// Chrome-JSON rendering, and end-to-end wiring through the runtime.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "nanos/runtime.hpp"
+#include "nanos/trace.hpp"
+
+namespace {
+
+TEST(TraceRecorderTest, RecordsIntervalsInVirtualTime) {
+  vt::Clock clock;
+  nanos::TraceRecorder trace(clock);
+  vt::AttachGuard guard(clock, "main");
+  double t0 = trace.begin();
+  clock.sleep_for(0.25);
+  trace.record("task", "smp0", "work", t0);
+  auto evs = trace.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].name, "work");
+  EXPECT_EQ(evs[0].resource, "smp0");
+  EXPECT_DOUBLE_EQ(evs[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(evs[0].end, 0.25);
+}
+
+TEST(TraceRecorderTest, ChromeJsonHasEventsAndThreadNames) {
+  vt::Clock clock;
+  nanos::TraceRecorder trace(clock);
+  trace.record("task", "gpu0", "sgemm", 0.0);
+  trace.record("transfer", "gpu0.xfer", "h2d", 0.0);
+  std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"sgemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"h2d\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"gpu0.xfer\""), std::string::npos);
+}
+
+TEST(TraceTest, RuntimeWritesTraceFileOnShutdown) {
+  std::string path = ::testing::TempDir() + "/ompss_trace_test.json";
+  std::remove(path.c_str());
+  {
+    nanos::RuntimeConfig cfg;
+    cfg.smp_workers = 2;
+    simcuda::DeviceProps props;
+    props.memory_bytes = 1u << 20;
+    cfg.gpus.assign(1, props);
+    cfg.trace_path = path;
+    vt::Clock clock;
+    nanos::Runtime rt(clock, cfg);
+    ASSERT_NE(rt.trace(), nullptr);
+    std::vector<float> a(64, 0.0f);
+    vt::Thread driver(clock, "app", [&] {
+      nanos::TaskDesc d;
+      d.device = nanos::DeviceKind::kCuda;
+      d.label = "traced-kernel";
+      d.accesses = {nanos::Access::inout(a.data(), a.size() * sizeof(float))};
+      d.cost.flops = 1e6;
+      d.fn = [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 1.0f; };
+      rt.spawn(std::move(d));
+      rt.taskwait();
+    });
+    driver.join();
+    // Task + at least one transfer were recorded.
+    EXPECT_GE(rt.trace()->event_count(), 2u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file not written";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("traced-kernel"), std::string::npos);
+  EXPECT_NE(ss.str().find("gpu0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  nanos::RuntimeConfig cfg;
+  cfg.smp_workers = 1;
+  vt::Clock clock;
+  nanos::Runtime rt(clock, cfg);
+  EXPECT_EQ(rt.trace(), nullptr);
+}
+
+TEST(TraceTest, ConfigKeyEnablesTracing) {
+  common::Config c;
+  c.parse_args("trace=/tmp/x.json");
+  auto cfg = nanos::RuntimeConfig::from(c);
+  EXPECT_EQ(cfg.trace_path, "/tmp/x.json");
+}
+
+}  // namespace

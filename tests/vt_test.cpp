@@ -1,0 +1,536 @@
+// Tests for the virtual-time layer.  These validate the properties every
+// other module leans on: time advances only when all attached threads block,
+// sleeps wake in timestamp order, monitors hand wakeups through the clock,
+// and deadlocks are detected and cancelled.
+//
+// Idiom under test everywhere: an unattached orchestrator (like these test
+// bodies) takes a vt::Hold while constructing threads, so virtual time cannot
+// advance in the window between two constructions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vt/clock.hpp"
+#include "vt/sync.hpp"
+
+namespace {
+
+TEST(VtClockTest, StartsAtZero) {
+  vt::Clock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(VtClockTest, SleepAdvancesExactly) {
+  vt::Clock clock;
+  vt::AttachGuard guard(clock, "main");
+  clock.sleep_for(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.sleep_until(2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  clock.sleep_until(1.0);  // already past: no-op
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(VtClockTest, NegativeSleepThrows) {
+  vt::Clock clock;
+  vt::AttachGuard guard(clock, "main");
+  EXPECT_THROW(clock.sleep_for(-1.0), std::invalid_argument);
+}
+
+TEST(VtClockTest, SleepFromUnattachedThreadThrows) {
+  vt::Clock clock;
+  EXPECT_THROW(clock.sleep_for(1.0), std::logic_error);
+}
+
+TEST(VtClockTest, ParallelSleepsOverlap) {
+  // Two threads sleeping 1s "in parallel" take 1s of virtual time, not 2s.
+  vt::Clock clock;
+  std::atomic<int> done{0};
+  {
+    std::optional<vt::Hold> hold;
+    hold.emplace(clock);
+    vt::Thread a(clock, "a", [&] { clock.sleep_for(1.0); done++; });
+    vt::Thread b(clock, "b", [&] { clock.sleep_for(1.0); done++; });
+    hold.reset();
+    a.join();
+    b.join();
+  }
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+}
+
+TEST(VtClockTest, HoldPreventsAdvancement) {
+  vt::Clock clock;
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread a(clock, "a", [&] { clock.sleep_for(1.0); });
+  // Give the sleeper ample real time: virtual time must not move under Hold.
+  for (int spin = 0; spin < 100000; ++spin) {
+    asm volatile("");
+  }
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  hold.reset();
+  a.join();
+  EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+}
+
+TEST(VtClockTest, WakeupsHonorTimestampOrder) {
+  vt::Clock clock;
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto sleeper = [&](const std::string& name, double t) {
+    return [&, name, t] {
+      clock.sleep_for(t);
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(name);
+    };
+  };
+  {
+    std::optional<vt::Hold> hold;
+    hold.emplace(clock);
+    vt::Thread c(clock, "c", sleeper("c", 3.0));
+    vt::Thread a(clock, "a", sleeper("a", 1.0));
+    vt::Thread b(clock, "b", sleeper("b", 2.0));
+    hold.reset();
+    a.join();
+    b.join();
+    c.join();
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "b");
+  EXPECT_EQ(order[2], "c");
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(VtClockTest, SequentialDependentSleepsAccumulate) {
+  // A thread that wakes and sleeps again: total = sum of both legs.
+  vt::Clock clock;
+  vt::Flag first_leg_done(clock);
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread a(clock, "a", [&] {
+    clock.sleep_for(1.0);
+    first_leg_done.set();
+    clock.sleep_for(2.0);
+  });
+  vt::Thread b(clock, "b", [&] {
+    first_leg_done.wait();
+    clock.sleep_for(0.5);
+  });
+  hold.reset();
+  a.join();
+  b.join();
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(VtMonitorTest, NotifyWakesWaiter) {
+  vt::Clock clock;
+  std::mutex mu;
+  vt::Monitor mon(clock);
+  bool ready = false;
+  bool observed = false;
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread waiter(clock, "waiter", [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    mon.wait(lk, [&] { return ready; });
+    observed = true;
+  });
+  vt::Thread setter(clock, "setter", [&] {
+    clock.sleep_for(1.0);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ready = true;
+    }
+    mon.notify_all();
+  });
+  hold.reset();
+  waiter.join();
+  setter.join();
+  EXPECT_TRUE(observed);
+  // Virtual time advanced to 1.0 while the waiter was event-blocked.
+  EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+}
+
+TEST(VtMonitorTest, WaitForTimesOutAtDeadline) {
+  vt::Clock clock;
+  vt::AttachGuard guard(clock, "main");
+  std::mutex mu;
+  vt::Monitor mon(clock);
+  std::unique_lock<std::mutex> lk(mu);
+  bool ok = mon.wait_for(lk, 2.5);
+  EXPECT_FALSE(ok);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.5);
+}
+
+TEST(VtMonitorTest, NotifyBeatsTimeout) {
+  vt::Clock clock;
+  std::mutex mu;
+  vt::Monitor mon(clock);
+  bool ready = false;
+  bool result = false;
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread waiter(clock, "waiter", [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    result = mon.wait_for(lk, 100.0, [&] { return ready; });
+  });
+  vt::Thread setter(clock, "setter", [&] {
+    clock.sleep_for(1.0);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ready = true;
+    }
+    mon.notify_all();
+  });
+  hold.reset();
+  waiter.join();
+  setter.join();
+  EXPECT_TRUE(result);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+}
+
+TEST(VtMonitorTest, NotifyOneWakesSingleWaiter) {
+  vt::Clock clock;
+  std::mutex mu;
+  vt::Monitor mon(clock);
+  int token = 0;
+  std::atomic<int> got{0};
+  auto body = [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    mon.wait(lk, [&] { return token > 0; });
+    --token;
+    ++got;
+  };
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread a(clock, "a", body);
+  vt::Thread b(clock, "b", body);
+  vt::Thread producer(clock, "producer", [&] {
+    clock.sleep_for(1.0);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      token = 1;
+    }
+    mon.notify_one();
+    clock.sleep_for(1.0);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      token = 1;
+    }
+    mon.notify_one();
+  });
+  hold.reset();
+  a.join();
+  b.join();
+  producer.join();
+  EXPECT_EQ(got.load(), 2);
+}
+
+TEST(VtMonitorTest, UnattachedThreadCanWait) {
+  // The benchmark driver thread is not part of the simulation; it still must
+  // be able to block on a Flag set by simulated threads.
+  vt::Clock clock;
+  vt::Flag flag(clock);
+  vt::Thread worker(clock, "worker", [&] {
+    clock.sleep_for(3.0);
+    flag.set();
+  });
+  flag.wait();  // main test thread is unattached
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+  worker.join();
+}
+
+TEST(VtFlagTest, SetBeforeWaitDoesNotBlock) {
+  vt::Clock clock;
+  vt::Flag flag(clock);
+  flag.set();
+  flag.wait();
+  EXPECT_TRUE(flag.is_set());
+  flag.reset();
+  EXPECT_FALSE(flag.is_set());
+}
+
+TEST(VtBarrierTest, ReleasesAllParties) {
+  vt::Clock clock;
+  vt::Barrier barrier(clock, 3);
+  std::atomic<int> before{0}, after{0};
+  auto body = [&](double delay) {
+    return [&, delay] {
+      clock.sleep_for(delay);
+      before++;
+      barrier.arrive_and_wait();
+      after++;
+    };
+  };
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread a(clock, "a", body(1.0));
+  vt::Thread b(clock, "b", body(2.0));
+  vt::Thread c(clock, "c", body(3.0));
+  hold.reset();
+  a.join();
+  b.join();
+  c.join();
+  EXPECT_EQ(before.load(), 3);
+  EXPECT_EQ(after.load(), 3);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);  // barrier releases when the slowest arrives
+}
+
+TEST(VtBarrierTest, IsReusable) {
+  vt::Clock clock;
+  vt::Barrier barrier(clock, 2);
+  std::atomic<int> rounds{0};
+  auto body = [&] {
+    for (int i = 0; i < 5; ++i) {
+      barrier.arrive_and_wait();
+      rounds++;
+    }
+  };
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread a(clock, "a", body);
+  vt::Thread b(clock, "b", body);
+  hold.reset();
+  a.join();
+  b.join();
+  EXPECT_EQ(rounds.load(), 10);
+}
+
+TEST(VtCountLatchTest, WaitsForZero) {
+  vt::Clock clock;
+  vt::CountLatch latch(clock);
+  latch.add(2);
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread a(clock, "a", [&] {
+    clock.sleep_for(1.0);
+    latch.done();
+  });
+  vt::Thread b(clock, "b", [&] {
+    clock.sleep_for(2.0);
+    latch.done();
+  });
+  hold.reset();
+  latch.wait();
+  EXPECT_EQ(latch.pending(), 0u);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  a.join();
+  b.join();
+}
+
+TEST(VtDeadlockTest, DetectsAllBlockedAndCancels) {
+  vt::Clock clock;
+  std::atomic<bool> reported{false};
+  std::string report;
+  clock.set_deadlock_handler([&](const std::string& r) {
+    reported = true;
+    report = r;
+  });
+  std::mutex mu;
+  vt::Monitor mon(clock);
+  std::atomic<int> cancelled{0};
+  auto body = [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    try {
+      mon.wait(lk);  // nobody will ever notify
+    } catch (const vt::Cancelled&) {
+      cancelled++;
+      throw;  // vt::Thread swallows it
+    }
+  };
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread a(clock, "stuck-a", body);
+  vt::Thread b(clock, "stuck-b", body);
+  hold.reset();
+  a.join();
+  b.join();
+  EXPECT_TRUE(reported.load());
+  EXPECT_EQ(cancelled.load(), 2);
+  EXPECT_NE(report.find("DEADLOCK"), std::string::npos);
+  EXPECT_NE(report.find("stuck-a"), std::string::npos);
+  EXPECT_NE(report.find("stuck-b"), std::string::npos);
+}
+
+TEST(VtStressTest, ManyThreadsManySleeps) {
+  vt::Clock clock;
+  constexpr int kThreads = 16;
+  constexpr int kIters = 50;
+  std::vector<vt::Thread> threads;
+  threads.reserve(kThreads);
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(clock, "w" + std::to_string(i), [&clock, i] {
+      for (int k = 0; k < kIters; ++k) clock.sleep_for(0.001 * ((i + k) % 7 + 1));
+    });
+  }
+  hold.reset();
+  for (auto& t : threads) t.join();
+  // Longest single-thread schedule bounds the final virtual time.
+  EXPECT_GT(clock.now(), 0.0);
+  EXPECT_LT(clock.now(), 0.001 * 7 * kIters + 1e-9);
+}
+
+TEST(VtClockTest, DoubleAttachThrows) {
+  vt::Clock clock;
+  vt::AttachGuard guard(clock, "main");
+  EXPECT_THROW(clock.attach("again"), std::logic_error);
+}
+
+TEST(VtClockTest, AttachedCountTracksThreads) {
+  vt::Clock clock;
+  EXPECT_EQ(clock.attached_count(), 0u);
+  {
+    vt::AttachGuard guard(clock, "main");
+    EXPECT_EQ(clock.attached_count(), 1u);
+    vt::Flag go(clock);
+    vt::Thread t(clock, "t", [&] { go.wait(); });
+    EXPECT_EQ(clock.attached_count(), 2u);
+    go.set();
+    t.join();
+  }
+  EXPECT_EQ(clock.attached_count(), 0u);
+}
+
+TEST(VtClockTest, CancelAllUnblocksWaiters) {
+  vt::Clock clock;
+  std::mutex mu;
+  vt::Monitor mon(clock);
+  std::atomic<int> cancelled{0};
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread t(clock, "t", [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    try {
+      mon.wait(lk);
+    } catch (const vt::Cancelled&) {
+      cancelled++;
+      throw;
+    }
+  });
+  // Give the thread real time to block, then cancel everything.
+  for (int spin = 0; spin < 200000; ++spin) {
+    asm volatile("");
+  }
+  clock.cancel_all();
+  hold.reset();
+  t.join();
+  EXPECT_EQ(cancelled.load(), 1);
+}
+
+TEST(VtMonitorTest, CrossClockWaitThrows) {
+  vt::Clock a, b;
+  vt::Monitor mon_b(b);
+  vt::AttachGuard guard(a, "main");  // attached to clock a
+  std::mutex mu;
+  std::unique_lock<std::mutex> lk(mu);
+  EXPECT_THROW(mon_b.wait(lk), std::logic_error);
+}
+
+TEST(VtMonitorTest, WaitUntilPastDeadlineReturnsImmediately) {
+  vt::Clock clock;
+  vt::AttachGuard guard(clock, "main");
+  clock.sleep_for(1.0);
+  std::mutex mu;
+  vt::Monitor mon(clock);
+  std::unique_lock<std::mutex> lk(mu);
+  EXPECT_FALSE(mon.wait_until(lk, 0.5));  // already past: immediate timeout
+  EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+}
+
+TEST(VtClockTest, ServiceThreadsAloneAreIdleNotDeadlock) {
+  // A blocked service thread with no other work is "idle", not a deadlock:
+  // the handler must NOT fire.
+  vt::Clock clock;
+  bool reported = false;
+  clock.set_deadlock_handler([&](const std::string&) { reported = true; });
+  std::mutex mu;
+  vt::Monitor mon(clock);
+  bool stop = false;
+  vt::Thread service(
+      clock, "svc",
+      [&] {
+        std::unique_lock<std::mutex> lk(mu);
+        mon.wait(lk, [&] { return stop; });
+      },
+      /*service=*/true);
+  // Let it block; idle detection must not trigger the handler.
+  for (int spin = 0; spin < 200000; ++spin) {
+    asm volatile("");
+  }
+  EXPECT_FALSE(reported);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    stop = true;
+  }
+  mon.notify_all();
+  service.join();
+  EXPECT_FALSE(reported);
+}
+
+TEST(VtStressTest, ProducerConsumerChain) {
+  // Items flow through a 3-stage pipeline of monitors; the virtual clock has
+  // to keep every handoff alive without false deadlocks.
+  vt::Clock clock;
+  constexpr int kItems = 200;
+  struct Stage {
+    std::mutex mu;
+    vt::Monitor mon;
+    std::vector<int> queue;
+    explicit Stage(vt::Clock& c) : mon(c) {}
+  };
+  Stage s1(clock), s2(clock);
+  std::vector<int> sink;
+  std::optional<vt::Hold> hold;
+  hold.emplace(clock);
+  vt::Thread producer(clock, "producer", [&] {
+    for (int i = 0; i < kItems; ++i) {
+      clock.sleep_for(0.001);
+      {
+        std::lock_guard<std::mutex> lk(s1.mu);
+        s1.queue.push_back(i);
+      }
+      s1.mon.notify_one();
+    }
+  });
+  vt::Thread middle(clock, "middle", [&] {
+    for (int i = 0; i < kItems; ++i) {
+      int v;
+      {
+        std::unique_lock<std::mutex> lk(s1.mu);
+        s1.mon.wait(lk, [&] { return !s1.queue.empty(); });
+        v = s1.queue.front();
+        s1.queue.erase(s1.queue.begin());
+      }
+      clock.sleep_for(0.0005);
+      {
+        std::lock_guard<std::mutex> lk(s2.mu);
+        s2.queue.push_back(v * 2);
+      }
+      s2.mon.notify_one();
+    }
+  });
+  vt::Thread consumer(clock, "consumer", [&] {
+    for (int i = 0; i < kItems; ++i) {
+      std::unique_lock<std::mutex> lk(s2.mu);
+      s2.mon.wait(lk, [&] { return !s2.queue.empty(); });
+      sink.push_back(s2.queue.front());
+      s2.queue.erase(s2.queue.begin());
+    }
+  });
+  hold.reset();
+  producer.join();
+  middle.join();
+  consumer.join();
+  ASSERT_EQ(sink.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(sink[i], i * 2);
+}
+
+}  // namespace
