@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_overlap.dir/abl01_overlap.cpp.o"
+  "CMakeFiles/abl01_overlap.dir/abl01_overlap.cpp.o.d"
+  "abl01_overlap"
+  "abl01_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_prefetch.dir/abl02_prefetch.cpp.o"
+  "CMakeFiles/abl02_prefetch.dir/abl02_prefetch.cpp.o.d"
+  "abl02_prefetch"
+  "abl02_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

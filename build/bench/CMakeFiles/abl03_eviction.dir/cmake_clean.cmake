@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_eviction.dir/abl03_eviction.cpp.o"
+  "CMakeFiles/abl03_eviction.dir/abl03_eviction.cpp.o.d"
+  "abl03_eviction"
+  "abl03_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

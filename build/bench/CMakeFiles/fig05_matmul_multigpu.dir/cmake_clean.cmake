@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_matmul_multigpu.dir/fig05_matmul_multigpu.cpp.o"
+  "CMakeFiles/fig05_matmul_multigpu.dir/fig05_matmul_multigpu.cpp.o.d"
+  "fig05_matmul_multigpu"
+  "fig05_matmul_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_matmul_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

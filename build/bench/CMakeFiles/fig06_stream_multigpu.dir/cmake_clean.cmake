@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_stream_multigpu.dir/fig06_stream_multigpu.cpp.o"
+  "CMakeFiles/fig06_stream_multigpu.dir/fig06_stream_multigpu.cpp.o.d"
+  "fig06_stream_multigpu"
+  "fig06_stream_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_stream_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

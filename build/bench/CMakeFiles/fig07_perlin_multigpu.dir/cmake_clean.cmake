@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_perlin_multigpu.dir/fig07_perlin_multigpu.cpp.o"
+  "CMakeFiles/fig07_perlin_multigpu.dir/fig07_perlin_multigpu.cpp.o.d"
+  "fig07_perlin_multigpu"
+  "fig07_perlin_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_perlin_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_nbody_multigpu.dir/fig08_nbody_multigpu.cpp.o"
+  "CMakeFiles/fig08_nbody_multigpu.dir/fig08_nbody_multigpu.cpp.o.d"
+  "fig08_nbody_multigpu"
+  "fig08_nbody_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_nbody_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

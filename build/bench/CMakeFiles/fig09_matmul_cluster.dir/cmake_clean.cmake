@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_matmul_cluster.dir/fig09_matmul_cluster.cpp.o"
+  "CMakeFiles/fig09_matmul_cluster.dir/fig09_matmul_cluster.cpp.o.d"
+  "fig09_matmul_cluster"
+  "fig09_matmul_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_matmul_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

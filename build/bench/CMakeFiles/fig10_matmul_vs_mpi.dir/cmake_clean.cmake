@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_matmul_vs_mpi.dir/fig10_matmul_vs_mpi.cpp.o"
+  "CMakeFiles/fig10_matmul_vs_mpi.dir/fig10_matmul_vs_mpi.cpp.o.d"
+  "fig10_matmul_vs_mpi"
+  "fig10_matmul_vs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_matmul_vs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

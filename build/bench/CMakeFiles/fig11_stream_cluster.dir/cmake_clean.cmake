@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stream_cluster.dir/fig11_stream_cluster.cpp.o"
+  "CMakeFiles/fig11_stream_cluster.dir/fig11_stream_cluster.cpp.o.d"
+  "fig11_stream_cluster"
+  "fig11_stream_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stream_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

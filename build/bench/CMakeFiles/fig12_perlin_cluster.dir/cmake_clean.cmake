@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_perlin_cluster.dir/fig12_perlin_cluster.cpp.o"
+  "CMakeFiles/fig12_perlin_cluster.dir/fig12_perlin_cluster.cpp.o.d"
+  "fig12_perlin_cluster"
+  "fig12_perlin_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_perlin_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

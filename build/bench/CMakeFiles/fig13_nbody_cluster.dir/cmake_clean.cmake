@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_nbody_cluster.dir/fig13_nbody_cluster.cpp.o"
+  "CMakeFiles/fig13_nbody_cluster.dir/fig13_nbody_cluster.cpp.o.d"
+  "fig13_nbody_cluster"
+  "fig13_nbody_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_nbody_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_productivity.dir/table1_productivity.cpp.o"
+  "CMakeFiles/table1_productivity.dir/table1_productivity.cpp.o.d"
+  "table1_productivity"
+  "table1_productivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_productivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

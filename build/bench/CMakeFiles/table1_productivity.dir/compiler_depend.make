@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_productivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_from_pragmas.dir/matmul_from_pragmas.cpp.o"
+  "CMakeFiles/matmul_from_pragmas.dir/matmul_from_pragmas.cpp.o.d"
+  "matmul_from_pragmas"
+  "matmul_from_pragmas.cpp"
+  "matmul_from_pragmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_from_pragmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for matmul_from_pragmas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_from_pragmas.dir/nbody_from_pragmas.cpp.o"
+  "CMakeFiles/nbody_from_pragmas.dir/nbody_from_pragmas.cpp.o.d"
+  "nbody_from_pragmas"
+  "nbody_from_pragmas.cpp"
+  "nbody_from_pragmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_from_pragmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perlin_from_pragmas.dir/perlin_from_pragmas.cpp.o"
+  "CMakeFiles/perlin_from_pragmas.dir/perlin_from_pragmas.cpp.o.d"
+  "perlin_from_pragmas"
+  "perlin_from_pragmas.cpp"
+  "perlin_from_pragmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perlin_from_pragmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

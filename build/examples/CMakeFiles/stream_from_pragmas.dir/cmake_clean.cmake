@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_from_pragmas.dir/stream_from_pragmas.cpp.o"
+  "CMakeFiles/stream_from_pragmas.dir/stream_from_pragmas.cpp.o.d"
+  "stream_from_pragmas"
+  "stream_from_pragmas.cpp"
+  "stream_from_pragmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_from_pragmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

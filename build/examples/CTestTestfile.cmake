@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example.quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example.quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.cholesky]=] "/root/repo/build/examples/cholesky")
+set_tests_properties([=[example.cholesky]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.stream_from_pragmas]=] "/root/repo/build/examples/stream_from_pragmas")
+set_tests_properties([=[example.stream_from_pragmas]=] PROPERTIES  ENVIRONMENT "OMPSS_ARGS=gpus=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.matmul_from_pragmas]=] "/root/repo/build/examples/matmul_from_pragmas")
+set_tests_properties([=[example.matmul_from_pragmas]=] PROPERTIES  ENVIRONMENT "OMPSS_ARGS=gpus=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.perlin_from_pragmas]=] "/root/repo/build/examples/perlin_from_pragmas")
+set_tests_properties([=[example.perlin_from_pragmas]=] PROPERTIES  ENVIRONMENT "OMPSS_ARGS=gpus=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.nbody_from_pragmas]=] "/root/repo/build/examples/nbody_from_pragmas")
+set_tests_properties([=[example.nbody_from_pragmas]=] PROPERTIES  ENVIRONMENT "OMPSS_ARGS=gpus=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/matmul/cuda.cpp" "src/apps/CMakeFiles/apps.dir/matmul/cuda.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/matmul/cuda.cpp.o.d"
+  "/root/repo/src/apps/matmul/kernels.cpp" "src/apps/CMakeFiles/apps.dir/matmul/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/matmul/kernels.cpp.o.d"
+  "/root/repo/src/apps/matmul/mpicuda.cpp" "src/apps/CMakeFiles/apps.dir/matmul/mpicuda.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/matmul/mpicuda.cpp.o.d"
+  "/root/repo/src/apps/matmul/ompss.cpp" "src/apps/CMakeFiles/apps.dir/matmul/ompss.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/matmul/ompss.cpp.o.d"
+  "/root/repo/src/apps/matmul/serial.cpp" "src/apps/CMakeFiles/apps.dir/matmul/serial.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/matmul/serial.cpp.o.d"
+  "/root/repo/src/apps/nbody/cuda.cpp" "src/apps/CMakeFiles/apps.dir/nbody/cuda.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/nbody/cuda.cpp.o.d"
+  "/root/repo/src/apps/nbody/kernels.cpp" "src/apps/CMakeFiles/apps.dir/nbody/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/nbody/kernels.cpp.o.d"
+  "/root/repo/src/apps/nbody/mpicuda.cpp" "src/apps/CMakeFiles/apps.dir/nbody/mpicuda.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/nbody/mpicuda.cpp.o.d"
+  "/root/repo/src/apps/nbody/ompss.cpp" "src/apps/CMakeFiles/apps.dir/nbody/ompss.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/nbody/ompss.cpp.o.d"
+  "/root/repo/src/apps/nbody/serial.cpp" "src/apps/CMakeFiles/apps.dir/nbody/serial.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/nbody/serial.cpp.o.d"
+  "/root/repo/src/apps/perlin/cuda.cpp" "src/apps/CMakeFiles/apps.dir/perlin/cuda.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/perlin/cuda.cpp.o.d"
+  "/root/repo/src/apps/perlin/kernels.cpp" "src/apps/CMakeFiles/apps.dir/perlin/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/perlin/kernels.cpp.o.d"
+  "/root/repo/src/apps/perlin/mpicuda.cpp" "src/apps/CMakeFiles/apps.dir/perlin/mpicuda.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/perlin/mpicuda.cpp.o.d"
+  "/root/repo/src/apps/perlin/ompss.cpp" "src/apps/CMakeFiles/apps.dir/perlin/ompss.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/perlin/ompss.cpp.o.d"
+  "/root/repo/src/apps/perlin/serial.cpp" "src/apps/CMakeFiles/apps.dir/perlin/serial.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/perlin/serial.cpp.o.d"
+  "/root/repo/src/apps/platform.cpp" "src/apps/CMakeFiles/apps.dir/platform.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/platform.cpp.o.d"
+  "/root/repo/src/apps/stream/cuda.cpp" "src/apps/CMakeFiles/apps.dir/stream/cuda.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/stream/cuda.cpp.o.d"
+  "/root/repo/src/apps/stream/kernels.cpp" "src/apps/CMakeFiles/apps.dir/stream/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/stream/kernels.cpp.o.d"
+  "/root/repo/src/apps/stream/mpicuda.cpp" "src/apps/CMakeFiles/apps.dir/stream/mpicuda.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/stream/mpicuda.cpp.o.d"
+  "/root/repo/src/apps/stream/ompss.cpp" "src/apps/CMakeFiles/apps.dir/stream/ompss.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/stream/ompss.cpp.o.d"
+  "/root/repo/src/apps/stream/serial.cpp" "src/apps/CMakeFiles/apps.dir/stream/serial.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/stream/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ompss/CMakeFiles/ompss_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/nanos/CMakeFiles/nanos.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcuda/CMakeFiles/simcuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vt/CMakeFiles/ompss_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

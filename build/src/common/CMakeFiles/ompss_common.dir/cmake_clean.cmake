@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompss_common.dir/allocator.cpp.o"
+  "CMakeFiles/ompss_common.dir/allocator.cpp.o.d"
+  "CMakeFiles/ompss_common.dir/config.cpp.o"
+  "CMakeFiles/ompss_common.dir/config.cpp.o.d"
+  "CMakeFiles/ompss_common.dir/log.cpp.o"
+  "CMakeFiles/ompss_common.dir/log.cpp.o.d"
+  "CMakeFiles/ompss_common.dir/stats.cpp.o"
+  "CMakeFiles/ompss_common.dir/stats.cpp.o.d"
+  "libompss_common.a"
+  "libompss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

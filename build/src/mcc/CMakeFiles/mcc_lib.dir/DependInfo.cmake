@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcc/funcsig.cpp" "src/mcc/CMakeFiles/mcc_lib.dir/funcsig.cpp.o" "gcc" "src/mcc/CMakeFiles/mcc_lib.dir/funcsig.cpp.o.d"
+  "/root/repo/src/mcc/lexer.cpp" "src/mcc/CMakeFiles/mcc_lib.dir/lexer.cpp.o" "gcc" "src/mcc/CMakeFiles/mcc_lib.dir/lexer.cpp.o.d"
+  "/root/repo/src/mcc/pragma.cpp" "src/mcc/CMakeFiles/mcc_lib.dir/pragma.cpp.o" "gcc" "src/mcc/CMakeFiles/mcc_lib.dir/pragma.cpp.o.d"
+  "/root/repo/src/mcc/translate.cpp" "src/mcc/CMakeFiles/mcc_lib.dir/translate.cpp.o" "gcc" "src/mcc/CMakeFiles/mcc_lib.dir/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

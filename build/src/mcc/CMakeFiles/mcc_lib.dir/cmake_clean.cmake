@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_lib.dir/funcsig.cpp.o"
+  "CMakeFiles/mcc_lib.dir/funcsig.cpp.o.d"
+  "CMakeFiles/mcc_lib.dir/lexer.cpp.o"
+  "CMakeFiles/mcc_lib.dir/lexer.cpp.o.d"
+  "CMakeFiles/mcc_lib.dir/pragma.cpp.o"
+  "CMakeFiles/mcc_lib.dir/pragma.cpp.o.d"
+  "CMakeFiles/mcc_lib.dir/translate.cpp.o"
+  "CMakeFiles/mcc_lib.dir/translate.cpp.o.d"
+  "libmcc_lib.a"
+  "libmcc_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

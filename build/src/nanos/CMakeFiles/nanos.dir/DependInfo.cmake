@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nanos/cluster.cpp" "src/nanos/CMakeFiles/nanos.dir/cluster.cpp.o" "gcc" "src/nanos/CMakeFiles/nanos.dir/cluster.cpp.o.d"
+  "/root/repo/src/nanos/coherence.cpp" "src/nanos/CMakeFiles/nanos.dir/coherence.cpp.o" "gcc" "src/nanos/CMakeFiles/nanos.dir/coherence.cpp.o.d"
+  "/root/repo/src/nanos/dep.cpp" "src/nanos/CMakeFiles/nanos.dir/dep.cpp.o" "gcc" "src/nanos/CMakeFiles/nanos.dir/dep.cpp.o.d"
+  "/root/repo/src/nanos/runtime.cpp" "src/nanos/CMakeFiles/nanos.dir/runtime.cpp.o" "gcc" "src/nanos/CMakeFiles/nanos.dir/runtime.cpp.o.d"
+  "/root/repo/src/nanos/scheduler.cpp" "src/nanos/CMakeFiles/nanos.dir/scheduler.cpp.o" "gcc" "src/nanos/CMakeFiles/nanos.dir/scheduler.cpp.o.d"
+  "/root/repo/src/nanos/task.cpp" "src/nanos/CMakeFiles/nanos.dir/task.cpp.o" "gcc" "src/nanos/CMakeFiles/nanos.dir/task.cpp.o.d"
+  "/root/repo/src/nanos/trace.cpp" "src/nanos/CMakeFiles/nanos.dir/trace.cpp.o" "gcc" "src/nanos/CMakeFiles/nanos.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcuda/CMakeFiles/simcuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vt/CMakeFiles/ompss_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

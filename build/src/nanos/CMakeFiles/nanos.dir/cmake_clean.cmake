@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanos.dir/cluster.cpp.o"
+  "CMakeFiles/nanos.dir/cluster.cpp.o.d"
+  "CMakeFiles/nanos.dir/coherence.cpp.o"
+  "CMakeFiles/nanos.dir/coherence.cpp.o.d"
+  "CMakeFiles/nanos.dir/dep.cpp.o"
+  "CMakeFiles/nanos.dir/dep.cpp.o.d"
+  "CMakeFiles/nanos.dir/runtime.cpp.o"
+  "CMakeFiles/nanos.dir/runtime.cpp.o.d"
+  "CMakeFiles/nanos.dir/scheduler.cpp.o"
+  "CMakeFiles/nanos.dir/scheduler.cpp.o.d"
+  "CMakeFiles/nanos.dir/task.cpp.o"
+  "CMakeFiles/nanos.dir/task.cpp.o.d"
+  "CMakeFiles/nanos.dir/trace.cpp.o"
+  "CMakeFiles/nanos.dir/trace.cpp.o.d"
+  "libnanos.a"
+  "libnanos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

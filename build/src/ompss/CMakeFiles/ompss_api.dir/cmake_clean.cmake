@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompss_api.dir/ompss.cpp.o"
+  "CMakeFiles/ompss_api.dir/ompss.cpp.o.d"
+  "libompss_api.a"
+  "libompss_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompss_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcuda.dir/simcuda.cpp.o"
+  "CMakeFiles/simcuda.dir/simcuda.cpp.o.d"
+  "libsimcuda.a"
+  "libsimcuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet.dir/simnet.cpp.o"
+  "CMakeFiles/simnet.dir/simnet.cpp.o.d"
+  "libsimnet.a"
+  "libsimnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompss_vt.dir/clock.cpp.o"
+  "CMakeFiles/ompss_vt.dir/clock.cpp.o.d"
+  "CMakeFiles/ompss_vt.dir/sync.cpp.o"
+  "CMakeFiles/ompss_vt.dir/sync.cpp.o.d"
+  "libompss_vt.a"
+  "libompss_vt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompss_vt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

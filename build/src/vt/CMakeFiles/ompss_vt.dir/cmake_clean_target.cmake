@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libompss_vt.a"
+)

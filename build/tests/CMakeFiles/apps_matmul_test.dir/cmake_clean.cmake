@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_matmul_test.dir/apps_matmul_test.cpp.o"
+  "CMakeFiles/apps_matmul_test.dir/apps_matmul_test.cpp.o.d"
+  "apps_matmul_test"
+  "apps_matmul_test.pdb"
+  "apps_matmul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/apps_test.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompss/CMakeFiles/ompss_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/nanos/CMakeFiles/nanos.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcuda/CMakeFiles/simcuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vt/CMakeFiles/ompss_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_test.dir/mcc_test.cpp.o"
+  "CMakeFiles/mcc_test.dir/mcc_test.cpp.o.d"
+  "mcc_test"
+  "mcc_test.pdb"
+  "mcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompss_api_test.dir/ompss_api_test.cpp.o"
+  "CMakeFiles/ompss_api_test.dir/ompss_api_test.cpp.o.d"
+  "ompss_api_test"
+  "ompss_api_test.pdb"
+  "ompss_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompss_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

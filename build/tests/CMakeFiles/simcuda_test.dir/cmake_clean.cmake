@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcuda_test.dir/simcuda_test.cpp.o"
+  "CMakeFiles/simcuda_test.dir/simcuda_test.cpp.o.d"
+  "simcuda_test"
+  "simcuda_test.pdb"
+  "simcuda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcuda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
