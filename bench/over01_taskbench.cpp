@@ -1,0 +1,172 @@
+// Overhead microbenchmark (BOTS/taskbench-style): per-task runtime overhead.
+//
+// The paper's pitch (§III-C, Table I) is that the runtime absorbs data
+// movement and scheduling without the programmer paying for it — which only
+// holds if per-task overhead stays flat as the task graph grows.  This
+// benchmark stresses the metadata hot paths (dependency directory, scheduler
+// queues) with trivial task bodies and *dependence-only* accesses, so what is
+// measured is the runtime itself, not the simulated platform:
+//
+//  * independent — N tasks, each writing its own region (pure fan; the
+//    region directory grows to N records).
+//  * chain       — N tasks inout on one region (serial release path).
+//  * wavefront   — W×W 2-D dependency front, task (i,j) after (i-1,j) and
+//    (i,j-1) (the classic taskbench/Cholesky-like pattern).
+//
+// Unlike the fig* benchmarks, the metric here is REAL (host) time: task
+// bodies cost zero virtual seconds, so wall-clock is runtime overhead.
+// Reported per series/N: end-to-end tasks/s, submit-loop tasks/s, and
+// per-task overhead in microseconds.  Sweep ceiling via OMPSS_BENCH_TASKS
+// (default 100000).
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ompss/ompss.hpp"
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct OverheadResult {
+  double submit_s = 0;  // spawn loop only
+  double total_s = 0;   // spawn loop + taskwait (graph fully drained)
+};
+
+nanos::RuntimeConfig node_config(const std::string& scheduler) {
+  nanos::RuntimeConfig cfg;
+  cfg.scheduler = scheduler;
+  cfg.smp_workers = 4;  // no GPUs: SMP workers drain the trivial bodies
+  return cfg;
+}
+
+OverheadResult run_independent(const std::string& scheduler, long n) {
+  // One 64-byte region per task: the directory holds n disjoint records.
+  std::vector<char> data(static_cast<std::size_t>(n) * 64);
+  ompss::Env env(node_config(scheduler));
+  OverheadResult r;
+  env.run([&] {
+    const double t0 = now_s();
+    for (long i = 0; i < n; ++i) {
+      ompss::task()
+          .dep(&data[static_cast<std::size_t>(i) * 64], 64, nanos::AccessMode::kOut)
+          .run([](ompss::Ctx&) {});
+    }
+    r.submit_s = now_s() - t0;
+    ompss::taskwait_noflush();
+    r.total_s = now_s() - t0;
+  });
+  return r;
+}
+
+OverheadResult run_chain(const std::string& scheduler, long n) {
+  double cell = 0;
+  ompss::Env env(node_config(scheduler));
+  OverheadResult r;
+  env.run([&] {
+    const double t0 = now_s();
+    for (long i = 0; i < n; ++i) {
+      ompss::task().dep(&cell, sizeof(cell), nanos::AccessMode::kInout).run(
+          [](ompss::Ctx&) {});
+    }
+    r.submit_s = now_s() - t0;
+    ompss::taskwait_noflush();
+    r.total_s = now_s() - t0;
+  });
+  return r;
+}
+
+OverheadResult run_wavefront(const std::string& scheduler, long n) {
+  const long w = std::lround(std::floor(std::sqrt(static_cast<double>(n))));
+  std::vector<double> grid(static_cast<std::size_t>(w) * static_cast<std::size_t>(w));
+  auto cell = [&](long i, long j) { return &grid[static_cast<std::size_t>(i * w + j)]; };
+  ompss::Env env(node_config(scheduler));
+  OverheadResult r;
+  env.run([&] {
+    const double t0 = now_s();
+    for (long i = 0; i < w; ++i) {
+      for (long j = 0; j < w; ++j) {
+        auto b = ompss::task();
+        if (i > 0) b.dep(cell(i - 1, j), sizeof(double), nanos::AccessMode::kIn);
+        if (j > 0) b.dep(cell(i, j - 1), sizeof(double), nanos::AccessMode::kIn);
+        b.dep(cell(i, j), sizeof(double), nanos::AccessMode::kOut);
+        b.run([](ompss::Ctx&) {});
+      }
+    }
+    r.submit_s = now_s() - t0;
+    ompss::taskwait_noflush();
+    r.total_s = now_s() - t0;
+  });
+  return r;
+}
+
+std::string k_label(long n) {
+  return n % 1000 == 0 ? std::to_string(n / 1000) + "k" : std::to_string(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("over01 — task overhead, end-to-end", "ktasks/s");
+  bench::FigureTable submit_table("over01 — submit throughput", "ktasks/s");
+  bench::FigureTable overhead_table("over01 — per-task overhead", "us/task");
+
+  // A garbage/zero knob would register an N=0 run (inf us/task); clamp.
+  const long max_n = std::max(1000L, bench::env_knob("TASKS", 100000));
+  std::vector<long> sweep;
+  for (long n : {1000L, 10000L, 100000L}) {
+    if (n <= max_n) sweep.push_back(n);
+  }
+  if (sweep.empty() || sweep.back() != max_n) sweep.push_back(max_n);
+
+  struct Pattern {
+    const char* name;
+    const char* scheduler;
+    OverheadResult (*fn)(const std::string&, long);
+  };
+  const Pattern patterns[] = {
+      {"independent", "dep", run_independent},
+      {"independent", "bf", run_independent},
+      {"independent", "affinity", run_independent},
+      {"chain", "dep", run_chain},
+      {"wavefront", "dep", run_wavefront},
+  };
+
+  for (const Pattern& p : patterns) {
+    for (long n : sweep) {
+      std::string series = std::string(p.name) + "/" + p.scheduler;
+      std::string name = "over01/" + series + "/" + std::to_string(n);
+      auto fn = p.fn;
+      std::string scheduler = p.scheduler;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=, &table, &submit_table, &overhead_table](benchmark::State& st) {
+            OverheadResult r;
+            for (auto _ : st) {
+              r = fn(scheduler, n);
+              st.SetIterationTime(r.total_s);
+            }
+            const double nd = static_cast<double>(n);
+            st.counters["tasks/s"] = nd / r.total_s;
+            st.counters["submit_tasks/s"] = nd / r.submit_s;
+            st.counters["us/task"] = r.total_s / nd * 1e6;
+            table.add(series, k_label(n), nd / r.total_s / 1e3);
+            submit_table.add(series, k_label(n), nd / r.submit_s / 1e3);
+            overhead_table.add(series, k_label(n), r.total_s / nd * 1e6);
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+
+  int rc = bench::run_and_print(argc, argv, table);
+  submit_table.print();
+  overhead_table.print();
+  return rc;
+}

@@ -1,0 +1,127 @@
+// Interval index over address-range Regions, shared by the runtime's
+// metadata directories (dependency records, coherence directory, cluster
+// node directory).
+//
+// Entries are keyed by region start in a std::map and carry a *prefix
+// max-end* augmentation: each entry stores the maximum region end() over
+// itself and every entry with a smaller start.  An overlap query walks
+// backwards from lower_bound(r.end()) and stops at the first entry whose
+// prefix max-end is <= r.start — no entry at or before it can reach into r.
+// For the tiled, non-straddling regions the OmpSs clauses produce this makes
+// overlap lookups O(log n + k) instead of O(n) (the previous directories
+// walked every earlier record), which is what keeps per-task runtime
+// overhead flat as the task graph grows (see bench/over01_taskbench).
+//
+// The prefix maxima form a non-decreasing sequence, so insertions propagate
+// forward only while the stored maximum is below the new end — O(1) amortized
+// for the append-mostly insertion order of a growing directory.  Entries are
+// node-stable: pointers and iterators to entries survive unrelated inserts
+// and erases, which the dependency layer relies on for its per-task
+// back-references.
+//
+// Not thread-safe; callers provide their own locking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/region.hpp"
+
+namespace common {
+
+template <typename T>
+class IntervalMap {
+public:
+  struct Entry {
+    Region region;
+    T value{};
+
+  private:
+    std::uintptr_t max_end_ = 0;  // max end() over this and all earlier entries
+    friend class IntervalMap;
+  };
+
+private:
+  using Map = std::map<std::uintptr_t, Entry>;
+
+public:
+  using iterator = typename Map::iterator;
+  using const_iterator = typename Map::const_iterator;
+
+  bool empty() const { return map_.empty(); }
+  std::size_t size() const { return map_.size(); }
+  iterator begin() { return map_.begin(); }
+  iterator end() { return map_.end(); }
+  const_iterator begin() const { return map_.begin(); }
+  const_iterator end() const { return map_.end(); }
+
+  /// Inserts an entry for `r` unless one keyed by r.start exists.  The
+  /// existing entry's region is left untouched on a hit — callers decide how
+  /// to reconcile a size mismatch (grow via update_extent, or reject).
+  std::pair<iterator, bool> try_emplace(const Region& r) {
+    auto [it, inserted] = map_.try_emplace(r.start);
+    if (inserted) {
+      it->second.region = r;
+      std::uintptr_t m = r.end();
+      if (it != map_.begin()) m = std::max(m, std::prev(it)->second.max_end_);
+      it->second.max_end_ = m;
+      propagate_from(std::next(it), r.end());
+    }
+    return {it, inserted};
+  }
+
+  iterator find(std::uintptr_t start) { return map_.find(start); }
+  const_iterator find(std::uintptr_t start) const { return map_.find(start); }
+
+  /// Grows `it`'s region to cover at least `size` bytes and repairs the
+  /// augmentation.  Shrinking is not supported (the stored maxima would only
+  /// become conservative, but no caller needs it).
+  void update_extent(iterator it, std::size_t size) {
+    if (size <= it->second.region.size) return;
+    it->second.region.size = size;
+    const std::uintptr_t e = it->second.region.end();
+    if (it->second.max_end_ < e) it->second.max_end_ = e;
+    propagate_from(std::next(it), e);
+  }
+
+  /// Removes an entry and recomputes the prefix maxima of its successors
+  /// (walks forward only until the stored values are exact again).
+  void erase(iterator it) {
+    auto next = map_.erase(it);
+    std::uintptr_t m = next != map_.begin() ? std::prev(next)->second.max_end_ : 0;
+    for (auto j = next; j != map_.end(); ++j) {
+      const std::uintptr_t v = std::max(m, j->second.region.end());
+      if (v == j->second.max_end_) break;  // exact again; later entries unchanged
+      j->second.max_end_ = v;
+      m = v;
+    }
+  }
+
+  /// Calls `fn(Entry&)` for every entry whose region overlaps `r`.  Returns
+  /// the number of entries *visited* (overlapping or not) — the directories
+  /// export this as their records-scanned statistic, so a regression back to
+  /// linear scans is visible in benchmark output.  `fn` may mutate the
+  /// entry's value but not its region.
+  template <typename Fn>
+  std::size_t for_overlapping(const Region& r, Fn&& fn) {
+    std::size_t visited = 0;
+    if (map_.empty() || r.empty()) return visited;
+    auto it = map_.lower_bound(r.end());  // first entry starting at/after r.end()
+    while (it != map_.begin()) {
+      --it;
+      if (it->second.max_end_ <= r.start) break;  // nothing here or earlier reaches r
+      ++visited;
+      if (it->second.region.overlaps(r)) fn(it->second);
+    }
+    return visited;
+  }
+
+private:
+  void propagate_from(iterator it, std::uintptr_t e) {
+    for (; it != map_.end() && it->second.max_end_ < e; ++it) it->second.max_end_ = e;
+  }
+
+  Map map_;
+};
+
+}  // namespace common

@@ -92,7 +92,7 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
   });
 
   domain_ = std::make_unique<DependencyDomain>(
-      clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); });
+      clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); }, &stats_);
 
   const int n_comm = cfg_.comm_threads > 0 ? cfg_.comm_threads : 1;
   for (int i = 0; i < n_comm; ++i) {
@@ -176,25 +176,31 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
   if (policy == "dep" && releaser != nullptr) return releaser->target_node;
   if (policy == "affinity") {
     std::lock_guard<std::mutex> lk(mu_);
+    // One directory lookup per access; the entry's holder set fans the score
+    // out to every node at once (the old loop re-walked the directory once
+    // per candidate node).
+    std::vector<double> score(static_cast<std::size_t>(cfg_.nodes), 0.0);
+    for (const Access& a : t->accesses()) {
+      if (!a.copy) continue;
+      auto it = dir_.find(a.region.start);
+      if (it == dir_.end() || it->second.value.version == 0) continue;  // task-untouched data
+      // Outputs dominate: chaining onto the producer of the written block
+      // keeps accumulations local while inputs stream in.
+      const double w = static_cast<double>(a.region.size) * (writes(a.mode) ? 4.0 : 1.0);
+      for (int n : it->second.value.valid) {
+        if (n >= 0 && n < cfg_.nodes) score[static_cast<std::size_t>(n)] += w;
+      }
+    }
     double best = 0.0;
     int best_node = -1;
     bool tie = false;
     for (int n = 0; n < cfg_.nodes; ++n) {
-      double score = 0.0;
-      for (const Access& a : t->accesses()) {
-        if (!a.copy) continue;
-        auto it = dir_.find(a.region.start);
-        if (it == dir_.end() || it->second.version == 0) continue;  // task-untouched data
-        if (it->second.valid.count(n) == 0) continue;
-        // Outputs dominate: chaining onto the producer of the written block
-        // keeps accumulations local while inputs stream in.
-        score += static_cast<double>(a.region.size) * (writes(a.mode) ? 4.0 : 1.0);
-      }
-      if (score > best) {
-        best = score;
+      const double s = score[static_cast<std::size_t>(n)];
+      if (s > best) {
+        best = s;
         best_node = n;
         tie = false;
-      } else if (score == best && best > 0.0) {
+      } else if (s == best && best > 0.0) {
         tie = true;
       }
     }
@@ -258,13 +264,14 @@ void* ClusterRuntime::node_addr_locked(NodeDirEntry& e, int node) {
 }
 
 ClusterRuntime::NodeDirEntry& ClusterRuntime::dir_lookup_locked(const common::Region& r) {
-  auto [it, inserted] = dir_.try_emplace(r.start);
+  auto [it, inserted] = dir_.try_emplace(r);
+  NodeDirEntry& e = it->second.value;
   if (inserted) {
-    it->second.region = r;
-  } else if (!(it->second.region == r)) {
+    e.region = r;
+  } else if (!(e.region == r)) {
     throw std::logic_error("cluster: copy region re-used with a different size");
   }
-  return it->second;
+  return e;
 }
 
 void ClusterRuntime::record_write_locked(const common::Region& r, int node) {
@@ -315,7 +322,7 @@ void ClusterRuntime::dispatch_local(Task* t, int releaser_resource) {
     for (const Access& a : t->accesses()) {
       if (!a.copy || !reads(a.mode)) continue;
       auto it = dir_.find(a.region.start);
-      if (it == dir_.end() || it->second.valid.count(0) != 0) continue;
+      if (it == dir_.end() || it->second.value.valid.count(0) != 0) continue;
       {
         std::lock_guard<std::mutex> plk(*pending_mu);
         ++*pending;
@@ -606,9 +613,9 @@ void ClusterRuntime::taskwait_on(const common::Region& r) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = dir_.find(r.start);
-    if (it != dir_.end() && it->second.valid.count(0) == 0) {
+    if (it != dir_.end() && it->second.value.valid.count(0) == 0) {
       latch.add();
-      auto action = stage_region_locked(it->second.region, 0, [&latch] { latch.done(); });
+      auto action = stage_region_locked(it->second.value.region, 0, [&latch] { latch.done(); });
       if (action) actions.push_back(std::move(action));
     }
   }
@@ -627,7 +634,8 @@ void ClusterRuntime::taskwait(bool flush) {
   std::vector<std::function<void()>> actions;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [start, e] : dir_) {
+    for (auto& [start, entry] : dir_) {
+      NodeDirEntry& e = entry.value;
       if (e.valid.count(0) != 0) continue;
       latch.add();
       auto action = stage_region_locked(e.region, 0, [&latch] { latch.done(); });

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/allocator.hpp"
+#include "common/interval_map.hpp"
 #include "nanos/runtime.hpp"
 #include "simnet/simnet.hpp"
 
@@ -194,7 +195,9 @@ private:
   std::mutex mu_;
   vt::Monitor comm_mon_;
   vt::Monitor worker_mon_;
-  std::map<std::uintptr_t, NodeDirEntry> dir_;
+  /// Node-level data directory, interval-indexed so lookups don't degrade as
+  /// the region count grows (same structure as the node-local directories).
+  common::IntervalMap<NodeDirEntry> dir_;
   std::map<std::uint64_t, RemoteTaskInfo*> in_flight_tasks_;  // ticket -> info
   /// (region start, node) -> callbacks to fire when that copy lands.
   std::multimap<std::pair<std::uintptr_t, int>, std::function<void()>> region_waiters_;

@@ -34,38 +34,42 @@ CoherenceManager::CoherenceManager(vt::Clock& clock, simcuda::Platform& platform
       overlap_(overlap),
       host_bw_(host_memcpy_bandwidth),
       eviction_overhead_(eviction_overhead),
-      stats_(stats),
-      busy_mon_(clock) {
+      stats_(stats) {
+  shards_.reserve(kNumShards);
+  for (std::size_t i = 0; i < kNumShards; ++i) shards_.push_back(std::make_unique<Shard>(clock));
   xfer_streams_.reserve(static_cast<std::size_t>(platform_.device_count()));
   for (int g = 0; g < platform_.device_count(); ++g)
     xfer_streams_.push_back(platform_.device(g).create_stream());
 }
 
-CoherenceManager::~CoherenceManager() = default;
+CoherenceManager::~CoherenceManager() {
+  std::lock_guard<std::mutex> lk(index_mu_);
+  publish_stats_locked();
+}
 
 void CoherenceManager::register_region(const common::Region& r) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(index_mu_);
   (void)lookup_locked(r);
 }
 
 std::vector<CoherenceManager::RegionInfo*> CoherenceManager::overlapping_locked(
     const common::Region& r) {
   std::vector<RegionInfo*> out;
-  if (regions_.empty() || r.empty()) return out;
-  auto it = regions_.lower_bound(r.end());
-  while (it != regions_.begin()) {
-    --it;
-    if (it->second.region.overlaps(r)) out.push_back(&it->second);
-  }
+  ++dir_lookups_;
+  dir_scanned_ += regions_.for_overlapping(
+      r, [&out](common::IntervalMap<RegionInfo>::Entry& e) { out.push_back(&e.value); });
   return out;
 }
 
 CoherenceManager::RegionInfo& CoherenceManager::lookup_locked(const common::Region& r) {
-  auto [it, inserted] = regions_.try_emplace(r.start);
+  ++dir_lookups_;
+  auto [it, inserted] = regions_.try_emplace(r);
+  RegionInfo& info = it->second.value;
   if (inserted) {
-    it->second.region = r;
+    info.region = r;
     // Partial overlap with neighbours is unsupported (paper §II-A3): the
-    // clause regions must tile, not straddle.
+    // clause regions must tile, not straddle.  Entries are start-sorted and
+    // non-overlapping by induction, so checking the two neighbours suffices.
     auto next = std::next(it);
     if (next != regions_.end() && next->second.region.overlaps(r))
       throw std::logic_error("coherence: partially overlapping copy regions are not supported");
@@ -74,20 +78,38 @@ CoherenceManager::RegionInfo& CoherenceManager::lookup_locked(const common::Regi
       if (prev->second.region.overlaps(r))
         throw std::logic_error("coherence: partially overlapping copy regions are not supported");
     }
-  } else if (!(it->second.region == r)) {
+  } else if (!(info.region == r)) {
     throw std::logic_error("coherence: copy region re-used with a different size");
   }
-  return it->second;
+  return info;
 }
 
-void CoherenceManager::lock_region(std::unique_lock<std::mutex>& lk, RegionInfo& info) {
-  busy_mon_.wait(lk, [&info] { return !info.busy; });
+void CoherenceManager::publish_stats_locked() {
+  if (dir_lookups_ != published_lookups_) {
+    stats_.add("coh.dir_lookups", static_cast<double>(dir_lookups_ - published_lookups_));
+    published_lookups_ = dir_lookups_;
+  }
+  if (dir_scanned_ != published_scanned_) {
+    stats_.add("coh.dir_records_scanned",
+               static_cast<double>(dir_scanned_ - published_scanned_));
+    published_scanned_ = dir_scanned_;
+  }
+  if (shard_collisions_ != published_collisions_) {
+    stats_.add("coh.lock_shard_collisions",
+               static_cast<double>(shard_collisions_ - published_collisions_));
+    published_collisions_ = shard_collisions_;
+  }
+}
+
+void CoherenceManager::lock_region(Shard& sh, std::unique_lock<std::mutex>& lk,
+                                   RegionInfo& info) {
+  sh.busy_mon.wait(lk, [&info] { return !info.busy; });
   info.busy = true;
 }
 
-void CoherenceManager::unlock_region(RegionInfo& info) {
-  info.busy = false;  // caller holds mu_
-  busy_mon_.notify_all();
+void CoherenceManager::unlock_region(Shard& sh, RegionInfo& info) {
+  info.busy = false;  // caller holds the shard mutex
+  sh.busy_mon.notify_all();
 }
 
 void CoherenceManager::host_to_device(RegionInfo& info, int space, void* dev_ptr) {
@@ -157,42 +179,78 @@ void CoherenceManager::fetch_to_host(RegionInfo& info) {
 
 void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int space,
                                         std::size_t bytes) {
-  for (;;) {
+  // The acquiring region's busy flag keeps its metadata ours; drop its shard
+  // lock so the victim hunt can take other shards (never two at once).
+  lk.unlock();
+  void* result = nullptr;
+  while (result == nullptr) {
     void* p = dev(space).malloc(bytes);
-    if (p != nullptr) return p;
-    // Evict the least-recently-used unpinned, non-busy entry on this device.
+    if (p != nullptr) {
+      result = p;
+      break;
+    }
+    // Scan for the least-recently-used unpinned, non-busy copy on this
+    // device.  The index lock orders the walk; each candidate's shard is
+    // try-locked — a held shard is skipped and counted as a collision
+    // rather than stalling the scan.
     RegionInfo* victim_info = nullptr;
+    Shard* victim_shard = nullptr;
     std::uint64_t best = UINT64_MAX;
-    for (auto& [start, info] : regions_) {
-      if (info.busy) continue;
-      auto it = info.copies.find(space);
-      if (it == info.copies.end() || it->second.pins > 0 || it->second.dev_ptr == nullptr)
-        continue;
-      if (it->second.lru < best) {
-        best = it->second.lru;
-        victim_info = &info;
+    {
+      std::lock_guard<std::mutex> ix(index_mu_);
+      for (auto& [start, entry] : regions_) {
+        RegionInfo& info = entry.value;
+        Shard& sh = shard_of(info);
+        std::unique_lock<std::mutex> cl(sh.mu, std::try_to_lock);
+        if (!cl.owns_lock()) {
+          ++shard_collisions_;
+          continue;
+        }
+        if (info.busy) continue;
+        auto itc = info.copies.find(space);
+        if (itc == info.copies.end() || itc->second.pins > 0 || itc->second.dev_ptr == nullptr)
+          continue;
+        if (itc->second.lru < best) {
+          best = itc->second.lru;
+          victim_info = &info;
+          victim_shard = &sh;
+        }
       }
     }
     if (victim_info == nullptr)
       throw std::runtime_error("coherence: device out of memory and nothing evictable");
+    // Claim the victim: revalidate under its shard lock (its state may have
+    // moved since the scan), then mark it busy for the writeback.
+    bool only_current_copy = false;
+    Copy victim;
+    {
+      std::lock_guard<std::mutex> cl(victim_shard->mu);
+      RegionInfo& vi = *victim_info;
+      auto itc = vi.copies.find(space);
+      if (vi.busy || itc == vi.copies.end() || itc->second.pins > 0 ||
+          itc->second.dev_ptr == nullptr)
+        continue;  // lost the race; rescan
+      vi.busy = true;
+      victim = itc->second;
+      only_current_copy = victim.version == vi.version && vi.valid.count(space) != 0 &&
+                          vi.valid.count(kHostSpace) == 0;
+    }
     stats_.incr("coh.evictions");
-    victim_info->busy = true;
-    Copy victim = victim_info->copies.at(space);
-    const bool only_current_copy = victim.version == victim_info->version &&
-                                   victim_info->valid.count(space) != 0 &&
-                                   victim_info->valid.count(kHostSpace) == 0;
-    lk.unlock();
     // Replacement-mechanism bookkeeping (victim scan, directory update),
     // then the writeback if the victim holds the only current copy.
     if (eviction_overhead_ > 0) clock_.sleep_for(eviction_overhead_);
     if (only_current_copy) device_to_host(*victim_info, space, victim.dev_ptr);
     dev(space).free(victim.dev_ptr);
-    lk.lock();
-    if (only_current_copy) victim_info->valid.insert(kHostSpace);
-    victim_info->valid.erase(space);
-    victim_info->copies.erase(space);
-    unlock_region(*victim_info);
+    {
+      std::lock_guard<std::mutex> cl(victim_shard->mu);
+      if (only_current_copy) victim_info->valid.insert(kHostSpace);
+      victim_info->valid.erase(space);
+      victim_info->copies.erase(space);
+      unlock_region(*victim_shard, *victim_info);
+    }
   }
+  lk.lock();
+  return result;
 }
 
 std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
@@ -203,14 +261,20 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
       out.push_back(a.region.ptr());
       continue;
     }
-    std::unique_lock<std::mutex> lk(mu_);
     if (space == kHostSpace) {
       // Host access: make every overlapping device-held region current at
       // home.  Works on the overlapping set so a parent's whole-array access
       // composes with children's sub-block copies.
       if (reads(a.mode)) {
-        for (RegionInfo* sub : overlapping_locked(a.region)) {
-          lock_region(lk, *sub);
+        std::vector<RegionInfo*> subs;
+        {
+          std::lock_guard<std::mutex> ix(index_mu_);
+          subs = overlapping_locked(a.region);
+        }
+        for (RegionInfo* sub : subs) {
+          Shard& sh = shard_of(*sub);
+          std::unique_lock<std::mutex> lk(sh.mu);
+          lock_region(sh, lk, *sub);
           if (sub->valid.count(kHostSpace) == 0) {
             stats_.incr("coh.host_misses");
             lk.unlock();
@@ -218,52 +282,59 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
             lk.lock();
             sub->valid.insert(kHostSpace);
           }
-          unlock_region(*sub);
+          unlock_region(sh, *sub);
         }
       }
       out.push_back(a.region.ptr());
-    } else {
-      RegionInfo& info = lookup_locked(a.region);
-      lock_region(lk, info);
-      auto it = info.copies.find(space);
-      const bool have_entry = it != info.copies.end() && it->second.dev_ptr != nullptr;
-      const bool hit = have_entry && it->second.version == info.version &&
-                       info.valid.count(space) != 0;
-      if (reads(a.mode) && !hit) {
-        stats_.incr("coh.misses");
-        if (info.valid.count(kHostSpace) == 0) {
-          // Current data lives on another GPU: stage through the host
-          // (GPU -> host -> target GPU, the paper's hierarchical path).
-          lk.unlock();
-          fetch_to_host(info);
-          lk.lock();
-          info.valid.insert(kHostSpace);
-        }
-        void* dptr = have_entry ? it->second.dev_ptr : alloc_on_device(lk, space, a.region.size);
-        lk.unlock();
-        host_to_device(info, space, dptr);
-        lk.lock();
-        Copy& c = info.copies[space];
-        c.dev_ptr = dptr;
-        c.version = info.version;
-        c.dirty = false;
-        info.valid.insert(space);
-      } else if (reads(a.mode)) {
-        stats_.incr("coh.hits");
-      } else if (!have_entry) {
-        // Pure output: allocate space, no transfer in.
-        void* dptr = alloc_on_device(lk, space, a.region.size);
-        Copy& c = info.copies[space];
-        c.dev_ptr = dptr;
-        c.version = info.version;  // stale until release bumps it
-        c.dirty = false;
-      }
-      Copy& c = info.copies.at(space);
-      ++c.pins;
-      c.lru = ++lru_tick_;
-      out.push_back(c.dev_ptr);
-      unlock_region(info);
+      continue;
     }
+    RegionInfo* infop;
+    {
+      std::lock_guard<std::mutex> ix(index_mu_);
+      infop = &lookup_locked(a.region);
+    }
+    RegionInfo& info = *infop;
+    Shard& sh = shard_of(info);
+    std::unique_lock<std::mutex> lk(sh.mu);
+    lock_region(sh, lk, info);
+    auto it = info.copies.find(space);
+    const bool have_entry = it != info.copies.end() && it->second.dev_ptr != nullptr;
+    const bool hit = have_entry && it->second.version == info.version &&
+                     info.valid.count(space) != 0;
+    if (reads(a.mode) && !hit) {
+      stats_.incr("coh.misses");
+      if (info.valid.count(kHostSpace) == 0) {
+        // Current data lives on another GPU: stage through the host
+        // (GPU -> host -> target GPU, the paper's hierarchical path).
+        lk.unlock();
+        fetch_to_host(info);
+        lk.lock();
+        info.valid.insert(kHostSpace);
+      }
+      void* dptr = have_entry ? it->second.dev_ptr : alloc_on_device(lk, space, a.region.size);
+      lk.unlock();
+      host_to_device(info, space, dptr);
+      lk.lock();
+      Copy& c = info.copies[space];
+      c.dev_ptr = dptr;
+      c.version = info.version;
+      c.dirty = false;
+      info.valid.insert(space);
+    } else if (reads(a.mode)) {
+      stats_.incr("coh.hits");
+    } else if (!have_entry) {
+      // Pure output: allocate space, no transfer in.
+      void* dptr = alloc_on_device(lk, space, a.region.size);
+      Copy& c = info.copies[space];
+      c.dev_ptr = dptr;
+      c.version = info.version;  // stale until release bumps it
+      c.dirty = false;
+    }
+    Copy& c = info.copies.at(space);
+    ++c.pins;
+    c.lru = lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    out.push_back(c.dev_ptr);
+    unlock_region(sh, info);
   }
   return out;
 }
@@ -271,25 +342,38 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
 void CoherenceManager::release(Task& t, int space) {
   for (const Access& a : t.accesses()) {
     if (!a.copy || a.region.empty()) continue;
-    std::unique_lock<std::mutex> lk(mu_);
     if (space == kHostSpace) {
       if (!writes(a.mode)) continue;
       // A host write invalidates device copies.  Only an exact-identity
       // region is clobbered; entries strictly *contained* in the written
       // range belong to child tasks whose device-resident results must be
       // preserved (the nested-decomposition pattern of §III-D1).
-      for (RegionInfo* sub : overlapping_locked(a.region)) {
+      std::vector<RegionInfo*> subs;
+      {
+        std::lock_guard<std::mutex> ix(index_mu_);
+        subs = overlapping_locked(a.region);
+      }
+      for (RegionInfo* sub : subs) {
         if (!(sub->region == a.region)) continue;
-        lock_region(lk, *sub);
+        Shard& sh = shard_of(*sub);
+        std::unique_lock<std::mutex> lk(sh.mu);
+        lock_region(sh, lk, *sub);
         ++sub->version;
         sub->valid.clear();
         sub->valid.insert(kHostSpace);
-        unlock_region(*sub);
+        unlock_region(sh, *sub);
       }
       continue;
     }
-    RegionInfo& info = lookup_locked(a.region);
-    lock_region(lk, info);
+    RegionInfo* infop;
+    {
+      std::lock_guard<std::mutex> ix(index_mu_);
+      infop = &lookup_locked(a.region);
+    }
+    RegionInfo& info = *infop;
+    Shard& sh = shard_of(info);
+    std::unique_lock<std::mutex> lk(sh.mu);
+    lock_region(sh, lk, info);
     if (writes(a.mode)) {
       ++info.version;
       info.valid.clear();
@@ -322,7 +406,7 @@ void CoherenceManager::release(Task& t, int space) {
         }
       }
     }
-    unlock_region(info);
+    unlock_region(sh, info);
   }
 }
 
@@ -332,27 +416,39 @@ void CoherenceManager::sync_transfers(int space) {
 }
 
 void CoherenceManager::host_overwritten(const common::Region& r) {
-  std::unique_lock<std::mutex> lk(mu_);
-  for (RegionInfo* info : overlapping_locked(r)) {
-    lock_region(lk, *info);
+  std::vector<RegionInfo*> subs;
+  {
+    std::lock_guard<std::mutex> ix(index_mu_);
+    subs = overlapping_locked(r);
+  }
+  for (RegionInfo* info : subs) {
+    Shard& sh = shard_of(*info);
+    std::unique_lock<std::mutex> lk(sh.mu);
+    lock_region(sh, lk, *info);
     ++info->version;
     info->valid.clear();
     info->valid.insert(kHostSpace);
-    unlock_region(*info);
+    unlock_region(sh, *info);
   }
 }
 
 void CoherenceManager::flush_region(const common::Region& r) {
-  std::unique_lock<std::mutex> lk(mu_);
-  for (RegionInfo* info : overlapping_locked(r)) {
-    lock_region(lk, *info);
+  std::vector<RegionInfo*> subs;
+  {
+    std::lock_guard<std::mutex> ix(index_mu_);
+    subs = overlapping_locked(r);
+  }
+  for (RegionInfo* info : subs) {
+    Shard& sh = shard_of(*info);
+    std::unique_lock<std::mutex> lk(sh.mu);
+    lock_region(sh, lk, *info);
     if (info->valid.count(kHostSpace) == 0) {
       lk.unlock();
       fetch_to_host(*info);
       lk.lock();
       info->valid.insert(kHostSpace);
     }
-    unlock_region(*info);
+    unlock_region(sh, *info);
   }
 }
 
@@ -364,8 +460,14 @@ void CoherenceManager::flush_all() {
   std::vector<std::vector<common::Region>> per_dev(
       static_cast<std::size_t>(platform_.device_count()));
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [start, info] : regions_) {
+    std::lock_guard<std::mutex> ix(index_mu_);
+    publish_stats_locked();
+    for (auto& [start, entry] : regions_) {
+      RegionInfo& info = entry.value;
+      // Reading the valid set needs the entry's shard lock (index_mu_ only
+      // guards the map structure).  One shard at a time; shard holders never
+      // wait on index_mu_, so this nesting cannot deadlock.
+      std::lock_guard<std::mutex> cl(shard_of(info).mu);
       if (info.valid.count(kHostSpace) != 0) continue;
       for (int s : info.valid) {
         if (s != kHostSpace) {
@@ -386,32 +488,43 @@ void CoherenceManager::flush_all() {
   for (auto& t : flushers) t.join();
 }
 
-double CoherenceManager::affinity_bytes(const Task& t, int space) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  double bytes = 0;
+std::vector<double> CoherenceManager::affinity_bytes_all(const Task& t) const {
+  std::vector<double> bytes(static_cast<std::size_t>(platform_.device_count() + 1), 0.0);
   for (const Access& a : t.accesses()) {
     if (!a.copy) continue;
     // Written regions dominate the score: keeping an accumulation chain
     // where its output lives avoids the round trip of a dirty tile, which
     // is costlier than re-fetching a read-only input.
     const double weight = writes(a.mode) ? 4.0 : 1.0;
-    auto it = regions_.find(a.region.start);
-    if (it == regions_.end()) {
+    const double sz = static_cast<double>(a.region.size);
+    const RegionInfo* info = nullptr;
+    Shard* sh = nullptr;
+    {
+      std::lock_guard<std::mutex> ix(index_mu_);
+      ++dir_lookups_;
+      auto it = regions_.find(a.region.start);
+      if (it != regions_.end()) {
+        info = &it->second.value;
+        sh = &shard_of(it->second.value);
+      }
+    }
+    if (info == nullptr) {
       // Data the runtime never moved lives in host memory.
-      if (space == kHostSpace) bytes += static_cast<double>(a.region.size);
+      bytes[kHostSpace] += sz;
       continue;
     }
-    const RegionInfo& info = it->second;
-    if (space == kHostSpace) {
-      if (info.valid.count(kHostSpace) != 0) bytes += static_cast<double>(a.region.size);
-    } else {
-      auto c = info.copies.find(space);
-      if (c != info.copies.end() && c->second.version == info.version &&
-          info.valid.count(space) != 0)
-        bytes += weight * static_cast<double>(a.region.size);
+    std::lock_guard<std::mutex> cl(sh->mu);
+    if (info->valid.count(kHostSpace) != 0) bytes[kHostSpace] += sz;
+    for (const auto& [s, c] : info->copies) {
+      if (s != kHostSpace && c.version == info->version && info->valid.count(s) != 0)
+        bytes[static_cast<std::size_t>(s)] += weight * sz;
     }
   }
   return bytes;
+}
+
+double CoherenceManager::affinity_bytes(const Task& t, int space) const {
+  return affinity_bytes_all(t).at(static_cast<std::size_t>(space));
 }
 
 }  // namespace nanos

@@ -22,19 +22,30 @@
 // host-memory bandwidth.  With overlap disabled, copies go directly from/to
 // user memory: simcuda then serializes them with kernels, like CUDA does.
 //
-// Locking: metadata under one mutex; wire transfers always happen with the
-// mutex released, guarded by per-region busy flags (so concurrent fetches of
-// different regions proceed in parallel, and same-region operations
-// serialize).
+// Locking, three levels (lock order is strictly top-down, one shard at most):
+//
+//  1. `index_mu_` guards the *structure* of the region directory (an
+//     interval index; entries are node-stable and never erased).  Held only
+//     for lookups/inserts/iteration — never while waiting on a busy flag.
+//  2. 64 lock shards, hashed by region start, guard entry *metadata*
+//     (version/valid/copies/pins).  Acquire/release on regions in different
+//     shards — e.g. different GPU managers working different tiles — no
+//     longer serialize on one global mutex.
+//  3. Per-region `busy` flags (waited on via the shard's monitor) serialize
+//     same-region wire operations; transfers always run with all mutexes
+//     released and only `busy` held.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/interval_map.hpp"
 #include "common/stats.hpp"
 #include "nanos/task.hpp"
 #include "nanos/trace.hpp"
@@ -74,6 +85,7 @@ public:
   void release(Task& t, int space);
 
   /// Makes the host copy of every region current (taskwait's implicit flush).
+  /// Also publishes the directory counters into the stats sink.
   void flush_all();
 
   /// Flushes one region to the host (taskwait on(...)).  Unknown regions are
@@ -88,6 +100,12 @@ public:
   /// Host bytes of `t`'s copy accesses already valid in `space` — the
   /// locality-aware scheduler's affinity score input.
   double affinity_bytes(const Task& t, int space) const;
+
+  /// Scores for *every* space (index 0 = host, 1+g = GPU g) in one directory
+  /// pass — one lookup per access instead of one per access per resource.
+  /// The affinity scheduler uses this to place a task without re-walking the
+  /// directory for each candidate.
+  std::vector<double> affinity_bytes_all(const Task& t) const;
 
   /// Registers a region explicitly (optional; acquire auto-registers).
   void register_region(const common::Region& r);
@@ -117,27 +135,45 @@ private:
     std::map<int, Copy> copies;       // gpu space -> device copy
     bool busy = false;                // a transfer for this region is running
   };
+  struct Shard {
+    explicit Shard(vt::Clock& c) : busy_mon(c) {}
+    std::mutex mu;
+    vt::Monitor busy_mon;  // signalled when a region in this shard goes idle
+  };
+
+  static constexpr std::size_t kNumShards = 64;
 
   simcuda::Device& dev(int space) { return platform_.device(space - 1); }
+  Shard& shard_of(std::uintptr_t start) const {
+    // Regions are typically tile-aligned; drop the low bits before mixing.
+    return *shards_[(start >> 6) * 0x9E3779B97F4A7C15ull >> 58];
+  }
+  Shard& shard_of(const RegionInfo& info) const { return shard_of(info.region.start); }
 
+  // Directory structure operations. index_mu_ held.
   RegionInfo& lookup_locked(const common::Region& r);
   /// Every registered region overlapping `r`.  Host-side operations
   /// (acquire/release on SMP, flushes, external overwrites) work on the
   /// overlapping set so a parent task's whole-array access composes with its
   /// children's sub-block device copies.
   std::vector<RegionInfo*> overlapping_locked(const common::Region& r);
-  void lock_region(std::unique_lock<std::mutex>& lk, RegionInfo& info);
-  void unlock_region(RegionInfo& info);
+  void publish_stats_locked();
 
-  // Wire operations; called with `info.busy` held and mu_ released.
+  // Busy-flag protocol. The region's shard mutex held (via `lk`).
+  void lock_region(Shard& sh, std::unique_lock<std::mutex>& lk, RegionInfo& info);
+  void unlock_region(Shard& sh, RegionInfo& info);
+
+  // Wire operations; called with `info.busy` held and no mutex held.
   void host_to_device(RegionInfo& info, int space, void* dev_ptr);
   void device_to_host(RegionInfo& info, int space, void* dev_ptr);
   // Ensures host holds the current version. busy held.
   void fetch_to_host(RegionInfo& info);
 
   /// Allocates device memory for `bytes` on `space`, evicting LRU unpinned
-  /// entries (with writeback) until it fits.  mu_ held on entry and exit;
-  /// may release it around eviction writebacks.
+  /// entries (with writeback) until it fits.  Called with the acquiring
+  /// region's shard lock held via `lk` and its busy flag set; the lock is
+  /// dropped during the victim hunt (never two shards at once) and re-taken
+  /// before returning.
   void* alloc_on_device(std::unique_lock<std::mutex>& lk, int space, std::size_t bytes);
 
   vt::Clock& clock_;
@@ -149,11 +185,20 @@ private:
   common::Stats& stats_;
   TraceRecorder* trace_ = nullptr;
 
-  mutable std::mutex mu_;
-  vt::Monitor busy_mon_;
-  std::map<std::uintptr_t, RegionInfo> regions_;
-  std::uint64_t lru_tick_ = 0;
+  mutable std::mutex index_mu_;
+  common::IntervalMap<RegionInfo> regions_;  // structure under index_mu_
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> lru_tick_{0};
   std::vector<simcuda::Stream*> xfer_streams_;  // one per device
+
+  // Hot-path counters (index_mu_ held); deltas published to stats_ as
+  // "coh.dir_lookups" / "coh.dir_records_scanned" / "coh.lock_shard_collisions".
+  mutable std::uint64_t dir_lookups_ = 0;
+  mutable std::uint64_t dir_scanned_ = 0;
+  std::uint64_t shard_collisions_ = 0;
+  std::uint64_t published_lookups_ = 0;
+  std::uint64_t published_scanned_ = 0;
+  std::uint64_t published_collisions_ = 0;
 };
 
 }  // namespace nanos

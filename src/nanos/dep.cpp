@@ -5,6 +5,11 @@
 
 namespace nanos {
 
+DependencyDomain::~DependencyDomain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  publish_stats_locked();
+}
+
 void DependencyDomain::submit(Task* t) {
   t->domain = this;
   live_.add();
@@ -13,8 +18,12 @@ void DependencyDomain::submit(Task* t) {
     std::lock_guard<std::mutex> lk(mu_);
     t->pending_preds = 0;
     for (const Access& a : t->accesses()) {
+      ++lookups_;
+      overlap_scratch_.clear();
+      scanned_ += records_.for_overlapping(
+          a.region, [this](auto& e) { overlap_scratch_.push_back(&e.value); });
       // Arcs against the current state of every overlapping record.
-      for (RegionRecord* rec : overlapping_locked(a.region)) {
+      for (detail::DepRecord* rec : overlap_scratch_) {
         if (reads(a.mode)) add_arc_locked(rec->last_writer, t);  // RAW
         if (writes(a.mode)) {
           add_arc_locked(rec->last_writer, t);                   // WAW
@@ -23,20 +32,20 @@ void DependencyDomain::submit(Task* t) {
       }
       // State update.  Writers become the last writer of every overlapping
       // record; an exact record is created if none exists for this region.
-      auto [it, inserted] = records_.try_emplace(a.region.start);
-      if (inserted) {
-        it->second.region = a.region;
-      } else if (!(it->second.region == a.region)) {
-        // Same start, different size: conservatively grow the record.
-        it->second.region.size = std::max(it->second.region.size, a.region.size);
+      auto [it, inserted] = records_.try_emplace(a.region);
+      if (!inserted && a.region.size > it->second.region.size) {
+        // Same start, larger size: conservatively grow the record.
+        records_.update_extent(it, a.region.size);
       }
       if (writes(a.mode)) {
-        for (RegionRecord* rec : overlapping_locked(a.region)) {
-          rec->last_writer = t;
-          rec->readers_since_write.clear();
-        }
+        for (detail::DepRecord* rec : overlap_scratch_) become_writer_locked(*rec, t);
+        if (inserted) become_writer_locked(it->second.value, t);
       } else {
-        it->second.readers_since_write.push_back(t);
+        detail::DepRecord& rec = it->second.value;
+        rec.readers_since_write.push_back(t);
+        t->dep_refs.push_back(
+            {&rec, rec.reader_epoch,
+             static_cast<std::uint32_t>(rec.readers_since_write.size() - 1)});
       }
     }
     ready = t->pending_preds == 0;
@@ -48,13 +57,13 @@ void DependencyDomain::on_complete(Task* t) {
   std::vector<Task*> released;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    // Purge the completed task from the region state so future arcs are not
-    // created against it (its data is settled).
-    for (auto& [start, rec] : records_) {
-      if (rec.last_writer == t) rec.last_writer = nullptr;
-      auto& rs = rec.readers_since_write;
-      rs.erase(std::remove(rs.begin(), rs.end(), t), rs.end());
+    // Detach the completed task from the region state so future arcs are not
+    // created against it (its data is settled).  The back-references make
+    // this O(records the task appears in), not a directory purge.
+    for (std::size_t i = 0; i < t->dep_refs.size(); ++i) {
+      drop_ref_locked(t, t->dep_refs[i]);  // may repair later refs in place
     }
+    t->dep_refs.clear();
     for (Task* succ : t->successors) {
       assert(succ->pending_preds > 0);
       if (--succ->pending_preds == 0) released.push_back(succ);
@@ -66,40 +75,102 @@ void DependencyDomain::on_complete(Task* t) {
   live_.done();
 }
 
-void DependencyDomain::wait_all() { live_.wait(); }
+void DependencyDomain::wait_all() {
+  live_.wait();
+  if (stats_ != nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    publish_stats_locked();
+  }
+}
 
 void DependencyDomain::wait_on(const common::Region& r) {
   std::vector<Task*> producers;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    for (RegionRecord* rec : overlapping_locked(r)) {
-      if (rec->last_writer != nullptr) producers.push_back(rec->last_writer);
-    }
+    ++lookups_;
+    scanned_ += records_.for_overlapping(r, [&](auto& e) {
+      if (e.value.last_writer != nullptr) producers.push_back(e.value.last_writer);
+    });
   }
   for (Task* p : producers) p->done_flag().wait();
+}
+
+std::uint64_t DependencyDomain::lookups() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lookups_;
+}
+
+std::uint64_t DependencyDomain::records_scanned() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return scanned_;
 }
 
 void DependencyDomain::add_arc_locked(Task* pred, Task* succ) {
   if (pred == nullptr || pred == succ) return;
   pred->successors.push_back(succ);
   ++succ->pending_preds;
+  ++arcs_;
 }
 
-std::vector<DependencyDomain::RegionRecord*> DependencyDomain::overlapping_locked(
-    const common::Region& r) {
-  std::vector<RegionRecord*> out;
-  if (records_.empty() || r.empty()) return out;
-  // Candidate records start strictly before r.end(); walk back from there.
-  auto it = records_.lower_bound(r.end());
-  while (it != records_.begin()) {
-    --it;
-    if (it->second.region.overlaps(r)) out.push_back(&it->second);
-    // Records are sorted by start; once a record starts at/before r.start and
-    // does not overlap, nothing earlier can overlap either — unless an
-    // earlier record is larger.  Records may have arbitrary sizes, so keep
-    // scanning; region counts are block counts (small) in practice.
+void DependencyDomain::become_writer_locked(detail::DepRecord& rec, Task* t) {
+  if (rec.last_writer != t) {
+    rec.last_writer = t;
+    t->dep_refs.push_back({&rec, 0, DepRef::kWriterRef});
   }
-  return out;
+  if (!rec.readers_since_write.empty()) {
+    // Bulk-clear: the cleared readers' back-references go stale via the
+    // epoch bump instead of being hunted down one by one.
+    rec.readers_since_write.clear();
+    ++rec.reader_epoch;
+  }
+}
+
+void DependencyDomain::drop_ref_locked(Task* t, DepRef ref) {
+  detail::DepRecord& rec = *ref.rec;
+  if (ref.index == DepRef::kWriterRef) {
+    if (rec.last_writer == t) rec.last_writer = nullptr;
+    return;
+  }
+  if (ref.epoch != rec.reader_epoch) return;  // readers were bulk-cleared
+  auto& rs = rec.readers_since_write;
+  std::uint32_t idx = ref.index;
+  if (idx >= rs.size() || rs[idx] != t) {
+    // Safety net for index bookkeeping going stale (should not happen):
+    // fall back to a linear find rather than corrupt the readers list.
+    auto found = std::find(rs.begin(), rs.end(), t);
+    if (found == rs.end()) return;  // already detached
+    idx = static_cast<std::uint32_t>(found - rs.begin());
+  }
+  const auto last = static_cast<std::uint32_t>(rs.size() - 1);
+  if (idx != last) {
+    Task* moved = rs.back();
+    rs[idx] = moved;
+    // Repair the moved task's back-reference (it may be `t` itself when the
+    // task registered the same region through two accesses).
+    for (DepRef& other : moved->dep_refs) {
+      if (other.rec == ref.rec && other.epoch == ref.epoch && other.index == last) {
+        other.index = idx;
+        break;
+      }
+    }
+  }
+  rs.pop_back();
+}
+
+void DependencyDomain::publish_stats_locked() {
+  if (stats_ == nullptr) return;
+  if (lookups_ != published_lookups_) {
+    stats_->add("dep.lookups", static_cast<double>(lookups_ - published_lookups_));
+    published_lookups_ = lookups_;
+  }
+  if (scanned_ != published_scanned_) {
+    stats_->add("dep.records_scanned", static_cast<double>(scanned_ - published_scanned_));
+    published_scanned_ = scanned_;
+  }
+  if (arcs_ != published_arcs_) {
+    stats_->add("dep.arcs", static_cast<double>(arcs_ - published_arcs_));
+    published_arcs_ = arcs_;
+  }
 }
 
 }  // namespace nanos

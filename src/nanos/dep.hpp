@@ -8,18 +8,41 @@
 // Region matching is conservative: any byte overlap creates a dependence.
 // (The paper's implementation does not support *partial* overlap semantics;
 // distinct-but-overlapping regions are therefore ordered, never split.)
+//
+// Scaling: the region directory is an interval index (common::IntervalMap),
+// so finding the records overlapping an access is O(log n + k) rather than a
+// walk over every earlier record; and each task keeps back-references
+// (Task::dep_refs) to the records it appears in, so completion detaches it
+// in O(refs) instead of purging the whole directory.  Both paths export
+// scan counters — per-task work staying O(1) as the graph grows is what the
+// over01_taskbench benchmark asserts.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <vector>
 
+#include "common/interval_map.hpp"
+#include "common/stats.hpp"
 #include "nanos/task.hpp"
 #include "vt/sync.hpp"
 
 namespace nanos {
+
+namespace detail {
+
+/// Directory record for one clause region: the task that last wrote it and
+/// the readers admitted since.  `reader_epoch` is bumped whenever the readers
+/// list is bulk-cleared by a new writer, lazily invalidating the cleared
+/// readers' back-references (see DepRef).
+struct DepRecord {
+  Task* last_writer = nullptr;
+  std::vector<Task*> readers_since_write;
+  std::uint64_t reader_epoch = 0;
+};
+
+}  // namespace detail
 
 /// Called when a task has no unsatisfied predecessors left and can be handed
 /// to the scheduler.  `releaser` is the just-finished predecessor (nullptr
@@ -29,8 +52,11 @@ using ReadyCallback = std::function<void(Task*, Task* releaser)>;
 
 class DependencyDomain {
 public:
-  DependencyDomain(vt::Clock& clock, ReadyCallback on_ready)
-      : clock_(clock), live_(clock), on_ready_(std::move(on_ready)) {}
+  /// `stats` (optional): receives the directory counters ("dep.lookups",
+  /// "dep.records_scanned", "dep.arcs") on wait_all() and destruction.
+  DependencyDomain(vt::Clock& clock, ReadyCallback on_ready, common::Stats* stats = nullptr)
+      : clock_(clock), live_(clock), on_ready_(std::move(on_ready)), stats_(stats) {}
+  ~DependencyDomain();
 
   /// Adds `t` to the graph.  If all its predecessors already completed the
   /// ready callback fires inside this call.
@@ -49,24 +75,36 @@ public:
 
   std::size_t live_tasks() const { return live_.pending(); }
 
-private:
-  struct RegionRecord {
-    common::Region region;
-    Task* last_writer = nullptr;
-    std::vector<Task*> readers_since_write;
-  };
+  // Directory hot-path counters (cumulative; for tests and diagnostics).
+  std::uint64_t lookups() const;          ///< overlap queries issued
+  std::uint64_t records_scanned() const;  ///< directory records visited by them
 
+private:
   // Adds an arc pred -> succ unless pred already completed. mu_ held.
   void add_arc_locked(Task* pred, Task* succ);
-  // All records overlapping r.  mu_ held.
-  std::vector<RegionRecord*> overlapping_locked(const common::Region& r);
+  // Makes `t` the last writer of `rec`, clearing prior readers. mu_ held.
+  void become_writer_locked(detail::DepRecord& rec, Task* t);
+  // Detaches one back-reference of `t` (by value: the repair step may mutate
+  // entries of t->dep_refs, which the caller is iterating). mu_ held.
+  void drop_ref_locked(Task* t, DepRef ref);
+  // Flushes counter deltas into stats_. mu_ held.
+  void publish_stats_locked();
 
   vt::Clock& clock_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   vt::CountLatch live_;
   ReadyCallback on_ready_;
-  std::map<std::uintptr_t, RegionRecord> records_;  // keyed by region start
-  std::map<Task*, bool> completed_;                 // live graph nodes -> done?
+  common::Stats* stats_;
+  common::IntervalMap<detail::DepRecord> records_;
+  std::vector<detail::DepRecord*> overlap_scratch_;  // reused per submit; mu_ held
+
+  // Hot-path counters; deltas are published to stats_ at wait points.
+  std::uint64_t lookups_ = 0;
+  std::uint64_t scanned_ = 0;
+  std::uint64_t arcs_ = 0;
+  std::uint64_t published_lookups_ = 0;
+  std::uint64_t published_scanned_ = 0;
+  std::uint64_t published_arcs_ = 0;
 };
 
 }  // namespace nanos

@@ -64,10 +64,25 @@ Runtime::Runtime(vt::Clock& clock, RuntimeConfig cfg)
                                        : resource - smp_workers + 1;
     return coherence_->affinity_bytes(t, space);
   };
-  sched_ = Scheduler::create(cfg_.scheduler, clock_, kinds, std::move(affinity));
+  // Batch oracle: one directory pass prices every resource (the per-resource
+  // oracle above stays as the scheduler's fallback).
+  const std::size_t n_resources = kinds.size();
+  AffinityBatchFn affinity_batch = [this, smp_workers, n_resources](const Task& t) {
+    const std::vector<double> per_space = coherence_->affinity_bytes_all(t);
+    std::vector<double> per_resource(n_resources, 0.0);
+    for (std::size_t r = 0; r < n_resources; ++r) {
+      const int space = static_cast<int>(r) < smp_workers
+                            ? CoherenceManager::kHostSpace
+                            : static_cast<int>(r) - smp_workers + 1;
+      per_resource[r] = per_space.at(static_cast<std::size_t>(space));
+    }
+    return per_resource;
+  };
+  sched_ = Scheduler::create(cfg_.scheduler, clock_, kinds, std::move(affinity),
+                             std::move(affinity_batch), &stats_);
 
   root_domain_ = std::make_unique<DependencyDomain>(
-      clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); });
+      clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); }, &stats_);
 
   vt::Hold hold(clock_);
   for (int g = 0; g < platform_.device_count(); ++g)
@@ -96,7 +111,7 @@ DependencyDomain& Runtime::domain_for_spawn() {
   if (cur == nullptr) return *root_domain_;
   if (!cur->child_domain) {
     cur->child_domain = std::make_unique<DependencyDomain>(
-        clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); });
+        clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); }, &stats_);
   }
   return *cur->child_domain;
 }

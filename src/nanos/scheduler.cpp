@@ -8,105 +8,135 @@ namespace detail {
 // ---------------------------------------------------------------------------
 // SchedulerBase
 
-void SchedulerBase::submit(Task* t, int releaser_resource) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    place_locked(t, releaser_resource);
-    ++queued_count_;
+SchedulerBase::~SchedulerBase() { publish_stats(); }
+
+void SchedulerBase::publish_stats() {
+  if (stats_ == nullptr) return;
+  const std::uint64_t steals = steals_.load(std::memory_order_relaxed);
+  if (steals != published_steals_) {
+    stats_->add("sched.steals", static_cast<double>(steals - published_steals_));
+    published_steals_ = steals;
   }
-  mon_.notify_all();
+  const std::uint64_t coll = lock_collisions_.load(std::memory_order_relaxed);
+  if (coll != published_collisions_) {
+    stats_->add("sched.lock_collisions", static_cast<double>(coll - published_collisions_));
+    published_collisions_ = coll;
+  }
+}
+
+void SchedulerBase::submit(Task* t, int releaser_resource) {
+  queued_count_.fetch_add(1, std::memory_order_relaxed);
+  place(t, releaser_resource);
+  // Dekker-style pairing with get(): the waiter bumps waiters_ (seq_cst)
+  // *before* re-scanning the queues; we publish the task (queue unlock)
+  // *before* this seq_cst load.  Either we observe the waiter and notify, or
+  // the waiter's re-scan observes the task — a sleep can't swallow a submit.
+  if (waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(wait_mu_);
+    mon_.notify_all();
+  }
 }
 
 Task* SchedulerBase::get(int resource) {
-  std::unique_lock<std::mutex> lk(mu_);
+  if (Task* t = pick(resource)) {
+    queued_count_.fetch_sub(1, std::memory_order_relaxed);
+    return t;
+  }
+  std::unique_lock<std::mutex> lk(wait_mu_);
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
   Task* t = nullptr;
   mon_.wait(lk, [&] {
-    if (shutdown_) return true;
-    t = pick_locked(resource);
+    if (shutdown_.load(std::memory_order_acquire)) return true;
+    t = pick(resource);
     return t != nullptr;
   });
-  if (t != nullptr) --queued_count_;
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
+  if (t != nullptr) queued_count_.fetch_sub(1, std::memory_order_relaxed);
   return t;
 }
 
 Task* SchedulerBase::try_get(int resource) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (shutdown_) return nullptr;
-  Task* t = pick_locked(resource);
-  if (t != nullptr) --queued_count_;
+  if (shutdown_.load(std::memory_order_acquire)) return nullptr;
+  Task* t = pick(resource);
+  if (t != nullptr) queued_count_.fetch_sub(1, std::memory_order_relaxed);
   return t;
 }
 
 void SchedulerBase::shutdown() {
+  shutdown_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    shutdown_ = true;
+    std::lock_guard<std::mutex> lk(wait_mu_);
+    mon_.notify_all();
   }
-  mon_.notify_all();
+  publish_stats();
 }
 
 std::size_t SchedulerBase::queued() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return queued_count_;
+  return queued_count_.load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
 // breadth-first
 
-void BreadthFirstScheduler::place_locked(Task* t, int) {
-  (t->device() == DeviceKind::kCuda ? cuda_queue_ : smp_queue_).push_back(t);
-}
+void BreadthFirstScheduler::place(Task* t, int) { push_shared(t); }
 
-Task* BreadthFirstScheduler::pick_locked(int resource) {
-  auto& q = kind_of(resource) == DeviceKind::kCuda ? cuda_queue_ : smp_queue_;
-  if (q.empty()) return nullptr;
-  Task* t = q.front();
-  q.pop_front();
-  t->resource = resource;
-  return t;
-}
+Task* BreadthFirstScheduler::pick(int resource) { return pop_shared(resource); }
 
 // ---------------------------------------------------------------------------
 // dependencies (successor-first)
 
-void DependenciesScheduler::place_locked(Task* t, int releaser_resource) {
+void DependenciesScheduler::place(Task* t, int releaser_resource) {
   if (releaser_resource >= 0 &&
       kind_of(releaser_resource) == (t->device() == DeviceKind::kCuda ? DeviceKind::kCuda
-                                                                      : DeviceKind::kSmp) &&
-      next_for_[static_cast<std::size_t>(releaser_resource)].empty()) {
+                                                                      : DeviceKind::kSmp)) {
     // *One* successor of the just-finished task runs next on its resource
     // (they share data).  Further released successors go to the global
     // queue — reserving them all would starve the other resources.
-    next_for_[static_cast<std::size_t>(releaser_resource)].push_back(t);
-    return;
+    TaskQueue& slot = local_[static_cast<std::size_t>(releaser_resource)];
+    std::unique_lock<std::mutex> lk(slot.mu);
+    if (slot.q.empty()) {
+      slot.q.push_back(t);
+      return;
+    }
   }
-  BreadthFirstScheduler::place_locked(t, releaser_resource);
+  push_shared(t);
 }
 
-Task* DependenciesScheduler::pick_locked(int resource) {
-  auto& slot = next_for_[static_cast<std::size_t>(resource)];
-  if (!slot.empty()) {
-    Task* t = slot.front();
-    slot.pop_front();
-    t->resource = resource;
-    return t;
+Task* DependenciesScheduler::pick(int resource) {
+  TaskQueue& slot = local_[static_cast<std::size_t>(resource)];
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    if (!slot.q.empty()) {
+      Task* t = slot.q.front();
+      slot.q.pop_front();
+      t->resource = resource;
+      return t;
+    }
   }
-  return BreadthFirstScheduler::pick_locked(resource);
+  return BreadthFirstScheduler::pick(resource);
 }
 
 // ---------------------------------------------------------------------------
 // locality-aware (affinity)
 
-void AffinityScheduler::place_locked(Task* t, int) {
+void AffinityScheduler::place(Task* t, int) {
   // Score every resource of the matching kind; the task goes to the clear
   // winner's local queue, or to the global queue when nobody stands out.
+  // The batch oracle prices all resources in one directory pass.
   const DeviceKind kind = t->device();
+  std::vector<double> scores;
+  if (batch_) scores = batch_(*t);
   double best = 0.0;
   int best_resource = -1;
   bool tie = false;
   for (std::size_t r = 0; r < resource_count(); ++r) {
     if (kind_of(static_cast<int>(r)) != kind) continue;
-    double score = affinity_ ? affinity_(*t, static_cast<int>(r)) : 0.0;
+    double score = 0.0;
+    if (r < scores.size()) {
+      score = scores[r];
+    } else if (affinity_) {
+      score = affinity_(*t, static_cast<int>(r));
+    }
     if (score > best) {
       best = score;
       best_resource = static_cast<int>(r);
@@ -116,38 +146,46 @@ void AffinityScheduler::place_locked(Task* t, int) {
     }
   }
   if (best_resource >= 0 && !tie) {
-    local_[static_cast<std::size_t>(best_resource)].push_back(t);
+    TaskQueue& tq = local_[static_cast<std::size_t>(best_resource)];
+    std::lock_guard<std::mutex> lk(tq.mu);
+    tq.q.push_back(t);
   } else {
-    (kind == DeviceKind::kCuda ? global_cuda_ : global_smp_).push_back(t);
+    push_shared(t);
   }
 }
 
-Task* AffinityScheduler::pick_locked(int resource) {
+Task* AffinityScheduler::pick(int resource) {
   // 1. own local queue
-  auto& mine = local_[static_cast<std::size_t>(resource)];
-  if (!mine.empty()) {
-    Task* t = mine.front();
-    mine.pop_front();
-    t->resource = resource;
-    return t;
+  {
+    TaskQueue& mine = local_[static_cast<std::size_t>(resource)];
+    std::lock_guard<std::mutex> lk(mine.mu);
+    if (!mine.q.empty()) {
+      Task* t = mine.q.front();
+      mine.q.pop_front();
+      t->resource = resource;
+      return t;
+    }
   }
   // 2. global queue of my kind
-  auto& global = kind_of(resource) == DeviceKind::kCuda ? global_cuda_ : global_smp_;
-  if (!global.empty()) {
-    Task* t = global.front();
-    global.pop_front();
-    t->resource = resource;
-    return t;
-  }
-  // 3. steal from the back of a peer's local queue (load balance)
+  if (Task* t = pop_shared(resource)) return t;
+  // 3. steal from the back of a peer's local queue (load balance).  Peer
+  // queues are try-locked; on collision we count it and take the blocking
+  // lock anyway — skipping could strand the only runnable task and
+  // deadlock the virtual clock.
   for (std::size_t r = 0; r < resource_count(); ++r) {
     if (static_cast<int>(r) == resource || kind_of(static_cast<int>(r)) != kind_of(resource))
       continue;
-    auto& q = local_[r];
-    if (!q.empty()) {
-      Task* t = q.back();
-      q.pop_back();
+    TaskQueue& peer = local_[r];
+    std::unique_lock<std::mutex> lk(peer.mu, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      lock_collisions_.fetch_add(1, std::memory_order_relaxed);
+      lk.lock();
+    }
+    if (!peer.q.empty()) {
+      Task* t = peer.q.back();
+      peer.q.pop_back();
       t->resource = resource;
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return t;
     }
   }
@@ -158,14 +196,18 @@ Task* AffinityScheduler::pick_locked(int resource) {
 
 std::unique_ptr<Scheduler> Scheduler::create(const std::string& policy, vt::Clock& clock,
                                              std::vector<DeviceKind> resource_kinds,
-                                             AffinityFn affinity) {
+                                             AffinityFn affinity, AffinityBatchFn affinity_batch,
+                                             common::Stats* stats) {
   if (policy == "bf")
-    return std::make_unique<detail::BreadthFirstScheduler>(clock, std::move(resource_kinds));
+    return std::make_unique<detail::BreadthFirstScheduler>(clock, std::move(resource_kinds),
+                                                           stats);
   if (policy == "dep" || policy == "default" || policy == "dependencies")
-    return std::make_unique<detail::DependenciesScheduler>(clock, std::move(resource_kinds));
+    return std::make_unique<detail::DependenciesScheduler>(clock, std::move(resource_kinds),
+                                                           stats);
   if (policy == "affinity" || policy == "locality")
     return std::make_unique<detail::AffinityScheduler>(clock, std::move(resource_kinds),
-                                                       std::move(affinity));
+                                                       std::move(affinity),
+                                                       std::move(affinity_batch), stats);
   throw std::invalid_argument("unknown scheduler policy '" + policy + "' (bf|dep|affinity)");
 }
 

@@ -14,8 +14,21 @@
 //    resource; the task goes to the queue of the best resource, or to a
 //    global queue when no resource stands out.  Resources drain their local
 //    queue first, then the global queue, then steal from peers.
+//
+// Locking: there is no global scheduler mutex.  Every queue — one local
+// queue per resource plus one shared queue per device kind — carries its own
+// lock, so submits and picks touching different queues run concurrently
+// (submit throughput used to serialize every worker on one mutex; see
+// bench/over01_taskbench).  Blocked getters park on a separate wait monitor;
+// submitters only touch it when the waiter count (a seq_cst counter, giving
+// the store/load ordering that makes a missed-wakeup race impossible) says
+// someone is actually parked.  The affinity steal path try-locks peer queues
+// and falls back to a blocking lock on collision — a collision is counted
+// ("sched.lock_collisions"), never used to skip work, which could strand the
+// only runnable task.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -23,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "nanos/task.hpp"
 #include "vt/sync.hpp"
 
@@ -31,6 +45,12 @@ namespace nanos {
 /// Affinity oracle: bytes of `task`'s data currently resident on `resource`.
 /// Wired to CoherenceManager::affinity_bytes by the runtime.
 using AffinityFn = std::function<double(const Task&, int resource)>;
+
+/// Batch affinity oracle: scores for *all* resources in one call (one
+/// directory pass instead of one per resource).  Wired to
+/// CoherenceManager::affinity_bytes_all by the runtime; preferred over
+/// AffinityFn when both are provided.
+using AffinityBatchFn = std::function<std::vector<double>(const Task&)>;
 
 class Scheduler {
 public:
@@ -46,7 +66,8 @@ public:
   /// Non-blocking variant used by the GPU prefetcher.
   virtual Task* try_get(int resource) = 0;
 
-  /// Wakes all blocked get() calls with nullptr.
+  /// Wakes all blocked get() calls with nullptr and publishes the scheduler
+  /// counters ("sched.steals", "sched.lock_collisions") into the stats sink.
   virtual void shutdown() = 0;
 
   /// Tasks queued but not yet picked (diagnostics).
@@ -56,16 +77,20 @@ public:
   /// `resource_kinds[i]` is the device kind resource i executes.
   static std::unique_ptr<Scheduler> create(const std::string& policy, vt::Clock& clock,
                                            std::vector<DeviceKind> resource_kinds,
-                                           AffinityFn affinity);
+                                           AffinityFn affinity,
+                                           AffinityBatchFn affinity_batch = nullptr,
+                                           common::Stats* stats = nullptr);
 };
 
 namespace detail {
 
-/// Common blocking/shutdown machinery; policies implement placement/picking.
+/// Common queue plumbing and blocking/shutdown machinery; policies implement
+/// placement and picking on top of the per-queue locks.
 class SchedulerBase : public Scheduler {
 public:
-  SchedulerBase(vt::Clock& clock, std::vector<DeviceKind> kinds)
-      : mon_(clock), kinds_(std::move(kinds)) {}
+  SchedulerBase(vt::Clock& clock, std::vector<DeviceKind> kinds, common::Stats* stats)
+      : local_(kinds.size()), mon_(clock), kinds_(std::move(kinds)), stats_(stats) {}
+  ~SchedulerBase() override;
 
   void submit(Task* t, int releaser_resource) final;
   Task* get(int resource) final;
@@ -74,20 +99,59 @@ public:
   std::size_t queued() const final;
 
 protected:
-  // Both run with mu_ held.
-  virtual void place_locked(Task* t, int releaser_resource) = 0;
-  virtual Task* pick_locked(int resource) = 0;
+  struct TaskQueue {
+    std::mutex mu;
+    std::deque<Task*> q;
+  };
+
+  // Placement/picking; called with NO lock held — implementations take the
+  // individual queue locks they need (at most one at a time).
+  virtual void place(Task* t, int releaser_resource) = 0;
+  virtual Task* pick(int resource) = 0;
 
   DeviceKind kind_of(int r) const { return kinds_.at(static_cast<std::size_t>(r)); }
   std::size_t resource_count() const { return kinds_.size(); }
+  TaskQueue& shared_for(DeviceKind k) {
+    return k == DeviceKind::kCuda ? shared_cuda_ : shared_smp_;
+  }
 
-  mutable std::mutex mu_;
-  std::size_t queued_count_ = 0;  // maintained by SchedulerBase
+  void push_shared(Task* t) {
+    TaskQueue& tq = shared_for(t->device());
+    std::lock_guard<std::mutex> lk(tq.mu);
+    tq.q.push_back(t);
+  }
+  Task* pop_shared(int resource) {
+    TaskQueue& tq = shared_for(kind_of(resource));
+    std::lock_guard<std::mutex> lk(tq.mu);
+    if (tq.q.empty()) return nullptr;
+    Task* t = tq.q.front();
+    tq.q.pop_front();
+    t->resource = resource;
+    return t;
+  }
+
+  common::Stats* stats() { return stats_; }
+
+  /// Per-resource queues: successor slots for the "dep" policy, local
+  /// affinity queues for "affinity".  Each guarded by its own mutex.
+  std::vector<TaskQueue> local_;
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> lock_collisions_{0};
 
 private:
-  vt::Monitor mon_;
+  void publish_stats();
+
+  std::mutex wait_mu_;
+  vt::Monitor mon_;  // over wait_mu_
   std::vector<DeviceKind> kinds_;
-  bool shutdown_ = false;
+  common::Stats* stats_;
+  TaskQueue shared_smp_;
+  TaskQueue shared_cuda_;
+  std::atomic<int> waiters_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::size_t> queued_count_{0};
+  std::uint64_t published_steals_ = 0;
+  std::uint64_t published_collisions_ = 0;
 };
 
 class BreadthFirstScheduler : public SchedulerBase {
@@ -95,41 +159,36 @@ public:
   using SchedulerBase::SchedulerBase;
 
 protected:
-  void place_locked(Task* t, int releaser_resource) override;
-  Task* pick_locked(int resource) override;
-
-  std::deque<Task*> smp_queue_;
-  std::deque<Task*> cuda_queue_;
+  void place(Task* t, int releaser_resource) override;
+  Task* pick(int resource) override;
 };
 
-/// Breadth-first plus successor-first dispatch.
+/// Breadth-first plus successor-first dispatch (the released successor is
+/// parked in the releasing resource's local slot).
 class DependenciesScheduler : public BreadthFirstScheduler {
 public:
-  DependenciesScheduler(vt::Clock& clock, std::vector<DeviceKind> kinds)
-      : BreadthFirstScheduler(clock, kinds), next_for_(kinds.size()) {}
+  using BreadthFirstScheduler::BreadthFirstScheduler;
 
 protected:
-  void place_locked(Task* t, int releaser_resource) override;
-  Task* pick_locked(int resource) override;
-
-private:
-  std::vector<std::deque<Task*>> next_for_;  // per-resource successor slots
+  void place(Task* t, int releaser_resource) override;
+  Task* pick(int resource) override;
 };
 
 class AffinityScheduler : public SchedulerBase {
 public:
-  AffinityScheduler(vt::Clock& clock, std::vector<DeviceKind> kinds, AffinityFn affinity)
-      : SchedulerBase(clock, kinds), affinity_(std::move(affinity)), local_(kinds.size()) {}
+  AffinityScheduler(vt::Clock& clock, std::vector<DeviceKind> kinds, AffinityFn affinity,
+                    AffinityBatchFn batch, common::Stats* stats)
+      : SchedulerBase(clock, std::move(kinds), stats),
+        affinity_(std::move(affinity)),
+        batch_(std::move(batch)) {}
 
 protected:
-  void place_locked(Task* t, int releaser_resource) override;
-  Task* pick_locked(int resource) override;
+  void place(Task* t, int releaser_resource) override;
+  Task* pick(int resource) override;
 
 private:
   AffinityFn affinity_;
-  std::vector<std::deque<Task*>> local_;
-  std::deque<Task*> global_smp_;
-  std::deque<Task*> global_cuda_;
+  AffinityBatchFn batch_;
 };
 
 }  // namespace detail

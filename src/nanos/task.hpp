@@ -95,6 +95,24 @@ struct TaskDesc {
 
 class DependencyDomain;
 
+namespace detail {
+struct DepRecord;  // dependency-directory record (defined in dep.hpp)
+}
+
+/// Back-reference from a task to one dependency-directory record it appears
+/// in, so completion can detach the task in O(1) instead of purging the whole
+/// directory.  `index` is the task's slot in the record's readers list (or
+/// kWriterRef when the task is the record's last writer); `epoch` matches the
+/// record's reader epoch at registration time — a bumped epoch means the
+/// readers list was bulk-cleared by a later writer and the reference is
+/// stale.
+struct DepRef {
+  detail::DepRecord* rec = nullptr;
+  std::uint64_t epoch = 0;
+  std::uint32_t index = 0;
+  static constexpr std::uint32_t kWriterRef = 0xffffffffu;
+};
+
 /// Runtime-internal task state.  Users interact through TaskDesc / ompss::.
 class Task {
 public:
@@ -114,6 +132,7 @@ public:
   // -- dependency-graph state (owned by DependencyDomain) -------------------
   std::vector<Task*> successors;
   std::size_t pending_preds = 0;
+  std::vector<DepRef> dep_refs;  ///< directory records this task appears in
   DependencyDomain* domain = nullptr;
   bool submitted_to_sched = false;
 

@@ -2,7 +2,10 @@
 
 #include <cstdlib>
 
+#include <vector>
+
 #include "common/config.hpp"
+#include "common/interval_map.hpp"
 #include "common/region.hpp"
 #include "common/stats.hpp"
 
@@ -10,6 +13,7 @@ namespace {
 
 using common::Config;
 using common::ConfigError;
+using common::IntervalMap;
 using common::Region;
 using common::Stats;
 
@@ -153,6 +157,81 @@ TEST(StatsTest, SnapshotIsConsistent) {
   auto snap = s.snapshot();
   EXPECT_EQ(snap.size(), 2u);
   EXPECT_DOUBLE_EQ(snap.at("b").sum, 2);
+}
+
+std::vector<Region> overlaps_of(IntervalMap<int>& m, Region r) {
+  std::vector<Region> out;
+  m.for_overlapping(r, [&](IntervalMap<int>::Entry& e) { out.push_back(e.region); });
+  return out;
+}
+
+TEST(IntervalMapTest, FindsOverlapsAcrossSizes) {
+  IntervalMap<int> m;
+  m.try_emplace(Region(std::uintptr_t{0}, 100));     // giant early region
+  m.try_emplace(Region(std::uintptr_t{200}, 50));
+  m.try_emplace(Region(std::uintptr_t{300}, 50));
+  auto hits = overlaps_of(m, Region(std::uintptr_t{40}, 10));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].start, 0u);
+  EXPECT_TRUE(overlaps_of(m, Region(std::uintptr_t{120}, 10)).empty());
+  EXPECT_EQ(overlaps_of(m, Region(std::uintptr_t{240}, 100)).size(), 2u);
+}
+
+TEST(IntervalMapTest, EarlyRegionCoveringLaterOnesIsFound) {
+  IntervalMap<int> m;
+  // Insert tiles first, then a region spanning them from before — the prefix
+  // max-end must carry the giant's reach past the tiles.
+  for (std::uintptr_t s = 1000; s < 1500; s += 100) m.try_emplace(Region(s, 100));
+  m.try_emplace(Region(std::uintptr_t{500}, 2000));
+  auto hits = overlaps_of(m, Region(std::uintptr_t{1800}, 10));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].start, 500u);
+}
+
+TEST(IntervalMapTest, DisjointTileScansVisitO1Records) {
+  IntervalMap<int> m;
+  constexpr std::uintptr_t kTiles = 1000;
+  for (std::uintptr_t i = 0; i < kTiles; ++i) m.try_emplace(Region(i * 64, 64));
+  // Querying one tile must not walk the 999 earlier records.
+  std::size_t visited = m.for_overlapping(Region(kTiles / 2 * 64, 64),
+                                          [](IntervalMap<int>::Entry&) {});
+  EXPECT_LE(visited, 2u);
+}
+
+TEST(IntervalMapTest, UpdateExtentExtendsReach) {
+  IntervalMap<int> m;
+  auto [it, inserted] = m.try_emplace(Region(std::uintptr_t{0}, 10));
+  ASSERT_TRUE(inserted);
+  m.try_emplace(Region(std::uintptr_t{100}, 10));
+  EXPECT_TRUE(overlaps_of(m, Region(std::uintptr_t{50}, 10)).empty());
+  m.update_extent(it, 80);
+  auto hits = overlaps_of(m, Region(std::uintptr_t{50}, 10));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].size, 80u);
+}
+
+TEST(IntervalMapTest, EraseRepairsAugmentation) {
+  IntervalMap<int> m;
+  auto [giant, ins] = m.try_emplace(Region(std::uintptr_t{0}, 1000));
+  ASSERT_TRUE(ins);
+  m.try_emplace(Region(std::uintptr_t{100}, 10));
+  m.try_emplace(Region(std::uintptr_t{200}, 10));
+  m.erase(giant);
+  EXPECT_TRUE(overlaps_of(m, Region(std::uintptr_t{500}, 10)).empty());
+  // And the scan after erase prunes again instead of walking everything.
+  std::size_t visited =
+      m.for_overlapping(Region(std::uintptr_t{205}, 2), [](IntervalMap<int>::Entry&) {});
+  EXPECT_LE(visited, 1u);
+}
+
+TEST(IntervalMapTest, ValuesAreNodeStable) {
+  IntervalMap<int> m;
+  auto [it, ins] = m.try_emplace(Region(std::uintptr_t{64}, 64));
+  int* v = &it->second.value;
+  *v = 7;
+  for (std::uintptr_t i = 0; i < 100; ++i) m.try_emplace(Region(1000 + i * 64, 64));
+  EXPECT_EQ(it->second.value, 7);
+  EXPECT_EQ(&it->second.value, v);
 }
 
 }  // namespace

@@ -230,4 +230,100 @@ TEST_F(DepTest, LongChainPropagatesOneAtATime) {
   }
 }
 
+// --- scaling regressions -----------------------------------------------------
+// The directory used to walk every earlier record per submit and purge the
+// whole map per completion (O(n²) for n tasks).  These tests pin the fixed
+// behaviour: records scanned stays O(1) per lookup, and large graphs release
+// in the right order even through the swap-erase / epoch-invalidation paths.
+
+TEST_F(DepTest, TenThousandLinkChainScansO1RecordsPerTask) {
+  constexpr std::size_t kLen = 10000;
+  std::vector<Task*> chain;
+  chain.reserve(kLen);
+  for (std::size_t i = 0; i < kLen; ++i)
+    chain.push_back(make_task({Access::inout(data_a, sizeof(data_a))}));
+  for (Task* t : chain) domain_.submit(t);
+  // One record exists; each submit must visit just it, not all predecessors.
+  EXPECT_EQ(domain_.lookups(), kLen);
+  EXPECT_LE(domain_.records_scanned(), 2 * domain_.lookups());
+  // Completion releases exactly one successor at a time, in chain order.
+  ASSERT_EQ(ready_.size(), 1u);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    ASSERT_EQ(ready_.size(), i + 1) << "link " << i;
+    ASSERT_EQ(ready_[i], chain[i]) << "link " << i;
+    domain_.on_complete(chain[i]);
+  }
+  EXPECT_EQ(ready_.size(), kLen);
+}
+
+TEST_F(DepTest, TenThousandReaderFanBulkClearsOnNextWriter) {
+  constexpr std::size_t kFan = 10000;
+  Task* w1 = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w1);
+  std::vector<Task*> readers;
+  readers.reserve(kFan);
+  for (std::size_t i = 0; i < kFan; ++i) {
+    readers.push_back(make_task({Access::in(data_a, sizeof(data_a))}));
+    domain_.submit(readers.back());
+  }
+  // w2 carries a WAR arc from every reader; registering it bulk-clears the
+  // readers list, so the readers later detach through the stale-epoch path.
+  Task* w2 = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w2);
+  EXPECT_LE(domain_.records_scanned(), 2 * domain_.lookups());
+  ASSERT_EQ(ready_.size(), 1u);  // only w1 so far
+  domain_.on_complete(w1);
+  EXPECT_EQ(ready_.size(), 1 + kFan);  // the whole fan released at once
+  for (std::size_t i = kFan; i-- > 0;) {
+    EXPECT_NE(ready_.back(), w2) << "writer released with readers pending";
+    domain_.on_complete(readers[i]);
+  }
+  EXPECT_EQ(ready_.back(), w2);  // last reader's completion released it
+}
+
+TEST_F(DepTest, ReaderFanRetiringOutOfOrderKeepsDirectoryConsistent) {
+  // No trailing writer this time: each reader's completion swap-erases it
+  // from the live readers list (repairing the moved entry's back-reference).
+  constexpr std::size_t kFan = 1000;
+  std::vector<Task*> readers;
+  readers.reserve(kFan);
+  for (std::size_t i = 0; i < kFan; ++i) {
+    readers.push_back(make_task({Access::in(data_a, sizeof(data_a))}));
+    domain_.submit(readers.back());
+  }
+  // Retire evens front-to-back, then odds back-to-front.
+  for (std::size_t i = 0; i < kFan; i += 2) domain_.on_complete(readers[i]);
+  for (int i = static_cast<int>(kFan) - 1; i >= 1; i -= 2)
+    domain_.on_complete(readers[static_cast<std::size_t>(i)]);
+  // A writer submitted now must see no live readers (arcs to retired tasks
+  // would deadlock it).
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  EXPECT_TRUE(is_ready(w));
+}
+
+TEST_F(DepTest, DisjointTileWavesScanO1RecordsPerSubmit) {
+  constexpr std::size_t kTiles = 4096;
+  static std::vector<double> big(kTiles * 8);
+  auto tile = [&](std::size_t i) { return big.data() + i * 8; };
+  std::vector<Task*> wave1, wave2;
+  for (std::size_t i = 0; i < kTiles; ++i) {
+    wave1.push_back(make_task({Access::out(tile(i), 8 * sizeof(double))}));
+    domain_.submit(wave1.back());
+  }
+  EXPECT_EQ(ready_.size(), kTiles);  // disjoint tiles: all independent
+  const std::uint64_t scanned_wave1 = domain_.records_scanned();
+  for (std::size_t i = 0; i < kTiles; ++i) {
+    wave2.push_back(make_task({Access::out(tile(i), 8 * sizeof(double))}));
+    domain_.submit(wave2.back());
+  }
+  // With 4096 records live, each wave-2 submit must still only touch its own
+  // tile's record — not walk the directory.
+  EXPECT_LE(domain_.records_scanned() - scanned_wave1, 3 * kTiles);
+  EXPECT_EQ(ready_.size(), kTiles);  // every wave-2 writer WAW-blocked
+  domain_.on_complete(wave1[7]);
+  ASSERT_EQ(ready_.size(), kTiles + 1);
+  EXPECT_EQ(ready_.back(), wave2[7]);  // releasing a tile releases *its* writer
+}
+
 }  // namespace

@@ -173,6 +173,42 @@ TEST_F(SchedTest, AffinityStealsFromBusyPeer) {
   EXPECT_EQ(s->try_get(0), t0);
 }
 
+TEST_F(SchedTest, StealPathPublishesCounterToStats) {
+  common::Stats stats;
+  std::map<const Task*, std::map<int, double>> scores;
+  auto oracle = [&](const Task& t, int r) -> double {
+    auto it = scores.find(&t);
+    return it != scores.end() && it->second.count(r) ? it->second[r] : 0.0;
+  };
+  auto s = Scheduler::create("affinity", clock_, {DeviceKind::kCuda, DeviceKind::kCuda}, oracle,
+                             nullptr, &stats);
+  Task* t0 = make_task(DeviceKind::kCuda);
+  Task* t1 = make_task(DeviceKind::kCuda);
+  scores[t0] = {{0, 100.0}};
+  scores[t1] = {{0, 100.0}};
+  s->submit(t0, -1);
+  s->submit(t1, -1);
+  EXPECT_EQ(s->try_get(1), t1);  // resource 1 steals from resource 0's queue
+  EXPECT_EQ(s->try_get(0), t0);  // own-queue pick, not a steal
+  s->shutdown();
+  EXPECT_EQ(stats.sum("sched.steals"), 1.0);
+}
+
+TEST_F(SchedTest, BatchOracleDrivesPlacement) {
+  // When a batch oracle is supplied it prices all resources in one call; the
+  // per-resource oracle would claim resource 0, the batch oracle resource 1 —
+  // batch must win.
+  auto per_resource = [](const Task&, int r) { return r == 0 ? 50.0 : 0.0; };
+  auto batch = [](const Task&) { return std::vector<double>{0.0, 50.0}; };
+  auto s = Scheduler::create("affinity", clock_, {DeviceKind::kCuda, DeviceKind::kCuda},
+                             per_resource, batch);
+  Task* t = make_task(DeviceKind::kCuda);
+  s->submit(t, -1);
+  // t sits in resource 1's local queue: resource 1 gets it from its own
+  // queue even though resource 0 asks first (0 would have to steal).
+  EXPECT_EQ(s->try_get(1), t);
+}
+
 TEST_F(SchedTest, AffinityStealRespectsKind) {
   auto s = Scheduler::create("affinity", clock_, {DeviceKind::kSmp, DeviceKind::kCuda},
                              [](const Task&, int r) { return r == 0 ? 10.0 : 0.0; });
