@@ -1,0 +1,123 @@
+// res01 — price of resilience on the GPU cluster (docs/resilience.md).
+//
+// Three matmul runs on the same cluster shape answer two questions:
+//
+//  * What does the failure detector cost when nothing fails?  Compare
+//    heartbeat-off (resilience machinery fully disabled) against
+//    resilience=retry with the default heartbeat.  Pings are short AMs a few
+//    times per lease, so the expected overhead is ~0.
+//  * What does surviving a node failure cost?  Kill one slave mid-run with
+//    resilience=retry: the run must complete with a verified checksum, and
+//    the slowdown over the fault-free baseline is the recovery price (lost
+//    work re-executed on the survivors plus regeneration of dead copies).
+#include <cmath>
+#include <cstdio>
+
+#include "apps/matmul/matmul.hpp"
+#include "apps/platform.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+apps::matmul::Params params() {
+  apps::matmul::Params p;
+  p.nb = static_cast<int>(bench::env_knob("MATMUL_NB", 8));
+  p.bs_phys = static_cast<std::size_t>(bench::env_knob("MATMUL_BS", 32));
+  p.bs_logical = 12288.0 / p.nb;
+  return p;
+}
+
+nanos::ClusterConfig base_config(int nodes, const apps::matmul::Params& p) {
+  auto cfg = apps::gpu_cluster(nodes, p.byte_scale());
+  cfg.slave_to_slave = true;
+  cfg.node.cache_policy = "wb";
+  cfg.node.overlap = true;
+  cfg.node.prefetch = true;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("res01 — Matmul under faults", "GFLOPS");
+  const auto p = params();
+  const int nodes = static_cast<int>(bench::env_knob("NODES", 4));
+
+  // Reference run (no heartbeat, no faults): duration sets the kill time,
+  // checksum is the ground truth the faulted run must reproduce.
+  double ref_seconds = 0;
+  double ref_checksum = 0;
+  {
+    auto cfg = base_config(nodes, p);
+    cfg.resilience.heartbeat_period = 0;  // detector fully off
+    ompss::Env env(cfg);
+    auto r = apps::matmul::run_ompss(env, p, apps::matmul::InitMode::kSmp);
+    ref_seconds = r.seconds;
+    ref_checksum = r.checksum;
+  }
+
+  benchmark::RegisterBenchmark("res01/fault-free/heartbeat-off",
+                               [=, &table](benchmark::State& st) {
+    double gflops = 0;
+    for (auto _ : st) {
+      auto cfg = base_config(nodes, p);
+      cfg.resilience.heartbeat_period = 0;
+      ompss::Env env(cfg);
+      auto r = apps::matmul::run_ompss(env, p, apps::matmul::InitMode::kSmp);
+      st.SetIterationTime(r.seconds);
+      gflops = r.gflops;
+    }
+    st.counters["GFLOPS"] = gflops;
+    table.add("fault-free/heartbeat-off", std::to_string(nodes) + "n", gflops);
+  })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+  benchmark::RegisterBenchmark("res01/fault-free/heartbeat-on",
+                               [=, &table](benchmark::State& st) {
+    double gflops = 0;
+    for (auto _ : st) {
+      auto cfg = base_config(nodes, p);
+      cfg.resilience.mode = "retry";  // default heartbeat/lease
+      ompss::Env env(cfg);
+      auto r = apps::matmul::run_ompss(env, p, apps::matmul::InitMode::kSmp);
+      st.SetIterationTime(r.seconds);
+      gflops = r.gflops;
+    }
+    st.counters["GFLOPS"] = gflops;
+    table.add("fault-free/heartbeat-on", std::to_string(nodes) + "n", gflops);
+  })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+  benchmark::RegisterBenchmark("res01/node-kill/retry",
+                               [=, &table](benchmark::State& st) {
+    double gflops = 0;
+    for (auto _ : st) {
+      auto cfg = base_config(nodes, p);
+      cfg.resilience.mode = "retry";
+      simnet::FaultPlan::NodeKill kill;
+      kill.node = nodes > 2 ? 2 : 1;
+      kill.time = 0.5 * ref_seconds;  // mid-run, well past startup
+      cfg.faults.kills.push_back(kill);
+      ompss::Env env(cfg);
+      auto r = apps::matmul::run_ompss(env, p, apps::matmul::InitMode::kSmp);
+      if (std::abs(r.checksum - ref_checksum) >
+          1e-6 * std::max(1.0, std::abs(ref_checksum))) {
+        st.SkipWithError("checksum mismatch after recovery");
+        return;
+      }
+      const common::Stats& s = env.cluster()->stats();
+      st.counters["detected"] = static_cast<double>(s.count("res.failures_detected"));
+      st.counters["retried"] = static_cast<double>(s.count("res.tasks_retried"));
+      st.counters["regions_lost"] = static_cast<double>(s.count("res.regions_lost"));
+      st.counters["regions_recovered"] =
+          static_cast<double>(s.count("res.regions_recovered"));
+      st.counters["recovery_vt_ms"] = 1e3 * s.sum("res.recovery_vt");
+      st.SetIterationTime(r.seconds);
+      gflops = r.gflops;
+    }
+    st.counters["GFLOPS"] = gflops;
+    table.add("node-kill/retry", std::to_string(nodes) + "n", gflops);
+  })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+  std::printf("reference: %.3f virtual ms, checksum %.6g\n", 1e3 * ref_seconds,
+              ref_checksum);
+  return bench::run_and_print(argc, argv, table);
+}

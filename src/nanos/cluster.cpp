@@ -44,6 +44,7 @@ T read_msg(const void* payload, std::size_t bytes) {
 ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
     : clock_(clock), cfg_(std::move(cfg)), comm_mon_(clock), worker_mon_(clock) {
   net_ = std::make_unique<simnet::Network>(clock_, cfg_.nodes, cfg_.link);
+  if (!cfg_.faults.empty()) net_->set_fault_plan(cfg_.faults);
 
   vt::Hold hold(clock_);
   nodes_.resize(static_cast<std::size_t>(cfg_.nodes));
@@ -76,12 +77,40 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
     ep.register_handler(kPull, [this, i](int, const void* p, std::size_t n) {
       handle_pull(i, p, n);
     });
+    ep.register_handler(kPing, [this, i](int, const void*, std::size_t) {
+      // Reply, and piggyback any TASK_DONE the master has not acknowledged
+      // (its original send was lost; the master commit is idempotent).
+      simnet::Network* net = net_.get();
+      int self = i;
+      net->endpoint(i).am_short(0, kPong, &self, sizeof(self));
+      std::vector<std::uint64_t> resend;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto& pend = nodes_[static_cast<std::size_t>(i)].unacked_done;
+        resend.assign(pend.begin(), pend.end());
+      }
+      for (std::uint64_t tk : resend) net->endpoint(i).am_short(0, kTaskDone, &tk, sizeof(tk));
+    });
+    ep.register_handler(kDoneAck, [this, i](int, const void* p, std::size_t n) {
+      auto tk = read_msg<std::uint64_t>(p, n);
+      std::lock_guard<std::mutex> lk(mu_);
+      nodes_[static_cast<std::size_t>(i)].unacked_done.erase(tk);
+    });
   }
   simnet::Endpoint& master = net_->endpoint(0);
-  master.register_handler(kTaskDone, [this](int, const void* p, std::size_t n) {
-    handle_task_done(read_msg<std::uint64_t>(p, n));
+  // Every message a slave gets through to the master renews its lease —
+  // pongs are just the fallback for quiet phases.  (A slave whose RX thread
+  // is busy flushing GPU memory answers pings late but keeps emitting
+  // STAGE_DONE / TASK_DONE; counting only pongs would false-positive it.)
+  auto alive = [this](int src) {
+    if (resilience_) resilience_->on_alive(src);
+  };
+  master.register_handler(kTaskDone, [this, alive](int src, const void* p, std::size_t n) {
+    alive(src);
+    handle_task_done(src, read_msg<std::uint64_t>(p, n));
   });
-  master.register_handler(kStageDone, [this](int, const void* p, std::size_t n) {
+  master.register_handler(kStageDone, [this, alive](int src, const void* p, std::size_t n) {
+    alive(src);
     auto msg = read_msg<StageDoneMsg>(p, n);
     std::vector<std::function<void()>> cbs;
     {
@@ -89,6 +118,14 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
       staged_locked(common::Region(msg.start, msg.size), msg.node, cbs);
     }
     for (auto& cb : cbs) cb();
+  });
+  master.register_handler(kPong, [alive](int src, const void*, std::size_t) { alive(src); });
+  master.register_handler(kTaskRecv, [this, alive](int src, const void* p, std::size_t n) {
+    alive(src);
+    auto tk = read_msg<std::uint64_t>(p, n);
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = in_flight_tasks_.find(tk);
+    if (it != in_flight_tasks_.end()) it->second->recv_acked = true;
   });
 
   domain_ = std::make_unique<DependencyDomain>(
@@ -99,9 +136,14 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
     comm_threads_.emplace_back(clock_, "comm" + std::to_string(i), [this] { comm_loop(); },
                                /*service=*/true);
   }
+
+  resilience_ = std::make_unique<ResilienceManager>(*this, clock_, cfg_.nodes,
+                                                    cfg_.resilience);
+  if (cfg_.nodes > 1 && cfg_.resilience.heartbeat_period > 0) resilience_->start();
 }
 
 ClusterRuntime::~ClusterRuntime() {
+  if (resilience_) resilience_->stop();
   {
     std::lock_guard<std::mutex> lk(mu_);
     shutdown_ = true;
@@ -112,8 +154,10 @@ ClusterRuntime::~ClusterRuntime() {
   for (auto& ns : nodes_) {
     if (ns.comm_worker) ns.comm_worker->join();
   }
-  // NodeStates (and their Runtimes) are destroyed before net_ by member
-  // declaration order, so no handler can fire into a dead runtime.
+  // Quiesce the wire before any member dies: heartbeat traffic (unlike app
+  // traffic) flows right up to destruction, and an in-flight pong delivered
+  // after resilience_ is destroyed would be a use-after-free.
+  net_->shutdown();
 }
 
 void ClusterRuntime::post_comm_job(int node, std::function<void()> job) {
@@ -154,18 +198,26 @@ Task* ClusterRuntime::spawn(TaskDesc desc) {
 }
 
 void ClusterRuntime::on_ready(Task* t, Task* releaser) {
-  int node = place_node(t, releaser);
-  t->target_node = node;
-  if (node == 0) {
-    stats_.incr("cluster.local_tasks");
-    int hint = (releaser != nullptr && releaser->target_node == 0) ? releaser->resource : -1;
-    dispatch_local(t, hint);
-    return;
-  }
-  stats_.incr("cluster.remote_tasks");
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    nodes_[static_cast<std::size_t>(node)].queue.push_back(t);
+  for (;;) {
+    int node = place_node(t, releaser);
+    t->target_node = node;
+    if (node == 0) {
+      stats_.incr("cluster.local_tasks");
+      int hint = (releaser != nullptr && releaser->target_node == 0) ? releaser->resource : -1;
+      dispatch_local(t, hint);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // The chosen node may have been declared dead between placement and
+      // enqueue; its queue was purged, so don't park the task there.
+      if (!nodes_[static_cast<std::size_t>(node)].dead) {
+        stats_.incr("cluster.remote_tasks");
+        nodes_[static_cast<std::size_t>(node)].queue.push_back(t);
+        break;
+      }
+    }
+    releaser = nullptr;  // the placement hint pointed at the dead node
   }
   comm_mon_.notify_all();
 }
@@ -173,7 +225,11 @@ void ClusterRuntime::on_ready(Task* t, Task* releaser) {
 int ClusterRuntime::place_node(Task* t, Task* releaser) {
   if (cfg_.nodes == 1) return 0;
   const std::string& policy = cfg_.node_scheduler;
-  if (policy == "dep" && releaser != nullptr) return releaser->target_node;
+  if (policy == "dep" && releaser != nullptr) {
+    const int n = releaser->target_node;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (n >= 0 && n < cfg_.nodes && node_alive_locked(n)) return n;
+  }
   if (policy == "affinity") {
     std::lock_guard<std::mutex> lk(mu_);
     // One directory lookup per access; the entry's holder set fans the score
@@ -188,7 +244,8 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
       // keeps accumulations local while inputs stream in.
       const double w = static_cast<double>(a.region.size) * (writes(a.mode) ? 4.0 : 1.0);
       for (int n : it->second.value.valid) {
-        if (n >= 0 && n < cfg_.nodes) score[static_cast<std::size_t>(n)] += w;
+        if (n >= 0 && n < cfg_.nodes && node_alive_locked(n))
+          score[static_cast<std::size_t>(n)] += w;
       }
     }
     double best = 0.0;
@@ -210,9 +267,15 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
   // (block distribution of first-touch work).
   std::lock_guard<std::mutex> lk(mu_);
   int chunk = cfg_.rr_chunk > 0 ? cfg_.rr_chunk : 1;
-  int node = (rr_cursor_ / chunk) % cfg_.nodes;
-  ++rr_cursor_;
-  return node;
+  for (int tries = 0; tries <= cfg_.nodes; ++tries) {
+    int node = (rr_cursor_ / chunk) % cfg_.nodes;
+    if (node_alive_locked(node)) {
+      ++rr_cursor_;
+      return node;
+    }
+    rr_cursor_ += chunk - (rr_cursor_ % chunk);  // skip the dead node's chunk
+  }
+  return 0;  // node 0 (the master) is never declared dead
 }
 
 void ClusterRuntime::comm_loop() {
@@ -232,6 +295,7 @@ void ClusterRuntime::comm_loop() {
       for (int k = 1; k < cfg_.nodes; ++k) {
         int n = (scan + k - 1 - 1) % (cfg_.nodes - 1) + 1;
         NodeState& ns = nodes_[static_cast<std::size_t>(n)];
+        if (ns.dead) continue;
         if (!ns.queue.empty() && ns.preparing < stage_depth) {
           task = ns.queue.front();
           ns.queue.pop_front();
@@ -274,46 +338,109 @@ ClusterRuntime::NodeDirEntry& ClusterRuntime::dir_lookup_locked(const common::Re
   return e;
 }
 
-void ClusterRuntime::record_write_locked(const common::Region& r, int node) {
+void ClusterRuntime::record_write_locked(const common::Region& r, int node, Task* producer) {
   NodeDirEntry& e = dir_lookup_locked(r);
   ++e.version;
   e.valid.clear();
   e.valid.insert(node);
+  e.lost = false;
+  if (node == 0) {
+    // The home copy is current again: nothing to replay.
+    e.master_version = e.version;
+    e.redo_log.clear();
+  } else if (producer != nullptr) {
+    // Append to the redo log: this producer, plus the version of every
+    // non-self input it read — replaying it is only sound while those
+    // versions are still reproducible (checked at recovery time).
+    NodeDirEntry::Redo redo;
+    redo.task = producer;
+    for (const Access& a : producer->accesses()) {
+      if (!a.copy || !reads(a.mode) || a.region == r) continue;
+      auto it = dir_.find(a.region.start);
+      redo.inputs.emplace_back(a.region,
+                               it != dir_.end() ? it->second.value.version : 0u);
+    }
+    e.redo_log.push_back(std::move(redo));
+  }
 }
 
 void ClusterRuntime::staged_locked(const common::Region& r, int node,
                                    std::vector<std::function<void()>>& out) {
+  // A straggler ack from a node already declared dead must not re-insert it
+  // as a holder: the purge removed it, and a later transfer sourced from it
+  // would find no live copy anywhere.
+  if (!node_alive_locked(node)) return;
   NodeDirEntry& e = dir_lookup_locked(r);
   e.valid.insert(node);
+  if (node == 0 && !e.recovering) {
+    // The current version was pulled home: the redo log is obsolete.
+    e.master_version = e.version;
+    e.redo_log.clear();
+  }
   auto it = e.staging_to.find(node);
   if (it != e.staging_to.end()) {
     stats_.add("cluster.transfer_latency", clock_.now() - it->second);
     e.staging_to.erase(it);
   }
+  e.stage_src.erase(node);
+  active_stagings_.erase({r.start, node});
+  e.stage_retries.erase(node);
   stats_.incr("cluster.stagings");
   // The landed copy can now serve the deferred destinations (tree fan-out).
   std::vector<int> deferred = std::move(e.deferred);
   e.deferred.clear();
-  for (int d : deferred) out.push_back(make_wire_action_locked(e, r, d));
+  for (int d : deferred) {
+    if (!node_alive_locked(d)) continue;
+    auto a = make_wire_action_locked(e, r, d);
+    if (a) out.push_back(std::move(a));
+  }
   // Waiters for this (region, node) copy.
   auto range = region_waiters_.equal_range({r.start, node});
-  for (auto w = range.first; w != range.second; ++w) out.push_back(std::move(w->second));
+  for (auto w = range.first; w != range.second; ++w)
+    out.push_back([cb = std::move(w->second)] { cb(true); });
   region_waiters_.erase(range.first, range.second);
 }
 
+namespace {
+/// Barrier for a dispatch's input stagings: fires once every arm()ed staging
+/// reported, with failed() true if any of them gave up.
+struct DispatchBarrier {
+  int pending = 1;
+  bool failed = false;
+  std::mutex mu;
+};
+}  // namespace
+
 void ClusterRuntime::dispatch_local(Task* t, int releaser_resource) {
   // Inputs produced on remote nodes must come home before node 0 executes.
-  auto pending = std::make_shared<int>(1);
-  auto pending_mu = std::make_shared<std::mutex>();
+  auto bar = std::make_shared<DispatchBarrier>();
   Runtime* master = nodes_[0].rt.get();
   auto submit = [master, t, releaser_resource] { master->submit_external(t, releaser_resource); };
-  auto done = [pending, pending_mu, submit] {
-    bool fire;
+  auto fail = [this, master, t] {
+    // An input was lost to a node failure and could not be regenerated: the
+    // task cannot run.  Record the error and complete it so taskwait returns
+    // (and throws) instead of hanging.
+    std::vector<Task*> failures;
     {
-      std::lock_guard<std::mutex> lk(*pending_mu);
-      fire = --*pending == 0;
+      std::lock_guard<std::mutex> lk(mu_);
+      fail_task_locked(t, "cluster: inputs of task '" + t->label() +
+                              "' lost to node failure", failures);
     }
-    if (fire) submit();
+    for (Task* f : failures) domain_->on_complete(f);
+  };
+  auto done = [bar, submit, fail](bool ok) {
+    bool fire, failed;
+    {
+      std::lock_guard<std::mutex> lk(bar->mu);
+      if (!ok) bar->failed = true;
+      fire = --bar->pending == 0;
+      failed = bar->failed;
+    }
+    if (!fire) return;
+    if (failed)
+      fail();
+    else
+      submit();
   };
 
   std::vector<std::function<void()>> actions;
@@ -322,26 +449,63 @@ void ClusterRuntime::dispatch_local(Task* t, int releaser_resource) {
     for (const Access& a : t->accesses()) {
       if (!a.copy || !reads(a.mode)) continue;
       auto it = dir_.find(a.region.start);
-      if (it == dir_.end() || it->second.value.valid.count(0) != 0) continue;
+      if (it == dir_.end()) continue;
+      const NodeDirEntry& e = it->second.value;
+      // During recovery the home copy is the stale replay base, not the
+      // current version — treat it as absent and let the staging defer.
+      if (e.valid.count(0) != 0 && !e.recovering && !e.lost) continue;
       {
-        std::lock_guard<std::mutex> plk(*pending_mu);
-        ++*pending;
+        std::lock_guard<std::mutex> plk(bar->mu);
+        ++bar->pending;
       }
       auto action = stage_region_locked(a.region, 0, done);
       if (action) actions.push_back(std::move(action));
     }
   }
   for (auto& action : actions) action();
-  done();
+  done(true);
 }
 
-void ClusterRuntime::dispatch_remote(Task* t, int node) {
-  auto* info = new RemoteTaskInfo;
+void ClusterRuntime::dispatch_remote(Task* t, int node, bool regen,
+                                     common::Region regen_region) {
+  RemoteTaskInfo* info = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+    if (ns.dead) {
+      // The node died between placement and dispatch.
+      if (!regen) --ns.preparing;  // comm_loop counted this dispatch
+    } else {
+      info_pool_.push_back(std::make_unique<RemoteTaskInfo>());
+      info = info_pool_.back().get();
+      if (regen) ++ns.preparing;  // queue-path dispatches were counted by comm_loop
+    }
+  }
+  if (info == nullptr) {
+    if (!regen) {
+      on_ready(t, nullptr);  // re-place on a surviving node
+    } else {
+      // The regeneration chain lost its node before it even started; pick
+      // another one (on_node_failure handles chains already in flight).
+      std::vector<std::function<void()>> actions;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = dir_.find(regen_region.start);
+        if (it != dir_.end() && it->second.value.recovering)
+          advance_recovery_locked(it->second.value, actions);
+      }
+      for (auto& a : actions) a();
+    }
+    return;
+  }
   info->dispatched_at = clock_.now();
+  info->target_node = node;
+  info->regen = regen;
+  info->regen_region = regen_region;
 
-  // The send fires once every input region is resident on the target node.
-  auto pending = std::make_shared<int>(1);
-  auto pending_mu = std::make_shared<std::mutex>();
+  // The send fires once every input region is resident on the target node;
+  // a failed staging (lost region, retries exhausted) aborts the dispatch.
+  auto bar = std::make_shared<DispatchBarrier>();
   std::uint64_t ticket;
   // Once staged, the task moves to the node's ready-to-send list; the send
   // window (1 + presend outstanding on the slave) gates the actual send.
@@ -353,17 +517,23 @@ void ClusterRuntime::dispatch_remote(Task* t, int node) {
     }
     comm_mon_.notify_all();  // a staging slot may have opened
   };
-  auto arm = [pending, pending_mu] {
-    std::lock_guard<std::mutex> lk(*pending_mu);
-    ++*pending;
-  };
-  auto done = [pending, pending_mu, send] {
-    bool fire;
+  auto done = [this, bar, send, info](bool ok) {
+    bool fire, failed;
     {
-      std::lock_guard<std::mutex> lk(*pending_mu);
-      fire = --*pending == 0;
+      std::lock_guard<std::mutex> lk(bar->mu);
+      if (!ok) bar->failed = true;
+      fire = --bar->pending == 0;
+      failed = bar->failed;
     }
-    if (fire) send();
+    if (!fire) return;
+    if (failed)
+      abort_dispatch(info);
+    else
+      send();
+  };
+  auto arm = [bar] {
+    std::lock_guard<std::mutex> lk(bar->mu);
+    ++bar->pending;
   };
 
   std::vector<std::function<void()>> actions;
@@ -383,7 +553,11 @@ void ClusterRuntime::dispatch_remote(Task* t, int node) {
         if (reads(a.mode) && e.valid.count(node) == 0) {
           ra.freshly_staged = true;
           arm();
-          auto action = stage_region_locked(a.region, node, done);
+          // A regeneration stages its own region's stale home base copy
+          // despite the entry being mid-recovery; every other input defers
+          // normally if it happens to be recovering too.
+          const bool for_recovery = regen && a.region == regen_region;
+          auto action = stage_region_locked(a.region, node, done, for_recovery);
           if (action) actions.push_back(std::move(action));
         }
       } else {
@@ -394,15 +568,44 @@ void ClusterRuntime::dispatch_remote(Task* t, int node) {
     in_flight_tasks_[ticket] = info;
   }
   for (auto& action : actions) action();
-  done();  // drop the initial token; sends if nothing needed staging
+  done(true);  // drop the initial token; sends if nothing needed staging
+}
+
+void ClusterRuntime::stage_region_async(const common::Region& region, int node,
+                                        std::function<void(bool)> done, bool for_recovery) {
+  std::function<void()> action;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    action = stage_region_locked(region, node, std::move(done), for_recovery);
+  }
+  if (action) action();
 }
 
 std::function<void()> ClusterRuntime::stage_region_locked(const common::Region& region, int node,
-                                                          std::function<void()> done) {
+                                                          std::function<void(bool)> done,
+                                                          bool for_recovery) {
   NodeDirEntry& e = dir_lookup_locked(region);
+  if (e.lost) {
+    // No copy survives and regeneration gave up: fail outside the lock.
+    return [cb = std::move(done)] { cb(false); };
+  }
+  if (e.recovering && !for_recovery) {
+    // The region is being regenerated; re-enter once the chain finished
+    // (or failed — the re-entry then hits e.lost above).
+    e.recovery_waiters.push_back(
+        [this, region, node, cb = std::move(done)] { stage_region_async(region, node, cb); });
+    return nullptr;
+  }
+  if (e.valid.count(node) != 0) {
+    // Already current at the destination — nothing to ship.  The dispatch
+    // path normally filters these, but a recovery waiter restages blindly,
+    // and the regeneration chain may have replayed on this very node.
+    return [cb = std::move(done)] { cb(true); };
+  }
   region_waiters_.emplace(std::make_pair(region.start, node), std::move(done));
   if (e.staging_to.count(node) != 0) return nullptr;  // join the in-flight transfer
   e.staging_to.emplace(node, clock_.now());
+  active_stagings_.insert({region.start, node});
   // Tree fan-out: if another copy of this region is already on the wire,
   // wait for it and source from the new holder instead of piling onto the
   // current one (with StoS; under MtoS everything relays via the master
@@ -421,10 +624,12 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
   const std::size_t size = region.size;
 
   // Slave nodes holding a current copy (rotating choice spreads source load
-  // as copies proliferate — the directory knows every source).
+  // as copies proliferate — the directory knows every source).  Dead nodes
+  // are purged from valid sets on failure, but a transfer may be re-issued
+  // from a scan that raced the purge — never source from a dead node.
   std::vector<int> holders;
   for (int n : e.valid) {
-    if (n != 0 && n != node) holders.push_back(n);
+    if (n != 0 && n != node && node_alive_locked(n)) holders.push_back(n);
   }
   int holder = holders.empty()
                    ? -1
@@ -433,6 +638,7 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
   if (node == 0) {
     // Pull home (used by taskwait flush and the MtoS relay).
     if (holder < 0) throw std::logic_error("cluster: pull with no slave holder");
+    e.stage_src[0] = holder;
     PullMsg msg{region.start, size, e.addr.at(holder), region.ptr()};
     simnet::Network* net = net_.get();
     return [net, holder, msg] {
@@ -444,6 +650,7 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
     // Direct slave-to-slave transfer (StoS).  Preferred over master-sourced
     // puts even when the master also holds a copy: its NIC must stay free
     // for control traffic and presends (paper §IV-B2).
+    e.stage_src[node] = holder;
     ForwardMsg msg{region.start, size, e.addr.at(holder), node, dst};
     simnet::Network* net = net_.get();
     stats_.incr("cluster.stos_transfers");
@@ -456,6 +663,7 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
     // Master holds the current version (and either StoS is disabled or no
     // slave has a copy): flush it off master GPUs if needed, then put it
     // straight to the destination.
+    e.stage_src[node] = 0;
     Runtime* master = nodes_[0].rt.get();
     simnet::Network* net = net_.get();
     return [this, master, net, region, node, dst, size] {
@@ -469,7 +677,18 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
           });
     };
   }
-  if (holder < 0) throw std::logic_error("cluster: region valid nowhere");
+  if (holder < 0) {
+    std::string dbg = "cluster: region valid nowhere [start=" + std::to_string(region.start) +
+                      " dst=" + std::to_string(node) + " ver=" + std::to_string(e.version) +
+                      " mver=" + std::to_string(e.master_version) +
+                      " rec=" + std::to_string(e.recovering) + " lost=" + std::to_string(e.lost) +
+                      " valid={";
+    for (int n : e.valid) dbg += std::to_string(n) + ",";
+    dbg += "} staging={";
+    for (const auto& [n, ts] : e.staging_to) dbg += std::to_string(n) + ",";
+    dbg += "} regens=" + std::to_string(e.pending_regens.size()) + "]";
+    throw std::logic_error(dbg);
+  }
 
   // MtoS relay: stage to the master first, then forward from master memory.
   stats_.incr("cluster.mtos_relays");
@@ -477,6 +696,8 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
   std::function<void()> pull_action;
   if (master_pull_needed) {
     e.staging_to.emplace(0, clock_.now());
+    active_stagings_.insert({region.start, 0});
+    e.stage_src[0] = holder;
     PullMsg msg{region.start, size, e.addr.at(holder), region.ptr()};
     simnet::Network* net = net_.get();
     pull_action = [net, holder, msg] {
@@ -484,11 +705,17 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
     };
   }
   // Once home, send it out to `node` (the waiter fires off the master RX
-  // thread with mu_ released).
+  // thread with mu_ released).  If the pull fails permanently, the relay
+  // destination's staging fails with it.
+  e.stage_src[node] = 0;  // effective source is the master once the pull lands
   Runtime* master = nodes_[0].rt.get();
   simnet::Network* net = net_.get();
   region_waiters_.emplace(std::make_pair(region.start, 0),
-                          [this, master, net, region, node, dst, size] {
+                          [this, master, net, region, node, dst, size](bool ok) {
+                            if (!ok) {
+                              fail_staging_async(region, node);
+                              return;
+                            }
                             master->coherence().flush_region(region);
                             stats_.add("cluster.master_tx_bytes", static_cast<double>(size));
                             net->endpoint(0).put(node, dst, region.ptr(), size, nullptr,
@@ -503,12 +730,15 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
 
 void ClusterRuntime::try_send_locked(int node) {
   NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  if (ns.dead) return;
   while (!ns.ready_to_send.empty() && ns.sent < 1 + cfg_.presend) {
     RemoteTaskInfo* info = ns.ready_to_send.front();
     ns.ready_to_send.pop_front();
     --ns.preparing;
     ++ns.sent;
     info->sent_at = clock_.now();
+    info->last_send = info->sent_at;
+    info->send_attempts = 1;
     stats_.add("cluster.stage_latency", info->sent_at - info->dispatched_at);
     RemoteTaskInfo* p = info;
     net_->endpoint(0).am_short(node, kNewTask, &p, sizeof(p));
@@ -516,6 +746,15 @@ void ClusterRuntime::try_send_locked(int node) {
 }
 
 void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
+  const std::uint64_t recv_ticket = info->ticket;
+  // Receipt ack first: stops master-side NEW_TASK retransmission.  Then
+  // dedup — a retransmit whose original arrived must not run the task twice.
+  net_->endpoint(node).am_short(0, kTaskRecv, &recv_ticket, sizeof(recv_ticket));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!nodes_[static_cast<std::size_t>(node)].seen_tickets.insert(recv_ticket).second)
+      return;
+  }
   Runtime& rt = *nodes_[static_cast<std::size_t>(node)].rt;
   TaskDesc d;
   const TaskDesc& master_desc = info->master_task->desc();
@@ -534,31 +773,53 @@ void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
   }
   std::uint64_t ticket = info->ticket;
   simnet::Network* net = net_.get();
-  d.completion_cb = [net, node, ticket] {
+  d.completion_cb = [this, net, node, ticket] {
+    // Remember the DONE until the master acknowledges it, so a lost message
+    // can be re-sent when the failure detector's next ping arrives.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      nodes_[static_cast<std::size_t>(node)].unacked_done.insert(ticket);
+    }
     net->endpoint(node).am_short(0, kTaskDone, &ticket, sizeof(ticket));
   };
   rt.spawn(std::move(d));
 }
 
-void ClusterRuntime::handle_task_done(std::uint64_t ticket) {
-  RemoteTaskInfo* info;
-  Task* t;
+void ClusterRuntime::handle_task_done(int src, std::uint64_t ticket) {
+  RemoteTaskInfo* info = nullptr;
+  Task* t = nullptr;
+  std::vector<std::function<void()>> actions;
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = in_flight_tasks_.find(ticket);
-    assert(it != in_flight_tasks_.end());
-    info = it->second;
-    in_flight_tasks_.erase(it);
-    t = info->master_task;
-    for (const RemoteAccess& ra : info->accesses) {
-      if (ra.copy && writes(ra.mode)) record_write_locked(ra.master_region, t->target_node);
+    // A retired ticket (duplicate DONE, or the node was declared dead and
+    // its work re-executed elsewhere) is ignored: commits are exactly-once.
+    if (it != in_flight_tasks_.end()) {
+      info = it->second;
+      in_flight_tasks_.erase(it);
+      t = info->master_task;
+      const int node = info->target_node;
+      for (const RemoteAccess& ra : info->accesses) {
+        if (ra.copy && writes(ra.mode)) record_write_locked(ra.master_region, node, t);
+      }
+      stats_.add("cluster.exec_latency", clock_.now() - info->sent_at);
+      --nodes_[static_cast<std::size_t>(node)].sent;
+      try_send_locked(node);
+      if (info->regen) {
+        // One redo-log entry replayed: advance (or finish) the chain.
+        NodeDirEntry& e = dir_lookup_locked(info->regen_region);
+        if (!e.pending_regens.empty() && e.pending_regens.front() == t)
+          e.pending_regens.pop_front();
+        advance_recovery_locked(e, actions);
+      }
     }
-    stats_.add("cluster.exec_latency", clock_.now() - info->sent_at);
-    --nodes_[static_cast<std::size_t>(t->target_node)].sent;
-    try_send_locked(t->target_node);
   }
-  delete info;
-  domain_->on_complete(t);
+  // Ack unconditionally: the slave must stop re-sending even if the ticket
+  // was retired on this side.
+  std::uint64_t tk = ticket;
+  net_->endpoint(0).am_short(src, kDoneAck, &tk, sizeof(tk));
+  if (info != nullptr && !info->regen) domain_->on_complete(t);
+  for (auto& a : actions) a();
   comm_mon_.notify_all();
 }
 
@@ -608,45 +869,87 @@ void ClusterRuntime::handle_pull(int self, const void* payload, std::size_t byte
 
 void ClusterRuntime::taskwait_on(const common::Region& r) {
   domain_->wait_on(r);
+  Runtime* master = nodes_[0].rt.get();
   vt::CountLatch latch(clock_);
+  auto stage_cb = [&latch, master](bool ok) {
+    if (!ok)
+      master->record_task_error(std::make_exception_ptr(std::runtime_error(
+          "cluster: taskwait on(...) failed — region lost to node failure")));
+    latch.done();
+  };
   std::vector<std::function<void()>> actions;
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = dir_.find(r.start);
-    if (it != dir_.end() && it->second.value.valid.count(0) == 0) {
-      latch.add();
-      auto action = stage_region_locked(it->second.value.region, 0, [&latch] { latch.done(); });
-      if (action) actions.push_back(std::move(action));
+    if (it != dir_.end()) {
+      NodeDirEntry& e = it->second.value;
+      if (e.lost) {
+        master->record_task_error(std::make_exception_ptr(std::runtime_error(
+            "cluster: taskwait on(...) failed — region lost to node failure")));
+      } else if (e.valid.count(0) == 0 || e.recovering) {
+        latch.add();
+        auto action = stage_region_locked(e.region, 0, stage_cb);
+        if (action) actions.push_back(std::move(action));
+      }
     }
   }
   for (auto& a : actions) a();
   latch.wait();
   nodes_[0].rt->coherence().flush_region(r);
+  master->rethrow_task_error();
 }
 
 void ClusterRuntime::taskwait(bool flush) {
   domain_->wait_all();
+  // Surface task failures from any node (first one wins) — but a dead
+  // node's local errors are noise: its tasks were retried or already failed
+  // with a master-side error.
+  auto surface_errors = [this] {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      bool dead;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        dead = nodes_[i].dead;
+      }
+      if (dead) continue;
+      nodes_[i].rt->rethrow_task_error();
+    }
+  };
   if (!flush) {
-    for (auto& ns : nodes_) ns.rt->rethrow_task_error();
+    surface_errors();
     return;
   }
+  Runtime* master = nodes_[0].rt.get();
   vt::CountLatch latch(clock_);
+  auto stage_cb = [&latch, master](bool ok) {
+    if (!ok)
+      master->record_task_error(std::make_exception_ptr(std::runtime_error(
+          "cluster: taskwait flush failed — region lost to node failure")));
+    latch.done();
+  };
   std::vector<std::function<void()>> actions;
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (auto& [start, entry] : dir_) {
       NodeDirEntry& e = entry.value;
-      if (e.valid.count(0) != 0) continue;
+      if (e.lost) {
+        master->record_task_error(std::make_exception_ptr(std::runtime_error(
+            "cluster: region lost to node failure and not recovered (resilience=" +
+            cfg_.resilience.mode + ")")));
+        continue;
+      }
+      // During recovery the home copy holds the stale replay base — stage
+      // (defers until the chain finishes) rather than trusting valid={0}.
+      if (e.valid.count(0) != 0 && !e.recovering) continue;
       latch.add();
-      auto action = stage_region_locked(e.region, 0, [&latch] { latch.done(); });
+      auto action = stage_region_locked(e.region, 0, stage_cb);
       if (action) actions.push_back(std::move(action));
     }
   }
   for (auto& a : actions) a();
   latch.wait();
   nodes_[0].rt->coherence().flush_all();
-  // Surface task failures from any node (first one wins).
-  for (auto& ns : nodes_) ns.rt->rethrow_task_error();
+  surface_errors();
 }
 
 }  // namespace nanos

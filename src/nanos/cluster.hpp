@@ -28,13 +28,16 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "common/allocator.hpp"
 #include "common/interval_map.hpp"
+#include "nanos/resilience/resilience.hpp"
 #include "nanos/runtime.hpp"
 #include "simnet/simnet.hpp"
 
@@ -58,6 +61,10 @@ struct ClusterConfig {
   /// block distribution, so consecutive tiles land together and later
   /// affinity-scored tasks find coarse-grained locality.
   int rr_chunk = 8;
+  /// Injected network fault schedule (empty: fault-free run).
+  simnet::FaultPlan faults;
+  /// Failure detection/recovery knobs (see resilience/resilience.hpp).
+  ResilienceConfig resilience;
 };
 
 class ClusterRuntime {
@@ -95,6 +102,10 @@ private:
     kForward = 2,    // master -> holder: put region to a third node
     kStageDone = 3,  // destination -> master: a staged region landed
     kPull = 4,       // master -> holder: put region back to master memory
+    kPing = 5,       // master -> slave: liveness probe (lease renewal)
+    kPong = 6,       // slave -> master: probe reply
+    kTaskRecv = 7,   // slave -> master: NEW_TASK received (stops retransmits)
+    kDoneAck = 8,    // master -> slave: TASK_DONE committed (stops resends)
   };
 
   struct NodeDirEntry {
@@ -103,10 +114,36 @@ private:
     std::set<int> valid{0};          // nodes holding the current version
     std::map<int, void*> addr;       // node -> local address of the copy
     std::map<int, double> staging_to;  // in-flight transfer destinations -> issue time
+    /// Source node each in-flight transfer reads from (dst -> src).  A kill
+    /// silently swallows transfers sourced from the dead node; on_node_failure
+    /// re-issues exactly those from surviving holders — no timers involved.
+    std::map<int, int> stage_src;
     /// Destinations waiting for an in-flight copy of this region to land so
     /// they can source from it (tree fan-out instead of serializing on one
     /// holder); only used with slave-to-slave transfers enabled.
     std::vector<int> deferred;
+
+    // -- resilience state (see docs/resilience.md) ---------------------------
+    /// Version held by the region's home copy in master memory.  The
+    /// invariant version == master_version + redo_log.size() always holds:
+    /// the redo log lists, in commit order, the producers of every version
+    /// since the home copy was last current, each with the (region, version)
+    /// pairs it read — enough to replay the chain from the stale home copy
+    /// if all live copies die, and to detect when replay would be unsound.
+    unsigned master_version = 0;
+    struct Redo {
+      Task* task = nullptr;
+      std::vector<std::pair<common::Region, unsigned>> inputs;
+    };
+    std::vector<Redo> redo_log;
+    bool lost = false;        ///< no live copy and regeneration impossible
+    bool recovering = false;  ///< a regeneration chain is replaying
+    std::deque<Task*> pending_regens;   ///< chain tasks not yet re-committed
+    /// Stagings deferred while the region regenerates; run once recovered
+    /// (they re-enter stage_region and fail cleanly if recovery gave up).
+    std::vector<std::function<void()>> recovery_waiters;
+    std::map<int, int> stage_retries;   ///< dst node -> transfer re-issues
+    double recover_started = 0;
   };
 
   struct RemoteAccess {
@@ -124,6 +161,12 @@ private:
     std::vector<RemoteAccess> accesses;
     double dispatched_at = 0;  // staging began
     double sent_at = 0;        // NEW_TASK left the master
+    int target_node = -1;
+    bool regen = false;        // replaying a lost region's redo log
+    common::Region regen_region;  // the region being regenerated
+    bool recv_acked = false;   // slave acknowledged NEW_TASK receipt
+    int send_attempts = 0;
+    double last_send = 0;
   };
 
   struct NodeState {
@@ -142,31 +185,51 @@ private:
     /// flush + put) off the RX thread, which must stay responsive.
     std::unique_ptr<vt::Thread> comm_worker;
     std::deque<std::function<void()>> comm_jobs;  // guarded by owner's mu_
+
+    // -- resilience state ----------------------------------------------------
+    bool dead = false;  ///< declared dead by the failure detector (permanent)
+    /// Slave-side NEW_TASK dedup: tickets already spawned, so a retransmitted
+    /// NEW_TASK (ack lost) does not execute the task twice.
+    std::set<std::uint64_t> seen_tickets;
+    /// Slave-side TASK_DONEs not yet acknowledged by the master; re-sent when
+    /// pinged (piggyback retransmission for a lost TASK_DONE).
+    std::set<std::uint64_t> unacked_done;
   };
 
   // -- master-side logic -----------------------------------------------------
   void on_ready(Task* t, Task* releaser);
   int place_node(Task* t, Task* releaser);
   void comm_loop();
-  /// Starts staging + dispatch of `t` on remote `node`; asynchronous.
-  void dispatch_remote(Task* t, int node);
+  /// Starts staging + dispatch of `t` on remote `node`; asynchronous.  With
+  /// `regen`, the task is a redo-log replay of `regen_region` (bypasses that
+  /// region's recovery deferral; no dependency-domain completion).
+  void dispatch_remote(Task* t, int node, bool regen = false,
+                       common::Region regen_region = {});
   /// Master-local dispatch: pulls any remotely held inputs home first, then
   /// hands the task to node 0's scheduler.
   void dispatch_local(Task* t, int releaser_resource);
   /// Ensures `node` eventually holds the current version of `region`.
-  /// `done` fires (from an AM handler) once it does.  mu_ must be held; the
+  /// `done(ok)` fires (from an AM handler) once it does — or with ok=false
+  /// when the region is lost or the transfer gave up.  mu_ must be held; the
   /// returned action — wire operations that must not run under the lock —
   /// is to be invoked by the caller after releasing mu_ (may be null when
-  /// an in-flight transfer was joined).
+  /// an in-flight transfer was joined or the staging was deferred).
+  /// `for_recovery` bypasses the recovering-region deferral (used by the
+  /// regeneration chain itself, which stages the stale home base copy).
   std::function<void()> stage_region_locked(const common::Region& region, int node,
-                                            std::function<void()> done);
+                                            std::function<void(bool)> done,
+                                            bool for_recovery = false);
+  /// Lock-taking wrapper around stage_region_locked that also runs the wire
+  /// action; used by deferred/retried stagings re-entering from callbacks.
+  void stage_region_async(const common::Region& region, int node,
+                          std::function<void(bool)> done, bool for_recovery = false);
   /// Builds the wire operation that moves `region` to `node` from wherever a
   /// current copy lives.  mu_ held; the returned action runs without it.
   std::function<void()> make_wire_action_locked(NodeDirEntry& e, const common::Region& region,
                                                 int node);
   void* node_addr_locked(NodeDirEntry& e, int node);
   NodeDirEntry& dir_lookup_locked(const common::Region& r);
-  void record_write_locked(const common::Region& r, int node);
+  void record_write_locked(const common::Region& r, int node, Task* producer = nullptr);
   /// Region became valid on `node`: updates the directory and collects the
   /// staged-waiter callbacks and re-issued deferred transfers into `out`
   /// (run them after releasing mu_).
@@ -174,9 +237,45 @@ private:
 
   // -- handlers (registered per node; run on that node's RX thread) ----------
   void handle_new_task(int node, const RemoteTaskInfo* info);
-  void handle_task_done(std::uint64_t ticket);
+  void handle_task_done(int src, std::uint64_t ticket);
   void handle_forward(int self, int src, const void* payload, std::size_t bytes);
   void handle_pull(int self, const void* payload, std::size_t bytes);
+
+  // -- resilience (implemented in resilience/recovery.cpp) -------------------
+  friend class ResilienceManager;
+  bool node_alive_locked(int node) const {
+    return !nodes_[static_cast<std::size_t>(node)].dead;
+  }
+  /// Pings every live slave (resilience monitor thread; no lock held).
+  void send_pings();
+  /// Lease expired on `node`: purge its work and directory presence, then
+  /// retry tasks / regenerate lost regions (mode retry) or fail them with a
+  /// recorded error (mode off).  Idempotent; a node never rejoins.
+  void on_node_failure(int node);
+  /// Periodic retransmit scan: re-issues timed-out region transfers and
+  /// unacknowledged NEW_TASK sends (bounded; fails the work past the bound).
+  void monitor_tick();
+  /// Re-places a task that lost its node (bounded by max_task_retries).
+  void retry_or_fail_task(Task* t);
+  /// Rebuilds `e` by replaying its redo log from the master's stale home
+  /// copy; falls back to mark_lost_locked when the replay would be unsound.
+  void schedule_recovery_locked(NodeDirEntry& e, std::vector<std::function<void()>>& actions);
+  /// Dispatches the next pending regeneration (or completes the recovery).
+  void advance_recovery_locked(NodeDirEntry& e, std::vector<std::function<void()>>& actions);
+  int pick_regen_node_locked();
+  /// Marks `e` permanently lost: records a master error and fails every
+  /// waiter so dependents surface the error instead of hanging.
+  void mark_lost_locked(NodeDirEntry& e, std::vector<std::function<void()>>& actions);
+  /// Fails the in-flight staging of `e` to `node`: waiters fire with
+  /// ok=false, deferred destinations re-issue from surviving holders.
+  void fail_staging_locked(NodeDirEntry& e, int node, std::vector<std::function<void()>>& out);
+  void fail_staging_async(const common::Region& region, int node);
+  /// Records a master-side error for `t`; the caller completes it in the
+  /// dependency domain after releasing mu_.
+  void fail_task_locked(Task* t, const std::string& why, std::vector<Task*>& to_complete);
+  /// A dispatch whose staging failed: releases its window slot and fails the
+  /// task (or gives up on the recovery chain it belonged to).
+  void abort_dispatch(RemoteTaskInfo* info);
 
   /// Sends queued ready-to-send tasks to `node` while its send window
   /// (1 + presend) has room.  mu_ held.
@@ -199,14 +298,27 @@ private:
   /// the region count grows (same structure as the node-local directories).
   common::IntervalMap<NodeDirEntry> dir_;
   std::map<std::uint64_t, RemoteTaskInfo*> in_flight_tasks_;  // ticket -> info
-  /// (region start, node) -> callbacks to fire when that copy lands.
-  std::multimap<std::pair<std::uintptr_t, int>, std::function<void()>> region_waiters_;
+  /// Owns every RemoteTaskInfo until shutdown: closures and wire messages
+  /// hold raw pointers, and a retired ticket (node death, duplicate DONE)
+  /// must never leave one dangling.  Same retention policy as Runtime's
+  /// task list.
+  std::deque<std::unique_ptr<RemoteTaskInfo>> info_pool_;
+  /// (region start, node) -> callbacks to fire when that copy lands (true)
+  /// or the transfer failed permanently (false).
+  std::multimap<std::pair<std::uintptr_t, int>, std::function<void(bool)>> region_waiters_;
+  /// In-flight (region start, dst node) transfers, so the retransmit scan
+  /// doesn't walk the whole directory every heartbeat.
+  std::set<std::pair<std::uintptr_t, int>> active_stagings_;
   std::uint64_t next_ticket_ = 1;
   int rr_cursor_ = 0;
   std::uint64_t holder_rr_ = 0;  // rotates transfer sources among copy holders
+  std::uint64_t regen_rr_ = 0;   // rotates regeneration chains over live slaves
   bool shutdown_ = false;
 
   std::vector<vt::Thread> comm_threads_;
+  /// Declared last: its monitor thread pokes everything above, and is
+  /// stopped first in the destructor.
+  std::unique_ptr<ResilienceManager> resilience_;
 };
 
 }  // namespace nanos

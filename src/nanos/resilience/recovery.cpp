@@ -1,0 +1,457 @@
+// Node-failure recovery for the cluster runtime (see docs/resilience.md).
+//
+// Invariants this file maintains:
+//
+//  * Exactly-once commit.  A task's writes enter the directory only when its
+//    TASK_DONE is processed against a live ticket; purging a ticket (node
+//    death) before re-executing the task elsewhere means a straggler DONE
+//    from a falsely-declared node is ignored, never double-committed.
+//  * No hang.  Every code path that abandons work fires its waiters with
+//    ok=false and completes the affected tasks in the dependency domain with
+//    a recorded master-side error, so taskwait always returns — and throws.
+//  * Replay soundness.  A lost region is rebuilt by replaying its redo log
+//    from the master's stale home copy.  Each redo entry recorded the
+//    versions of the inputs its task read; replay only proceeds while those
+//    versions are still reproducible (current, or themselves recovering to
+//    the same version).  Anything else marks the region permanently lost —
+//    a clean error, not silent corruption.
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "nanos/cluster.hpp"
+
+namespace nanos {
+
+void ClusterRuntime::send_pings() {
+  for (int n = 1; n < cfg_.nodes; ++n) {
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      dead = nodes_[static_cast<std::size_t>(n)].dead;
+    }
+    if (dead) continue;
+    int self = 0;
+    net_->endpoint(0).am_short(n, kPing, &self, sizeof(self));
+  }
+}
+
+void ClusterRuntime::fail_task_locked(Task* t, const std::string& why,
+                                      std::vector<Task*>& to_complete) {
+  stats_.incr("res.tasks_failed");
+  nodes_[0].rt->record_task_error(std::make_exception_ptr(std::runtime_error(why)));
+  to_complete.push_back(t);
+}
+
+void ClusterRuntime::retry_or_fail_task(Task* t) {
+  if (cfg_.resilience.retry() && ++t->retries <= cfg_.resilience.max_task_retries) {
+    stats_.incr("res.tasks_retried");
+    on_ready(t, nullptr);  // re-place on a surviving node
+    return;
+  }
+  std::vector<Task*> failures;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fail_task_locked(t, "cluster: task '" + t->label() + "' lost to node failure (resilience=" +
+                            cfg_.resilience.mode + ")", failures);
+  }
+  for (Task* f : failures) domain_->on_complete(f);
+}
+
+void ClusterRuntime::fail_staging_async(const common::Region& region, int node) {
+  std::vector<std::function<void()>> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = dir_.find(region.start);
+    if (it != dir_.end()) fail_staging_locked(it->second.value, node, out);
+  }
+  for (auto& a : out) a();
+}
+
+void ClusterRuntime::fail_staging_locked(NodeDirEntry& e, int node,
+                                         std::vector<std::function<void()>>& out) {
+  e.staging_to.erase(node);
+  e.stage_src.erase(node);
+  active_stagings_.erase({e.region.start, node});
+  e.stage_retries.erase(node);
+  stats_.incr("res.stagings_failed");
+  auto range = region_waiters_.equal_range({e.region.start, node});
+  for (auto w = range.first; w != range.second; ++w)
+    out.push_back([cb = std::move(w->second)] { cb(false); });
+  region_waiters_.erase(range.first, range.second);
+  // Deferred destinations were waiting on this copy; re-issue them directly
+  // from the surviving holders instead of abandoning them — unless no source
+  // survives at all, in which case they fail too.
+  if (!e.deferred.empty()) {
+    std::vector<int> deferred = std::move(e.deferred);
+    e.deferred.clear();
+    const double now = clock_.now();
+    for (int d : deferred) {
+      if (!node_alive_locked(d)) continue;
+      if (e.valid.empty()) {
+        fail_staging_locked(e, d, out);  // deferred list is empty: no recursion
+        continue;
+      }
+      auto ds = e.staging_to.find(d);
+      if (ds != e.staging_to.end()) ds->second = now;
+      auto a = make_wire_action_locked(e, e.region, d);
+      if (a) out.push_back(std::move(a));
+    }
+  }
+}
+
+void ClusterRuntime::mark_lost_locked(NodeDirEntry& e, std::vector<std::function<void()>>& actions) {
+  if (e.lost) return;
+  e.lost = true;
+  e.recovering = false;
+  e.pending_regens.clear();
+  e.redo_log.clear();
+  e.deferred.clear();  // no sound source exists; their stagings fail below
+  stats_.incr("res.regions_unrecoverable");
+  LOG_WARN("resilience: region @", e.region.start, " (", e.region.size,
+           " bytes) lost permanently");
+  nodes_[0].rt->record_task_error(std::make_exception_ptr(std::runtime_error(
+      "cluster: region lost to node failure and not recoverable (resilience=" +
+      cfg_.resilience.mode + ")")));
+  // Deferred stagings re-enter stage_region, hit e.lost, and fail cleanly.
+  for (auto& w : e.recovery_waiters) actions.push_back(std::move(w));
+  e.recovery_waiters.clear();
+  // In-flight transfers of this region have no sound source any more.
+  std::vector<int> dsts;
+  for (const auto& [n, ts] : e.staging_to) dsts.push_back(n);
+  for (int n : dsts) fail_staging_locked(e, n, actions);
+}
+
+int ClusterRuntime::pick_regen_node_locked() {
+  for (int k = 1; k < cfg_.nodes; ++k) {
+    int n = 1 + static_cast<int>(regen_rr_++ % static_cast<std::uint64_t>(cfg_.nodes - 1));
+    if (node_alive_locked(n)) return n;
+  }
+  return -1;
+}
+
+void ClusterRuntime::advance_recovery_locked(NodeDirEntry& e,
+                                             std::vector<std::function<void()>>& actions) {
+  if (!e.recovering) return;
+  if (e.pending_regens.empty()) {
+    e.recovering = false;
+    stats_.incr("res.regions_recovered");
+    stats_.add("res.recovery_vt", clock_.now() - e.recover_started);
+    if (TraceRecorder* tr = nodes_[0].rt->trace())
+      tr->record("resilience", "master", "recover", e.recover_started);
+    for (auto& w : e.recovery_waiters) actions.push_back(std::move(w));
+    e.recovery_waiters.clear();
+    return;
+  }
+  Task* t = e.pending_regens.front();
+  int node = pick_regen_node_locked();
+  if (node < 0) {
+    // No surviving slave to replay on.  Master-local replay would need the
+    // chain's inputs home and a private dispatch path; out of scope — give
+    // up cleanly instead.
+    mark_lost_locked(e, actions);
+    return;
+  }
+  common::Region r = e.region;
+  actions.push_back([this, t, node, r] { dispatch_remote(t, node, /*regen=*/true, r); });
+}
+
+void ClusterRuntime::schedule_recovery_locked(NodeDirEntry& e,
+                                              std::vector<std::function<void()>>& actions) {
+  // Full chain to replay: producers committed since the home copy was
+  // current, plus whatever an interrupted recovery still had pending.
+  std::deque<Task*> chain;
+  bool sound = true;
+  for (const NodeDirEntry::Redo& rd : e.redo_log) {
+    chain.push_back(rd.task);
+    for (const auto& [in_region, in_version] : rd.inputs) {
+      auto it = dir_.find(in_region.start);
+      if (it == dir_.end()) {
+        if (in_version != 0) sound = false;
+        continue;
+      }
+      const NodeDirEntry& ie = it->second.value;
+      // The input's version once any pending regeneration of *it* finishes.
+      // version + pending_regens.size() holds in every state — an idle entry
+      // has no pending regens, and a lost-but-unscheduled entry satisfies
+      // version == master_version + redo_log.size(), which its own rollback
+      // replays back to the same number.
+      const unsigned projected =
+          ie.version + static_cast<unsigned>(ie.pending_regens.size());
+      if (ie.lost || projected != in_version) sound = false;
+    }
+  }
+  for (Task* t : e.pending_regens) chain.push_back(t);
+  if (!sound) {
+    // An input was overwritten (or itself lost beyond recovery) since the
+    // producer ran: replaying would compute different data.
+    mark_lost_locked(e, actions);
+    return;
+  }
+  if (!e.recovering) {
+    e.recovering = true;
+    e.recover_started = clock_.now();
+    stats_.incr("res.recoveries");
+  }
+  e.redo_log.clear();
+  e.pending_regens = std::move(chain);
+  // In-flight consumer stagings of this region are unsound now (their source
+  // died, or re-issuing would ship the stale base): convert them into
+  // recovery waiters that restage once the chain finished.
+  std::vector<std::pair<int, std::function<void(bool)>>> converted;
+  for (const auto& [d, ts] : e.staging_to) {
+    auto range = region_waiters_.equal_range({e.region.start, d});
+    for (auto w = range.first; w != range.second; ++w)
+      converted.emplace_back(d, std::move(w->second));
+    region_waiters_.erase(range.first, range.second);
+    active_stagings_.erase({e.region.start, d});
+  }
+  e.staging_to.clear();
+  e.stage_src.clear();
+  e.stage_retries.clear();
+  e.deferred.clear();
+  const common::Region region = e.region;
+  for (auto& [d, cb] : converted) {
+    const int dst = d;
+    e.recovery_waiters.push_back([this, region, dst, cb2 = std::move(cb)] {
+      stage_region_async(region, dst, cb2);
+    });
+  }
+  // Roll back to the stale home base; each replayed commit re-advances the
+  // version and rebuilds the redo log.
+  e.version = e.master_version;
+  e.valid.clear();
+  e.valid.insert(0);
+  advance_recovery_locked(e, actions);
+}
+
+void ClusterRuntime::abort_dispatch(RemoteTaskInfo* info) {
+  std::vector<std::function<void()>> actions;
+  std::vector<Task*> failures;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = in_flight_tasks_.find(info->ticket);
+    if (it == in_flight_tasks_.end()) return;  // already purged by a node death
+    in_flight_tasks_.erase(it);
+    --nodes_[static_cast<std::size_t>(info->target_node)].preparing;
+    if (info->regen) {
+      auto dit = dir_.find(info->regen_region.start);
+      if (dit != dir_.end()) mark_lost_locked(dit->second.value, actions);
+    } else {
+      fail_task_locked(info->master_task,
+                       "cluster: staging failed for task '" + info->master_task->label() +
+                           "' after node failure", failures);
+    }
+  }
+  for (auto& a : actions) a();
+  for (Task* f : failures) domain_->on_complete(f);
+  comm_mon_.notify_all();
+}
+
+void ClusterRuntime::on_node_failure(int node) {
+  std::vector<std::function<void()>> actions;
+  std::vector<Task*> retries;
+  std::vector<common::Region> regen_restarts;
+  const bool retry = cfg_.resilience.retry();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+    if (ns.dead) return;
+    ns.dead = true;
+    stats_.incr("res.failures_detected");
+    const double now = clock_.now();
+    for (const auto& k : net_->fault_plan().kills) {
+      if (k.node == node && k.time <= now) stats_.add("res.detect_latency", now - k.time);
+    }
+    if (TraceRecorder* tr = nodes_[0].rt->trace())
+      tr->record("resilience", "master", "node" + std::to_string(node) + ".failure", now);
+
+    // 1. Reclaim every task bound to the node: queued, staging, ready to
+    //    send, or sent-but-unreported.  Their tickets retire here — a
+    //    straggler TASK_DONE (false-positive death) is ignored later.
+    for (Task* t : ns.queue) retries.push_back(t);
+    ns.queue.clear();
+    std::vector<RemoteTaskInfo*> purged;
+    for (auto it = in_flight_tasks_.begin(); it != in_flight_tasks_.end();) {
+      if (it->second->target_node == node) {
+        purged.push_back(it->second);
+        it = in_flight_tasks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (RemoteTaskInfo* info : purged) {
+      if (info->regen)
+        regen_restarts.push_back(info->regen_region);
+      else
+        retries.push_back(info->master_task);
+    }
+    ns.ready_to_send.clear();
+    ns.preparing = 0;
+    ns.sent = 0;
+    ns.comm_jobs.clear();
+
+    // 2. Waiters for copies that were landing on the dead node dissolve —
+    //    the dispatches they served are being retried or failed.
+    for (auto it = region_waiters_.begin(); it != region_waiters_.end();) {
+      if (it->first.second == node)
+        it = region_waiters_.erase(it);
+      else
+        ++it;
+    }
+
+    // 3. Directory purge: the node holds nothing, sources nothing, and any
+    //    region whose only valid copy it held is regenerated or declared
+    //    lost.  (Transfers *sourced* from the dead node to live destinations
+    //    are caught by monitor_tick's stage timeout, which re-issues them
+    //    from the purged — hence surviving — holder set.)
+    for (auto& [start, slot] : dir_) {
+      NodeDirEntry& e = slot.value;
+      e.valid.erase(node);
+      e.addr.erase(node);
+      if (e.staging_to.erase(node) > 0) active_stagings_.erase({e.region.start, node});
+      e.stage_src.erase(node);
+      e.stage_retries.erase(node);
+      e.deferred.erase(std::remove(e.deferred.begin(), e.deferred.end(), node),
+                       e.deferred.end());
+      if (e.version > 0 && e.valid.empty() && !e.lost) {
+        stats_.incr("res.regions_lost");
+        if (retry)
+          schedule_recovery_locked(e, actions);
+        else
+          mark_lost_locked(e, actions);
+        continue;  // stagings were converted to recovery waiters (or failed)
+      }
+      // Transfers the dead node was sourcing never arrive; re-issue each one
+      // from a surviving holder (the purge above removed the dead node, so
+      // make_wire only considers sound sources).  This is the only transfer
+      // loss a kill can cause — no timers needed.
+      std::vector<int> orphaned;
+      for (const auto& [d, src] : e.stage_src) {
+        if (src == node) orphaned.push_back(d);
+      }
+      for (int d : orphaned) {
+        if (!node_alive_locked(d)) continue;
+        if (e.valid.count(d) != 0) {
+          // The destination committed a fresher copy itself mid-flight: the
+          // transfer is moot, settle its waiters as landed.
+          staged_locked(e.region, d, actions);
+          continue;
+        }
+        stats_.incr("res.msg_retries");
+        e.staging_to[d] = now;
+        if (!retry || e.valid.empty()) {
+          fail_staging_locked(e, d, actions);
+          continue;
+        }
+        auto a = make_wire_action_locked(e, e.region, d);
+        if (a) actions.push_back(std::move(a));
+      }
+    }
+
+    // 4. Regeneration chains that were executing on the dead node and still
+    //    have a live base copy (rolled back, first replay in flight): move
+    //    them to another node.  Chains whose partial state died entirely
+    //    were already rescheduled by the purge above.
+    for (const common::Region& r : regen_restarts) {
+      auto it = dir_.find(r.start);
+      if (it == dir_.end()) continue;
+      NodeDirEntry& e = it->second.value;
+      if (e.recovering && !e.valid.empty()) advance_recovery_locked(e, actions);
+    }
+  }
+  for (auto& a : actions) a();
+  for (Task* t : retries) retry_or_fail_task(t);
+  comm_mon_.notify_all();
+  worker_mon_.notify_all();
+}
+
+void ClusterRuntime::monitor_tick() {
+  const ResilienceConfig& rc = cfg_.resilience;
+  // Timer-based retransmission only makes sense when individual messages can
+  // vanish (drop/delay models).  In a fault-free or kill-only simnet a
+  // message from a live node always arrives — under load (NIC queues deep
+  // with bulk puts) a fixed deadline can only misfire, and the spurious
+  // duplicates make the congestion worse.  Kill-induced transfer loss is
+  // handled source-exactly in on_node_failure via stage_src instead.
+  if (!net_->fault_plan().lossy()) return;
+  const double now = clock_.now();
+  std::vector<std::function<void()>> actions;
+  std::vector<Task*> failures;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // 1. Region transfers silent past the stage timeout: re-issue from the
+    //    (purged, so surviving) holder set, a bounded number of times.  A
+    //    duplicate arrival is idempotent — staged_locked tolerates it.
+    //    The deadline scales with the modelled transfer time so a slow bulk
+    //    put is not mistaken for a lost one (margin covers NIC queueing).
+    std::vector<std::pair<std::uintptr_t, int>> expired;
+    for (const auto& key : active_stagings_) {
+      auto it = dir_.find(key.first);
+      if (it == dir_.end()) continue;
+      const NodeDirEntry& de = it->second.value;
+      auto st = de.staging_to.find(key.second);
+      if (st == de.staging_to.end()) continue;
+      const double expect =
+          cfg_.link.latency + static_cast<double>(de.region.size) / cfg_.link.bandwidth;
+      if (now - st->second > rc.effective_stage_timeout() + 4.0 * expect)
+        expired.push_back(key);
+    }
+    for (const auto& key : expired) {
+      auto it = dir_.find(key.first);
+      if (it == dir_.end()) continue;
+      NodeDirEntry& e = it->second.value;
+      const int dst = key.second;
+      int& tries = e.stage_retries[dst];
+      if (!rc.retry() || ++tries > rc.max_task_retries) {
+        fail_staging_locked(e, dst, actions);
+        continue;
+      }
+      stats_.incr("res.msg_retries");
+      e.staging_to[dst] = now;
+      // If the destination sat in the deferred list (waiting on a transfer
+      // that never completed), re-issue directly instead.
+      e.deferred.erase(std::remove(e.deferred.begin(), e.deferred.end(), dst),
+                       e.deferred.end());
+      auto a = make_wire_action_locked(e, e.region, dst);
+      if (a) actions.push_back(std::move(a));
+    }
+
+    // 2. NEW_TASK sends with no receipt ack: retransmit with exponential
+    //    backoff (the slave dedups by ticket).
+    std::vector<RemoteTaskInfo*> give_up;
+    for (auto& [ticket, info] : in_flight_tasks_) {
+      if (info->last_send <= 0 || info->recv_acked) continue;
+      if (nodes_[static_cast<std::size_t>(info->target_node)].dead) continue;
+      const int shift = std::min(info->send_attempts > 0 ? info->send_attempts - 1 : 0, 6);
+      const double base = std::max(rc.effective_ack_timeout(), 8.0 * cfg_.link.latency);
+      if (now - info->last_send <= base * (1 << shift)) continue;
+      if (!rc.retry() || info->send_attempts > rc.max_task_retries + 1) {
+        give_up.push_back(info);
+        continue;
+      }
+      stats_.incr("res.msg_retries");
+      ++info->send_attempts;
+      info->last_send = now;
+      RemoteTaskInfo* p = info;
+      const int dst = info->target_node;
+      actions.push_back([this, p, dst] {
+        net_->endpoint(0).am_short(dst, kNewTask, &p, sizeof(p));
+      });
+    }
+    for (RemoteTaskInfo* info : give_up) {
+      in_flight_tasks_.erase(info->ticket);
+      --nodes_[static_cast<std::size_t>(info->target_node)].sent;
+      try_send_locked(info->target_node);
+      fail_task_locked(info->master_task,
+                       "cluster: NEW_TASK for '" + info->master_task->label() +
+                           "' repeatedly lost (resilience=" + rc.mode + ")", failures);
+    }
+  }
+  for (auto& a : actions) a();
+  for (Task* t : failures) domain_->on_complete(t);
+  if (!failures.empty()) comm_mon_.notify_all();
+}
+
+}  // namespace nanos

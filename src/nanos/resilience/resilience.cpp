@@ -1,0 +1,82 @@
+#include "nanos/resilience/resilience.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "nanos/cluster.hpp"
+
+namespace nanos {
+
+ResilienceConfig ResilienceConfig::from(const common::Config& c) {
+  ResilienceConfig r;
+  r.mode = c.get_string("resilience", r.mode);
+  if (r.mode != "off" && r.mode != "retry")
+    throw std::invalid_argument("resilience: unknown mode '" + r.mode +
+                                "' (expected off|retry)");
+  r.max_task_retries = static_cast<int>(c.get_int("max_task_retries", r.max_task_retries));
+  r.heartbeat_period = c.get_double("heartbeat_period", r.heartbeat_period);
+  r.node_lease = c.get_double("node_lease", r.node_lease);
+  r.stage_timeout = c.get_double("stage_timeout", r.stage_timeout);
+  r.ack_timeout = c.get_double("ack_timeout", r.ack_timeout);
+  return r;
+}
+
+ResilienceManager::ResilienceManager(ClusterRuntime& rt, vt::Clock& clock, int nodes,
+                                     ResilienceConfig cfg)
+    : rt_(rt), clock_(clock), cfg_(std::move(cfg)), mon_(clock),
+      last_pong_(static_cast<std::size_t>(nodes), 0.0),
+      declared_(static_cast<std::size_t>(nodes), 0) {}
+
+ResilienceManager::~ResilienceManager() { stop(); }
+
+void ResilienceManager::start() {
+  if (thread_ || last_pong_.size() < 2) return;
+  thread_ = std::make_unique<vt::Thread>(clock_, "resilience.monitor",
+                                         [this] { monitor_loop(); }, /*service=*/true);
+}
+
+void ResilienceManager::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  mon_.notify_all();
+  if (thread_) thread_->join();
+}
+
+void ResilienceManager::on_alive(int node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (node >= 0 && node < static_cast<int>(last_pong_.size()))
+    last_pong_[static_cast<std::size_t>(node)] = clock_.now();
+}
+
+void ResilienceManager::monitor_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Leases start at thread launch: a slave that never answers anything is
+  // declared dead one lease after startup.
+  for (auto& t : last_pong_) t = clock_.now();
+  for (;;) {
+    mon_.wait_for(lk, cfg_.heartbeat_period, [&] { return stop_; });
+    if (stop_) return;
+    const double now = clock_.now();
+    std::vector<int> expired;
+    for (int n = 1; n < static_cast<int>(last_pong_.size()); ++n) {
+      if (declared_[static_cast<std::size_t>(n)]) continue;
+      if (now - last_pong_[static_cast<std::size_t>(n)] > cfg_.node_lease) {
+        declared_[static_cast<std::size_t>(n)] = 1;
+        expired.push_back(n);
+      }
+    }
+    lk.unlock();
+    for (int n : expired) {
+      LOG_WARN("resilience: node ", n, " lease expired at t=", now, " — declaring dead");
+      rt_.on_node_failure(n);
+    }
+    rt_.monitor_tick();
+    rt_.send_pings();
+    lk.lock();
+  }
+}
+
+}  // namespace nanos

@@ -54,6 +54,14 @@ Runtime::Runtime(vt::Clock& clock, RuntimeConfig cfg)
       cfg_.host_memcpy_bandwidth, stats_, cfg_.eviction_overhead);
   coherence_->set_trace(trace_.get());
 
+  // Injected device faults (kernel aborts, failed copies) surface exactly
+  // like task-body exceptions: captured here, rethrown at the next taskwait.
+  for (int g = 0; g < platform_.device_count(); ++g) {
+    platform_.device(g).set_fault_handler([this](const simcuda::DeviceError& e) {
+      record_task_error(std::make_exception_ptr(e));
+    });
+  }
+
   std::vector<DeviceKind> kinds;
   for (int i = 0; i < cfg_.smp_workers; ++i) kinds.push_back(DeviceKind::kSmp);
   for (int g = 0; g < platform_.device_count(); ++g) kinds.push_back(DeviceKind::kCuda);

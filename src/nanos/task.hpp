@@ -141,6 +141,8 @@ public:
   int resource = -1;
   /// Cluster node chosen by the master's scheduler; 0 = local.
   int target_node = 0;
+  /// Times this task was re-placed after a node failure (resilience=retry).
+  int retries = 0;
 
   /// Lazily created domain for this task's children (nested parallelism).
   std::unique_ptr<DependencyDomain> child_domain;

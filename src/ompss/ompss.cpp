@@ -17,6 +17,7 @@ nanos::ClusterConfig cluster_config_from(const common::Config& c) {
   cfg.segment_bytes = c.get_size("segment_mb", 256) << 20;
   cfg.link.bandwidth = c.get_double("net_bw", cfg.link.bandwidth);
   cfg.link.latency = c.get_double("net_latency", cfg.link.latency);
+  cfg.resilience = nanos::ResilienceConfig::from(c);
   return cfg;
 }
 }  // namespace

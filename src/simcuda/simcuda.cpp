@@ -109,10 +109,44 @@ void Device::enqueue(Stream& s, std::shared_ptr<detail::Op> op, bool blocking) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (shutdown_) throw std::logic_error("simcuda: enqueue after shutdown");
+    // Fault injection bookkeeping: ops are numbered at enqueue (deterministic
+    // w.r.t. submission order); the matching op fails on its engine.
+    if (op->kind == detail::Op::Kind::kKernel) {
+      if (kernel_seq_++ == faults_.abort_kernel) {
+        op->faulty = true;
+        op->fault_what = "simcuda: injected kernel abort";
+      }
+    } else if (op->kind == detail::Op::Kind::kCopyH2D ||
+               op->kind == detail::Op::Kind::kCopyD2H) {
+      if (copy_seq_++ == faults_.fail_copy) {
+        op->faulty = true;
+        op->fault_what = "simcuda: injected async-copy failure";
+      }
+    }
     s.queue_.push_back(op);
   }
   work_mon_.notify_all();
   if (blocking) op->done.wait();
+}
+
+void Device::inject_faults(const DeviceFaults& f) {
+  std::lock_guard<std::mutex> lk(mu_);
+  faults_ = f;
+}
+
+void Device::set_fault_handler(std::function<void(const DeviceError&)> h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_cb_ = std::move(h);
+}
+
+std::uint64_t Device::kernels_enqueued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return kernel_seq_;
+}
+
+std::uint64_t Device::copies_enqueued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return copy_seq_;
 }
 
 void Device::memcpy_h2d_async(Stream& s, void* dst_dev, const void* src_host, std::size_t bytes) {
@@ -250,7 +284,21 @@ void Device::engine_loop(detail::Op::Kind kind) {
     lk.unlock();
 
     if (op->duration > 0) platform_.clock().sleep_for(op->duration);
-    if (op->payload) op->payload();
+    if (op->faulty) {
+      // The op occupied the engine but its effects never happen: an aborted
+      // kernel ran no body, a failed copy moved no bytes.  Report and move
+      // on — the engine itself survives.
+      stats_.incr("faults_injected");
+      std::function<void(const DeviceError&)> cb;
+      {
+        std::lock_guard<std::mutex> flk(mu_);
+        cb = fault_cb_;
+      }
+      if (cb) cb(DeviceError(op->fault_what != nullptr ? op->fault_what
+                                                       : "simcuda: injected device fault"));
+    } else {
+      if (op->payload) op->payload();
+    }
     if (op->event != nullptr) op->event->complete(platform_.clock().now());
 
     lk.lock();

@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,25 @@ struct KernelCost {
   double bytes = 0.0;
 };
 
+/// Injected device faults (the resilience subsystem's device-level fault
+/// model).  Indices are 0-based counts over the device's lifetime; the
+/// matching operation occupies its engine for the full modelled duration and
+/// then fails: a faulted kernel's body never runs, a faulted copy moves no
+/// bytes.  The registered fault handler is invoked from the engine thread —
+/// the engine itself survives (CUDA's sticky-error model is left to the
+/// layer above).
+struct DeviceFaults {
+  static constexpr std::uint64_t kNever = ~0ull;
+  std::uint64_t abort_kernel = kNever;  ///< which kernel launch aborts
+  std::uint64_t fail_copy = kNever;     ///< which (h2d or d2h) copy fails
+};
+
+/// Reported to the device fault handler when an injected fault fires.
+class DeviceError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
 using KernelFn = std::function<void()>;
 
 class Device;
@@ -75,6 +95,8 @@ struct Op {
   std::function<void()> payload;  // real work: memcpy / kernel body / callback
   simcuda::Event* event = nullptr;
   bool claimed = false;        // an engine is executing it
+  bool faulty = false;         // injected fault: occupy the engine, skip payload
+  const char* fault_what = nullptr;
   /// Copies from/to non-page-locked host memory go through the kernel engine:
   /// they cannot overlap kernel execution (CUDA stages them synchronously),
   /// which is why the runtime's pinned buffers + overlap option matter.
@@ -167,6 +189,15 @@ public:
   /// Blocks until all work on all streams of this device completed.
   void synchronize();
 
+  /// Installs an injected-fault schedule (see DeviceFaults).  May be called
+  /// at any point; indices count operations enqueued since device creation.
+  void inject_faults(const DeviceFaults& f);
+  /// Registers the handler invoked (from an engine thread) when an injected
+  /// fault fires.  Register before traffic starts.
+  void set_fault_handler(std::function<void(const DeviceError&)> h);
+  std::uint64_t kernels_enqueued() const;
+  std::uint64_t copies_enqueued() const;
+
   common::Stats& stats() { return stats_; }
   Platform& platform() { return platform_; }
 
@@ -193,6 +224,12 @@ private:
   Stream* default_stream_ = nullptr;
   bool shutdown_ = false;
   std::size_t rr_cursor_ = 0;  // round-robin fairness over streams
+
+  // Fault injection (guarded by mu_).
+  DeviceFaults faults_;
+  std::uint64_t kernel_seq_ = 0;
+  std::uint64_t copy_seq_ = 0;
+  std::function<void(const DeviceError&)> fault_cb_;
 
   common::Stats stats_;
 

@@ -1,5 +1,6 @@
 #include "simnet/simnet.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -7,6 +8,23 @@
 #include "common/log.hpp"
 
 namespace simnet {
+
+namespace {
+
+// splitmix64: the standard 64-bit mixer — enough entropy to decorrelate the
+// per-message fault rolls while staying a pure function of its input.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Endpoint
@@ -29,6 +47,34 @@ void Endpoint::stop() {
   rx_mon_.notify_all();
   if (tx_thread_.joinable()) tx_thread_.join();
   if (rx_thread_.joinable()) rx_thread_.join();
+}
+
+void Endpoint::kill() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) return;
+    dead_ = true;
+    // Everything queued dies with the NIC: no transmissions, no deliveries,
+    // no completion callbacks.  Messages an engine already popped were "on
+    // the wire" at the instant of death and still go through.
+    tx_shorts_.clear();
+    tx_bulk_.clear();
+    rx_shorts_.clear();
+    rx_bulk_.clear();
+  }
+  stats_.incr("killed");
+  tx_mon_.notify_all();
+  rx_mon_.notify_all();
+}
+
+void Endpoint::degrade(double bandwidth_factor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  bw_scale_ = bandwidth_factor > 0 ? bandwidth_factor : 1.0;
+}
+
+bool Endpoint::dead() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dead_;
 }
 
 void Endpoint::register_handler(int id, AmHandler handler) {
@@ -74,7 +120,19 @@ void Endpoint::put(int dst, void* dst_addr, const void* src, std::size_t bytes,
 void Endpoint::enqueue_tx(MessagePtr m) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (shutdown_) throw std::logic_error("simnet: send after shutdown");
+    if (dead_) {
+      // A dead node's sends vanish silently — callers cannot observe their
+      // own death, the failure detector on the other side must.
+      stats_.incr("tx_dropped_dead");
+      return;
+    }
+    if (shutdown_) {
+      // Heartbeat-style traffic flows right up to teardown: an RX thread
+      // draining its last messages may answer one (ping → pong) after the
+      // shutdown flag went up.  Dropping at teardown is fine, same as RX.
+      stats_.incr("tx_dropped_shutdown");
+      return;
+    }
     if (m->is_put && m->bytes > 0) {
       tx_bulk_.push_back(std::move(m));
       stats_.add("tx_bulk_qlen", static_cast<double>(tx_bulk_.size()));
@@ -88,6 +146,10 @@ void Endpoint::enqueue_tx(MessagePtr m) {
 void Endpoint::enqueue_rx(MessagePtr m) {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) {
+      stats_.incr("rx_dropped_dead");
+      return;  // arrives at a silent NIC: no delivery, no completion
+    }
     if (shutdown_) return;  // dropping at teardown is fine
     if (m->is_put && m->bytes > 0) {
       rx_bulk_.push_back(std::move(m));
@@ -110,13 +172,15 @@ void Endpoint::tx_loop() {
     auto& q = !tx_shorts_.empty() ? tx_shorts_ : tx_bulk_;
     MessagePtr m = q.front();
     q.pop_front();
+    const double scale = bw_scale_;
+    const std::uint64_t seq = tx_seq_++;
     lk.unlock();
 
     m->tx_start = clock.now();
     // Outbound NIC occupancy: serialized by this very loop.  Every message
     // pays the fixed AM overhead; puts add their bandwidth term.
     double occupancy = link.am_overhead;
-    if (m->is_put) occupancy += static_cast<double>(m->bytes) / link.bandwidth;
+    if (m->is_put) occupancy += static_cast<double>(m->bytes) / (link.bandwidth * scale);
     if (m->src != m->dst && occupancy > 0) clock.sleep_for(occupancy);
     if (m->is_put) {
       // Data leaves the source buffer as it is transmitted; once the whole
@@ -128,7 +192,20 @@ void Endpoint::tx_loop() {
       stats_.add("tx_bytes", static_cast<double>(m->bytes));
       if (m->on_local_complete) m->on_local_complete();
     }
-    net_.endpoint(m->dst).enqueue_rx(std::move(m));
+    // Fault model: the wire may lose, duplicate or delay the message.  The
+    // decision is a pure function of (plan seed, src, tx sequence number),
+    // so a fixed plan replays identically given the same traffic order.
+    FaultDecision fd = net_.fault_decision(node_, seq);
+    if (fd.drop) {
+      stats_.incr("tx_fault_dropped");
+    } else {
+      m->extra_delay = fd.extra_delay;
+      if (fd.duplicate) {
+        stats_.incr("tx_fault_duplicated");
+        net_.endpoint(m->dst).enqueue_rx(m);
+      }
+      net_.endpoint(m->dst).enqueue_rx(std::move(m));
+    }
 
     lk.lock();
   }
@@ -145,14 +222,15 @@ void Endpoint::rx_loop() {
     auto& q = !rx_shorts_.empty() ? rx_shorts_ : rx_bulk_;
     MessagePtr m = q.front();
     q.pop_front();
+    const double scale = bw_scale_;
     lk.unlock();
 
     if (m->src != m->dst) {
       // Wire latency relative to transmission start (usually already past),
       // then inbound NIC occupancy, serialized by this loop.
-      clock.sleep_until(m->tx_start + link.latency);
+      clock.sleep_until(m->tx_start + link.latency + m->extra_delay);
       double occupancy = link.am_overhead;
-      if (m->is_put) occupancy += static_cast<double>(m->bytes) / link.bandwidth;
+      if (m->is_put) occupancy += static_cast<double>(m->bytes) / (link.bandwidth * scale);
       if (occupancy > 0) clock.sleep_for(occupancy);
     }
     deliver(m);
@@ -188,7 +266,7 @@ void Endpoint::deliver(const MessagePtr& m) {
 // Network
 
 Network::Network(vt::Clock& clock, int nodes, const LinkProps& props)
-    : clock_(clock), props_(props) {
+    : clock_(clock), props_(props), fault_mon_(clock) {
   if (nodes <= 0) throw std::invalid_argument("simnet: node count must be positive");
   vt::Hold hold(clock_);
   endpoints_.reserve(static_cast<std::size_t>(nodes));
@@ -196,8 +274,81 @@ Network::Network(vt::Clock& clock, int nodes, const LinkProps& props)
   for (auto& ep : endpoints_) ep->start();
 }
 
-Network::~Network() {
+Network::~Network() { shutdown(); }
+
+void Network::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(fault_mu_);
+    fault_stop_ = true;
+  }
+  fault_mon_.notify_all();
+  if (fault_thread_.joinable()) fault_thread_.join();
   for (auto& ep : endpoints_) ep->stop();
+}
+
+void Network::set_fault_plan(FaultPlan plan) {
+  if (fault_thread_.joinable())
+    throw std::logic_error("simnet: fault plan already installed");
+  plan_ = std::move(plan);
+  lossy_ = plan_.drop_fraction > 0 || plan_.duplicate_fraction > 0 || plan_.delay_fraction > 0;
+  if (!plan_.kills.empty() || !plan_.degrades.empty()) {
+    vt::Hold hold(clock_);
+    fault_thread_ = vt::Thread(clock_, "simnet.faults", [this] { fault_driver_loop(); },
+                               /*service=*/true);
+  }
+}
+
+void Network::kill_node(int node) { endpoint(node).kill(); }
+
+FaultDecision Network::fault_decision(int src, std::uint64_t seq) const {
+  FaultDecision fd;
+  if (!lossy_) return fd;
+  std::uint64_t h = mix64(plan_.seed ^ mix64((static_cast<std::uint64_t>(src) << 32) | seq));
+  // Three decorrelated unit rolls from one hash chain.
+  double r_drop = to_unit(h);
+  h = mix64(h);
+  double r_dup = to_unit(h);
+  h = mix64(h);
+  double r_delay = to_unit(h);
+  fd.drop = r_drop < plan_.drop_fraction;
+  fd.duplicate = !fd.drop && r_dup < plan_.duplicate_fraction;
+  if (r_delay < plan_.delay_fraction) fd.extra_delay = plan_.delay_seconds;
+  return fd;
+}
+
+void Network::fault_driver_loop() {
+  // Merge kills and degrades into one virtual-time-ordered schedule.
+  struct Ev {
+    double time;
+    int node;
+    bool kill;
+    double factor;
+  };
+  std::vector<Ev> sched;
+  for (const auto& k : plan_.kills) sched.push_back({k.time, k.node, true, 0.0});
+  for (const auto& d : plan_.degrades)
+    sched.push_back({d.time, d.node, false, d.bandwidth_factor});
+  std::stable_sort(sched.begin(), sched.end(),
+                   [](const Ev& a, const Ev& b) { return a.time < b.time; });
+
+  std::unique_lock<std::mutex> lk(fault_mu_);
+  for (const Ev& ev : sched) {
+    // Sleep until the event's virtual time (or teardown).
+    while (!fault_stop_ && clock_.now() < ev.time) fault_mon_.wait_until(lk, ev.time);
+    if (fault_stop_) return;
+    lk.unlock();
+    if (ev.node >= 0 && ev.node < node_count()) {
+      if (ev.kill) {
+        LOG_INFO("simnet: fault plan kills node ", ev.node, " at t=", clock_.now());
+        endpoint(ev.node).kill();
+      } else {
+        LOG_INFO("simnet: fault plan degrades node ", ev.node, " NIC to ", ev.factor,
+                 "x at t=", clock_.now());
+        endpoint(ev.node).degrade(ev.factor);
+      }
+    }
+    lk.lock();
+  }
 }
 
 }  // namespace simnet

@@ -45,6 +45,61 @@ struct LinkProps {
   double am_overhead = 3.0e-6;  ///< fixed processing cost of a short AM
 };
 
+/// Deterministic fault-injection schedule for a Network.  All times are
+/// virtual seconds; all randomness derives from `seed` plus per-endpoint
+/// transmit sequence numbers, so a fixed plan replays the same faults on
+/// every run with the same traffic order.
+struct FaultPlan {
+  /// Node `node` dies at virtual time `time`: its NIC goes silent in both
+  /// directions (messages to it vanish on arrival, its queued and future
+  /// sends are discarded, no completion callbacks fire).  Compute threads on
+  /// the node keep running — a partitioned node is indistinguishable from a
+  /// dead one to the rest of the cluster, which is exactly what the failure
+  /// detector must cope with.
+  struct NodeKill {
+    int node = -1;
+    double time = 0.0;
+  };
+  /// Node `node`'s NIC drops to `bandwidth_factor` of its configured
+  /// bandwidth (both directions) at `time` — a degraded link, not a dead one.
+  struct NicDegrade {
+    int node = -1;
+    double time = 0.0;
+    double bandwidth_factor = 1.0;
+  };
+
+  std::vector<NodeKill> kills;
+  std::vector<NicDegrade> degrades;
+
+  /// Per-message loss model, applied independently to every transmitted
+  /// message (shorts and puts alike) while the source node is alive.
+  double drop_fraction = 0.0;       ///< message vanishes after transmission
+  double duplicate_fraction = 0.0;  ///< message is delivered twice
+  double delay_fraction = 0.0;      ///< message arrives `delay_seconds` late
+  double delay_seconds = 0.0;
+  std::uint64_t seed = 1;
+
+  bool empty() const {
+    return kills.empty() && degrades.empty() && drop_fraction == 0.0 &&
+           duplicate_fraction == 0.0 && delay_fraction == 0.0;
+  }
+
+  /// True when individual messages can be lost or reordered in flight.  A
+  /// kill-only plan is NOT lossy: messages from live nodes always arrive, so
+  /// timer-based retransmission would only ever misfire.
+  bool lossy() const {
+    return drop_fraction > 0.0 || duplicate_fraction > 0.0 || delay_fraction > 0.0;
+  }
+};
+
+/// Per-message fault decision derived from a FaultPlan (see
+/// Network::fault_decision).
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  double extra_delay = 0.0;
+};
+
 /// Active-message handler: runs on the destination's RX thread.
 /// `payload`/`bytes` describe the message body (inline data for shorts, the
 /// destination buffer for puts with a completion handler).
@@ -75,6 +130,9 @@ public:
 
   common::Stats& stats() { return stats_; }
 
+  /// True once the fault plan killed this node (see FaultPlan::NodeKill).
+  bool dead() const;
+
 private:
   friend class Network;
 
@@ -88,6 +146,7 @@ private:
     std::size_t bytes = 0;
     bool is_put = false;
     double tx_start = 0.0;
+    double extra_delay = 0.0;          // fault-injected in-flight delay
     std::function<void()> on_local_complete;
     std::function<void()> on_remote_complete;
   };
@@ -96,16 +155,19 @@ private:
   Endpoint(Network& net, int node);
   void start();
   void stop();
+  void kill();            // FaultPlan node death: NIC silent, queues discarded
+  void degrade(double bandwidth_factor);
   void tx_loop();
   void rx_loop();
   void enqueue_tx(MessagePtr m);
   void enqueue_rx(MessagePtr m);
   void deliver(const MessagePtr& m);
+  double bw_scale_locked() const { return bw_scale_; }
 
   Network& net_;
   int node_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   vt::Monitor tx_mon_;
   vt::Monitor rx_mon_;
   // Short AMs bypass queued bulk puts (packet-granular interleaving on the
@@ -116,6 +178,9 @@ private:
   std::deque<MessagePtr> rx_shorts_;
   std::deque<MessagePtr> rx_bulk_;
   bool shutdown_ = false;
+  bool dead_ = false;           // fault-injected node death
+  double bw_scale_ = 1.0;       // fault-injected NIC degradation
+  std::uint64_t tx_seq_ = 0;    // per-endpoint transmit counter (fault hashing)
 
   std::mutex handlers_mu_;
   std::vector<AmHandler> handlers_;
@@ -132,6 +197,12 @@ public:
   Network(vt::Clock& clock, int nodes, const LinkProps& props = {});
   ~Network();
 
+  /// Joins every endpoint's TX/RX thread (and the fault driver); undelivered
+  /// messages are discarded.  Idempotent.  Owners whose AM handlers touch
+  /// state destroyed before the Network member call this first, so no
+  /// handler can fire into a dead object during teardown.
+  void shutdown();
+
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -140,10 +211,33 @@ public:
   int node_count() const { return static_cast<int>(endpoints_.size()); }
   Endpoint& endpoint(int node) { return *endpoints_.at(static_cast<std::size_t>(node)); }
 
+  /// Installs a fault plan and starts its schedule driver (a service thread
+  /// that applies kills/degrades at their virtual times).  Call once, before
+  /// traffic starts.  The per-message loss model takes effect immediately.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Kills `node` immediately (also reachable through the plan's schedule).
+  void kill_node(int node);
+  bool node_dead(int node) { return endpoint(node).dead(); }
+
+  /// Deterministic per-message fault roll for message number `seq` leaving
+  /// `src` — pure function of (plan seed, src, seq).
+  FaultDecision fault_decision(int src, std::uint64_t seq) const;
+
 private:
+  void fault_driver_loop();
+
   vt::Clock& clock_;
   LinkProps props_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  FaultPlan plan_;
+  bool lossy_ = false;  // plan has a nonzero per-message loss model
+  std::mutex fault_mu_;
+  vt::Monitor fault_mon_;
+  bool fault_stop_ = false;
+  vt::Thread fault_thread_;
 };
 
 }  // namespace simnet

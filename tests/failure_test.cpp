@@ -123,6 +123,62 @@ TEST(FailureTest, FirstOfManyErrorsWins) {
   EXPECT_EQ(rt.stats().count("tasks.failed"), 5u);
 }
 
+TEST(FailureTest, DeviceKernelAbortSurfacesAtTaskwait) {
+  vt::Clock clock;
+  nanos::Runtime rt(clock, small_runtime(1));
+  simcuda::DeviceFaults f;
+  f.abort_kernel = 0;  // first kernel launch aborts
+  rt.gpu_platform().device(0).inject_faults(f);
+  std::vector<float> a(32, 0.0f);
+  bool caught = false;
+  vt::Thread driver(clock, "app", [&] {
+    TaskDesc d;
+    d.device = DeviceKind::kCuda;
+    d.accesses = {Access::inout(a.data(), a.size() * sizeof(float))};
+    d.fn = [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 1.0f; };
+    rt.spawn(std::move(d));
+    try {
+      rt.taskwait();
+    } catch (const simcuda::DeviceError&) {
+      caught = true;
+    }
+    // The engine survived the abort: later kernels still execute.
+    TaskDesc ok;
+    ok.device = DeviceKind::kCuda;
+    ok.accesses = {Access::inout(a.data(), a.size() * sizeof(float))};
+    ok.fn = [](nanos::TaskContext& c) { c.data_as<float>(0)[1] = 7.0f; };
+    rt.spawn(std::move(ok));
+    rt.taskwait();
+  });
+  driver.join();
+  EXPECT_TRUE(caught);
+  EXPECT_FLOAT_EQ(a[1], 7.0f);
+}
+
+TEST(FailureTest, DeviceFailedCopySurfacesAtTaskwait) {
+  vt::Clock clock;
+  nanos::Runtime rt(clock, small_runtime(1));
+  simcuda::DeviceFaults f;
+  f.fail_copy = 0;  // first h2d/d2h copy fails
+  rt.gpu_platform().device(0).inject_faults(f);
+  std::vector<float> a(32, 2.0f);
+  bool caught = false;
+  vt::Thread driver(clock, "app", [&] {
+    TaskDesc d;
+    d.device = DeviceKind::kCuda;
+    d.accesses = {Access::inout(a.data(), a.size() * sizeof(float))};
+    d.fn = [](nanos::TaskContext& c) { c.data_as<float>(0)[0] += 1.0f; };
+    rt.spawn(std::move(d));
+    try {
+      rt.taskwait();
+    } catch (const simcuda::DeviceError&) {
+      caught = true;
+    }
+  });
+  driver.join();
+  EXPECT_TRUE(caught);
+}
+
 TEST(FailureTest, RemoteTaskThrowSurfacesAtClusterTaskwait) {
   vt::Clock clock;
   nanos::ClusterConfig cfg;
@@ -139,6 +195,40 @@ TEST(FailureTest, RemoteTaskThrowSurfacesAtClusterTaskwait) {
       rt.taskwait();
     } catch (const std::runtime_error&) {
       caught = true;
+    }
+  });
+  driver.join();
+  EXPECT_TRUE(caught);
+}
+
+TEST(FailureTest, RemoteDeviceFaultSurfacesAtClusterTaskwait) {
+  vt::Clock clock;
+  nanos::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node_scheduler = "bf";
+  cfg.rr_chunk = 1;
+  cfg.node = small_runtime(1);
+  nanos::ClusterRuntime rt(clock, cfg);
+  simcuda::DeviceFaults f;
+  f.abort_kernel = 0;  // node 1's first kernel launch aborts
+  rt.node_runtime(1).gpu_platform().device(0).inject_faults(f);
+  std::vector<float> a(32, 0.0f), b(32, 0.0f);
+  bool caught = false;
+  vt::Thread driver(clock, "app", [&] {
+    TaskDesc d0;  // node 0: clean
+    d0.device = DeviceKind::kCuda;
+    d0.accesses = {Access::inout(a.data(), a.size() * sizeof(float))};
+    d0.fn = [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 1.0f; };
+    rt.spawn(std::move(d0));
+    TaskDesc d1;  // node 1: kernel aborts on the remote device
+    d1.device = DeviceKind::kCuda;
+    d1.accesses = {Access::inout(b.data(), b.size() * sizeof(float))};
+    d1.fn = [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 1.0f; };
+    rt.spawn(std::move(d1));
+    try {
+      rt.taskwait();
+    } catch (const std::runtime_error&) {
+      caught = true;  // the remote device fault reached the master
     }
   });
   driver.join();

@@ -1,0 +1,377 @@
+// Resilience subsystem tests: deterministic fault injection (simnet fault
+// plans), heartbeat failure detection, and node-failure recovery in the
+// cluster runtime — both policies (resilience=off fails fast with a clean
+// error at taskwait; resilience=retry re-executes affected tasks and
+// regenerates lost regions on surviving nodes).
+//
+// All faults are virtual-time scheduled, so every scenario here is exactly
+// reproducible; the property test at the bottom leans on that to sweep a
+// family of random single-node crash schedules.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "nanos/cluster.hpp"
+#include "simnet/simnet.hpp"
+#include "vt/clock.hpp"
+
+namespace {
+
+using nanos::Access;
+using nanos::ClusterConfig;
+using nanos::ClusterRuntime;
+using nanos::DeviceKind;
+using nanos::TaskDesc;
+
+ClusterConfig base_cluster(int nodes) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node_scheduler = "bf";  // chunked round robin: deterministic spread
+  cfg.rr_chunk = 1;
+  cfg.segment_bytes = 32u << 20;
+  cfg.node.smp_workers = 2;
+  cfg.node.smp_gflops = 1.0;  // 1e9 flop/s: cost.flops = duration in ns
+  cfg.node.scheduler = "dep";
+  cfg.node.cache_policy = "wb";
+  cfg.link.bandwidth = 1e9;
+  return cfg;
+}
+
+void run_app(ClusterConfig cfg, const std::function<void(ClusterRuntime&, vt::Clock&)>& body) {
+  vt::Clock clock;
+  ClusterRuntime rt(clock, std::move(cfg));
+  vt::Thread driver(clock, "app", [&] { body(rt, clock); });
+  driver.join();
+}
+
+/// SMP task of `ms` virtual milliseconds (smp_gflops=1 above).
+TaskDesc smp_task(std::vector<Access> acc, nanos::TaskFn fn, double ms) {
+  TaskDesc d;
+  d.device = DeviceKind::kSmp;
+  d.accesses = std::move(acc);
+  d.fn = std::move(fn);
+  d.cost.flops = ms * 1e6;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// simnet fault plans are deterministic.
+
+/// Sends `n` numbered shorts 0->1 through a lossy network and returns the
+/// delivered sequence.
+std::vector<int> lossy_sequence(const simnet::FaultPlan& plan, int n) {
+  vt::Clock clock;
+  std::vector<int> seen;
+  std::mutex mu;
+  simnet::Network net(clock, 2);
+  net.endpoint(1).register_handler(0, [&](int, const void* p, std::size_t) {
+    std::lock_guard<std::mutex> lk(mu);
+    seen.push_back(*static_cast<const int*>(p));
+  });
+  net.set_fault_plan(plan);
+  vt::Thread driver(clock, "app", [&] {
+    for (int i = 0; i < n; ++i) net.endpoint(0).am_short(1, 0, &i, sizeof(i));
+    // All messages are latency+overhead bound: one virtual second drains
+    // everything that was not dropped.
+    clock.sleep_for(1.0);
+  });
+  driver.join();
+  net.shutdown();
+  return seen;
+}
+
+TEST(FaultPlanTest, DropAndDuplicateAreDeterministicPerSeed) {
+  simnet::FaultPlan plan;
+  plan.drop_fraction = 0.2;
+  plan.duplicate_fraction = 0.1;
+  plan.seed = 42;
+  const int n = 200;
+  std::vector<int> a = lossy_sequence(plan, n);
+  std::vector<int> b = lossy_sequence(plan, n);
+  // Same plan, same traffic: the identical messages are dropped/duplicated.
+  EXPECT_EQ(a, b);
+  // The loss model actually did something.
+  EXPECT_LT(a.size(), static_cast<std::size_t>(n));
+  // A different seed perturbs a different subset.
+  plan.seed = 43;
+  std::vector<int> c = lossy_sequence(plan, n);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultPlanTest, NodeKillSilencesBothDirections) {
+  vt::Clock clock;
+  std::atomic<int> received{0};
+  simnet::Network net(clock, 2);
+  net.endpoint(0).register_handler(0, [&](int, const void*, std::size_t) { ++received; });
+  net.endpoint(1).register_handler(0, [&](int, const void*, std::size_t) { ++received; });
+  simnet::FaultPlan plan;
+  plan.kills.push_back({1, 1e-3});
+  net.set_fault_plan(plan);
+  vt::Thread driver(clock, "app", [&] {
+    int x = 0;
+    net.endpoint(0).am_short(1, 0, &x, sizeof(x));  // before the kill: lands
+    clock.sleep_for(2e-3);
+    EXPECT_TRUE(net.node_dead(1));
+    net.endpoint(0).am_short(1, 0, &x, sizeof(x));  // to a dead node: vanishes
+    net.endpoint(1).am_short(0, 0, &x, sizeof(x));  // from a dead node: vanishes
+    clock.sleep_for(2e-3);
+  });
+  driver.join();
+  net.shutdown();
+  EXPECT_EQ(received.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat detection.
+
+TEST(ResilienceTest, HeartbeatDetectsKilledNodeWithinLease) {
+  ClusterConfig cfg = base_cluster(3);
+  cfg.resilience.heartbeat_period = 1e-3;
+  cfg.resilience.node_lease = 5e-3;
+  cfg.faults.kills.push_back({2, 5e-3});
+  std::vector<float> a(64, 0.0f);
+  std::uint64_t detected = 0, latency_count = 0;
+  double latency = 0.0;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock&) {
+    // A chain on one region: the first task lands on node 0 (round robin
+    // from zero) and affinity-by-dependence keeps the rest there, so the
+    // kill of idle node 2 affects no work — only the detector notices.
+    for (int i = 0; i < 8; ++i) {
+      rt.spawn(smp_task({Access::inout(a.data(), a.size() * sizeof(float))},
+                        [](nanos::TaskContext& c) { c.data_as<float>(0)[0] += 1.0f; },
+                        /*ms=*/5.0));
+    }
+    rt.taskwait();  // resilience=off, but nothing ran on the dead node
+    detected = rt.stats().count("res.failures_detected");
+    latency_count = rt.stats().count("res.detect_latency");
+    latency = rt.stats().get("res.detect_latency").max;
+  });
+  EXPECT_FLOAT_EQ(a[0], 8.0f);
+  ASSERT_EQ(detected, 1u);
+  ASSERT_EQ(latency_count, 1u);
+  EXPECT_GT(latency, 0.0);
+  // Bound: one lease of silence plus a few heartbeat periods of slack.
+  EXPECT_LE(latency, 5e-3 + 3 * 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// resilience=off: fail fast, never hang.
+
+TEST(ResilienceTest, OffModeKillFailsCleanlyAtTaskwait) {
+  ClusterConfig cfg = base_cluster(2);
+  cfg.resilience.mode = "off";
+  cfg.resilience.heartbeat_period = 1e-3;
+  cfg.resilience.node_lease = 5e-3;
+  cfg.faults.kills.push_back({1, 2e-3});  // mid-run
+  constexpr int kRegions = 4;
+  std::vector<std::vector<float>> r(kRegions, std::vector<float>(64, 0.0f));
+  bool threw = false;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock&) {
+    for (int i = 0; i < kRegions; ++i) {
+      // Round robin: regions 1 and 3 run on node 1, which dies mid-task.
+      rt.spawn(smp_task({Access::inout(r[i].data(), r[i].size() * sizeof(float))},
+                        [](nanos::TaskContext& c) { c.data_as<float>(0)[0] += 1.0f; },
+                        /*ms=*/10.0));
+    }
+    try {
+      rt.taskwait();
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_NE(std::string(e.what()).find("node failure"), std::string::npos) << e.what();
+    }
+    // The runtime survives the failure: master-local work still runs.
+    rt.spawn(smp_task({Access::inout(r[0].data(), r[0].size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[1] = 7.0f; },
+                      /*ms=*/1.0));
+    rt.taskwait();
+  });
+  EXPECT_TRUE(threw);
+  EXPECT_FLOAT_EQ(r[0][1], 7.0f);
+}
+
+// ---------------------------------------------------------------------------
+// resilience=retry: the run completes with correct numerics.
+
+TEST(ResilienceTest, RetryModeKillMidRunCompletesCorrectly) {
+  ClusterConfig cfg = base_cluster(3);
+  cfg.resilience.mode = "retry";
+  cfg.resilience.heartbeat_period = 1e-3;
+  cfg.resilience.node_lease = 5e-3;
+  cfg.faults.kills.push_back({1, 7e-3});
+  constexpr int kRegions = 6;
+  constexpr int kChain = 2;
+  std::vector<std::vector<float>> r(kRegions, std::vector<float>(64, 0.0f));
+  std::uint64_t detected = 0, retried = 0;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock&) {
+    for (int c = 0; c < kChain; ++c) {
+      for (int i = 0; i < kRegions; ++i) {
+        rt.spawn(smp_task({Access::inout(r[i].data(), r[i].size() * sizeof(float))},
+                          [](nanos::TaskContext& ctx) {
+                            auto* f = ctx.data_as<float>(0);
+                            for (int k = 0; k < 64; ++k) f[k] += 1.0f;
+                          },
+                          /*ms=*/5.0));
+      }
+    }
+    rt.taskwait();
+    detected = rt.stats().count("res.failures_detected");
+    retried = rt.stats().count("res.tasks_retried");
+  });
+  for (int i = 0; i < kRegions; ++i) {
+    for (float v : r[i]) ASSERT_FLOAT_EQ(v, static_cast<float>(kChain)) << "region " << i;
+  }
+  EXPECT_EQ(detected, 1u);
+  EXPECT_GE(retried, 1u);
+}
+
+TEST(ResilienceTest, RetryRegeneratesRegionWhoseOnlyCopyDied) {
+  ClusterConfig cfg = base_cluster(3);
+  cfg.resilience.mode = "retry";
+  cfg.resilience.heartbeat_period = 1e-3;
+  cfg.resilience.node_lease = 5e-3;
+  // Node 1 dies after its producer committed but before anything pulled the
+  // result home: the only copy of region b is lost and must be regenerated
+  // from the redo log on a survivor.
+  cfg.faults.kills.push_back({1, 10e-3});
+  std::vector<float> pad(64, 0.0f);
+  std::vector<float> b(64, 0.0f);
+  std::uint64_t detected = 0, lost = 0, recovered = 0;
+  bool committed_before_kill = false;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock& clk) {
+    // Round robin: pad's task takes node 0, b's producer takes node 1.
+    rt.spawn(smp_task({Access::inout(pad.data(), pad.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 1.0f; },
+                      /*ms=*/2.0));
+    rt.spawn(smp_task({Access::inout(b.data(), b.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) {
+                        auto* f = c.data_as<float>(0);
+                        for (int k = 0; k < 64; ++k) f[k] = 3.0f;
+                      },
+                      /*ms=*/2.0));
+    rt.taskwait(/*flush=*/false);  // producer committed; b still lives on node 1 only
+    // taskwait can only return once the producer's DONE was processed, so
+    // returning before the kill proves the sole copy on node 1 committed —
+    // the redo-replay premise.  In the rare interleaving where the kill
+    // swallowed the DONE instead, taskwait blocks until the task retry on a
+    // survivor finishes (well past the kill) and no region is ever lost;
+    // the replay-specific expectations are gated on the premise.
+    committed_before_kill = clk.now() < 10e-3;
+    clk.sleep_for(25e-3);          // node 1 dies and the lease expires meanwhile
+    rt.taskwait();                 // flush must regenerate b — its holder is gone
+    detected = rt.stats().count("res.failures_detected");
+    lost = rt.stats().count("res.regions_lost");
+    recovered = rt.stats().count("res.regions_recovered");
+  });
+  for (float v : b) ASSERT_FLOAT_EQ(v, 3.0f);
+  EXPECT_EQ(detected, 1u);
+  if (committed_before_kill) {
+    EXPECT_GE(lost, 1u);
+    EXPECT_GE(recovered, 1u);
+  }
+}
+
+TEST(ResilienceTest, OffModeLostRegionFailsCleanly) {
+  ClusterConfig cfg = base_cluster(2);
+  cfg.resilience.mode = "off";
+  cfg.resilience.heartbeat_period = 1e-3;
+  cfg.resilience.node_lease = 5e-3;
+  cfg.faults.kills.push_back({1, 10e-3});
+  std::vector<float> pad(64, 0.0f);
+  std::vector<float> b(64, 0.0f);
+  bool threw = false;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock& clk) {
+    rt.spawn(smp_task({Access::inout(pad.data(), pad.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 1.0f; },
+                      /*ms=*/2.0));
+    rt.spawn(smp_task({Access::inout(b.data(), b.size() * sizeof(float))},
+                      [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 3.0f; },
+                      /*ms=*/2.0));
+    // If the kill swallowed the producer's DONE instead of its committed
+    // copy, off-mode fails the task itself and the error surfaces at the
+    // FIRST taskwait — either way a clean "lost" error, never a hang.
+    try {
+      rt.taskwait(/*flush=*/false);
+      clk.sleep_for(25e-3);  // node 1 dies and the lease expires meanwhile
+      rt.taskwait();  // flush needs node 1's sole copy of b — clean error
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_NE(std::string(e.what()).find("lost"), std::string::npos) << e.what();
+    }
+  });
+  EXPECT_TRUE(threw);
+}
+
+// ---------------------------------------------------------------------------
+// Message loss (no node death): retries mask a lossy wire.
+
+TEST(ResilienceTest, MessageLossRetryCompletesCorrectly) {
+  ClusterConfig cfg = base_cluster(2);
+  cfg.resilience.mode = "retry";
+  cfg.resilience.heartbeat_period = 1e-3;
+  cfg.resilience.node_lease = 20e-3;  // pongs can be lost too: roomy lease
+  cfg.faults.drop_fraction = 0.08;
+  cfg.faults.duplicate_fraction = 0.05;
+  cfg.faults.seed = 7;
+  constexpr int kRegions = 8;
+  std::vector<std::vector<float>> r(kRegions, std::vector<float>(64, 0.0f));
+  std::uint64_t detected = 0;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock&) {
+    for (int i = 0; i < kRegions; ++i) {
+      rt.spawn(smp_task({Access::inout(r[i].data(), r[i].size() * sizeof(float))},
+                        [](nanos::TaskContext& c) {
+                          auto* f = c.data_as<float>(0);
+                          for (int k = 0; k < 64; ++k) f[k] += 2.0f;
+                        },
+                        /*ms=*/3.0));
+    }
+    rt.taskwait();
+    detected = rt.stats().count("res.failures_detected");
+  });
+  for (int i = 0; i < kRegions; ++i) {
+    for (float v : r[i]) ASSERT_FLOAT_EQ(v, 2.0f) << "region " << i;
+  }
+  EXPECT_EQ(detected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: random single-node crash schedules all converge.
+
+TEST(ResilienceTest, RandomCrashSchedulesConverge) {
+  constexpr int kSchedules = 6;
+  constexpr int kRegions = 5;
+  constexpr int kChain = 3;
+  for (int seed = 1; seed <= kSchedules; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed));
+    ClusterConfig cfg = base_cluster(3);
+    cfg.resilience.mode = "retry";
+    cfg.resilience.heartbeat_period = 1e-3;
+    cfg.resilience.node_lease = 5e-3;
+    const int victim = 1 + static_cast<int>(rng() % 2);
+    const double when = 1e-3 + (static_cast<double>(rng() % 1000) / 1000.0) * 30e-3;
+    cfg.faults.kills.push_back({victim, when});
+    std::vector<std::vector<float>> r(kRegions, std::vector<float>(32, 0.0f));
+    run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock&) {
+      for (int c = 0; c < kChain; ++c) {
+        for (int i = 0; i < kRegions; ++i) {
+          rt.spawn(smp_task({Access::inout(r[i].data(), r[i].size() * sizeof(float))},
+                            [](nanos::TaskContext& ctx) {
+                              auto* f = ctx.data_as<float>(0);
+                              for (int k = 0; k < 32; ++k) f[k] += 1.0f;
+                            },
+                            /*ms=*/4.0));
+        }
+      }
+      rt.taskwait();
+    });
+    for (int i = 0; i < kRegions; ++i) {
+      for (float v : r[i]) {
+        ASSERT_FLOAT_EQ(v, static_cast<float>(kChain))
+            << "seed " << seed << " victim " << victim << " t=" << when << " region " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
