@@ -1,0 +1,194 @@
+// ver01: taskcheck overhead — what verify=race / verify=all cost.
+//
+// The verifier is only usable as an always-on debug mode if its overhead
+// stays within a small constant factor of the unchecked runtime.  Two legs:
+//
+//  * task-throughput (over01 patterns: independent / chain / wavefront with
+//    trivial bodies and dependence-only accesses) — REAL time, so the
+//    slowdown column is the oracle's per-task cost: chain-clock maintenance,
+//    shadow-directory checks, and (under verify=all) the coherence invariant
+//    walk at taskwait.  Acceptance gate: verify=race ≤ 2× on every pattern.
+//  * cluster matmul (the fig09 shape, 2-node StoS) — virtual GFLOPS with the
+//    checker on, showing the verifier does not distort the simulated
+//    figures; the real-time ratio is reported alongside.
+//
+// Sweep ceiling via OMPSS_BENCH_TASKS (default 20000).
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "apps/matmul/matmul.hpp"
+#include "bench_common.hpp"
+#include "ompss/ompss.hpp"
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+nanos::RuntimeConfig node_config(const std::string& verify) {
+  nanos::RuntimeConfig cfg;
+  cfg.scheduler = "dep";
+  cfg.smp_workers = 4;
+  cfg.verify = verify;
+  return cfg;
+}
+
+double run_independent(const std::string& verify, long n) {
+  std::vector<char> data(static_cast<std::size_t>(n) * 64);
+  ompss::Env env(node_config(verify));
+  double total = 0;
+  env.run([&] {
+    const double t0 = now_s();
+    for (long i = 0; i < n; ++i) {
+      ompss::task()
+          .dep(&data[static_cast<std::size_t>(i) * 64], 64, nanos::AccessMode::kOut)
+          .run([](ompss::Ctx&) {});
+    }
+    ompss::taskwait_noflush();
+    total = now_s() - t0;
+  });
+  return total;
+}
+
+double run_chain(const std::string& verify, long n) {
+  double cell = 0;
+  ompss::Env env(node_config(verify));
+  double total = 0;
+  env.run([&] {
+    const double t0 = now_s();
+    for (long i = 0; i < n; ++i) {
+      ompss::task().dep(&cell, sizeof(cell), nanos::AccessMode::kInout).run(
+          [](ompss::Ctx&) {});
+    }
+    ompss::taskwait_noflush();
+    total = now_s() - t0;
+  });
+  return total;
+}
+
+double run_wavefront(const std::string& verify, long n) {
+  const long w = std::lround(std::floor(std::sqrt(static_cast<double>(n))));
+  std::vector<double> grid(static_cast<std::size_t>(w) * static_cast<std::size_t>(w));
+  auto cell = [&](long i, long j) { return &grid[static_cast<std::size_t>(i * w + j)]; };
+  ompss::Env env(node_config(verify));
+  double total = 0;
+  env.run([&] {
+    const double t0 = now_s();
+    for (long i = 0; i < w; ++i) {
+      for (long j = 0; j < w; ++j) {
+        auto b = ompss::task();
+        if (i > 0) b.dep(cell(i - 1, j), sizeof(double), nanos::AccessMode::kIn);
+        if (j > 0) b.dep(cell(i, j - 1), sizeof(double), nanos::AccessMode::kIn);
+        b.dep(cell(i, j), sizeof(double), nanos::AccessMode::kOut);
+        b.run([](ompss::Ctx&) {});
+      }
+    }
+    ompss::taskwait_noflush();
+    total = now_s() - t0;
+  });
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("ver01 — task throughput under taskcheck", "ktasks/s");
+  bench::FigureTable slowdown_table("ver01 — slowdown vs verify=off", "x");
+  bench::FigureTable cluster_table("ver01 — cluster matmul under taskcheck", "GFLOPS");
+
+  const long n = std::max(1000L, bench::env_knob("TASKS", 20000));
+
+  struct Pattern {
+    const char* name;
+    double (*fn)(const std::string&, long);
+  };
+  const Pattern patterns[] = {
+      {"independent", run_independent},
+      {"chain", run_chain},
+      {"wavefront", run_wavefront},
+  };
+  // Baseline (verify=off) real time per pattern, filled by the first runs;
+  // google-benchmark executes in registration order, so "off" is registered
+  // (and runs) before the checked modes of the same pattern.
+  static std::map<std::string, double> baseline;
+
+  for (const Pattern& p : patterns) {
+    for (const char* verify : {"off", "race", "all"}) {
+      std::string series = std::string(p.name) + "/" + verify;
+      std::string name = "ver01/" + series + "/" + std::to_string(n);
+      auto fn = p.fn;
+      std::string pattern = p.name;
+      std::string mode = verify;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=, &table, &slowdown_table](benchmark::State& st) {
+            double total = 0;
+            for (auto _ : st) {
+              total = fn(mode, n);
+              st.SetIterationTime(total);
+            }
+            if (mode == "off") baseline[pattern] = total;
+            const double base = baseline.count(pattern) ? baseline[pattern] : total;
+            st.counters["tasks/s"] = static_cast<double>(n) / total;
+            st.counters["slowdown"] = total / base;
+            table.add(pattern, mode, static_cast<double>(n) / total / 1e3);
+            slowdown_table.add(pattern, mode, total / base);
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+
+  // Cluster leg: the fig09 matmul shape with the checker on in every node
+  // runtime and in the master oracle (cfg.node.verify drives both).
+  apps::matmul::Params mp;
+  mp.nb = static_cast<int>(bench::env_knob("MATMUL_NB", 8));
+  mp.bs_phys = static_cast<std::size_t>(bench::env_knob("MATMUL_BS", 32));
+  mp.bs_logical = 12288.0 / mp.nb;
+  static std::map<int, double> cluster_baseline;  // nodes -> real seconds, verify=off
+  for (const char* verify : {"off", "race", "all"}) {
+    for (int nodes : {1, 2}) {
+      std::string series = std::string("matmul/") + verify;
+      std::string name = "ver01/cluster/" + series + "/nodes:" + std::to_string(nodes);
+      std::string mode = verify;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=, &cluster_table](benchmark::State& st) {
+            double gflops = 0;
+            double real_s = 0;
+            for (auto _ : st) {
+              auto cfg = apps::gpu_cluster(nodes, mp.byte_scale());
+              cfg.slave_to_slave = true;
+              cfg.node.cache_policy = "wb";
+              cfg.node.verify = mode;
+              ompss::Env env(cfg);
+              const double t0 = now_s();
+              auto r = apps::matmul::run_ompss(env, mp, apps::matmul::InitMode::kSmp);
+              real_s = now_s() - t0;
+              st.SetIterationTime(r.seconds);
+              gflops = r.gflops;
+            }
+            if (mode == "off") cluster_baseline[nodes] = real_s;
+            const double base =
+                cluster_baseline.count(nodes) ? cluster_baseline[nodes] : real_s;
+            st.counters["GFLOPS"] = gflops;
+            st.counters["real_slowdown"] = real_s / base;
+            cluster_table.add(series, std::to_string(nodes) + "n", gflops);
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+
+  int rc = bench::run_and_print(argc, argv, table);
+  slowdown_table.print();
+  cluster_table.print();
+  return rc;
+}

@@ -1,0 +1,420 @@
+#include "mcc/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "mcc/funcsig.hpp"
+#include "mcc/pragma.hpp"
+
+namespace mcc {
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+const char* mode_name(DepMode m) {
+  switch (m) {
+    case DepMode::kIn:
+      return "input";
+    case DepMode::kOut:
+      return "output";
+    default:
+      return "inout";
+  }
+}
+
+// Replaces comments and string/char literals with spaces, keeping newlines so
+// diagnostics stay on the right source line.  (The mcc lexer refuses quotes;
+// the lint never needs literal contents, only the code shape around them.)
+std::string strip_literals(const std::string& src) {
+  std::string out = src;
+  size_t i = 0;
+  while (i < out.size()) {
+    char c = out[i];
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
+    } else if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+      out[i] = out[i + 1] = ' ';
+      i += 2;
+      while (i + 1 < out.size() && !(out[i] == '*' && out[i + 1] == '/')) {
+        if (out[i] != '\n') out[i] = ' ';
+        ++i;
+      }
+      if (i + 1 < out.size()) {
+        out[i] = out[i + 1] = ' ';
+        i += 2;
+      } else {
+        i = out.size();
+      }
+    } else if (c == '"' || c == '\'') {
+      char q = c;
+      out[i++] = ' ';
+      while (i < out.size() && out[i] != q && out[i] != '\n') {
+        if (out[i] == '\\' && i + 1 < out.size() && out[i + 1] != '\n') {
+          out[i] = out[i + 1] = ' ';
+          i += 2;
+          continue;
+        }
+        out[i++] = ' ';
+      }
+      if (i < out.size() && out[i] == q) out[i++] = ' ';
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Finds `name` in `s` at or after `from` as a whole identifier.
+size_t find_ident(const std::string& s, const std::string& name, size_t from) {
+  size_t p = from;
+  while ((p = s.find(name, p)) != std::string::npos) {
+    bool left = p > 0 && ident_char(s[p - 1]);
+    size_t e = p + name.size();
+    bool right = e < s.size() && ident_char(s[e]);
+    if (!left && !right) return p;
+    p = e;
+  }
+  return std::string::npos;
+}
+
+/// First identifier in an expression: the object `&a[i]`, `pos[1 - c][b]`
+/// etc. ultimately designate.
+std::string base_identifier(const std::string& expr) {
+  for (size_t i = 0; i < expr.size(); ++i) {
+    char c = expr[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < expr.size() && ident_char(expr[j])) ++j;
+      return expr.substr(i, j - i);
+    }
+  }
+  return {};
+}
+
+/// Identifier immediately before the first '(' of a declaration header.
+std::string function_name_of(const std::string& head) {
+  size_t p = head.find('(');
+  if (p == std::string::npos) return {};
+  while (p > 0 && std::isspace(static_cast<unsigned char>(head[p - 1]))) --p;
+  size_t b = p;
+  while (b > 0 && ident_char(head[b - 1])) --b;
+  return head.substr(b, p - b);
+}
+
+enum class UseKind { kRead, kWrite };
+
+/// Classifies the use of the identifier ending at `end`: a plain assignment
+/// to it (after any subscripts) is a write; everything else — subexpression,
+/// argument, compound assignment like `+=` (which reads first) — is a read.
+UseKind classify_use(const std::string& s, size_t end) {
+  size_t p = end;
+  auto skip_ws = [&] {
+    while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+  };
+  skip_ws();
+  while (p < s.size() && s[p] == '[') {
+    int depth = 0;
+    do {
+      if (s[p] == '[') ++depth;
+      else if (s[p] == ']') --depth;
+      ++p;
+    } while (p < s.size() && depth > 0);
+    skip_ws();
+  }
+  if (p < s.size() && s[p] == '=' && (p + 1 >= s.size() || s[p + 1] != '=')) {
+    return UseKind::kWrite;
+  }
+  return UseKind::kRead;
+}
+
+/// A captured task body: the joined text plus an offset→source-line map.
+struct Body {
+  std::string text;
+  std::vector<std::pair<size_t, int>> line_map;  // (offset of line start, line no)
+
+  void add(int line_no, const std::string& s) {
+    line_map.emplace_back(text.size(), line_no);
+    text += s;
+    text += '\n';
+  }
+  int line_at(size_t pos) const {
+    int ln = line_map.empty() ? 0 : line_map.front().second;
+    for (const auto& [off, l] : line_map) {
+      if (off <= pos) ln = l;
+      else break;
+    }
+    return ln;
+  }
+};
+
+struct TaskInfo {
+  Pragma pragma;
+  int pragma_line = 0;
+  FuncSig sig;
+  Body body;
+  bool has_body = false;
+};
+
+}  // namespace
+
+std::vector<LintDiagnostic> lint(const std::string& source) {
+  std::vector<LintDiagnostic> diags;
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(strip_literals(source));
+    std::string l;
+    while (std::getline(in, l)) lines.push_back(l);
+  }
+
+  std::vector<TaskInfo> tasks;
+  std::map<std::string, size_t> task_by_name;
+  std::set<std::string> produced;  // base identifiers written by some prior task call
+  std::optional<Pragma> pending_task;
+  int pending_line = 0;
+  int depth = 0;
+
+  auto count_braces = [&depth](const std::string& s) {
+    for (char c : s) {
+      if (c == '{') ++depth;
+      else if (c == '}') --depth;
+    }
+  };
+
+  // Accumulates a declaration/definition header from lines[i] until a line
+  // containing ';' or '{' (the translator's idiom); leaves i on that line.
+  auto read_header = [&lines](size_t& i) {
+    std::string h = lines[i];
+    while (h.find(';') == std::string::npos && h.find('{') == std::string::npos &&
+           i + 1 < lines.size()) {
+      h += ' ';
+      h += lines[++i];
+    }
+    return h;
+  };
+
+  // Captures the brace-balanced body whose '{' sits at lines[i][open];
+  // leaves i on the line holding the matching '}'.
+  auto capture_body = [&lines](size_t& i, size_t open, Body& body) {
+    int d = 0;
+    size_t col = open;
+    for (;; ++i, col = 0) {
+      const std::string& s = lines[i];
+      size_t start = col;
+      size_t end = s.size();
+      bool done = false;
+      for (size_t k = col; k < s.size(); ++k) {
+        if (s[k] == '{') {
+          if (++d == 1) start = k + 1;
+        } else if (s[k] == '}') {
+          if (--d == 0) {
+            end = k;
+            done = true;
+            break;
+          }
+        }
+      }
+      body.add(static_cast<int>(i) + 1, s.substr(start, end > start ? end - start : 0));
+      if (done || i + 1 >= lines.size()) return;
+    }
+  };
+
+  // Scans `w` (extended across lines while a call's parens stay open) for
+  // calls to declared tasks and records which objects their output/inout
+  // arguments produce.
+  auto scan_calls = [&](size_t& i, std::string& w) {
+    for (const auto& [name, idx] : task_by_name) {
+      const TaskInfo& info = tasks[idx];
+      size_t pos = 0;
+      while ((pos = find_ident(w, name, pos)) != std::string::npos) {
+        size_t p = pos + name.size();
+        while (p < w.size() && std::isspace(static_cast<unsigned char>(w[p]))) ++p;
+        if (p >= w.size() || w[p] != '(') {
+          pos = p;
+          continue;
+        }
+        size_t q = p + 1;
+        size_t item = q;
+        int d = 1;
+        std::vector<std::string> args;
+        while (d > 0) {
+          if (q >= w.size()) {
+            if (i + 1 >= lines.size()) return;
+            w += ' ';
+            w += lines[++i];
+            continue;
+          }
+          char c = w[q];
+          if (c == '(' || c == '[') {
+            ++d;
+          } else if (c == ')' || c == ']') {
+            if (--d == 0) break;
+          } else if (c == ',' && d == 1) {
+            args.push_back(w.substr(item, q - item));
+            item = q + 1;
+          }
+          ++q;
+        }
+        args.push_back(w.substr(item, q - item));
+        for (size_t k = 0; k < args.size() && k < info.sig.params.size(); ++k) {
+          for (const DepItem& dcl : info.pragma.deps) {
+            if (dcl.name == info.sig.params[k].name && dcl.mode != DepMode::kIn) {
+              std::string base = base_identifier(args[k]);
+              if (!base.empty()) produced.insert(base);
+            }
+          }
+        }
+        pos = q;
+      }
+    }
+  };
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string t = trim(lines[i]);
+    if (t.empty()) continue;
+
+    if (starts_with(t, "#pragma")) {
+      int pline = static_cast<int>(i) + 1;
+      while (!t.empty() && t.back() == '\\' && i + 1 < lines.size()) {
+        t.pop_back();
+        t += ' ';
+        t += trim(lines[++i]);
+      }
+      Pragma p;
+      try {
+        p = parse_pragma(t);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (p.kind == PragmaKind::kTask) {
+        pending_task = p;
+        pending_line = pline;
+      } else if (p.kind == PragmaKind::kTaskwait && !p.on_expr.empty()) {
+        std::string base = base_identifier(p.on_expr);
+        if (!base.empty() && produced.count(base) == 0) {
+          diags.push_back({pline, "taskwait on(" + p.on_expr +
+                                      ") waits on a region no prior task produces: no "
+                                      "earlier task call passes '" +
+                                      base + "' through an output or inout clause"});
+        }
+      }
+      continue;
+    }
+    if (starts_with(t, "#")) continue;  // other preprocessor lines
+
+    if (pending_task) {
+      std::string header = read_header(i);
+      size_t semi = header.find(';');
+      size_t open = header.find('{');
+      TaskInfo info;
+      info.pragma = std::move(*pending_task);
+      info.pragma_line = pending_line;
+      pending_task.reset();
+      bool parsed = true;
+      try {
+        info.sig = parse_function_header(trim(header.substr(0, std::min(semi, open))));
+      } catch (const std::exception&) {
+        parsed = false;  // the translator will reject this header with context
+      }
+      if (open < semi) {
+        Body scratch;
+        capture_body(i, lines[i].find('{'), parsed ? info.body : scratch);
+        info.has_body = parsed;
+      }
+      if (parsed) {
+        task_by_name[info.sig.name] = tasks.size();
+        tasks.push_back(std::move(info));
+      }
+      continue;
+    }
+
+    if (depth == 0 && t.find('(') != std::string::npos) {
+      // Possible out-of-line definition of an annotated task (declaration
+      // carried the pragma; the body arrives later, translator-style).
+      std::string header = read_header(i);
+      size_t semi = header.find(';');
+      size_t open = header.find('{');
+      auto it = task_by_name.find(function_name_of(header.substr(0, std::min(semi, open))));
+      if (it != task_by_name.end() && open < semi) {
+        TaskInfo& info = tasks[it->second];
+        info.body = Body{};
+        info.has_body = true;
+        capture_body(i, lines[i].find('{'), info.body);
+        continue;
+      }
+      count_braces(header);
+      continue;
+    }
+
+    std::string w = lines[i];
+    if (!task_by_name.empty()) scan_calls(i, w);
+    count_braces(w);
+  }
+
+  for (const TaskInfo& info : tasks) {
+    if (!info.has_body) continue;
+    const std::string& body = info.body.text;
+    auto declared = [&info](const std::string& n) {
+      for (const DepItem& d : info.pragma.deps) {
+        if (d.name == n) return true;
+      }
+      return false;
+    };
+
+    // (1) pointer parameters the body touches but no clause names
+    for (const Param& p : info.sig.params) {
+      if (!p.is_pointer || declared(p.name)) continue;
+      size_t pos = find_ident(body, p.name, 0);
+      if (pos != std::string::npos) {
+        diags.push_back({info.body.line_at(pos),
+                         "task '" + info.sig.name + "' body references pointer parameter '" +
+                             p.name +
+                             "' that appears in no input/output/inout clause; the runtime "
+                             "will not track this region"});
+      }
+    }
+    for (const DepItem& d : info.pragma.deps) {
+      size_t pos = find_ident(body, d.name, 0);
+      // (2) clauses naming a parameter the body never references
+      if (pos == std::string::npos) {
+        diags.push_back({info.pragma_line, "task '" + info.sig.name + "': " +
+                                               mode_name(d.mode) + " clause on '" + d.name +
+                                               "' is dead: the task body never references it"});
+        continue;
+      }
+      // (3) output regions consumed before the task ever writes them
+      if (d.mode == DepMode::kOut &&
+          classify_use(body, pos + d.name.size()) == UseKind::kRead) {
+        diags.push_back({info.body.line_at(pos),
+                         "task '" + info.sig.name + "': output parameter '" + d.name +
+                             "' is read before its first write; the clause should be inout"});
+      }
+    }
+  }
+
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const LintDiagnostic& a, const LintDiagnostic& b) { return a.line < b.line; });
+  return diags;
+}
+
+std::string format_diagnostic(const std::string& file, const LintDiagnostic& d) {
+  return file + ":" + std::to_string(d.line) + ": warning: " + d.message;
+}
+
+}  // namespace mcc

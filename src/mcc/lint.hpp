@@ -1,0 +1,43 @@
+// mcc --lint — static clause lint for annotated OmpSs sources (taskcheck
+// pass 3, the compile-time face of the verifier; the runtime race oracle in
+// nanos/verify catches what this pass cannot see).
+//
+// Four diagnostics, all clause mistakes on `#pragma omp task` functions:
+//
+//  1. undeclared reference — the task body references a pointer parameter
+//     that appears in no input/output/inout clause, so the runtime never
+//     tracks the region (a latent dependency race);
+//  2. dead clause — a clause names a parameter the body never references,
+//     which serializes tasks on a region nobody touches;
+//  3. out read-before-write — an output() parameter's first use in the body
+//     is a read (e.g. `c[i] += ...`), so the task consumes stale data the
+//     runtime is free to leave behind; the clause should be inout;
+//  4. unproduced taskwait on — `#pragma omp taskwait on(expr)` where no
+//     earlier task call passes the named object through an output/inout
+//     clause, so the wait synchronizes with nothing.
+//
+// The lint is line-oriented like the translator: it strips comments and
+// string/char literals (preserving newlines), joins pragma continuations,
+// and matches a later plain definition to an annotated declaration the same
+// way translate() does.  Scalar (non-pointer) parameters never need clauses
+// and are never flagged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcc {
+
+struct LintDiagnostic {
+  int line = 0;  ///< 1-based source line
+  std::string message;
+};
+
+/// Runs the clause lint over one annotated source.  Diagnostics come back
+/// sorted by line; an empty vector means the file is clean.
+std::vector<LintDiagnostic> lint(const std::string& source);
+
+/// Formats one diagnostic compiler-style: "file:line: warning: message".
+std::string format_diagnostic(const std::string& file, const LintDiagnostic& d);
+
+}  // namespace mcc

@@ -1,33 +1,77 @@
 // mcc — command-line driver.
 //
 //   mcc input.c [-o output.cpp]
+//   mcc --lint input.c [more.c ...]
 //
 // Translates the annotated source to C++ against the ompss:: API.  The
 // output is a regular translation unit: compile it with the host compiler
 // and link against the ompss libraries (Mercurium's pipeline, §III-A).
+// With --lint, runs the static clause lint instead and exits nonzero if any
+// file draws a diagnostic — CI gates on it.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
+#include "mcc/lint.hpp"
 #include "mcc/translate.hpp"
+
+static int run_lint(const std::vector<const char*>& files) {
+  int total = 0;
+  for (const char* file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "mcc: cannot open '%s'\n", file);
+      return 2;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+    std::vector<mcc::LintDiagnostic> diags;
+    try {
+      diags = mcc::lint(src.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mcc: %s: %s\n", file, e.what());
+      return 2;
+    }
+    for (const mcc::LintDiagnostic& d : diags) {
+      std::fprintf(stderr, "%s\n", mcc::format_diagnostic(file, d).c_str());
+    }
+    total += static_cast<int>(diags.size());
+  }
+  return total == 0 ? 0 : 1;
+}
 
 int main(int argc, char** argv) {
   const char* input = nullptr;
   const char* output = nullptr;
+  bool lint_mode = false;
+  std::vector<const char*> lint_files;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--lint") == 0) {
+      lint_mode = true;
+    } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       output = argv[++i];
     } else if (std::strcmp(argv[i], "-h") == 0 || std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: mcc input.c [-o output.cpp]\n");
+      std::printf("usage: mcc input.c [-o output.cpp]\n"
+                  "       mcc --lint input.c [more.c ...]\n");
       return 0;
+    } else if (lint_mode) {
+      lint_files.push_back(argv[i]);
     } else if (input == nullptr) {
       input = argv[i];
     } else {
       std::fprintf(stderr, "mcc: unexpected argument '%s'\n", argv[i]);
       return 2;
     }
+  }
+  if (lint_mode) {
+    if (lint_files.empty()) {
+      std::fprintf(stderr, "mcc: no input file\n");
+      return 2;
+    }
+    return run_lint(lint_files);
   }
   if (input == nullptr) {
     std::fprintf(stderr, "mcc: no input file\n");

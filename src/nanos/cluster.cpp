@@ -131,6 +131,17 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
   domain_ = std::make_unique<DependencyDomain>(
       clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); }, &stats_);
 
+  // taskcheck: the cluster-wide race oracle shadows the *master* domain, so
+  // it sees every task at user addresses regardless of the executing node.
+  // Violations land as master task errors and surface at taskwait.
+  verify_mode_ = verify::parse_verify_mode(cfg_.node.verify);
+  if (verify::races_enabled(verify_mode_)) {
+    Runtime* master = nodes_[0].rt.get();
+    oracle_ = std::make_unique<verify::RaceOracle>(
+        [master](std::exception_ptr e) { master->record_task_error(std::move(e)); }, &stats_);
+    domain_->set_race_oracle(oracle_.get());
+  }
+
   const int n_comm = cfg_.comm_threads > 0 ? cfg_.comm_threads : 1;
   for (int i = 0; i < n_comm; ++i) {
     comm_threads_.emplace_back(clock_, "comm" + std::to_string(i), [this] { comm_loop(); },
@@ -762,6 +773,9 @@ void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
   d.device = master_desc.device;
   d.cost = master_desc.cost;
   d.label = master_desc.label;
+  // taskcheck: body-level observe() annotations in the remote proxy report
+  // against the master-side task (and the master's oracle).
+  d.verify_alias = info->master_task;
   for (const RemoteAccess& ra : info->accesses) {
     Access a;
     a.region = common::Region(ra.local_addr, ra.master_region.size);
@@ -916,6 +930,7 @@ void ClusterRuntime::taskwait(bool flush) {
     }
   };
   if (!flush) {
+    if (verify::coherence_enabled(verify_mode_)) verify_invariants("taskwait_noflush", false);
     surface_errors();
     return;
   }
@@ -949,6 +964,7 @@ void ClusterRuntime::taskwait(bool flush) {
   for (auto& a : actions) a();
   latch.wait();
   nodes_[0].rt->coherence().flush_all();
+  if (verify::coherence_enabled(verify_mode_)) verify_invariants("taskwait", true);
   surface_errors();
 }
 

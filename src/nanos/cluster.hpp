@@ -266,6 +266,14 @@ private:
   /// Marks `e` permanently lost: records a master error and fails every
   /// waiter so dependents surface the error instead of hanging.
   void mark_lost_locked(NodeDirEntry& e, std::vector<std::function<void()>>& actions);
+  // -- taskcheck (implemented in verify/coherence_check.cpp) -----------------
+  /// Walks the node-level directory asserting the cluster coherence
+  /// invariants (redo-log accounting, live holders, transfer bookkeeping);
+  /// with `flushed`, additionally checks master-directory/slave-cache
+  /// agreement against node 0's coherence manager.  Violations are recorded
+  /// as master task errors (surfaced by the enclosing taskwait).
+  void verify_invariants(const char* where, bool flushed);
+
   /// Fails the in-flight staging of `e` to `node`: waiters fire with
   /// ok=false, deferred destinations re-issue from surviving holders.
   void fail_staging_locked(NodeDirEntry& e, int node, std::vector<std::function<void()>>& out);
@@ -289,7 +297,13 @@ private:
   common::Stats stats_;
   std::unique_ptr<simnet::Network> net_;
   std::vector<NodeState> nodes_;
+  /// Cluster-wide race oracle over the master domain's schedule (tasks carry
+  /// user addresses there, so remote observe() annotations compose).  Must
+  /// outlive domain_, which holds a raw pointer to it.
+  std::unique_ptr<verify::RaceOracle> oracle_;
   std::unique_ptr<DependencyDomain> domain_;
+  verify::VerifyMode verify_mode_ = verify::VerifyMode::kOff;
+  std::map<std::uintptr_t, unsigned> verify_versions_;  // mu_ held
 
   std::mutex mu_;
   vt::Monitor comm_mon_;

@@ -361,6 +361,9 @@ void CoherenceManager::release(Task& t, int space) {
         ++sub->version;
         sub->valid.clear();
         sub->valid.insert(kHostSpace);
+        // Shadowed device copies hold garbage now: they must never be
+        // written back (invariant: a dirty copy is the current version).
+        for (auto& [s, c] : sub->copies) c.dirty = false;
         unlock_region(sh, *sub);
       }
       continue;
@@ -408,6 +411,9 @@ void CoherenceManager::release(Task& t, int space) {
     }
     unlock_region(sh, info);
   }
+  // Per-event checking: under `all`, re-assert the protocol invariants after
+  // every task's post-execution bookkeeping.
+  if (verify_mode_ == verify::VerifyMode::kAll) verify_invariants("release");
 }
 
 void CoherenceManager::sync_transfers(int space) {
@@ -428,6 +434,7 @@ void CoherenceManager::host_overwritten(const common::Region& r) {
     ++info->version;
     info->valid.clear();
     info->valid.insert(kHostSpace);
+    for (auto& [s, c] : info->copies) c.dirty = false;  // shadowed: never write back
     unlock_region(sh, *info);
   }
 }
@@ -486,6 +493,7 @@ void CoherenceManager::flush_all() {
     });
   }
   for (auto& t : flushers) t.join();
+  if (verify::coherence_enabled(verify_mode_)) verify_invariants("flush_all");
 }
 
 std::vector<double> CoherenceManager::affinity_bytes_all(const Task& t) const {

@@ -49,6 +49,7 @@
 #include "common/stats.hpp"
 #include "nanos/task.hpp"
 #include "nanos/trace.hpp"
+#include "nanos/verify/verify.hpp"
 #include "simcuda/simcuda.hpp"
 #include "vt/sync.hpp"
 
@@ -120,6 +121,28 @@ public:
   /// Optional instrumentation sink for transfer intervals.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  // -- taskcheck pass 2 (implemented in verify/coherence_check.cpp) ----------
+
+  /// Enables the coherence invariant checker: the directory/cache walk runs
+  /// at every flush_all() (taskwait quiesce) and, under `all`, after every
+  /// release().  Call before worker threads start touching this manager.
+  /// A null `sink` makes violations throw at the detection site (tests).
+  void set_verify(verify::VerifyMode mode, verify::ErrorSink sink);
+
+  /// Walks directory + caches asserting the protocol invariants (see
+  /// docs/verifier.md); `where` tags the diagnostic with the quiesce point.
+  /// Busy entries (a transfer in flight) are skipped.
+  void verify_invariants(const char* where);
+
+  /// True when every overlapping registered region has a current host copy
+  /// (unregistered data never moved, so it is trivially current).  The
+  /// cluster checker uses this for master-directory/node-cache agreement.
+  bool host_current(const common::Region& r);
+
+  /// Test hook: corrupts the directory entry for `r` (marks a space valid
+  /// that holds no copy) so tests can prove the checker catches it.
+  void debug_corrupt_region(const common::Region& r);
+
 private:
   struct Copy {
     void* dev_ptr = nullptr;
@@ -184,6 +207,12 @@ private:
   double eviction_overhead_;
   common::Stats& stats_;
   TraceRecorder* trace_ = nullptr;
+
+  // taskcheck state.  The mode is set once before concurrent use; the
+  // last-seen version map (for monotonicity) is guarded by index_mu_.
+  verify::VerifyMode verify_mode_ = verify::VerifyMode::kOff;
+  verify::ErrorSink verify_sink_;
+  std::map<std::uintptr_t, unsigned> verify_versions_;
 
   mutable std::mutex index_mu_;
   common::IntervalMap<RegionInfo> regions_;  // structure under index_mu_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "nanos/runtime.hpp"
+#include "nanos/verify/raceoracle.hpp"
+
 namespace nanos {
 
 DependencyDomain::~DependencyDomain() {
@@ -12,6 +15,9 @@ DependencyDomain::~DependencyDomain() {
 
 void DependencyDomain::submit(Task* t) {
   t->domain = this;
+  // Oracle lock order: domain mu_ before oracle mutex, never the reverse —
+  // the spawn hook runs before mu_ is taken, the arc/complete hooks inside it.
+  if (oracle_ != nullptr) oracle_->on_spawn(t, Runtime::current_task());
   live_.add();
   bool ready = false;
   {
@@ -50,13 +56,20 @@ void DependencyDomain::submit(Task* t) {
     }
     ready = t->pending_preds == 0;
   }
-  if (ready) on_ready_(t, nullptr);
+  if (ready) {
+    if (oracle_ != nullptr) oracle_->on_ready(t);
+    on_ready_(t, nullptr);
+  }
 }
 
 void DependencyDomain::on_complete(Task* t) {
   std::vector<Task*> released;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // Fix the completed task's end clock *before* any successor is released:
+    // a released successor's ready hook joins its predecessors' end clocks,
+    // which must be final by then.
+    if (oracle_ != nullptr) oracle_->on_complete(t);
     // Detach the completed task from the region state so future arcs are not
     // created against it (its data is settled).  The back-references make
     // this O(records the task appears in), not a directory purge.
@@ -71,12 +84,21 @@ void DependencyDomain::on_complete(Task* t) {
     t->successors.clear();
   }
   t->done_flag().set();
+  // Fix every released successor's ready clock before handing any of them to
+  // the scheduler: once a successor starts running it may complete, and its
+  // completion must sequence after the ready event of every sibling released
+  // alongside it (tasks released together are concurrent by construction).
+  if (oracle_ != nullptr) {
+    for (Task* succ : released) oracle_->on_ready(succ);
+  }
   for (Task* succ : released) on_ready_(succ, t);
   live_.done();
 }
 
 void DependencyDomain::wait_all() {
   live_.wait();
+  // The waiter's context now happens-after everything this domain ran.
+  if (oracle_ != nullptr) oracle_->on_taskwait(Runtime::current_task(), this);
   if (stats_ != nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
     publish_stats_locked();
@@ -93,6 +115,7 @@ void DependencyDomain::wait_on(const common::Region& r) {
     });
   }
   for (Task* p : producers) p->done_flag().wait();
+  if (oracle_ != nullptr) oracle_->on_wait_on(Runtime::current_task(), producers);
 }
 
 std::uint64_t DependencyDomain::lookups() const {
@@ -110,6 +133,7 @@ void DependencyDomain::add_arc_locked(Task* pred, Task* succ) {
   pred->successors.push_back(succ);
   ++succ->pending_preds;
   ++arcs_;
+  if (oracle_ != nullptr) oracle_->on_arc(pred, succ);
 }
 
 void DependencyDomain::become_writer_locked(detail::DepRecord& rec, Task* t) {

@@ -30,6 +30,10 @@
 
 namespace nanos {
 
+namespace verify {
+class RaceOracle;
+}
+
 namespace detail {
 
 /// Directory record for one clause region: the task that last wrote it and
@@ -75,6 +79,12 @@ public:
 
   std::size_t live_tasks() const { return live_.pending(); }
 
+  /// taskcheck: mirrors this domain's schedule events (spawn, arcs, ready,
+  /// completion, taskwaits) into `oracle` so it can independently re-derive
+  /// the happens-before order.  Call before the first submit().
+  void set_race_oracle(verify::RaceOracle* oracle) { oracle_ = oracle; }
+  verify::RaceOracle* race_oracle() const { return oracle_; }
+
   // Directory hot-path counters (cumulative; for tests and diagnostics).
   std::uint64_t lookups() const;          ///< overlap queries issued
   std::uint64_t records_scanned() const;  ///< directory records visited by them
@@ -95,6 +105,7 @@ private:
   vt::CountLatch live_;
   ReadyCallback on_ready_;
   common::Stats* stats_;
+  verify::RaceOracle* oracle_ = nullptr;
   common::IntervalMap<detail::DepRecord> records_;
   std::vector<detail::DepRecord*> overlap_scratch_;  // reused per submit; mu_ held
 

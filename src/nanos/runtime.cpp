@@ -35,6 +35,7 @@ RuntimeConfig RuntimeConfig::from(const common::Config& c) {
   cfg.smp_gflops = c.get_double("smp_gflops", cfg.smp_gflops);
   cfg.host_memcpy_bandwidth = c.get_double("host_bw", cfg.host_memcpy_bandwidth);
   cfg.trace_path = c.get_string("trace", cfg.trace_path);
+  cfg.verify = c.get_string("verify", cfg.verify);
   cfg.presend = static_cast<int>(c.get_int("presend", cfg.presend));
   cfg.slave_to_slave = c.get_bool("stos", cfg.slave_to_slave);
   int gpus = static_cast<int>(c.get_int("gpus", 0));
@@ -53,6 +54,14 @@ Runtime::Runtime(vt::Clock& clock, RuntimeConfig cfg)
       clock_, platform_, parse_cache_policy(cfg_.cache_policy), cfg_.overlap,
       cfg_.host_memcpy_bandwidth, stats_, cfg_.eviction_overhead);
   coherence_->set_trace(trace_.get());
+
+  // taskcheck wiring: violations surface like task-body exceptions — recorded
+  // here, rethrown at the next taskwait.
+  const verify::VerifyMode vmode = verify::parse_verify_mode(cfg_.verify);
+  verify::ErrorSink vsink = [this](std::exception_ptr e) { record_task_error(std::move(e)); };
+  if (verify::coherence_enabled(vmode)) coherence_->set_verify(vmode, vsink);
+  if (verify::races_enabled(vmode))
+    oracle_ = std::make_unique<verify::RaceOracle>(vsink, &stats_);
 
   // Injected device faults (kernel aborts, failed copies) surface exactly
   // like task-body exceptions: captured here, rethrown at the next taskwait.
@@ -91,6 +100,7 @@ Runtime::Runtime(vt::Clock& clock, RuntimeConfig cfg)
 
   root_domain_ = std::make_unique<DependencyDomain>(
       clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); }, &stats_);
+  root_domain_->set_race_oracle(oracle_.get());
 
   vt::Hold hold(clock_);
   for (int g = 0; g < platform_.device_count(); ++g)
@@ -120,6 +130,7 @@ DependencyDomain& Runtime::domain_for_spawn() {
   if (!cur->child_domain) {
     cur->child_domain = std::make_unique<DependencyDomain>(
         clock_, [this](Task* t, Task* releaser) { on_ready(t, releaser); }, &stats_);
+    cur->child_domain->set_race_oracle(oracle_.get());
   }
   return *cur->child_domain;
 }

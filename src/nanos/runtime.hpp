@@ -25,6 +25,7 @@
 #include "nanos/scheduler.hpp"
 #include "nanos/task.hpp"
 #include "nanos/trace.hpp"
+#include "nanos/verify/raceoracle.hpp"
 #include "simcuda/simcuda.hpp"
 #include "vt/clock.hpp"
 
@@ -44,6 +45,9 @@ struct RuntimeConfig {
   /// Non-empty: record a Chrome trace of task/transfer intervals and write
   /// it here when the runtime shuts down (the instrumentation layer).
   std::string trace_path;
+
+  /// taskcheck passes: off | race | coherence | all (see docs/verifier.md).
+  std::string verify = "off";
 
   // Cluster-only knobs (consumed by ClusterRuntime).
   int presend = 0;                    ///< tasks sent ahead per remote node
@@ -84,6 +88,8 @@ public:
   CoherenceManager& coherence() { return *coherence_; }
   /// Non-null when tracing was enabled via RuntimeConfig::trace_path.
   TraceRecorder* trace() { return trace_.get(); }
+  /// Non-null when `verify` enables the race pass.
+  verify::RaceOracle* race_oracle() { return oracle_.get(); }
 
   /// True if a task body threw and the error has not been consumed yet.
   bool has_task_error() const;
@@ -125,6 +131,7 @@ private:
   simcuda::Platform platform_;
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<CoherenceManager> coherence_;
+  std::unique_ptr<verify::RaceOracle> oracle_;
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<DependencyDomain> root_domain_;
 

@@ -1,6 +1,7 @@
 #include "nanos/task.hpp"
 
 #include "nanos/dep.hpp"
+#include "nanos/verify/raceoracle.hpp"
 
 namespace nanos {
 
@@ -8,5 +9,15 @@ Task::Task(std::uint64_t id, TaskDesc desc, vt::Clock& clock)
     : id_(id), desc_(std::move(desc)), done_(clock) {}
 
 Task::~Task() = default;
+
+void TaskContext::observe(const void* p, std::size_t n, AccessMode mode) {
+  // Cluster proxies report against the master-side task so the annotation
+  // lands in the master's oracle alongside the declared (user-address)
+  // clauses.  Runtime::current_task() is not usable here: GPU kernel payloads
+  // run on device engine threads that never set it.
+  Task* target = task_.desc().verify_alias != nullptr ? task_.desc().verify_alias : &task_;
+  if (target->race_oracle == nullptr) return;
+  target->race_oracle->observe(target, common::Region(p, n), mode);
+}
 
 }  // namespace nanos

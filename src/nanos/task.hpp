@@ -21,6 +21,11 @@ namespace nanos {
 class Runtime;
 class Task;
 
+namespace verify {
+class RaceOracle;
+struct TaskClock;
+}
+
 enum class DeviceKind { kSmp, kCuda };
 
 enum class AccessMode { kIn, kOut, kInout };
@@ -60,6 +65,14 @@ public:
 
   Runtime& runtime() { return rt_; }
   Task& task() { return task_; }
+
+  /// taskcheck annotation (sanitizer-style): declares that the body really
+  /// touches `n` bytes at `p` with `mode` — including bytes *not* named in
+  /// any clause, which is exactly what the race oracle needs to catch an
+  /// under-declared dependence.  `p` is a master/user address (pass the
+  /// original pointer, not a device-translated one).  No-op when `verify`
+  /// is off; routed to the master oracle for cluster-remote bodies.
+  void observe(const void* p, std::size_t n, AccessMode mode);
   /// Executing GPU, or nullptr for SMP tasks.
   simcuda::Device* device() const { return device_; }
   simcuda::Stream* stream() const { return stream_; }
@@ -91,6 +104,10 @@ struct TaskDesc {
   /// to its dependency domain.  The cluster layer uses it to update the
   /// node-level directory and to send TASK_DONE for remotely executed tasks.
   std::function<void()> completion_cb;
+  /// taskcheck: for cluster proxy tasks, the master-side Task this proxy
+  /// executes.  TaskContext::observe() reports against the alias (with
+  /// master/user addresses) so remote bodies feed the master's race oracle.
+  Task* verify_alias = nullptr;
 };
 
 class DependencyDomain;
@@ -146,6 +163,13 @@ public:
 
   /// Lazily created domain for this task's children (nested parallelism).
   std::unique_ptr<DependencyDomain> child_domain;
+
+  /// Race oracle tracking this task (set by the oracle's spawn hook; null
+  /// when `verify` is off).  Lets observe() route in O(1).
+  verify::RaceOracle* race_oracle = nullptr;
+  /// That oracle's clock record for this task (same lifetime as the oracle);
+  /// saves a map lookup on every schedule hook.
+  verify::TaskClock* vclock = nullptr;
 
 private:
   std::uint64_t id_;

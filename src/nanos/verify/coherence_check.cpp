@@ -1,0 +1,176 @@
+// Implementation of taskcheck pass 2: the invariant walks live here, out of
+// the protocol hot paths, but run as member functions — the invariants are
+// over private metadata (directory entries, device copies, node directory).
+#include "nanos/verify/coherence_check.hpp"
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nanos/cluster.hpp"
+#include "nanos/coherence.hpp"
+
+namespace nanos {
+
+void CoherenceManager::set_verify(verify::VerifyMode mode, verify::ErrorSink sink) {
+  verify_mode_ = mode;
+  verify_sink_ = std::move(sink);
+}
+
+void CoherenceManager::verify_invariants(const char* where) {
+  verify::InvariantReporter rep(verify_sink_, &stats_, where);
+  std::lock_guard<std::mutex> ix(index_mu_);
+  for (auto& [start, entry] : regions_) {
+    RegionInfo& info = entry.value;
+    std::lock_guard<std::mutex> cl(shard_of(info).mu);
+    if (info.busy) continue;  // a wire operation owns this entry's state
+    const std::string id = info.region.to_string();
+
+    // Version monotonicity between quiesce points.
+    auto [vit, first_seen] = verify_versions_.try_emplace(start, info.version);
+    if (!first_seen) {
+      if (info.version < vit->second) {
+        rep.violation("region " + id + " version moved backwards (v" +
+                      std::to_string(info.version) + " after v" + std::to_string(vit->second) +
+                      ")");
+      }
+      vit->second = info.version;
+    }
+
+    if (info.valid.empty()) {
+      rep.violation("region " + id + " has no valid copy in any space");
+    }
+    int dirty_copies = 0;
+    for (const auto& [space, copy] : info.copies) {
+      const std::string cid = "region " + id + " copy in space " + std::to_string(space);
+      if (copy.version > info.version) {
+        rep.violation(cid + " is ahead of the directory (copy v" +
+                      std::to_string(copy.version) + " > region v" +
+                      std::to_string(info.version) + ")");
+      }
+      if (copy.pins < 0) {
+        rep.violation(cid + " has a negative pin count (" + std::to_string(copy.pins) + ")");
+      }
+      if (copy.dirty) {
+        ++dirty_copies;
+        if (copy.version != info.version || info.valid.count(space) == 0) {
+          rep.violation(cid + " is dirty but stale (copy v" + std::to_string(copy.version) +
+                        ", region v" + std::to_string(info.version) +
+                        "): shadowed by a newer committed version");
+        }
+      }
+    }
+    if (dirty_copies > 1) {
+      rep.violation("region " + id + " has " + std::to_string(dirty_copies) +
+                    " dirty copies (single-writer violated)");
+    }
+    for (int space : info.valid) {
+      if (space == kHostSpace) continue;
+      auto it = info.copies.find(space);
+      if (it == info.copies.end() || it->second.dev_ptr == nullptr) {
+        rep.violation("region " + id + " lists space " + std::to_string(space) +
+                      " as valid but that space holds no copy");
+      } else if (it->second.version != info.version) {
+        rep.violation("region " + id + " lists space " + std::to_string(space) +
+                      " as valid but its copy is v" + std::to_string(it->second.version) +
+                      " (region v" + std::to_string(info.version) + ")");
+      }
+    }
+  }
+}
+
+bool CoherenceManager::host_current(const common::Region& r) {
+  std::lock_guard<std::mutex> ix(index_mu_);
+  bool current = true;
+  regions_.for_overlapping(r, [this, &current](common::IntervalMap<RegionInfo>::Entry& e) {
+    RegionInfo& info = e.value;
+    std::lock_guard<std::mutex> cl(shard_of(info).mu);
+    if (!info.busy && info.valid.count(kHostSpace) == 0) current = false;
+  });
+  return current;
+}
+
+void CoherenceManager::debug_corrupt_region(const common::Region& r) {
+  std::lock_guard<std::mutex> ix(index_mu_);
+  RegionInfo& info = lookup_locked(r);
+  std::lock_guard<std::mutex> cl(shard_of(info).mu);
+  // A space that backs no copy: breaks multi-reader agreement on the next
+  // walk without perturbing any real data the run still needs.
+  info.valid.insert(platform_.device_count() + 17);
+}
+
+void ClusterRuntime::verify_invariants(const char* where, bool flushed) {
+  Runtime* master = nodes_[0].rt.get();
+  verify::ErrorSink sink = [master](std::exception_ptr e) {
+    master->record_task_error(std::move(e));
+  };
+  verify::InvariantReporter rep(sink, &stats_, where);
+  std::vector<common::Region> home_regions;  // cross-layer checked outside mu_
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [start, entry] : dir_) {
+      NodeDirEntry& e = entry.value;
+      // Lost regions already surfaced an error; recovering ones are mid-
+      // replay and deliberately hold version > what any copy has.
+      if (e.lost || e.recovering) continue;
+      const std::string id = "node-dir region " + e.region.to_string();
+
+      auto [vit, first_seen] = verify_versions_.try_emplace(start, e.version);
+      if (!first_seen) {
+        if (e.version < vit->second) {
+          rep.violation(id + " version moved backwards (v" + std::to_string(e.version) +
+                        " after v" + std::to_string(vit->second) + ")");
+        }
+        vit->second = e.version;
+      }
+
+      if (e.version < e.master_version) {
+        rep.violation(id + " home copy is ahead of the region (master v" +
+                      std::to_string(e.master_version) + " > v" + std::to_string(e.version) +
+                      ")");
+      } else if (e.version != e.master_version + e.redo_log.size()) {
+        rep.violation(id + " redo-log accounting broken: v" + std::to_string(e.version) +
+                      " != master v" + std::to_string(e.master_version) + " + " +
+                      std::to_string(e.redo_log.size()) + " logged writes");
+      }
+      if (e.valid.empty()) {
+        rep.violation(id + " has no copy on any node");
+      }
+      for (int node : e.valid) {
+        if (node < 0 || node >= cfg_.nodes) {
+          rep.violation(id + " lists nonexistent node " + std::to_string(node) +
+                        " as a holder");
+          continue;
+        }
+        if (!node_alive_locked(node)) {
+          rep.violation(id + " lists dead node " + std::to_string(node) + " as a holder");
+        }
+        if (node != 0 && e.addr.find(node) == e.addr.end()) {
+          rep.violation(id + " holder node " + std::to_string(node) +
+                        " has no segment address for the copy");
+        }
+      }
+      for (const auto& [dst, src] : e.stage_src) {
+        if (e.staging_to.find(dst) == e.staging_to.end()) {
+          rep.violation(id + " records a transfer source for node " + std::to_string(dst) +
+                        " with no in-flight transfer to it");
+        }
+      }
+      if (flushed && e.staging_to.empty() && e.valid.count(0) != 0) {
+        home_regions.push_back(e.region);
+      }
+    }
+  }
+  // Master-directory/slave-cache agreement: after the taskwait flush, a
+  // region the node directory calls home must be host-current inside node
+  // 0's own coherence manager (not parked dirty on a master GPU).
+  for (const common::Region& r : home_regions) {
+    if (!master->coherence().host_current(r)) {
+      rep.violation("node-dir region " + r.to_string() +
+                    " is valid on node 0 but not host-current in node 0's caches");
+    }
+  }
+}
+
+}  // namespace nanos

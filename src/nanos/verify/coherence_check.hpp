@@ -1,0 +1,74 @@
+// Coherence invariant checker (taskcheck pass 2).
+//
+// The checker walks the coherence metadata at quiesce points — every
+// flush_all() (the taskwait flush), and after every release() under
+// `verify=all` — and asserts the protocol invariants that must hold whenever
+// no transfer is mutating an entry:
+//
+//  Node-local directory + device caches (CoherenceManager::verify_invariants):
+//   * some space holds the current version (the data exists somewhere);
+//   * every space in the valid set other than the host backs it with a live
+//     device copy of the current version (multi-reader agreement);
+//   * at most one copy is dirty (single-writer);
+//   * a dirty copy IS the current version — a stale dirty copy shadowed by a
+//     newer committed version would eventually write garbage back;
+//   * no copy is ahead of the directory version, no pin count is negative;
+//   * the directory version never moves backwards between quiesce points.
+//
+//  Cluster node directory (ClusterRuntime::verify_invariants):
+//   * redo-log accounting: version == master_version + redo_log.size(), so a
+//     recovery replay reconstructs exactly the missing versions;
+//   * every node listed as a holder is alive and (slaves) has a segment
+//     address for the copy;
+//   * in-flight transfer bookkeeping is paired (a recorded source implies a
+//     recorded in-flight destination);
+//   * after a taskwait flush, master-directory/slave-cache agreement: a
+//     region the node directory calls home (valid on node 0) is host-current
+//     in node 0's coherence manager.
+//
+// Entries with a transfer in flight (busy / staging) and regions in
+// lost/recovering states are skipped: their transient states are owned by
+// the protocol code, not quiescent.
+//
+// Violations are CoherenceInvariantError, delivered through the error sink
+// (recorded as the runtime's task error, rethrown at taskwait) or thrown in
+// place when no sink is set (direct-driving tests).
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "nanos/verify/verify.hpp"
+
+namespace nanos::verify {
+
+/// Shared delivery helper for the invariant walks: counts violations into
+/// `stats` ("verify.coherence_violations") and hands each one to the sink —
+/// or throws at the first when no sink is set.
+class InvariantReporter {
+public:
+  InvariantReporter(const ErrorSink& sink, common::Stats* stats, const char* where)
+      : sink_(sink), stats_(stats), where_(where) {}
+
+  void violation(const std::string& what) {
+    ++count_;
+    if (stats_ != nullptr) stats_->incr("verify.coherence_violations");
+    CoherenceInvariantError err("coherence invariant violated at " + std::string(where_) +
+                                ": " + what);
+    if (sink_) {
+      sink_(std::make_exception_ptr(err));
+    } else {
+      throw err;
+    }
+  }
+
+  int count() const { return count_; }
+
+private:
+  const ErrorSink& sink_;
+  common::Stats* stats_;
+  const char* where_;
+  int count_ = 0;
+};
+
+}  // namespace nanos::verify

@@ -1,0 +1,397 @@
+#include "nanos/verify/raceoracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "nanos/dep.hpp"
+
+namespace nanos::verify {
+
+VerifyMode parse_verify_mode(const std::string& s) {
+  if (s.empty() || s == "off" || s == "none") return VerifyMode::kOff;
+  if (s == "race") return VerifyMode::kRace;
+  if (s == "coherence") return VerifyMode::kCoherence;
+  if (s == "all") return VerifyMode::kAll;
+  throw std::invalid_argument("verify: unknown mode '" + s +
+                              "' (expected off|race|coherence|all)");
+}
+
+const char* to_string(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::kOff: return "off";
+    case VerifyMode::kRace: return "race";
+    case VerifyMode::kCoherence: return "coherence";
+    case VerifyMode::kAll: return "all";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ChainClock
+
+namespace {
+
+inline ChainClock::Delta::const_iterator delta_find(const ChainClock::Delta& d,
+                                                    std::uint32_t chain) {
+  return std::lower_bound(
+      d.begin(), d.end(), chain,
+      [](const std::pair<std::uint32_t, std::uint32_t>& e, std::uint32_t c) {
+        return e.first < c;
+      });
+}
+
+}  // namespace
+
+std::uint32_t ChainClock::value(std::uint32_t chain) const {
+  std::uint32_t v = 0;
+  auto it = delta_find(delta, chain);
+  if (it != delta.end() && it->first == chain) v = it->second;
+  if (base != nullptr) {
+    auto bit = base->find(chain);
+    if (bit != base->end() && bit->second > v) v = bit->second;
+  }
+  return v;
+}
+
+void ChainClock::raise(std::uint32_t chain, std::uint32_t pos) {
+  auto it = delta.begin() + (delta_find(delta, chain) - delta.cbegin());
+  if (it != delta.end() && it->first == chain) {
+    if (pos > it->second) it->second = pos;
+  } else {
+    delta.insert(it, {chain, pos});
+  }
+}
+
+void ChainClock::join(const ChainClock& o) {
+  if (!o.delta.empty()) {
+    if (delta.empty()) {
+      delta = o.delta;
+    } else {
+      // Both deltas are sorted by chain: one linear merge, one allocation.
+      Delta merged;
+      merged.reserve(delta.size() + o.delta.size());
+      std::size_t i = 0, j = 0;
+      while (i < delta.size() && j < o.delta.size()) {
+        if (delta[i].first < o.delta[j].first) {
+          merged.push_back(delta[i++]);
+        } else if (o.delta[j].first < delta[i].first) {
+          merged.push_back(o.delta[j++]);
+        } else {
+          merged.emplace_back(delta[i].first, std::max(delta[i].second, o.delta[j].second));
+          ++i;
+          ++j;
+        }
+      }
+      merged.insert(merged.end(), delta.begin() + static_cast<std::ptrdiff_t>(i), delta.end());
+      merged.insert(merged.end(), o.delta.begin() + static_cast<std::ptrdiff_t>(j),
+                    o.delta.end());
+      delta = std::move(merged);
+    }
+  }
+  if (o.base != nullptr && o.base != base) {
+    for (const auto& [c, p] : *o.base) {
+      if (base == nullptr || value(c) < p) raise(c, p);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RaceOracle
+
+RaceOracle::RaceOracle(ErrorSink sink, common::Stats* stats)
+    : sink_(std::move(sink)), stats_(stats) {}
+
+RaceOracle::~RaceOracle() = default;
+
+void RaceOracle::on_spawn(Task* t, Task* spawner) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TaskClock& tc = clocks_.emplace_back();
+  tc.task = t;
+  tc.spawner = spawner != nullptr ? clock_of_locked(spawner) : nullptr;
+  tc.start_vc.base = context_locked(spawner).vc;
+  t->race_oracle = this;
+  t->vclock = &tc;
+  if (stats_ != nullptr) stats_->incr("verify.tasks");
+}
+
+void RaceOracle::on_arc(Task* pred, Task* succ) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TaskClock* pc = clock_of_locked(pred);
+  TaskClock* sc = clock_of_locked(succ);
+  if (pc == nullptr || sc == nullptr) return;
+  sc->preds.push_back(pc);
+}
+
+void RaceOracle::on_ready(Task* t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TaskClock* tc = clock_of_locked(t);
+  if (tc == nullptr || tc->ready) return;
+  // Every declared predecessor has completed (that is what "ready" means),
+  // so their end clocks are final — join them.
+  for (TaskClock* p : tc->preds) tc->start_vc.join(p->end_vc);
+  // Chain assignment: extend a predecessor's chain when that predecessor is
+  // still its chain's tail; otherwise open a new chain.
+  TaskClock* tail_pred = nullptr;
+  for (TaskClock* p : tc->preds) {
+    if (chain_tail_[p->chain] == p->end_pos) {
+      tail_pred = p;
+      break;
+    }
+  }
+  if (tail_pred != nullptr) {
+    tc->chain = tail_pred->chain;
+    tc->start_pos = chain_tail_[tc->chain] + 1;
+  } else {
+    tc->chain = static_cast<std::uint32_t>(chain_tail_.size());
+    chain_tail_.push_back(0);
+    tc->start_pos = 1;
+  }
+  tc->end_pos = tc->start_pos + 1;
+  chain_tail_[tc->chain] = tc->end_pos;
+  tc->start_vc.raise(tc->chain, tc->start_pos);
+  tc->ready = true;
+  tc->ready_seq = ++seq_;
+  // Race-check and record the task's declared clauses.  Accesses the body
+  // performs beyond these arrive later through observe().
+  for (const Access& a : t->accesses()) check_access_locked(*tc, a.region, a.mode);
+}
+
+void RaceOracle::on_complete(Task* t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TaskClock* tc = clock_of_locked(t);
+  if (tc == nullptr || tc->completed) return;
+  // The end clock is the task's knowledge when it finished: its start clock,
+  // whatever its body joined via nested taskwaits (the body context), and its
+  // own end event.  Children it did NOT wait for are deliberately excluded —
+  // they are not ordered before the parent's successors.
+  tc->end_vc = tc->start_vc;
+  auto ctx = body_ctx_.find(t);
+  if (ctx != body_ctx_.end() && ctx->second.vc != nullptr) {
+    ChainClock joined;
+    joined.base = ctx->second.vc;
+    tc->end_vc.join(joined);
+  }
+  tc->end_vc.raise(tc->chain, tc->end_pos);
+  tc->completed = true;
+  tc->done_seq = ++seq_;
+  // Fold the end clock into the per-domain join clock (what a taskwait over
+  // the domain merges into the waiter).  Each shared base map is folded only
+  // once, so a wide fan of siblings costs O(deltas), not O(tasks^2).
+  DomainJoin& dj = domain_vc_[t->domain];
+  const ChainClock::Map* base = tc->end_vc.base.get();
+  if (base != nullptr && std::find(dj.folded_bases.begin(), dj.folded_bases.end(), base) ==
+                             dj.folded_bases.end()) {
+    dj.folded_bases.push_back(base);
+    dj.bases.push_back(tc->end_vc.base);  // keep the map alive
+    for (const auto& [c, p] : *base) {
+      std::uint32_t& slot = dj.acc[c];
+      if (p > slot) slot = p;
+    }
+  }
+  for (const auto& [c, p] : tc->end_vc.delta) {
+    std::uint32_t& slot = dj.acc[c];
+    if (p > slot) slot = p;
+  }
+}
+
+void RaceOracle::on_taskwait(Task* waiter, DependencyDomain* domain) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = domain_vc_.find(domain);
+  if (it == domain_vc_.end()) return;  // no completed task yet
+  join_into_context_locked(context_locked(waiter), it->second.acc);
+}
+
+void RaceOracle::on_wait_on(Task* waiter, const std::vector<Task*>& producers) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Context& ctx = context_locked(waiter);
+  for (Task* p : producers) {
+    TaskClock* pc = clock_of_locked(p);
+    if (pc != nullptr && pc->completed) join_into_context_locked(ctx, pc->end_vc);
+  }
+}
+
+void RaceOracle::observe(Task* t, const common::Region& r, AccessMode mode) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TaskClock* tc = clock_of_locked(t);
+  if (tc == nullptr || !tc->ready) return;
+  check_access_locked(*tc, r, mode);
+}
+
+std::uint64_t RaceOracle::violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return violations_;
+}
+
+TaskClock* RaceOracle::clock_of_locked(Task* t) {
+  // The clock record rides on the task itself (set at spawn).  The oracle
+  // check guards against a task tracked by a different runtime's oracle.
+  return t != nullptr && t->race_oracle == this ? t->vclock : nullptr;
+}
+
+RaceOracle::Context& RaceOracle::context_locked(Task* waiter) {
+  if (waiter == nullptr) return root_ctx_;
+  auto [it, inserted] = body_ctx_.try_emplace(waiter);
+  if (inserted) {
+    // First spawn/taskwait from this body: snapshot the task's start clock.
+    // The body context then only grows through the body's own taskwaits.
+    TaskClock* tc = clock_of_locked(waiter);
+    if (tc != nullptr) {
+      auto flat = std::make_shared<ChainClock::Map>();
+      if (tc->start_vc.base != nullptr) *flat = *tc->start_vc.base;
+      for (const auto& [c, p] : tc->start_vc.delta) {
+        std::uint32_t& slot = (*flat)[c];
+        if (p > slot) slot = p;
+      }
+      it->second.vc = std::move(flat);
+    }
+  }
+  return it->second;
+}
+
+void RaceOracle::join_into_context_locked(Context& ctx, const ChainClock::Map& m) {
+  auto next = std::make_shared<ChainClock::Map>();
+  if (ctx.vc != nullptr) *next = *ctx.vc;
+  for (const auto& [c, p] : m) {
+    std::uint32_t& slot = (*next)[c];
+    if (p > slot) slot = p;
+  }
+  ctx.vc = std::move(next);  // fresh snapshot: tasks spawned later see it
+}
+
+void RaceOracle::join_into_context_locked(Context& ctx, const ChainClock& vc) {
+  auto next = std::make_shared<ChainClock::Map>();
+  if (ctx.vc != nullptr) *next = *ctx.vc;
+  auto fold = [&next](std::uint32_t c, std::uint32_t p) {
+    std::uint32_t& slot = (*next)[c];
+    if (p > slot) slot = p;
+  };
+  if (vc.base != nullptr) {
+    for (const auto& [c, p] : *vc.base) fold(c, p);
+  }
+  for (const auto& [c, p] : vc.delta) fold(c, p);
+  ctx.vc = std::move(next);  // fresh snapshot: tasks spawned later see it
+}
+
+bool RaceOracle::ordered_before_locked(const AccessStamp& s, const TaskClock& t) const {
+  return t.start_vc.value(s.chain) >= s.end_pos;
+}
+
+bool RaceOracle::lineal_locked(const TaskClock& a, const TaskClock& b) const {
+  for (const TaskClock* p = a.spawner; p != nullptr; p = p->spawner) {
+    if (p == &b) return true;
+  }
+  for (const TaskClock* p = b.spawner; p != nullptr; p = p->spawner) {
+    if (p == &a) return true;
+  }
+  return false;
+}
+
+void RaceOracle::check_access_locked(TaskClock& tc, const common::Region& r, AccessMode mode) {
+  if (r.empty()) return;
+  hits_.clear();  // scratch buffer: one live use per call, mu_ held
+  shadow_.for_overlapping(r, [&](auto& e) { hits_.emplace_back(e.region, &e.value); });
+  auto conflicts = [&](const AccessStamp& s, common::Region* overlap) {
+    if (s.owner == nullptr || s.owner == &tc) return false;
+    if (!writes(s.mode) && !writes(mode)) return false;  // reader vs reader
+    // A stamp covers only the bytes its access really touched, never the
+    // whole cell — a subregion write must not implicate disjoint siblings.
+    const std::uintptr_t lo = std::max(s.region.start, r.start);
+    const std::uintptr_t hi = std::min(s.region.end(), r.end());
+    if (lo >= hi) return false;
+    // Parent/child pairs share the region by hierarchical decomposition
+    // (the parent's clause covers what its children subdivide) — exempt.
+    if (lineal_locked(*s.owner, tc)) return false;
+    // Completion-before-ready is mutex-mediated happens-before inside the
+    // runtime: the stamping task's body finished before ours could start,
+    // so the pair cannot physically race even with no arc between them.
+    if (s.owner->completed && s.owner->done_seq < tc.ready_seq) return false;
+    if (ordered_before_locked(s, tc)) return false;
+    *overlap = common::Region{lo, hi - lo};
+    return true;
+  };
+  for (const auto& [hr, cell] : hits_) {
+    common::Region overlap;
+    for (const AccessStamp& s : cell->writers) {
+      if (conflicts(s, &overlap)) report_locked(s, tc, r, mode, overlap);
+    }
+    if (writes(mode)) {
+      for (const AccessStamp& s : cell->readers) {
+        if (conflicts(s, &overlap)) report_locked(s, tc, r, mode, overlap);
+      }
+    }
+  }
+  // Record the access.  A write retires every stamp whose range it fully
+  // covers (FastTrack-style forgetting: the superseded access was either
+  // ordered before us or just reported) and lands on the exact cell, created
+  // on demand; a read joins that cell's reader set.
+  const AccessStamp me{&tc, tc.chain, tc.end_pos, mode, r};
+  auto covered = [&r](const AccessStamp& s) {
+    return s.region.start >= r.start && s.region.end() <= r.end();
+  };
+  auto retire = [&covered](std::vector<AccessStamp>& v) {
+    v.erase(std::remove_if(v.begin(), v.end(), covered), v.end());
+  };
+  auto [it, inserted] = shadow_.try_emplace(r);
+  if (!inserted && r.size > it->second.region.size) shadow_.update_extent(it, r.size);
+  ShadowCell& exact = it->second.value;
+  if (writes(mode)) {
+    for (const auto& [hr, cell] : hits_) {
+      retire(cell->writers);
+      retire(cell->readers);
+    }
+    retire(exact.writers);  // the exact cell may be new (absent from hits)
+    retire(exact.readers);
+    exact.writers.push_back(me);
+  } else {
+    bool already = false;
+    for (const AccessStamp& s : exact.readers) {
+      // A previous stamp by us covering at least these bytes makes this read
+      // redundant (our epoch only moves forward).
+      already = already || (s.owner == &tc && s.region.start <= r.start &&
+                            s.region.end() >= r.end());
+    }
+    if (!already) exact.readers.push_back(me);
+  }
+}
+
+void RaceOracle::report_locked(const AccessStamp& earlier, const TaskClock& later,
+                               const common::Region& later_region, AccessMode later_mode,
+                               const common::Region& overlap) {
+  // One report per unordered task pair — a pair racing on many cells would
+  // otherwise flood the sink.
+  Task* a = earlier.owner->task;
+  Task* b = later.task;
+  auto pair = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (!reported_.insert(pair).second) return;
+  ++violations_;
+  if (stats_ != nullptr) stats_->incr("verify.races");
+
+  const bool earlier_writes = writes(earlier.mode);
+  const bool later_writes = writes(later_mode);
+  const char* kind = earlier_writes ? (later_writes ? "write-after-write" : "read-after-write")
+                                    : "write-after-read";
+  // The clause whose absence left the pair unordered: a pure read needed an
+  // input clause on the racing bytes; anything writing needed inout.
+  const char* missing = earlier_writes && !later_writes ? "input" : "inout";
+
+  auto describe = [](Task* t, AccessMode m) {
+    std::ostringstream os;
+    os << "task '" << t->label() << "' (#" << t->id() << ", "
+       << (writes(m) ? (reads(m) ? "inout" : "out") : "in") << ")";
+    return os.str();
+  };
+  std::ostringstream os;
+  os << "dependency race (" << kind << "): " << describe(b, later_mode) << " touching "
+     << later_region.to_string() << " is unordered with " << describe(a, earlier.mode)
+     << "; overlapping bytes " << overlap.to_string() << "; missing " << missing
+     << " clause on one of the tasks";
+  RaceViolation err(os.str());
+  if (sink_) {
+    sink_(std::make_exception_ptr(err));
+  } else {
+    throw err;
+  }
+}
+
+}  // namespace nanos::verify

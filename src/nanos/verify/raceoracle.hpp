@@ -1,0 +1,189 @@
+// Dependency-race oracle (taskcheck pass 1).
+//
+// An Archer-style happens-before checker specialized to task dependences:
+// every task gets a vector clock derived from the *executed* schedule —
+// task spawn (spawning context → task), dependence-release edges (the arcs
+// the dependency layer actually created), implicit child joins (a parent
+// completes only after its children) and taskwait joins — and for every pair
+// of tasks touching overlapping bytes with at least one writer, the oracle
+// asserts a happens-before path exists.  Because the edge set is exactly the
+// synchronization the runtime provided, the oracle independently validates
+// the dependency layer's RAW/WAR/WAW construction, sibling-only scoping and
+// the interval-index directory — and it catches under-declared application
+// clauses when a body registers the bytes it really touches via
+// TaskContext::observe() (the OMPSS_SANITIZE-style annotation hook).
+//
+// Clocks are chain clocks: each task occupies two positions (start, end) on a
+// chain; a task extends a predecessor's chain when that predecessor is the
+// chain's current tail, otherwise it opens a new one.  A vector clock is a
+// shared immutable base (the spawning context's clock, which only changes at
+// taskwait joins) plus a small per-task delta, so the common patterns — wide
+// fans, chains, wavefronts — cost O(predecessors) per task, not O(tasks).
+// Conflicts are found FastTrack-style through a shadow directory keyed by
+// region (common::IntervalMap): each cell holds writer and reader stamps,
+// each carrying its (chain, end position) epoch AND the exact byte range it
+// covers — a stamp never claims the whole cell, so a subregion write (a
+// child tile inside its parent's array, say) cannot make disjoint siblings
+// appear to conflict.  A write retires every stamp its range fully covers.
+//
+// A violation reports both task labels, the overlapping byte range and the
+// missing clause kind, through the error sink — i.e. it surfaces as a hard
+// error at the next taskwait, on the same rethrow path as device faults.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/interval_map.hpp"
+#include "common/stats.hpp"
+#include "nanos/task.hpp"
+#include "nanos/verify/verify.hpp"
+
+namespace nanos {
+class DependencyDomain;
+}
+
+namespace nanos::verify {
+
+/// Sparse chain clock: value(c) = max(delta[c], (*base)[c]).  The base is an
+/// immutable snapshot shared by every task spawned from the same context
+/// window (between two taskwaits), so copying a clock is O(delta).  The
+/// delta is a vector sorted by chain id: deltas are small (one entry per
+/// chain the task transitively depends on), so a single contiguous
+/// allocation with merge-joins beats a node-based map on every hot path.
+struct ChainClock {
+  using Map = std::unordered_map<std::uint32_t, std::uint32_t>;
+  using Delta = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+  std::shared_ptr<const Map> base;
+  Delta delta;  // sorted by chain id, unique keys
+
+  std::uint32_t value(std::uint32_t chain) const;
+  /// delta[c] = max(delta[c], pos).
+  void raise(std::uint32_t chain, std::uint32_t pos);
+  /// Pointwise max with `o`.  Cheap when the bases are the same object.
+  void join(const ChainClock& o);
+};
+
+/// Per-task oracle state; allocated at spawn, owned by the oracle
+/// (Task::vclock points here so observe() is O(1)).
+struct TaskClock {
+  Task* task = nullptr;
+  std::uint32_t chain = 0;
+  std::uint32_t start_pos = 0;  ///< this task's start event on `chain`
+  std::uint32_t end_pos = 0;    ///< its end event (start_pos + 1)
+  ChainClock start_vc;          ///< fixed when the task becomes ready
+  ChainClock end_vc;            ///< fixed at completion (joins taskwaited work)
+  std::vector<TaskClock*> preds;  ///< declared-dependence predecessors
+  TaskClock* spawner = nullptr;   ///< task whose body spawned this one
+  /// Oracle-global sequence numbers for the ready / complete events.  A task
+  /// whose done_seq precedes another task's ready_seq finished before that
+  /// task's body could start — a mutex-mediated happens-before edge the
+  /// dependency directory does not materialize as an arc (a completed writer
+  /// detaches, so a later same-region task gets no predecessor; the cluster
+  /// TASK_DONE → release → forward path hits this constantly).
+  std::uint64_t ready_seq = 0;
+  std::uint64_t done_seq = 0;
+  bool ready = false;
+  bool completed = false;
+};
+
+class RaceOracle {
+public:
+  /// `sink`: where RaceViolation diagnostics go (null: throw in place).
+  RaceOracle(ErrorSink sink, common::Stats* stats);
+  ~RaceOracle();
+
+  RaceOracle(const RaceOracle&) = delete;
+  RaceOracle& operator=(const RaceOracle&) = delete;
+
+  // -- schedule hooks (called by DependencyDomain / TaskContext) -------------
+
+  /// Task submitted; `spawner` is the task whose body spawned it (nullptr:
+  /// the application driver / root context).
+  void on_spawn(Task* t, Task* spawner);
+  /// The dependency layer created arc pred → succ.
+  void on_arc(Task* pred, Task* succ);
+  /// Every predecessor settled: fix the start clock, then race-check and
+  /// record the task's declared accesses.
+  void on_ready(Task* t);
+  /// Task complete: fix the end clock (joining any children) and fold it
+  /// into its domain's join clock.
+  void on_complete(Task* t);
+  /// `waiter` (nullptr: root context) finished a taskwait over `domain`.
+  void on_taskwait(Task* waiter, DependencyDomain* domain);
+  /// `waiter` finished a `taskwait on(...)` joining just `producers`.
+  void on_wait_on(Task* waiter, const std::vector<Task*>& producers);
+
+  /// Body-level access annotation: task `t` really touches `r` with `mode`.
+  /// Declared clauses are observed implicitly; this is for the bytes a body
+  /// touches *beyond* its clauses (or for sanitizer-style instrumentation).
+  void observe(Task* t, const common::Region& r, AccessMode mode);
+
+  /// Races detected so far (also exported as the "verify.races" stat).
+  std::uint64_t violations() const;
+
+private:
+  struct AccessStamp {
+    TaskClock* owner = nullptr;  ///< stamping task's clock record
+    std::uint32_t chain = 0;
+    std::uint32_t end_pos = 0;
+    AccessMode mode = AccessMode::kIn;
+    common::Region region;  ///< the bytes this stamp actually covers
+  };
+  struct ShadowCell {
+    std::vector<AccessStamp> writers;  // live writes over distinct subranges
+    std::vector<AccessStamp> readers;  // reads admitted since those writes
+  };
+  /// A spawning context: the driver thread (root) or one task's body.
+  struct Context {
+    std::shared_ptr<const ChainClock::Map> vc = nullptr;  // null: empty clock
+  };
+
+  // All below require mu_ held.
+  TaskClock* clock_of_locked(Task* t);
+  Context& context_locked(Task* waiter);
+  void join_into_context_locked(Context& ctx, const ChainClock::Map& m);
+  void join_into_context_locked(Context& ctx, const ChainClock& vc);
+  /// True iff the event (chain, pos) happens-before `t`'s start.
+  bool ordered_before_locked(const AccessStamp& s, const TaskClock& t) const;
+  /// True iff one task is an ancestor (transitive spawner) of the other.
+  bool lineal_locked(const TaskClock& a, const TaskClock& b) const;
+  void check_access_locked(TaskClock& tc, const common::Region& r, AccessMode mode);
+  void report_locked(const AccessStamp& earlier, const TaskClock& later,
+                     const common::Region& later_region, AccessMode later_mode,
+                     const common::Region& overlap);
+
+  ErrorSink sink_;
+  common::Stats* stats_;
+
+  mutable std::mutex mu_;
+  std::deque<TaskClock> clocks_;                    // node-stable task state
+  std::vector<std::uint32_t> chain_tail_;           // chain id -> tail position
+  common::IntervalMap<ShadowCell> shadow_;
+  Context root_ctx_;
+  std::unordered_map<Task*, Context> body_ctx_;     // task body contexts
+  std::vector<std::pair<common::Region, ShadowCell*>> hits_;  // check scratch
+  /// Per-domain join clock: the running join of every completed task of that
+  /// domain, what a taskwait merges into the waiter's context.  The folded
+  /// set tracks which shared bases are already merged, so folding a task is
+  /// O(delta), not O(base).  The accumulator is a hash map, not a sorted
+  /// delta: it grows to one entry per chain in the domain.
+  struct DomainJoin {
+    ChainClock::Map acc;
+    std::vector<const ChainClock::Map*> folded_bases;
+    std::vector<std::shared_ptr<const ChainClock::Map>> bases;  // keep alive
+  };
+  std::unordered_map<const DependencyDomain*, DomainJoin> domain_vc_;
+  std::set<std::pair<Task*, Task*>> reported_;  // one report per racing pair
+  std::uint64_t seq_ = 0;  // ready/complete event sequencer (see TaskClock)
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace nanos::verify

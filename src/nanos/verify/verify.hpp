@@ -1,0 +1,61 @@
+// taskcheck — shared definitions of the verification subsystem.
+//
+// The paper's contract (§II–III) is that declared input/output/inout regions
+// are *sufficient*: the runtime infers RAW/WAR/WAW order from them and keeps
+// the directory/cache hierarchy coherent.  The verify passes check both sides
+// of that contract at runtime:
+//
+//  * race   — the dependency-race oracle (raceoracle.hpp): an independent
+//             happens-before check over the executed schedule.
+//  * coherence — directory/cache invariant checks at quiesce points.
+//  * all    — both, with the coherence walk additionally run per event
+//             (after every task release) instead of only at taskwaits.
+//
+// Selected by the `verify` config key (off|race|coherence|all).  Violations
+// are recorded through the runtime's task-error path and rethrown at the
+// next taskwait, exactly like device faults.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace nanos::verify {
+
+enum class VerifyMode { kOff, kRace, kCoherence, kAll };
+
+VerifyMode parse_verify_mode(const std::string& s);
+const char* to_string(VerifyMode m);
+
+inline bool races_enabled(VerifyMode m) {
+  return m == VerifyMode::kRace || m == VerifyMode::kAll;
+}
+inline bool coherence_enabled(VerifyMode m) {
+  return m == VerifyMode::kCoherence || m == VerifyMode::kAll;
+}
+
+/// Base of every taskcheck diagnostic.
+class VerifyError : public std::runtime_error {
+public:
+  explicit VerifyError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A dependency race: two tasks touch overlapping bytes, at least one writes,
+/// and no happens-before path orders them.
+class RaceViolation : public VerifyError {
+public:
+  explicit RaceViolation(const std::string& what) : VerifyError(what) {}
+};
+
+/// A directory/cache state that breaks a coherence-protocol invariant.
+class CoherenceInvariantError : public VerifyError {
+public:
+  explicit CoherenceInvariantError(const std::string& what) : VerifyError(what) {}
+};
+
+/// Where violations go: the owning runtime's record_task_error, so they
+/// surface (first one wins) at the next taskwait.  A null sink means throw
+/// at the detection site instead (used by direct-driving tests).
+using ErrorSink = std::function<void(std::exception_ptr)>;
+
+}  // namespace nanos::verify

@@ -27,6 +27,9 @@ ClusterConfig base_cluster(int nodes, const std::string& placement = "affinity")
   cfg.node.smp_workers = 2;
   cfg.node.scheduler = "dep";
   cfg.node.cache_policy = "wb";
+  // taskcheck: run the race oracle and coherence invariant walks under every
+  // cluster test — a clean suite certifies the protocol, not just outputs.
+  cfg.node.verify = "all";
   simcuda::DeviceProps props;
   props.memory_bytes = 8u << 20;
   props.gflops = 1000.0;

@@ -34,6 +34,9 @@ protected:
     platform_ = std::make_unique<simcuda::Platform>(
         clock_, std::vector<simcuda::DeviceProps>(static_cast<std::size_t>(gpus), props));
     coh_ = std::make_unique<CoherenceManager>(clock_, *platform_, policy, overlap, 8e9, stats_);
+    // taskcheck: every protocol operation in these tests is self-checking —
+    // with no sink set, an invariant violation throws at the walk site.
+    coh_->set_verify(nanos::verify::VerifyMode::kAll, nullptr);
     guard_ = std::make_unique<vt::AttachGuard>(clock_, "main");
   }
 

@@ -18,6 +18,9 @@ using nanos::TaskDesc;
 nanos::RuntimeConfig small_runtime(int gpus) {
   nanos::RuntimeConfig cfg;
   cfg.smp_workers = 2;
+  // taskcheck rides along with the fault tests: injected failures must not
+  // corrupt the schedule's happens-before or the caches' coherence state.
+  cfg.verify = "all";
   simcuda::DeviceProps props;
   props.memory_bytes = 1u << 20;
   cfg.gpus.assign(static_cast<std::size_t>(gpus), props);

@@ -35,6 +35,9 @@ ClusterConfig base_cluster(int nodes) {
   cfg.node.smp_gflops = 1.0;  // 1e9 flop/s: cost.flops = duration in ns
   cfg.node.scheduler = "dep";
   cfg.node.cache_policy = "wb";
+  // taskcheck rides along: node loss and recovery replay must preserve the
+  // directory invariants (lost/recovering entries are skipped mid-repair).
+  cfg.node.verify = "all";
   cfg.link.bandwidth = 1e9;
   return cfg;
 }
