@@ -14,6 +14,7 @@
 //
 // Sweep ceiling via OMPSS_BENCH_TASKS (default 20000).
 #include <chrono>
+#include <cstdio>
 #include <cmath>
 #include <map>
 #include <vector>
@@ -66,6 +67,53 @@ double run_chain(const std::string& verify, long n) {
           [](ompss::Ctx&) {});
     }
     ompss::taskwait_noflush();
+    total = now_s() - t0;
+  });
+  return total;
+}
+
+// Directory-heavy leg: unlike the throughput patterns above (dependence-only
+// accesses that never enter the coherence directory), every task here carries
+// a real copy access over a pool of live tiles, so under verify=all every
+// release runs a coherence invariant walk against a populated directory.
+// Three modes:
+//   off        — unchecked wall-time baseline,
+//   all        — the incremental (dirty-set) walk this series ships,
+//   all+xcheck — verify_crosscheck=true runs a *full* directory walk at every
+//                release on top of the incremental one: an upper bound that
+//                stands in for the old full-rescan-per-release behavior.
+// Acceptance gate: all ≤ 2× off (enforced when OMPSS_BENCH_GATE is set).
+double run_directory(const std::string& verify, long n) {
+  const bool xcheck = verify == "all+xcheck";
+  nanos::RuntimeConfig cfg = node_config(xcheck ? "all" : verify);
+  cfg.verify_crosscheck = xcheck;
+  cfg.cache_policy = "wb";
+  simcuda::DeviceProps props;
+  props.memory_bytes = 64u << 20;
+  props.gflops = 1000.0;
+  props.pcie_bandwidth = 8e9;
+  props.copy_overhead = 0;
+  props.kernel_launch_overhead = 0;
+  cfg.gpus.assign(2, props);
+  constexpr long kTiles = 64;
+  constexpr std::size_t kTileBytes = 4096;
+  std::vector<char> data(static_cast<std::size_t>(kTiles) * kTileBytes);
+  ompss::Env env(cfg);
+  double total = 0;
+  env.run([&] {
+    const double t0 = now_s();
+    const long steps = std::max(1L, n / kTiles);
+    for (long s = 0; s < steps; ++s) {
+      for (long t = 0; t < kTiles; ++t) {
+        ompss::task()
+            .device(ompss::Device::kCuda)
+            .inout(&data[static_cast<std::size_t>(t) * kTileBytes], kTileBytes)
+            .flops(1e3)
+            .run([](ompss::Ctx&) {});
+      }
+      ompss::taskwait_noflush();
+    }
+    ompss::taskwait();
     total = now_s() - t0;
   });
   return total;
@@ -145,6 +193,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Directory-heavy leg (its own mode list: the race oracle is not what it
+  // measures, the per-release coherence walk is).
+  static std::map<std::string, double> dir_time;
+  for (const char* verify : {"off", "all", "all+xcheck"}) {
+    std::string series = std::string("directory/") + verify;
+    std::string name = "ver01/" + series + "/" + std::to_string(n);
+    std::string mode = verify;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [=, &table, &slowdown_table](benchmark::State& st) {
+          double total = 0;
+          for (auto _ : st) {
+            total = run_directory(mode, n);
+            st.SetIterationTime(total);
+          }
+          dir_time[mode] = total;
+          const double base = dir_time.count("off") ? dir_time["off"] : total;
+          st.counters["tasks/s"] = static_cast<double>(n) / total;
+          st.counters["slowdown"] = total / base;
+          table.add("directory", mode, static_cast<double>(n) / total / 1e3);
+          slowdown_table.add("directory", mode, total / base);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+
   // Cluster leg: the fig09 matmul shape with the checker on in every node
   // runtime and in the master oracle (cfg.node.verify drives both).
   apps::matmul::Params mp;
@@ -190,5 +265,19 @@ int main(int argc, char** argv) {
   int rc = bench::run_and_print(argc, argv, table);
   slowdown_table.print();
   cluster_table.print();
+
+  // CI acceptance gate: OMPSS_BENCH_GATE is the largest tolerated
+  // directory-pattern verify=all slowdown in percent of the unchecked run
+  // (200 = 2.0×); unset or 0 disables the check.
+  const long gate = bench::env_knob("GATE", 0);
+  if (rc == 0 && gate > 0 && dir_time.count("off") && dir_time.count("all")) {
+    const double slowdown = dir_time["all"] / dir_time["off"];
+    std::fprintf(stderr, "ver01 gate: directory verify=all slowdown %.2fx (limit %.2fx)\n",
+                 slowdown, static_cast<double>(gate) / 100.0);
+    if (slowdown > static_cast<double>(gate) / 100.0) {
+      std::fprintf(stderr, "ver01 gate: FAILED — verify=all is too expensive\n");
+      rc = 1;
+    }
+  }
   return rc;
 }

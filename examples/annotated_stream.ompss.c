@@ -15,12 +15,15 @@
 #define BSIZE 2048
 #define NTIMES 4
 
+/* Block-section clauses ([lo:len] / [lo;len]): len elements starting at
+ * element lo.  [0:n] covers the same bytes as [n]; spelled both ways here so
+ * the shipped examples exercise the section syntax end to end. */
 #pragma omp target device(cuda) copy_deps
-#pragma omp task input([n] a) output([n] c) cost(2.0 * n)
+#pragma omp task input([0:n] a) output([0:n] c) cost(2.0 * n)
 void stream_copy(const double *a, double *c, int n);
 
 #pragma omp target device(cuda) copy_deps
-#pragma omp task input([n] c) output([n] b) cost(2.0 * n)
+#pragma omp task input([0;n] c) output([0;n] b) cost(2.0 * n)
 void stream_scale(const double *c, double *b, double scalar, int n);
 
 #pragma omp target device(cuda) copy_deps

@@ -118,11 +118,12 @@ std::string function_name_of(const std::string& head) {
   return head.substr(b, p - b);
 }
 
-enum class UseKind { kRead, kWrite };
+enum class UseKind { kRead, kWrite, kReadWrite };
 
 /// Classifies the use of the identifier ending at `end`: a plain assignment
-/// to it (after any subscripts) is a write; everything else — subexpression,
-/// argument, compound assignment like `+=` (which reads first) — is a read.
+/// to it (after any subscripts) is a write; a compound assignment like `+=`
+/// both reads and writes (and reads *first* — the lint's pass-3 distinction);
+/// everything else — subexpression, argument — is a read.
 UseKind classify_use(const std::string& s, size_t end) {
   size_t p = end;
   auto skip_ws = [&] {
@@ -140,6 +141,15 @@ UseKind classify_use(const std::string& s, size_t end) {
   }
   if (p < s.size() && s[p] == '=' && (p + 1 >= s.size() || s[p + 1] != '=')) {
     return UseKind::kWrite;
+  }
+  static const char kCompound[] = "+-*/%&|^";
+  if (p + 1 < s.size() && s[p + 1] == '=' &&
+      std::string(kCompound).find(s[p]) != std::string::npos) {
+    return UseKind::kReadWrite;
+  }
+  if (p + 2 < s.size() && s[p + 2] == '=' &&
+      ((s[p] == '<' && s[p + 1] == '<') || (s[p] == '>' && s[p + 1] == '>'))) {
+    return UseKind::kReadWrite;
   }
   return UseKind::kRead;
 }
@@ -172,10 +182,13 @@ struct TaskInfo {
   bool has_body = false;
 };
 
-}  // namespace
-
-std::vector<LintDiagnostic> lint(const std::string& source) {
-  std::vector<LintDiagnostic> diags;
+/// Shared front half of the lint and of observe auto-emission: strips
+/// literals, joins pragma continuations, and captures every annotated task's
+/// pragma, signature and (possibly out-of-line) body.  When `diags` is
+/// non-null the scan also reports unproduced `taskwait on` clauses — the one
+/// diagnostic that needs the call-site pass.
+std::vector<TaskInfo> collect_tasks(const std::string& source,
+                                    std::vector<LintDiagnostic>* diags) {
   std::vector<std::string> lines;
   {
     std::istringstream in(strip_literals(source));
@@ -307,11 +320,11 @@ std::vector<LintDiagnostic> lint(const std::string& source) {
         pending_line = pline;
       } else if (p.kind == PragmaKind::kTaskwait && !p.on_expr.empty()) {
         std::string base = base_identifier(p.on_expr);
-        if (!base.empty() && produced.count(base) == 0) {
-          diags.push_back({pline, "taskwait on(" + p.on_expr +
-                                      ") waits on a region no prior task produces: no "
-                                      "earlier task call passes '" +
-                                      base + "' through an output or inout clause"});
+        if (diags != nullptr && !base.empty() && produced.count(base) == 0) {
+          diags->push_back({pline, "taskwait on(" + p.on_expr +
+                                       ") waits on a region no prior task produces: no "
+                                       "earlier task call passes '" +
+                                       base + "' through an output or inout clause"});
         }
       }
       continue;
@@ -366,6 +379,14 @@ std::vector<LintDiagnostic> lint(const std::string& source) {
     if (!task_by_name.empty()) scan_calls(i, w);
     count_braces(w);
   }
+  return tasks;
+}
+
+}  // namespace
+
+std::vector<LintDiagnostic> lint(const std::string& source) {
+  std::vector<LintDiagnostic> diags;
+  std::vector<TaskInfo> tasks = collect_tasks(source, &diags);
 
   for (const TaskInfo& info : tasks) {
     if (!info.has_body) continue;
@@ -398,9 +419,10 @@ std::vector<LintDiagnostic> lint(const std::string& source) {
                                                "' is dead: the task body never references it"});
         continue;
       }
-      // (3) output regions consumed before the task ever writes them
+      // (3) output regions consumed before the task ever writes them (a
+      // compound assignment reads before it writes, so it counts)
       if (d.mode == DepMode::kOut &&
-          classify_use(body, pos + d.name.size()) == UseKind::kRead) {
+          classify_use(body, pos + d.name.size()) != UseKind::kWrite) {
         diags.push_back({info.body.line_at(pos),
                          "task '" + info.sig.name + "': output parameter '" + d.name +
                              "' is read before its first write; the clause should be inout"});
@@ -415,6 +437,37 @@ std::vector<LintDiagnostic> lint(const std::string& source) {
 
 std::string format_diagnostic(const std::string& file, const LintDiagnostic& d) {
   return file + ":" + std::to_string(d.line) + ": warning: " + d.message;
+}
+
+std::map<std::string, std::vector<BodyAccess>> resolve_body_accesses(
+    const std::string& source) {
+  std::map<std::string, std::vector<BodyAccess>> out;
+  for (const TaskInfo& info : collect_tasks(source, nullptr)) {
+    if (!info.has_body) continue;
+    std::vector<BodyAccess> accs;
+    for (const Param& p : info.sig.params) {
+      if (!p.is_pointer) continue;
+      BodyAccess ba;
+      ba.param = p.name;
+      // Aggregate over every occurrence with the same read/write
+      // classification the lint applies: one plain assignment makes the
+      // parameter written, anything else read.
+      size_t pos = 0;
+      while ((pos = find_ident(info.body.text, p.name, pos)) != std::string::npos) {
+        switch (classify_use(info.body.text, pos + p.name.size())) {
+          case UseKind::kWrite: ba.written = true; break;
+          case UseKind::kReadWrite: ba.written = ba.read = true; break;
+          case UseKind::kRead: ba.read = true; break;
+        }
+        pos += p.name.size();
+      }
+      if (ba.read || ba.written) accs.push_back(std::move(ba));
+    }
+    // An out-of-line body replaces the declaration's (none), same as the
+    // lint: the map ends up reflecting the last body seen per task name.
+    out[info.sig.name] = std::move(accs);
+  }
+  return out;
 }
 
 }  // namespace mcc

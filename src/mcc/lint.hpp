@@ -23,6 +23,7 @@
 // and are never flagged.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -39,5 +40,20 @@ std::vector<LintDiagnostic> lint(const std::string& source);
 
 /// Formats one diagnostic compiler-style: "file:line: warning: message".
 std::string format_diagnostic(const std::string& file, const LintDiagnostic& d);
+
+/// How an annotated task's body uses one of its pointer parameters,
+/// aggregated over every occurrence with the lint's read/write classifier.
+struct BodyAccess {
+  std::string param;
+  bool read = false;
+  bool written = false;
+};
+
+/// The pointer-parameter accesses each annotated task body performs, keyed
+/// by task name (tasks whose body never appears are absent).  The translator
+/// turns these into TaskContext::observe() calls so lint-clean pragma
+/// programs get dynamic race checking of what the body *really* touches.
+std::map<std::string, std::vector<BodyAccess>> resolve_body_accesses(
+    const std::string& source);
 
 }  // namespace mcc

@@ -33,18 +33,37 @@ void parse_dep_items(TokenCursor& cur, DepMode mode, std::vector<DepItem>& out) 
     DepItem item;
     item.mode = mode;
     if (cur.accept("[")) {
-      // [size] name — array section.
+      // [size] name — array section; [lo:len] name / [lo;len] name — block
+      // section of len elements starting at element lo.  The separator is
+      // only recognized at bracket depth 1 so index expressions like
+      // `a[i ? 1 : 0]` inside the bounds stay intact.
       std::string size;
+      std::string start;
+      bool seen_sep = false;
       int depth = 1;
       for (;;) {
         const Token& t = cur.next();
         if (t.kind == TokKind::kEnd) throw std::runtime_error("mcc: unterminated '[' in clause");
-        if (t.is("[")) ++depth;
-        if (t.is("]") && --depth == 0) break;
+        if (t.is("[") || t.is("(")) ++depth;
+        if (t.is("]") || t.is(")")) {
+          if (t.is("]") && depth == 1) break;
+          --depth;
+          // fallthrough: a nested ']' / ')' is part of the expression text
+        } else if (depth == 1 && (t.is(":") || t.is(";"))) {
+          if (seen_sep)
+            throw std::runtime_error("mcc: more than one ':'/';' in array section");
+          seen_sep = true;
+          start = std::move(size);
+          size.clear();
+          continue;
+        }
         if (!size.empty()) size += ' ';
         size += t.text;
       }
+      if (seen_sep && (start.empty() || size.empty()))
+        throw std::runtime_error("mcc: array section needs both bounds in [lo:len]");
       item.size_expr = size;
+      item.start_expr = start;
     }
     const Token& name = cur.next();
     if (name.kind != TokKind::kIdent)

@@ -4,10 +4,11 @@
 //   #pragma omp task [input(items)] [output(items)] [inout(items)]
 //   #pragma omp taskwait [on(name)] [noflush]
 //
-// A dependence item is either `[size] name` (an array section of `size`
-// elements, the paper's Fig. 1/2 syntax) or a bare `name` (a scalar).
-// `cost(expr)` is an mcc extension: the work volume in flops handed to the
-// simulated platform's pricing model.
+// A dependence item is `[size] name` (an array section of `size` elements
+// starting at the pointer, the paper's Fig. 1/2 syntax), a block section
+// `[lo:len] name` / `[lo;len] name` (`len` elements starting at element
+// `lo`), or a bare `name` (a scalar).  `cost(expr)` is an mcc extension: the
+// work volume in flops handed to the simulated platform's pricing model.
 #pragma once
 
 #include <optional>
@@ -24,6 +25,7 @@ struct DepItem {
   DepMode mode = DepMode::kIn;
   std::string name;       ///< the pointer/scalar parameter the clause names
   std::string size_expr;  ///< element count; empty for scalars
+  std::string start_expr; ///< first element of a block section; empty: 0
 };
 
 struct Pragma {

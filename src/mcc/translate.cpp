@@ -1,11 +1,13 @@
 #include "mcc/translate.hpp"
 
+#include <map>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "mcc/funcsig.hpp"
+#include "mcc/lint.hpp"
 #include "mcc/pragma.hpp"
 
 namespace mcc {
@@ -23,8 +25,25 @@ bool starts_with(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+/// Pointer expression for a clause region: the parameter, offset to the
+/// block section's first element when the clause carries one ([lo:len]).
+std::string region_ptr_expr(const DepItem& d) {
+  return d.start_expr.empty() ? d.name : d.name + " + (" + d.start_expr + ")";
+}
+
+/// Byte-count expression for a clause region.
+std::string region_size_expr(const DepItem& d) {
+  return d.size_expr.empty() ? "sizeof(*" + d.name + ")"
+                             : "(" + d.size_expr + ") * sizeof(*" + d.name + ")";
+}
+
 /// Generates the spawning wrapper for an annotated task function.
-std::string make_wrapper(const FuncSig& sig, const Pragma& target, const Pragma& task) {
+/// `accesses` (may be null): the lint-resolved pointer uses of the task's
+/// body, emitted as TaskContext::observe() annotations inside the spawned
+/// lambda so the race oracle checks what the body *really* touches — a no-op
+/// unless `verify` enables the race pass.
+std::string make_wrapper(const FuncSig& sig, const Pragma& target, const Pragma& task,
+                         const std::vector<BodyAccess>* accesses) {
   std::ostringstream os;
   // Wrapper signature: identical to the original.
   os << "void " << sig.name << "(";
@@ -46,18 +65,38 @@ std::string make_wrapper(const FuncSig& sig, const Pragma& target, const Pragma&
     const char* method = d.mode == DepMode::kIn    ? "in"
                          : d.mode == DepMode::kOut ? "out"
                                                    : "inout";
-    os << "      ." << method << "(" << d.name << ", ";
-    if (d.size_expr.empty()) {
-      os << "sizeof(*" << d.name << ")";
-    } else {
-      os << "(" << d.size_expr << ") * sizeof(*" << d.name << ")";
-    }
-    os << ")\n";
+    os << "      ." << method << "(" << region_ptr_expr(d) << ", " << region_size_expr(d)
+       << ")\n";
   }
   const std::string& cost = !task.cost_expr.empty() ? task.cost_expr : target.cost_expr;
   if (!cost.empty()) os << "      .flops(" << cost << ")\n";
   os << "      .label(\"" << sig.name << "\")\n";
   os << "      .run([=](ompss::Ctx& mcc_ctx) {\n";
+  if (accesses != nullptr) {
+    for (const BodyAccess& ba : *accesses) {
+      int pi = sig.param_index(ba.param);
+      if (pi < 0 || !sig.params[static_cast<std::size_t>(pi)].is_pointer) continue;
+      const char* mode = ba.written ? (ba.read ? "kInout" : "kOut") : "kIn";
+      const DepItem* decl = nullptr;
+      for (const DepItem& d : task.deps) {
+        if (d.name == ba.param) {
+          decl = &d;
+          break;
+        }
+      }
+      // Observe the declared region (the captured parameter is the original
+      // host pointer, which is what the oracle stamps); an undeclared
+      // pointer — the lint's "undeclared reference" case — is observed as a
+      // scalar, enough for the oracle to flag the untracked overlap.
+      if (decl != nullptr) {
+        os << "        mcc_ctx.observe(" << region_ptr_expr(*decl) << ", "
+           << region_size_expr(*decl) << ", nanos::AccessMode::" << mode << ");\n";
+      } else {
+        os << "        mcc_ctx.observe(" << ba.param << ", sizeof(*" << ba.param
+           << "), nanos::AccessMode::" << mode << ");\n";
+      }
+    }
+  }
   os << "        " << sig.name << "__task_impl(";
   for (std::size_t i = 0; i < sig.params.size(); ++i) {
     if (i) os << ", ";
@@ -85,6 +124,9 @@ struct Translator {
   std::istringstream in;
   std::ostringstream out;
 
+  /// Lint-resolved body accesses per task name (the observe() pre-pass).
+  std::map<std::string, std::vector<BodyAccess>> body_accesses;
+
   std::optional<Pragma> pending_target;
   std::optional<Pragma> pending_task;
   std::string pending_wrapper;  // emitted when the definition's braces close
@@ -93,7 +135,8 @@ struct Translator {
   bool user_main_has_args = false;
   std::vector<std::string> declared_tasks;  // declared-but-not-yet-defined
 
-  explicit Translator(const std::string& src) : in(src) {}
+  explicit Translator(const std::string& src)
+      : in(src), body_accesses(resolve_body_accesses(src)) {}
 
   void emit_header_and_wrapper(const std::string& header, bool is_definition) {
     FuncSig sig = parse_function_header(header);
@@ -102,7 +145,9 @@ struct Translator {
     pending_target.reset();
     pending_task.reset();
 
-    std::string wrapper = make_wrapper(sig, target, task);
+    auto acc = body_accesses.find(sig.name);
+    std::string wrapper = make_wrapper(sig, target, task,
+                                       acc != body_accesses.end() ? &acc->second : nullptr);
     if (is_definition) {
       out << "void " << sig.name << "__task_impl(";
       for (std::size_t i = 0; i < sig.params.size(); ++i) {

@@ -1,5 +1,6 @@
 #include "nanos/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -138,7 +139,8 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
   if (verify::races_enabled(verify_mode_)) {
     Runtime* master = nodes_[0].rt.get();
     oracle_ = std::make_unique<verify::RaceOracle>(
-        [master](std::exception_ptr e) { master->record_task_error(std::move(e)); }, &stats_);
+        [master](std::exception_ptr e) { master->record_task_error(std::move(e)); }, &stats_,
+        static_cast<std::uint64_t>(std::max(1, cfg_.node.verify_sample)));
     domain_->set_race_oracle(oracle_.get());
   }
 

@@ -99,6 +99,17 @@ void CoherenceManager::publish_stats_locked() {
                static_cast<double>(shard_collisions_ - published_collisions_));
     published_collisions_ = shard_collisions_;
   }
+  const std::uint64_t walks = incr_walks_.load(std::memory_order_relaxed);
+  if (walks != published_incr_walks_) {
+    stats_.add("verify.incr_walks", static_cast<double>(walks - published_incr_walks_));
+    published_incr_walks_ = walks;
+  }
+  const std::uint64_t entries = incr_entries_checked_.load(std::memory_order_relaxed);
+  if (entries != published_incr_entries_) {
+    stats_.add("verify.incr_entries_checked",
+               static_cast<double>(entries - published_incr_entries_));
+    published_incr_entries_ = entries;
+  }
 }
 
 void CoherenceManager::lock_region(Shard& sh, std::unique_lock<std::mutex>& lk,
@@ -110,6 +121,15 @@ void CoherenceManager::lock_region(Shard& sh, std::unique_lock<std::mutex>& lk,
 void CoherenceManager::unlock_region(Shard& sh, RegionInfo& info) {
   info.busy = false;  // caller holds the shard mutex
   sh.busy_mon.notify_all();
+}
+
+void CoherenceManager::mark_dirty_locked(Shard& sh, RegionInfo& info) {
+  // Only verify=all runs per-release incremental walks; under any other mode
+  // nothing would ever drain the queue.
+  if (verify_mode_ != verify::VerifyMode::kAll || info.check_pending) return;
+  info.check_pending = true;
+  sh.dirty.push_back(&info);
+  sh.has_dirty.store(true, std::memory_order_release);
 }
 
 void CoherenceManager::host_to_device(RegionInfo& info, int space, void* dev_ptr) {
@@ -162,19 +182,33 @@ void CoherenceManager::device_to_host(RegionInfo& info, int space, void* dev_ptr
 }
 
 void CoherenceManager::fetch_to_host(RegionInfo& info) {
-  // Pick any GPU holding the current version.
+  // The caller holds only the busy flag, which serializes same-region wire
+  // operations — but flush_region/flush_all reach here from a different
+  // thread than the releasing GPU manager, so the metadata reads (valid set,
+  // dev_ptr) and the dirty-bit clear still need the shard mutex.  The copy
+  // itself cannot be erased mid-flight: eviction skips busy entries and
+  // release waits on the busy flag.
+  Shard& sh = shard_of(info);
   int holder = -1;
-  for (int s : info.valid) {
-    if (s != kHostSpace) {
-      holder = s;
-      break;
+  void* dev_ptr = nullptr;
+  {
+    std::lock_guard<std::mutex> cl(sh.mu);
+    // Pick any GPU holding the current version.
+    for (int s : info.valid) {
+      if (s != kHostSpace) {
+        holder = s;
+        break;
+      }
     }
+    if (holder < 0)
+      throw std::logic_error("coherence: region has no valid copy anywhere");
+    dev_ptr = info.copies.at(holder).dev_ptr;
   }
-  if (holder < 0)
-    throw std::logic_error("coherence: region has no valid copy anywhere");
-  Copy& c = info.copies.at(holder);
-  device_to_host(info, holder, c.dev_ptr);
-  c.dirty = false;
+  device_to_host(info, holder, dev_ptr);
+  {
+    std::lock_guard<std::mutex> cl(sh.mu);
+    info.copies.at(holder).dirty = false;
+  }
 }
 
 void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int space,
@@ -182,6 +216,13 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
   // The acquiring region's busy flag keeps its metadata ours; drop its shard
   // lock so the victim hunt can take other shards (never two at once).
   lk.unlock();
+  // An empty victim scan is only a *hard* OOM when no candidate was merely
+  // transient (pinned by a running task, busy with a transfer, or behind a
+  // contended shard).  Transient candidates free up when their task releases,
+  // so wait-and-rescan a bounded number of times before giving up.
+  constexpr int kMaxEvictRetries = 64;
+  constexpr double kEvictRetryBackoff = 5e-6;
+  int retries = 0;
   void* result = nullptr;
   while (result == nullptr) {
     void* p = dev(space).malloc(bytes);
@@ -195,6 +236,7 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
     // rather than stalling the scan.
     RegionInfo* victim_info = nullptr;
     Shard* victim_shard = nullptr;
+    bool transient = false;
     std::uint64_t best = UINT64_MAX;
     {
       std::lock_guard<std::mutex> ix(index_mu_);
@@ -204,12 +246,15 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
         std::unique_lock<std::mutex> cl(sh.mu, std::try_to_lock);
         if (!cl.owns_lock()) {
           ++shard_collisions_;
+          transient = true;  // whoever holds the shard may be freeing a copy
           continue;
         }
-        if (info.busy) continue;
         auto itc = info.copies.find(space);
-        if (itc == info.copies.end() || itc->second.pins > 0 || itc->second.dev_ptr == nullptr)
+        if (itc == info.copies.end() || itc->second.dev_ptr == nullptr) continue;
+        if (info.busy || itc->second.pins > 0) {
+          transient = true;  // evictable once the transfer/task lets go
           continue;
+        }
         if (itc->second.lru < best) {
           best = itc->second.lru;
           victim_info = &info;
@@ -217,8 +262,18 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
         }
       }
     }
-    if (victim_info == nullptr)
-      throw std::runtime_error("coherence: device out of memory and nothing evictable");
+    if (victim_info == nullptr) {
+      if (!transient)
+        throw std::runtime_error("coherence: device out of memory and nothing evictable");
+      if (++retries > kMaxEvictRetries)
+        throw std::runtime_error(
+            "coherence: device out of memory and nothing evictable after " +
+            std::to_string(kMaxEvictRetries) +
+            " eviction retries (every candidate stayed pinned or busy)");
+      stats_.incr("coh.evict_retries");
+      clock_.sleep_for(kEvictRetryBackoff);
+      continue;
+    }
     // Claim the victim: revalidate under its shard lock (its state may have
     // moved since the scan), then mark it busy for the writeback.
     bool only_current_copy = false;
@@ -246,6 +301,7 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
       if (only_current_copy) victim_info->valid.insert(kHostSpace);
       victim_info->valid.erase(space);
       victim_info->copies.erase(space);
+      mark_dirty_locked(*victim_shard, *victim_info);
       unlock_region(*victim_shard, *victim_info);
     }
   }
@@ -281,6 +337,7 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
             fetch_to_host(*sub);
             lk.lock();
             sub->valid.insert(kHostSpace);
+            mark_dirty_locked(sh, *sub);
           }
           unlock_region(sh, *sub);
         }
@@ -334,6 +391,7 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
     ++c.pins;
     c.lru = lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     out.push_back(c.dev_ptr);
+    mark_dirty_locked(sh, info);
     unlock_region(sh, info);
   }
   return out;
@@ -364,6 +422,7 @@ void CoherenceManager::release(Task& t, int space) {
         // Shadowed device copies hold garbage now: they must never be
         // written back (invariant: a dirty copy is the current version).
         for (auto& [s, c] : sub->copies) c.dirty = false;
+        mark_dirty_locked(sh, *sub);
         unlock_region(sh, *sub);
       }
       continue;
@@ -409,11 +468,13 @@ void CoherenceManager::release(Task& t, int space) {
         }
       }
     }
+    mark_dirty_locked(sh, info);
     unlock_region(sh, info);
   }
-  // Per-event checking: under `all`, re-assert the protocol invariants after
-  // every task's post-execution bookkeeping.
-  if (verify_mode_ == verify::VerifyMode::kAll) verify_invariants("release");
+  // Per-event checking: under `all`, re-assert the protocol invariants over
+  // the entries this release touched (the full walk stays at taskwait
+  // quiesce points as the backstop).
+  if (verify_mode_ == verify::VerifyMode::kAll) verify_touched("release");
 }
 
 void CoherenceManager::sync_transfers(int space) {
@@ -435,6 +496,7 @@ void CoherenceManager::host_overwritten(const common::Region& r) {
     info->valid.clear();
     info->valid.insert(kHostSpace);
     for (auto& [s, c] : info->copies) c.dirty = false;  // shadowed: never write back
+    mark_dirty_locked(sh, *info);
     unlock_region(sh, *info);
   }
 }
@@ -454,6 +516,7 @@ void CoherenceManager::flush_region(const common::Region& r) {
       fetch_to_host(*info);
       lk.lock();
       info->valid.insert(kHostSpace);
+      mark_dirty_locked(sh, *info);
     }
     unlock_region(sh, *info);
   }

@@ -55,6 +55,10 @@
 
 namespace nanos {
 
+namespace verify {
+class InvariantReporter;
+}
+
 enum class CachePolicy { kNoCache, kWriteThrough, kWriteBack };
 
 CachePolicy parse_cache_policy(const std::string& s);
@@ -123,16 +127,27 @@ public:
 
   // -- taskcheck pass 2 (implemented in verify/coherence_check.cpp) ----------
 
-  /// Enables the coherence invariant checker: the directory/cache walk runs
-  /// at every flush_all() (taskwait quiesce) and, under `all`, after every
-  /// release().  Call before worker threads start touching this manager.
-  /// A null `sink` makes violations throw at the detection site (tests).
-  void set_verify(verify::VerifyMode mode, verify::ErrorSink sink);
+  /// Enables the coherence invariant checker: the full directory/cache walk
+  /// runs at every flush_all() (taskwait quiesce) and, under `all`, an
+  /// *incremental* walk over just-touched entries runs after every release().
+  /// Call before worker threads start touching this manager.  A null `sink`
+  /// makes violations throw at the detection site (tests).  `crosscheck` is
+  /// the debug assertion mode: every incremental walk is followed by a silent
+  /// full walk and a discrepancy (the full walk finding violations the
+  /// incremental one missed) is itself reported as a violation.
+  void set_verify(verify::VerifyMode mode, verify::ErrorSink sink, bool crosscheck = false);
 
-  /// Walks directory + caches asserting the protocol invariants (see
-  /// docs/verifier.md); `where` tags the diagnostic with the quiesce point.
-  /// Busy entries (a transfer in flight) are skipped.
+  /// Walks the whole directory + caches asserting the protocol invariants
+  /// (see docs/verifier.md); `where` tags the diagnostic with the quiesce
+  /// point.  Busy entries (a transfer in flight) are skipped.  Clears any
+  /// pending incremental marks it subsumes.
   void verify_invariants(const char* where);
+
+  /// Incremental walk: checks only entries mutated since the last walk (the
+  /// per-shard dirty sets maintained by the protocol paths under verify=all).
+  /// Busy entries stay queued for the next walk.  This is what release()
+  /// runs, making verify=all affordable on directory-heavy workloads.
+  void verify_touched(const char* where);
 
   /// True when every overlapping registered region has a current host copy
   /// (unregistered data never moved, so it is trivially current).  The
@@ -140,8 +155,10 @@ public:
   bool host_current(const common::Region& r);
 
   /// Test hook: corrupts the directory entry for `r` (marks a space valid
-  /// that holds no copy) so tests can prove the checker catches it.
-  void debug_corrupt_region(const common::Region& r);
+  /// that holds no copy) so tests can prove the checker catches it.  With
+  /// `mark=false` the entry is NOT queued for the incremental walk —
+  /// modelling a buggy mutation path that the crosscheck mode must catch.
+  void debug_corrupt_region(const common::Region& r, bool mark = true);
 
 private:
   struct Copy {
@@ -157,11 +174,22 @@ private:
     std::set<int> valid{kHostSpace};  // spaces holding the current version
     std::map<int, Copy> copies;       // gpu space -> device copy
     bool busy = false;                // a transfer for this region is running
+    bool check_pending = false;       // queued in its shard's dirty set
+    // Version-monotonicity state for the invariant walks (shard mutex held,
+    // like the rest of the entry — keeping it here lets the incremental walk
+    // run without the global index lock).
+    unsigned verify_last_version = 0;
+    bool verify_seen = false;
   };
   struct Shard {
     explicit Shard(vt::Clock& c) : busy_mon(c) {}
     std::mutex mu;
     vt::Monitor busy_mon;  // signalled when a region in this shard goes idle
+    /// Entries mutated since the last invariant walk (verify=all only);
+    /// guarded by `mu`, deduplicated via RegionInfo::check_pending.  The
+    /// atomic flag lets verify_touched() skip clean shards without taking mu.
+    std::vector<RegionInfo*> dirty;
+    std::atomic<bool> has_dirty{false};
   };
 
   static constexpr std::size_t kNumShards = 64;
@@ -186,6 +214,16 @@ private:
   void lock_region(Shard& sh, std::unique_lock<std::mutex>& lk, RegionInfo& info);
   void unlock_region(Shard& sh, RegionInfo& info);
 
+  /// Queues `info` for the next incremental invariant walk.  `sh`'s mutex
+  /// held; no-op unless verify=all (the only mode running per-release walks).
+  void mark_dirty_locked(Shard& sh, RegionInfo& info);
+
+  // Invariant-walk internals (verify/coherence_check.cpp).
+  /// Full directory walk; index_mu_ held (it iterates the interval map).
+  void full_walk_locked(verify::InvariantReporter& rep);
+  /// Per-entry protocol invariants; the entry's shard mutex held.
+  void check_entry_locked(verify::InvariantReporter& rep, RegionInfo& info);
+
   // Wire operations; called with `info.busy` held and no mutex held.
   void host_to_device(RegionInfo& info, int space, void* dev_ptr);
   void device_to_host(RegionInfo& info, int space, void* dev_ptr);
@@ -209,10 +247,10 @@ private:
   TraceRecorder* trace_ = nullptr;
 
   // taskcheck state.  The mode is set once before concurrent use; the
-  // last-seen version map (for monotonicity) is guarded by index_mu_.
+  // per-entry monotonicity state lives in RegionInfo (shard-guarded).
   verify::VerifyMode verify_mode_ = verify::VerifyMode::kOff;
   verify::ErrorSink verify_sink_;
-  std::map<std::uintptr_t, unsigned> verify_versions_;
+  bool verify_crosscheck_ = false;
 
   mutable std::mutex index_mu_;
   common::IntervalMap<RegionInfo> regions_;  // structure under index_mu_
@@ -228,6 +266,14 @@ private:
   std::uint64_t published_lookups_ = 0;
   std::uint64_t published_scanned_ = 0;
   std::uint64_t published_collisions_ = 0;
+  // Incremental-walk counters; published as "verify.incr_walks" /
+  // "verify.incr_entries_checked".  Deferred like the directory counters (a
+  // Stats add per release would cost more than the walk it measures), atomic
+  // because verify_touched runs without index_mu_.
+  std::atomic<std::uint64_t> incr_walks_{0};
+  std::atomic<std::uint64_t> incr_entries_checked_{0};
+  std::uint64_t published_incr_walks_ = 0;
+  std::uint64_t published_incr_entries_ = 0;
 };
 
 }  // namespace nanos

@@ -15,8 +15,8 @@ DependencyDomain::~DependencyDomain() {
 
 void DependencyDomain::submit(Task* t) {
   t->domain = this;
-  // Oracle lock order: domain mu_ before oracle mutex, never the reverse —
-  // the spawn hook runs before mu_ is taken, the arc/complete hooks inside it.
+  // The oracle mutex is never taken while mu_ is held: spawn/ready/complete
+  // hooks run outside it, and on_arc (the one hook inside) is lock-free.
   if (oracle_ != nullptr) oracle_->on_spawn(t, Runtime::current_task());
   live_.add();
   bool ready = false;
@@ -63,13 +63,16 @@ void DependencyDomain::submit(Task* t) {
 }
 
 void DependencyDomain::on_complete(Task* t) {
+  // Fix the completed task's end clock *before* any successor is released: a
+  // released successor's ready hook joins its predecessors' end clocks, which
+  // must be final by then.  Release — here or on a sibling predecessor's
+  // thread — only follows the pending-pred decrement under mu_ below, so
+  // running the hook first (and outside mu_, keeping the two global locks
+  // unnested) preserves that ordering.
+  if (oracle_ != nullptr) oracle_->on_complete(t);
   std::vector<Task*> released;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    // Fix the completed task's end clock *before* any successor is released:
-    // a released successor's ready hook joins its predecessors' end clocks,
-    // which must be final by then.
-    if (oracle_ != nullptr) oracle_->on_complete(t);
     // Detach the completed task from the region state so future arcs are not
     // created against it (its data is settled).  The back-references make
     // this O(records the task appears in), not a directory purge.

@@ -1,5 +1,6 @@
 #include "nanos/runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.hpp"
@@ -36,6 +37,8 @@ RuntimeConfig RuntimeConfig::from(const common::Config& c) {
   cfg.host_memcpy_bandwidth = c.get_double("host_bw", cfg.host_memcpy_bandwidth);
   cfg.trace_path = c.get_string("trace", cfg.trace_path);
   cfg.verify = c.get_string("verify", cfg.verify);
+  cfg.verify_sample = static_cast<int>(c.get_int("verify_sample", cfg.verify_sample));
+  cfg.verify_crosscheck = c.get_bool("verify_crosscheck", cfg.verify_crosscheck);
   cfg.presend = static_cast<int>(c.get_int("presend", cfg.presend));
   cfg.slave_to_slave = c.get_bool("stos", cfg.slave_to_slave);
   int gpus = static_cast<int>(c.get_int("gpus", 0));
@@ -59,9 +62,11 @@ Runtime::Runtime(vt::Clock& clock, RuntimeConfig cfg)
   // here, rethrown at the next taskwait.
   const verify::VerifyMode vmode = verify::parse_verify_mode(cfg_.verify);
   verify::ErrorSink vsink = [this](std::exception_ptr e) { record_task_error(std::move(e)); };
-  if (verify::coherence_enabled(vmode)) coherence_->set_verify(vmode, vsink);
+  if (verify::coherence_enabled(vmode))
+    coherence_->set_verify(vmode, vsink, cfg_.verify_crosscheck);
   if (verify::races_enabled(vmode))
-    oracle_ = std::make_unique<verify::RaceOracle>(vsink, &stats_);
+    oracle_ = std::make_unique<verify::RaceOracle>(
+        vsink, &stats_, static_cast<std::uint64_t>(std::max(1, cfg_.verify_sample)));
 
   // Injected device faults (kernel aborts, failed copies) surface exactly
   // like task-body exceptions: captured here, rethrown at the next taskwait.

@@ -48,6 +48,13 @@ struct RuntimeConfig {
 
   /// taskcheck passes: off | race | coherence | all (see docs/verifier.md).
   std::string verify = "off";
+  /// Race oracle sampling: conflict-check every Nth task (deterministic by
+  /// task id; every task's accesses are still recorded).  1 checks all.
+  int verify_sample = 1;
+  /// Debug assertion mode: follow every incremental coherence walk with a
+  /// silent full walk and flag any discrepancy (a protocol path that mutated
+  /// an entry without marking it).  Expensive; for tests and soak runs.
+  bool verify_crosscheck = false;
 
   // Cluster-only knobs (consumed by ClusterRuntime).
   int presend = 0;                    ///< tasks sent ahead per remote node

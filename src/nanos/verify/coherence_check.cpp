@@ -13,69 +13,137 @@
 
 namespace nanos {
 
-void CoherenceManager::set_verify(verify::VerifyMode mode, verify::ErrorSink sink) {
+void CoherenceManager::set_verify(verify::VerifyMode mode, verify::ErrorSink sink,
+                                  bool crosscheck) {
   verify_mode_ = mode;
   verify_sink_ = std::move(sink);
+  verify_crosscheck_ = crosscheck;
+}
+
+void CoherenceManager::check_entry_locked(verify::InvariantReporter& rep, RegionInfo& info) {
+  // Message construction is lazy: this runs per mutated entry per release
+  // under verify=all, and the clean path must not allocate.
+  auto id = [&info] { return info.region.to_string(); };
+  auto cid = [&](int space) {
+    return "region " + id() + " copy in space " + std::to_string(space);
+  };
+
+  // Version monotonicity between quiesce points.
+  if (info.verify_seen && info.version < info.verify_last_version) {
+    rep.violation("region " + id() + " version moved backwards (v" +
+                  std::to_string(info.version) + " after v" +
+                  std::to_string(info.verify_last_version) + ")");
+  }
+  info.verify_seen = true;
+  info.verify_last_version = info.version;
+
+  if (info.valid.empty()) {
+    rep.violation("region " + id() + " has no valid copy in any space");
+  }
+  int dirty_copies = 0;
+  for (const auto& [space, copy] : info.copies) {
+    if (copy.version > info.version) {
+      rep.violation(cid(space) + " is ahead of the directory (copy v" +
+                    std::to_string(copy.version) + " > region v" +
+                    std::to_string(info.version) + ")");
+    }
+    if (copy.pins < 0) {
+      rep.violation(cid(space) + " has a negative pin count (" + std::to_string(copy.pins) +
+                    ")");
+    }
+    if (copy.dirty) {
+      ++dirty_copies;
+      if (copy.version != info.version || info.valid.count(space) == 0) {
+        rep.violation(cid(space) + " is dirty but stale (copy v" +
+                      std::to_string(copy.version) + ", region v" +
+                      std::to_string(info.version) +
+                      "): shadowed by a newer committed version");
+      }
+    }
+  }
+  if (dirty_copies > 1) {
+    rep.violation("region " + id() + " has " + std::to_string(dirty_copies) +
+                  " dirty copies (single-writer violated)");
+  }
+  for (int space : info.valid) {
+    if (space == kHostSpace) continue;
+    auto it = info.copies.find(space);
+    if (it == info.copies.end() || it->second.dev_ptr == nullptr) {
+      rep.violation("region " + id() + " lists space " + std::to_string(space) +
+                    " as valid but that space holds no copy");
+    } else if (it->second.version != info.version) {
+      rep.violation("region " + id() + " lists space " + std::to_string(space) +
+                    " as valid but its copy is v" + std::to_string(it->second.version) +
+                    " (region v" + std::to_string(info.version) + ")");
+    }
+  }
+}
+
+void CoherenceManager::full_walk_locked(verify::InvariantReporter& rep) {
+  for (auto& [start, entry] : regions_) {
+    RegionInfo& info = entry.value;
+    std::lock_guard<std::mutex> cl(shard_of(info).mu);
+    if (info.busy) continue;  // a wire operation owns this entry's state
+    // The full walk subsumes any pending incremental check.  The entry may
+    // linger in its shard's dirty vector; a re-check there is harmless.
+    info.check_pending = false;
+    check_entry_locked(rep, info);
+  }
 }
 
 void CoherenceManager::verify_invariants(const char* where) {
   verify::InvariantReporter rep(verify_sink_, &stats_, where);
   std::lock_guard<std::mutex> ix(index_mu_);
-  for (auto& [start, entry] : regions_) {
-    RegionInfo& info = entry.value;
-    std::lock_guard<std::mutex> cl(shard_of(info).mu);
-    if (info.busy) continue;  // a wire operation owns this entry's state
-    const std::string id = info.region.to_string();
+  full_walk_locked(rep);
+}
 
-    // Version monotonicity between quiesce points.
-    auto [vit, first_seen] = verify_versions_.try_emplace(start, info.version);
-    if (!first_seen) {
-      if (info.version < vit->second) {
-        rep.violation("region " + id + " version moved backwards (v" +
-                      std::to_string(info.version) + " after v" + std::to_string(vit->second) +
-                      ")");
+void CoherenceManager::verify_touched(const char* where) {
+  verify::InvariantReporter rep(verify_sink_, &stats_, where);
+  // No global lock: every entry is examined under its own shard mutex, and
+  // the monotonicity state lives in the entry.  Releases on different shards
+  // verify concurrently — the point of the incremental walk.
+  std::uint64_t checked = 0;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    if (!sh.has_dirty.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> cl(sh.mu);
+    std::vector<RegionInfo*> pending;
+    pending.swap(sh.dirty);
+    sh.has_dirty.store(false, std::memory_order_relaxed);
+    for (RegionInfo* info : pending) {
+      // A full walk since the enqueue already certified this entry (it
+      // cleared check_pending but left the queued pointer behind): skip it
+      // rather than re-deliver a check the directory no longer owes.
+      if (!info->check_pending) continue;
+      if (info->busy) {
+        // A wire operation owns this entry's state: leave it queued so the
+        // next walk (incremental or full) picks it up once quiescent.
+        sh.dirty.push_back(info);
+        continue;
       }
-      vit->second = info.version;
+      info->check_pending = false;
+      check_entry_locked(rep, *info);
+      ++checked;
     }
-
-    if (info.valid.empty()) {
-      rep.violation("region " + id + " has no valid copy in any space");
-    }
-    int dirty_copies = 0;
-    for (const auto& [space, copy] : info.copies) {
-      const std::string cid = "region " + id + " copy in space " + std::to_string(space);
-      if (copy.version > info.version) {
-        rep.violation(cid + " is ahead of the directory (copy v" +
-                      std::to_string(copy.version) + " > region v" +
-                      std::to_string(info.version) + ")");
-      }
-      if (copy.pins < 0) {
-        rep.violation(cid + " has a negative pin count (" + std::to_string(copy.pins) + ")");
-      }
-      if (copy.dirty) {
-        ++dirty_copies;
-        if (copy.version != info.version || info.valid.count(space) == 0) {
-          rep.violation(cid + " is dirty but stale (copy v" + std::to_string(copy.version) +
-                        ", region v" + std::to_string(info.version) +
-                        "): shadowed by a newer committed version");
-        }
-      }
-    }
-    if (dirty_copies > 1) {
-      rep.violation("region " + id + " has " + std::to_string(dirty_copies) +
-                    " dirty copies (single-writer violated)");
-    }
-    for (int space : info.valid) {
-      if (space == kHostSpace) continue;
-      auto it = info.copies.find(space);
-      if (it == info.copies.end() || it->second.dev_ptr == nullptr) {
-        rep.violation("region " + id + " lists space " + std::to_string(space) +
-                      " as valid but that space holds no copy");
-      } else if (it->second.version != info.version) {
-        rep.violation("region " + id + " lists space " + std::to_string(space) +
-                      " as valid but its copy is v" + std::to_string(it->second.version) +
-                      " (region v" + std::to_string(info.version) + ")");
-      }
+    if (!sh.dirty.empty()) sh.has_dirty.store(true, std::memory_order_release);
+  }
+  // Deferred like the directory counters (published by the next flush /
+  // teardown): a live Stats add here would dominate the walk's own cost.
+  incr_entries_checked_.fetch_add(checked, std::memory_order_relaxed);
+  incr_walks_.fetch_add(1, std::memory_order_relaxed);
+  if (verify_crosscheck_) {
+    // Debug assertion mode: a silent full walk must not find anything the
+    // incremental walk (plus whatever it already delivered) did not.  A gap
+    // means a protocol path mutated an entry without marking it dirty.
+    verify::InvariantReporter tally(verify_sink_, nullptr, where,
+                                    verify::InvariantReporter::Mode::kTally);
+    std::lock_guard<std::mutex> ix(index_mu_);
+    full_walk_locked(tally);
+    if (tally.count() > rep.count()) {
+      rep.violation("incremental walk missed " +
+                    std::to_string(tally.count() - rep.count()) +
+                    " violation(s) the full directory walk found — a mutation path is not "
+                    "marking its touched regions (crosscheck)");
     }
   }
 }
@@ -91,13 +159,17 @@ bool CoherenceManager::host_current(const common::Region& r) {
   return current;
 }
 
-void CoherenceManager::debug_corrupt_region(const common::Region& r) {
+void CoherenceManager::debug_corrupt_region(const common::Region& r, bool mark) {
   std::lock_guard<std::mutex> ix(index_mu_);
   RegionInfo& info = lookup_locked(r);
-  std::lock_guard<std::mutex> cl(shard_of(info).mu);
+  Shard& sh = shard_of(info);
+  std::lock_guard<std::mutex> cl(sh.mu);
   // A space that backs no copy: breaks multi-reader agreement on the next
-  // walk without perturbing any real data the run still needs.
+  // walk without perturbing any real data the run still needs.  `mark=false`
+  // leaves the entry out of the dirty set — simulating a mutation path that
+  // forgot to mark, which only the full walk (or the crosscheck) catches.
   info.valid.insert(platform_.device_count() + 17);
+  if (mark) mark_dirty_locked(sh, info);
 }
 
 void ClusterRuntime::verify_invariants(const char* where, bool flushed) {

@@ -44,14 +44,20 @@ namespace nanos::verify {
 
 /// Shared delivery helper for the invariant walks: counts violations into
 /// `stats` ("verify.coherence_violations") and hands each one to the sink —
-/// or throws at the first when no sink is set.
+/// or throws at the first when no sink is set.  `kTally` mode only counts:
+/// the crosscheck's shadow full walk uses it to compare results against the
+/// incremental walk without delivering (or double-counting) anything.
 class InvariantReporter {
 public:
-  InvariantReporter(const ErrorSink& sink, common::Stats* stats, const char* where)
-      : sink_(sink), stats_(stats), where_(where) {}
+  enum class Mode { kDeliver, kTally };
+
+  InvariantReporter(const ErrorSink& sink, common::Stats* stats, const char* where,
+                    Mode mode = Mode::kDeliver)
+      : sink_(sink), stats_(stats), where_(where), mode_(mode) {}
 
   void violation(const std::string& what) {
     ++count_;
+    if (mode_ == Mode::kTally) return;
     if (stats_ != nullptr) stats_->incr("verify.coherence_violations");
     CoherenceInvariantError err("coherence invariant violated at " + std::string(where_) +
                                 ": " + what);
@@ -68,6 +74,7 @@ private:
   const ErrorSink& sink_;
   common::Stats* stats_;
   const char* where_;
+  Mode mode_;
   int count_ = 0;
 };
 

@@ -99,39 +99,53 @@ void ChainClock::join(const ChainClock& o) {
 // ---------------------------------------------------------------------------
 // RaceOracle
 
-RaceOracle::RaceOracle(ErrorSink sink, common::Stats* stats)
-    : sink_(std::move(sink)), stats_(stats) {}
+RaceOracle::RaceOracle(ErrorSink sink, common::Stats* stats, std::uint64_t sample)
+    : sink_(std::move(sink)), stats_(stats), sample_(sample == 0 ? 1 : sample) {}
 
-RaceOracle::~RaceOracle() = default;
+RaceOracle::~RaceOracle() {
+  std::lock_guard<std::mutex> lk(mu_);
+  publish_stats_locked();
+}
 
 void RaceOracle::on_spawn(Task* t, Task* spawner) {
   std::lock_guard<std::mutex> lk(mu_);
   TaskClock& tc = clocks_.emplace_back();
   tc.task = t;
-  tc.spawner = spawner != nullptr ? clock_of_locked(spawner) : nullptr;
+  tc.spawner = spawner != nullptr ? clock_of(spawner) : nullptr;
   tc.start_vc.base = context_locked(spawner).vc;
   t->race_oracle = this;
   t->vclock = &tc;
-  if (stats_ != nullptr) stats_->incr("verify.tasks");
+  ++tasks_;  // deferred stat: published at the next taskwait
 }
 
 void RaceOracle::on_arc(Task* pred, Task* succ) {
-  std::lock_guard<std::mutex> lk(mu_);
-  TaskClock* pc = clock_of_locked(pred);
-  TaskClock* sc = clock_of_locked(succ);
+  // No oracle lock, by construction: every arc to `succ` is created under
+  // its dependency domain's mutex during submit(succ), strictly before succ
+  // can become ready — and on_ready, the only reader of `preds`, runs
+  // happens-after via that same mutex (either on the submitting thread or on
+  // a completing predecessor's thread after it saw the arc's pending-pred
+  // count).  Taking mu_ here would nest the two hottest global locks on
+  // every dependence arc.
+  TaskClock* pc = clock_of(pred);
+  TaskClock* sc = clock_of(succ);
   if (pc == nullptr || sc == nullptr) return;
   sc->preds.push_back(pc);
 }
 
 void RaceOracle::on_ready(Task* t) {
   std::lock_guard<std::mutex> lk(mu_);
-  TaskClock* tc = clock_of_locked(t);
+  TaskClock* tc = clock_of(t);
   if (tc == nullptr || tc->ready) return;
   // Every declared predecessor has completed (that is what "ready" means),
   // so their end clocks are final — join them.
   for (TaskClock* p : tc->preds) tc->start_vc.join(p->end_vc);
   // Chain assignment: extend a predecessor's chain when that predecessor is
-  // still its chain's tail; otherwise open a new chain.
+  // still its chain's tail; otherwise reuse a chain whose tail task has
+  // completed.  Each earlier occupant of a reused chain completed before the
+  // next occupant became ready (an arc releases its successor only after the
+  // predecessor completes; the free pool admits only completed tails), so by
+  // induction every stamp already on the chain is ordered before this task —
+  // the raise() below claims exactly that.
   TaskClock* tail_pred = nullptr;
   for (TaskClock* p : tc->preds) {
     if (chain_tail_[p->chain] == p->end_pos) {
@@ -139,27 +153,26 @@ void RaceOracle::on_ready(Task* t) {
       break;
     }
   }
-  if (tail_pred != nullptr) {
-    tc->chain = tail_pred->chain;
-    tc->start_pos = chain_tail_[tc->chain] + 1;
-  } else {
-    tc->chain = static_cast<std::uint32_t>(chain_tail_.size());
-    chain_tail_.push_back(0);
-    tc->start_pos = 1;
-  }
+  tc->chain = tail_pred != nullptr ? tail_pred->chain : take_free_chain_locked();
+  tc->start_pos = chain_tail_[tc->chain] + 1;
   tc->end_pos = tc->start_pos + 1;
   chain_tail_[tc->chain] = tc->end_pos;
+  chain_tail_task_[tc->chain] = tc;
   tc->start_vc.raise(tc->chain, tc->start_pos);
   tc->ready = true;
   tc->ready_seq = ++seq_;
   // Race-check and record the task's declared clauses.  Accesses the body
-  // performs beyond these arrive later through observe().
-  for (const Access& a : t->accesses()) check_access_locked(*tc, a.region, a.mode);
+  // performs beyond these arrive later through observe().  Under sampling,
+  // an unsampled task skips the conflict hunt but still records its stamps:
+  // any pair with at least one sampled member is still caught.
+  const bool check = sampled_locked(*tc);
+  if (!check) ++sample_skipped_;  // deferred stat: published at taskwait
+  for (const Access& a : t->accesses()) check_access_locked(*tc, a.region, a.mode, check);
 }
 
 void RaceOracle::on_complete(Task* t) {
   std::lock_guard<std::mutex> lk(mu_);
-  TaskClock* tc = clock_of_locked(t);
+  TaskClock* tc = clock_of(t);
   if (tc == nullptr || tc->completed) return;
   // The end clock is the task's knowledge when it finished: its start clock,
   // whatever its body joined via nested taskwaits (the body context), and its
@@ -175,14 +188,15 @@ void RaceOracle::on_complete(Task* t) {
   tc->end_vc.raise(tc->chain, tc->end_pos);
   tc->completed = true;
   tc->done_seq = ++seq_;
+  // A completed tail frees its chain for the next ready task with no tail
+  // predecessor (see the chain-reuse note in on_ready).
+  if (chain_tail_[tc->chain] == tc->end_pos) free_chains_.push_back(tc->chain);
   // Fold the end clock into the per-domain join clock (what a taskwait over
   // the domain merges into the waiter).  Each shared base map is folded only
   // once, so a wide fan of siblings costs O(deltas), not O(tasks^2).
   DomainJoin& dj = domain_vc_[t->domain];
   const ChainClock::Map* base = tc->end_vc.base.get();
-  if (base != nullptr && std::find(dj.folded_bases.begin(), dj.folded_bases.end(), base) ==
-                             dj.folded_bases.end()) {
-    dj.folded_bases.push_back(base);
+  if (base != nullptr && dj.folded_bases.insert(base).second) {
     dj.bases.push_back(tc->end_vc.base);  // keep the map alive
     for (const auto& [c, p] : *base) {
       std::uint32_t& slot = dj.acc[c];
@@ -197,6 +211,7 @@ void RaceOracle::on_complete(Task* t) {
 
 void RaceOracle::on_taskwait(Task* waiter, DependencyDomain* domain) {
   std::lock_guard<std::mutex> lk(mu_);
+  publish_stats_locked();  // quiesce point: flush the deferred counters
   auto it = domain_vc_.find(domain);
   if (it == domain_vc_.end()) return;  // no completed task yet
   join_into_context_locked(context_locked(waiter), it->second.acc);
@@ -206,16 +221,16 @@ void RaceOracle::on_wait_on(Task* waiter, const std::vector<Task*>& producers) {
   std::lock_guard<std::mutex> lk(mu_);
   Context& ctx = context_locked(waiter);
   for (Task* p : producers) {
-    TaskClock* pc = clock_of_locked(p);
+    TaskClock* pc = clock_of(p);
     if (pc != nullptr && pc->completed) join_into_context_locked(ctx, pc->end_vc);
   }
 }
 
 void RaceOracle::observe(Task* t, const common::Region& r, AccessMode mode) {
   std::lock_guard<std::mutex> lk(mu_);
-  TaskClock* tc = clock_of_locked(t);
+  TaskClock* tc = clock_of(t);
   if (tc == nullptr || !tc->ready) return;
-  check_access_locked(*tc, r, mode);
+  check_access_locked(*tc, r, mode, sampled_locked(*tc));
 }
 
 std::uint64_t RaceOracle::violations() const {
@@ -223,10 +238,38 @@ std::uint64_t RaceOracle::violations() const {
   return violations_;
 }
 
-TaskClock* RaceOracle::clock_of_locked(Task* t) {
+TaskClock* RaceOracle::clock_of(Task* t) const {
   // The clock record rides on the task itself (set at spawn).  The oracle
   // check guards against a task tracked by a different runtime's oracle.
   return t != nullptr && t->race_oracle == this ? t->vclock : nullptr;
+}
+
+std::uint32_t RaceOracle::take_free_chain_locked() {
+  while (!free_chains_.empty()) {
+    const std::uint32_t c = free_chains_.back();
+    free_chains_.pop_back();
+    const TaskClock* tail = chain_tail_task_[c];
+    if (tail != nullptr && tail->completed) return c;
+    // Stale entry: an arc extended the chain after this entry was pushed and
+    // the new tail is still running — its own completion re-pushes the chain.
+  }
+  const auto c = static_cast<std::uint32_t>(chain_tail_.size());
+  chain_tail_.push_back(0);
+  chain_tail_task_.push_back(nullptr);
+  return c;
+}
+
+void RaceOracle::publish_stats_locked() {
+  if (stats_ == nullptr) return;
+  if (tasks_ != published_tasks_) {
+    stats_->add("verify.tasks", static_cast<double>(tasks_ - published_tasks_));
+    published_tasks_ = tasks_;
+  }
+  if (sample_skipped_ != published_skipped_) {
+    stats_->add("verify.sample_skipped",
+                static_cast<double>(sample_skipped_ - published_skipped_));
+    published_skipped_ = sample_skipped_;
+  }
 }
 
 RaceOracle::Context& RaceOracle::context_locked(Task* waiter) {
@@ -235,7 +278,7 @@ RaceOracle::Context& RaceOracle::context_locked(Task* waiter) {
   if (inserted) {
     // First spawn/taskwait from this body: snapshot the task's start clock.
     // The body context then only grows through the body's own taskwaits.
-    TaskClock* tc = clock_of_locked(waiter);
+    TaskClock* tc = clock_of(waiter);
     if (tc != nullptr) {
       auto flat = std::make_shared<ChainClock::Map>();
       if (tc->start_vc.base != nullptr) *flat = *tc->start_vc.base;
@@ -287,7 +330,14 @@ bool RaceOracle::lineal_locked(const TaskClock& a, const TaskClock& b) const {
   return false;
 }
 
-void RaceOracle::check_access_locked(TaskClock& tc, const common::Region& r, AccessMode mode) {
+bool RaceOracle::sampled_locked(const TaskClock& tc) const {
+  // Deterministic (id-based, RNG-free) so a sampled run is reproducible and
+  // a test can place a racy task inside — or outside — the sample.
+  return sample_ <= 1 || (tc.task != nullptr && tc.task->id() % sample_ == 0);
+}
+
+void RaceOracle::check_access_locked(TaskClock& tc, const common::Region& r, AccessMode mode,
+                                     bool check) {
   if (r.empty()) return;
   hits_.clear();  // scratch buffer: one live use per call, mu_ held
   shadow_.for_overlapping(r, [&](auto& e) { hits_.emplace_back(e.region, &e.value); });
@@ -310,14 +360,16 @@ void RaceOracle::check_access_locked(TaskClock& tc, const common::Region& r, Acc
     *overlap = common::Region{lo, hi - lo};
     return true;
   };
-  for (const auto& [hr, cell] : hits_) {
-    common::Region overlap;
-    for (const AccessStamp& s : cell->writers) {
-      if (conflicts(s, &overlap)) report_locked(s, tc, r, mode, overlap);
-    }
-    if (writes(mode)) {
-      for (const AccessStamp& s : cell->readers) {
+  if (check) {
+    for (const auto& [hr, cell] : hits_) {
+      common::Region overlap;
+      for (const AccessStamp& s : cell->writers) {
         if (conflicts(s, &overlap)) report_locked(s, tc, r, mode, overlap);
+      }
+      if (writes(mode)) {
+        for (const AccessStamp& s : cell->readers) {
+          if (conflicts(s, &overlap)) report_locked(s, tc, r, mode, overlap);
+        }
       }
     }
   }

@@ -15,10 +15,19 @@
 //
 // Clocks are chain clocks: each task occupies two positions (start, end) on a
 // chain; a task extends a predecessor's chain when that predecessor is the
-// chain's current tail, otherwise it opens a new one.  A vector clock is a
-// shared immutable base (the spawning context's clock, which only changes at
-// taskwait joins) plus a small per-task delta, so the common patterns — wide
-// fans, chains, wavefronts — cost O(predecessors) per task, not O(tasks).
+// chain's current tail, failing that reuses a chain whose tail task has
+// completed (completion-before-ready is a mutex-mediated happens-before edge
+// inside the runtime — the same one the conflict check's done/ready sequence
+// exemption relies on — so encoding it as a chain extension is sound), and
+// only opens a new chain when neither exists.  Chain count is therefore
+// bounded by the schedule's width (max in-flight tasks), not by total tasks
+// — without reuse, iterative patterns whose producers complete and detach
+// before the consumer is submitted (so no arc ever forms) would open a chain
+// per task and grow every clock base map linearly with the run.  A vector
+// clock is a shared immutable base (the spawning context's clock, which only
+// changes at taskwait joins) plus a small per-task delta, so the common
+// patterns — wide fans, chains, wavefronts — cost O(predecessors) per task,
+// not O(tasks).
 // Conflicts are found FastTrack-style through a shadow directory keyed by
 // region (common::IntervalMap): each cell holds writer and reader stamps,
 // each carrying its (chain, end position) epoch AND the exact byte range it
@@ -37,6 +46,7 @@
 #include <mutex>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -97,7 +107,12 @@ struct TaskClock {
 class RaceOracle {
 public:
   /// `sink`: where RaceViolation diagnostics go (null: throw in place).
-  RaceOracle(ErrorSink sink, common::Stats* stats);
+  /// `sample`: conflict-check every Nth task (the `verify_sample` config
+  /// key).  Deterministic by task id — task t is *checked* iff
+  /// t->id() % sample == 0; every task's accesses are still *recorded*, so a
+  /// racing pair with at least one sampled member is caught.  Clock
+  /// maintenance is unaffected: 1 (the default) checks everything.
+  RaceOracle(ErrorSink sink, common::Stats* stats, std::uint64_t sample = 1);
   ~RaceOracle();
 
   RaceOracle(const RaceOracle&) = delete;
@@ -108,7 +123,9 @@ public:
   /// Task submitted; `spawner` is the task whose body spawned it (nullptr:
   /// the application driver / root context).
   void on_spawn(Task* t, Task* spawner);
-  /// The dependency layer created arc pred → succ.
+  /// The dependency layer created arc pred → succ.  Called under the
+  /// dependency domain's mutex; deliberately does NOT take the oracle mutex
+  /// (see the implementation for the happens-before argument).
   void on_arc(Task* pred, Task* succ);
   /// Every predecessor settled: fix the start clock, then race-check and
   /// record the task's declared accesses.
@@ -146,26 +163,45 @@ private:
     std::shared_ptr<const ChainClock::Map> vc = nullptr;  // null: empty clock
   };
 
+  /// Reads only task-resident pointers fixed at spawn — callable without mu_
+  /// by a caller that happens-after the task's on_spawn.
+  TaskClock* clock_of(Task* t) const;
+
   // All below require mu_ held.
-  TaskClock* clock_of_locked(Task* t);
   Context& context_locked(Task* waiter);
+  void publish_stats_locked();
+  /// A chain the ready task may extend: pops the free pool (chains whose
+  /// tail task completed), opening a fresh chain when the pool is dry.
+  std::uint32_t take_free_chain_locked();
   void join_into_context_locked(Context& ctx, const ChainClock::Map& m);
   void join_into_context_locked(Context& ctx, const ChainClock& vc);
   /// True iff the event (chain, pos) happens-before `t`'s start.
   bool ordered_before_locked(const AccessStamp& s, const TaskClock& t) const;
   /// True iff one task is an ancestor (transitive spawner) of the other.
   bool lineal_locked(const TaskClock& a, const TaskClock& b) const;
-  void check_access_locked(TaskClock& tc, const common::Region& r, AccessMode mode);
+  /// True when `t` is in the deterministic sample (conflict-checked).
+  bool sampled_locked(const TaskClock& tc) const;
+  /// Records the access in the shadow directory; hunts for conflicts first
+  /// only when `check` (unsampled tasks record without checking).
+  void check_access_locked(TaskClock& tc, const common::Region& r, AccessMode mode,
+                           bool check);
   void report_locked(const AccessStamp& earlier, const TaskClock& later,
                      const common::Region& later_region, AccessMode later_mode,
                      const common::Region& overlap);
 
   ErrorSink sink_;
   common::Stats* stats_;
+  std::uint64_t sample_;  // conflict-check every Nth task (1 = every task)
 
   mutable std::mutex mu_;
   std::deque<TaskClock> clocks_;                    // node-stable task state
   std::vector<std::uint32_t> chain_tail_;           // chain id -> tail position
+  std::vector<TaskClock*> chain_tail_task_;         // chain id -> tail task
+  /// Chains whose tail task has completed, reusable by the next ready task
+  /// with no tail predecessor.  Entries go stale when an arc extends the
+  /// chain first; take_free_chain_locked() revalidates against the current
+  /// tail, so staleness costs a pop, never soundness.
+  std::vector<std::uint32_t> free_chains_;
   common::IntervalMap<ShadowCell> shadow_;
   Context root_ctx_;
   std::unordered_map<Task*, Context> body_ctx_;     // task body contexts
@@ -177,13 +213,19 @@ private:
   /// delta: it grows to one entry per chain in the domain.
   struct DomainJoin {
     ChainClock::Map acc;
-    std::vector<const ChainClock::Map*> folded_bases;
+    std::unordered_set<const ChainClock::Map*> folded_bases;
     std::vector<std::shared_ptr<const ChainClock::Map>> bases;  // keep alive
   };
   std::unordered_map<const DependencyDomain*, DomainJoin> domain_vc_;
   std::set<std::pair<Task*, Task*>> reported_;  // one report per racing pair
   std::uint64_t seq_ = 0;  // ready/complete event sequencer (see TaskClock)
   std::uint64_t violations_ = 0;
+  // Deferred stats (mu_-guarded), published at taskwaits and teardown: a live
+  // Stats add per spawn would nest a second global lock inside the oracle's.
+  std::uint64_t tasks_ = 0;
+  std::uint64_t sample_skipped_ = 0;
+  std::uint64_t published_tasks_ = 0;
+  std::uint64_t published_skipped_ = 0;
 };
 
 }  // namespace nanos::verify

@@ -9,6 +9,7 @@
 
 #include "nanos/coherence.hpp"
 #include "vt/clock.hpp"
+#include "vt/sync.hpp"
 
 namespace {
 
@@ -207,6 +208,65 @@ TEST_F(CoherenceTest, OversizedRegionThrows) {
   std::vector<float> big((1u << 18) / sizeof(float));
   Task* t = make_task({Access::in(big.data(), big.size() * sizeof(float))});
   EXPECT_THROW(coh_->acquire(*t, 1), std::runtime_error);
+  // Nothing was transient: the failure is immediate, never a retry loop.
+  EXPECT_EQ(stats_.count("coh.evict_retries"), 0u);
+}
+
+TEST_F(CoherenceTest, OomWaitsOutTransientlyPinnedVictim) {
+  // 64 KiB device; two 40 KiB regions can never coexist.  A concurrent task
+  // holds the first region pinned for a while — the second acquire must
+  // wait-and-rescan (not hard-OOM) and succeed once the pin drops.
+  init(CachePolicy::kWriteBack, /*gpus=*/1, /*dev_mem=*/1u << 16);
+  constexpr std::size_t kN = (40u << 10) / sizeof(float);
+  std::vector<float> a(kN, 0.0f), b(kN, 0.0f);
+  vt::Flag held(clock_);
+  Task* ta = make_task({Access::out(a.data(), a.size() * sizeof(float))});
+  vt::Thread holder(clock_, "holder", [&] {
+    auto ptrs = coh_->acquire(*ta, 1);
+    static_cast<float*>(ptrs[0])[0] = 7.0f;
+    held.set();
+    // Keep the pin for many backoff periods of virtual time, then let go.
+    clock_.sleep_for(1e-4);
+    coh_->release(*ta, 1);
+  });
+  held.wait();
+  Task* tb = make_task({Access::out(b.data(), b.size() * sizeof(float))});
+  auto ptrs = coh_->acquire(*tb, 1);  // spins in the bounded retry loop
+  holder.join();
+  ASSERT_NE(ptrs[0], static_cast<void*>(b.data()));
+  EXPECT_TRUE(platform_->device(0).owns(ptrs[0]));
+  EXPECT_GE(stats_.count("coh.evict_retries"), 1u);
+  EXPECT_GE(stats_.count("coh.evictions"), 1u);
+  // The dirty victim was written back before its slot was reused.
+  EXPECT_FLOAT_EQ(a[0], 7.0f);
+  coh_->release(*tb, 1);
+}
+
+TEST_F(CoherenceTest, OomGivesUpAfterBoundedRetriesWhenPinNeverDrops) {
+  init(CachePolicy::kWriteBack, /*gpus=*/1, /*dev_mem=*/1u << 16);
+  constexpr std::size_t kN = (40u << 10) / sizeof(float);
+  std::vector<float> a(kN, 0.0f), b(kN, 0.0f);
+  vt::Flag held(clock_), done(clock_);
+  Task* ta = make_task({Access::out(a.data(), a.size() * sizeof(float))});
+  vt::Thread holder(clock_, "holder", [&] {
+    coh_->acquire(*ta, 1);
+    held.set();
+    done.wait();  // never releases while the other acquire is trying
+    coh_->release(*ta, 1);
+  });
+  held.wait();
+  Task* tb = make_task({Access::out(b.data(), b.size() * sizeof(float))});
+  std::string msg;
+  try {
+    coh_->acquire(*tb, 1);
+  } catch (const std::runtime_error& e) {
+    msg = e.what();
+  }
+  done.set();
+  holder.join();
+  ASSERT_FALSE(msg.empty()) << "acquire should give up once the retry budget is spent";
+  EXPECT_NE(msg.find("eviction retries"), std::string::npos) << msg;
+  EXPECT_GE(stats_.count("coh.evict_retries"), 64u);
 }
 
 TEST_F(CoherenceTest, PartialOverlapRejected) {

@@ -58,6 +58,36 @@ TEST(MccPragmaTest, TaskSizeExpression) {
   EXPECT_EQ(p.deps[0].size_expr, "bs * bs");
 }
 
+TEST(MccPragmaTest, BlockSectionBounds) {
+  // [lo:len] and the OmpSs [lo;len] spelling: len elements from element lo.
+  auto p = parse_pragma("#pragma omp task input([lo:len] a) output([i0;bs] b)");
+  ASSERT_EQ(p.deps.size(), 2u);
+  EXPECT_EQ(p.deps[0].start_expr, "lo");
+  EXPECT_EQ(p.deps[0].size_expr, "len");
+  EXPECT_EQ(p.deps[1].start_expr, "i0");
+  EXPECT_EQ(p.deps[1].size_expr, "bs");
+  // A plain [size] section has no start.
+  auto q = parse_pragma("#pragma omp task input([n] a)");
+  EXPECT_TRUE(q.deps[0].start_expr.empty());
+}
+
+TEST(MccPragmaTest, BlockSectionSeparatorOnlyAtTopDepth) {
+  // ':' inside nested brackets/parens is expression text (ternaries, index
+  // expressions), not the section separator.
+  auto p = parse_pragma("#pragma omp task input([(f ? 1 : 0):n] a, [b[i]:m] c)");
+  ASSERT_EQ(p.deps.size(), 2u);
+  EXPECT_EQ(p.deps[0].start_expr, "( f ? 1 : 0 )");
+  EXPECT_EQ(p.deps[0].size_expr, "n");
+  EXPECT_EQ(p.deps[1].start_expr, "b [ i ]");
+  EXPECT_EQ(p.deps[1].size_expr, "m");
+}
+
+TEST(MccPragmaTest, MalformedBlockSectionThrows) {
+  EXPECT_THROW(parse_pragma("#pragma omp task input([lo:] a)"), std::runtime_error);
+  EXPECT_THROW(parse_pragma("#pragma omp task input([:n] a)"), std::runtime_error);
+  EXPECT_THROW(parse_pragma("#pragma omp task input([a:b:c] x)"), std::runtime_error);
+}
+
 TEST(MccPragmaTest, CostExtension) {
   auto p = parse_pragma("#pragma omp task input([n] a) cost(2.0*n)");
   EXPECT_EQ(p.cost_expr, "2.0 * n");
@@ -156,6 +186,65 @@ TEST(MccTranslateTest, MainIsWrappedInEnv) {
   EXPECT_NE(out.find("int mcc_user_main()"), std::string::npos);
   EXPECT_NE(out.find("ompss::Env env(cfg);"), std::string::npos);
   EXPECT_NE(out.find("env.run([&] { rc = mcc_user_main(); });"), std::string::npos);
+}
+
+TEST(MccTranslateTest, BlockSectionOffsetsClausePointer) {
+  std::string out = mcc::translate(
+      "#pragma omp task input([off:n] a) output([off;n] c)\n"
+      "void shift(double *a, double *c, int off, int n);\n");
+  EXPECT_NE(out.find(".in(a + (off), (n) * sizeof(*a))"), std::string::npos) << out;
+  EXPECT_NE(out.find(".out(c + (off), (n) * sizeof(*c))"), std::string::npos) << out;
+}
+
+TEST(MccTranslateTest, BodyAccessesBecomeObserveCalls) {
+  // A directly-annotated definition: the lint resolves the body's pointer
+  // uses and the wrapper observes them for the runtime race oracle.
+  std::string out = mcc::translate(
+      "#pragma omp task input([n] a) output([n] c)\n"
+      "void copy(const double *a, double *c, int n) {\n"
+      "  for (int i = 0; i < n; ++i) c[i] = a[i];\n"
+      "}\n");
+  EXPECT_NE(out.find("mcc_ctx.observe(a, (n) * sizeof(*a), nanos::AccessMode::kIn);"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("mcc_ctx.observe(c, (n) * sizeof(*c), nanos::AccessMode::kOut);"),
+            std::string::npos)
+      << out;
+  // The observes land inside the spawned lambda, before the impl call.
+  EXPECT_LT(out.find("mcc_ctx.observe("), out.find("copy__task_impl(static_cast"));
+}
+
+TEST(MccTranslateTest, ObserveModeTracksBodyNotClause) {
+  // The body *reads and writes* c (`+=`): the observe must say kInout even
+  // though the clause says output — that gap is what the oracle checks.
+  std::string out = mcc::translate(
+      "#pragma omp task input([n] a) output([n] c)\n"
+      "void acc(const double *a, double *c, int n) {\n"
+      "  for (int i = 0; i < n; ++i) c[i] += a[i];\n"
+      "}\n");
+  EXPECT_NE(out.find("mcc_ctx.observe(c, (n) * sizeof(*c), nanos::AccessMode::kInout);"),
+            std::string::npos)
+      << out;
+}
+
+TEST(MccTranslateTest, DeclarationWithoutBodyEmitsNoObserve) {
+  // No body anywhere in the unit: nothing to resolve, nothing observed.
+  std::string out = mcc::translate(
+      "#pragma omp task input([n] a) output([n] c)\n"
+      "void copy(double *a, double *c, int n);\n");
+  EXPECT_EQ(out.find("mcc_ctx.observe("), std::string::npos) << out;
+}
+
+TEST(MccTranslateTest, OutOfLineBodyStillObserved) {
+  std::string out = mcc::translate(
+      "#pragma omp task inout([n] a)\n"
+      "void bump(double *a, int n);\n"
+      "void bump(double *a, int n) {\n"
+      "  for (int i = 0; i < n; ++i) a[i] += 1;\n"
+      "}\n");
+  EXPECT_NE(out.find("mcc_ctx.observe(a, (n) * sizeof(*a), nanos::AccessMode::kInout);"),
+            std::string::npos)
+      << out;
 }
 
 TEST(MccTranslateTest, DanglingTaskPragmaThrows) {
@@ -302,6 +391,24 @@ void f(const float *a, float *b, int n) {
 )");
   ASSERT_EQ(msgs.size(), 1u);
   EXPECT_TRUE(any_contains(msgs, "output clause on 'b' is dead")) << msgs[0];
+}
+
+TEST(MccLintTest, BlockSectionClausesResolveToTheirParameter) {
+  // Section syntax must not confuse clause/body matching: [0:n] a still
+  // declares `a`, so a body that uses it is clean and one that doesn't is a
+  // dead clause.
+  EXPECT_EQ(mcc::lint(R"(#pragma omp task input([0:n] a) output([0;n] b)
+void f(const float *a, float *b, int n) {
+  for (int i = 0; i < n; ++i) b[i] = a[i];
+}
+)").size(), 0u);
+  auto msgs = lint_messages(R"(#pragma omp task input([0:n] a, [0:n] unused) output([0;n] b)
+void f(const float *a, const float *unused, float *b, int n) {
+  for (int i = 0; i < n; ++i) b[i] = a[i];
+}
+)");
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_TRUE(any_contains(msgs, "input clause on 'unused' is dead")) << msgs[0];
 }
 
 TEST(MccLintTest, AnnotatedExamplesAreClean) {

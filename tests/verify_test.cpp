@@ -370,6 +370,170 @@ TEST(CoherenceCheckTest, CleanRunPassesEveryInvariantWalk) {
   for (float v : a) ASSERT_FLOAT_EQ(v, 4.0f);
 }
 
+TEST(CoherenceCheckTest, IncrementalWalkCatchesCorruptionAtRelease) {
+  // Equivalence of the incremental walk with the full directory walk: a
+  // corruption whose entry is in a shard dirty set must be caught by the
+  // *release-time* incremental walk, before any taskwait full walk runs.
+  std::vector<float> a(256, 1.0f), b(256, 1.0f);
+  const std::size_t bytes = a.size() * sizeof(float);
+  std::string msg;
+  run_app(verified_config("all", /*gpus=*/1), [&](Runtime& rt) {
+    rt.spawn(gpu_task({Access::inout(a.data(), bytes)},
+                      [](nanos::TaskContext& ctx) {
+                        auto* f = ctx.data_as<float>(0);
+                        for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+                      },
+                      "warm"));
+    rt.taskwait();
+    // Corrupt a's entry and leave it in its shard's dirty set (mark=true):
+    // the next release's incremental walk must find it without a full scan.
+    rt.coherence().debug_corrupt_region(common::Region(a.data(), bytes));
+    try {
+      rt.spawn(gpu_task({Access::inout(b.data(), bytes)},
+                        [](nanos::TaskContext& ctx) {
+                          auto* f = ctx.data_as<float>(0);
+                          for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+                        },
+                        "trigger"));
+      rt.taskwait();
+    } catch (const nanos::verify::CoherenceInvariantError& e) {
+      msg = e.what();
+    }
+    EXPECT_GT(rt.stats().sum("verify.incr_walks"), 0.0);
+  });
+  ASSERT_FALSE(msg.empty()) << "incremental walk accepted a corrupted entry";
+  // The violation site is the release-time incremental walk, not the
+  // taskwait quiesce — proof the dirty-set path delivered it first.
+  EXPECT_NE(msg.find("at release"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("no copy"), std::string::npos) << msg;
+}
+
+TEST(CoherenceCheckTest, IncrementalWalkChecksOnlyTouchedEntries) {
+  // Eight live regions; each release's incremental walk should check only
+  // the entries that release touched, not the whole directory.
+  constexpr int kBufs = 8;
+  std::vector<std::vector<float>> bufs(kBufs, std::vector<float>(256, 1.0f));
+  run_app(verified_config("all", /*gpus=*/1), [&](Runtime& rt) {
+    for (auto& buf : bufs) {
+      rt.spawn(gpu_task({Access::inout(buf.data(), buf.size() * sizeof(float))},
+                        [](nanos::TaskContext& ctx) {
+                          auto* f = ctx.data_as<float>(0);
+                          for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+                        },
+                        "warm"));
+    }
+    rt.taskwait();
+    // One more task over a single buffer: its release walks O(1) entries
+    // even though the directory holds kBufs.
+    rt.spawn(gpu_task({Access::inout(bufs[0].data(), bufs[0].size() * sizeof(float))},
+                      [](nanos::TaskContext& ctx) {
+                        auto* f = ctx.data_as<float>(0);
+                        for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+                      },
+                      "touch_one"));
+    rt.taskwait();
+    const double walks = rt.stats().sum("verify.incr_walks");
+    const double entries = rt.stats().sum("verify.incr_entries_checked");
+    EXPECT_GT(walks, 0.0);
+    // A full-rescan-per-release implementation would check kBufs entries on
+    // (at least) the last walk; the incremental one stays near one per walk.
+    EXPECT_LT(entries, walks * kBufs);
+    EXPECT_LE(entries, walks * 2);
+    EXPECT_EQ(rt.stats().count("verify.coherence_violations"), 0u);
+  });
+}
+
+TEST(CoherenceCheckTest, CrosscheckCatchesUnmarkedMutation) {
+  // debug_corrupt_region(mark=false) simulates a mutation path that forgot
+  // to record its touched region: the incremental walk misses it, and the
+  // crosscheck full walk must report the discrepancy.
+  std::vector<float> a(256, 1.0f), b(256, 1.0f);
+  const std::size_t bytes = a.size() * sizeof(float);
+  auto cfg = verified_config("all", /*gpus=*/1);
+  cfg.verify_crosscheck = true;
+  std::string msg;
+  run_app(std::move(cfg), [&](Runtime& rt) {
+    rt.spawn(gpu_task({Access::inout(a.data(), bytes)},
+                      [](nanos::TaskContext& ctx) {
+                        auto* f = ctx.data_as<float>(0);
+                        for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+                      },
+                      "warm"));
+    rt.taskwait();
+    rt.coherence().debug_corrupt_region(common::Region(a.data(), bytes), /*mark=*/false);
+    try {
+      rt.spawn(gpu_task({Access::inout(b.data(), bytes)},
+                        [](nanos::TaskContext& ctx) {
+                          auto* f = ctx.data_as<float>(0);
+                          for (int i = 0; i < 256; ++i) f[i] += 1.0f;
+                        },
+                        "trigger"));
+      rt.taskwait();
+    } catch (const nanos::verify::CoherenceInvariantError& e) {
+      msg = e.what();
+    }
+  });
+  ASSERT_FALSE(msg.empty()) << "crosscheck accepted an unmarked corruption";
+  EXPECT_NE(msg.find("crosscheck"), std::string::npos) << msg;
+}
+
+TEST(RaceOracleTest, SampleOfOneStillCatchesSeededRace) {
+  // verify_sample=1 (check every task) must behave exactly like the
+  // unsampled oracle: the under-declared write still fires.
+  std::vector<float> a(256, 0.0f);
+  const std::size_t bytes = a.size() * sizeof(float);
+  auto cfg = verified_config("race");
+  cfg.verify_sample = 1;
+  std::string msg;
+  run_app(std::move(cfg), [&](Runtime& rt) {
+    vt::Flag both_spawned(rt.clock());
+    try {
+      rt.spawn(smp_task({Access::inout(a.data(), bytes)},
+                        [&](nanos::TaskContext& ctx) {
+                          both_spawned.wait();
+                          ctx.observe(a.data(), bytes, AccessMode::kInout);
+                        },
+                        "writer_a"));
+      rt.spawn(smp_task({},
+                        [&](nanos::TaskContext& ctx) {
+                          ctx.observe(a.data() + 64, 64, AccessMode::kOut);
+                        },
+                        "sneaky"));
+      both_spawned.set();
+      rt.taskwait();
+    } catch (const nanos::verify::RaceViolation& e) {
+      msg = e.what();
+    }
+    EXPECT_EQ(rt.stats().sum("verify.sample_skipped"), 0.0);
+  });
+  ASSERT_FALSE(msg.empty()) << "sample=1 oracle missed the seeded race";
+  EXPECT_NE(msg.find("sneaky"), std::string::npos) << msg;
+}
+
+TEST(RaceOracleTest, SamplingSkipsDeterministicallyAndStaysClean) {
+  // A large sampling divisor skips most tasks (counted, not silent) and a
+  // clean program stays clean.  Task ids are deterministic under virtual
+  // time, so the skip count is exact across runs.
+  std::vector<float> a(256, 0.0f);
+  auto cfg = verified_config("race");
+  cfg.verify_sample = 64;
+  double skipped = 0;
+  std::string msg = race_message(std::move(cfg), [&](Runtime& rt) {
+    for (int i = 0; i < 8; ++i) {
+      rt.spawn(smp_task({Access::inout(a.data() + 16 * i, 16 * sizeof(float))},
+                        [&, i](nanos::TaskContext& ctx) {
+                          ctx.observe(a.data() + 16 * i, 16 * sizeof(float),
+                                      AccessMode::kInout);
+                        },
+                        "tile"));
+    }
+    rt.taskwait();
+    skipped = rt.stats().sum("verify.sample_skipped");
+  });
+  EXPECT_TRUE(msg.empty()) << msg;
+  EXPECT_GT(skipped, 0.0);
+}
+
 TEST(VerifyConfigTest, ModeParsing) {
   using nanos::verify::VerifyMode;
   EXPECT_EQ(nanos::verify::parse_verify_mode("off"), VerifyMode::kOff);
