@@ -182,6 +182,44 @@ struct TaskInfo {
   bool has_body = false;
 };
 
+/// Accumulates a declaration/definition header from lines[i] until a line
+/// containing ';' or '{' (the translator's idiom); leaves i on that line.
+std::string read_header_at(const std::vector<std::string>& lines, size_t& i) {
+  std::string h = lines[i];
+  while (h.find(';') == std::string::npos && h.find('{') == std::string::npos &&
+         i + 1 < lines.size()) {
+    h += ' ';
+    h += lines[++i];
+  }
+  return h;
+}
+
+/// Captures the brace-balanced body whose '{' sits at lines[i][open];
+/// leaves i on the line holding the matching '}'.
+void capture_body_at(const std::vector<std::string>& lines, size_t& i, size_t open, Body& body) {
+  int d = 0;
+  size_t col = open;
+  for (;; ++i, col = 0) {
+    const std::string& s = lines[i];
+    size_t start = col;
+    size_t end = s.size();
+    bool done = false;
+    for (size_t k = col; k < s.size(); ++k) {
+      if (s[k] == '{') {
+        if (++d == 1) start = k + 1;
+      } else if (s[k] == '}') {
+        if (--d == 0) {
+          end = k;
+          done = true;
+          break;
+        }
+      }
+    }
+    body.add(static_cast<int>(i) + 1, s.substr(start, end > start ? end - start : 0));
+    if (done || i + 1 >= lines.size()) return;
+  }
+}
+
 /// Shared front half of the lint and of observe auto-emission: strips
 /// literals, joins pragma continuations, and captures every annotated task's
 /// pragma, signature and (possibly out-of-line) body.  When `diags` is
@@ -207,44 +245,6 @@ std::vector<TaskInfo> collect_tasks(const std::string& source,
     for (char c : s) {
       if (c == '{') ++depth;
       else if (c == '}') --depth;
-    }
-  };
-
-  // Accumulates a declaration/definition header from lines[i] until a line
-  // containing ';' or '{' (the translator's idiom); leaves i on that line.
-  auto read_header = [&lines](size_t& i) {
-    std::string h = lines[i];
-    while (h.find(';') == std::string::npos && h.find('{') == std::string::npos &&
-           i + 1 < lines.size()) {
-      h += ' ';
-      h += lines[++i];
-    }
-    return h;
-  };
-
-  // Captures the brace-balanced body whose '{' sits at lines[i][open];
-  // leaves i on the line holding the matching '}'.
-  auto capture_body = [&lines](size_t& i, size_t open, Body& body) {
-    int d = 0;
-    size_t col = open;
-    for (;; ++i, col = 0) {
-      const std::string& s = lines[i];
-      size_t start = col;
-      size_t end = s.size();
-      bool done = false;
-      for (size_t k = col; k < s.size(); ++k) {
-        if (s[k] == '{') {
-          if (++d == 1) start = k + 1;
-        } else if (s[k] == '}') {
-          if (--d == 0) {
-            end = k;
-            done = true;
-            break;
-          }
-        }
-      }
-      body.add(static_cast<int>(i) + 1, s.substr(start, end > start ? end - start : 0));
-      if (done || i + 1 >= lines.size()) return;
     }
   };
 
@@ -332,7 +332,7 @@ std::vector<TaskInfo> collect_tasks(const std::string& source,
     if (starts_with(t, "#")) continue;  // other preprocessor lines
 
     if (pending_task) {
-      std::string header = read_header(i);
+      std::string header = read_header_at(lines, i);
       size_t semi = header.find(';');
       size_t open = header.find('{');
       TaskInfo info;
@@ -347,7 +347,7 @@ std::vector<TaskInfo> collect_tasks(const std::string& source,
       }
       if (open < semi) {
         Body scratch;
-        capture_body(i, lines[i].find('{'), parsed ? info.body : scratch);
+        capture_body_at(lines, i, lines[i].find('{'), parsed ? info.body : scratch);
         info.has_body = parsed;
       }
       if (parsed) {
@@ -360,7 +360,7 @@ std::vector<TaskInfo> collect_tasks(const std::string& source,
     if (depth == 0 && t.find('(') != std::string::npos) {
       // Possible out-of-line definition of an annotated task (declaration
       // carried the pragma; the body arrives later, translator-style).
-      std::string header = read_header(i);
+      std::string header = read_header_at(lines, i);
       size_t semi = header.find(';');
       size_t open = header.find('{');
       auto it = task_by_name.find(function_name_of(header.substr(0, std::min(semi, open))));
@@ -368,7 +368,7 @@ std::vector<TaskInfo> collect_tasks(const std::string& source,
         TaskInfo& info = tasks[it->second];
         info.body = Body{};
         info.has_body = true;
-        capture_body(i, lines[i].find('{'), info.body);
+        capture_body_at(lines, i, lines[i].find('{'), info.body);
         continue;
       }
       count_braces(header);
@@ -382,15 +382,188 @@ std::vector<TaskInfo> collect_tasks(const std::string& source,
   return tasks;
 }
 
+/// A file-scope `void name(...) { ... }` definition — the helpers a task
+/// body may route its pointer parameters through.
+struct FnDef {
+  FuncSig sig;
+  Body body;
+};
+
+/// What a function does to the region behind one of its pointer parameters.
+struct ParamEffect {
+  bool read = false;
+  bool written = false;
+};
+
+/// Collects every parseable file-scope `void name(...) { ... }` definition.
+/// Headers the translator's parser rejects (non-void return, `main`,
+/// qualifiers) are skipped with their braces still counted so depth tracking
+/// stays right.  Later definitions of the same name win, matching the body
+/// resolution collect_tasks applies.
+std::map<std::string, FnDef> collect_function_defs(const std::string& source) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(strip_literals(source));
+    std::string l;
+    while (std::getline(in, l)) lines.push_back(l);
+  }
+
+  std::map<std::string, FnDef> fns;
+  int depth = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string t = trim(lines[i]);
+    if (t.empty() || starts_with(t, "#")) continue;
+
+    if (depth == 0 && t.find('(') != std::string::npos) {
+      std::string header = read_header_at(lines, i);
+      size_t semi = header.find(';');
+      size_t open = header.find('{');
+      if (open < semi) {
+        FnDef def;
+        bool parsed = true;
+        try {
+          def.sig = parse_function_header(trim(header.substr(0, open)));
+        } catch (const std::exception&) {
+          parsed = false;
+        }
+        Body scratch;
+        capture_body_at(lines, i, lines[i].find('{'), parsed ? def.body : scratch);
+        if (parsed) fns[def.sig.name] = std::move(def);
+      } else {
+        for (char c : header) {
+          if (c == '{') ++depth;
+          else if (c == '}') --depth;
+        }
+      }
+      continue;
+    }
+
+    for (char c : lines[i]) {
+      if (c == '{') ++depth;
+      else if (c == '}') --depth;
+    }
+  }
+  return fns;
+}
+
+/// Resolves what each occurrence of a pointer parameter actually does,
+/// looking *through* calls to file-scope helpers: an argument position
+/// inherits the callee's transitive effect on the matching parameter instead
+/// of being classified as a plain read.
+class EffectResolver {
+ public:
+  explicit EffectResolver(const std::map<std::string, FnDef>& fns) : fns_(fns) {}
+
+  /// Transitive effect of `fn` on its pointer parameter `param`.  Recursion
+  /// cycles contribute nothing at the back edge, so mutual recursion settles
+  /// on the effects visible outside the cycle.
+  ParamEffect effect(const std::string& fn, const std::string& param) {
+    auto key = std::make_pair(fn, param);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    if (!active_.insert(key).second) return {};
+    ParamEffect eff;
+    auto fit = fns_.find(fn);
+    if (fit != fns_.end()) {
+      const Body& body = fit->second.body;
+      std::map<size_t, ParamEffect> overrides = call_arg_effects(body);
+      size_t pos = 0;
+      while ((pos = find_ident(body.text, param, pos)) != std::string::npos) {
+        ParamEffect u = use_at(body.text, pos, param.size(), overrides);
+        eff.read = eff.read || u.read;
+        eff.written = eff.written || u.written;
+        pos += param.size();
+      }
+    }
+    active_.erase(key);
+    memo_[key] = eff;
+    return eff;
+  }
+
+  /// Maps the base-identifier position of every argument in calls to known
+  /// helpers onto the callee's effect for the matching pointer parameter.
+  std::map<size_t, ParamEffect> call_arg_effects(const Body& body) {
+    std::map<size_t, ParamEffect> out;
+    const std::string& s = body.text;
+    for (const auto& [name, def] : fns_) {
+      size_t pos = 0;
+      while ((pos = find_ident(s, name, pos)) != std::string::npos) {
+        size_t p = pos + name.size();
+        while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+        if (p >= s.size() || s[p] != '(') {
+          pos = p;
+          continue;
+        }
+        size_t q = p + 1;
+        size_t item = q;
+        int d = 1;
+        std::vector<std::pair<size_t, size_t>> args;  // [start, end) per argument
+        while (q < s.size() && d > 0) {
+          char c = s[q];
+          if (c == '(' || c == '[') {
+            ++d;
+          } else if (c == ')' || c == ']') {
+            if (--d == 0) break;
+          } else if (c == ',' && d == 1) {
+            args.emplace_back(item, q);
+            item = q + 1;
+          }
+          ++q;
+        }
+        args.emplace_back(item, q);
+        for (size_t k = 0; k < args.size() && k < def.sig.params.size(); ++k) {
+          const Param& cp = def.sig.params[k];
+          if (!cp.is_pointer) continue;
+          std::string base =
+              base_identifier(s.substr(args[k].first, args[k].second - args[k].first));
+          if (base.empty()) continue;
+          size_t bpos = find_ident(s, base, args[k].first);
+          if (bpos == std::string::npos || bpos >= args[k].second) continue;
+          ParamEffect eff = effect(name, cp.name);
+          ParamEffect& slot = out[bpos];
+          slot.read = slot.read || eff.read;
+          slot.written = slot.written || eff.written;
+        }
+        pos = q;
+      }
+    }
+    return out;
+  }
+
+  /// Effect of the identifier occurrence at [pos, pos+len): a call-argument
+  /// override wins; otherwise the plain syntactic classification.
+  static ParamEffect use_at(const std::string& s, size_t pos, size_t len,
+                            const std::map<size_t, ParamEffect>& overrides) {
+    auto it = overrides.find(pos);
+    if (it != overrides.end()) return it->second;
+    switch (classify_use(s, pos + len)) {
+      case UseKind::kWrite:
+        return {false, true};
+      case UseKind::kReadWrite:
+        return {true, true};
+      default:
+        return {true, false};
+    }
+  }
+
+ private:
+  const std::map<std::string, FnDef>& fns_;
+  std::map<std::pair<std::string, std::string>, ParamEffect> memo_;
+  std::set<std::pair<std::string, std::string>> active_;
+};
+
 }  // namespace
 
 std::vector<LintDiagnostic> lint(const std::string& source) {
   std::vector<LintDiagnostic> diags;
   std::vector<TaskInfo> tasks = collect_tasks(source, &diags);
+  std::map<std::string, FnDef> fns = collect_function_defs(source);
+  EffectResolver effects(fns);
 
   for (const TaskInfo& info : tasks) {
     if (!info.has_body) continue;
     const std::string& body = info.body.text;
+    std::map<size_t, ParamEffect> overrides = effects.call_arg_effects(info.body);
     auto declared = [&info](const std::string& n) {
       for (const DepItem& d : info.pragma.deps) {
         if (d.name == n) return true;
@@ -420,18 +593,31 @@ std::vector<LintDiagnostic> lint(const std::string& source) {
         continue;
       }
       // (3) output regions consumed before the task ever writes them (a
-      // compound assignment reads before it writes, so it counts)
-      if (d.mode == DepMode::kOut &&
-          classify_use(body, pos + d.name.size()) != UseKind::kWrite) {
-        diags.push_back({info.body.line_at(pos),
-                         "task '" + info.sig.name + "': output parameter '" + d.name +
-                             "' is read before its first write; the clause should be inout"});
+      // compound assignment reads before it writes, so it counts).  Passing
+      // the parameter to a file-scope helper counts as whatever the helper
+      // transitively does with it: a write-only helper is a valid first
+      // write, a reading helper trips the warning, and a helper that ignores
+      // the parameter is skipped.
+      if (d.mode == DepMode::kOut) {
+        size_t p = pos;
+        while (p != std::string::npos) {
+          ParamEffect u = EffectResolver::use_at(body, p, d.name.size(), overrides);
+          if (u.read) {
+            diags.push_back({info.body.line_at(p),
+                             "task '" + info.sig.name + "': output parameter '" + d.name +
+                                 "' is read before its first write; the clause should be inout"});
+            break;
+          }
+          if (u.written) break;
+          p = find_ident(body, d.name, p + d.name.size());
+        }
       }
     }
   }
 
-  std::stable_sort(diags.begin(), diags.end(),
-                   [](const LintDiagnostic& a, const LintDiagnostic& b) { return a.line < b.line; });
+  std::stable_sort(
+      diags.begin(), diags.end(),
+      [](const LintDiagnostic& a, const LintDiagnostic& b) { return a.line < b.line; });
   return diags;
 }
 
@@ -442,23 +628,25 @@ std::string format_diagnostic(const std::string& file, const LintDiagnostic& d) 
 std::map<std::string, std::vector<BodyAccess>> resolve_body_accesses(
     const std::string& source) {
   std::map<std::string, std::vector<BodyAccess>> out;
+  std::map<std::string, FnDef> fns = collect_function_defs(source);
+  EffectResolver effects(fns);
   for (const TaskInfo& info : collect_tasks(source, nullptr)) {
     if (!info.has_body) continue;
+    std::map<size_t, ParamEffect> overrides = effects.call_arg_effects(info.body);
     std::vector<BodyAccess> accs;
     for (const Param& p : info.sig.params) {
       if (!p.is_pointer) continue;
       BodyAccess ba;
       ba.param = p.name;
       // Aggregate over every occurrence with the same read/write
-      // classification the lint applies: one plain assignment makes the
-      // parameter written, anything else read.
+      // classification the lint applies, looking through helper calls: a
+      // plain assignment or a write-only helper makes the parameter written,
+      // any reading use makes it read.
       size_t pos = 0;
       while ((pos = find_ident(info.body.text, p.name, pos)) != std::string::npos) {
-        switch (classify_use(info.body.text, pos + p.name.size())) {
-          case UseKind::kWrite: ba.written = true; break;
-          case UseKind::kReadWrite: ba.written = ba.read = true; break;
-          case UseKind::kRead: ba.read = true; break;
-        }
+        ParamEffect u = EffectResolver::use_at(info.body.text, pos, p.name.size(), overrides);
+        ba.read = ba.read || u.read;
+        ba.written = ba.written || u.written;
         pos += p.name.size();
       }
       if (ba.read || ba.written) accs.push_back(std::move(ba));

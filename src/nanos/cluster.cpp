@@ -22,7 +22,29 @@ struct ForwardMsg {
   void* src_addr;   // copy location on the holding node
   int dst_node;
   void* dst_addr;   // copy location on the destination node
+  int ack_node;     // where the landed copy is acknowledged (home or master)
 };
+
+struct StageReqMsg {
+  std::uintptr_t start;
+  std::size_t size;
+  int dst_node;
+};
+
+struct VouchMsg {
+  std::uint64_t ticket;
+  std::uintptr_t start;
+  int exec_node;
+};
+
+// splitmix64-style mixer decorrelating region starts (which share alignment
+// bits) across home nodes.
+std::uint64_t mix_home(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 struct PullMsg {
   std::uintptr_t start;
@@ -46,6 +68,10 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
     : clock_(clock), cfg_(std::move(cfg)), comm_mon_(clock), worker_mon_(clock) {
   net_ = std::make_unique<simnet::Network>(clock_, cfg_.nodes, cfg_.link);
   if (!cfg_.faults.empty()) net_->set_fault_plan(cfg_.faults);
+  // Sharded ownership needs peer transfers; the MtoS relay keeps the legacy
+  // centralized directory.
+  sharded_ = cfg_.dir_sharding && cfg_.slave_to_slave && cfg_.nodes > 1;
+  dir_.resize(static_cast<std::size_t>(sharded_ ? cfg_.nodes : 1));
 
   vt::Hold hold(clock_);
   nodes_.resize(static_cast<std::size_t>(cfg_.nodes));
@@ -66,7 +92,21 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
   }
 
   // Handler registration.  Slave-side handlers run on each node's RX thread
-  // (GASNet style); master-side handlers on node 0's RX thread.
+  // (GASNet style); master-side handlers on node 0's RX thread.  With
+  // dir_sharding, every node additionally serves the shard it homes:
+  // commits, staging requests and stage acks for those regions arrive here
+  // instead of at the master.
+  //
+  // Every message a slave gets through to the failure detector renews its
+  // lease — pongs are just the fallback for quiet phases.  (A slave whose RX
+  // thread is busy flushing GPU memory answers pings late but keeps emitting
+  // STAGE_DONE / commits; counting only pongs would false-positive it.)
+  // Home nodes feed the detector too: liveness the home learns from a commit
+  // or stage ack counts, since with sharding that traffic bypasses the
+  // master entirely.
+  auto alive = [this](int src) {
+    if (src > 0 && resilience_) resilience_->on_alive(src);
+  };
   for (int i = 1; i < cfg_.nodes; ++i) {
     simnet::Endpoint& ep = net_->endpoint(i);
     ep.register_handler(kNewTask, [this, i](int, const void* p, std::size_t n) {
@@ -79,18 +119,30 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
       handle_pull(i, p, n);
     });
     ep.register_handler(kPing, [this, i](int, const void*, std::size_t) {
-      // Reply, and piggyback any TASK_DONE the master has not acknowledged
-      // (its original send was lost; the master commit is idempotent).
+      // Reply, and piggyback unacknowledged completions whose ack is
+      // overdue (the original send was lost, or its home died mid-commit;
+      // re-sends recompute the home and the commit is idempotent).  A
+      // completion still inside its ack round trip is NOT replayed — under
+      // bursty loads the unacked set is large and replaying it wholesale
+      // multiplies commit traffic several-fold.
       simnet::Network* net = net_.get();
       int self = i;
       net->endpoint(i).am_short(0, kPong, &self, sizeof(self));
-      std::vector<std::uint64_t> resend;
+      std::vector<std::function<void()>> resend;
       {
         std::lock_guard<std::mutex> lk(mu_);
-        const auto& pend = nodes_[static_cast<std::size_t>(i)].unacked_done;
-        resend.assign(pend.begin(), pend.end());
+        const double now = clock_.now();
+        const double base = std::max(cfg_.resilience.effective_ack_timeout(),
+                                     8.0 * cfg_.link.latency);
+        for (auto& [tk, ud] : nodes_[static_cast<std::size_t>(i)].unacked_done) {
+          const int shift = std::min(ud.attempts, 6);
+          if (now - ud.sent_at <= base * (1 << shift)) continue;
+          ud.sent_at = now;
+          ++ud.attempts;
+          resend.push_back(ud.send);
+        }
       }
-      for (std::uint64_t tk : resend) net->endpoint(i).am_short(0, kTaskDone, &tk, sizeof(tk));
+      for (auto& send : resend) send();
     });
     ep.register_handler(kDoneAck, [this, i](int, const void* p, std::size_t n) {
       auto tk = read_msg<std::uint64_t>(p, n);
@@ -98,27 +150,39 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
       nodes_[static_cast<std::size_t>(i)].unacked_done.erase(tk);
     });
   }
+  // Shard-serving handlers: registered on every node — any node (the master
+  // included) homes ~1/N of the regions.
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    simnet::Endpoint& ep = net_->endpoint(i);
+    ep.register_handler(kStageDone, [this, i, alive](int src, const void* p, std::size_t n) {
+      alive(src);
+      auto msg = read_msg<StageDoneMsg>(p, n);
+      std::vector<std::function<void()>> cbs;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        staged_locked(common::Region(msg.start, msg.size), msg.node, cbs);
+      }
+      for (auto& cb : cbs) cb();
+      (void)i;
+    });
+    ep.register_handler(kDirCommit, [this, i, alive](int src, const void* p, std::size_t n) {
+      alive(src);
+      handle_dir_commit(i, src, read_msg<const RemoteTaskInfo*>(p, n));
+    });
+    ep.register_handler(kStageReq, [this, i, alive](int src, const void* p, std::size_t n) {
+      alive(src);
+      handle_stage_req(i, p, n);
+    });
+  }
   simnet::Endpoint& master = net_->endpoint(0);
-  // Every message a slave gets through to the master renews its lease —
-  // pongs are just the fallback for quiet phases.  (A slave whose RX thread
-  // is busy flushing GPU memory answers pings late but keeps emitting
-  // STAGE_DONE / TASK_DONE; counting only pongs would false-positive it.)
-  auto alive = [this](int src) {
-    if (resilience_) resilience_->on_alive(src);
-  };
   master.register_handler(kTaskDone, [this, alive](int src, const void* p, std::size_t n) {
     alive(src);
     handle_task_done(src, read_msg<std::uint64_t>(p, n));
   });
-  master.register_handler(kStageDone, [this, alive](int src, const void* p, std::size_t n) {
+  master.register_handler(kDoneVouch, [this, alive](int src, const void* p, std::size_t n) {
     alive(src);
-    auto msg = read_msg<StageDoneMsg>(p, n);
-    std::vector<std::function<void()>> cbs;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      staged_locked(common::Region(msg.start, msg.size), msg.node, cbs);
-    }
-    for (auto& cb : cbs) cb();
+    auto msg = read_msg<VouchMsg>(p, n);
+    handle_done_vouch(msg.ticket, msg.start, msg.exec_node);
   });
   master.register_handler(kPong, [alive](int src, const void*, std::size_t) { alive(src); });
   master.register_handler(kTaskRecv, [this, alive](int src, const void* p, std::size_t n) {
@@ -202,7 +266,12 @@ Task* ClusterRuntime::spawn(TaskDesc desc) {
     // data this locally executed task wrote as living on node 0.
     std::lock_guard<std::mutex> lk(mu_);
     for (const Access& a : t->accesses()) {
-      if (a.copy && writes(a.mode)) record_write_locked(a.region, 0);
+      if (a.copy && writes(a.mode)) {
+        // The master is in the directory's address space, so its own tasks
+        // commit straight into the owning shard — no wire round-trip.
+        record_write_locked(a.region, 0);
+        stats_.incr("cluster.dir_ops_local");
+      }
     }
   };
   stats_.incr("cluster.tasks");
@@ -251,12 +320,12 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
     std::vector<double> score(static_cast<std::size_t>(cfg_.nodes), 0.0);
     for (const Access& a : t->accesses()) {
       if (!a.copy) continue;
-      auto it = dir_.find(a.region.start);
-      if (it == dir_.end() || it->second.value.version == 0) continue;  // task-untouched data
+      const NodeDirEntry* e = dir_find_locked(a.region.start);
+      if (e == nullptr || e->version == 0) continue;  // task-untouched data
       // Outputs dominate: chaining onto the producer of the written block
       // keeps accumulations local while inputs stream in.
       const double w = static_cast<double>(a.region.size) * (writes(a.mode) ? 4.0 : 1.0);
-      for (int n : it->second.value.valid) {
+      for (int n : e->valid) {
         if (n >= 0 && n < cfg_.nodes && node_alive_locked(n))
           score[static_cast<std::size_t>(n)] += w;
       }
@@ -340,8 +409,19 @@ void* ClusterRuntime::node_addr_locked(NodeDirEntry& e, int node) {
   return addr;
 }
 
+int ClusterRuntime::home_node_locked(std::uintptr_t start) const {
+  if (!sharded_) return 0;
+  const std::uint64_t h = mix_home(static_cast<std::uint64_t>(start));
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    const int n = static_cast<int>((h + static_cast<std::uint64_t>(i)) %
+                                   static_cast<std::uint64_t>(cfg_.nodes));
+    if (!nodes_[static_cast<std::size_t>(n)].dead) return n;
+  }
+  return 0;  // unreachable: the master is never declared dead
+}
+
 ClusterRuntime::NodeDirEntry& ClusterRuntime::dir_lookup_locked(const common::Region& r) {
-  auto [it, inserted] = dir_.try_emplace(r);
+  auto [it, inserted] = shard_locked(r.start).try_emplace(r);
   NodeDirEntry& e = it->second.value;
   if (inserted) {
     e.region = r;
@@ -369,9 +449,8 @@ void ClusterRuntime::record_write_locked(const common::Region& r, int node, Task
     redo.task = producer;
     for (const Access& a : producer->accesses()) {
       if (!a.copy || !reads(a.mode) || a.region == r) continue;
-      auto it = dir_.find(a.region.start);
-      redo.inputs.emplace_back(a.region,
-                               it != dir_.end() ? it->second.value.version : 0u);
+      const NodeDirEntry* ie = dir_find_locked(a.region.start);
+      redo.inputs.emplace_back(a.region, ie != nullptr ? ie->version : 0u);
     }
     e.redo_log.push_back(std::move(redo));
   }
@@ -461,9 +540,9 @@ void ClusterRuntime::dispatch_local(Task* t, int releaser_resource) {
     std::lock_guard<std::mutex> lk(mu_);
     for (const Access& a : t->accesses()) {
       if (!a.copy || !reads(a.mode)) continue;
-      auto it = dir_.find(a.region.start);
-      if (it == dir_.end()) continue;
-      const NodeDirEntry& e = it->second.value;
+      const NodeDirEntry* ep = dir_find_locked(a.region.start);
+      if (ep == nullptr) continue;
+      const NodeDirEntry& e = *ep;
       // During recovery the home copy is the stale replay base, not the
       // current version — treat it as absent and let the staging defer.
       if (e.valid.count(0) != 0 && !e.recovering && !e.lost) continue;
@@ -503,9 +582,8 @@ void ClusterRuntime::dispatch_remote(Task* t, int node, bool regen,
       std::vector<std::function<void()>> actions;
       {
         std::lock_guard<std::mutex> lk(mu_);
-        auto it = dir_.find(regen_region.start);
-        if (it != dir_.end() && it->second.value.recovering)
-          advance_recovery_locked(it->second.value, actions);
+        NodeDirEntry* e = dir_find_locked(regen_region.start);
+        if (e != nullptr && e->recovering) advance_recovery_locked(*e, actions);
       }
       for (auto& a : actions) a();
     }
@@ -555,12 +633,14 @@ void ClusterRuntime::dispatch_remote(Task* t, int node, bool regen,
     ticket = next_ticket_++;
     info->ticket = ticket;
     info->master_task = t;
+    std::set<std::uintptr_t> written;
     for (const Access& a : t->accesses()) {
       RemoteAccess ra;
       ra.master_region = a.region;
       ra.mode = a.mode;
       ra.copy = a.copy;
       if (a.copy) {
+        if (writes(a.mode)) written.insert(a.region.start);
         NodeDirEntry& e = dir_lookup_locked(a.region);
         ra.local_addr = node_addr_locked(e, node);
         if (reads(a.mode) && e.valid.count(node) == 0) {
@@ -578,6 +658,7 @@ void ClusterRuntime::dispatch_remote(Task* t, int node, bool regen,
       }
       info->accesses.push_back(ra);
     }
+    info->expected_writes = static_cast<int>(written.size());
     in_flight_tasks_[ticket] = info;
   }
   for (auto& action : actions) action();
@@ -633,6 +714,27 @@ std::function<void()> ClusterRuntime::stage_region_locked(const common::Region& 
 std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
                                                               const common::Region& region,
                                                               int node) {
+  if (sharded_ && node != 0) {
+    const int home = home_node_locked(region.start);
+    if (home != 0) {
+      // Transfer-source resolution belongs to the region's home node: ask it
+      // to pick a holder from its shard and issue the forward.  (A region the
+      // master itself homes resolves inline below — the request would be a
+      // free self-send anyway.)
+      StageReqMsg msg{region.start, region.size, node};
+      simnet::Network* net = net_.get();
+      stats_.incr("cluster.stage_reqs");
+      return [net, home, msg] {
+        net->endpoint(0).am_coalesced(home, kStageReq, &msg, sizeof(msg));
+      };
+    }
+  }
+  return wire_action_resolved_locked(e, region, node, 0);
+}
+
+std::function<void()> ClusterRuntime::wire_action_resolved_locked(NodeDirEntry& e,
+                                                                  const common::Region& region,
+                                                                  int node, int from) {
   void* dst = node_addr_locked(e, node);
   const std::size_t size = region.size;
 
@@ -662,13 +764,15 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
   if (cfg_.slave_to_slave && holder >= 0) {
     // Direct slave-to-slave transfer (StoS).  Preferred over master-sourced
     // puts even when the master also holds a copy: its NIC must stay free
-    // for control traffic and presends (paper §IV-B2).
+    // for control traffic and presends (paper §IV-B2).  The forward leaves
+    // the resolving node's endpoint, and the landed copy is acknowledged
+    // back to it (the home with sharding; the master otherwise).
     e.stage_src[node] = holder;
-    ForwardMsg msg{region.start, size, e.addr.at(holder), node, dst};
+    ForwardMsg msg{region.start, size, e.addr.at(holder), node, dst, from};
     simnet::Network* net = net_.get();
     stats_.incr("cluster.stos_transfers");
-    return [net, holder, msg] {
-      net->endpoint(0).am_short(holder, kForward, &msg, sizeof(msg));
+    return [net, from, holder, msg] {
+      net->endpoint(from).am_short(holder, kForward, &msg, sizeof(msg));
     };
   }
 
@@ -679,14 +783,14 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
     e.stage_src[node] = 0;
     Runtime* master = nodes_[0].rt.get();
     simnet::Network* net = net_.get();
-    return [this, master, net, region, node, dst, size] {
+    return [this, master, net, region, node, dst, size, from] {
       master->coherence().flush_region(region);
       stats_.add("cluster.master_tx_bytes", static_cast<double>(size));
       net->endpoint(0).put(
-          node, dst, region.ptr(), size, nullptr, [net, region, node, size] {
-            // Destination RX thread: acknowledge to the master.
+          node, dst, region.ptr(), size, nullptr, [net, region, node, size, from] {
+            // Destination RX thread: acknowledge to the resolver.
             StageDoneMsg msg{region.start, size, node};
-            net->endpoint(node).am_short(0, kStageDone, &msg, sizeof(msg));
+            net->endpoint(node).am_coalesced(from, kStageDone, &msg, sizeof(msg));
           });
     };
   }
@@ -734,8 +838,8 @@ std::function<void()> ClusterRuntime::make_wire_action_locked(NodeDirEntry& e,
                             net->endpoint(0).put(node, dst, region.ptr(), size, nullptr,
                                                  [net, region, node, size] {
                                                    StageDoneMsg msg{region.start, size, node};
-                                                   net->endpoint(node).am_short(0, kStageDone,
-                                                                                &msg, sizeof(msg));
+                                                   net->endpoint(node).am_coalesced(
+                                                       0, kStageDone, &msg, sizeof(msg));
                                                  });
                           });
   return pull_action;
@@ -754,7 +858,7 @@ void ClusterRuntime::try_send_locked(int node) {
     info->send_attempts = 1;
     stats_.add("cluster.stage_latency", info->sent_at - info->dispatched_at);
     RemoteTaskInfo* p = info;
-    net_->endpoint(0).am_short(node, kNewTask, &p, sizeof(p));
+    net_->endpoint(0).am_coalesced(node, kNewTask, &p, sizeof(p));
   }
 }
 
@@ -762,7 +866,7 @@ void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
   const std::uint64_t recv_ticket = info->ticket;
   // Receipt ack first: stops master-side NEW_TASK retransmission.  Then
   // dedup — a retransmit whose original arrived must not run the task twice.
-  net_->endpoint(node).am_short(0, kTaskRecv, &recv_ticket, sizeof(recv_ticket));
+  net_->endpoint(node).am_coalesced(0, kTaskRecv, &recv_ticket, sizeof(recv_ticket));
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!nodes_[static_cast<std::size_t>(node)].seen_tickets.insert(recv_ticket).second)
@@ -789,14 +893,39 @@ void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
   }
   std::uint64_t ticket = info->ticket;
   simnet::Network* net = net_.get();
-  d.completion_cb = [this, net, node, ticket] {
+  // Completion is a closure so the ping-piggybacked resend path can replay
+  // it verbatim: homes are recomputed at every send, which is what lets a
+  // resent commit reach a re-homed shard after its original home died.
+  std::function<void()> commit;
+  if (sharded_ && info->expected_writes > 0) {
+    const RemoteTaskInfo* cinfo = info;
+    commit = [this, net, node, cinfo] {
+      std::set<int> homes;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const RemoteAccess& ra : cinfo->accesses) {
+          if (ra.copy && writes(ra.mode))
+            homes.insert(home_node_locked(ra.master_region.start));
+        }
+      }
+      const RemoteTaskInfo* p = cinfo;
+      for (int h : homes) net->endpoint(node).am_coalesced(h, kDirCommit, &p, sizeof(p));
+    };
+  } else {
+    commit = [net, node, ticket] {
+      std::uint64_t tk = ticket;
+      net->endpoint(node).am_coalesced(0, kTaskDone, &tk, sizeof(tk));
+    };
+  }
+  d.completion_cb = [this, node, ticket, commit] {
     // Remember the DONE until the master acknowledges it, so a lost message
     // can be re-sent when the failure detector's next ping arrives.
     {
       std::lock_guard<std::mutex> lk(mu_);
-      nodes_[static_cast<std::size_t>(node)].unacked_done.insert(ticket);
+      nodes_[static_cast<std::size_t>(node)].unacked_done[ticket] =
+          NodeState::UnackedDone{commit, clock_.now(), 0};
     }
-    net->endpoint(node).am_short(0, kTaskDone, &ticket, sizeof(ticket));
+    commit();
   };
   rt.spawn(std::move(d));
 }
@@ -833,10 +962,99 @@ void ClusterRuntime::handle_task_done(int src, std::uint64_t ticket) {
   // Ack unconditionally: the slave must stop re-sending even if the ticket
   // was retired on this side.
   std::uint64_t tk = ticket;
-  net_->endpoint(0).am_short(src, kDoneAck, &tk, sizeof(tk));
+  net_->endpoint(0).am_coalesced(src, kDoneAck, &tk, sizeof(tk));
   if (info != nullptr && !info->regen) domain_->on_complete(t);
   for (auto& a : actions) a();
   comm_mon_.notify_all();
+}
+
+void ClusterRuntime::handle_dir_commit(int self, int src, const RemoteTaskInfo* cinfo) {
+  // Home-node half of the sharded completion protocol: apply version bumps
+  // for the written regions this node homes, then vouch to the master.  The
+  // commit may arrive more than once (ping-piggybacked resends, or a resend
+  // re-routed after this shard was re-homed); the shared `committed` set
+  // keeps record_write exactly-once per region across all homes.
+  std::vector<VouchMsg> vouches;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = in_flight_tasks_.find(cinfo->ticket);
+    RemoteTaskInfo* live = it != in_flight_tasks_.end() ? it->second : nullptr;
+    for (const RemoteAccess& ra : cinfo->accesses) {
+      if (!ra.copy || !writes(ra.mode)) continue;
+      const std::uintptr_t start = ra.master_region.start;
+      if (home_node_locked(start) != self) continue;
+      if (live == cinfo && live->committed.insert(start).second) {
+        record_write_locked(ra.master_region, src, cinfo->master_task);
+        stats_.incr("cluster.dir_ops_homed.n" + std::to_string(self));
+      }
+      // Vouch even for a retired ticket: the master re-acks, which is what
+      // stops the exec node's resend loop.
+      vouches.push_back(VouchMsg{cinfo->ticket, start, src});
+    }
+  }
+  for (const VouchMsg& v : vouches)
+    net_->endpoint(self).am_coalesced(0, kDoneVouch, &v, sizeof(v));
+}
+
+void ClusterRuntime::handle_done_vouch(std::uint64_t ticket, std::uintptr_t start,
+                                       int exec_node) {
+  // Master half: a ticket completes only once every distinct written region
+  // has been vouched by its home — a successor dispatched before that could
+  // read a stale directory version.
+  RemoteTaskInfo* info = nullptr;
+  Task* t = nullptr;
+  bool ack = false;
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = in_flight_tasks_.find(ticket);
+    if (it == in_flight_tasks_.end()) {
+      ack = true;  // retired ticket: re-ack so the exec node stops resending
+    } else {
+      RemoteTaskInfo* cand = it->second;
+      cand->vouched.insert(start);
+      if (static_cast<int>(cand->vouched.size()) >= cand->expected_writes) {
+        ack = true;
+        info = cand;
+        in_flight_tasks_.erase(it);
+        t = info->master_task;
+        const int node = info->target_node;
+        stats_.add("cluster.exec_latency", clock_.now() - info->sent_at);
+        --nodes_[static_cast<std::size_t>(node)].sent;
+        try_send_locked(node);
+        if (info->regen) {
+          NodeDirEntry& e = dir_lookup_locked(info->regen_region);
+          if (!e.pending_regens.empty() && e.pending_regens.front() == t)
+            e.pending_regens.pop_front();
+          advance_recovery_locked(e, actions);
+        }
+      }
+    }
+  }
+  if (ack) {
+    std::uint64_t tk = ticket;
+    net_->endpoint(0).am_coalesced(exec_node, kDoneAck, &tk, sizeof(tk));
+  }
+  if (info != nullptr && !info->regen) domain_->on_complete(t);
+  for (auto& a : actions) a();
+  comm_mon_.notify_all();
+}
+
+void ClusterRuntime::handle_stage_req(int self, const void* payload, std::size_t bytes) {
+  auto msg = read_msg<StageReqMsg>(payload, bytes);
+  std::function<void()> action;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    NodeDirEntry* e = dir_find_locked(msg.start);
+    if (e == nullptr) return;
+    // Failure recovery may have cancelled the staging (or re-homed the
+    // entry) between the master's request and its arrival — only act while
+    // the destination is still registered.
+    if (e->staging_to.count(msg.dst_node) == 0) return;
+    action =
+        wire_action_resolved_locked(*e, common::Region(msg.start, msg.size), msg.dst_node, self);
+  }
+  if (action) action();
 }
 
 void ClusterRuntime::handle_forward(int self, int /*src*/, const void* payload,
@@ -853,10 +1071,14 @@ void ClusterRuntime::handle_forward(int self, int /*src*/, const void* payload,
     const std::uintptr_t start = msg.start;
     const std::size_t size = msg.size;
     const int dst = msg.dst_node;
+    // The ack goes to whichever node orchestrated this staging — the master
+    // in the centralized protocol, the region's home node under sharding.
+    const int ack_node = msg.ack_node;
     net->endpoint(self).put(dst, msg.dst_addr, msg.src_addr, size, nullptr,
-                            [net, start, size, dst] {
+                            [net, start, size, dst, ack_node] {
                               StageDoneMsg ack{start, size, dst};
-                              net->endpoint(dst).am_short(0, kStageDone, &ack, sizeof(ack));
+                              net->endpoint(dst).am_coalesced(ack_node, kStageDone, &ack,
+                                                              sizeof(ack));
                             });
   });
 }
@@ -896,9 +1118,8 @@ void ClusterRuntime::taskwait_on(const common::Region& r) {
   std::vector<std::function<void()>> actions;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    auto it = dir_.find(r.start);
-    if (it != dir_.end()) {
-      NodeDirEntry& e = it->second.value;
+    if (NodeDirEntry* ep = dir_find_locked(r.start)) {
+      NodeDirEntry& e = *ep;
       if (e.lost) {
         master->record_task_error(std::make_exception_ptr(std::runtime_error(
             "cluster: taskwait on(...) failed — region lost to node failure")));
@@ -947,20 +1168,22 @@ void ClusterRuntime::taskwait(bool flush) {
   std::vector<std::function<void()>> actions;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [start, entry] : dir_) {
-      NodeDirEntry& e = entry.value;
-      if (e.lost) {
-        master->record_task_error(std::make_exception_ptr(std::runtime_error(
-            "cluster: region lost to node failure and not recovered (resilience=" +
-            cfg_.resilience.mode + ")")));
-        continue;
+    for (auto& shard : dir_) {
+      for (auto& [start, entry] : shard) {
+        NodeDirEntry& e = entry.value;
+        if (e.lost) {
+          master->record_task_error(std::make_exception_ptr(std::runtime_error(
+              "cluster: region lost to node failure and not recovered (resilience=" +
+              cfg_.resilience.mode + ")")));
+          continue;
+        }
+        // During recovery the home copy holds the stale replay base — stage
+        // (defers until the chain finishes) rather than trusting valid={0}.
+        if (e.valid.count(0) != 0 && !e.recovering) continue;
+        latch.add();
+        auto action = stage_region_locked(e.region, 0, stage_cb);
+        if (action) actions.push_back(std::move(action));
       }
-      // During recovery the home copy holds the stale replay base — stage
-      // (defers until the chain finishes) rather than trusting valid={0}.
-      if (e.valid.count(0) != 0 && !e.recovering) continue;
-      latch.add();
-      auto action = stage_region_locked(e.region, 0, stage_cb);
-      if (action) actions.push_back(std::move(action));
     }
   }
   for (auto& a : actions) a();

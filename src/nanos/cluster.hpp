@@ -50,6 +50,13 @@ struct ClusterConfig {
   RuntimeConfig node;                      ///< per-node runtime configuration
   int presend = 0;
   bool slave_to_slave = true;
+  /// Shard region-directory ownership across nodes by home-node hashing:
+  /// version commits and transfer-source resolution for a region go to its
+  /// home node instead of the master, which then only orchestrates task
+  /// spawn/taskwait and the global quiesce.  Requires slave-to-slave
+  /// transfers (the MtoS relay is inherently master-centric); forced off
+  /// when they are disabled or on a single node.
+  bool dir_sharding = true;
   /// Communication threads driving remote dispatch on the master.  The
   /// paper uses one and notes the design allows more (§III-D1, fn. 2).
   int comm_threads = 1;
@@ -106,6 +113,10 @@ private:
     kPong = 6,       // slave -> master: probe reply
     kTaskRecv = 7,   // slave -> master: NEW_TASK received (stops retransmits)
     kDoneAck = 8,    // master -> slave: TASK_DONE committed (stops resends)
+    // -- sharded-directory protocol (dir_sharding on) ------------------------
+    kDirCommit = 9,   // exec node -> home: commit a task's writes to the shard
+    kDoneVouch = 10,  // home -> master: a region's commit is in the directory
+    kStageReq = 11,   // master -> home: resolve a transfer source and forward
   };
 
   struct NodeDirEntry {
@@ -167,6 +178,18 @@ private:
     bool recv_acked = false;   // slave acknowledged NEW_TASK receipt
     int send_attempts = 0;
     double last_send = 0;
+
+    // -- sharded-directory completion (dir_sharding on) ----------------------
+    /// Distinct regions this task writes; completion is gated on one home
+    /// vouch per region, closing the stale-directory race where a successor
+    /// stages before the home applied the commit.
+    int expected_writes = 0;
+    /// Region starts whose commit a home already applied (mu_ held).  Shared
+    /// between homes through master memory, this makes re-sent commits —
+    /// including ones re-routed after a home's shard was re-homed —
+    /// exactly-once without a wire-level dedup table.
+    std::set<std::uintptr_t> committed;
+    std::set<std::uintptr_t> vouched;  ///< master side: homes heard from
   };
 
   struct NodeState {
@@ -191,9 +214,19 @@ private:
     /// Slave-side NEW_TASK dedup: tickets already spawned, so a retransmitted
     /// NEW_TASK (ack lost) does not execute the task twice.
     std::set<std::uint64_t> seen_tickets;
-    /// Slave-side TASK_DONEs not yet acknowledged by the master; re-sent when
-    /// pinged (piggyback retransmission for a lost TASK_DONE).
-    std::set<std::uint64_t> unacked_done;
+    /// Slave-side completions not yet acknowledged by the master, keyed by
+    /// ticket; the stored closure re-sends them when pinged (piggyback
+    /// retransmission).  Only entries stale past the ack timeout are
+    /// replayed — an entry merely awaiting its ack round trip must not be
+    /// re-sent, or every ping multiplies in-flight commit traffic.
+    /// Re-sends recompute region home nodes at send time, so commits reach
+    /// a re-homed shard after its original home died.
+    struct UnackedDone {
+      std::function<void()> send;
+      double sent_at = 0;  // virtual time of the last transmission
+      int attempts = 0;    // resend count, drives exponential backoff
+    };
+    std::map<std::uint64_t, UnackedDone> unacked_done;
   };
 
   // -- master-side logic -----------------------------------------------------
@@ -227,7 +260,27 @@ private:
   /// current copy lives.  mu_ held; the returned action runs without it.
   std::function<void()> make_wire_action_locked(NodeDirEntry& e, const common::Region& region,
                                                 int node);
+  /// The resolving half of make_wire_action: picks a source holder from the
+  /// directory entry and builds the wire operation.  `from` is the node doing
+  /// the resolution (the region's home with sharding, the master otherwise):
+  /// forwards leave its endpoint and stage acks return to it.
+  std::function<void()> wire_action_resolved_locked(NodeDirEntry& e,
+                                                    const common::Region& region, int node,
+                                                    int from);
   void* node_addr_locked(NodeDirEntry& e, int node);
+  /// Home node owning `start`'s directory shard: hash with linear probing
+  /// that skips dead nodes.  Death is permanent and monotonic, so the answer
+  /// only ever moves forward — and node 0 never dies, so it terminates.
+  /// Always 0 without sharding.
+  int home_node_locked(std::uintptr_t start) const;
+  common::IntervalMap<NodeDirEntry>& shard_locked(std::uintptr_t start) {
+    return dir_[static_cast<std::size_t>(home_node_locked(start))];
+  }
+  NodeDirEntry* dir_find_locked(std::uintptr_t start) {
+    auto& shard = shard_locked(start);
+    auto it = shard.find(start);
+    return it == shard.end() ? nullptr : &it->second.value;
+  }
   NodeDirEntry& dir_lookup_locked(const common::Region& r);
   void record_write_locked(const common::Region& r, int node, Task* producer = nullptr);
   /// Region became valid on `node`: updates the directory and collects the
@@ -240,6 +293,15 @@ private:
   void handle_task_done(int src, std::uint64_t ticket);
   void handle_forward(int self, int src, const void* payload, std::size_t bytes);
   void handle_pull(int self, const void* payload, std::size_t bytes);
+  /// Home-node side of a task commit: applies every written region homed on
+  /// `self` to the local shard, then vouches each to the master.
+  void handle_dir_commit(int self, int src, const RemoteTaskInfo* info);
+  /// Master side of a home's vouch: completes the ticket once every written
+  /// region has been vouched for by its home.
+  void handle_done_vouch(std::uint64_t ticket, std::uintptr_t start, int exec_node);
+  /// Home-node side of a staging request: resolve the transfer source from
+  /// the local shard and issue the forward/put.
+  void handle_stage_req(int self, const void* payload, std::size_t bytes);
 
   // -- resilience (implemented in resilience/recovery.cpp) -------------------
   friend class ResilienceManager;
@@ -310,7 +372,14 @@ private:
   vt::Monitor worker_mon_;
   /// Node-level data directory, interval-indexed so lookups don't degrade as
   /// the region count grows (same structure as the node-local directories).
-  common::IntervalMap<NodeDirEntry> dir_;
+  /// With dir_sharding the directory is physically split into one shard per
+  /// node, owned by home_node_locked() hashing — commits and transfer
+  /// resolution for a shard run on its home node's RX thread, so the master
+  /// NIC carries none of that traffic.  All shards stay guarded by mu_ (the
+  /// simulation shares one address space; routing, not locking, is what the
+  /// decentralization changes).  One shard when sharding is off.
+  std::vector<common::IntervalMap<NodeDirEntry>> dir_;
+  bool sharded_ = false;  ///< dir_sharding effective for this configuration
   std::map<std::uint64_t, RemoteTaskInfo*> in_flight_tasks_;  // ticket -> info
   /// Owns every RemoteTaskInfo until shutdown: closures and wire messages
   /// hold raw pointers, and a retired ticket (node death, duplicate DONE)

@@ -17,6 +17,7 @@
 //    a clean error, not silent corruption.
 #include <algorithm>
 #include <cassert>
+#include <set>
 #include <stdexcept>
 
 #include "common/log.hpp"
@@ -63,8 +64,7 @@ void ClusterRuntime::fail_staging_async(const common::Region& region, int node) 
   std::vector<std::function<void()>> out;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    auto it = dir_.find(region.start);
-    if (it != dir_.end()) fail_staging_locked(it->second.value, node, out);
+    if (NodeDirEntry* e = dir_find_locked(region.start)) fail_staging_locked(*e, node, out);
   }
   for (auto& a : out) a();
 }
@@ -101,7 +101,8 @@ void ClusterRuntime::fail_staging_locked(NodeDirEntry& e, int node,
   }
 }
 
-void ClusterRuntime::mark_lost_locked(NodeDirEntry& e, std::vector<std::function<void()>>& actions) {
+void ClusterRuntime::mark_lost_locked(NodeDirEntry& e,
+                                      std::vector<std::function<void()>>& actions) {
   if (e.lost) return;
   e.lost = true;
   e.recovering = false;
@@ -166,12 +167,12 @@ void ClusterRuntime::schedule_recovery_locked(NodeDirEntry& e,
   for (const NodeDirEntry::Redo& rd : e.redo_log) {
     chain.push_back(rd.task);
     for (const auto& [in_region, in_version] : rd.inputs) {
-      auto it = dir_.find(in_region.start);
-      if (it == dir_.end()) {
+      const NodeDirEntry* ip = dir_find_locked(in_region.start);
+      if (ip == nullptr) {
         if (in_version != 0) sound = false;
         continue;
       }
-      const NodeDirEntry& ie = it->second.value;
+      const NodeDirEntry& ie = *ip;
       // The input's version once any pending regeneration of *it* finishes.
       // version + pending_regens.size() holds in every state — an idle entry
       // has no pending regens, and a lost-but-unscheduled entry satisfies
@@ -236,8 +237,8 @@ void ClusterRuntime::abort_dispatch(RemoteTaskInfo* info) {
     in_flight_tasks_.erase(it);
     --nodes_[static_cast<std::size_t>(info->target_node)].preparing;
     if (info->regen) {
-      auto dit = dir_.find(info->regen_region.start);
-      if (dit != dir_.end()) mark_lost_locked(dit->second.value, actions);
+      if (NodeDirEntry* e = dir_find_locked(info->regen_region.start))
+        mark_lost_locked(*e, actions);
     } else {
       fail_task_locked(info->master_task,
                        "cluster: staging failed for task '" + info->master_task->label() +
@@ -301,64 +302,101 @@ void ClusterRuntime::on_node_failure(int node) {
         ++it;
     }
 
-    // 3. Directory purge: the node holds nothing, sources nothing, and any
-    //    region whose only valid copy it held is regenerated or declared
-    //    lost.  (Transfers *sourced* from the dead node to live destinations
-    //    are caught by monitor_tick's stage timeout, which re-issues them
-    //    from the purged — hence surviving — holder set.)
-    for (auto& [start, slot] : dir_) {
-      NodeDirEntry& e = slot.value;
-      e.valid.erase(node);
-      e.addr.erase(node);
-      if (e.staging_to.erase(node) > 0) active_stagings_.erase({e.region.start, node});
-      e.stage_src.erase(node);
-      e.stage_retries.erase(node);
-      e.deferred.erase(std::remove(e.deferred.begin(), e.deferred.end(), node),
-                       e.deferred.end());
-      if (e.version > 0 && e.valid.empty() && !e.lost) {
-        stats_.incr("res.regions_lost");
-        if (retry)
-          schedule_recovery_locked(e, actions);
-        else
-          mark_lost_locked(e, actions);
-        continue;  // stagings were converted to recovery waiters (or failed)
-      }
-      // Transfers the dead node was sourcing never arrive; re-issue each one
-      // from a surviving holder (the purge above removed the dead node, so
-      // make_wire only considers sound sources).  This is the only transfer
-      // loss a kill can cause — no timers needed.
-      std::vector<int> orphaned;
-      for (const auto& [d, src] : e.stage_src) {
-        if (src == node) orphaned.push_back(d);
-      }
-      for (int d : orphaned) {
-        if (!node_alive_locked(d)) continue;
-        if (e.valid.count(d) != 0) {
-          // The destination committed a fresher copy itself mid-flight: the
-          // transfer is moot, settle its waiters as landed.
-          staged_locked(e.region, d, actions);
-          continue;
+    // 3. Shard handoff: directory entries the dead node homed move to the
+    //    next live node in the probe sequence (home_node_locked now skips
+    //    the dead node, so shard_locked lands every entry at its new home).
+    //    The entry state itself survives — it lives in master memory; only
+    //    the serving node changes.  In-flight protocol traffic addressed to
+    //    the old home (STAGE_REQ not yet served, STAGE_DONE acks in its RX
+    //    queue) died with it, so every in-flight staging of a re-homed
+    //    entry is re-issued below.
+    std::set<std::uintptr_t> rehomed;
+    if (sharded_) {
+      auto& dead_shard = dir_[static_cast<std::size_t>(node)];
+      if (!dead_shard.empty()) {
+        std::vector<std::pair<common::Region, NodeDirEntry>> moved;
+        for (auto& [start, slot] : dead_shard)
+          moved.emplace_back(slot.region, std::move(slot.value));
+        dead_shard = common::IntervalMap<NodeDirEntry>();
+        for (auto& [region, value] : moved) {
+          auto [slot, inserted] = shard_locked(region.start).try_emplace(region);
+          slot->second.value = std::move(value);
+          rehomed.insert(region.start);
+          stats_.incr("cluster.shards_rehomed");
         }
-        stats_.incr("res.msg_retries");
-        e.staging_to[d] = now;
-        if (!retry || e.valid.empty()) {
-          fail_staging_locked(e, d, actions);
-          continue;
-        }
-        auto a = make_wire_action_locked(e, e.region, d);
-        if (a) actions.push_back(std::move(a));
       }
     }
 
-    // 4. Regeneration chains that were executing on the dead node and still
+    // 4. Directory purge: the node holds nothing, sources nothing, and any
+    //    region whose only valid copy it held is regenerated or declared
+    //    lost.
+    for (auto& shard : dir_) {
+      for (auto& [start, slot] : shard) {
+        NodeDirEntry& e = slot.value;
+        e.valid.erase(node);
+        e.addr.erase(node);
+        if (e.staging_to.erase(node) > 0) active_stagings_.erase({e.region.start, node});
+        e.stage_src.erase(node);
+        e.stage_retries.erase(node);
+        e.deferred.erase(std::remove(e.deferred.begin(), e.deferred.end(), node),
+                         e.deferred.end());
+        if (e.version > 0 && e.valid.empty() && !e.lost) {
+          stats_.incr("res.regions_lost");
+          if (retry)
+            schedule_recovery_locked(e, actions);
+          else
+            mark_lost_locked(e, actions);
+          continue;  // stagings were converted to recovery waiters (or failed)
+        }
+        // Transfers the dead node was sourcing never arrive, and transfers of
+        // a re-homed entry may have lost their STAGE_REQ or STAGE_DONE with
+        // the old home; re-issue each one from a surviving holder (the purge
+        // above removed the dead node, so make_wire only considers sound
+        // sources).  A duplicate arrival is idempotent — staged_locked
+        // tolerates it.  This is the only transfer loss a kill can cause —
+        // no timers needed.
+        const bool was_rehomed = rehomed.count(e.region.start) != 0;
+        std::vector<int> orphaned;
+        for (const auto& [d, ts] : e.staging_to) {
+          // Deferred destinations have no transfer in flight yet.
+          if (std::find(e.deferred.begin(), e.deferred.end(), d) != e.deferred.end()) continue;
+          auto s = e.stage_src.find(d);
+          if ((s != e.stage_src.end() && s->second == node) || was_rehomed) orphaned.push_back(d);
+        }
+        for (int d : orphaned) {
+          if (!node_alive_locked(d)) continue;
+          if (e.valid.count(d) != 0) {
+            // The destination committed a fresher copy itself mid-flight: the
+            // transfer is moot, settle its waiters as landed.
+            staged_locked(e.region, d, actions);
+            continue;
+          }
+          // A transfer whose *source* died needs the retry machinery; one
+          // that merely lost its re-homed orchestrator (STAGE_REQ or ack in
+          // the dead home's queues) still has a live source, and re-driving
+          // it is protocol continuation — allowed in every resilience mode.
+          auto s = e.stage_src.find(d);
+          const bool src_died = s != e.stage_src.end() && s->second == node;
+          if (e.valid.empty() || (src_died && !retry)) {
+            fail_staging_locked(e, d, actions);
+            continue;
+          }
+          stats_.incr("res.msg_retries");
+          e.staging_to[d] = now;
+          auto a = make_wire_action_locked(e, e.region, d);
+          if (a) actions.push_back(std::move(a));
+        }
+      }
+    }
+
+    // 5. Regeneration chains that were executing on the dead node and still
     //    have a live base copy (rolled back, first replay in flight): move
     //    them to another node.  Chains whose partial state died entirely
     //    were already rescheduled by the purge above.
     for (const common::Region& r : regen_restarts) {
-      auto it = dir_.find(r.start);
-      if (it == dir_.end()) continue;
-      NodeDirEntry& e = it->second.value;
-      if (e.recovering && !e.valid.empty()) advance_recovery_locked(e, actions);
+      NodeDirEntry* e = dir_find_locked(r.start);
+      if (e == nullptr) continue;
+      if (e->recovering && !e->valid.empty()) advance_recovery_locked(*e, actions);
     }
   }
   for (auto& a : actions) a();
@@ -388,9 +426,9 @@ void ClusterRuntime::monitor_tick() {
     //    put is not mistaken for a lost one (margin covers NIC queueing).
     std::vector<std::pair<std::uintptr_t, int>> expired;
     for (const auto& key : active_stagings_) {
-      auto it = dir_.find(key.first);
-      if (it == dir_.end()) continue;
-      const NodeDirEntry& de = it->second.value;
+      const NodeDirEntry* dp = dir_find_locked(key.first);
+      if (dp == nullptr) continue;
+      const NodeDirEntry& de = *dp;
       auto st = de.staging_to.find(key.second);
       if (st == de.staging_to.end()) continue;
       const double expect =
@@ -399,9 +437,9 @@ void ClusterRuntime::monitor_tick() {
         expired.push_back(key);
     }
     for (const auto& key : expired) {
-      auto it = dir_.find(key.first);
-      if (it == dir_.end()) continue;
-      NodeDirEntry& e = it->second.value;
+      NodeDirEntry* ep = dir_find_locked(key.first);
+      if (ep == nullptr) continue;
+      NodeDirEntry& e = *ep;
       const int dst = key.second;
       int& tries = e.stage_retries[dst];
       if (!rc.retry() || ++tries > rc.max_task_retries) {

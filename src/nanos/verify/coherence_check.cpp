@@ -181,56 +181,60 @@ void ClusterRuntime::verify_invariants(const char* where, bool flushed) {
   std::vector<common::Region> home_regions;  // cross-layer checked outside mu_
   {
     std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [start, entry] : dir_) {
-      NodeDirEntry& e = entry.value;
-      // Lost regions already surfaced an error; recovering ones are mid-
-      // replay and deliberately hold version > what any copy has.
-      if (e.lost || e.recovering) continue;
-      const std::string id = "node-dir region " + e.region.to_string();
+    // One walk aggregates every shard: entries live in per-home-node maps
+    // under sharding, but the invariants are global.
+    for (auto& shard : dir_) {
+      for (auto& [start, entry] : shard) {
+        NodeDirEntry& e = entry.value;
+        // Lost regions already surfaced an error; recovering ones are mid-
+        // replay and deliberately hold version > what any copy has.
+        if (e.lost || e.recovering) continue;
+        const std::string id = "node-dir region " + e.region.to_string();
 
-      auto [vit, first_seen] = verify_versions_.try_emplace(start, e.version);
-      if (!first_seen) {
-        if (e.version < vit->second) {
-          rep.violation(id + " version moved backwards (v" + std::to_string(e.version) +
-                        " after v" + std::to_string(vit->second) + ")");
+        auto [vit, first_seen] = verify_versions_.try_emplace(start, e.version);
+        if (!first_seen) {
+          if (e.version < vit->second) {
+            rep.violation(id + " version moved backwards (v" + std::to_string(e.version) +
+                          " after v" + std::to_string(vit->second) + ")");
+          }
+          vit->second = e.version;
         }
-        vit->second = e.version;
-      }
 
-      if (e.version < e.master_version) {
-        rep.violation(id + " home copy is ahead of the region (master v" +
-                      std::to_string(e.master_version) + " > v" + std::to_string(e.version) +
-                      ")");
-      } else if (e.version != e.master_version + e.redo_log.size()) {
-        rep.violation(id + " redo-log accounting broken: v" + std::to_string(e.version) +
-                      " != master v" + std::to_string(e.master_version) + " + " +
-                      std::to_string(e.redo_log.size()) + " logged writes");
-      }
-      if (e.valid.empty()) {
-        rep.violation(id + " has no copy on any node");
-      }
-      for (int node : e.valid) {
-        if (node < 0 || node >= cfg_.nodes) {
-          rep.violation(id + " lists nonexistent node " + std::to_string(node) +
-                        " as a holder");
-          continue;
+        if (e.version < e.master_version) {
+          rep.violation(id + " home copy is ahead of the region (master v" +
+                        std::to_string(e.master_version) + " > v" + std::to_string(e.version) +
+                        ")");
+        } else if (e.version != e.master_version + e.redo_log.size()) {
+          rep.violation(id + " redo-log accounting broken: v" + std::to_string(e.version) +
+                        " != master v" + std::to_string(e.master_version) + " + " +
+                        std::to_string(e.redo_log.size()) + " logged writes");
         }
-        if (!node_alive_locked(node)) {
-          rep.violation(id + " lists dead node " + std::to_string(node) + " as a holder");
+        if (e.valid.empty()) {
+          rep.violation(id + " has no copy on any node");
         }
-        if (node != 0 && e.addr.find(node) == e.addr.end()) {
-          rep.violation(id + " holder node " + std::to_string(node) +
-                        " has no segment address for the copy");
+        for (int node : e.valid) {
+          if (node < 0 || node >= cfg_.nodes) {
+            rep.violation(id + " lists nonexistent node " + std::to_string(node) +
+                          " as a holder");
+            continue;
+          }
+          if (!node_alive_locked(node)) {
+            rep.violation(id + " lists dead node " + std::to_string(node) + " as a holder");
+          }
+          if (node != 0 && e.addr.find(node) == e.addr.end()) {
+            rep.violation(id + " holder node " + std::to_string(node) +
+                          " has no segment address for the copy");
+          }
         }
-      }
-      for (const auto& [dst, src] : e.stage_src) {
-        if (e.staging_to.find(dst) == e.staging_to.end()) {
-          rep.violation(id + " records a transfer source for node " + std::to_string(dst) +
-                        " with no in-flight transfer to it");
+        for (const auto& [dst, src] : e.stage_src) {
+          if (e.staging_to.find(dst) == e.staging_to.end()) {
+            rep.violation(id + " records a transfer source for node " + std::to_string(dst) +
+                          " with no in-flight transfer to it");
+          }
         }
-      }
-      if (flushed && e.staging_to.empty() && e.valid.count(0) != 0) {
-        home_regions.push_back(e.region);
+        if (flushed && e.staging_to.empty() && e.valid.count(0) != 0) {
+          home_regions.push_back(e.region);
+        }
       }
     }
   }

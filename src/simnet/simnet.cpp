@@ -61,6 +61,7 @@ void Endpoint::kill() {
     tx_bulk_.clear();
     rx_shorts_.clear();
     rx_bulk_.clear();
+    coalesce_.clear();
   }
   stats_.incr("killed");
   tx_mon_.notify_all();
@@ -97,6 +98,81 @@ void Endpoint::am_short(int dst, int handler, const void* payload, std::size_t b
   m->bytes = bytes;
   stats_.incr("am_short");
   enqueue_tx(std::move(m));
+}
+
+void Endpoint::am_coalesced(int dst, int handler, const void* payload, std::size_t bytes) {
+  const LinkProps& link = net_.props();
+  // Self-sends are free on the wire and batching would only add the window's
+  // latency; a disabled window degrades to the plain path entirely.
+  if (dst == node_ || link.coalesce_window <= 0) {
+    am_short(dst, handler, payload, bytes);
+    return;
+  }
+  bool flush_now = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_ || shutdown_) {
+      stats_.incr(dead_ ? "tx_dropped_dead" : "tx_dropped_shutdown");
+      return;
+    }
+    PendingBatch& b = coalesce_[dst];
+    if (b.subs.empty()) b.deadline = net_.clock().now() + link.coalesce_window;
+    Message::Sub sub;
+    sub.handler = handler;
+    if (bytes > 0) {
+      sub.payload.resize(bytes);
+      std::memcpy(sub.payload.data(), payload, bytes);
+    }
+    b.bytes += bytes;
+    b.subs.push_back(std::move(sub));
+    stats_.incr("am_coalesced");
+    if (static_cast<int>(b.subs.size()) >= link.coalesce_max_msgs ||
+        b.bytes >= link.coalesce_max_bytes) {
+      flush_batch_locked(dst);
+      flush_now = true;
+    }
+  }
+  // Waking the TX thread is only needed when something became transmittable
+  // (a flushed batch) or a new flush deadline must be armed.
+  tx_mon_.notify_all();
+  (void)flush_now;
+}
+
+// Moves `dst`'s pending batch onto the short queue as one wire message.  A
+// single-sub batch travels as a plain short so lone stragglers pay no batch
+// framing (and tests see identical small-run behavior).
+void Endpoint::flush_batch_locked(int dst) {
+  auto it = coalesce_.find(dst);
+  if (it == coalesce_.end()) return;
+  PendingBatch b = std::move(it->second);
+  coalesce_.erase(it);
+  auto m = std::make_shared<Message>();
+  m->src = node_;
+  m->dst = dst;
+  if (b.subs.size() == 1) {
+    m->handler = b.subs[0].handler;
+    m->inline_payload = std::move(b.subs[0].payload);
+    m->bytes = m->inline_payload.size();
+  } else {
+    m->is_batch = true;
+    m->bytes = b.bytes;
+    stats_.incr("am_batch");
+    stats_.add("am_batch_subs", static_cast<double>(b.subs.size()));
+    m->subs = std::move(b.subs);
+  }
+  tx_shorts_.push_back(std::move(m));
+}
+
+void Endpoint::flush_expired_batches_locked(double now) {
+  for (auto it = coalesce_.begin(); it != coalesce_.end();) {
+    if (it->second.deadline <= now) {
+      int dst = it->first;
+      ++it;  // flush_batch_locked erases `dst`; advance past it first
+      flush_batch_locked(dst);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Endpoint::put(int dst, void* dst_addr, const void* src, std::size_t bytes,
@@ -137,6 +213,9 @@ void Endpoint::enqueue_tx(MessagePtr m) {
       tx_bulk_.push_back(std::move(m));
       stats_.add("tx_bulk_qlen", static_cast<double>(tx_bulk_.size()));
     } else {
+      // A plain short must not overtake coalesced traffic it was sent after:
+      // flush any pending batch to the same destination ahead of it.
+      flush_batch_locked(m->dst);
       tx_shorts_.push_back(std::move(m));
     }
   }
@@ -166,9 +245,21 @@ void Endpoint::tx_loop() {
   const LinkProps& link = net_.props();
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    tx_mon_.wait(lk,
-                 [this] { return shutdown_ || !tx_shorts_.empty() || !tx_bulk_.empty(); });
-    if (shutdown_ && tx_shorts_.empty() && tx_bulk_.empty()) return;
+    flush_expired_batches_locked(clock.now());
+    if (tx_shorts_.empty() && tx_bulk_.empty()) {
+      if (shutdown_) return;  // pending batches are discarded at teardown
+      if (!coalesce_.empty()) {
+        // Sleep until the earliest batch must flush (or new traffic wakes us).
+        double deadline = coalesce_.begin()->second.deadline;
+        for (const auto& [dst, b] : coalesce_) deadline = std::min(deadline, b.deadline);
+        tx_mon_.wait_until(lk, deadline);
+      } else {
+        tx_mon_.wait(lk, [this] {
+          return shutdown_ || !tx_shorts_.empty() || !tx_bulk_.empty() || !coalesce_.empty();
+        });
+      }
+      continue;
+    }
     auto& q = !tx_shorts_.empty() ? tx_shorts_ : tx_bulk_;
     MessagePtr m = q.front();
     q.pop_front();
@@ -178,9 +269,12 @@ void Endpoint::tx_loop() {
 
     m->tx_start = clock.now();
     // Outbound NIC occupancy: serialized by this very loop.  Every message
-    // pays the fixed AM overhead; puts add their bandwidth term.
+    // pays the fixed AM overhead; puts and coalesced batches add their
+    // payload's bandwidth term (a batch pays ONE overhead for all its subs —
+    // the point of coalescing).
     double occupancy = link.am_overhead;
-    if (m->is_put) occupancy += static_cast<double>(m->bytes) / (link.bandwidth * scale);
+    if (m->is_put || m->is_batch)
+      occupancy += static_cast<double>(m->bytes) / (link.bandwidth * scale);
     if (m->src != m->dst && occupancy > 0) clock.sleep_for(occupancy);
     if (m->is_put) {
       // Data leaves the source buffer as it is transmitted; once the whole
@@ -230,7 +324,8 @@ void Endpoint::rx_loop() {
       // then inbound NIC occupancy, serialized by this loop.
       clock.sleep_until(m->tx_start + link.latency + m->extra_delay);
       double occupancy = link.am_overhead;
-      if (m->is_put) occupancy += static_cast<double>(m->bytes) / (link.bandwidth * scale);
+      if (m->is_put || m->is_batch)
+        occupancy += static_cast<double>(m->bytes) / (link.bandwidth * scale);
       if (occupancy > 0) clock.sleep_for(occupancy);
     }
     deliver(m);
@@ -241,6 +336,25 @@ void Endpoint::rx_loop() {
 
 void Endpoint::deliver(const MessagePtr& m) {
   stats_.add("rx_bytes", static_cast<double>(m->bytes));
+  if (m->is_batch) {
+    // Each sub-message is delivered exactly as its own short AM would be —
+    // same handler table, same FIFO order within the batch.
+    for (const Message::Sub& sub : m->subs) {
+      AmHandler handler;
+      {
+        std::lock_guard<std::mutex> lk(handlers_mu_);
+        if (sub.handler >= 0 && static_cast<std::size_t>(sub.handler) < handlers_.size())
+          handler = handlers_[static_cast<std::size_t>(sub.handler)];
+      }
+      if (!handler) {
+        LOG_ERROR("simnet: node ", node_, " received batched AM for unregistered handler ",
+                  sub.handler);
+        continue;
+      }
+      handler(m->src, sub.payload.data(), sub.payload.size());
+    }
+    return;
+  }
   const void* body = m->inline_payload.data();
   if (m->is_put) {
     if (m->bytes > 0) std::memcpy(m->dst_addr, m->inline_payload.data(), m->bytes);

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -43,6 +44,17 @@ struct LinkProps {
   double bandwidth = 1.0e9;   ///< bytes/s, each direction independently
   double latency = 2.0e-6;    ///< wire latency per message
   double am_overhead = 3.0e-6;  ///< fixed processing cost of a short AM
+
+  /// Coalescing of am_coalesced() traffic: messages to the same destination
+  /// are batched into one wire AM (one am_overhead for the whole batch).  A
+  /// batch is flushed when it ages past `coalesce_window`, grows to
+  /// `coalesce_max_msgs` sub-messages or `coalesce_max_bytes` of payload, or
+  /// when a plain short to the same destination must not overtake it.  A
+  /// window <= 0 disables coalescing (am_coalesced degrades to am_short).
+  /// Plain am_short()/put() traffic is never coalesced.
+  double coalesce_window = 5.0e-6;
+  int coalesce_max_msgs = 16;
+  std::size_t coalesce_max_bytes = 4096;
 };
 
 /// Deterministic fault-injection schedule for a Network.  All times are
@@ -119,6 +131,15 @@ public:
   /// copied immediately; the call never blocks.
   void am_short(int dst, int handler, const void* payload, std::size_t bytes);
 
+  /// Like am_short, but the message may be coalesced with other am_coalesced
+  /// traffic to the same destination into one wire AM (see
+  /// LinkProps::coalesce_window).  Delivery semantics are identical — the
+  /// handler runs per sub-message on the destination's RX thread, and FIFO
+  /// order against the sender's plain shorts is preserved (a plain short
+  /// flushes any pending batch ahead of itself).  Use for high-rate control
+  /// messages whose per-message latency can tolerate the flush window.
+  void am_coalesced(int dst, int handler, const void* payload, std::size_t bytes);
+
   /// Writes `bytes` from `src` into `dst_addr` on node `dst`.
   ///  - on_local_complete: source buffer has been read; safe to reuse.
   ///  - on_remote_complete: data landed at the destination.
@@ -137,6 +158,12 @@ private:
   friend class Network;
 
   struct Message {
+    /// One coalesced sub-message: delivered as if it were its own short AM.
+    struct Sub {
+      int handler = -1;
+      std::vector<char> payload;
+    };
+
     int src = 0;
     int dst = 0;
     int handler = -1;
@@ -145,12 +172,22 @@ private:
     void* dst_addr = nullptr;          // put destination
     std::size_t bytes = 0;
     bool is_put = false;
+    bool is_batch = false;             // coalesced batch of shorts
+    std::vector<Sub> subs;             // batch contents (is_batch only)
     double tx_start = 0.0;
     double extra_delay = 0.0;          // fault-injected in-flight delay
     std::function<void()> on_local_complete;
     std::function<void()> on_remote_complete;
   };
   using MessagePtr = std::shared_ptr<Message>;
+
+  /// A per-destination accumulation of am_coalesced sub-messages awaiting a
+  /// flush trigger (age, size, count, or an ordering-forced flush).
+  struct PendingBatch {
+    std::vector<Message::Sub> subs;
+    std::size_t bytes = 0;
+    double deadline = 0.0;  // first enqueue time + coalesce_window
+  };
 
   Endpoint(Network& net, int node);
   void start();
@@ -162,6 +199,8 @@ private:
   void enqueue_tx(MessagePtr m);
   void enqueue_rx(MessagePtr m);
   void deliver(const MessagePtr& m);
+  void flush_batch_locked(int dst);
+  void flush_expired_batches_locked(double now);
   double bw_scale_locked() const { return bw_scale_; }
 
   Network& net_;
@@ -177,6 +216,7 @@ private:
   std::deque<MessagePtr> tx_bulk_;
   std::deque<MessagePtr> rx_shorts_;
   std::deque<MessagePtr> rx_bulk_;
+  std::map<int, PendingBatch> coalesce_;  // pending batches keyed by dst
   bool shutdown_ = false;
   bool dead_ = false;           // fault-injected node death
   double bw_scale_ = 1.0;       // fault-injected NIC degradation

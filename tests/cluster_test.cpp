@@ -3,7 +3,9 @@
 // remote subtask spawning.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -396,6 +398,64 @@ TEST(ClusterTest, StatsDistinguishLocalAndRemote) {
     EXPECT_EQ(rt.stats().count("cluster.local_tasks"), 2u);
     EXPECT_EQ(rt.stats().count("cluster.remote_tasks"), 2u);
   });
+}
+
+TEST(ClusterTest, ShardedDirectoryDistributesCommitsAcrossHomes) {
+  // Many independent single-write tasks across distinct regions: with the
+  // sharded directory every remote completion commits at the written
+  // region's hash-assigned home node, not at the master.
+  constexpr int kNodes = 8;
+  constexpr int kTasks = 128;
+  constexpr std::size_t kFloats = 256;
+  std::vector<float> data(kTasks * kFloats, 0.0f);
+  std::uint64_t homed_total = 0, homed_master = 0, local = 0;
+  run_app(base_cluster(kNodes, "bf"), [&](ClusterRuntime& rt) {
+    for (int t = 0; t < kTasks; ++t) {
+      float* block = data.data() + static_cast<std::size_t>(t) * kFloats;
+      rt.spawn(smp_task({Access::out(block, kFloats * sizeof(float))},
+                        [](nanos::TaskContext& c) {
+                          auto* f = c.data_as<float>(0);
+                          for (std::size_t i = 0; i < 256; ++i) f[i] = 1.0f;
+                        }));
+    }
+    rt.taskwait();
+    for (int n = 0; n < kNodes; ++n) {
+      const std::uint64_t c = rt.stats().count("cluster.dir_ops_homed.n" + std::to_string(n));
+      homed_total += c;
+      if (n == 0) homed_master = c;
+    }
+    local = rt.stats().count("cluster.dir_ops_local");
+  });
+  for (float v : data) ASSERT_FLOAT_EQ(v, 1.0f);
+  // Every task commits its single written region exactly once — remote ones
+  // at a home node, master-local ones in the spawn path.
+  EXPECT_GT(homed_total, 0u);
+  EXPECT_EQ(homed_total + local, static_cast<std::uint64_t>(kTasks));
+  // Decentralization criterion: the master serves no more than 2/N of the
+  // directory commits (hash homing spreads them ~uniformly across nodes).
+  EXPECT_LE(homed_master, 2u * (homed_total + local) / kNodes);
+}
+
+TEST(ClusterTest, ShardingOffKeepsCommitsAtMaster) {
+  constexpr int kTasks = 16;
+  constexpr std::size_t kFloats = 64;
+  std::vector<float> data(kTasks * kFloats, 0.0f);
+  ClusterConfig cfg = base_cluster(4, "bf");
+  cfg.dir_sharding = false;
+  run_app(cfg, [&](ClusterRuntime& rt) {
+    for (int t = 0; t < kTasks; ++t) {
+      float* block = data.data() + static_cast<std::size_t>(t) * kFloats;
+      rt.spawn(smp_task({Access::out(block, kFloats * sizeof(float))},
+                        [](nanos::TaskContext& c) {
+                          auto* f = c.data_as<float>(0);
+                          for (std::size_t i = 0; i < 64; ++i) f[i] = 2.0f;
+                        }));
+    }
+    rt.taskwait();
+    for (int n = 0; n < 4; ++n)
+      EXPECT_EQ(rt.stats().count("cluster.dir_ops_homed.n" + std::to_string(n)), 0u) << n;
+  });
+  for (float v : data) ASSERT_FLOAT_EQ(v, 2.0f);
 }
 
 }  // namespace

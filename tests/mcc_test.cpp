@@ -325,6 +325,73 @@ void acc(const float *a, float *c, int n) {
 )").size(), 0u);
 }
 
+TEST(MccLintTest, HelperWriteIsAcceptedAsFirstWrite) {
+  // `fill` only writes its pointer parameter, so routing the output region
+  // through it is a valid first write, not a read.
+  auto msgs = lint_messages(R"(void fill(float *dst, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = 0.0f;
+}
+#pragma omp task input([n] a) output([n] c)
+void axpy(const float *a, float *c, int n) {
+  fill(c, n);
+  for (int i = 0; i < n; ++i) c[i] += a[i];
+}
+)");
+  EXPECT_EQ(msgs.size(), 0u) << (msgs.empty() ? "" : msgs[0]);
+}
+
+TEST(MccLintTest, HelperReadBeforeWriteFlagged) {
+  // `checksum` only reads its pointer parameter, so handing it the output
+  // region before any write is still a read-before-write.
+  auto msgs = lint_messages(R"(void checksum(const float *src, int n) {
+  float s = 0.0f;
+  for (int i = 0; i < n; ++i) s += src[i];
+}
+#pragma omp task output([n] c)
+void produce(float *c, int n) {
+  checksum(c, n);
+  for (int i = 0; i < n; ++i) c[i] = 0.0f;
+}
+)");
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_TRUE(any_contains(msgs, "output parameter 'c' is read before its first write"))
+      << msgs[0];
+}
+
+TEST(MccLintTest, TransitiveHelperEffectsResolveThroughCallChains) {
+  // `prep` forwards to `fill`, which writes — the chained first use is a
+  // clean write.  The mutually recursive `ping`/`pong` pair must not hang
+  // the resolver, and the read buried inside the cycle still surfaces.
+  auto msgs = lint_messages(R"(void fill(float *dst, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = 0.0f;
+}
+void prep(float *buf, int n) {
+  fill(buf, n);
+}
+#pragma omp task output([n] c)
+void ok(float *c, int n) {
+  prep(c, n);
+  c[0] = 1.0f;
+}
+void ping(float *p, int n);
+void pong(float *p, int n) {
+  if (n > 0) ping(p, n - 1);
+  float v = p[0];
+}
+void ping(float *p, int n) {
+  if (n > 0) pong(p, n - 1);
+}
+#pragma omp task output([n] d)
+void bad(float *d, int n) {
+  ping(d, n);
+  d[0] = 1.0f;
+}
+)");
+  ASSERT_EQ(msgs.size(), 1u) << (msgs.empty() ? "" : msgs[0]);
+  EXPECT_TRUE(any_contains(msgs, "output parameter 'd' is read before its first write"))
+      << msgs[0];
+}
+
 TEST(MccLintTest, UnproducedTaskwaitOnFlagged) {
   auto msgs = lint_messages(R"(#pragma omp task input([n] a) output([n] b)
 void f(const float *a, float *b, int n) {

@@ -275,6 +275,47 @@ TEST(ResilienceTest, RetryRegeneratesRegionWhoseOnlyCopyDied) {
   }
 }
 
+TEST(ResilienceTest, HomeNodeDeathRehomesShardsAndRecovers) {
+  // With the sharded directory a killed node takes ~1/N of the directory's
+  // home duty with it.  Its shard must move to survivors (re-homing), the
+  // in-flight commits and transfers addressed to the old home must be
+  // re-driven, and the post-recovery coherence walk (verify=all runs at
+  // every taskwait) must come back clean — a violation or a lost update
+  // would surface as a taskwait throw or a wrong sum below.
+  ClusterConfig cfg = base_cluster(4);
+  cfg.slave_to_slave = true;  // sharding needs peer transfers
+  cfg.resilience.mode = "retry";
+  cfg.resilience.heartbeat_period = 1e-3;
+  cfg.resilience.node_lease = 5e-3;
+  cfg.faults.kills.push_back({2, 7e-3});
+  constexpr int kRegions = 32;
+  constexpr int kChain = 2;
+  std::vector<std::vector<float>> r(kRegions, std::vector<float>(64, 0.0f));
+  std::uint64_t detected = 0, rehomed = 0;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock&) {
+    for (int c = 0; c < kChain; ++c) {
+      for (int i = 0; i < kRegions; ++i) {
+        rt.spawn(smp_task({Access::inout(r[i].data(), r[i].size() * sizeof(float))},
+                          [](nanos::TaskContext& ctx) {
+                            auto* f = ctx.data_as<float>(0);
+                            for (int k = 0; k < 64; ++k) f[k] += 1.0f;
+                          },
+                          /*ms=*/2.0));
+      }
+    }
+    rt.taskwait();
+    detected = rt.stats().count("res.failures_detected");
+    rehomed = rt.stats().count("cluster.shards_rehomed");
+  });
+  for (int i = 0; i < kRegions; ++i) {
+    for (float v : r[i]) ASSERT_FLOAT_EQ(v, static_cast<float>(kChain)) << "region " << i;
+  }
+  EXPECT_EQ(detected, 1u);
+  // 32 hash-homed regions over 4 nodes: the victim homes some of them with
+  // overwhelming probability, and every one of its entries must have moved.
+  EXPECT_GT(rehomed, 0u);
+}
+
 TEST(ResilienceTest, OffModeLostRegionFailsCleanly) {
   ClusterConfig cfg = base_cluster(2);
   cfg.resilience.mode = "off";

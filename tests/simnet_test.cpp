@@ -335,4 +335,125 @@ TEST(SimNetTest, NegativeHandlerIdRejected) {
                std::invalid_argument);
 }
 
+TEST(SimNetTest, CoalescedMessagesBatchIntoOneWireAm) {
+  // Eight am_coalesced sends inside one flush window travel as ONE wire AM:
+  // one am_overhead on each NIC instead of eight, every sub-message still
+  // delivered in order with its own payload.
+  vt::Clock clock;
+  LinkProps p = fast_link();
+  p.am_overhead = 2e-6;
+  p.coalesce_window = 5e-6;
+  p.coalesce_max_msgs = 64;  // watermark out of the way: flush by age
+  Network net(clock, 2, p);
+  vt::CountLatch latch(clock);
+  latch.add(8);
+  std::vector<int> seen;
+  net.endpoint(1).register_handler(0, [&](int src, const void* pay, std::size_t n) {
+    EXPECT_EQ(src, 0);
+    ASSERT_EQ(n, sizeof(int));
+    seen.push_back(*static_cast<const int*>(pay));
+    latch.done();
+  });
+  for (int i = 0; i < 8; ++i) net.endpoint(0).am_coalesced(1, 0, &i, sizeof(i));
+  latch.wait();
+  ASSERT_EQ(seen.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(net.endpoint(0).stats().count("am_batch"), 1u);
+  EXPECT_DOUBLE_EQ(net.endpoint(0).stats().sum("am_batch_subs"), 8.0);
+  // window (5us) + one tx overhead + latency + one rx overhead + payload wire
+  // time — far under the 8 * (2+2)us eight separate AMs would serialize to.
+  EXPECT_GT(clock.now(), 5e-6);
+  EXPECT_LT(clock.now(), 11e-6);
+}
+
+TEST(SimNetTest, CoalesceWatermarkFlushesBeforeWindow) {
+  vt::Clock clock;
+  LinkProps p = fast_link();
+  p.am_overhead = 2e-6;
+  p.coalesce_window = 1e-3;  // enormous: only the count watermark can flush
+  p.coalesce_max_msgs = 4;
+  Network net(clock, 2, p);
+  vt::CountLatch latch(clock);
+  latch.add(4);
+  net.endpoint(1).register_handler(0, [&](int, const void*, std::size_t) { latch.done(); });
+  for (int i = 0; i < 4; ++i) net.endpoint(0).am_coalesced(1, 0, &i, sizeof(i));
+  latch.wait();
+  EXPECT_EQ(net.endpoint(0).stats().count("am_batch"), 1u);
+  EXPECT_LT(clock.now(), 1e-4);  // did not wait out the window
+}
+
+TEST(SimNetTest, PlainShortDoesNotOvertakePendingBatch) {
+  // FIFO across classes: a plain short sent after coalesced traffic to the
+  // same destination forces the batch onto the wire ahead of itself.
+  vt::Clock clock;
+  LinkProps p = fast_link();
+  p.coalesce_window = 1e-3;  // batch would otherwise sit pending
+  Network net(clock, 2, p);
+  vt::CountLatch latch(clock);
+  latch.add(3);
+  std::vector<int> order;
+  net.endpoint(1).register_handler(0, [&](int, const void* pay, std::size_t) {
+    order.push_back(*static_cast<const int*>(pay));
+    latch.done();
+  });
+  int a = 1, b = 2, c = 3;
+  net.endpoint(0).am_coalesced(1, 0, &a, sizeof(a));
+  net.endpoint(0).am_coalesced(1, 0, &b, sizeof(b));
+  net.endpoint(0).am_short(1, 0, &c, sizeof(c));
+  latch.wait();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_LT(clock.now(), 1e-4);  // the short's send flushed the batch early
+}
+
+TEST(SimNetTest, LoneCoalescedSubTravelsAsPlainShort) {
+  vt::Clock clock;
+  LinkProps p = fast_link();
+  p.coalesce_window = 5e-6;
+  Network net(clock, 2, p);
+  vt::Flag got(clock);
+  int v = -1;
+  net.endpoint(1).register_handler(0, [&](int, const void* pay, std::size_t n) {
+    ASSERT_EQ(n, sizeof(int));
+    v = *static_cast<const int*>(pay);
+    got.set();
+  });
+  int msg = 42;
+  net.endpoint(0).am_coalesced(1, 0, &msg, sizeof(msg));
+  got.wait();
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(net.endpoint(0).stats().count("am_batch"), 0u);  // no batch framing
+  EXPECT_GE(clock.now(), 5e-6);  // but it did wait out the window
+}
+
+TEST(SimNetTest, CoalescedSelfSendBypassesWindow) {
+  vt::Clock clock;
+  LinkProps p = fast_link();
+  p.coalesce_window = 1e-3;
+  Network net(clock, 2, p);
+  vt::Flag got(clock);
+  net.endpoint(0).register_handler(0, [&](int, const void*, std::size_t) { got.set(); });
+  net.endpoint(0).am_coalesced(0, 0, nullptr, 0);
+  got.wait();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);  // loopback: no batching, no wire cost
+}
+
+TEST(SimNetTest, DisabledWindowDegradesToPlainShort) {
+  vt::Clock clock;
+  LinkProps p = fast_link();
+  p.coalesce_window = 0.0;
+  Network net(clock, 2, p);
+  vt::CountLatch latch(clock);
+  latch.add(2);
+  net.endpoint(1).register_handler(0, [&](int, const void*, std::size_t) { latch.done(); });
+  int v = 0;
+  net.endpoint(0).am_coalesced(1, 0, &v, sizeof(v));
+  net.endpoint(0).am_coalesced(1, 0, &v, sizeof(v));
+  latch.wait();
+  EXPECT_EQ(net.endpoint(0).stats().count("am_batch"), 0u);
+  EXPECT_EQ(net.endpoint(0).stats().count("am_short"), 2u);
+}
+
 }  // namespace
