@@ -1,0 +1,275 @@
+// fig14: rack-aware scaling on a two-tier fabric — the rack-conscious
+// scheduler (rack credit + in-rack tie rotation + rack-local sources) against
+// the same cluster with rack awareness switched off, swept over node count
+// and core-layer oversubscription.
+//
+// Workload: a producer/consumer exchange that is transfer-bound by design.
+// P = nodes*rpn producers each write a private 256 KB region; the affinity
+// policy has nothing to score for fresh regions, so the chunked round robin
+// block-distributes them (rpn consecutive regions per node).  P consumers
+// then each read TWO producer regions — region p = (i*7919) % P and its
+// next-node neighbour p+rpn — plus a 64 B private sink.  The two inputs are
+// equal-sized, so their holders tie on affinity bytes:
+//
+//  * rack-blind — the tie falls through to the global round robin, so the
+//    consumer is scattered anywhere in the machine and drags ~512 KB across
+//    the oversubscribed core with probability (racks-1)/racks.
+//  * rack-aware — the holders' rack out-scores every other rack (quarter-
+//    weight rack credit) and the in-rack tie rotation lands the consumer ON
+//    one of the holders; the remaining input is one switch hop away, so the
+//    core layer sees ~1/8 of the bytes.
+//
+// Both legs report VIRTUAL time (spawn -> quiesce, write-back flush
+// excluded, same protocol everywhere): the ratio isolates placement policy
+// against fabric shape.  Rack shape is nodes/8 racks of 8; rack links run at
+// nodes_per_rack x the 1 GB/s NIC and the core link is sized for the swept
+// oversubscription (core_bw = racks * rack_bw / oversub), so 8-node runs are
+// single-rack (flat fabric, ratio ~1) and the contrast grows with both axes.
+//
+// A flat-equivalence leg runs the same 16-node workload with racks=1 plus
+// absurdly low fabric caps against a default (topology-free) configuration:
+// a single-rack fabric must be inert, so the two times must agree.
+//
+// Knobs: OMPSS_BENCH_NODES caps the node sweep (default 128),
+// OMPSS_BENCH_RPN regions/node (default 4), OMPSS_BENCH_GATE (percent,
+// 150 = 1.50x) gates the aware/blind speedup at 4:1 oversubscription on the
+// largest swept node count <= 64, and OMPSS_BENCH_FLAT (percent, default 5)
+// bounds the flat-equivalence drift.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nanos/cluster.hpp"
+#include "vt/clock.hpp"
+
+namespace {
+
+constexpr std::size_t kRegionFloats = 64 * 1024;  // 256 KB per producer region
+constexpr std::size_t kSinkFloats = 16;           // 64 B consumer sink
+constexpr int kNodesPerRack = 8;
+
+nanos::ClusterConfig cluster(int nodes, int oversub, bool aware, long rpn) {
+  nanos::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node_scheduler = "affinity";  // producers: chunked rr; consumers: scored
+  cfg.rr_chunk = static_cast<int>(rpn);
+  cfg.segment_bytes = 64u << 20;
+  cfg.presend = 8;  // pipeline transfers so the fabric, not the window, limits
+  cfg.node.smp_workers = 2;
+  cfg.node.scheduler = "dep";
+  cfg.node.cache_policy = "wb";
+  cfg.node.verify = "off";
+  cfg.node.gpus.clear();
+  cfg.link.bandwidth = 1e9;
+  // An 8:1 core under a transfer burst backs flows up for tens of
+  // milliseconds; the leg measures fabric cost, not detection policy, so the
+  // failure detector is off for BOTH configurations (as in over02's
+  // throughput leg — detection is certified by resilience_test).
+  cfg.resilience.heartbeat_period = 0;
+  if (oversub > 0) {
+    const int racks = nodes / kNodesPerRack;
+    cfg.topology.racks = racks;
+    cfg.topology.nodes_per_rack = kNodesPerRack;
+    cfg.topology.rack_link_bw = kNodesPerRack * 1e9;
+    cfg.topology.core_link_bw = racks * cfg.topology.rack_link_bw / oversub;
+  }
+  cfg.rack_aware = aware;
+  return cfg;
+}
+
+struct RunResult {
+  double seconds = 0;
+  double rack_gb = 0;       // payload bytes that stayed on rack links
+  double core_gb = 0;       // payload bytes that crossed the core layer
+  double uplink_busy = 0;   // mean uplink busy fraction over the run
+  double rack_sources = 0;  // fetches served by a same-rack holder
+};
+
+RunResult run_leg(nanos::ClusterConfig cfg, long rpn) {
+  const int nodes = cfg.nodes;
+  const long producers = rpn * nodes;
+  std::vector<float> data(static_cast<std::size_t>(producers) * kRegionFloats, 0.0f);
+  std::vector<float> sinks(static_cast<std::size_t>(producers) * kSinkFloats, 0.0f);
+  vt::Clock clock;
+  RunResult r;
+  nanos::ClusterRuntime rt(clock, std::move(cfg));
+  vt::Thread driver(clock, "bench", [&] {
+    for (long p = 0; p < producers; ++p) {
+      nanos::TaskDesc d;
+      d.device = nanos::DeviceKind::kSmp;
+      d.accesses = {nanos::Access::out(&data[static_cast<std::size_t>(p) * kRegionFloats],
+                                       kRegionFloats * sizeof(float))};
+      d.fn = [](nanos::TaskContext& c) { c.data_as<float>(0)[0] = 1.0f; };
+      rt.spawn(std::move(d));
+    }
+    // Barrier (no flush: producer regions stay on their nodes).  The timed
+    // window is the consumer exchange alone, so every fetch flow lands on
+    // the fabric at once and the shared tiers see their true concurrency —
+    // without the barrier the fetches trickle in producer-completion order
+    // and the core never saturates.
+    rt.taskwait(false);
+    const double t0 = clock.now();
+    for (long i = 0; i < producers; ++i) {
+      const long p = (i * 7919) % producers;
+      const long q = (p + rpn) % producers;
+      nanos::TaskDesc d;
+      d.device = nanos::DeviceKind::kSmp;
+      d.accesses = {nanos::Access::in(&data[static_cast<std::size_t>(p) * kRegionFloats],
+                                      kRegionFloats * sizeof(float)),
+                    nanos::Access::in(&data[static_cast<std::size_t>(q) * kRegionFloats],
+                                      kRegionFloats * sizeof(float)),
+                    nanos::Access::out(&sinks[static_cast<std::size_t>(i) * kSinkFloats],
+                                       kSinkFloats * sizeof(float))};
+      d.fn = [](nanos::TaskContext& c) {
+        c.data_as<float>(2)[0] = c.data_as<float>(0)[0] + c.data_as<float>(1)[0];
+      };
+      rt.spawn(std::move(d));
+    }
+    // The write-back flush of producer regions and consumer sinks happens
+    // after the clock stops (a microbenchmark artifact, same in both
+    // configurations).
+    rt.taskwait(false);
+    r.seconds = clock.now() - t0;
+    rt.taskwait();
+  });
+  driver.join();
+  r.rack_gb = rt.stats().sum("net.rack_bytes") / 1e9;
+  r.core_gb = rt.stats().sum("net.core_bytes") / 1e9;
+  const double pubs = rt.stats().count("net.uplink_busy_frac");
+  if (pubs > 0) r.uplink_busy = rt.stats().sum("net.uplink_busy_frac") / pubs;
+  r.rack_sources = rt.stats().sum("cluster.rack_local_sources");
+  return r;
+}
+
+std::string run_key(int oversub, int nodes, bool aware) {
+  return std::to_string(oversub) + "/" + std::to_string(nodes) + (aware ? "/a" : "/b");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("fig14 — rack fabric sweep, virtual time", "ms");
+  bench::FigureTable ratio_table("fig14 — rack-aware speedup over rack-blind", "x");
+
+  const long rpn = std::max(1L, bench::env_knob("RPN", 4));
+  const long max_nodes = bench::env_knob("NODES", 128);
+
+  std::vector<int> sweep;
+  for (int n : {8, 16, 32, 64, 128}) {
+    if (n <= max_nodes && n >= kNodesPerRack) sweep.push_back(n);
+  }
+  const int gate_nodes = [&] {
+    int g = 0;
+    for (int n : sweep) {
+      if (n <= 64) g = n;
+    }
+    return g;
+  }();
+
+  // Main sweep: node count x core oversubscription x {aware, blind}.
+  static std::map<std::string, double> seconds;  // "over/nodes/aware" -> s
+  for (const int oversub : {1, 2, 4, 8}) {
+    for (const int nodes : sweep) {
+      for (const bool aware : {false, true}) {
+        const std::string mode = aware ? "aware" : "blind";
+        const std::string series = mode + "/over:" + std::to_string(oversub);
+        const std::string key = run_key(oversub, nodes, aware);
+        std::string name = "fig14/" + series + "/nodes:" + std::to_string(nodes);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=, &table, &ratio_table](benchmark::State& st) {
+              RunResult r;
+              for (auto _ : st) {
+                r = run_leg(cluster(nodes, oversub, aware, rpn), rpn);
+                st.SetIterationTime(r.seconds);
+              }
+              seconds[key] = r.seconds;
+              st.counters["rack_GB"] = r.rack_gb;
+              st.counters["core_GB"] = r.core_gb;
+              st.counters["uplink_busy_frac"] = r.uplink_busy;
+              st.counters["rack_local_sources"] = r.rack_sources;
+              table.add(series, std::to_string(nodes) + "n", r.seconds * 1e3);
+              const std::string other = run_key(oversub, nodes, !aware);
+              if (aware && seconds.count(other) != 0) {
+                ratio_table.add("speedup/over:" + std::to_string(oversub),
+                                std::to_string(nodes) + "n", seconds[other] / r.seconds);
+              }
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+
+  // Flat-equivalence leg: a racks=1 fabric with absurdly low caps must time
+  // identically to the default (topology-free) configuration.
+  static std::map<std::string, double> flat_s;
+  if (max_nodes >= 16) {
+    for (const bool capped : {false, true}) {
+      const std::string leg = capped ? "racks1" : "default";
+      std::string name = "fig14/flat/" + leg + "/nodes:16";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=](benchmark::State& st) {
+            for (auto _ : st) {
+              // Virtual time is schedule-dependent at the few-percent level
+              // (placement order races with task completion), so compare
+              // min-of-5 envelopes, not single samples.
+              double best = 0;
+              for (int rep = 0; rep < 5; ++rep) {
+                auto cfg = cluster(16, 0, true, rpn);
+                if (capped) {
+                  cfg.topology.racks = 1;
+                  cfg.topology.nodes_per_rack = 16;
+                  cfg.topology.rack_link_bw = 1.0;  // would stall everything if live
+                  cfg.topology.core_link_bw = 1.0;
+                }
+                const RunResult r = run_leg(std::move(cfg), rpn);
+                if (rep == 0 || r.seconds < best) best = r.seconds;
+              }
+              st.SetIterationTime(best);
+              flat_s[leg] = best;
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+
+  int rc = bench::run_and_print(argc, argv, table);
+  ratio_table.print();
+
+  // CI acceptance gates (see header comment).
+  const long gate = bench::env_knob("GATE", 0);
+  if (rc == 0 && gate > 0) {
+    const std::string a = "4/" + std::to_string(gate_nodes) + "/a";
+    const std::string b = "4/" + std::to_string(gate_nodes) + "/b";
+    if (gate_nodes >= 2 * kNodesPerRack && seconds.count(a) != 0 && seconds.count(b) != 0) {
+      const double speedup = seconds[b] / seconds[a];
+      std::fprintf(stderr,
+                   "fig14 gate: rack-aware %.2fx rack-blind at %d nodes, 4:1 core "
+                   "(limit %.2fx)\n",
+                   speedup, gate_nodes, static_cast<double>(gate) / 100.0);
+      if (speedup < static_cast<double>(gate) / 100.0) {
+        std::fprintf(stderr, "fig14 gate: FAILED — rack awareness buys too little\n");
+        rc = 1;
+      }
+    }
+    if (flat_s.count("racks1") != 0 && flat_s.count("default") != 0) {
+      const double limit = static_cast<double>(bench::env_knob("FLAT", 5)) / 100.0;
+      const double drift = std::abs(flat_s["racks1"] - flat_s["default"]) / flat_s["default"];
+      std::fprintf(stderr, "fig14 gate: flat-equivalence drift %.4f (limit %.2f)\n", drift, limit);
+      if (drift > limit) {
+        std::fprintf(stderr, "fig14 gate: FAILED — racks=1 fabric is not inert\n");
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}

@@ -37,6 +37,17 @@ struct VouchMsg {
   int exec_node;
 };
 
+/// Vectored DONE_ACK: a count-prefixed batch of completion tickets.  Only
+/// the used prefix travels on the wire (sizeof(count) + count * 8 bytes).
+constexpr int kAckVecMax = 32;
+struct DoneAckMsg {
+  std::uint64_t count = 0;
+  std::uint64_t tickets[kAckVecMax] = {};
+};
+constexpr std::size_t ack_msg_bytes(std::uint64_t count) {
+  return sizeof(std::uint64_t) * (1 + count);
+}
+
 // splitmix64-style mixer decorrelating region starts (which share alignment
 // bits) across home nodes.
 std::uint64_t mix_home(std::uint64_t x) {
@@ -66,8 +77,11 @@ T read_msg(const void* payload, std::size_t bytes) {
 
 ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
     : clock_(clock), cfg_(std::move(cfg)), comm_mon_(clock), worker_mon_(clock) {
-  net_ = std::make_unique<simnet::Network>(clock_, cfg_.nodes, cfg_.link);
+  net_ = std::make_unique<simnet::Network>(clock_, cfg_.nodes, cfg_.link, cfg_.topology);
   if (!cfg_.faults.empty()) net_->set_fault_plan(cfg_.faults);
+  // Distance-aware policies only engage on a real two-tier fabric; on a flat
+  // network every pair is one hop and there is nothing to prefer.
+  rack_local_ = cfg_.rack_aware && !net_->topology().flat();
   // Sharded ownership needs peer transfers; the MtoS relay keeps the legacy
   // centralized directory.
   sharded_ = cfg_.dir_sharding && cfg_.slave_to_slave && cfg_.nodes > 1;
@@ -139,15 +153,21 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
           if (now - ud.sent_at <= base * (1 << shift)) continue;
           ud.sent_at = now;
           ++ud.attempts;
+          stats_.incr("cluster.done_replays");
           resend.push_back(ud.send);
         }
       }
       for (auto& send : resend) send();
     });
     ep.register_handler(kDoneAck, [this, i](int, const void* p, std::size_t n) {
-      auto tk = read_msg<std::uint64_t>(p, n);
+      // One vectored ack retires every listed completion ticket.
+      DoneAckMsg msg;
+      assert(n >= sizeof(std::uint64_t) && n <= sizeof(msg));
+      std::memcpy(&msg, p, n);
       std::lock_guard<std::mutex> lk(mu_);
-      nodes_[static_cast<std::size_t>(i)].unacked_done.erase(tk);
+      auto& unacked = nodes_[static_cast<std::size_t>(i)].unacked_done;
+      const std::uint64_t count = std::min<std::uint64_t>(msg.count, kAckVecMax);
+      for (std::uint64_t k = 0; k < count; ++k) unacked.erase(msg.tickets[k]);
     });
   }
   // Shard-serving handlers: registered on every node — any node (the master
@@ -206,6 +226,18 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
         [master](std::exception_ptr e) { master->record_task_error(std::move(e)); }, &stats_,
         static_cast<std::uint64_t>(std::max(1, cfg_.node.verify_sample)));
     domain_->set_race_oracle(oracle_.get());
+  }
+
+  // Cross-rack transits show up on the master's trace as fabric intervals,
+  // next to the tasks and NIC transfers they contend with.
+  if (TraceRecorder* tr = nodes_[0].rt->trace()) {
+    net_->topology().set_trace([tr](int src_rack, int dst_rack, std::size_t bytes,
+                                    double begin) {
+      tr->record("transfer", "fabric.core",
+                 "rack" + std::to_string(src_rack) + "->rack" + std::to_string(dst_rack) +
+                     " " + std::to_string(bytes) + "B",
+                 begin);
+    });
   }
 
   const int n_comm = cfg_.comm_threads > 0 ? cfg_.comm_threads : 1;
@@ -314,10 +346,17 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
   }
   if (policy == "affinity") {
     std::lock_guard<std::mutex> lk(mu_);
+    const simnet::Topology& topo = net_->topology();
     // One directory lookup per access; the entry's holder set fans the score
     // out to every node at once (the old loop re-walked the directory once
     // per candidate node).
     std::vector<double> score(static_cast<std::size_t>(cfg_.nodes), 0.0);
+    // Distance weighting: bytes one switch hop away (same rack) earn the
+    // holder's whole rack a quarter-weight credit, so near-misses land next
+    // to the data instead of across the core — without ever outbidding the
+    // holder itself.
+    std::vector<double> rack_credit(
+        static_cast<std::size_t>(rack_local_ ? topo.racks() : 0), 0.0);
     for (const Access& a : t->accesses()) {
       if (!a.copy) continue;
       const NodeDirEntry* e = dir_find_locked(a.region.start);
@@ -326,8 +365,17 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
       // keeps accumulations local while inputs stream in.
       const double w = static_cast<double>(a.region.size) * (writes(a.mode) ? 4.0 : 1.0);
       for (int n : e->valid) {
-        if (n >= 0 && n < cfg_.nodes && node_alive_locked(n))
+        if (n >= 0 && n < cfg_.nodes && node_alive_locked(n)) {
           score[static_cast<std::size_t>(n)] += w;
+          if (rack_local_) rack_credit[static_cast<std::size_t>(topo.rack_of(n))] += 0.25 * w;
+        }
+      }
+    }
+    if (rack_local_) {
+      for (int n = 0; n < cfg_.nodes; ++n) {
+        if (node_alive_locked(n))
+          score[static_cast<std::size_t>(n)] +=
+              rack_credit[static_cast<std::size_t>(topo.rack_of(n))];
       }
     }
     double best = 0.0;
@@ -344,6 +392,18 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
       }
     }
     if (best_node >= 0 && !tie) return best_node;
+    if (rack_local_ && best_node >= 0 && tie) {
+      // Rack credit already broke cross-rack symmetry, so the remaining ties
+      // sit inside the data's rack (e.g. two equal holders): rotate among
+      // them instead of falling back to the global round robin, which would
+      // scatter the task far from its inputs.
+      std::vector<int> tied;
+      for (int n = 0; n < cfg_.nodes; ++n) {
+        if (score[static_cast<std::size_t>(n)] == best) tied.push_back(n);
+      }
+      stats_.incr("cluster.rack_tie_breaks");
+      return tied[static_cast<std::size_t>(tie_rr_++) % tied.size()];
+    }
   }
   // bf / unscored affinity / dep-without-releaser: chunked round robin
   // (block distribution of first-touch work).
@@ -360,6 +420,40 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
   return 0;  // node 0 (the master) is never declared dead
 }
 
+void ClusterRuntime::queue_done_ack_locked(int node, std::uint64_t ticket) {
+  NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  if (ns.dead) return;
+  if (ns.ack_pending.empty())
+    ns.ack_deadline = clock_.now() + std::max(0.0, cfg_.link.coalesce_window);
+  ns.ack_pending.push_back(ticket);
+  // A full batch flushes immediately; with coalescing disabled every ticket
+  // does (one ack per DONE — the pre-vectoring wire behavior).
+  if (static_cast<int>(ns.ack_pending.size()) >= kAckVecMax || cfg_.link.coalesce_window <= 0)
+    flush_done_acks_locked(node);
+}
+
+void ClusterRuntime::flush_done_acks_locked(int node) {
+  NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+  if (ns.ack_pending.empty()) return;
+  DoneAckMsg msg;
+  msg.count = ns.ack_pending.size();
+  std::copy(ns.ack_pending.begin(), ns.ack_pending.end(), msg.tickets);
+  ns.ack_pending.clear();
+  stats_.incr("cluster.ack_batches");
+  stats_.add("cluster.ack_batch_tickets", static_cast<double>(msg.count));
+  net_->endpoint(0).am_coalesced(node, kDoneAck, &msg, ack_msg_bytes(msg.count));
+}
+
+double ClusterRuntime::next_ack_deadline_locked() const {
+  double deadline = -1.0;
+  for (int n = 1; n < cfg_.nodes; ++n) {
+    const NodeState& ns = nodes_[static_cast<std::size_t>(n)];
+    if (ns.ack_pending.empty()) continue;
+    if (deadline < 0 || ns.ack_deadline < deadline) deadline = ns.ack_deadline;
+  }
+  return deadline;
+}
+
 void ClusterRuntime::comm_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   int scan = 1;
@@ -370,7 +464,7 @@ void ClusterRuntime::comm_loop() {
     // in flight ahead of the send window, so transfers for later tasks
     // overlap the computation of earlier ones.
     const int stage_depth = 2 * (1 + cfg_.presend);
-    comm_mon_.wait(lk, [&] {
+    auto pick = [&] {
       if (shutdown_) return true;
       // Round-robin over remote nodes (paper: one communication thread
       // polling the per-node task pool).
@@ -387,7 +481,21 @@ void ClusterRuntime::comm_loop() {
         }
       }
       return false;
-    });
+    };
+    while (!pick()) {
+      // Idle: sleep until new work, or until a buffered DONE_ACK batch ages
+      // past its coalescing window and must go out.
+      const double ack_deadline = next_ack_deadline_locked();
+      if (ack_deadline < 0) {
+        comm_mon_.wait(lk);
+      } else if (!comm_mon_.wait_until(lk, ack_deadline)) {
+        const double now = clock_.now();
+        for (int n = 1; n < cfg_.nodes; ++n) {
+          NodeState& ns = nodes_[static_cast<std::size_t>(n)];
+          if (!ns.ack_pending.empty() && ns.ack_deadline <= now) flush_done_acks_locked(n);
+        }
+      }
+    }
     if (shutdown_) return;
     scan = node + 1 > cfg_.nodes - 1 ? 1 : node + 1;
     lk.unlock();
@@ -412,12 +520,54 @@ void* ClusterRuntime::node_addr_locked(NodeDirEntry& e, int node) {
 int ClusterRuntime::home_node_locked(std::uintptr_t start) const {
   if (!sharded_) return 0;
   const std::uint64_t h = mix_home(static_cast<std::uint64_t>(start));
+  auto pin = home_pin_.find(start);
+  if (pin != home_pin_.end()) {
+    if (!nodes_[static_cast<std::size_t>(pin->second)].dead) return pin->second;
+    // The pinned home died: stay in its rack if any member survives (the
+    // point of the pin is rack-local commit traffic), deterministically
+    // probed so every caller re-homes the shard to the same node.
+    const simnet::Topology& topo = net_->topology();
+    if (!topo.flat()) {
+      const int rack = topo.rack_of(pin->second);
+      const int npr = topo.nodes_per_rack();
+      for (int i = 0; i < npr; ++i) {
+        const int n =
+            rack * npr + static_cast<int>((h + static_cast<std::uint64_t>(i)) %
+                                          static_cast<std::uint64_t>(npr));
+        if (n < cfg_.nodes && !nodes_[static_cast<std::size_t>(n)].dead) return n;
+      }
+    }
+    // Whole rack gone: fall through to the global probe.
+  }
   for (int i = 0; i < cfg_.nodes; ++i) {
     const int n = static_cast<int>((h + static_cast<std::uint64_t>(i)) %
                                    static_cast<std::uint64_t>(cfg_.nodes));
     if (!nodes_[static_cast<std::size_t>(n)].dead) return n;
   }
   return 0;  // unreachable: the master is never declared dead
+}
+
+void ClusterRuntime::pin_home_locked(std::uintptr_t start, int writer_node) {
+  if (!sharded_ || !rack_local_) return;
+  if (home_pin_.count(start) != 0) return;
+  // A pin may only be installed before the region's first directory entry
+  // exists: re-routing the home of a live entry would strand it in the old
+  // shard.  First writer wins.
+  if (dir_find_locked(start) != nullptr) return;
+  const simnet::Topology& topo = net_->topology();
+  const int rack = topo.rack_of(writer_node);
+  const int npr = topo.nodes_per_rack();
+  const std::uint64_t h = mix_home(static_cast<std::uint64_t>(start));
+  for (int i = 0; i < npr; ++i) {
+    const int n = rack * npr + static_cast<int>((h + static_cast<std::uint64_t>(i)) %
+                                                static_cast<std::uint64_t>(npr));
+    if (n < cfg_.nodes && !nodes_[static_cast<std::size_t>(n)].dead) {
+      home_pin_[start] = n;
+      stats_.incr("cluster.rack_local_homes");
+      return;
+    }
+  }
+  // The writer's whole rack is dead: keep the hash-probed default home.
 }
 
 ClusterRuntime::NodeDirEntry& ClusterRuntime::dir_lookup_locked(const common::Region& r) {
@@ -640,7 +790,10 @@ void ClusterRuntime::dispatch_remote(Task* t, int node, bool regen,
       ra.mode = a.mode;
       ra.copy = a.copy;
       if (a.copy) {
-        if (writes(a.mode)) written.insert(a.region.start);
+        if (writes(a.mode)) {
+          written.insert(a.region.start);
+          pin_home_locked(a.region.start, node);
+        }
         NodeDirEntry& e = dir_lookup_locked(a.region);
         ra.local_addr = node_addr_locked(e, node);
         if (reads(a.mode) && e.valid.count(node) == 0) {
@@ -746,9 +899,23 @@ std::function<void()> ClusterRuntime::wire_action_resolved_locked(NodeDirEntry& 
   for (int n : e.valid) {
     if (n != 0 && n != node && node_alive_locked(n)) holders.push_back(n);
   }
+  if (rack_local_ && node != 0 && holders.size() > 1) {
+    // Prefer a source inside the destination's rack: the copy is identical
+    // everywhere, but an intra-rack hop never crosses the oversubscribed
+    // core.  Cross-rack sourcing remains as the fallback.
+    std::vector<int> near;
+    const simnet::Topology& topo = net_->topology();
+    for (int n : holders) {
+      if (topo.same_rack(n, node)) near.push_back(n);
+    }
+    if (!near.empty()) holders.swap(near);
+  }
   int holder = holders.empty()
                    ? -1
                    : holders[static_cast<std::size_t>(holder_rr_++) % holders.size()];
+  if (rack_local_ && holder >= 0 && node != 0 && net_->topology().same_rack(holder, node)) {
+    stats_.incr("cluster.rack_local_sources");
+  }
 
   if (node == 0) {
     // Pull home (used by taskwait flush and the MtoS relay).
@@ -960,9 +1127,11 @@ void ClusterRuntime::handle_task_done(int src, std::uint64_t ticket) {
     }
   }
   // Ack unconditionally: the slave must stop re-sending even if the ticket
-  // was retired on this side.
-  std::uint64_t tk = ticket;
-  net_->endpoint(0).am_coalesced(src, kDoneAck, &tk, sizeof(tk));
+  // was retired on this side.  The ticket rides the next vectored batch.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_done_ack_locked(src, ticket);
+  }
   if (info != nullptr && !info->regen) domain_->on_complete(t);
   for (auto& a : actions) a();
   comm_mon_.notify_all();
@@ -1032,8 +1201,8 @@ void ClusterRuntime::handle_done_vouch(std::uint64_t ticket, std::uintptr_t star
     }
   }
   if (ack) {
-    std::uint64_t tk = ticket;
-    net_->endpoint(0).am_coalesced(exec_node, kDoneAck, &tk, sizeof(tk));
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_done_ack_locked(exec_node, ticket);
   }
   if (info != nullptr && !info->regen) domain_->on_complete(t);
   for (auto& a : actions) a();
@@ -1189,6 +1358,7 @@ void ClusterRuntime::taskwait(bool flush) {
   for (auto& a : actions) a();
   latch.wait();
   nodes_[0].rt->coherence().flush_all();
+  net_->topology().publish(stats_, clock_.now());
   if (verify::coherence_enabled(verify_mode_)) verify_invariants("taskwait", true);
   surface_errors();
 }

@@ -46,6 +46,15 @@ namespace nanos {
 struct ClusterConfig {
   int nodes = 2;
   simnet::LinkProps link;
+  /// Fabric shape (racks behind oversubscribed uplinks); the default is a
+  /// flat single-switch network, behaviorally identical to pre-topology
+  /// builds.  See docs/simnet-topology.md.
+  simnet::TopologyConfig topology;
+  /// With a non-flat topology, weight placement, presend sources and
+  /// directory homes by link distance (rack-local preferred).  Off, the
+  /// scheduler is rack-blind and only the fabric's contention model applies
+  /// — the control fig14 measures against.
+  bool rack_aware = true;
   std::size_t segment_bytes = 256u << 20;  ///< per-slave data segment
   RuntimeConfig node;                      ///< per-node runtime configuration
   int presend = 0;
@@ -227,6 +236,13 @@ private:
       int attempts = 0;    // resend count, drives exponential backoff
     };
     std::map<std::uint64_t, UnackedDone> unacked_done;
+
+    /// Master-side vectored DONE_ACK buffer: completion tickets awaiting the
+    /// ack flush to this node.  Tickets accumulate across the coalescing
+    /// window and travel as one count-prefixed batch instead of one
+    /// DONE_ACK wire message each (guarded by mu_).
+    std::vector<std::uint64_t> ack_pending;
+    double ack_deadline = 0;  ///< flush due time while ack_pending non-empty
   };
 
   // -- master-side logic -----------------------------------------------------
@@ -350,6 +366,20 @@ private:
   /// Sends queued ready-to-send tasks to `node` while its send window
   /// (1 + presend) has room.  mu_ held.
   void try_send_locked(int node);
+  // -- vectored DONE_ACKs ----------------------------------------------------
+  /// Buffers `ticket` for the next vectored DONE_ACK to `node`; flushes
+  /// immediately when the batch fills or coalescing is disabled.  mu_ held.
+  void queue_done_ack_locked(int node, std::uint64_t ticket);
+  /// Sends `node`'s buffered ack tickets as one batch.  mu_ held.
+  void flush_done_acks_locked(int node);
+  /// Earliest pending ack-flush deadline, or a negative value when no acks
+  /// are buffered.  mu_ held.
+  double next_ack_deadline_locked() const;
+  // -- rack-aware placement (non-flat topology + rack_aware) -----------------
+  /// Pins `start`'s directory home into `writer_node`'s rack, if the region
+  /// has no directory entry yet (a pin cannot move an already-homed shard
+  /// entry).  mu_ held.
+  void pin_home_locked(std::uintptr_t start, int writer_node);
   /// Enqueues slave-side transfer work on `node`'s comm worker.
   void post_comm_job(int node, std::function<void()> job);
   void comm_worker_loop(int node);
@@ -395,6 +425,12 @@ private:
   std::uint64_t next_ticket_ = 1;
   int rr_cursor_ = 0;
   std::uint64_t holder_rr_ = 0;  // rotates transfer sources among copy holders
+  std::uint64_t tie_rr_ = 0;     // rotates affinity ties within the best rack
+  bool rack_local_ = false;      // rack_aware effective (non-flat topology)
+  /// Rack-local home pins: region start -> home node chosen in the first
+  /// writer's rack.  Consulted by home_node_locked ahead of the hash; falls
+  /// back to rack-mates (then the global probe) when the pin target dies.
+  std::map<std::uintptr_t, int> home_pin_;
   std::uint64_t regen_rr_ = 0;   // rotates regeneration chains over live slaves
   bool shutdown_ = false;
 

@@ -17,6 +17,13 @@ nanos::ClusterConfig cluster_config_from(const common::Config& c) {
   cfg.segment_bytes = c.get_size("segment_mb", 256) << 20;
   cfg.link.bandwidth = c.get_double("net_bw", cfg.link.bandwidth);
   cfg.link.latency = c.get_double("net_latency", cfg.link.latency);
+  cfg.topology.racks = static_cast<int>(c.get_int("racks", cfg.topology.racks));
+  cfg.topology.nodes_per_rack =
+      static_cast<int>(c.get_int("nodes_per_rack", cfg.topology.nodes_per_rack));
+  cfg.topology.rack_link_bw = c.get_double("rack_link_bw", cfg.topology.rack_link_bw);
+  cfg.topology.core_link_bw = c.get_double("core_link_bw", cfg.topology.core_link_bw);
+  cfg.topology.core_latency = c.get_double("core_latency", cfg.topology.core_latency);
+  cfg.rack_aware = c.get_bool("rack_aware", cfg.rack_aware);
   cfg.resilience = nanos::ResilienceConfig::from(c);
   return cfg;
 }

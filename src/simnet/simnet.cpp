@@ -286,6 +286,15 @@ void Endpoint::tx_loop() {
       stats_.add("tx_bytes", static_cast<double>(m->bytes));
       if (m->on_local_complete) m->on_local_complete();
     }
+    if (m->src != m->dst) {
+      net_.topology().account(m->src, m->dst, m->bytes);
+      // Cross-rack payloads traverse the shared fabric at their fair-share
+      // rate; the TX thread rides along (store-and-forward through the rack
+      // switch), so a congested uplink back-pressures the sender exactly the
+      // way a saturated NIC does.  Shorts carry no payload worth shaping —
+      // they pay only the extra core latency (applied on the RX side).
+      if (m->is_put || m->is_batch) net_.topology().transit(m->src, m->dst, m->bytes);
+    }
     // Fault model: the wire may lose, duplicate or delay the message.  The
     // decision is a pure function of (plan seed, src, tx sequence number),
     // so a fixed plan replays identically given the same traffic order.
@@ -321,8 +330,11 @@ void Endpoint::rx_loop() {
 
     if (m->src != m->dst) {
       // Wire latency relative to transmission start (usually already past),
-      // then inbound NIC occupancy, serialized by this loop.
-      clock.sleep_until(m->tx_start + link.latency + m->extra_delay);
+      // then inbound NIC occupancy, serialized by this loop.  Cross-rack
+      // messages pay the extra switch-hop latency of the core tier.
+      double wire = link.latency + m->extra_delay;
+      if (!net_.topology().same_rack(m->src, m->dst)) wire += net_.topology().core_latency();
+      clock.sleep_until(m->tx_start + wire);
       double occupancy = link.am_overhead;
       if (m->is_put || m->is_batch)
         occupancy += static_cast<double>(m->bytes) / (link.bandwidth * scale);
@@ -379,9 +391,11 @@ void Endpoint::deliver(const MessagePtr& m) {
 // ---------------------------------------------------------------------------
 // Network
 
-Network::Network(vt::Clock& clock, int nodes, const LinkProps& props)
+Network::Network(vt::Clock& clock, int nodes, const LinkProps& props,
+                 const TopologyConfig& topology)
     : clock_(clock), props_(props), fault_mon_(clock) {
   if (nodes <= 0) throw std::invalid_argument("simnet: node count must be positive");
+  topo_ = std::make_unique<Topology>(clock_, topology, nodes);
   vt::Hold hold(clock_);
   endpoints_.reserve(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) endpoints_.emplace_back(new Endpoint(*this, i));
@@ -397,6 +411,8 @@ void Network::shutdown() {
   }
   fault_mon_.notify_all();
   if (fault_thread_.joinable()) fault_thread_.join();
+  // Release TX threads blocked mid-transit in the fabric before joining them.
+  topo_->stop();
   for (auto& ep : endpoints_) ep->stop();
 }
 
@@ -405,7 +421,8 @@ void Network::set_fault_plan(FaultPlan plan) {
     throw std::logic_error("simnet: fault plan already installed");
   plan_ = std::move(plan);
   lossy_ = plan_.drop_fraction > 0 || plan_.duplicate_fraction > 0 || plan_.delay_fraction > 0;
-  if (!plan_.kills.empty() || !plan_.degrades.empty()) {
+  if (!plan_.kills.empty() || !plan_.degrades.empty() || !plan_.rack_kills.empty() ||
+      !plan_.rack_degrades.empty()) {
     vt::Hold hold(clock_);
     fault_thread_ = vt::Thread(clock_, "simnet.faults", [this] { fault_driver_loop(); },
                                /*service=*/true);
@@ -431,17 +448,21 @@ FaultDecision Network::fault_decision(int src, std::uint64_t seq) const {
 }
 
 void Network::fault_driver_loop() {
-  // Merge kills and degrades into one virtual-time-ordered schedule.
+  // Merge node and rack events into one virtual-time-ordered schedule.
   struct Ev {
     double time;
-    int node;
+    int target;  // node id, or rack id when `rack`
     bool kill;
+    bool rack;
     double factor;
   };
   std::vector<Ev> sched;
-  for (const auto& k : plan_.kills) sched.push_back({k.time, k.node, true, 0.0});
+  for (const auto& k : plan_.kills) sched.push_back({k.time, k.node, true, false, 0.0});
   for (const auto& d : plan_.degrades)
-    sched.push_back({d.time, d.node, false, d.bandwidth_factor});
+    sched.push_back({d.time, d.node, false, false, d.bandwidth_factor});
+  for (const auto& k : plan_.rack_kills) sched.push_back({k.time, k.rack, true, true, 0.0});
+  for (const auto& d : plan_.rack_degrades)
+    sched.push_back({d.time, d.rack, false, true, d.bandwidth_factor});
   std::stable_sort(sched.begin(), sched.end(),
                    [](const Ev& a, const Ev& b) { return a.time < b.time; });
 
@@ -451,14 +472,35 @@ void Network::fault_driver_loop() {
     while (!fault_stop_ && clock_.now() < ev.time) fault_mon_.wait_until(lk, ev.time);
     if (fault_stop_) return;
     lk.unlock();
-    if (ev.node >= 0 && ev.node < node_count()) {
+    if (ev.rack) {
+      // Rack-granular events resolve membership through the topology.  The
+      // schedule applies to every node n with rack_of(n) == target.
+      if (ev.target >= 0 && ev.target < topo_->racks()) {
+        if (ev.kill) {
+          LOG_INFO("simnet: fault plan kills rack ", ev.target, " at t=", clock_.now());
+          for (int n = 0; n < node_count(); ++n) {
+            if (topo_->rack_of(n) == ev.target) endpoint(n).kill();
+          }
+        } else if (!topo_->flat()) {
+          LOG_INFO("simnet: fault plan degrades rack ", ev.target, " uplink to ", ev.factor,
+                   "x at t=", clock_.now());
+          topo_->degrade_rack(ev.target, ev.factor);
+        } else {
+          // No uplinks on a flat network: "the rack got slower" falls back to
+          // degrading the member NICs.
+          for (int n = 0; n < node_count(); ++n) {
+            if (topo_->rack_of(n) == ev.target) endpoint(n).degrade(ev.factor);
+          }
+        }
+      }
+    } else if (ev.target >= 0 && ev.target < node_count()) {
       if (ev.kill) {
-        LOG_INFO("simnet: fault plan kills node ", ev.node, " at t=", clock_.now());
-        endpoint(ev.node).kill();
+        LOG_INFO("simnet: fault plan kills node ", ev.target, " at t=", clock_.now());
+        endpoint(ev.target).kill();
       } else {
-        LOG_INFO("simnet: fault plan degrades node ", ev.node, " NIC to ", ev.factor,
+        LOG_INFO("simnet: fault plan degrades node ", ev.target, " NIC to ", ev.factor,
                  "x at t=", clock_.now());
-        endpoint(ev.node).degrade(ev.factor);
+        endpoint(ev.target).degrade(ev.factor);
       }
     }
     lk.lock();

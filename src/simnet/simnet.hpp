@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "simnet/topology.hpp"
 #include "vt/clock.hpp"
 #include "vt/sync.hpp"
 
@@ -80,8 +81,45 @@ struct FaultPlan {
     double bandwidth_factor = 1.0;
   };
 
+  /// Every node in rack `rack` dies at `time` (a rack-level power or switch
+  /// failure).  Requires a non-flat topology; ignored otherwise.
+  struct RackKill {
+    int rack = -1;
+    double time = 0.0;
+  };
+  /// Rack `rack`'s uplink drops to `bandwidth_factor` of its configured
+  /// capacity at `time` — a hot or oversubscribed rack, not a dead one.
+  /// With a flat topology (no uplinks) the degradation falls back to the
+  /// member NICs, preserving "this rack got slower" semantics.
+  struct RackDegrade {
+    int rack = -1;
+    double time = 0.0;
+    double bandwidth_factor = 1.0;
+  };
+
   std::vector<NodeKill> kills;
   std::vector<NicDegrade> degrades;
+  std::vector<RackKill> rack_kills;
+  std::vector<RackDegrade> rack_degrades;
+
+  /// Schedules the death of every node in `rack` at `time`.
+  FaultPlan& kill_rack(int rack, double time) {
+    rack_kills.push_back({rack, time});
+    return *this;
+  }
+  /// Schedules rack `rack`'s uplink to degrade to `factor` at `time`.
+  FaultPlan& degrade_rack(int rack, double time, double factor) {
+    rack_degrades.push_back({rack, time, factor});
+    return *this;
+  }
+  /// Hot-rack straggler preset: rack `rack`'s uplink collapses to `factor`
+  /// (default one quarter) at `time` and stays there — the sustained
+  /// contention scenario a straggler-tolerant scheduler must survive.
+  static FaultPlan hot_rack(int rack, double time, double factor = 0.25) {
+    FaultPlan p;
+    p.degrade_rack(rack, time, factor);
+    return p;
+  }
 
   /// Per-message loss model, applied independently to every transmitted
   /// message (shorts and puts alike) while the source node is alive.
@@ -92,8 +130,9 @@ struct FaultPlan {
   std::uint64_t seed = 1;
 
   bool empty() const {
-    return kills.empty() && degrades.empty() && drop_fraction == 0.0 &&
-           duplicate_fraction == 0.0 && delay_fraction == 0.0;
+    return kills.empty() && degrades.empty() && rack_kills.empty() &&
+           rack_degrades.empty() && drop_fraction == 0.0 && duplicate_fraction == 0.0 &&
+           delay_fraction == 0.0;
   }
 
   /// True when individual messages can be lost or reordered in flight.  A
@@ -231,10 +270,12 @@ private:
   vt::Thread rx_thread_;
 };
 
-/// A cluster of `nodes` endpoints sharing one link model.
+/// A cluster of `nodes` endpoints sharing one link model and one fabric
+/// topology (flat by default).
 class Network {
 public:
-  Network(vt::Clock& clock, int nodes, const LinkProps& props = {});
+  Network(vt::Clock& clock, int nodes, const LinkProps& props = {},
+          const TopologyConfig& topology = {});
   ~Network();
 
   /// Joins every endpoint's TX/RX thread (and the fault driver); undelivered
@@ -248,6 +289,8 @@ public:
 
   vt::Clock& clock() { return clock_; }
   const LinkProps& props() const { return props_; }
+  Topology& topology() { return *topo_; }
+  const Topology& topology() const { return *topo_; }
   int node_count() const { return static_cast<int>(endpoints_.size()); }
   Endpoint& endpoint(int node) { return *endpoints_.at(static_cast<std::size_t>(node)); }
 
@@ -270,6 +313,7 @@ private:
 
   vt::Clock& clock_;
   LinkProps props_;
+  std::unique_ptr<Topology> topo_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 
   FaultPlan plan_;

@@ -1,0 +1,166 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simnet {
+
+namespace {
+// A flow with less than half a byte left is finished; guards float drift in
+// the progressive drain (sub-byte residue carries no wire time).
+constexpr double kEpsBytes = 0.5;
+// Effective capacity used when the config leaves a tier unconstrained.
+constexpr double kUnlimited = 1e18;
+}  // namespace
+
+Topology::Topology(vt::Clock& clock, const TopologyConfig& cfg, int nodes)
+    : clock_(clock), cfg_(cfg), mon_(clock) {
+  if (cfg_.racks > nodes) cfg_.racks = nodes;
+  racks_ = std::max(1, cfg_.racks);
+  if (cfg_.flat()) {
+    nodes_per_rack_ = nodes;
+    return;
+  }
+  nodes_per_rack_ = cfg_.nodes_per_rack > 0 ? cfg_.nodes_per_rack
+                                            : (nodes + racks_ - 1) / racks_;
+  if (nodes_per_rack_ * racks_ < nodes)
+    throw std::invalid_argument("simnet: topology racks*nodes_per_rack < nodes");
+  rack_bw_ = cfg_.rack_link_bw > 0 ? cfg_.rack_link_bw : kUnlimited;
+  core_bw_ = cfg_.core_link_bw > 0 ? cfg_.core_link_bw
+                                   : std::min(kUnlimited, rack_bw_ * racks_);
+  rack_scale_.assign(static_cast<std::size_t>(racks_), 1.0);
+  uplink_busy_.assign(static_cast<std::size_t>(racks_), 0.0);
+}
+
+void Topology::advance_locked(double now) {
+  const double dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0 || flows_.empty()) return;
+  std::vector<bool> rack_active(static_cast<std::size_t>(racks_), false);
+  for (auto& f : flows_) {
+    f->remaining = std::max(0.0, f->remaining - f->rate * dt);
+    rack_active[static_cast<std::size_t>(f->src_rack)] = true;
+    rack_active[static_cast<std::size_t>(f->dst_rack)] = true;
+  }
+  for (int r = 0; r < racks_; ++r) {
+    if (rack_active[static_cast<std::size_t>(r)])
+      uplink_busy_[static_cast<std::size_t>(r)] += dt;
+  }
+  core_busy_ += dt;
+}
+
+void Topology::recompute_locked() {
+  if (flows_.empty()) return;
+  std::vector<int> up(static_cast<std::size_t>(racks_), 0);
+  std::vector<int> down(static_cast<std::size_t>(racks_), 0);
+  for (const auto& f : flows_) {
+    ++up[static_cast<std::size_t>(f->src_rack)];
+    ++down[static_cast<std::size_t>(f->dst_rack)];
+  }
+  const int in_core = static_cast<int>(flows_.size());
+  for (auto& f : flows_) {
+    const double up_cap = rack_bw_ * rack_scale_[static_cast<std::size_t>(f->src_rack)];
+    const double down_cap = rack_bw_ * rack_scale_[static_cast<std::size_t>(f->dst_rack)];
+    f->rate = std::min({up_cap / up[static_cast<std::size_t>(f->src_rack)],
+                        core_bw_ / in_core,
+                        down_cap / down[static_cast<std::size_t>(f->dst_rack)]});
+    f->rate = std::max(f->rate, 1.0);  // a fully degraded uplink still trickles
+  }
+}
+
+void Topology::transit(int src, int dst, std::size_t bytes) {
+  if (flat() || bytes == 0 || same_rack(src, dst)) return;
+  const double begin = clock_.now();
+  auto flow = std::make_shared<Flow>();
+  flow->remaining = static_cast<double>(bytes);
+  flow->src_rack = rack_of(src);
+  flow->dst_rack = rack_of(dst);
+  TraceFn trace;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_) return;
+    advance_locked(begin);
+    flows_.push_back(flow);
+    recompute_locked();
+    // Membership changed: every blocked transit must re-derive its finish
+    // time from its new (smaller) share.
+    mon_.notify_all();
+    while (flow->remaining > kEpsBytes) {
+      const double finish = clock_.now() + flow->remaining / flow->rate;
+      // An effectively-unlimited tier can leave a residue whose drain time
+      // underflows the clock's resolution at the current timestamp; treat a
+      // finish that cannot move the clock as already drained.
+      if (finish <= clock_.now()) break;
+      mon_.wait_until(lk, finish);
+      if (stop_) break;
+      advance_locked(clock_.now());
+    }
+    flows_.erase(std::remove(flows_.begin(), flows_.end(), flow), flows_.end());
+    recompute_locked();
+    mon_.notify_all();
+    if (stop_) return;
+    trace = trace_;
+  }
+  if (trace) trace(flow->src_rack, flow->dst_rack, bytes, begin);
+}
+
+void Topology::degrade_rack(int rack, double bandwidth_factor) {
+  if (flat() || rack < 0 || rack >= racks_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  advance_locked(clock_.now());
+  rack_scale_[static_cast<std::size_t>(rack)] = bandwidth_factor > 0 ? bandwidth_factor : 0.0;
+  recompute_locked();
+  mon_.notify_all();
+  stats_.incr("rack_degrades");
+}
+
+void Topology::account(int src, int dst, std::size_t bytes) {
+  if (flat() || src == dst) return;
+  if (same_rack(src, dst)) {
+    stats_.add("rack_bytes", static_cast<double>(bytes));
+  } else {
+    stats_.add("core_bytes", static_cast<double>(bytes));
+    stats_.incr("transits");
+  }
+}
+
+void Topology::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  mon_.notify_all();
+}
+
+void Topology::set_trace(TraceFn fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  trace_ = std::move(fn);
+}
+
+double Topology::uplink_busy_frac(double now) const {
+  if (flat() || now <= 0) return 0.0;
+  std::lock_guard<std::mutex> lk(mu_);
+  double busy = 0;
+  for (double b : uplink_busy_) busy += b;
+  return busy / (static_cast<double>(racks_) * now);
+}
+
+void Topology::publish(common::Stats& out, double now) {
+  if (flat()) return;
+  double rack_b, core_b, frac;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rack_b = stats_.sum("rack_bytes") - pub_rack_bytes_;
+    core_b = stats_.sum("core_bytes") - pub_core_bytes_;
+    pub_rack_bytes_ += rack_b;
+    pub_core_bytes_ += core_b;
+    double busy = 0;
+    for (double b : uplink_busy_) busy += b;
+    frac = now > 0 ? busy / (static_cast<double>(racks_) * now) : 0.0;
+  }
+  if (rack_b > 0) out.add("net.rack_bytes", rack_b);
+  if (core_b > 0) out.add("net.core_bytes", core_b);
+  out.add("net.uplink_busy_frac", frac);
+}
+
+}  // namespace simnet

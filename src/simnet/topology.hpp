@@ -1,0 +1,160 @@
+// Two-tier cluster fabric: per-rack switches behind an oversubscribed core.
+//
+// simnet's flat model gives every node an independent full-duplex NIC — fine
+// for the paper's single-switch measurements, but production clusters hang
+// racks of nodes off a shared uplink into a core layer whose aggregate
+// capacity is a fraction of the sum of rack demands (the oversubscription
+// ratio).  Topology models exactly that second tier:
+//
+//  * Nodes are assigned to racks contiguously: node n lives in rack
+//    n / nodes_per_rack.  Intra-rack traffic never leaves the rack switch
+//    and sees only the NIC model.
+//  * A cross-rack transfer additionally traverses three shared resources —
+//    the source rack's uplink, the core, and the destination rack's uplink —
+//    and is granted the minimum equal share of each: a flow's rate is
+//    min(rack_link_bw / flows-up, core_link_bw / flows-in-core,
+//    rack_link_bw / flows-down), recomputed in virtual time whenever a flow
+//    starts or finishes, so concurrent transfers contend deterministically.
+//  * distance(a, b) is 0 (self), 1 (same rack) or 2 (cross-rack); the
+//    cluster layer uses it to keep placement, presend sources and directory
+//    homes rack-local.
+//
+// With racks <= 1 the whole subsystem is inert: transit() returns
+// immediately and the NIC-only model is bit-identical to the flat network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "vt/clock.hpp"
+#include "vt/sync.hpp"
+
+namespace simnet {
+
+/// Shape and capacity of the two-tier fabric.  Defaults describe a flat
+/// (single-switch) network, which disables the fabric entirely.
+struct TopologyConfig {
+  int racks = 1;           ///< rack switches; <= 1 means flat (no fabric)
+  int nodes_per_rack = 0;  ///< 0: derived as ceil(nodes / racks)
+  /// Uplink capacity between one rack switch and the core, bytes/s each
+  /// direction.  0 picks an effectively unconstrained uplink.
+  double rack_link_bw = 0.0;
+  /// Aggregate core capacity shared by all cross-rack flows, bytes/s.
+  /// 0 picks racks * rack_link_bw (a non-blocking, 1:1 core).
+  double core_link_bw = 0.0;
+  /// Extra one-way latency paid by every cross-rack message (the additional
+  /// switch hops), on top of LinkProps::latency.
+  double core_latency = 0.0;
+
+  bool flat() const { return racks <= 1; }
+  /// Aggregate rack demand over core capacity (e.g. 4.0 for a 4:1 fabric).
+  double oversubscription() const {
+    if (flat() || rack_link_bw <= 0 || core_link_bw <= 0) return 1.0;
+    return static_cast<double>(racks) * rack_link_bw / core_link_bw;
+  }
+};
+
+/// The fabric instance owned by a Network.  Thread-safe; all blocking goes
+/// through the virtual clock.
+class Topology {
+public:
+  /// Trace hook: invoked (outside the fabric lock) when a cross-rack transit
+  /// completes, with the racks involved, the byte count and the virtual time
+  /// the transit began.
+  using TraceFn =
+      std::function<void(int src_rack, int dst_rack, std::size_t bytes, double begin)>;
+
+  Topology(vt::Clock& clock, const TopologyConfig& cfg, int nodes);
+
+  const TopologyConfig& config() const { return cfg_; }
+  bool flat() const { return cfg_.flat(); }
+  int racks() const { return racks_; }
+  int nodes_per_rack() const { return nodes_per_rack_; }
+  double core_latency() const { return cfg_.core_latency; }
+
+  int rack_of(int node) const { return flat() ? 0 : node / nodes_per_rack_; }
+  bool same_rack(int a, int b) const { return rack_of(a) == rack_of(b); }
+  /// Link distance: 0 self, 1 same rack (one switch), 2 cross-rack (uplink +
+  /// core + uplink).
+  int distance(int a, int b) const {
+    if (a == b) return 0;
+    return same_rack(a, b) ? 1 : 2;
+  }
+
+  /// Blocks (in virtual time) while `bytes` traverse the fabric from `src`
+  /// to `dst` at the fair-share rate described above.  Returns immediately
+  /// for intra-rack traffic, a flat topology, or zero bytes.  Called from
+  /// simnet TX threads; safe to call concurrently.
+  void transit(int src, int dst, std::size_t bytes);
+
+  /// Scales rack `rack`'s uplink capacity by `bandwidth_factor` (both
+  /// directions) — the fabric half of FaultPlan::RackDegrade.
+  void degrade_rack(int rack, double bandwidth_factor);
+
+  /// Accounts message bytes to the tier they travel on (rack_bytes vs
+  /// core_bytes).  Called once per wire message by the TX path.
+  void account(int src, int dst, std::size_t bytes);
+
+  /// Unblocks every in-flight transit (their remaining bytes are discarded).
+  /// Called by Network::shutdown before joining TX threads.
+  void stop();
+
+  void set_trace(TraceFn fn);
+
+  /// Raw fabric accumulators: rack_bytes, core_bytes, transits,
+  /// uplink_busy.r<i> (seconds the rack's uplink carried at least one flow).
+  common::Stats& stats() { return stats_; }
+
+  /// Fraction of [0, now] the average rack uplink spent busy.
+  double uplink_busy_frac(double now) const;
+
+  /// Copies the per-tier counters into `out` under `net.`-prefixed names
+  /// (net.rack_bytes, net.core_bytes, net.uplink_busy_frac, ...).  Deltas
+  /// since the previous publish are added, so repeated calls accumulate
+  /// instead of double-counting; the busy fraction is re-derived each call.
+  void publish(common::Stats& out, double now);
+
+private:
+  struct Flow {
+    double remaining = 0;  // bytes still in the fabric
+    int src_rack = 0;
+    int dst_rack = 0;
+    double rate = 0;  // bytes/s granted by the current share computation
+  };
+
+  /// Drains every flow at the rates in effect since the last advance and
+  /// accrues per-uplink/core busy time.  Caller holds mu_.
+  void advance_locked(double now);
+  /// Recomputes every flow's fair-share rate from current membership and
+  /// uplink degradation factors.  Caller holds mu_.
+  void recompute_locked();
+
+  vt::Clock& clock_;
+  TopologyConfig cfg_;
+  int racks_ = 1;
+  int nodes_per_rack_ = 1;
+  double rack_bw_ = 0;  // effective uplink capacity (0 config resolved)
+  double core_bw_ = 0;  // effective core capacity
+
+  mutable std::mutex mu_;
+  vt::Monitor mon_;
+  std::vector<std::shared_ptr<Flow>> flows_;
+  std::vector<double> rack_scale_;  // per-rack uplink degradation factor
+  double last_advance_ = 0;
+  bool stop_ = false;
+  TraceFn trace_;
+
+  common::Stats stats_;
+  std::vector<double> uplink_busy_;  // seconds with >= 1 flow on the uplink
+  double core_busy_ = 0;
+  // publish() deltas
+  double pub_rack_bytes_ = 0;
+  double pub_core_bytes_ = 0;
+};
+
+}  // namespace simnet

@@ -458,4 +458,43 @@ TEST(ClusterTest, ShardingOffKeepsCommitsAtMaster) {
   for (float v : data) ASSERT_FLOAT_EQ(v, 2.0f);
 }
 
+TEST(ClusterTest, VectoredDoneAcksConvergeWithoutReplays) {
+  // A burst of remote completions over a coalescing link: the master must
+  // ack the DONE tickets as count-prefixed batches riding the coalesce
+  // window, every ticket must be acked exactly once (no replay pressure),
+  // and the per-batch mean must show actual vectoring.
+  constexpr int kNodes = 8;
+  constexpr int kTasks = 96;
+  constexpr std::size_t kFloats = 64;
+  std::vector<float> data(kTasks * kFloats, 0.0f);
+  ClusterConfig cfg = base_cluster(kNodes, "bf");
+  cfg.link.coalesce_window = 5e-5;
+  cfg.presend = 3;  // several tasks in flight per node -> DONEs arrive in bursts
+  std::uint64_t replays = 0, batches = 0, remote = 0;
+  double tickets = 0;
+  run_app(cfg, [&](ClusterRuntime& rt) {
+    for (int t = 0; t < kTasks; ++t) {
+      float* block = data.data() + static_cast<std::size_t>(t) * kFloats;
+      rt.spawn(smp_task({Access::out(block, kFloats * sizeof(float))},
+                        [](nanos::TaskContext& c) {
+                          auto* f = c.data_as<float>(0);
+                          for (std::size_t i = 0; i < 64; ++i) f[i] = 3.0f;
+                        }));
+    }
+    rt.taskwait();
+    replays = rt.stats().count("cluster.done_replays");
+    batches = rt.stats().count("cluster.ack_batches");
+    tickets = rt.stats().sum("cluster.ack_batch_tickets");
+    remote = rt.stats().count("cluster.remote_tasks");
+  });
+  for (float v : data) ASSERT_FLOAT_EQ(v, 3.0f);
+  // Convergence: every remote completion was acked on the first try.
+  EXPECT_EQ(replays, 0u);
+  EXPECT_EQ(tickets, static_cast<double>(remote));
+  // Vectoring: the burst actually amortized acks across tickets.
+  ASSERT_GT(batches, 0u);
+  EXPECT_GT(tickets / static_cast<double>(batches), 1.5);
+  EXPECT_LT(batches, remote);
+}
+
 }  // namespace

@@ -316,6 +316,82 @@ TEST(ResilienceTest, HomeNodeDeathRehomesShardsAndRecovers) {
   EXPECT_GT(rehomed, 0u);
 }
 
+TEST(ResilienceTest, RackKillRehomesShardsAndRecovers) {
+  // A whole rack dies at once (switch or power failure): every member must
+  // be detected, every directory shard homed inside the dead rack must move
+  // to survivors, and the retried work must still produce exact results.
+  ClusterConfig cfg = base_cluster(6);
+  cfg.topology.racks = 2;
+  cfg.topology.nodes_per_rack = 3;  // master (node 0) lives in rack 0
+  cfg.slave_to_slave = true;        // sharding needs peer transfers
+  cfg.resilience.mode = "retry";
+  cfg.resilience.heartbeat_period = 1e-3;
+  cfg.resilience.node_lease = 5e-3;
+  cfg.faults.kill_rack(1, 7e-3);
+  constexpr int kRegions = 32;
+  constexpr int kChain = 2;
+  std::vector<std::vector<float>> r(kRegions, std::vector<float>(64, 0.0f));
+  std::uint64_t detected = 0, rehomed = 0;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock&) {
+    for (int c = 0; c < kChain; ++c) {
+      for (int i = 0; i < kRegions; ++i) {
+        rt.spawn(smp_task({Access::inout(r[i].data(), r[i].size() * sizeof(float))},
+                          [](nanos::TaskContext& ctx) {
+                            auto* f = ctx.data_as<float>(0);
+                            for (int k = 0; k < 64; ++k) f[k] += 1.0f;
+                          },
+                          /*ms=*/2.0));
+      }
+    }
+    rt.taskwait();
+    detected = rt.stats().count("res.failures_detected");
+    rehomed = rt.stats().count("cluster.shards_rehomed");
+  });
+  for (int i = 0; i < kRegions; ++i) {
+    for (float v : r[i]) ASSERT_FLOAT_EQ(v, static_cast<float>(kChain)) << "region " << i;
+  }
+  // All three members of rack 1 die together.
+  EXPECT_EQ(detected, 3u);
+  // 32 hash-homed regions over 6 nodes: rack 1 homes some of them with
+  // overwhelming probability, and every one of its entries must have moved.
+  EXPECT_GT(rehomed, 0u);
+}
+
+TEST(ResilienceTest, HotRackDegradeCompletesWithCorrectResults) {
+  // The hot-rack preset collapses rack 1's uplink to a quarter of its
+  // capacity mid-run.  Nothing fails — the fabric just gets slow — so the
+  // run must complete exactly, and the taskwait flush must publish the
+  // per-tier fabric counters it crossed.
+  ClusterConfig cfg = base_cluster(4);
+  cfg.topology.racks = 2;
+  cfg.topology.nodes_per_rack = 2;
+  cfg.topology.rack_link_bw = 1e9;
+  cfg.topology.core_link_bw = 2e9;
+  cfg.faults = simnet::FaultPlan::hot_rack(1, 2e-3, 0.25);
+  constexpr int kRegions = 16;
+  std::vector<std::vector<float>> r(kRegions, std::vector<float>(256, 1.0f));
+  std::uint64_t published = 0;
+  double core_bytes = 0;
+  run_app(std::move(cfg), [&](ClusterRuntime& rt, vt::Clock&) {
+    for (int i = 0; i < kRegions; ++i) {
+      rt.spawn(smp_task({Access::inout(r[i].data(), r[i].size() * sizeof(float))},
+                        [](nanos::TaskContext& ctx) {
+                          auto* f = ctx.data_as<float>(0);
+                          for (int k = 0; k < 256; ++k) f[k] *= 2.0f;
+                        },
+                        /*ms=*/1.0));
+    }
+    rt.taskwait();
+    published = rt.stats().count("net.uplink_busy_frac");
+    core_bytes = rt.stats().sum("net.core_bytes");
+  });
+  for (int i = 0; i < kRegions; ++i) {
+    for (float v : r[i]) ASSERT_FLOAT_EQ(v, 2.0f) << "region " << i;
+  }
+  EXPECT_GE(published, 1u);    // taskwait published the fabric counters
+  EXPECT_GT(core_bytes, 0.0);  // staging to rack 1 actually crossed the core
+}
+
 TEST(ResilienceTest, OffModeLostRegionFailsCleanly) {
   ClusterConfig cfg = base_cluster(2);
   cfg.resilience.mode = "off";

@@ -354,7 +354,10 @@ TEST(SimNetTest, CoalescedMessagesBatchIntoOneWireAm) {
     seen.push_back(*static_cast<const int*>(pay));
     latch.done();
   });
-  for (int i = 0; i < 8; ++i) net.endpoint(0).am_coalesced(1, 0, &i, sizeof(i));
+  {
+    vt::Hold hold(clock);  // the whole burst lands inside one flush window
+    for (int i = 0; i < 8; ++i) net.endpoint(0).am_coalesced(1, 0, &i, sizeof(i));
+  }
   latch.wait();
   ASSERT_EQ(seen.size(), 8u);
   for (int i = 0; i < 8; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
@@ -376,7 +379,10 @@ TEST(SimNetTest, CoalesceWatermarkFlushesBeforeWindow) {
   vt::CountLatch latch(clock);
   latch.add(4);
   net.endpoint(1).register_handler(0, [&](int, const void*, std::size_t) { latch.done(); });
-  for (int i = 0; i < 4; ++i) net.endpoint(0).am_coalesced(1, 0, &i, sizeof(i));
+  {
+    vt::Hold hold(clock);  // the whole burst lands before the window can age
+    for (int i = 0; i < 4; ++i) net.endpoint(0).am_coalesced(1, 0, &i, sizeof(i));
+  }
   latch.wait();
   EXPECT_EQ(net.endpoint(0).stats().count("am_batch"), 1u);
   EXPECT_LT(clock.now(), 1e-4);  // did not wait out the window
@@ -397,9 +403,12 @@ TEST(SimNetTest, PlainShortDoesNotOvertakePendingBatch) {
     latch.done();
   });
   int a = 1, b = 2, c = 3;
-  net.endpoint(0).am_coalesced(1, 0, &a, sizeof(a));
-  net.endpoint(0).am_coalesced(1, 0, &b, sizeof(b));
-  net.endpoint(0).am_short(1, 0, &c, sizeof(c));
+  {
+    vt::Hold hold(clock);  // all three sends land before the window can expire
+    net.endpoint(0).am_coalesced(1, 0, &a, sizeof(a));
+    net.endpoint(0).am_coalesced(1, 0, &b, sizeof(b));
+    net.endpoint(0).am_short(1, 0, &c, sizeof(c));
+  }
   latch.wait();
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order[0], 1);
@@ -454,6 +463,226 @@ TEST(SimNetTest, DisabledWindowDegradesToPlainShort) {
   latch.wait();
   EXPECT_EQ(net.endpoint(0).stats().count("am_batch"), 0u);
   EXPECT_EQ(net.endpoint(0).stats().count("am_short"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier topology: the rack fabric behind the per-node NICs.
+
+using simnet::TopologyConfig;
+
+TEST(TopologyTest, DistanceMatchesRackShape) {
+  vt::Clock clock;
+  TopologyConfig t;
+  t.racks = 4;
+  t.nodes_per_rack = 4;
+  Network net(clock, 16, fast_link(), t);
+  const simnet::Topology& topo = net.topology();
+  EXPECT_FALSE(topo.flat());
+  EXPECT_EQ(topo.rack_of(0), 0);
+  EXPECT_EQ(topo.rack_of(3), 0);
+  EXPECT_EQ(topo.rack_of(4), 1);
+  EXPECT_EQ(topo.rack_of(15), 3);
+  EXPECT_TRUE(topo.same_rack(0, 3));
+  EXPECT_FALSE(topo.same_rack(3, 4));
+  EXPECT_EQ(topo.distance(5, 5), 0);
+  EXPECT_EQ(topo.distance(0, 3), 1);
+  EXPECT_EQ(topo.distance(0, 4), 2);
+}
+
+TEST(TopologyTest, OversubscriptionRatioFromConfig) {
+  TopologyConfig t;
+  t.racks = 4;
+  t.rack_link_bw = 4e9;
+  t.core_link_bw = 4e9;
+  EXPECT_DOUBLE_EQ(t.oversubscription(), 4.0);
+  t.core_link_bw = 16e9;
+  EXPECT_DOUBLE_EQ(t.oversubscription(), 1.0);
+  TopologyConfig flat;
+  EXPECT_TRUE(flat.flat());
+  EXPECT_DOUBLE_EQ(flat.oversubscription(), 1.0);
+}
+
+TEST(TopologyTest, SharedUplinkHalvesConcurrentCrossRackFlows) {
+  // Two 1 MB puts leave rack 0 together: each gets half the 1 GB/s uplink,
+  // so the transit stage stretches from 1 ms to 2 ms.  tx (1 ms) + shared
+  // transit (2 ms) + rx (1 ms) = 4 ms, against 3 ms for a lone flow.
+  vt::Clock clock;
+  TopologyConfig t;
+  t.racks = 2;
+  t.nodes_per_rack = 2;
+  t.rack_link_bw = 1e9;
+  t.core_link_bw = 2e9;
+  Network net(clock, 4, fast_link(), t);
+  std::vector<char> a(1u << 20), b(1u << 20), da(1u << 20), db(1u << 20);
+  vt::CountLatch latch(clock);
+  latch.add(2);
+  {
+    vt::Hold hold(clock);  // both cross-rack flows must be issued at t=0
+    net.endpoint(0).put(2, da.data(), a.data(), a.size(), nullptr, [&] { latch.done(); });
+    net.endpoint(1).put(3, db.data(), b.data(), b.size(), nullptr, [&] { latch.done(); });
+  }
+  latch.wait();
+  const double unit = static_cast<double>(a.size()) / 1e9;
+  EXPECT_NEAR(clock.now(), 4.0 * unit, 0.1 * unit);
+  EXPECT_DOUBLE_EQ(net.topology().stats().sum("core_bytes"),
+                   static_cast<double>(a.size() + b.size()));
+  EXPECT_EQ(net.topology().stats().count("transits"), 2u);
+  EXPECT_GT(net.topology().uplink_busy_frac(clock.now()), 0.0);
+}
+
+TEST(TopologyTest, LoneCrossRackFlowPaysOneTransitStage) {
+  vt::Clock clock;
+  TopologyConfig t;
+  t.racks = 2;
+  t.nodes_per_rack = 2;
+  t.rack_link_bw = 1e9;
+  t.core_link_bw = 2e9;
+  Network net(clock, 4, fast_link(), t);
+  std::vector<char> a(1u << 20), da(1u << 20);
+  vt::Flag done(clock);
+  net.endpoint(0).put(2, da.data(), a.data(), a.size(), nullptr, [&] { done.set(); });
+  done.wait();
+  const double unit = static_cast<double>(a.size()) / 1e9;
+  EXPECT_NEAR(clock.now(), 3.0 * unit, 0.1 * unit);  // tx + transit + rx
+}
+
+TEST(TopologyTest, IntraRackFlowIgnoresCoreContention) {
+  // Two cross-rack flows saturate the 1 GB/s core while an intra-rack flow
+  // rides only its own NICs: the local transfer lands at ~2 ms while the
+  // cross traffic takes ~4 ms.
+  vt::Clock clock;
+  TopologyConfig t;
+  t.racks = 2;
+  t.nodes_per_rack = 3;
+  t.rack_link_bw = 2e9;
+  t.core_link_bw = 1e9;
+  Network net(clock, 6, fast_link(), t);
+  std::vector<char> a(1u << 20), b(1u << 20), c(1u << 20);
+  std::vector<char> da(1u << 20), db(1u << 20), dc(1u << 20);
+  vt::CountLatch latch(clock);
+  latch.add(3);
+  double t_local = 0, t_cross1 = 0, t_cross2 = 0;
+  {
+    vt::Hold hold(clock);  // all three flows must be issued at t=0
+    net.endpoint(0).put(3, da.data(), a.data(), a.size(), nullptr, [&] {
+      t_cross1 = clock.now();
+      latch.done();
+    });
+    net.endpoint(1).put(4, db.data(), b.data(), b.size(), nullptr, [&] {
+      t_cross2 = clock.now();
+      latch.done();
+    });
+    net.endpoint(2).put(0, dc.data(), c.data(), c.size(), nullptr, [&] {
+      t_local = clock.now();
+      latch.done();
+    });
+  }
+  latch.wait();
+  const double unit = static_cast<double>(a.size()) / 1e9;
+  EXPECT_NEAR(t_local, 2.0 * unit, 0.1 * unit);  // tx + rx only, no fabric
+  EXPECT_NEAR(t_cross1, 4.0 * unit, 0.2 * unit);
+  EXPECT_NEAR(t_cross2, 4.0 * unit, 0.2 * unit);
+  EXPECT_DOUBLE_EQ(net.topology().stats().sum("rack_bytes"), static_cast<double>(c.size()));
+}
+
+TEST(TopologyTest, HotRackPlanDegradesUplinkDeterministically) {
+  // FaultPlan::hot_rack halves rack 0's uplink before traffic starts: the
+  // lone cross-rack transit stretches from 1 ms to 2 ms.
+  vt::Clock clock;
+  TopologyConfig t;
+  t.racks = 2;
+  t.nodes_per_rack = 2;
+  t.rack_link_bw = 1e9;
+  t.core_link_bw = 2e9;
+  Network net(clock, 4, fast_link(), t);
+  net.set_fault_plan(simnet::FaultPlan::hot_rack(0, 0.0, 0.5));
+  std::vector<char> a(1u << 20), da(1u << 20);
+  vt::Flag done(clock);
+  vt::Thread driver(clock, "app", [&] {
+    clock.sleep_for(1e-4);  // let the plan apply first
+    net.endpoint(0).put(2, da.data(), a.data(), a.size(), nullptr, [&] { done.set(); });
+    done.wait();
+  });
+  driver.join();
+  const double unit = static_cast<double>(a.size()) / 1e9;
+  EXPECT_NEAR(clock.now(), 1e-4 + 4.0 * unit, 0.1 * unit);
+  EXPECT_EQ(net.topology().stats().count("rack_degrades"), 1u);
+}
+
+TEST(TopologyTest, RackKillSilencesEveryMember) {
+  vt::Clock clock;
+  TopologyConfig t;
+  t.racks = 2;
+  t.nodes_per_rack = 2;
+  Network net(clock, 4, fast_link(), t);
+  std::atomic<int> received{0};
+  for (int n = 0; n < 4; ++n)
+    net.endpoint(n).register_handler(0, [&](int, const void*, std::size_t) { ++received; });
+  simnet::FaultPlan plan;
+  plan.kill_rack(1, 1e-3);
+  net.set_fault_plan(plan);
+  vt::Thread driver(clock, "app", [&] {
+    int x = 0;
+    net.endpoint(0).am_short(2, 0, &x, sizeof(x));  // before the kill: lands
+    clock.sleep_for(2e-3);
+    EXPECT_FALSE(net.node_dead(0));
+    EXPECT_FALSE(net.node_dead(1));
+    EXPECT_TRUE(net.node_dead(2));
+    EXPECT_TRUE(net.node_dead(3));
+    net.endpoint(0).am_short(2, 0, &x, sizeof(x));  // to the dead rack: vanishes
+    net.endpoint(3).am_short(0, 0, &x, sizeof(x));  // from the dead rack: vanishes
+    clock.sleep_for(2e-3);
+  });
+  driver.join();
+  net.shutdown();
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(TopologyTest, CrossRackShortPaysCoreLatency) {
+  vt::Clock clock;
+  TopologyConfig t;
+  t.racks = 2;
+  t.nodes_per_rack = 2;
+  t.core_latency = 5e-6;
+  Network net(clock, 4, fast_link(), t);
+  double t_local = 0, t_cross = 0;
+  vt::CountLatch latch(clock);
+  latch.add(2);
+  net.endpoint(1).register_handler(0, [&](int, const void*, std::size_t) {
+    t_local = clock.now();
+    latch.done();
+  });
+  net.endpoint(2).register_handler(0, [&](int, const void*, std::size_t) {
+    t_cross = clock.now();
+    latch.done();
+  });
+  int x = 0;
+  {
+    vt::Hold hold(clock);
+    net.endpoint(0).am_short(1, 0, &x, sizeof(x));
+    net.endpoint(0).am_short(2, 0, &x, sizeof(x));
+  }
+  latch.wait();
+  EXPECT_NEAR(t_local, 1e-6, 1e-9);          // NIC latency only
+  EXPECT_NEAR(t_cross, 1e-6 + 5e-6, 1e-9);   // plus the extra switch hops
+}
+
+TEST(TopologyTest, FlatConfigIsInert) {
+  // racks <= 1 disables the fabric even with bandwidth caps configured: the
+  // timing must match the plain flat network exactly.
+  vt::Clock clock;
+  TopologyConfig t;
+  t.racks = 1;
+  t.rack_link_bw = 1.0;  // absurdly small; must be ignored
+  t.core_link_bw = 1.0;
+  Network net(clock, 2, fast_link(), t);
+  EXPECT_TRUE(net.topology().flat());
+  std::vector<char> a(1u << 20), da(1u << 20);
+  vt::Flag done(clock);
+  net.endpoint(0).put(1, da.data(), a.data(), a.size(), nullptr, [&] { done.set(); });
+  done.wait();
+  const double unit = static_cast<double>(a.size()) / 1e9;
+  EXPECT_NEAR(clock.now(), 2.0 * unit, 1e-7);  // identical to the NIC-only model
 }
 
 }  // namespace
