@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <set>
@@ -552,6 +554,480 @@ class EffectResolver {
   std::set<std::pair<std::string, std::string>> active_;
 };
 
+// ---------------------------------------------------------------------------
+// Diagnostic 5: cross-iteration block-section overlap.
+
+/// Constant environment for the lint's integer evaluator: loop variables
+/// bound to concrete values, plus the file's object-like #define constants
+/// (resolved recursively, with a cycle guard so `#define A A` contributes
+/// nothing).
+class ConstEnv {
+ public:
+  ConstEnv(const std::map<std::string, std::string>& defines,
+           const std::map<std::string, long long>& vars)
+      : defines_(defines), vars_(vars) {}
+
+  std::optional<long long> lookup(const std::string& name) const;
+
+ private:
+  const std::map<std::string, std::string>& defines_;
+  const std::map<std::string, long long>& vars_;
+  mutable std::set<std::string> active_;
+};
+
+/// Recursive-descent evaluator for integer constant expressions over
+/// + - * / % and parentheses.  Identifiers resolve through `env`; anything
+/// unresolvable (an unknown variable, a float, a function call) makes the
+/// whole evaluation fail — rule 5 skips what it cannot prove.
+class ConstEval {
+ public:
+  ConstEval(const std::string& s, const ConstEnv& env) : s_(s), env_(env) {}
+
+  std::optional<long long> eval() {
+    auto v = sum();
+    skip_ws();
+    if (!v || pos_ != s_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  std::optional<long long> sum() {
+    auto v = term();
+    while (v) {
+      skip_ws();
+      if (pos_ >= s_.size() || (s_[pos_] != '+' && s_[pos_] != '-')) break;
+      char op = s_[pos_++];
+      auto r = term();
+      if (!r) return std::nullopt;
+      v = op == '+' ? *v + *r : *v - *r;
+    }
+    return v;
+  }
+
+  std::optional<long long> term() {
+    auto v = atom();
+    while (v) {
+      skip_ws();
+      if (pos_ >= s_.size() || (s_[pos_] != '*' && s_[pos_] != '/' && s_[pos_] != '%')) break;
+      char op = s_[pos_++];
+      auto r = atom();
+      if (!r) return std::nullopt;
+      if ((op == '/' || op == '%') && *r == 0) return std::nullopt;
+      v = op == '*' ? *v * *r : op == '/' ? *v / *r : *v % *r;
+    }
+    return v;
+  }
+
+  std::optional<long long> atom() {
+    skip_ws();
+    if (pos_ >= s_.size()) return std::nullopt;
+    char c = s_[pos_];
+    if (c == '-') {
+      ++pos_;
+      auto v = atom();
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    if (c == '(') {
+      ++pos_;
+      auto v = sum();
+      skip_ws();
+      if (!v || pos_ >= s_.size() || s_[pos_] != ')') return std::nullopt;
+      ++pos_;
+      return v;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      long long v = 0;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        v = v * 10 + (s_[pos_++] - '0');
+      if (pos_ < s_.size() && (s_[pos_] == '.' || s_[pos_] == 'x' || s_[pos_] == 'X'))
+        return std::nullopt;  // floats and hex are out of scope
+      while (pos_ < s_.size() && std::strchr("uUlL", s_[pos_]) != nullptr) ++pos_;
+      return v;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t b = pos_;
+      while (pos_ < s_.size() && ident_char(s_[pos_])) ++pos_;
+      std::string name = s_.substr(b, pos_ - b);
+      skip_ws();
+      if (pos_ < s_.size() && (s_[pos_] == '(' || s_[pos_] == '[')) return std::nullopt;
+      return env_.lookup(name);
+    }
+    return std::nullopt;
+  }
+
+  const std::string& s_;
+  const ConstEnv& env_;
+  size_t pos_ = 0;
+};
+
+std::optional<long long> ConstEnv::lookup(const std::string& name) const {
+  auto v = vars_.find(name);
+  if (v != vars_.end()) return v->second;
+  auto d = defines_.find(name);
+  if (d == defines_.end()) return std::nullopt;
+  if (!active_.insert(name).second) return std::nullopt;  // macro cycle
+  auto r = ConstEval(d->second, *this).eval();
+  active_.erase(name);
+  return r;
+}
+
+/// Object-like `#define NAME expr` constants (function-like macros are
+/// skipped: the evaluator has no expansion machinery for them).
+std::map<std::string, std::string> collect_defines(const std::vector<std::string>& lines) {
+  std::map<std::string, std::string> defines;
+  for (const std::string& raw : lines) {
+    std::string t = trim(raw);
+    if (!starts_with(t, "#define")) continue;
+    size_t p = 7;
+    while (p < t.size() && std::isspace(static_cast<unsigned char>(t[p]))) ++p;
+    size_t b = p;
+    while (p < t.size() && ident_char(t[p])) ++p;
+    if (p == b || (p < t.size() && t[p] == '(')) continue;  // no name / function-like
+    std::string body = trim(t.substr(p));
+    if (!body.empty()) defines[t.substr(b, p - b)] = std::move(body);
+  }
+  return defines;
+}
+
+/// A `for` loop the evaluator can reason about: a single integer variable
+/// with constant first value, bound and (positive or negative) step.
+struct LoopSpec {
+  std::string var;
+  long long first = 0;
+  long long step = 0;
+  long long count = 0;  ///< iterations executed
+};
+
+std::optional<LoopSpec> parse_for_header(const std::string& header, const ConstEnv& env) {
+  std::vector<std::string> parts;
+  size_t item = 0;
+  int depth = 0;
+  for (size_t i = 0; i <= header.size(); ++i) {
+    if (i == header.size() || (header[i] == ';' && depth == 0)) {
+      parts.push_back(trim(header.substr(item, i - item)));
+      item = i + 1;
+    } else if (header[i] == '(' || header[i] == '[') {
+      ++depth;
+    } else if (header[i] == ')' || header[i] == ']') {
+      --depth;
+    }
+  }
+  if (parts.size() != 3) return std::nullopt;
+
+  LoopSpec spec;
+  {  // init: [type] var = expr
+    std::string s = parts[0];
+    size_t eq = s.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    std::string lhs = trim(s.substr(0, eq));
+    size_t sp = lhs.find_last_of(" \t");
+    spec.var = sp == std::string::npos ? lhs : trim(lhs.substr(sp + 1));
+    if (spec.var.empty() || !std::isalpha(static_cast<unsigned char>(spec.var[0]))) {
+      if (spec.var.empty() || spec.var[0] != '_') return std::nullopt;
+    }
+    auto v = ConstEval(s.substr(eq + 1), env).eval();
+    if (!v) return std::nullopt;
+    spec.first = *v;
+  }
+  long long limit = 0;
+  bool inclusive = false;
+  {  // condition: var < expr | var <= expr
+    std::string s = parts[1];
+    size_t lt = s.find('<');
+    if (lt == std::string::npos || trim(s.substr(0, lt)) != spec.var) return std::nullopt;
+    size_t rhs = lt + 1;
+    if (rhs < s.size() && s[rhs] == '=') {
+      inclusive = true;
+      ++rhs;
+    }
+    auto v = ConstEval(s.substr(rhs), env).eval();
+    if (!v) return std::nullopt;
+    limit = *v;
+  }
+  {  // increment: var++ | ++var | var += expr | var = var + expr
+    std::string s = parts[2];
+    if (s == spec.var + "++" || s == "++" + spec.var || s == spec.var + " ++") {
+      spec.step = 1;
+    } else {
+      size_t pe = s.find("+=");
+      if (pe != std::string::npos && trim(s.substr(0, pe)) == spec.var) {
+        auto v = ConstEval(s.substr(pe + 2), env).eval();
+        if (!v) return std::nullopt;
+        spec.step = *v;
+      } else {
+        size_t eq = s.find('=');
+        if (eq == std::string::npos || trim(s.substr(0, eq)) != spec.var) return std::nullopt;
+        std::string rhs = trim(s.substr(eq + 1));
+        size_t plus = rhs.find('+');
+        if (plus == std::string::npos || trim(rhs.substr(0, plus)) != spec.var)
+          return std::nullopt;
+        auto v = ConstEval(rhs.substr(plus + 1), env).eval();
+        if (!v) return std::nullopt;
+        spec.step = *v;
+      }
+    }
+  }
+  if (spec.step <= 0) return std::nullopt;  // descending loops: out of scope
+  long long span = limit - spec.first + (inclusive ? 1 : 0);
+  spec.count = span <= 0 ? 0 : (span + spec.step - 1) / spec.step;
+  return spec;
+}
+
+/// How a call-site pointer argument designates storage: a base buffer, an
+/// optional row subscript (`m[expr]` — a pointer *element*, its own
+/// dimension) and an element offset (`&a[expr]` / `a + expr`).
+struct PointerArg {
+  std::string base;
+  bool has_row = false;
+  std::string row_expr;
+  std::string off_expr = "0";
+};
+
+std::optional<PointerArg> parse_pointer_arg(const std::string& raw) {
+  std::string s = trim(raw);
+  PointerArg out;
+  bool address_of = false;
+  if (!s.empty() && s[0] == '&') {
+    address_of = true;
+    s = trim(s.substr(1));
+  }
+  size_t p = 0;
+  while (p < s.size() && ident_char(s[p])) ++p;
+  if (p == 0) return std::nullopt;
+  out.base = s.substr(0, p);
+  std::string rest = trim(s.substr(p));
+  if (rest.empty()) {
+    if (address_of) return std::nullopt;  // &name: not a section designator
+    return out;
+  }
+  if (rest[0] == '[') {
+    int depth = 0;
+    size_t q = 0;
+    for (; q < rest.size(); ++q) {
+      if (rest[q] == '[') ++depth;
+      else if (rest[q] == ']' && --depth == 0) break;
+    }
+    if (q >= rest.size() || !trim(rest.substr(q + 1)).empty()) return std::nullopt;
+    std::string idx = rest.substr(1, q - 1);
+    if (address_of) {
+      out.off_expr = idx;  // &a[i]: element offset i into a
+    } else {
+      out.has_row = true;  // m[i]: row i of m, offset 0 within the row
+      out.row_expr = idx;
+    }
+    return out;
+  }
+  if (rest[0] == '+' && !address_of) {
+    out.off_expr = rest.substr(1);  // a + i
+    return out;
+  }
+  return std::nullopt;
+}
+
+/// Replaces each whole-identifier occurrence of a callee parameter with the
+/// parenthesized call-site argument, turning the clause's section expression
+/// into a call-site expression of loop variables and constants.
+std::string substitute_args(const std::string& expr,
+                            const std::map<std::string, std::string>& args) {
+  std::string out;
+  size_t i = 0;
+  while (i < expr.size()) {
+    char c = expr[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < expr.size() && ident_char(expr[j])) ++j;
+      std::string name = expr.substr(i, j - i);
+      auto it = args.find(name);
+      if (it != args.end()) {
+        out += '(';
+        out += it->second;
+        out += ')';
+      } else {
+        out += name;
+      }
+      i = j;
+    } else {
+      out += expr[i++];
+    }
+  }
+  return out;
+}
+
+/// Scans `body` (one loop's statements) for calls to annotated tasks and
+/// flags output/inout block sections of the same buffer that overlap between
+/// consecutive iterations of `spec`.  Only provably-affine, provably-constant
+/// section math is judged; everything else is skipped.
+void check_loop_calls(const Body& body, const LoopSpec& spec,
+                      const std::vector<TaskInfo>& tasks,
+                      const std::map<std::string, size_t>& task_by_name,
+                      const std::map<std::string, std::string>& defines,
+                      std::vector<LintDiagnostic>& diags) {
+  const std::string& s = body.text;
+  auto eval_at = [&](const std::string& expr, long long iter) -> std::optional<long long> {
+    std::map<std::string, long long> vars{{spec.var, iter}};
+    ConstEnv env(defines, vars);
+    return ConstEval(expr, env).eval();
+  };
+
+  for (const auto& [name, idx] : task_by_name) {
+    const TaskInfo& info = tasks[idx];
+    size_t pos = 0;
+    while ((pos = find_ident(s, name, pos)) != std::string::npos) {
+      size_t p = pos + name.size();
+      while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+      if (p >= s.size() || s[p] != '(') {
+        pos = p;
+        continue;
+      }
+      size_t q = p + 1;
+      size_t item = q;
+      int d = 1;
+      std::vector<std::string> call_args;
+      while (q < s.size() && d > 0) {
+        char c = s[q];
+        if (c == '(' || c == '[') {
+          ++d;
+        } else if (c == ')' || c == ']') {
+          if (--d == 0) break;
+        } else if (c == ',' && d == 1) {
+          call_args.push_back(s.substr(item, q - item));
+          item = q + 1;
+        }
+        ++q;
+      }
+      call_args.push_back(s.substr(item, q - item));
+      const size_t call_pos = pos;
+      pos = q;
+      if (call_args.size() != info.sig.params.size()) continue;
+
+      std::map<std::string, std::string> argmap;
+      for (size_t k = 0; k < call_args.size(); ++k)
+        argmap[info.sig.params[k].name] = trim(call_args[k]);
+
+      for (const DepItem& dep : info.pragma.deps) {
+        if (dep.mode == DepMode::kIn || dep.size_expr.empty()) continue;
+        size_t k = info.sig.params.size();
+        for (size_t j = 0; j < info.sig.params.size(); ++j)
+          if (info.sig.params[j].name == dep.name && info.sig.params[j].is_pointer) k = j;
+        if (k == info.sig.params.size()) continue;
+        auto parg = parse_pointer_arg(call_args[k]);
+        if (!parg) continue;
+
+        const std::string start =
+            substitute_args(dep.start_expr.empty() ? "0" : dep.start_expr, argmap);
+        const std::string len = substitute_args(dep.size_expr, argmap);
+        const long long i0 = spec.first;
+        const long long i1 = spec.first + spec.step;
+        auto len0 = eval_at(len, i0), len1 = eval_at(len, i1);
+        if (!len0 || !len1 || *len0 != *len1 || *len0 <= 0) continue;
+        auto s0 = eval_at(start, i0), s1 = eval_at(start, i1);
+        auto o0 = eval_at(parg->off_expr, i0), o1 = eval_at(parg->off_expr, i1);
+        if (!s0 || !s1 || !o0 || !o1) continue;
+        if (parg->has_row) {
+          auto r0 = eval_at(parg->row_expr, i0), r1 = eval_at(parg->row_expr, i1);
+          if (!r0 || !r1 || *r0 != *r1) continue;  // distinct rows never overlap
+        }
+        const long long a0 = *o0 + *s0;
+        const long long a1 = *o1 + *s1;
+        const long long stride = a1 - a0;
+        if (spec.count >= 3) {  // affine check: constant second difference
+          auto s2 = eval_at(start, spec.first + 2 * spec.step);
+          auto o2 = eval_at(parg->off_expr, spec.first + 2 * spec.step);
+          if (!s2 || !o2 || (*o2 + *s2) - a1 != stride) continue;
+        }
+        if (stride == 0 || std::abs(stride) >= *len0) continue;
+        std::ostringstream os;
+        os << "task '" << info.sig.name << "': " << mode_name(dep.mode) << " sections of '"
+           << parg->base << "' overlap across loop iterations: [" << a0 << ":" << *len0
+           << "] at " << spec.var << "=" << i0 << " vs [" << a1 << ":" << *len0 << "] at "
+           << spec.var << "=" << i1 << " (stride " << stride << " < length " << *len0
+           << "); sibling tasks touch the same elements";
+        diags.push_back({body.line_at(call_pos), os.str()});
+      }
+    }
+  }
+}
+
+/// Diagnostic 5 driver: finds every `for` loop with constant bounds that
+/// executes at least twice, captures its body (braced or single-statement)
+/// and checks the task calls inside it for cross-iteration section overlap.
+void lint_loop_sections(const std::string& source, const std::vector<TaskInfo>& tasks,
+                        std::vector<LintDiagnostic>& diags) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(strip_literals(source));
+    std::string l;
+    while (std::getline(in, l)) lines.push_back(l);
+  }
+  const std::map<std::string, std::string> defines = collect_defines(lines);
+  std::map<std::string, size_t> task_by_name;
+  for (size_t i = 0; i < tasks.size(); ++i) task_by_name[tasks[i].sig.name] = i;
+  if (task_by_name.empty()) return;
+  const std::map<std::string, long long> no_vars;
+  ConstEnv const_env(defines, no_vars);
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    size_t fpos = find_ident(lines[i], "for", 0);
+    if (fpos == std::string::npos) continue;
+    // Join lines until the for-header parens balance.
+    size_t li = i;
+    std::string w = lines[li];
+    size_t open = w.find('(', fpos);
+    while (open == std::string::npos && li + 1 < lines.size()) {
+      w += ' ';
+      w += lines[++li];
+      open = w.find('(', fpos);
+    }
+    if (open == std::string::npos) continue;
+    size_t q = open;
+    int d = 0;
+    for (;;) {
+      if (q >= w.size()) {
+        if (li + 1 >= lines.size()) break;
+        w += ' ';
+        w += lines[++li];
+        continue;
+      }
+      if (w[q] == '(') ++d;
+      else if (w[q] == ')' && --d == 0) break;
+      ++q;
+    }
+    if (q >= w.size()) continue;
+    auto spec = parse_for_header(w.substr(open + 1, q - open - 1), const_env);
+    if (!spec || spec->count < 2) continue;
+
+    // Capture the body: a braced block or a single statement up to ';'.
+    Body body;
+    size_t after = q + 1;
+    while (after < w.size() && std::isspace(static_cast<unsigned char>(w[after]))) ++after;
+    if (after < w.size() && w[after] == '{') {
+      size_t bi = li;
+      // capture_body_at wants the '{' position within lines[bi]; the header
+      // join may have glued lines, so locate the brace in the real line.
+      size_t brace = lines[bi].find('{');
+      while (brace == std::string::npos && bi + 1 < lines.size())
+        brace = lines[++bi].find('{');
+      if (brace == std::string::npos) continue;
+      capture_body_at(lines, bi, brace, body);
+    } else {
+      // Single statement: from after the ')' to the next ';'.
+      std::string stmt = w.substr(after);
+      size_t bi = li;
+      while (stmt.find(';') == std::string::npos && bi + 1 < lines.size()) {
+        stmt += ' ';
+        stmt += lines[++bi];
+      }
+      body.add(static_cast<int>(li) + 1, stmt);
+    }
+    check_loop_calls(body, *spec, tasks, task_by_name, defines, diags);
+  }
+}
+
 }  // namespace
 
 std::vector<LintDiagnostic> lint(const std::string& source) {
@@ -614,6 +1090,10 @@ std::vector<LintDiagnostic> lint(const std::string& source) {
       }
     }
   }
+
+  // (5) sibling tasks spawned by a constant-bound loop with overlapping
+  // output/inout block sections of the same buffer
+  lint_loop_sections(source, tasks, diags);
 
   std::stable_sort(
       diags.begin(), diags.end(),

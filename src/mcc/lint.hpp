@@ -2,7 +2,7 @@
 // pass 3, the compile-time face of the verifier; the runtime race oracle in
 // nanos/verify catches what this pass cannot see).
 //
-// Four diagnostics, all clause mistakes on `#pragma omp task` functions:
+// Five diagnostics, all clause mistakes on `#pragma omp task` functions:
 //
 //  1. undeclared reference — the task body references a pointer parameter
 //     that appears in no input/output/inout clause, so the runtime never
@@ -14,7 +14,14 @@
 //     runtime is free to leave behind; the clause should be inout;
 //  4. unproduced taskwait on — `#pragma omp taskwait on(expr)` where no
 //     earlier task call passes the named object through an output/inout
-//     clause, so the wait synchronizes with nothing.
+//     clause, so the wait synchronizes with nothing;
+//  5. overlapping block sections — a constant-bound loop spawns sibling
+//     tasks whose output/inout sections of the same buffer overlap across
+//     iterations (stride smaller than section length): almost always broken
+//     tiling math.  Disjoint strides (stride >= length) and exact-repeat
+//     sections (stride 0 — the serialized accumulate idiom) are clean.
+//     Object-like #define constants are folded; anything the constant
+//     evaluator cannot resolve is skipped, never guessed.
 //
 // The lint is line-oriented like the translator: it strips comments and
 // string/char literals (preserving newlines), joins pragma continuations,

@@ -3,50 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <sstream>
 
 #include "common/log.hpp"
+#include "nanos/wire.hpp"
 
 namespace nanos {
 
+// Wire-message layouts live in nanos/wire.hpp (shared with protocol tooling).
+using namespace wire;
+
 namespace {
-
-struct StageDoneMsg {
-  std::uintptr_t start;
-  std::size_t size;
-  int node;
-};
-
-struct ForwardMsg {
-  std::uintptr_t start;  // master-side region identity
-  std::size_t size;
-  void* src_addr;   // copy location on the holding node
-  int dst_node;
-  void* dst_addr;   // copy location on the destination node
-  int ack_node;     // where the landed copy is acknowledged (home or master)
-};
-
-struct StageReqMsg {
-  std::uintptr_t start;
-  std::size_t size;
-  int dst_node;
-};
-
-struct VouchMsg {
-  std::uint64_t ticket;
-  std::uintptr_t start;
-  int exec_node;
-};
-
-/// Vectored DONE_ACK: a count-prefixed batch of completion tickets.  Only
-/// the used prefix travels on the wire (sizeof(count) + count * 8 bytes).
-constexpr int kAckVecMax = 32;
-struct DoneAckMsg {
-  std::uint64_t count = 0;
-  std::uint64_t tickets[kAckVecMax] = {};
-};
-constexpr std::size_t ack_msg_bytes(std::uint64_t count) {
-  return sizeof(std::uint64_t) * (1 + count);
-}
 
 // splitmix64-style mixer decorrelating region starts (which share alignment
 // bits) across home nodes.
@@ -57,20 +24,19 @@ std::uint64_t mix_home(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-struct PullMsg {
-  std::uintptr_t start;
-  std::size_t size;
-  void* src_addr;     // copy location on the holding node
-  void* master_addr;  // the region's home in master memory
-};
-
-template <typename T>
-T read_msg(const void* payload, std::size_t bytes) {
-  T msg;
-  assert(bytes == sizeof(T));
-  (void)bytes;
-  std::memcpy(&msg, payload, sizeof(T));
-  return msg;
+// Canonical rendering of every configuration knob that shapes the executed
+// schedule, digested into the replay token (docs/verifier.md).  Key order is
+// fixed; add new schedule-relevant knobs here when they grow.
+std::string canonical_config(const ClusterConfig& c) {
+  std::ostringstream os;
+  os << "nodes=" << c.nodes << ";presend=" << c.presend << ";s2s=" << c.slave_to_slave
+     << ";shard=" << c.dir_sharding << ";comm=" << c.comm_threads
+     << ";sched=" << c.node_scheduler << ";rr=" << c.rr_chunk << ";rack=" << c.rack_aware
+     << ";bw=" << c.link.bandwidth << ";lat=" << c.link.latency
+     << ";ovh=" << c.link.am_overhead << ";coal=" << c.link.coalesce_window
+     << ";verify=" << c.node.verify << ";sample=" << c.node.verify_sample
+     << ";hb=" << c.resilience.heartbeat_period << ";lease=" << c.resilience.node_lease;
+  return os.str();
 }
 
 }  // namespace
@@ -148,13 +114,27 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
         const double now = clock_.now();
         const double base = std::max(cfg_.resilience.effective_ack_timeout(),
                                      8.0 * cfg_.link.latency);
-        for (auto& [tk, ud] : nodes_[static_cast<std::size_t>(i)].unacked_done) {
+        auto& unacked = nodes_[static_cast<std::size_t>(i)].unacked_done;
+        for (auto it = unacked.begin(); it != unacked.end();) {
+          NodeState::UnackedDone& ud = it->second;
           const int shift = std::min(ud.attempts, 6);
-          if (now - ud.sent_at <= base * (1 << shift)) continue;
+          if (now - ud.sent_at <= base * (1 << shift)) {
+            ++it;
+            continue;
+          }
+          if (cfg_.mutation.suppress_first_replay && !mut_replay_suppressed_) {
+            // Seeded fault: act as if this overdue completion were replayed
+            // while actually erasing it — the DONE is unrecoverable.
+            mut_replay_suppressed_ = true;
+            stats_.incr("cluster.mutation_replay_suppressed");
+            it = unacked.erase(it);
+            continue;
+          }
           ud.sent_at = now;
           ++ud.attempts;
           stats_.incr("cluster.done_replays");
           resend.push_back(ud.send);
+          ++it;
         }
       }
       for (auto& send : resend) send();
@@ -220,11 +200,13 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
   // it sees every task at user addresses regardless of the executing node.
   // Violations land as master task errors and surface at taskwait.
   verify_mode_ = verify::parse_verify_mode(cfg_.node.verify);
+  config_digest_ = verify::fnv1a(canonical_config(cfg_));
   if (verify::races_enabled(verify_mode_)) {
     Runtime* master = nodes_[0].rt.get();
     oracle_ = std::make_unique<verify::RaceOracle>(
         [master](std::exception_ptr e) { master->record_task_error(std::move(e)); }, &stats_,
         static_cast<std::uint64_t>(std::max(1, cfg_.node.verify_sample)));
+    oracle_->set_replay_context(config_digest_, cfg_.faults.seed);
     domain_->set_race_oracle(oracle_.get());
   }
 
@@ -423,6 +405,7 @@ int ClusterRuntime::place_node(Task* t, Task* releaser) {
 void ClusterRuntime::queue_done_ack_locked(int node, std::uint64_t ticket) {
   NodeState& ns = nodes_[static_cast<std::size_t>(node)];
   if (ns.dead) return;
+  if (cfg_.probe != nullptr) cfg_.probe->on_done_ack(ticket, node);
   if (ns.ack_pending.empty())
     ns.ack_deadline = clock_.now() + std::max(0.0, cfg_.link.coalesce_window);
   ns.ack_pending.push_back(ticket);
@@ -587,6 +570,8 @@ void ClusterRuntime::record_write_locked(const common::Region& r, int node, Task
   e.valid.clear();
   e.valid.insert(node);
   e.lost = false;
+  if (cfg_.probe != nullptr)
+    cfg_.probe->on_dir_version(static_cast<std::uint64_t>(r.start), e.version, node);
   if (node == 0) {
     // The home copy is current again: nothing to replay.
     e.master_version = e.version;
@@ -813,6 +798,8 @@ void ClusterRuntime::dispatch_remote(Task* t, int node, bool regen,
     }
     info->expected_writes = static_cast<int>(written.size());
     in_flight_tasks_[ticket] = info;
+    if (cfg_.probe != nullptr)
+      cfg_.probe->on_ticket_created(ticket, node, info->expected_writes);
   }
   for (auto& action : actions) action();
   done(true);  // drop the initial token; sends if nothing needed staging
@@ -1029,6 +1016,11 @@ void ClusterRuntime::try_send_locked(int node) {
   }
 }
 
+std::uint64_t ClusterRuntime::payload_ticket(const void* payload, std::size_t bytes) {
+  const RemoteTaskInfo* info = read_msg<const RemoteTaskInfo*>(payload, bytes);
+  return info->ticket;
+}
+
 void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
   const std::uint64_t recv_ticket = info->ticket;
   // Receipt ack first: stops master-side NEW_TASK retransmission.  Then
@@ -1087,12 +1079,20 @@ void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
   d.completion_cb = [this, node, ticket, commit] {
     // Remember the DONE until the master acknowledges it, so a lost message
     // can be re-sent when the failure detector's next ping arrives.
+    bool drop_send = false;
     {
       std::lock_guard<std::mutex> lk(mu_);
       nodes_[static_cast<std::size_t>(node)].unacked_done[ticket] =
           NodeState::UnackedDone{commit, clock_.now(), 0};
+      if (cfg_.mutation.drop_first_done && !mut_done_dropped_) {
+        // Seeded fault: the completion send vanishes before the wire — the
+        // unacked record stays, so only the overdue replay path can save it.
+        mut_done_dropped_ = true;
+        stats_.incr("cluster.mutation_done_dropped");
+        drop_send = true;
+      }
     }
-    commit();
+    if (!drop_send) commit();
   };
   rt.spawn(std::move(d));
 }
@@ -1109,6 +1109,12 @@ void ClusterRuntime::handle_task_done(int src, std::uint64_t ticket) {
     if (it != in_flight_tasks_.end()) {
       info = it->second;
       in_flight_tasks_.erase(it);
+      if (cfg_.probe != nullptr) cfg_.probe->on_ticket_retired(ticket);
+      // Replay token: the commit order of (ticket, node) pairs IS the
+      // schedule the coherence verifier judged — fingerprint it.
+      verify_sched_hash_ = verify::fnv1a(
+          std::to_string(verify_sched_hash_) + ":" + std::to_string(ticket) + "@" +
+          std::to_string(src));
       t = info->master_task;
       const int node = info->target_node;
       for (const RemoteAccess& ra : info->accesses) {
@@ -1155,10 +1161,30 @@ void ClusterRuntime::handle_dir_commit(int self, int src, const RemoteTaskInfo* 
       if (live == cinfo && live->committed.insert(start).second) {
         record_write_locked(ra.master_region, src, cinfo->master_task);
         stats_.incr("cluster.dir_ops_homed.n" + std::to_string(self));
+        if (cfg_.probe != nullptr)
+          cfg_.probe->on_commit_applied(cinfo->ticket, self, static_cast<std::uint64_t>(start),
+                                        dir_lookup_locked(ra.master_region).version);
+        if (cfg_.mutation.double_first_commit && !mut_commit_doubled_) {
+          // Seeded fault: apply the same commit a second time, as a buggy
+          // dedup path would — the region gains a version no task produced.
+          mut_commit_doubled_ = true;
+          stats_.incr("cluster.mutation_commit_doubled");
+          record_write_locked(ra.master_region, src, cinfo->master_task);
+          if (cfg_.probe != nullptr)
+            cfg_.probe->on_commit_applied(cinfo->ticket, self,
+                                          static_cast<std::uint64_t>(start),
+                                          dir_lookup_locked(ra.master_region).version);
+        }
       }
       // Vouch even for a retired ticket: the master re-acks, which is what
       // stops the exec node's resend loop.
       vouches.push_back(VouchMsg{cinfo->ticket, start, src});
+    }
+    if (!vouches.empty() && cfg_.mutation.drop_first_vouch && !mut_vouch_dropped_) {
+      // Seeded fault: the home forgets to vouch for one committed region.
+      mut_vouch_dropped_ = true;
+      stats_.incr("cluster.mutation_vouch_dropped");
+      vouches.erase(vouches.begin());
     }
   }
   for (const VouchMsg& v : vouches)
@@ -1177,6 +1203,8 @@ void ClusterRuntime::handle_done_vouch(std::uint64_t ticket, std::uintptr_t star
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = in_flight_tasks_.find(ticket);
+    if (cfg_.probe != nullptr)
+      cfg_.probe->on_vouch(ticket, static_cast<std::uint64_t>(start), exec_node);
     if (it == in_flight_tasks_.end()) {
       ack = true;  // retired ticket: re-ack so the exec node stops resending
     } else {
@@ -1186,6 +1214,7 @@ void ClusterRuntime::handle_done_vouch(std::uint64_t ticket, std::uintptr_t star
         ack = true;
         info = cand;
         in_flight_tasks_.erase(it);
+        if (cfg_.probe != nullptr) cfg_.probe->on_ticket_retired(ticket);
         t = info->master_task;
         const int node = info->target_node;
         stats_.add("cluster.exec_latency", clock_.now() - info->sent_at);

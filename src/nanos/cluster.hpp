@@ -39,6 +39,7 @@
 #include "common/interval_map.hpp"
 #include "nanos/resilience/resilience.hpp"
 #include "nanos/runtime.hpp"
+#include "nanos/verify/protocol_probe.hpp"
 #include "simnet/simnet.hpp"
 
 namespace nanos {
@@ -81,6 +82,11 @@ struct ClusterConfig {
   simnet::FaultPlan faults;
   /// Failure detection/recovery knobs (see resilience/resilience.hpp).
   ResilienceConfig resilience;
+  /// Protocol event tap for simcheck's reference model (docs/simcheck.md).
+  /// Must outlive the runtime; null disables all probe calls.
+  verify::ProtocolProbe* probe = nullptr;
+  /// One-shot protocol fault seeds for mutation-detection tests.
+  verify::ProtocolMutation mutation;
 };
 
 class ClusterRuntime {
@@ -110,8 +116,9 @@ public:
   common::Stats& stats() { return stats_; }
   const ClusterConfig& config() const { return cfg_; }
 
-private:
-  // Active-message handler ids.
+  // Active-message handler ids.  Public so protocol-level tooling (simcheck's
+  // message classifier, wire-trace decoders) can name what it sees on the
+  // fabric; application code has no reason to touch these.
   enum Handler : int {
     kNewTask = 0,
     kTaskDone = 1,
@@ -128,6 +135,13 @@ private:
     kStageReq = 11,   // master -> home: resolve a transfer source and forward
   };
 
+  /// The completion ticket carried by a kNewTask/kDirCommit payload (which is
+  /// a RemoteTaskInfo pointer — see try_send_locked).  For simcheck's message
+  /// classifier: the pointed-to info lives in the runtime's append-only pool,
+  /// so the read is valid any time during the run.
+  static std::uint64_t payload_ticket(const void* payload, std::size_t bytes);
+
+private:
   struct NodeDirEntry {
     common::Region region;           // master-side identity
     unsigned version = 0;            // bumped on every task write
@@ -396,6 +410,11 @@ private:
   std::unique_ptr<DependencyDomain> domain_;
   verify::VerifyMode verify_mode_ = verify::VerifyMode::kOff;
   std::map<std::uintptr_t, unsigned> verify_versions_;  // mu_ held
+  /// Replay-token ingredients (docs/verifier.md): the canonical-config digest
+  /// is fixed at construction; the schedule hash evolves (mu_ held) with each
+  /// committed TASK_DONE, fingerprinting the interleaving that was executed.
+  std::uint64_t config_digest_ = 0;
+  std::uint64_t verify_sched_hash_ = 0;  // mu_ held
 
   std::mutex mu_;
   vt::Monitor comm_mon_;
@@ -433,6 +452,13 @@ private:
   std::map<std::uintptr_t, int> home_pin_;
   std::uint64_t regen_rr_ = 0;   // rotates regeneration chains over live slaves
   bool shutdown_ = false;
+
+  // One-shot latches for cfg_.mutation (mu_ held): each seeded fault fires
+  // exactly once per runtime, at the first opportunity.
+  bool mut_vouch_dropped_ = false;
+  bool mut_commit_doubled_ = false;
+  bool mut_replay_suppressed_ = false;
+  bool mut_done_dropped_ = false;
 
   std::vector<vt::Thread> comm_threads_;
   /// Declared last: its monitor thread pokes everything above, and is

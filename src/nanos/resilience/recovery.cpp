@@ -110,6 +110,8 @@ void ClusterRuntime::mark_lost_locked(NodeDirEntry& e,
   e.redo_log.clear();
   e.deferred.clear();  // no sound source exists; their stagings fail below
   stats_.incr("res.regions_unrecoverable");
+  if (cfg_.probe != nullptr)
+    cfg_.probe->on_region_lost(static_cast<std::uint64_t>(e.region.start));
   LOG_WARN("resilience: region @", e.region.start, " (", e.region.size,
            " bytes) lost permanently");
   nodes_[0].rt->record_task_error(std::make_exception_ptr(std::runtime_error(
@@ -222,6 +224,8 @@ void ClusterRuntime::schedule_recovery_locked(NodeDirEntry& e,
   // Roll back to the stale home base; each replayed commit re-advances the
   // version and rebuilds the redo log.
   e.version = e.master_version;
+  if (cfg_.probe != nullptr)
+    cfg_.probe->on_region_recovery(static_cast<std::uint64_t>(e.region.start), e.version);
   e.valid.clear();
   e.valid.insert(0);
   advance_recovery_locked(e, actions);
@@ -261,6 +265,7 @@ void ClusterRuntime::on_node_failure(int node) {
     if (ns.dead) return;
     ns.dead = true;
     stats_.incr("res.failures_detected");
+    if (cfg_.probe != nullptr) cfg_.probe->on_node_declared_dead(node);
     const double now = clock_.now();
     for (const auto& k : net_->fault_plan().kills) {
       if (k.node == node && k.time <= now) stats_.add("res.detect_latency", now - k.time);

@@ -177,8 +177,14 @@ void ClusterRuntime::verify_invariants(const char* where, bool flushed) {
   verify::ErrorSink sink = [master](std::exception_ptr e) {
     master->record_task_error(std::move(e));
   };
-  verify::InvariantReporter rep(sink, &stats_, where);
   std::vector<common::Region> home_regions;  // cross-layer checked outside mu_
+  verify::ReplayToken token{config_digest_, cfg_.faults.seed, 0};
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    token.schedule_hash = verify_sched_hash_;
+  }
+  verify::InvariantReporter rep(sink, &stats_, where, verify::InvariantReporter::Mode::kDeliver,
+                                token.to_string());
   {
     std::lock_guard<std::mutex> lk(mu_);
     // One walk aggregates every shard: entries live in per-home-node maps

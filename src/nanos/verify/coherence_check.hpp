@@ -36,6 +36,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "common/stats.hpp"
 #include "nanos/verify/verify.hpp"
@@ -51,16 +52,18 @@ class InvariantReporter {
 public:
   enum class Mode { kDeliver, kTally };
 
+  /// `token`: optional replay-token suffix appended to every delivered
+  /// violation (see ReplayToken; empty for direct-driving tests).
   InvariantReporter(const ErrorSink& sink, common::Stats* stats, const char* where,
-                    Mode mode = Mode::kDeliver)
-      : sink_(sink), stats_(stats), where_(where), mode_(mode) {}
+                    Mode mode = Mode::kDeliver, std::string token = {})
+      : sink_(sink), stats_(stats), where_(where), mode_(mode), token_(std::move(token)) {}
 
   void violation(const std::string& what) {
     ++count_;
     if (mode_ == Mode::kTally) return;
     if (stats_ != nullptr) stats_->incr("verify.coherence_violations");
     CoherenceInvariantError err("coherence invariant violated at " + std::string(where_) +
-                                ": " + what);
+                                ": " + what + token_);
     if (sink_) {
       sink_(std::make_exception_ptr(err));
     } else {
@@ -75,6 +78,7 @@ private:
   common::Stats* stats_;
   const char* where_;
   Mode mode_;
+  std::string token_;
   int count_ = 0;
 };
 

@@ -1,0 +1,109 @@
+// Protocol observation and mutation hooks for simcheck (docs/simcheck.md).
+//
+// ProtocolProbe is the cluster protocol's event tap: the cluster runtime
+// reports each protocol-level transition — ticket lifecycle, directory
+// commits and vouches, acknowledgements, failures — to an installed probe as
+// it happens.  simcheck's checker maintains a reference model of the
+// commit/vouch/retire state machine on top of these events and flags any
+// divergence (a double-applied commit, a retirement without full vouch
+// coverage, a lost sole-copy region) at the step where it occurs.
+//
+// ProtocolMutation is the matching fault seeder: each flag makes the runtime
+// misbehave *once*, in a specific protocol-visible way, so detection tests
+// can assert that the explorer actually catches the class of bug the
+// invariant exists for.  All flags default to off; production configurations
+// never set them.
+#pragma once
+
+#include <cstdint>
+
+namespace nanos::verify {
+
+/// Event tap over the cluster protocol.  Callbacks run on whatever thread
+/// drives the transition (RX handlers, comm threads, the app thread) with the
+/// cluster lock held — implementations must be cheap and must not call back
+/// into the runtime.  All default to no-ops so probes implement only what
+/// they check.
+class ProtocolProbe {
+public:
+  virtual ~ProtocolProbe() = default;
+
+  /// A remote task was assigned `ticket`, to execute on `exec_node`, with
+  /// `expected_writes` distinct written regions gating its retirement.
+  virtual void on_ticket_created(std::uint64_t ticket, int exec_node, int expected_writes) {
+    (void)ticket;
+    (void)exec_node;
+    (void)expected_writes;
+  }
+  /// A home node applied `ticket`'s commit for the region starting at
+  /// `region`, bumping the directory to `version`.
+  virtual void on_commit_applied(std::uint64_t ticket, int home, std::uint64_t region,
+                                 unsigned version) {
+    (void)ticket;
+    (void)home;
+    (void)region;
+    (void)version;
+  }
+  /// The master received a home's vouch for (`ticket`, `region`).
+  virtual void on_vouch(std::uint64_t ticket, std::uint64_t region, int exec_node) {
+    (void)ticket;
+    (void)region;
+    (void)exec_node;
+  }
+  /// `ticket` retired on the master (all expected vouches arrived, or the
+  /// unsharded TASK_DONE landed).
+  virtual void on_ticket_retired(std::uint64_t ticket) { (void)ticket; }
+  /// The master queued a DONE_ACK for `ticket` towards `exec_node`.
+  virtual void on_done_ack(std::uint64_t ticket, int exec_node) {
+    (void)ticket;
+    (void)exec_node;
+  }
+  /// The master-side directory advanced `region` to `version` with `node`
+  /// holding the sole current copy.
+  virtual void on_dir_version(std::uint64_t region, unsigned version, int node) {
+    (void)region;
+    (void)version;
+    (void)node;
+  }
+  /// Recovery declared the region starting at `region` permanently lost.
+  virtual void on_region_lost(std::uint64_t region) { (void)region; }
+  /// Recovery rolled `region`'s directory back to `version` (the stale home
+  /// base) before replaying its redo chain: the next commits legitimately
+  /// re-advance the version from there.
+  virtual void on_region_recovery(std::uint64_t region, unsigned version) {
+    (void)region;
+    (void)version;
+  }
+  /// The failure detector declared `node` dead.
+  virtual void on_node_declared_dead(int node) { (void)node; }
+};
+
+/// One-shot protocol fault seeds (mutation testing for simcheck).  Each flag
+/// arms a single deliberate misbehavior; the runtime trips it at the first
+/// opportunity and never again.  See tests/simcheck_test.cpp for the
+/// violation each mutant must produce.
+struct ProtocolMutation {
+  /// The first DIR_COMMIT a home applies discards one of its vouches: the
+  /// master never completes the ticket (detected as non-termination when no
+  /// retransmit path re-vouches).
+  bool drop_first_vouch = false;
+  /// The first DIR_COMMIT a home applies is applied twice: the region's
+  /// version advances twice for one task write (detected as an exactly-once
+  /// commit violation).
+  bool double_first_commit = false;
+  /// The first overdue completion replay is suppressed *and its unacked
+  /// record erased*, as if the retransmit path believed it had resent: a
+  /// dropped DONE is never recovered (detected as non-termination).
+  bool suppress_first_replay = false;
+  /// The first slave completion send is dropped before it reaches the wire —
+  /// a deterministic stand-in for message loss, exercising the overdue
+  /// replay path (clean protocol: recovered; with suppress_first_replay:
+  /// lost forever).
+  bool drop_first_done = false;
+
+  bool any() const {
+    return drop_first_vouch || double_first_commit || suppress_first_replay || drop_first_done;
+  }
+};
+
+}  // namespace nanos::verify

@@ -27,6 +27,22 @@ const char* to_string(VerifyMode m) {
   return "?";
 }
 
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ReplayToken::to_string() const {
+  std::ostringstream os;
+  os << " [replay cfg=0x" << std::hex << config_digest << " seed=" << std::dec << net_seed
+     << " sched=0x" << std::hex << schedule_hash << "]";
+  return os.str();
+}
+
 // ---------------------------------------------------------------------------
 // ChainClock
 
@@ -161,6 +177,7 @@ void RaceOracle::on_ready(Task* t) {
   tc->start_vc.raise(tc->chain, tc->start_pos);
   tc->ready = true;
   tc->ready_seq = ++seq_;
+  mix_schedule_locked(t->id() * 2);
   // Race-check and record the task's declared clauses.  Accesses the body
   // performs beyond these arrive later through observe().  Under sampling,
   // an unsampled task skips the conflict hunt but still records its stamps:
@@ -188,6 +205,7 @@ void RaceOracle::on_complete(Task* t) {
   tc->end_vc.raise(tc->chain, tc->end_pos);
   tc->completed = true;
   tc->done_seq = ++seq_;
+  mix_schedule_locked(t->id() * 2 + 1);
   // A completed tail frees its chain for the next ready task with no tail
   // predecessor (see the chain-reuse note in on_ready).
   if (chain_tail_[tc->chain] == tc->end_pos) free_chains_.push_back(tc->chain);
@@ -330,6 +348,21 @@ bool RaceOracle::lineal_locked(const TaskClock& a, const TaskClock& b) const {
   return false;
 }
 
+void RaceOracle::set_replay_context(std::uint64_t config_digest, std::uint64_t net_seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  token_.config_digest = config_digest;
+  token_.net_seed = net_seed;
+}
+
+void RaceOracle::mix_schedule_locked(std::uint64_t event) {
+  // splitmix64-style finalizer over (previous hash, event) — order-sensitive,
+  // so two runs match iff the oracle saw the same ready/complete sequence.
+  std::uint64_t h = token_.schedule_hash ^ (event + 0x9e3779b97f4a7c15ull);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  token_.schedule_hash = h ^ (h >> 31);
+}
+
 bool RaceOracle::sampled_locked(const TaskClock& tc) const {
   // Deterministic (id-based, RNG-free) so a sampled run is reproducible and
   // a test can place a racy task inside — or outside — the sample.
@@ -437,7 +470,7 @@ void RaceOracle::report_locked(const AccessStamp& earlier, const TaskClock& late
   os << "dependency race (" << kind << "): " << describe(b, later_mode) << " touching "
      << later_region.to_string() << " is unordered with " << describe(a, earlier.mode)
      << "; overlapping bytes " << overlap.to_string() << "; missing " << missing
-     << " clause on one of the tasks";
+     << " clause on one of the tasks" << token_.to_string();
   RaceViolation err(os.str());
   if (sink_) {
     sink_(std::make_exception_ptr(err));

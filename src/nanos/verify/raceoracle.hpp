@@ -146,6 +146,13 @@ public:
   /// Races detected so far (also exported as the "verify.races" stat).
   std::uint64_t violations() const;
 
+  /// Arms the replay token printed with every violation: `config_digest` is
+  /// the owning runtime's canonical-config digest, `net_seed` its fault-plan
+  /// seed.  The token's schedule hash is maintained here — a running
+  /// fingerprint of the ready/complete order the oracle observed — so the
+  /// message pins the exact interleaving, not just the configuration.
+  void set_replay_context(std::uint64_t config_digest, std::uint64_t net_seed);
+
 private:
   struct AccessStamp {
     TaskClock* owner = nullptr;  ///< stamping task's clock record
@@ -181,6 +188,9 @@ private:
   bool lineal_locked(const TaskClock& a, const TaskClock& b) const;
   /// True when `t` is in the deterministic sample (conflict-checked).
   bool sampled_locked(const TaskClock& tc) const;
+  /// Folds one schedule event (task id, ready/complete bit) into the replay
+  /// token's running schedule hash.
+  void mix_schedule_locked(std::uint64_t event);
   /// Records the access in the shadow directory; hunts for conflicts first
   /// only when `check` (unsampled tasks record without checking).
   void check_access_locked(TaskClock& tc, const common::Region& r, AccessMode mode,
@@ -192,6 +202,7 @@ private:
   ErrorSink sink_;
   common::Stats* stats_;
   std::uint64_t sample_;  // conflict-check every Nth task (1 = every task)
+  ReplayToken token_;     // schedule_hash evolves under mu_; see set_replay_context
 
   mutable std::mutex mu_;
   std::deque<TaskClock> clocks_;                    // node-stable task state

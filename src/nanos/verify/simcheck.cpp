@@ -1,0 +1,1172 @@
+// simcheck implementation: schedule arbiter, protocol reference model,
+// scenario library and the explorer.  See simcheck.hpp and docs/simcheck.md
+// for the model; the pieces here are:
+//
+//   ScheduleArbiter  — holds every inbound fabric message in per-(src, dst,
+//                      class, handler, resource) FIFO queues and, each time
+//                      the virtual clock reaches global quiescence, delivers
+//                      the candidate selected by the current schedule.
+//   ProtocolChecker  — a ProtocolProbe keeping the commit/vouch/retire
+//                      reference model and recording invariant violations.
+//   Scenario library — small fixed workloads (2-4 nodes) whose only freedom
+//                      is the schedule.
+//   Explorer         — bounded-exhaustive DFS over choice prefixes with a
+//                      commuting-sibling reduction, seeded sampling beyond
+//                      the DFS frontier, greedy counterexample shrinking and
+//                      deterministic schedule-id replay.
+#include "nanos/verify/simcheck.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <new>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "nanos/cluster.hpp"
+#include "nanos/wire.hpp"
+#include "simnet/simnet.hpp"
+#include "vt/clock.hpp"
+#include "vt/sync.hpp"
+
+namespace nanos::verify {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hashing: splitmix64-style mixing.  Schedule ids and trace hashes are built
+// exclusively from schedule-stable values (choice indices, candidate counts,
+// message fingerprints) — never from host pointers or wall-clock time — so
+// they are reproducible across processes and machines.
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) { return mix64(h ^ mix64(v)); }
+
+std::uint64_t schedule_id_of(int policy, const std::vector<int>& choices,
+                             const std::vector<int>& counts) {
+  std::uint64_t h = fold(0x73696d636865636bull /* "simcheck" */,
+                         static_cast<std::uint64_t>(policy));
+  for (std::size_t t = 0; t < choices.size(); ++t)
+    h = fold(h, fold(static_cast<std::uint64_t>(t),
+                     fold(static_cast<std::uint64_t>(choices[t]),
+                          static_cast<std::uint64_t>(counts[t]))));
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Candidate identity.  A held message is keyed by everything schedule-stable
+// about it; messages with equal keys are interchangeable and stay FIFO within
+// their queue.  `resource` is the protocol object the message is about — a
+// completion ticket or a region offset relative to a scenario-registered
+// arena — never a raw heap address (ASLR would break cross-process replay).
+
+struct Key {
+  int src = 0;
+  int dst = 0;
+  int cls = 0;  // 0 short AM, 1 put, 2 batch, 3 scenario event
+  int handler = -1;
+  std::uint64_t resource = 0;
+
+  bool operator<(const Key& o) const {
+    return std::tie(src, dst, cls, handler, resource) <
+           std::tie(o.src, o.dst, o.cls, o.handler, o.resource);
+  }
+  bool is_event() const { return cls == 3; }
+};
+
+const char* handler_name(int h) {
+  switch (h) {
+    case ClusterRuntime::kNewTask: return "NEW_TASK";
+    case ClusterRuntime::kTaskDone: return "TASK_DONE";
+    case ClusterRuntime::kForward: return "FORWARD";
+    case ClusterRuntime::kStageDone: return "STAGE_DONE";
+    case ClusterRuntime::kPull: return "PULL";
+    case ClusterRuntime::kPing: return "PING";
+    case ClusterRuntime::kPong: return "PONG";
+    case ClusterRuntime::kTaskRecv: return "TASK_RECV";
+    case ClusterRuntime::kDoneAck: return "DONE_ACK";
+    case ClusterRuntime::kDirCommit: return "DIR_COMMIT";
+    case ClusterRuntime::kDoneVouch: return "DONE_VOUCH";
+    case ClusterRuntime::kStageReq: return "STAGE_REQ";
+    default: return "AM";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule specification for one run.
+
+enum class Mode { kDfs, kSample };
+
+struct RunSpec {
+  std::vector<int> prefix;  // choices to replay; past the end, see mode
+  Mode mode = Mode::kDfs;   // kDfs: default (0) beyond prefix; kSample: hashed
+  int flush_policy = 0;     // 0 deadline flush, 1 eager, 2 hashed (coalesce)
+  std::uint64_t sample_seed = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ScheduleArbiter
+
+class ScheduleArbiter final : public simnet::DeliveryArbiter {
+ public:
+  struct Event {
+    std::string label;
+    std::function<void()> fire;
+    bool fired = false;
+  };
+
+  ScheduleArbiter(vt::Clock& clock, simnet::Network& net, RunSpec spec, int max_steps)
+      : clock_(clock),
+        net_(net),
+        spec_(std::move(spec)),
+        max_steps_(max_steps),
+        gate_(clock) {}
+
+  ~ScheduleArbiter() override = default;
+
+  /// Registers [base, base+size) as arena `i` so region-addressed messages
+  /// get stable resource keys.  Call from the scenario body before spawning.
+  void add_arena(const void* base, std::size_t size) {
+    std::lock_guard<std::mutex> lk(mu_);
+    arenas_.push_back({reinterpret_cast<std::uintptr_t>(base), size});
+  }
+
+  /// Registers a scenario event (e.g. "kill node 3") as an extra candidate
+  /// at every choice point until it fires.  Call before start().
+  void add_event(std::string label, std::function<void()> fire) {
+    events_.push_back({std::move(label), std::move(fire), false});
+  }
+
+  /// Installs the arbiter on the fabric and clock and starts the choosing
+  /// thread.  Call under a vt::Hold, before any fabric traffic.
+  void start() {
+    net_.set_arbiter(this);
+    clock_.set_choice_gate(&gate_, &pending_);
+    thread_ = vt::Thread(clock_, "simcheck.arbiter", [this] { loop(); }, /*service=*/true);
+  }
+
+  /// Stops choosing and releases everything still held, in deterministic
+  /// (key) order.  Called from the scenario driver thread at a fixed point
+  /// in the schedule — the end of the body — so the recorded trace does not
+  /// depend on host-side teardown timing.
+  void freeze() {
+    std::vector<simnet::MessagePtr> held;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      frozen_ = true;
+      for (auto& [k, q] : queues_)
+        for (auto& m : q) held.push_back(std::move(m));
+      queues_.clear();
+      pending_.store(0, std::memory_order_release);
+    }
+    for (auto& m : held) net_.admit(std::move(m));
+  }
+
+  /// Detaches from the fabric and clock and joins the choosing thread.
+  /// Call after the driver thread finished, before runtime teardown.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      frozen_ = true;
+    }
+    gate_.notify_all();
+    thread_.join();
+    clock_.set_choice_gate(nullptr, nullptr);
+    net_.set_arbiter(nullptr);
+    // A cancelled run (deadlock, step cap) can leave messages held; release
+    // them so payload buffers are not stranded.  The RX threads are already
+    // unwound — the endpoint queues absorb and free them at teardown.
+    std::vector<simnet::MessagePtr> held;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto& [k, q] : queues_)
+        for (auto& m : q) held.push_back(std::move(m));
+      queues_.clear();
+      pending_.store(0, std::memory_order_release);
+    }
+    for (auto& m : held) net_.admit(std::move(m));
+  }
+
+  // -- DeliveryArbiter ------------------------------------------------------
+
+  bool intercept(const simnet::MessagePtr& m) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (frozen_) return false;
+    queues_[key_of(*m)].push_back(m);
+    pending_.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  bool force_flush(int src, int dst, int batch_msgs, std::size_t batch_bytes) override {
+    (void)batch_bytes;
+    switch (spec_.flush_policy) {
+      case 1: return true;  // eager: every sub-message flushes immediately
+      case 2:               // hashed: a deterministic coin per batch state
+        return (fold(fold(0xf1u, static_cast<std::uint64_t>(src) * 64 +
+                                     static_cast<std::uint64_t>(dst)),
+                     static_cast<std::uint64_t>(batch_msgs)) &
+                1) != 0;
+      default: return false;  // deadline flush only (the fabric's own timer)
+    }
+  }
+
+  // -- results --------------------------------------------------------------
+
+  int steps() const { return step_; }
+  bool tripped_step_cap() const { return tripped_; }
+  std::uint64_t trace_hash() const { return trace_hash_; }
+  const std::vector<int>& choices() const { return choices_; }
+  const std::vector<int>& counts() const { return counts_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::vector<std::vector<Key>>& candidates() const { return cands_; }
+
+ private:
+  struct Arena {
+    std::uintptr_t base = 0;
+    std::size_t size = 0;
+  };
+
+  std::uint64_t arena_offset(std::uintptr_t p) const {
+    for (std::size_t i = 0; i < arenas_.size(); ++i)
+      if (p >= arenas_[i].base && p < arenas_[i].base + arenas_[i].size)
+        return ((static_cast<std::uint64_t>(i) + 1) << 48) | (p - arenas_[i].base);
+    return 0;
+  }
+
+  std::uint64_t resource_of(const simnet::Message& m) const {
+    using H = ClusterRuntime::Handler;
+    namespace w = nanos::wire;
+    if (m.is_put) {
+      // Pull puts land in master memory (an arena); staging puts land in a
+      // slave segment, which has no stable address — fall back to the source
+      // side, then to 0 (interchangeable within the FIFO queue).
+      std::uint64_t r = arena_offset(reinterpret_cast<std::uintptr_t>(m.dst_addr));
+      if (r == 0) r = arena_offset(reinterpret_cast<std::uintptr_t>(m.src_addr));
+      return r;
+    }
+    if (m.is_batch) return 0;
+    const void* p = m.inline_payload.data();
+    const std::size_t n = m.inline_payload.size();
+    switch (m.handler) {
+      case H::kNewTask:
+      case H::kDirCommit: return ClusterRuntime::payload_ticket(p, n);
+      case H::kTaskDone:
+      case H::kTaskRecv: return w::read_msg<std::uint64_t>(p, n);
+      case H::kDoneVouch: {
+        const auto v = w::read_msg<w::VouchMsg>(p, n);
+        return fold(v.ticket, arena_offset(v.start));
+      }
+      case H::kDoneAck: {
+        w::DoneAckMsg a{};
+        std::memcpy(&a, p, std::min(n, sizeof(a)));
+        return a.count > 0 ? a.tickets[0] : 0;
+      }
+      case H::kStageDone: {
+        const auto s = w::read_msg<w::StageDoneMsg>(p, n);
+        return fold(arena_offset(s.start), static_cast<std::uint64_t>(s.node));
+      }
+      case H::kStageReq: {
+        const auto s = w::read_msg<w::StageReqMsg>(p, n);
+        return fold(arena_offset(s.start), static_cast<std::uint64_t>(s.dst_node));
+      }
+      case H::kForward: {
+        const auto f = w::read_msg<w::ForwardMsg>(p, n);
+        return fold(arena_offset(f.start), static_cast<std::uint64_t>(f.dst_node));
+      }
+      case H::kPull: {
+        const auto q = w::read_msg<w::PullMsg>(p, n);
+        return arena_offset(q.start);
+      }
+      default: return 0;  // PING/PONG and friends: node pair is identity enough
+    }
+  }
+
+  Key key_of(const simnet::Message& m) const {
+    Key k;
+    k.src = m.src;
+    k.dst = m.dst;
+    k.cls = m.is_batch ? 2 : (m.is_put ? 1 : 0);
+    k.handler = m.is_batch ? (m.subs.empty() ? -1 : m.subs.front().handler)
+                           : (m.is_put ? -1 : m.handler);
+    k.resource = resource_of(m);
+    return k;
+  }
+
+  std::string describe(const Key& k, std::size_t bytes) const {
+    std::ostringstream os;
+    if (k.cls == 1)
+      os << "put";
+    else if (k.cls == 2)
+      os << "batch[" << handler_name(k.handler) << "]";
+    else
+      os << handler_name(k.handler);
+    os << " " << k.src << "->" << k.dst;
+    if (k.resource != 0) os << " r=" << std::hex << k.resource << std::dec;
+    os << " " << bytes << "B";
+    return os.str();
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    try {
+      for (;;) {
+        if (stop_) return;
+        gate_.wait(lk);  // woken by the clock at quiescence, or by stop()
+        if (stop_) return;
+        if (pending_.load(std::memory_order_acquire) == 0) continue;
+        step_locked(lk);
+      }
+    } catch (const vt::Cancelled&) {
+      // Deadlock cancellation (or our own step-cap cancel) unwound the wait.
+    }
+  }
+
+  void step_locked(std::unique_lock<std::mutex>& lk) {
+    // Snapshot the candidate set: the head of every non-empty queue, in key
+    // order, plus any unfired scenario events.  The set is a deterministic
+    // function of the choices taken so far — all senders are quiescent.
+    std::vector<std::pair<Key, simnet::MessagePtr*>> heads;
+    for (auto& [k, q] : queues_)
+      if (!q.empty()) heads.push_back({k, &q.front()});
+    std::vector<int> live_events;
+    for (std::size_t i = 0; i < events_.size(); ++i)
+      if (!events_[i].fired) live_events.push_back(static_cast<int>(i));
+    const int n = static_cast<int>(heads.size() + live_events.size());
+    if (n == 0) return;
+
+    int choice = 0;
+    if (step_ < static_cast<int>(spec_.prefix.size()))
+      choice = spec_.prefix[static_cast<std::size_t>(step_)];
+    else if (spec_.mode == Mode::kSample)
+      choice = static_cast<int>(
+          mix64(spec_.sample_seed ^ mix64(static_cast<std::uint64_t>(step_) + 1)) %
+          static_cast<std::uint64_t>(n));
+    choice = ((choice % n) + n) % n;
+
+    counts_.push_back(n);
+    choices_.push_back(choice);
+    std::vector<Key> cand_keys;
+    cand_keys.reserve(static_cast<std::size_t>(n));
+    for (auto& [k, m] : heads) cand_keys.push_back(k);
+    for (int ei : live_events) {
+      Key ek;
+      ek.src = -1;
+      ek.dst = -1;
+      ek.cls = 3;
+      ek.handler = ei;
+      cand_keys.push_back(ek);
+    }
+    cands_.push_back(std::move(cand_keys));
+    ++step_;
+
+    if (choice < static_cast<int>(heads.size())) {
+      const Key k = heads[static_cast<std::size_t>(choice)].first;
+      auto qit = queues_.find(k);
+      simnet::MessagePtr m = std::move(qit->second.front());
+      qit->second.pop_front();
+      if (qit->second.empty()) queues_.erase(qit);
+      pending_.fetch_sub(1, std::memory_order_release);
+      trace_hash_ = fold(trace_hash_, fold(fold(static_cast<std::uint64_t>(k.src) * 64 +
+                                                    static_cast<std::uint64_t>(k.dst),
+                                                static_cast<std::uint64_t>(k.cls) * 256 +
+                                                    static_cast<std::uint64_t>(k.handler + 1)),
+                                           fold(k.resource, m->bytes)));
+      labels_.push_back(describe(k, m->bytes));
+      lk.unlock();
+      net_.admit(std::move(m));
+      lk.lock();
+    } else {
+      Event& e = events_[static_cast<std::size_t>(
+          live_events[static_cast<std::size_t>(choice) - heads.size()])];
+      e.fired = true;
+      std::uint64_t lh = 0xe7e27ull;
+      for (char c : e.label) lh = fold(lh, static_cast<std::uint64_t>(c));
+      trace_hash_ = fold(trace_hash_, lh);
+      labels_.push_back("event:" + e.label);
+      lk.unlock();
+      e.fire();
+      lk.lock();
+    }
+
+    if (step_ >= max_steps_ && !tripped_) {
+      // Step budget exceeded: the schedule is not terminating (heartbeat
+      // scenarios march virtual time forever, so the clock's deadlock
+      // detection never fires — the cap is the backstop).  Release what we
+      // hold and cancel the simulation; the run reports non-termination.
+      tripped_ = true;
+      frozen_ = true;
+      std::vector<simnet::MessagePtr> held;
+      for (auto& [k, q] : queues_)
+        for (auto& m : q) held.push_back(std::move(m));
+      queues_.clear();
+      pending_.store(0, std::memory_order_release);
+      lk.unlock();
+      for (auto& m : held) net_.admit(std::move(m));
+      clock_.cancel_all();
+      lk.lock();
+    }
+  }
+
+  vt::Clock& clock_;
+  simnet::Network& net_;
+  const RunSpec spec_;
+  const int max_steps_;
+
+  std::mutex mu_;
+  vt::Monitor gate_;
+  std::atomic<long long> pending_{0};
+  std::map<Key, std::deque<simnet::MessagePtr>> queues_;
+  std::vector<Arena> arenas_;
+  std::vector<Event> events_;
+  bool frozen_ = false;
+  bool stop_ = false;
+  bool tripped_ = false;
+
+  int step_ = 0;
+  std::uint64_t trace_hash_ = 0x74726163ull;  // "trac"
+  std::vector<int> choices_;
+  std::vector<int> counts_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<Key>> cands_;
+
+  vt::Thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// ProtocolChecker: the reference model of the commit/vouch/retire machine.
+// All probe callbacks arrive serialized under the cluster lock, but
+// expect_kill() and finalize() come from other threads — everything takes
+// the checker's own mutex.
+
+class ProtocolChecker final : public ProtocolProbe {
+ public:
+  explicit ProtocolChecker(bool sharded) : sharded_(sharded) {}
+
+  void on_ticket_created(std::uint64_t ticket, int exec_node, int expected_writes) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, fresh] = tickets_.try_emplace(ticket);
+    if (!fresh) {
+      add("ticket-reused", "ticket " + std::to_string(ticket) + " created twice");
+      return;
+    }
+    it->second.exec_node = exec_node;
+    it->second.expected = expected_writes;
+  }
+
+  void on_commit_applied(std::uint64_t ticket, int home, std::uint64_t region,
+                         unsigned version) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) {
+      add("commit-unknown-ticket",
+          "home " + std::to_string(home) + " applied a commit for unknown ticket " +
+              std::to_string(ticket));
+      return;
+    }
+    if (!it->second.committed.insert(region).second) {
+      std::ostringstream os;
+      os << "ticket " << ticket << " region 0x" << std::hex << region << std::dec
+         << " applied twice on home " << home << " (directory now at version " << version
+         << ")";
+      add("commit-exactly-once", os.str());
+    }
+  }
+
+  void on_vouch(std::uint64_t ticket, std::uint64_t region, int exec_node) override {
+    (void)exec_node;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tickets_.find(ticket);
+    if (it == tickets_.end() || it->second.retired) return;  // late re-vouch: benign
+    it->second.vouched.insert(region);
+  }
+
+  void on_ticket_retired(std::uint64_t ticket) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) {
+      add("retire-unknown-ticket", "ticket " + std::to_string(ticket) + " retired but never created");
+      return;
+    }
+    Ticket& t = it->second;
+    if (t.retired) {
+      add("retired-twice", "ticket " + std::to_string(ticket) + " retired twice");
+      return;
+    }
+    if (sharded_ && t.expected > 0 && static_cast<int>(t.vouched.size()) < t.expected) {
+      std::ostringstream os;
+      os << "ticket " << ticket << " retired with " << t.vouched.size() << "/" << t.expected
+         << " home vouches";
+      add("retired-before-vouch-complete", os.str());
+    }
+    t.retired = true;
+  }
+
+  void on_done_ack(std::uint64_t ticket, int exec_node) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) return;  // ack for a pre-probe ticket: benign
+    if (!it->second.retired) {
+      std::ostringstream os;
+      os << "DONE_ACK for ticket " << ticket << " queued towards node " << exec_node
+         << " before the ticket retired";
+      add("ack-before-retirement", os.str());
+    }
+  }
+
+  void on_dir_version(std::uint64_t region, unsigned version, int node) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    unsigned& cur = versions_[region];
+    if (version <= cur) {
+      std::ostringstream os;
+      os << "region 0x" << std::hex << region << std::dec << " moved to version " << version
+         << " from " << cur << " (write by node " << node << ")";
+      add("version-monotonicity", os.str());
+    }
+    cur = version;
+  }
+
+  void on_region_lost(std::uint64_t region) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::ostringstream os;
+    os << "region 0x" << std::hex << region << std::dec
+       << " declared permanently lost (redo-log recovery failed)";
+    add("sole-copy-lost", os.str());
+  }
+
+  void on_region_recovery(std::uint64_t region, unsigned version) override {
+    // Redo-log recovery rolls the directory back to the stale home base and
+    // replays commits forward: rebaseline so the replayed versions are not
+    // misread as monotonicity breaks.
+    std::lock_guard<std::mutex> lk(mu_);
+    versions_[region] = version;
+  }
+
+  void on_node_declared_dead(int node) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    declared_dead_.insert(node);
+    if (!expected_dead_.count(node))
+      add("false-positive-death",
+          "node " + std::to_string(node) + " declared dead without an injected kill");
+  }
+
+  /// The scenario is about to kill `node`: its death (and its tickets' loss)
+  /// is expected, not a violation.
+  void expect_kill(int node) {
+    std::lock_guard<std::mutex> lk(mu_);
+    expected_dead_.insert(node);
+  }
+
+  /// Closes the model after the run.  `terminated`: the scenario body ran to
+  /// completion.  `error`: non-empty if the body threw.
+  void finalize(bool terminated, const std::string& error) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!error.empty()) add("scenario-error", error);
+    if (!terminated) {
+      add("termination", "schedule did not quiesce (deadlock or step budget exceeded)");
+      return;
+    }
+    for (const auto& [ticket, t] : tickets_) {
+      if (t.retired) continue;
+      if (declared_dead_.count(t.exec_node) || expected_dead_.count(t.exec_node)) continue;
+      add("ticket-never-retired", "ticket " + std::to_string(ticket) + " on live node " +
+                                      std::to_string(t.exec_node) +
+                                      " never retired despite clean termination");
+    }
+  }
+
+  std::vector<Violation> take() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return std::move(violations_);
+  }
+
+ private:
+  struct Ticket {
+    int exec_node = -1;
+    int expected = 0;
+    std::set<std::uint64_t> committed;
+    std::set<std::uint64_t> vouched;
+    bool retired = false;
+  };
+
+  void add(const char* kind, const std::string& detail) {
+    if (violations_.size() < 32) violations_.push_back({kind, detail});
+  }
+
+  const bool sharded_;
+  std::mutex mu_;
+  std::map<std::uint64_t, Ticket> tickets_;
+  std::map<std::uint64_t, unsigned> versions_;
+  std::set<int> expected_dead_;
+  std::set<int> declared_dead_;
+  std::vector<Violation> violations_;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario library.
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::function<ClusterConfig()> config;
+  std::function<void(ClusterRuntime&, ScheduleArbiter&)> body;
+  struct EventDef {
+    std::string label;
+    std::function<void(ClusterRuntime&, ProtocolChecker&)> fire;
+  };
+  std::vector<EventDef> events;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario buffer arena.  The cluster runtime hashes master-side region
+// addresses — directory-home placement is mix_home(start) — so scenario
+// buffers on the heap would reshape the protocol itself from run to run and
+// from process to process, breaking both exploration determinism and
+// schedule-id replay.  All scenario buffers therefore come from one mapping
+// requested at a fixed address and bump-allocated in body order: every run
+// sees byte-identical region identities.  If the kernel declines the address
+// hint the mapping still lands somewhere stable for the process lifetime,
+// preserving in-process determinism (cross-process replay then needs the
+// hint to succeed, which it does on any Linux this targets).
+
+class ScenarioArena {
+ public:
+  static ScenarioArena& instance() {
+    static ScenarioArena arena;
+    return arena;
+  }
+
+  void reset() { off_ = 0; }
+
+  void* alloc(std::size_t bytes) {
+    off_ = (off_ + 63) & ~static_cast<std::size_t>(63);
+    if (off_ + bytes > kSize) throw std::bad_alloc();
+    void* p = static_cast<char*>(base_) + off_;
+    off_ += bytes;
+    return p;
+  }
+
+ private:
+  static constexpr std::uintptr_t kBase = 0x5150000000ull;
+  static constexpr std::size_t kSize = 1u << 20;
+
+  ScenarioArena() {
+    base_ = ::mmap(reinterpret_cast<void*>(kBase), kSize, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base_ == MAP_FAILED) throw std::bad_alloc();
+  }
+
+  void* base_ = nullptr;
+  std::size_t off_ = 0;
+};
+
+constexpr int kN = 16;  // elements per scenario region
+
+/// A kN-element double buffer at a schedule-stable address, filled with
+/// `init`.  Allocation order within the body fixes the address.
+double* sim_buffer(double init) {
+  auto* p = static_cast<double*>(
+      ScenarioArena::instance().alloc(static_cast<std::size_t>(kN) * sizeof(double)));
+  std::fill_n(p, kN, init);
+  return p;
+}
+
+ClusterConfig sim_base(int nodes) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.segment_bytes = 1u << 20;
+  cfg.node.smp_workers = 1;
+  cfg.node.scheduler = "dep";
+  cfg.node.cache_policy = "wb";
+  cfg.node.verify = "off";
+  cfg.node_scheduler = "bf";  // strict round robin: placement is schedule-free
+  cfg.rr_chunk = 1;
+  cfg.comm_threads = 1;
+  // A time-free fabric: transfers and staging memcpys cost zero virtual
+  // time.  Timing costs would stagger the independent protocol chains (each
+  // sleep parks its chain until the clock advances, and the clock only
+  // advances once the arbiter has drained), collapsing most arbitration
+  // points to a single candidate.  With zero-cost messaging every
+  // concurrently-issued message reaches the arbiter in the same quiescent
+  // epoch, so the real delivery-order choices become visible.
+  cfg.link.bandwidth = std::numeric_limits<double>::infinity();
+  cfg.link.latency = 0;
+  cfg.link.am_overhead = 0;
+  cfg.node.host_memcpy_bandwidth = std::numeric_limits<double>::infinity();
+  // One message per AM: batch composition would otherwise depend on the
+  // schedule taken so far, multiplying the space without adding protocol
+  // coverage.  The `coalesce` scenario turns batching back on and explores
+  // flush timing explicitly.
+  cfg.link.coalesce_window = 0;
+  // No heartbeats: with no timer ever pending, a stuck protocol is caught by
+  // the clock's deadlock detection at the instant the last message delivers.
+  cfg.resilience.heartbeat_period = 0;
+  return cfg;
+}
+
+TaskDesc smp(std::vector<Access> acc, TaskFn fn) {
+  TaskDesc d;
+  d.device = DeviceKind::kSmp;
+  d.accesses = std::move(acc);
+  d.fn = std::move(fn);
+  return d;
+}
+
+/// Writer: in-place bump of access 0.  Versioned staging makes re-execution
+/// after a kill read the same input snapshot, so the workload stays
+/// deterministic under retry.
+TaskFn bump(double v) {
+  return [v](TaskContext& t) {
+    auto* p = t.data_as<double>(0);
+    for (int i = 0; i < kN; ++i) p[i] += v;
+  };
+}
+
+/// Reader/writer: access1 += access0.
+void combine(TaskContext& t) {
+  const auto* x = t.data_as<const double>(0);
+  auto* y = t.data_as<double>(1);
+  for (int i = 0; i < kN; ++i) y[i] += x[i];
+}
+
+void expect(const double* v, double want, const char* name) {
+  for (int i = 0; i < kN; ++i)
+    if (v[i] != want) {
+      std::ostringstream os;
+      os << "data mismatch: " << name << "[" << i << "] = " << v[i] << ", expected " << want;
+      throw std::runtime_error(os.str());
+    }
+}
+
+constexpr std::size_t kNB = kN * sizeof(double);
+
+/// The core 3-node commit/vouch/stage scenario.  Wave 1 writes three
+/// independent regions on three nodes concurrently — three full
+/// dispatch/stage/commit/vouch chains in flight at once, which is where the
+/// cross-pair delivery reorderings live.  Wave 2 rotates the regions across
+/// nodes (each task reads its left neighbour's output), driving
+/// slave-to-slave staging and second version bumps on every region.
+void commit3_body(ClusterRuntime& rt, ScheduleArbiter& arb) {
+  double* u = sim_buffer(1.0);
+  double* v = sim_buffer(2.0);
+  double* w = sim_buffer(3.0);
+  arb.add_arena(u, kNB);
+  arb.add_arena(v, kNB);
+  arb.add_arena(w, kNB);
+  rt.spawn(smp({Access::inout(u, kNB)}, bump(1)));                      // node 0: u = 2
+  rt.spawn(smp({Access::inout(v, kNB)}, bump(2)));                      // node 1: v = 4
+  rt.spawn(smp({Access::inout(w, kNB)}, bump(3)));                      // node 2: w = 6
+  rt.spawn(smp({Access::in(v, kNB), Access::inout(u, kNB)}, combine));  // node 0: u = 6
+  rt.spawn(smp({Access::in(w, kNB), Access::inout(v, kNB)}, combine));  // node 1: v = 10
+  rt.spawn(smp({Access::in(u, kNB), Access::inout(w, kNB)}, combine));  // node 2: w = 12
+  rt.taskwait();
+  expect(u, 6.0, "u");
+  expect(v, 10.0, "v");
+  expect(w, 12.0, "w");
+}
+
+/// Heartbeat-on variant used for completion-replay coverage: the overdue
+/// DONE replay path (and the drop_first_done / suppress_first_replay
+/// mutants) need pings flowing.
+ClusterConfig replaydrop_config() {
+  ClusterConfig cfg = sim_base(3);
+  cfg.resilience.heartbeat_period = 3e-4;
+  cfg.resilience.node_lease = 1.0;  // effectively never: no failure declarations
+  cfg.resilience.ack_timeout = 1e-4;
+  return cfg;
+}
+
+void replaydrop_body(ClusterRuntime& rt, ScheduleArbiter& arb) {
+  double* a = sim_buffer(1.0);
+  double* b = sim_buffer(2.0);
+  arb.add_arena(a, kNB);
+  arb.add_arena(b, kNB);
+  rt.spawn(smp({Access::inout(a, kNB)}, bump(1)));  // node 0
+  rt.spawn(smp({Access::inout(b, kNB)}, bump(2)));  // node 1
+  rt.spawn(smp({Access::inout(a, kNB)}, bump(3)));  // node 2
+  rt.taskwait();
+  expect(a, 5.0, "a");
+  expect(b, 4.0, "b");
+}
+
+/// Kill scenario: 4 nodes under retry-mode resilience; the explorer chooses
+/// the delivery step at which node 3's NIC goes silent (or never fires it).
+ClusterConfig kill_config() {
+  ClusterConfig cfg = sim_base(4);
+  cfg.resilience.mode = "retry";
+  cfg.resilience.heartbeat_period = 2e-4;
+  cfg.resilience.node_lease = 8e-4;
+  return cfg;
+}
+
+void kill_body(ClusterRuntime& rt, ScheduleArbiter& arb) {
+  double* a = sim_buffer(1.0);
+  double* b = sim_buffer(2.0);
+  double* c = sim_buffer(0.0);
+  arb.add_arena(a, kNB);
+  arb.add_arena(b, kNB);
+  arb.add_arena(c, kNB);
+  rt.spawn(smp({Access::inout(a, kNB)}, bump(1)));                      // node 0: a = 2
+  rt.spawn(smp({Access::inout(b, kNB)}, bump(2)));                      // node 1: b = 4
+  rt.spawn(smp({Access::in(a, kNB), Access::inout(c, kNB)}, combine));  // node 2
+  rt.spawn(smp({Access::inout(b, kNB)}, bump(1)));                      // node 3: b = 5
+  rt.taskwait();
+  expect(a, 2.0, "a");
+  expect(b, 5.0, "b");
+  expect(c, 2.0, "c");
+}
+
+const std::vector<Scenario>& scenario_table() {
+  static const std::vector<Scenario> table = [] {
+    std::vector<Scenario> t;
+    t.push_back({"commit3",
+                 "3 nodes, sharded directory: commit/vouch/stage interleavings",
+                 [] { return sim_base(3); },
+                 commit3_body,
+                 {}});
+    t.push_back({"coalesce",
+                 "3 nodes with AM coalescing: flush-timing policies x delivery order",
+                 [] {
+                   ClusterConfig cfg = sim_base(3);
+                   cfg.link.coalesce_window = 5e-6;  // fabric default batching
+                   return cfg;
+                 },
+                 commit3_body,
+                 {}});
+    t.push_back({"replaydrop",
+                 "3 nodes, heartbeats on: completion-replay path under delivery reordering",
+                 replaydrop_config,
+                 replaydrop_body,
+                 {}});
+    t.push_back({"kill",
+                 "4 nodes, retry-mode resilience: node 3 dies at an explorer-chosen step",
+                 kill_config,
+                 kill_body,
+                 {{"kill-node-3",
+                   [](ClusterRuntime& rt, ProtocolChecker& chk) {
+                     chk.expect_kill(3);
+                     rt.network().kill_node(3);
+                   }}}});
+    return t;
+  }();
+  return table;
+}
+
+const Scenario& find_scenario(const std::string& name) {
+  for (const Scenario& s : scenario_table())
+    if (s.name == name) return s;
+  throw std::invalid_argument("simcheck: unknown scenario '" + name + "'");
+}
+
+// ---------------------------------------------------------------------------
+// One schedule execution.
+
+struct RunRec {
+  ScheduleResult pub;
+  std::vector<std::vector<Key>> cands;
+};
+
+RunRec run_once(const Scenario& sc, const RunSpec& spec, const SimOptions& opts) {
+  RunRec rec;
+  // Runs execute strictly one at a time; rewinding the arena gives this
+  // run's buffers the same addresses every run took before it.
+  ScenarioArena::instance().reset();
+  vt::Clock clock;
+  // A stuck schedule is a *finding*, not a process failure: swallow the
+  // report (the default handler aborts) and let cancellation unwind.
+  clock.set_deadlock_handler([](const std::string&) {});
+
+  ClusterConfig cfg = sc.config();
+  cfg.mutation = opts.mutation;
+  ProtocolChecker checker(cfg.dir_sharding && cfg.nodes > 1 && cfg.slave_to_slave);
+  cfg.probe = &checker;
+
+  bool body_done = false;
+  std::string body_error;
+  {
+    // Hold virtual time across construction so no fabric traffic (e.g. the
+    // first heartbeat) can move before the arbiter is installed.
+    std::unique_ptr<ClusterRuntime> rt;
+    std::unique_ptr<ScheduleArbiter> arb;
+    vt::Thread driver;
+    {
+      vt::Hold hold(clock);
+      rt = std::make_unique<ClusterRuntime>(clock, cfg);
+      arb = std::make_unique<ScheduleArbiter>(clock, rt->network(), spec, opts.max_steps);
+      for (const auto& ed : sc.events) {
+        ClusterRuntime* rtp = rt.get();
+        ProtocolChecker* chkp = &checker;
+        const auto* edp = &ed;
+        arb->add_event(ed.label, [rtp, chkp, edp] { edp->fire(*rtp, *chkp); });
+      }
+      arb->start();
+      driver = vt::Thread(clock, "simcheck.driver", [&] {
+        try {
+          sc.body(*rt, *arb);
+          arb->freeze();
+          body_done = true;
+        } catch (const vt::Cancelled&) {
+          // Deadlock/step-cap cancellation: non-termination, recorded below.
+        } catch (const std::exception& e) {
+          body_error = e.what();
+          arb->freeze();
+        }
+      });
+    }
+    driver.join();
+    arb->stop();
+    rec.pub.steps = arb->steps();
+    rec.pub.choices = arb->choices();
+    rec.pub.counts = arb->counts();
+    rec.pub.labels = arb->labels();
+    rec.pub.trace_hash = fold(arb->trace_hash(), static_cast<std::uint64_t>(spec.flush_policy));
+    rec.pub.terminated = body_done && !arb->tripped_step_cap();
+    rec.cands = arb->candidates();
+  }
+  // A body that threw (e.g. a data-correctness check) still *terminated*;
+  // only a cancelled/capped run counts as non-termination.
+  checker.finalize(body_done || !body_error.empty(), body_error);
+  rec.pub.violations = checker.take();
+  rec.pub.schedule_id = schedule_id_of(spec.flush_policy, rec.pub.choices, rec.pub.counts);
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Explorer.
+
+/// Two candidate deliveries commute when swapping their order cannot change
+/// any handler's observable state: different destination node (different
+/// handler execution site) and different, known protocol resources.  Event
+/// candidates never commute with anything.  This is a sleep-set-style
+/// reduction: the deferred-delivery order is still reachable through later
+/// steps of the default branch.
+bool commutes(const Key& a, const Key& b) {
+  if (a.is_event() || b.is_event()) return false;
+  return a.dst != b.dst && a.resource != 0 && b.resource != 0 && a.resource != b.resource;
+}
+
+bool has_kind(const ScheduleResult& r, const std::string& kind) {
+  for (const Violation& v : r.violations)
+    if (v.kind == kind) return true;
+  return false;
+}
+
+constexpr std::size_t kMaxStack = 20000;
+constexpr int kMaxShrinkRuns = 64;
+
+struct HuntState {
+  std::uint64_t id = 0;
+  bool found = false;
+  std::vector<int> choices;
+  int policy = 0;
+};
+
+/// The single deterministic exploration loop behind explore(), replay() and
+/// the hunt: given the same (scenario, opts) it executes the exact same run
+/// sequence, which is what makes schedule ids replayable across processes.
+ExploreReport explore_impl(const Scenario& sc, const SimOptions& opts, HuntState* hunt) {
+  ExploreReport rep;
+  rep.scenario = sc.name;
+
+  const bool coalesce = sc.config().link.coalesce_window > 0;
+  std::vector<int> policies = coalesce ? std::vector<int>{0, 1, 2} : std::vector<int>{0};
+  std::set<std::uint64_t> seen;
+  std::set<std::uint64_t> reported;  // minimized ids: distinct violating runs
+                                     // often shrink to the same counterexample
+
+  auto observe = [&](const RunRec& r, int policy) {
+    seen.insert(r.pub.schedule_id);
+    rep.steps_total += r.pub.steps;
+    if (hunt != nullptr && !hunt->found && r.pub.schedule_id == hunt->id) {
+      hunt->found = true;
+      hunt->choices = r.pub.choices;
+      hunt->policy = policy;
+    }
+  };
+
+  // Greedy delta debugging: re-run with each non-default choice reset to the
+  // default; keep the reset whenever the same violation kind reproduces.
+  auto shrink = [&](RunRec rec, int policy) {
+    Counterexample cx;
+    cx.original_choices = rec.pub.choices;
+    if (opts.minimize && !rec.pub.violations.empty()) {
+      const std::string kind = rec.pub.violations.front().kind;
+      for (std::size_t t = 0; t < rec.pub.choices.size() && cx.shrink_runs < kMaxShrinkRuns;
+           ++t) {
+        if (rec.pub.choices[t] == 0) continue;
+        std::vector<int> trial = rec.pub.choices;
+        trial[t] = 0;
+        RunRec rr = run_once(sc, {trial, Mode::kDfs, policy, 0}, opts);
+        ++cx.shrink_runs;
+        observe(rr, policy);
+        if (has_kind(rr.pub, kind)) rec = std::move(rr);
+      }
+    }
+    cx.result = std::move(rec.pub);
+    return cx;
+  };
+
+  const long long budget = std::max(1, opts.max_schedules);
+  const long long per_policy = std::max<long long>(1, budget / static_cast<long long>(policies.size()));
+
+  for (int policy : policies) {
+    long long runs_here = 0;
+    std::vector<std::vector<int>> stack;
+    stack.push_back({});  // the all-default schedule
+
+    while (!stack.empty() && runs_here < per_policy) {
+      if (hunt != nullptr && hunt->found) return rep;
+      std::vector<int> prefix = std::move(stack.back());
+      stack.pop_back();
+      RunRec r = run_once(sc, {prefix, Mode::kDfs, policy, 0}, opts);
+      ++runs_here;
+      ++rep.runs;
+      ++rep.dfs_runs;
+      observe(r, policy);
+      const std::vector<int> choices = r.pub.choices;
+      const std::vector<int> counts = r.pub.counts;
+      const std::vector<std::vector<Key>> cands = r.cands;
+      if (r.pub.violating() &&
+          static_cast<int>(rep.counterexamples.size()) < opts.max_violations) {
+        Counterexample cx = shrink(std::move(r), policy);
+        if (reported.insert(cx.result.schedule_id).second)
+          rep.counterexamples.push_back(std::move(cx));
+      }
+      if (hunt != nullptr && hunt->found) return rep;
+      // Branch at every step this run decided by default; alternatives at
+      // earlier steps were enqueued when their prefix was explored.
+      for (std::size_t t = prefix.size(); t < counts.size(); ++t) {
+        for (int c = 1; c < counts[t]; ++c) {
+          if (opts.prune_commuting &&
+              commutes(cands[t][static_cast<std::size_t>(c)],
+                       cands[t][static_cast<std::size_t>(choices[t])])) {
+            ++rep.pruned;
+            continue;
+          }
+          if (stack.size() >= kMaxStack) {
+            ++rep.frontier_dropped;
+            continue;
+          }
+          std::vector<int> p(choices.begin(),
+                             choices.begin() + static_cast<std::ptrdiff_t>(t));
+          p.push_back(c);
+          stack.push_back(std::move(p));
+        }
+      }
+    }
+    rep.frontier_dropped += static_cast<long long>(stack.size());
+
+    // DFS exhausted (or never filled) the budget: top up with seeded random
+    // sampling — distinct-id counting dedups collisions.
+    std::uint64_t sseq = 0;
+    while (stack.empty() && runs_here < per_policy) {
+      if (hunt != nullptr && hunt->found) return rep;
+      const std::uint64_t seed =
+          fold(opts.sample_seed, fold(static_cast<std::uint64_t>(policy), ++sseq));
+      RunRec r = run_once(sc, {{}, Mode::kSample, policy, seed}, opts);
+      ++runs_here;
+      ++rep.runs;
+      ++rep.sampled_runs;
+      observe(r, policy);
+      if (r.pub.violating() &&
+          static_cast<int>(rep.counterexamples.size()) < opts.max_violations) {
+        Counterexample cx = shrink(std::move(r), policy);
+        if (reported.insert(cx.result.schedule_id).second)
+          rep.counterexamples.push_back(std::move(cx));
+      }
+    }
+  }
+
+  rep.distinct = static_cast<long long>(seen.size());
+  return rep;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public surface.
+
+SimOptions SimOptions::from_env() {
+  SimOptions opts;
+  if (const char* b = std::getenv("SIMCHECK_BUDGET")) {
+    const long v = std::strtol(b, nullptr, 10);
+    if (v > 0) opts.max_schedules = static_cast<int>(v);
+  }
+  return opts;
+}
+
+std::string ScheduleResult::trace() const {
+  std::ostringstream os;
+  bool any = false;
+  for (std::size_t t = 0; t < choices.size(); ++t) {
+    if (choices[t] == 0) continue;
+    any = true;
+    os << "  step " << t << ": choice " << choices[t] << "/" << counts[t] << " -> "
+       << (t < labels.size() ? labels[t] : "?") << "\n";
+  }
+  if (!any) os << "  (default schedule: every step took the first candidate)\n";
+  return os.str();
+}
+
+std::string ExploreReport::summary() const {
+  std::ostringstream os;
+  os << "scenario " << scenario << ": " << runs << " schedules (" << dfs_runs << " dfs, "
+     << sampled_runs << " sampled), " << distinct << " distinct, " << pruned
+     << " branches pruned, " << frontier_dropped << " beyond budget, " << steps_total
+     << " delivery steps; " << counterexamples.size() << " counterexample(s)";
+  return os.str();
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const Scenario& s : scenario_table()) names.push_back(s.name);
+  return names;
+}
+
+std::string scenario_description(const std::string& name) {
+  for (const Scenario& s : scenario_table())
+    if (s.name == name) return s.description;
+  return {};
+}
+
+ExploreReport explore(const std::string& scenario, const SimOptions& opts) {
+  return explore_impl(find_scenario(scenario), opts, nullptr);
+}
+
+ScheduleResult run_schedule(const std::string& scenario, const std::vector<int>& choices,
+                            const SimOptions& opts) {
+  return run_once(find_scenario(scenario), {choices, Mode::kDfs, 0, 0}, opts).pub;
+}
+
+std::optional<ReplayResult> replay(const std::string& scenario, std::uint64_t id,
+                                   const SimOptions& opts) {
+  const Scenario& sc = find_scenario(scenario);
+  HuntState hunt;
+  hunt.id = id;
+  explore_impl(sc, opts, &hunt);
+  if (!hunt.found) return std::nullopt;
+  ReplayResult rr;
+  rr.first = run_once(sc, {hunt.choices, Mode::kDfs, hunt.policy, 0}, opts).pub;
+  rr.second = run_once(sc, {hunt.choices, Mode::kDfs, hunt.policy, 0}, opts).pub;
+  rr.deterministic = rr.first.trace_hash == rr.second.trace_hash &&
+                     rr.first.schedule_id == rr.second.schedule_id &&
+                     rr.first.schedule_id == id;
+  return rr;
+}
+
+}  // namespace nanos::verify

@@ -1,0 +1,143 @@
+// simcheck: schedule-space model checking of the cluster protocol.
+//
+// The virtual-time fabric makes every run of a cluster scenario
+// deterministic *given one schedule*: the only nondeterminism left in the
+// simulation is which in-flight message is delivered next (plus, with
+// coalescing enabled, when a batch is flushed, and — in fault scenarios —
+// when a node dies).  simcheck turns those decision points into an explicit
+// choice sequence and explores the space:
+//
+//   * A ScheduleArbiter (src/simnet DeliveryArbiter) holds every inbound
+//     message.  The vt clock's choice gate wakes the arbiter exactly when
+//     the simulation is globally quiescent — no thread running, no wakeup in
+//     flight — so each delivery choice is made against a well-defined state.
+//   * A ProtocolChecker (verify::ProtocolProbe) maintains a reference model
+//     of the commit/vouch/retire state machine and flags divergences as
+//     they happen: a commit applied twice, a directory version that fails to
+//     advance, a DONE_ACK before retirement, a sole-copy region lost, a
+//     ticket that never retires, a schedule that never quiesces.
+//   * The explorer enumerates schedules bounded-exhaustively (iterative-
+//     deepening DFS over choice prefixes) with a sleep-set-style reduction
+//     that skips branches commuting with the default choice, then fills the
+//     remaining budget with seeded random sampling.
+//
+// Every run has a stable 64-bit schedule id derived purely from the choice
+// sequence (never from host pointers or wall time), so a violation found in
+// CI is replayable anywhere: `simcheck --scenario=X --replay=<id>` re-runs
+// the same deterministic exploration until the id is found, then executes it
+// twice and checks the trace hashes agree bit-for-bit.  Counterexamples are
+// shrunk by greedy delta debugging (re-running with each non-default choice
+// reset) before they are reported.  See docs/simcheck.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nanos/verify/protocol_probe.hpp"
+
+namespace nanos::verify {
+
+/// Exploration budgets and knobs.  Defaults suit a CI smoke run.
+struct SimOptions {
+  /// Total schedules to execute per scenario (DFS + sampling; minimization
+  /// runs are extra and bounded separately).
+  int max_schedules = 1500;
+  /// Per-run choice-step cap.  A schedule still making delivery choices past
+  /// this bound is reported as a termination violation — honest runs of the
+  /// bundled scenarios finish in well under a tenth of it.
+  int max_steps = 4096;
+  /// Seed for the random-sampling phase (and the hashed flush policy).
+  std::uint64_t sample_seed = 0x9e3779b97f4a7c15ull;
+  /// Skip sibling branches whose candidate commutes with the default choice
+  /// (different destination node and different protocol resource).
+  bool prune_commuting = true;
+  /// Counterexamples kept per report (exploration continues regardless).
+  int max_violations = 4;
+  /// Shrink each counterexample by greedy delta debugging.
+  bool minimize = true;
+  /// Protocol fault seeds overlaid on the scenario (mutation testing).
+  ProtocolMutation mutation;
+
+  /// Defaults, with `max_schedules` overridden by the SIMCHECK_BUDGET
+  /// environment variable when it is set and positive.
+  static SimOptions from_env();
+};
+
+/// One invariant breach, named by a stable kind slug ("commit-exactly-once",
+/// "termination", ...) plus human-readable detail.
+struct Violation {
+  std::string kind;
+  std::string detail;
+};
+
+/// Outcome of executing one schedule.
+struct ScheduleResult {
+  std::uint64_t schedule_id = 0;  ///< stable identity of this schedule
+  std::uint64_t trace_hash = 0;   ///< fold of every delivered fingerprint
+  std::vector<int> choices;       ///< decision taken at each step
+  std::vector<int> counts;        ///< candidates available at each step
+  std::vector<std::string> labels;  ///< what each decision delivered
+  std::vector<Violation> violations;
+  bool terminated = false;  ///< the scenario body ran to completion
+  int steps = 0;
+
+  bool violating() const { return !violations.empty(); }
+  /// The non-default decisions, one per line — empty for the default
+  /// schedule.  This is the replayable counterexample trace.
+  std::string trace() const;
+};
+
+/// A violating schedule, after minimization.
+struct Counterexample {
+  ScheduleResult result;             ///< the (shrunk) violating run
+  std::vector<int> original_choices;  ///< as first discovered
+  int shrink_runs = 0;                ///< delta-debugging executions spent
+};
+
+/// Aggregate result of exploring one scenario.
+struct ExploreReport {
+  std::string scenario;
+  long long runs = 0;      ///< schedules executed
+  long long distinct = 0;  ///< distinct schedule ids seen
+  long long dfs_runs = 0;
+  long long sampled_runs = 0;
+  long long pruned = 0;            ///< branches skipped as commuting
+  long long frontier_dropped = 0;  ///< branches beyond budget or stack cap
+  long long steps_total = 0;
+  std::vector<Counterexample> counterexamples;
+
+  bool clean() const { return counterexamples.empty(); }
+  std::string summary() const;
+};
+
+/// Names of the built-in protocol scenarios (see docs/simcheck.md).
+std::vector<std::string> scenario_names();
+/// One-line description of a scenario; empty if unknown.
+std::string scenario_description(const std::string& name);
+
+/// Explores the named scenario's schedule space under `opts`.  Throws
+/// std::invalid_argument for an unknown scenario name.
+ExploreReport explore(const std::string& scenario, const SimOptions& opts);
+
+/// Executes one explicit schedule: choice `i` is `choices[i]` (taken modulo
+/// the candidate count at that step); steps beyond the vector take the
+/// default (first) candidate.
+ScheduleResult run_schedule(const std::string& scenario, const std::vector<int>& choices,
+                            const SimOptions& opts);
+
+/// Re-executes schedule `id`: hunts for it through the same deterministic
+/// exploration explore() performs (including each counterexample's
+/// minimization runs), then runs it twice.  `deterministic` is true when
+/// both executions produced identical trace hashes.  nullopt if the id was
+/// not reached within the budget.
+struct ReplayResult {
+  ScheduleResult first;
+  ScheduleResult second;
+  bool deterministic = false;
+};
+std::optional<ReplayResult> replay(const std::string& scenario, std::uint64_t id,
+                                   const SimOptions& opts);
+
+}  // namespace nanos::verify

@@ -1,0 +1,170 @@
+// simcheck CLI: explore cluster-protocol schedule spaces, replay recorded
+// schedule ids bit-deterministically.  See docs/simcheck.md.
+//
+//   simcheck --list
+//   simcheck [--scenario=NAME|all] [--budget=N] [--max-steps=N] [--seed=S]
+//            [--no-prune] [--no-minimize] [--mutate=FLAG[,FLAG...]]
+//   simcheck --scenario=NAME --replay=ID [--budget=N] [--mutate=...]
+//
+// Exit status: 0 clean, 1 violations found (or replay mismatch), 2 usage.
+// SIMCHECK_BUDGET in the environment sets the default schedule budget.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "nanos/verify/simcheck.hpp"
+
+namespace {
+
+using nanos::verify::Counterexample;
+using nanos::verify::ExploreReport;
+using nanos::verify::SimOptions;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: simcheck [--list] [--scenario=NAME|all] [--budget=N] [--max-steps=N]\n"
+               "                [--seed=S] [--no-prune] [--no-minimize]\n"
+               "                [--mutate=drop_vouch|double_commit|suppress_replay|drop_done]\n"
+               "                [--replay=ID]\n");
+  return 2;
+}
+
+bool parse_mutation(const std::string& list, nanos::verify::ProtocolMutation* mut) {
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string flag = list.substr(pos, comma - pos);
+    if (flag == "drop_vouch")
+      mut->drop_first_vouch = true;
+    else if (flag == "double_commit")
+      mut->double_first_commit = true;
+    else if (flag == "suppress_replay")
+      mut->suppress_first_replay = true;
+    else if (flag == "drop_done")
+      mut->drop_first_done = true;
+    else
+      return false;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+void print_report(const ExploreReport& rep) {
+  std::printf("%s\n", rep.summary().c_str());
+  for (const Counterexample& cx : rep.counterexamples) {
+    std::printf("counterexample: schedule id 0x%016" PRIx64 " (trace hash 0x%016" PRIx64
+                ", %d steps, shrunk in %d runs)\n",
+                cx.result.schedule_id, cx.result.trace_hash, cx.result.steps, cx.shrink_runs);
+    for (const auto& v : cx.result.violations)
+      std::printf("  violation [%s]: %s\n", v.kind.c_str(), v.detail.c_str());
+    std::printf("  minimized trace:\n%s", cx.result.trace().c_str());
+    std::printf("  replay: simcheck --scenario=%s --replay=0x%016" PRIx64 "\n",
+                rep.scenario.c_str(), cx.result.schedule_id);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Fault scenarios kill nodes by the thousand; the runtime's per-death
+  // warnings are expected there and would drown the report.  OMPSS_LOG can
+  // still raise the level for debugging.
+  if (std::getenv("OMPSS_LOG") == nullptr) common::Log::set_level(common::LogLevel::kError);
+  SimOptions opts = SimOptions::from_env();
+  std::string scenario = "all";
+  bool list = false;
+  bool trace_default = false;
+  bool do_replay = false;
+  std::uint64_t replay_id = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--trace") {
+      trace_default = true;
+    } else if (const char* v = value("--scenario=")) {
+      scenario = v;
+    } else if (const char* v = value("--budget=")) {
+      opts.max_schedules = std::atoi(v);
+    } else if (const char* v = value("--max-steps=")) {
+      opts.max_steps = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      opts.sample_seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--no-prune") {
+      opts.prune_commuting = false;
+    } else if (arg == "--no-minimize") {
+      opts.minimize = false;
+    } else if (const char* v = value("--mutate=")) {
+      if (!parse_mutation(v, &opts.mutation)) return usage();
+    } else if (const char* v = value("--replay=")) {
+      do_replay = true;
+      replay_id = std::strtoull(v, nullptr, 0);
+    } else {
+      return usage();
+    }
+  }
+
+  if (list) {
+    for (const std::string& name : nanos::verify::scenario_names())
+      std::printf("%-12s %s\n", name.c_str(), nanos::verify::scenario_description(name).c_str());
+    return 0;
+  }
+
+  if (trace_default) {
+    // Debug aid: execute the default schedule once and print every step.
+    if (scenario == "all") return usage();
+    auto r = nanos::verify::run_schedule(scenario, {}, opts);
+    std::printf("schedule id 0x%016" PRIx64 " trace hash 0x%016" PRIx64 " steps %d\n",
+                r.schedule_id, r.trace_hash, r.steps);
+    for (std::size_t t = 0; t < r.labels.size(); ++t)
+      std::printf("  step %zu [%d cand]: %s\n", t, r.counts[t], r.labels[t].c_str());
+    for (const auto& v : r.violations)
+      std::printf("  violation [%s]: %s\n", v.kind.c_str(), v.detail.c_str());
+    return 0;
+  }
+
+  if (do_replay) {
+    if (scenario == "all") {
+      std::fprintf(stderr, "simcheck: --replay needs --scenario=NAME\n");
+      return 2;
+    }
+    auto rr = nanos::verify::replay(scenario, replay_id, opts);
+    if (!rr) {
+      std::fprintf(stderr,
+                   "simcheck: schedule 0x%016" PRIx64
+                   " not reached within budget %d (same build, seed and mutation flags as "
+                   "the recording run?)\n",
+                   replay_id, opts.max_schedules);
+      return 1;
+    }
+    std::printf("replay 0x%016" PRIx64 ": trace hash 0x%016" PRIx64 " / 0x%016" PRIx64
+                " -> %s\n",
+                replay_id, rr->first.trace_hash, rr->second.trace_hash,
+                rr->deterministic ? "deterministic" : "MISMATCH");
+    std::printf("%d steps, %zu violation(s)\n", rr->first.steps, rr->first.violations.size());
+    for (const auto& v : rr->first.violations)
+      std::printf("  violation [%s]: %s\n", v.kind.c_str(), v.detail.c_str());
+    std::printf("trace:\n%s", rr->first.trace().c_str());
+    return rr->deterministic ? 0 : 1;
+  }
+
+  std::vector<std::string> names =
+      scenario == "all" ? nanos::verify::scenario_names() : std::vector<std::string>{scenario};
+  bool clean = true;
+  for (const std::string& name : names) {
+    ExploreReport rep = nanos::verify::explore(name, opts);
+    print_report(rep);
+    clean = clean && rep.clean();
+  }
+  return clean ? 0 : 1;
+}

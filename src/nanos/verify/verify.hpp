@@ -16,6 +16,7 @@
 // next taskwait, exactly like device faults.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -33,6 +34,22 @@ inline bool races_enabled(VerifyMode m) {
 inline bool coherence_enabled(VerifyMode m) {
   return m == VerifyMode::kCoherence || m == VerifyMode::kAll;
 }
+
+/// Everything needed to re-run a violating execution: the configuration
+/// digest pins every knob that shapes the schedule, the fault-plan seed pins
+/// all fabric randomness, and the schedule hash fingerprints the interleaving
+/// actually executed up to the violation (so a repro run can be checked
+/// against the original, not just eyeballed).  Violation messages carry one
+/// of these; docs/verifier.md documents the repro recipe.
+struct ReplayToken {
+  std::uint64_t config_digest = 0;  ///< FNV-1a of the canonical config rendering
+  std::uint64_t net_seed = 0;       ///< simnet::FaultPlan::seed (fabric randomness)
+  std::uint64_t schedule_hash = 0;  ///< executed-schedule hash at the violation
+  std::string to_string() const;    // " [replay cfg=0x.. seed=N sched=0x..]"
+};
+
+/// FNV-1a over a string — the shared digest for canonical config renderings.
+std::uint64_t fnv1a(const std::string& s);
 
 /// Base of every taskcheck diagnostic.
 class VerifyError : public std::runtime_error {

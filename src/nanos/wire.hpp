@@ -1,0 +1,78 @@
+// Wire-message layouts of the cluster protocol.
+//
+// These structs are the exact bodies the cluster layer sends as active
+// messages (see the Handler enum in cluster.hpp for which handler carries
+// which).  They live in their own header so protocol tooling — simcheck's
+// message classifier, wire-trace decoders — can parse fabric traffic without
+// reaching into the runtime's internals.  The simulation shares one address
+// space, so pointers travel raw (a real implementation would serialize
+// segment offsets the way the paper's GASNet layer does).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace nanos::wire {
+
+/// kStageDone: a staged region landed on `node` (destination -> resolver).
+struct StageDoneMsg {
+  std::uintptr_t start;
+  std::size_t size;
+  int node;
+};
+
+/// kForward: resolver -> holder, put the region to a third node.
+struct ForwardMsg {
+  std::uintptr_t start;  // master-side region identity
+  std::size_t size;
+  void* src_addr;   // copy location on the holding node
+  int dst_node;
+  void* dst_addr;   // copy location on the destination node
+  int ack_node;     // where the landed copy is acknowledged (home or master)
+};
+
+/// kStageReq: master -> home, resolve a transfer source and forward.
+struct StageReqMsg {
+  std::uintptr_t start;
+  std::size_t size;
+  int dst_node;
+};
+
+/// kDoneVouch: home -> master, a region's commit is in the directory.
+struct VouchMsg {
+  std::uint64_t ticket;
+  std::uintptr_t start;
+  int exec_node;
+};
+
+/// kDoneAck: a count-prefixed batch of completion tickets.  Only the used
+/// prefix travels on the wire (sizeof(count) + count * 8 bytes).
+constexpr int kAckVecMax = 32;
+struct DoneAckMsg {
+  std::uint64_t count = 0;
+  std::uint64_t tickets[kAckVecMax] = {};
+};
+constexpr std::size_t ack_msg_bytes(std::uint64_t count) {
+  return sizeof(std::uint64_t) * (1 + count);
+}
+
+/// kPull: master -> holder, put the region back to master memory.
+struct PullMsg {
+  std::uintptr_t start;
+  std::size_t size;
+  void* src_addr;     // copy location on the holding node
+  void* master_addr;  // the region's home in master memory
+};
+
+template <typename T>
+T read_msg(const void* payload, std::size_t bytes) {
+  T msg;
+  assert(bytes == sizeof(T));
+  (void)bytes;
+  std::memcpy(&msg, payload, sizeof(T));
+  return msg;
+}
+
+}  // namespace nanos::wire

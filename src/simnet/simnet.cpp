@@ -126,8 +126,11 @@ void Endpoint::am_coalesced(int dst, int handler, const void* payload, std::size
     b.bytes += bytes;
     b.subs.push_back(std::move(sub));
     stats_.incr("am_coalesced");
+    DeliveryArbiter* arb = net_.arbiter();
     if (static_cast<int>(b.subs.size()) >= link.coalesce_max_msgs ||
-        b.bytes >= link.coalesce_max_bytes) {
+        b.bytes >= link.coalesce_max_bytes ||
+        (arb != nullptr &&
+         arb->force_flush(node_, dst, static_cast<int>(b.subs.size()), b.bytes))) {
       flush_batch_locked(dst);
       flush_now = true;
     }
@@ -223,6 +226,16 @@ void Endpoint::enqueue_tx(MessagePtr m) {
 }
 
 void Endpoint::enqueue_rx(MessagePtr m) {
+  // An installed arbiter may take the message here — after transmission and
+  // the fault roll, before it enters the inbound queue — and admit() it
+  // later in an order of its choosing.
+  if (DeliveryArbiter* arb = net_.arbiter()) {
+    if (arb->intercept(m)) return;
+  }
+  enqueue_rx_direct(std::move(m));
+}
+
+void Endpoint::enqueue_rx_direct(MessagePtr m) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (dead_) {

@@ -24,6 +24,7 @@
 //    after the data landed.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -158,6 +159,56 @@ using AmHandler = std::function<void(int src_node, const void* payload, std::siz
 
 class Network;
 
+/// One in-flight wire message (short AM, coalesced batch, or put).
+struct Message {
+  /// One coalesced sub-message: delivered as if it were its own short AM.
+  struct Sub {
+    int handler = -1;
+    std::vector<char> payload;
+  };
+
+  int src = 0;
+  int dst = 0;
+  int handler = -1;
+  std::vector<char> inline_payload;  // short AM body
+  const void* src_addr = nullptr;    // put source
+  void* dst_addr = nullptr;          // put destination
+  std::size_t bytes = 0;
+  bool is_put = false;
+  bool is_batch = false;             // coalesced batch of shorts
+  std::vector<Sub> subs;             // batch contents (is_batch only)
+  double tx_start = 0.0;
+  double extra_delay = 0.0;          // fault-injected in-flight delay
+  std::function<void()> on_local_complete;
+  std::function<void()> on_remote_complete;
+};
+using MessagePtr = std::shared_ptr<Message>;
+
+/// Pluggable delivery arbitration for schedule exploration (simcheck).
+///
+/// When installed on a Network, the arbiter sees every message at the moment
+/// it would enter its destination's inbound queue — after transmission, NIC
+/// occupancy and the fault roll, i.e. with all timing costs already paid.
+/// Returning true from intercept() takes ownership: the message is *held*
+/// instead of queued, and the arbiter releases it later (in an order of its
+/// choosing) through Network::admit().  Per-(src, dst) FIFO and all other
+/// delivery semantics become whatever the arbiter enforces — this is the
+/// instrument that turns the fabric's one source of schedule freedom into an
+/// explicit choice point.
+///
+/// force_flush() is consulted whenever an am_coalesced() sub-message joins a
+/// pending batch that is not yet full: returning true flushes the batch
+/// immediately, letting an explorer drive coalesce-window timing instead of
+/// the virtual-time deadline.  Called with the endpoint's internal mutex
+/// held — implementations must be non-blocking and must not call back into
+/// the endpoint.
+class DeliveryArbiter {
+public:
+  virtual ~DeliveryArbiter() = default;
+  virtual bool intercept(const MessagePtr& m) = 0;
+  virtual bool force_flush(int src, int dst, int batch_msgs, std::size_t batch_bytes) = 0;
+};
+
 class Endpoint {
 public:
   int node() const { return node_; }
@@ -196,30 +247,6 @@ public:
 private:
   friend class Network;
 
-  struct Message {
-    /// One coalesced sub-message: delivered as if it were its own short AM.
-    struct Sub {
-      int handler = -1;
-      std::vector<char> payload;
-    };
-
-    int src = 0;
-    int dst = 0;
-    int handler = -1;
-    std::vector<char> inline_payload;  // short AM body
-    const void* src_addr = nullptr;    // put source
-    void* dst_addr = nullptr;          // put destination
-    std::size_t bytes = 0;
-    bool is_put = false;
-    bool is_batch = false;             // coalesced batch of shorts
-    std::vector<Sub> subs;             // batch contents (is_batch only)
-    double tx_start = 0.0;
-    double extra_delay = 0.0;          // fault-injected in-flight delay
-    std::function<void()> on_local_complete;
-    std::function<void()> on_remote_complete;
-  };
-  using MessagePtr = std::shared_ptr<Message>;
-
   /// A per-destination accumulation of am_coalesced sub-messages awaiting a
   /// flush trigger (age, size, count, or an ordering-forced flush).
   struct PendingBatch {
@@ -237,6 +264,7 @@ private:
   void rx_loop();
   void enqueue_tx(MessagePtr m);
   void enqueue_rx(MessagePtr m);
+  void enqueue_rx_direct(MessagePtr m);  // bypasses the delivery arbiter
   void deliver(const MessagePtr& m);
   void flush_batch_locked(int dst);
   void flush_expired_batches_locked(double now);
@@ -304,6 +332,20 @@ public:
   void kill_node(int node);
   bool node_dead(int node) { return endpoint(node).dead(); }
 
+  /// Installs (or clears, with nullptr) a delivery arbiter.  The arbiter
+  /// sees every inbound message via DeliveryArbiter::intercept before it is
+  /// queued; install/clear only while the fabric is quiescent.
+  void set_arbiter(DeliveryArbiter* arbiter) {
+    arbiter_.store(arbiter, std::memory_order_release);
+  }
+  DeliveryArbiter* arbiter() const { return arbiter_.load(std::memory_order_acquire); }
+
+  /// Hands a message previously taken by the arbiter to its destination's
+  /// inbound queue, bypassing further arbitration.  Normal dead/shutdown
+  /// drops still apply — a message admitted to a node that died while it
+  /// was held vanishes, same as one arriving at a silent NIC.
+  void admit(MessagePtr m) { endpoint(m->dst).enqueue_rx_direct(std::move(m)); }
+
   /// Deterministic per-message fault roll for message number `seq` leaving
   /// `src` — pure function of (plan seed, src, seq).
   FaultDecision fault_decision(int src, std::uint64_t seq) const;
@@ -318,6 +360,7 @@ private:
 
   FaultPlan plan_;
   bool lossy_ = false;  // plan has a nonzero per-message loss model
+  std::atomic<DeliveryArbiter*> arbiter_{nullptr};
   std::mutex fault_mu_;
   vt::Monitor fault_mon_;
   bool fault_stop_ = false;

@@ -180,8 +180,24 @@ void Clock::wait_until_woken(std::unique_lock<std::mutex>& lk, detail::ThreadRec
   }
 }
 
+void Clock::set_choice_gate(Monitor* gate, const std::atomic<long long>* pending) {
+  std::lock_guard<std::mutex> lk(mu_);
+  choice_gate_ = gate;
+  choice_pending_ = pending;
+}
+
 void Clock::maybe_advance_locked() {
   if (running_ > 0 || pending_wakeups_ > 0) return;
+  // Schedule exploration: at quiescence, deliveries held by an arbiter take
+  // priority over advancing virtual time.  Waking the gate (rather than the
+  // earliest timed sleeper) keeps every held message deliverable "now", so
+  // the explorer chooses among them at a single well-defined instant.
+  if (choice_gate_ != nullptr && choice_pending_ != nullptr &&
+      choice_pending_->load(std::memory_order_acquire) > 0 &&
+      !choice_gate_->waiters_.empty()) {
+    wake_locked(choice_gate_->waiters_.front(), /*timed_out=*/false);
+    return;
+  }
   if (timed_.empty()) {
     if (attached_ == 0) return;
     // If every blocked thread is a service thread the system is merely idle

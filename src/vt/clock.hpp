@@ -21,6 +21,7 @@
 // tests rely on this to assert on deadlock detection.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -96,6 +97,18 @@ public:
   /// detected deadlock (and by tests); a cancelled simulation cannot resume.
   void cancel_all();
 
+  /// Choice-point hook for schedule exploration (simcheck).  While a gate is
+  /// registered, the clock consults it at every quiescence point — the moment
+  /// no attached thread is running and no wakeup is in flight, i.e. exactly
+  /// when virtual time would otherwise advance.  If `*pending > 0` and a
+  /// thread is blocked on `gate`, the clock wakes that thread *instead of*
+  /// advancing time, handing the schedule explorer a globally quiescent
+  /// system in which to make its next delivery choice.  `pending` must be
+  /// readable without taking any lock (the clock calls it with its internal
+  /// mutex held).  Pass (nullptr, nullptr) to deregister; the gate and the
+  /// counter must outlive the registration.
+  void set_choice_gate(Monitor* gate, const std::atomic<long long>* pending);
+
 private:
   friend class Hold;
   friend class Monitor;
@@ -131,6 +144,8 @@ private:
   std::set<detail::ThreadRec*> all_;  // every live rec, for diagnostics/cancel
   DeadlockHandler deadlock_handler_;
   bool cancelled_ = false;  // sticky: set by cancel_all
+  Monitor* choice_gate_ = nullptr;
+  const std::atomic<long long>* choice_pending_ = nullptr;
 };
 
 /// RAII inhibitor: while a Hold exists, virtual time cannot advance and

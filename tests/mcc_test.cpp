@@ -478,6 +478,89 @@ void f(const float *a, const float *unused, float *b, int n) {
   EXPECT_TRUE(any_contains(msgs, "input clause on 'unused' is dead")) << msgs[0];
 }
 
+TEST(MccLintTest, OverlappingLoopSectionsFlagged) {
+  // Stride 8 against 16-element sections: consecutive iterations write the
+  // same elements — broken tiling math (diagnostic 5).
+  auto msgs = lint_messages(R"(#pragma omp task input([len] a) output([off:len] b)
+void stage(const float *a, float *b, int off, int len);
+
+int main() {
+  float a[64], b[64];
+  for (int i = 0; i < 4; ++i)
+    stage(a, b, i * 8, 16);
+  return 0;
+}
+)");
+  ASSERT_EQ(msgs.size(), 1u) << (msgs.empty() ? "" : msgs[0]);
+  EXPECT_TRUE(any_contains(msgs, "sections of 'b' overlap across loop iterations")) << msgs[0];
+  EXPECT_TRUE(any_contains(msgs, "[0:16] at i=0 vs [8:16] at i=1")) << msgs[0];
+  EXPECT_TRUE(any_contains(msgs, "stride 8 < length 16")) << msgs[0];
+}
+
+TEST(MccLintTest, DisjointStridedLoopSectionsClean) {
+  // The canonical tiled spawn: stride equals the section length, pointer
+  // arithmetic at the call site (`&b[j]`), bounds behind #define constants.
+  EXPECT_EQ(mcc::lint(R"(#define N 64
+#define BS 16
+#pragma omp task input([0:n] a) output([0:n] b)
+void tile(const float *a, float *b, int n);
+
+int main() {
+  float a[N], b[N];
+  for (int j = 0; j < N; j += BS)
+    tile(&a[j], &b[j], BS);
+  return 0;
+}
+)").size(), 0u);
+}
+
+TEST(MccLintTest, OverlapThroughPointerArithmeticFlagged) {
+  // The loop-varying part can live in the call-site pointer expression
+  // rather than the clause: `&b[i * 4]` with fixed [0:8] sections overlaps
+  // just the same.
+  auto msgs = lint_messages(R"(#pragma omp task inout([0:8] b)
+void halo(float *b);
+
+int main() {
+  float b[64];
+  for (int i = 0; i < 8; i++)
+    halo(&b[i * 4]);
+  return 0;
+}
+)");
+  ASSERT_EQ(msgs.size(), 1u) << (msgs.empty() ? "" : msgs[0]);
+  EXPECT_TRUE(any_contains(msgs, "inout sections of 'b'")) << msgs[0];
+  EXPECT_TRUE(any_contains(msgs, "[0:8] at i=0 vs [4:8] at i=1")) << msgs[0];
+}
+
+TEST(MccLintTest, LoopSectionEdgeCasesStayQuiet) {
+  // Exact-repeat sections (stride 0) are the serialized accumulate idiom;
+  // input-mode overlap is harmless; non-constant bounds are unprovable;
+  // distinct rows of a 2D array never overlap.  None of these may warn.
+  EXPECT_EQ(mcc::lint(R"(#pragma omp task input([0:n] a) inout([0:n] acc)
+void add(const float *a, float *acc, int n);
+#pragma omp task input([i0:16] src) output([n] dst)
+void gather(const float *src, float *dst, int i0, int n);
+
+static float M[8][32];
+#pragma omp task inout([32] row)
+void rowop(float *row);
+
+int main(int argc, char **argv) {
+  float a[64], acc[16], dst[16];
+  for (int i = 0; i < 4; ++i)
+    add(&a[i * 16], acc, 16);
+  for (int i = 0; i < 4; ++i)
+    gather(&a[i * 8], dst, 0, 16);
+  for (int i = 0; i < argc; ++i)
+    rowop(&a[i * 8]);
+  for (int i = 0; i < 8; ++i)
+    rowop(M[i]);
+  return 0;
+}
+)").size(), 0u);
+}
+
 TEST(MccLintTest, AnnotatedExamplesAreClean) {
 #ifdef MCC_SOURCE_DIR
   const char* names[] = {"annotated_matmul.ompss.c", "annotated_stream.ompss.c",

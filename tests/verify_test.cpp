@@ -307,6 +307,11 @@ TEST(ClusterVerifyTest, UndeclaredOverlapFlaggedAcrossNodes) {
   EXPECT_NE(msg.find("left_half"), std::string::npos) << msg;
   EXPECT_NE(msg.find("right_half"), std::string::npos) << msg;
   EXPECT_NE(msg.find(overlap.to_string()), std::string::npos) << msg;
+  // The replay token pins the config, fabric seed and observed schedule so
+  // the violation can be re-run bit-identically (docs/verifier.md).
+  EXPECT_NE(msg.find("[replay cfg=0x"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(" seed="), std::string::npos) << msg;
+  EXPECT_NE(msg.find(" sched=0x"), std::string::npos) << msg;
 }
 
 TEST(ClusterVerifyTest, CleanClusterRunStaysClean) {
