@@ -1,0 +1,181 @@
+// str01 — streaming service bench: continuous task ingestion with admission
+// control, and the early-release payoff on chain-heavy request streams.
+//
+// A long-running service never sees its task graph whole: requests arrive
+// forever, and the runtime must sustain them in bounded memory.  Two legs:
+//
+//  * service — `window` request slots, a stream of N requests.  Admission
+//    control is taskwait_on(slot): a slot is reused only once its previous
+//    request has responded, so the spawned-but-unretired window stays bounded
+//    by the slot pool no matter how long the stream runs (asserted, not just
+//    reported).
+//  * chain — every request depends on the previous response (one slot, depth
+//    N).  Each body bumps the payload, *releases* the slot — the response —
+//    and then models post-response teardown (logging, serialization back to
+//    the client) as virtual tail time.  With early_release=on the next
+//    request proceeds at the release point and the tails overlap across the
+//    worker pool; with it off the chain serializes body+tail.  This is the
+//    CI-gated leg: on must beat off by OMPSS_BENCH_GATE percent (130 = 1.3×).
+//
+// Time is VIRTUAL (tails are clock sleeps), so the gate is stable on shared
+// runners.  Knobs: OMPSS_BENCH_REQUESTS (stream length, default 2000),
+// OMPSS_BENCH_WINDOW (slot pool, default 16), OMPSS_BENCH_GATE (percent).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ompss/ompss.hpp"
+
+namespace {
+
+constexpr std::size_t kSlotBytes = 64;
+constexpr double kTailSeconds = 100e-6;  // post-response work per request
+
+struct ServiceResult {
+  double seconds = 0;      // virtual makespan of the whole stream
+  long max_in_flight = 0;  // peak spawned-but-unfinished requests
+};
+
+nanos::RuntimeConfig service_config(bool early) {
+  nanos::RuntimeConfig cfg;
+  cfg.scheduler = "dep";
+  cfg.smp_workers = 4;
+  cfg.early_release = early;
+  return cfg;
+}
+
+// One request body: produce the response into the slot, release it, then pay
+// the post-response tail.  Touching the slot after release() would be the
+// program error the race oracle flags; the tail only sleeps.
+void request_body(ompss::Ctx& ctx, char* slot, std::atomic<long>* finished) {
+  ++*reinterpret_cast<unsigned char*>(ctx.data(0));
+  ctx.release(slot, kSlotBytes);
+  ctx.runtime().clock().sleep_for(kTailSeconds);
+  finished->fetch_add(1, std::memory_order_relaxed);
+}
+
+ServiceResult run_chain(bool early, long n) {
+  std::vector<char> slot(kSlotBytes, 0);
+  ompss::Env env(service_config(early));
+  ServiceResult r;
+  std::atomic<long> finished{0};
+  env.run([&] {
+    const double t0 = env.clock().now();
+    char* p = slot.data();
+    for (long i = 0; i < n; ++i) {
+      ompss::task().inout(p, kSlotBytes).run(
+          [p, &finished](ompss::Ctx& ctx) { request_body(ctx, p, &finished); });
+    }
+    ompss::taskwait_noflush();
+    r.seconds = env.clock().now() - t0;
+  });
+  r.max_in_flight = n;  // the chain leg ingests the whole stream up front
+  return r;
+}
+
+ServiceResult run_service(bool early, long n, long window) {
+  std::vector<char> slots(static_cast<std::size_t>(window) * kSlotBytes, 0);
+  ompss::Env env(service_config(early));
+  ServiceResult r;
+  std::atomic<long> finished{0};
+  env.run([&] {
+    const double t0 = env.clock().now();
+    for (long i = 0; i < n; ++i) {
+      char* p = slots.data() + static_cast<std::size_t>(i % window) * kSlotBytes;
+      // Admission control: the slot pool is the memory budget — stall the
+      // ingest loop until this slot's previous request has responded.
+      if (i >= window) ompss::taskwait_on(p, kSlotBytes);
+      r.max_in_flight =
+          std::max(r.max_in_flight, i - finished.load(std::memory_order_relaxed));
+      ompss::task().inout(p, kSlotBytes).run(
+          [p, &finished](ompss::Ctx& ctx) { request_body(ctx, p, &finished); });
+    }
+    ompss::taskwait_noflush();
+    r.seconds = env.clock().now() - t0;
+  });
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FigureTable table("str01 — streaming service", "kreq/s");
+  const long n = std::max(100L, bench::env_knob("REQUESTS", 2000));
+  const long window = std::max(2L, bench::env_knob("WINDOW", 16));
+
+  std::map<std::string, double> chain_time;
+  long service_peak = 0;
+
+  for (const bool early : {false, true}) {
+    const std::string mode = early ? "early-on" : "early-off";
+    benchmark::RegisterBenchmark(
+        ("str01/chain/" + mode).c_str(),
+        [=, &table, &chain_time](benchmark::State& st) {
+          ServiceResult r;
+          for (auto _ : st) {
+            r = run_chain(early, n);
+            st.SetIterationTime(r.seconds);
+          }
+          const double kreq_s = static_cast<double>(n) / r.seconds / 1e3;
+          st.counters["kreq/s"] = kreq_s;
+          chain_time[mode] = r.seconds;
+          table.add("chain/" + mode, std::to_string(n), kreq_s);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+
+    benchmark::RegisterBenchmark(
+        ("str01/service/" + mode).c_str(),
+        [=, &table, &service_peak](benchmark::State& st) {
+          ServiceResult r;
+          for (auto _ : st) {
+            r = run_service(early, n, window);
+            st.SetIterationTime(r.seconds);
+          }
+          const double kreq_s = static_cast<double>(n) / r.seconds / 1e3;
+          st.counters["kreq/s"] = kreq_s;
+          st.counters["max_in_flight"] = static_cast<double>(r.max_in_flight);
+          service_peak = std::max(service_peak, r.max_in_flight);
+          table.add("service/" + mode, std::to_string(n), kreq_s);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  int rc = bench::run_and_print(argc, argv, table);
+
+  // Bounded-memory assertion: the admission window, not the stream length,
+  // bounds the in-flight population.  Early release can let the ingest loop
+  // run ahead of the tails by about a worker pool's worth — allow that, but
+  // nothing that scales with N.
+  if (rc == 0 && service_peak > 0) {
+    const long bound = 2 * window + 8;
+    std::fprintf(stderr, "str01 window: peak in-flight %ld (bound %ld, stream %ld)\n",
+                 service_peak, bound, n);
+    if (service_peak > bound) {
+      std::fprintf(stderr, "str01 window: FAILED — admission control is not bounding memory\n");
+      rc = 1;
+    }
+  }
+
+  // CI acceptance gate: OMPSS_BENCH_GATE is the minimum tolerated chain-leg
+  // speedup of early_release=on over off, in percent (130 = 1.3×); unset or
+  // 0 disables the check.
+  const long gate = bench::env_knob("GATE", 0);
+  if (rc == 0 && gate > 0 && chain_time.count("early-on") && chain_time.count("early-off")) {
+    const double speedup = chain_time["early-off"] / chain_time["early-on"];
+    std::fprintf(stderr, "str01 gate: chain-leg early-release speedup %.2fx (floor %.2fx)\n",
+                 speedup, static_cast<double>(gate) / 100.0);
+    if (speedup < static_cast<double>(gate) / 100.0) {
+      std::fprintf(stderr, "str01 gate: FAILED — early release is not paying for itself\n");
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -115,6 +115,13 @@ std::string make_wrapper(const FuncSig& sig, const Pragma& target, const Pragma&
     }
   }
   os << ");\n";
+  // The body returned: it is done with every declared region.  Release each
+  // one so successors unblock before the end-of-task bookkeeping runs — a
+  // no-op unless the `early_release` config key arms the fast path.
+  for (const DepItem& d : task.deps) {
+    os << "        mcc_ctx.release(" << region_ptr_expr(d) << ", " << region_size_expr(d)
+       << ");\n";
+  }
   os << "      });\n";
   os << "}\n";
   return os.str();

@@ -34,6 +34,7 @@ std::string canonical_config(const ClusterConfig& c) {
      << ";sched=" << c.node_scheduler << ";rr=" << c.rr_chunk << ";rack=" << c.rack_aware
      << ";bw=" << c.link.bandwidth << ";lat=" << c.link.latency
      << ";ovh=" << c.link.am_overhead << ";coal=" << c.link.coalesce_window
+     << ";er=" << c.node.early_release
      << ";verify=" << c.node.verify << ";sample=" << c.node.verify_sample
      << ";hb=" << c.resilience.heartbeat_period << ";lease=" << c.resilience.node_lease;
   return os.str();
@@ -173,6 +174,10 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
       alive(src);
       handle_stage_req(i, p, n);
     });
+    ep.register_handler(kEarlyCommit, [this, i, alive](int src, const void* p, std::size_t n) {
+      alive(src);
+      handle_early_commit(i, p, n);
+    });
   }
   simnet::Endpoint& master = net_->endpoint(0);
   master.register_handler(kTaskDone, [this, alive](int src, const void* p, std::size_t n) {
@@ -183,6 +188,10 @@ ClusterRuntime::ClusterRuntime(vt::Clock& clock, ClusterConfig cfg)
     alive(src);
     auto msg = read_msg<VouchMsg>(p, n);
     handle_done_vouch(msg.ticket, msg.start, msg.exec_node);
+  });
+  master.register_handler(kEarlyVouch, [this, alive](int src, const void* p, std::size_t n) {
+    alive(src);
+    handle_early_vouch(p, n);
   });
   master.register_handler(kPong, [alive](int src, const void*, std::size_t) { alive(src); });
   master.register_handler(kTaskRecv, [this, alive](int src, const void* p, std::size_t n) {
@@ -277,9 +286,16 @@ Task* ClusterRuntime::spawn(TaskDesc desc) {
   Task* t = nodes_[0].rt->allocate_task(std::move(desc));
   t->mutable_desc().completion_cb = [this, t] {
     // Runs on the master node right before dependency completion: record the
-    // data this locally executed task wrote as living on node 0.
+    // data this locally executed task wrote as living on node 0.  Accesses
+    // the body released early were committed at release time — and a
+    // successor may have produced a newer version since — so their bump is
+    // skipped here.
+    const std::uint64_t early = t->released_mask.load(std::memory_order_acquire);
     std::lock_guard<std::mutex> lk(mu_);
-    for (const Access& a : t->accesses()) {
+    const auto& accesses = t->accesses();
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      const Access& a = accesses[i];
+      if (i < 64 && (early & (1ull << i)) != 0) continue;
       if (a.copy && writes(a.mode)) {
         // The master is in the directory's address space, so its own tasks
         // commit straight into the owning shard — no wire round-trip.
@@ -288,6 +304,21 @@ Task* ClusterRuntime::spawn(TaskDesc desc) {
       }
     }
   };
+  if (cfg_.node.early_release) {
+    // Runtime::early_release invokes this once per freshly released access,
+    // before the master domain drops the access's arcs: the directory must
+    // show the new version before any released successor can stage it.
+    t->mutable_desc().release_cb = [this, t](const common::Region& r) {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (const Access& a : t->accesses()) {
+        if (!a.copy || !writes(a.mode) || !(a.region == r)) continue;
+        record_write_locked(a.region, 0);
+        stats_.incr("cluster.dir_ops_local");
+        stats_.incr("cluster.early_commits");
+        break;
+      }
+    };
+  }
   stats_.incr("cluster.tasks");
   domain_->submit(t);
   return t;
@@ -1076,6 +1107,31 @@ void ClusterRuntime::handle_new_task(int node, const RemoteTaskInfo* info) {
       net->endpoint(node).am_coalesced(0, kTaskDone, &tk, sizeof(tk));
     };
   }
+  if (cfg_.node.early_release) {
+    // Early-release relay: the node runtime invokes this once per freshly
+    // released access (node-local region) after its local commit.  Map the
+    // access back to its master region and send the early commit to the
+    // region's home — the home bumps the version and vouches to the master,
+    // which releases the arcs while this task's body keeps running.  Reads
+    // have no cluster-visible effect to commit; their master-side WAR arcs
+    // wait for task completion (conservative).
+    const RemoteTaskInfo* rinfo = info;
+    d.release_cb = [this, net, node, rinfo](const common::Region& local) {
+      for (const RemoteAccess& ra : rinfo->accesses) {
+        if (!ra.copy || !writes(ra.mode)) continue;
+        if (!(common::Region(ra.local_addr, ra.master_region.size) == local)) continue;
+        int home;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          home = home_node_locked(ra.master_region.start);
+        }
+        EarlyCommitMsg msg{rinfo->ticket, ra.master_region.start, ra.master_region.size, node};
+        stats_.incr("cluster.early_commits");
+        net->endpoint(node).am_coalesced(home, kEarlyCommit, &msg, sizeof(msg));
+        return;
+      }
+    };
+  }
   d.completion_cb = [this, node, ticket, commit] {
     // Remember the DONE until the master acknowledges it, so a lost message
     // can be re-sent when the failure detector's next ping arrives.
@@ -1118,7 +1174,11 @@ void ClusterRuntime::handle_task_done(int src, std::uint64_t ticket) {
       t = info->master_task;
       const int node = info->target_node;
       for (const RemoteAccess& ra : info->accesses) {
-        if (ra.copy && writes(ra.mode)) record_write_locked(ra.master_region, node, t);
+        // Regions the body released early were committed back then (the
+        // `committed` set records them); bumping again would crown a version
+        // no task produced — and clobber a successor's newer one.
+        if (ra.copy && writes(ra.mode) && info->committed.count(ra.master_region.start) == 0)
+          record_write_locked(ra.master_region, node, t);
       }
       stats_.add("cluster.exec_latency", clock_.now() - info->sent_at);
       --nodes_[static_cast<std::size_t>(node)].sent;
@@ -1253,6 +1313,61 @@ void ClusterRuntime::handle_stage_req(int self, const void* payload, std::size_t
         wire_action_resolved_locked(*e, common::Region(msg.start, msg.size), msg.dst_node, self);
   }
   if (action) action();
+}
+
+void ClusterRuntime::handle_early_commit(int self, const void* payload, std::size_t bytes) {
+  auto msg = read_msg<EarlyCommitMsg>(payload, bytes);
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = in_flight_tasks_.find(msg.ticket);
+    if (it == in_flight_tasks_.end()) return;  // retired (node death): too late
+    RemoteTaskInfo* live = it->second;
+    // Re-homed shard (original home died): the task-end DIR_COMMIT resend
+    // recomputes homes and will reach the new one; dropping here is safe
+    // because nothing was released against the stale home's directory.
+    if (home_node_locked(msg.start) != self) return;
+    const common::Region region(msg.start, msg.size);
+    // Exactly-once against both a duplicate early commit and the final
+    // DIR_COMMIT: whoever inserts first does the bump, everyone else skips.
+    if (live->committed.insert(msg.start).second) {
+      record_write_locked(region, msg.exec_node, live->master_task);
+      stats_.incr("cluster.early_commits_applied");
+      fresh = true;
+      // Mark the released access on the *master* task: resilience must not
+      // re-execute a task whose outputs successors may already have consumed.
+      const auto& accesses = live->master_task->accesses();
+      for (std::size_t i = 0; i < accesses.size() && i < 64; ++i) {
+        if (accesses[i].region == region)
+          live->master_task->released_mask.fetch_or(1ull << i, std::memory_order_acq_rel);
+      }
+    }
+  }
+  if (!fresh) return;
+  // Vouch to the master so it releases the arcs.  The commit above
+  // happened-before this send, so a successor the master releases resolves
+  // its staging against the already-bumped directory entry.
+  EarlyCommitMsg v = msg;
+  net_->endpoint(self).am_coalesced(0, kEarlyVouch, &v, sizeof(v));
+}
+
+void ClusterRuntime::handle_early_vouch(const void* payload, std::size_t bytes) {
+  auto msg = read_msg<EarlyCommitMsg>(payload, bytes);
+  Task* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = in_flight_tasks_.find(msg.ticket);
+    if (it == in_flight_tasks_.end()) return;  // retired: arcs already settled
+    t = it->second->master_task;
+    // NOT inserted into `vouched`: completion stays gated on the end-of-task
+    // vouches.  An early vouch counting toward expected_writes could retire
+    // the ticket — and complete the master task — while its body still runs.
+  }
+  // Outside mu_: release_region takes the domain lock and may fire ready
+  // callbacks that re-enter placement (which takes mu_).
+  stats_.incr("cluster.early_releases");
+  domain_->release_region(t, common::Region(msg.start, msg.size));
+  comm_mon_.notify_all();
 }
 
 void ClusterRuntime::handle_forward(int self, int /*src*/, const void* payload,

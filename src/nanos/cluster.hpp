@@ -133,6 +133,9 @@ public:
     kDirCommit = 9,   // exec node -> home: commit a task's writes to the shard
     kDoneVouch = 10,  // home -> master: a region's commit is in the directory
     kStageReq = 11,   // master -> home: resolve a transfer source and forward
+    // -- early dependency release (early_release on) -------------------------
+    kEarlyCommit = 12,  // exec node -> home: a running task released a write
+    kEarlyVouch = 13,   // home -> master: early commit applied, release arcs
   };
 
   /// The completion ticket carried by a kNewTask/kDirCommit payload (which is
@@ -332,6 +335,16 @@ private:
   /// Home-node side of a staging request: resolve the transfer source from
   /// the local shard and issue the forward/put.
   void handle_stage_req(int self, const void* payload, std::size_t bytes);
+  /// Home-node side of an early release: applies the region's version bump
+  /// now (the running producer declared the bytes final) — exactly-once
+  /// against the final DIR_COMMIT via the shared `committed` set — then
+  /// vouches to the master with kEarlyVouch.  Never completes the ticket.
+  void handle_early_commit(int self, const void* payload, std::size_t bytes);
+  /// Master side of an early vouch: releases the region's dependence arcs in
+  /// the master domain.  Deliberately does NOT touch the ticket's `vouched`
+  /// set — completion stays gated on the end-of-task vouches, so a ticket can
+  /// never retire while its task body is still running.
+  void handle_early_vouch(const void* payload, std::size_t bytes);
 
   // -- resilience (implemented in resilience/recovery.cpp) -------------------
   friend class ResilienceManager;

@@ -212,14 +212,19 @@ void CoherenceManager::fetch_to_host(RegionInfo& info) {
 }
 
 void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int space,
-                                        std::size_t bytes) {
+                                        std::size_t bytes,
+                                        const std::map<const RegionInfo*, int>* self_pins) {
   // The acquiring region's busy flag keeps its metadata ours; drop its shard
   // lock so the victim hunt can take other shards (never two at once).
   lk.unlock();
   // An empty victim scan is only a *hard* OOM when no candidate was merely
   // transient (pinned by a running task, busy with a transfer, or behind a
   // contended shard).  Transient candidates free up when their task releases,
-  // so wait-and-rescan a bounded number of times before giving up.
+  // so wait-and-rescan a bounded number of times before giving up.  A
+  // candidate pinned only by the *acquiring task itself* (earlier accesses of
+  // the same acquire) is not transient: those pins drop after the task runs,
+  // which needs this allocation first — waiting would just burn the retry
+  // budget before failing anyway.
   constexpr int kMaxEvictRetries = 64;
   constexpr double kEvictRetryBackoff = 5e-6;
   int retries = 0;
@@ -237,6 +242,7 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
     RegionInfo* victim_info = nullptr;
     Shard* victim_shard = nullptr;
     bool transient = false;
+    bool self_pinned = false;
     std::uint64_t best = UINT64_MAX;
     {
       std::lock_guard<std::mutex> ix(index_mu_);
@@ -252,7 +258,15 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
         auto itc = info.copies.find(space);
         if (itc == info.copies.end() || itc->second.dev_ptr == nullptr) continue;
         if (info.busy || itc->second.pins > 0) {
-          transient = true;  // evictable once the transfer/task lets go
+          int own = 0;
+          if (self_pins != nullptr) {
+            auto sp = self_pins->find(&info);
+            if (sp != self_pins->end()) own = sp->second;
+          }
+          if (info.busy || itc->second.pins > own)
+            transient = true;  // evictable once the transfer/task lets go
+          else
+            self_pinned = true;  // every pin is ours; waiting cannot free it
           continue;
         }
         if (itc->second.lru < best) {
@@ -263,8 +277,14 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
       }
     }
     if (victim_info == nullptr) {
-      if (!transient)
+      if (!transient) {
+        if (self_pinned)
+          throw std::runtime_error(
+              "coherence: device out of memory; the only evictable copies are "
+              "pinned by the acquiring task itself (working set exceeds device "
+              "memory)");
         throw std::runtime_error("coherence: device out of memory and nothing evictable");
+      }
       if (++retries > kMaxEvictRetries)
         throw std::runtime_error(
             "coherence: device out of memory and nothing evictable after " +
@@ -312,6 +332,10 @@ void* CoherenceManager::alloc_on_device(std::unique_lock<std::mutex>& lk, int sp
 std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
   std::vector<void*> out;
   out.reserve(t.accesses().size());
+  // Entries pinned by the accesses handled so far, so the eviction path can
+  // tell the caller's own pins apart from other running tasks' (self-pins
+  // never transition to evictable while this acquire waits).
+  std::map<const RegionInfo*, int> self_pins;
   for (const Access& a : t.accesses()) {
     if (!a.copy || a.region.empty()) {
       out.push_back(a.region.ptr());
@@ -368,7 +392,8 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
         lk.lock();
         info.valid.insert(kHostSpace);
       }
-      void* dptr = have_entry ? it->second.dev_ptr : alloc_on_device(lk, space, a.region.size);
+      void* dptr = have_entry ? it->second.dev_ptr
+                              : alloc_on_device(lk, space, a.region.size, &self_pins);
       lk.unlock();
       host_to_device(info, space, dptr);
       lk.lock();
@@ -381,7 +406,7 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
       stats_.incr("coh.hits");
     } else if (!have_entry) {
       // Pure output: allocate space, no transfer in.
-      void* dptr = alloc_on_device(lk, space, a.region.size);
+      void* dptr = alloc_on_device(lk, space, a.region.size, &self_pins);
       Copy& c = info.copies[space];
       c.dev_ptr = dptr;
       c.version = info.version;  // stale until release bumps it
@@ -389,6 +414,7 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
     }
     Copy& c = info.copies.at(space);
     ++c.pins;
+    ++self_pins[&info];
     c.lru = lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     out.push_back(c.dev_ptr);
     mark_dirty_locked(sh, info);
@@ -398,10 +424,18 @@ std::vector<void*> CoherenceManager::acquire(Task& t, int space) {
 }
 
 void CoherenceManager::release(Task& t, int space) {
-  for (const Access& a : t.accesses()) {
+  // Accesses the body released early were committed (version bumped) by
+  // commit_host_write back then, and a successor may have produced a newer
+  // version since: bumping again here would crown the stale producer copy.
+  // Device entries still get unpinned below.
+  const std::uint64_t early_mask = t.released_mask.load(std::memory_order_acquire);
+  const auto& accesses = t.accesses();
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    const Access& a = accesses[i];
+    const bool early = i < 64 && (early_mask & (1ull << i)) != 0;
     if (!a.copy || a.region.empty()) continue;
     if (space == kHostSpace) {
-      if (!writes(a.mode)) continue;
+      if (!writes(a.mode) || early) continue;
       // A host write invalidates device copies.  Only an exact-identity
       // region is clobbered; entries strictly *contained* in the written
       // range belong to child tasks whose device-resident results must be
@@ -436,7 +470,7 @@ void CoherenceManager::release(Task& t, int space) {
     Shard& sh = shard_of(info);
     std::unique_lock<std::mutex> lk(sh.mu);
     lock_region(sh, lk, info);
-    if (writes(a.mode)) {
+    if (writes(a.mode) && !early) {
       ++info.version;
       info.valid.clear();
       info.valid.insert(space);
@@ -446,7 +480,7 @@ void CoherenceManager::release(Task& t, int space) {
     }
     {
       Copy& c = info.copies.at(space);
-      const bool wrote = writes(a.mode);
+      const bool wrote = writes(a.mode) && !early;
       const bool propagate = (policy_ == CachePolicy::kNoCache ||
                               policy_ == CachePolicy::kWriteThrough) &&
                              wrote;
@@ -475,6 +509,31 @@ void CoherenceManager::release(Task& t, int space) {
   // the entries this release touched (the full walk stays at taskwait
   // quiesce points as the backstop).
   if (verify_mode_ == verify::VerifyMode::kAll) verify_touched("release");
+}
+
+void CoherenceManager::commit_host_write(const common::Region& r) {
+  // Same exact-identity clobber as the host-write branch of release(), run
+  // while the producer is still executing: the host bytes of `r` are final,
+  // so the host copy becomes the current version and device copies go stale.
+  // Entries strictly contained in `r` (child sub-blocks) are preserved.
+  std::vector<RegionInfo*> subs;
+  {
+    std::lock_guard<std::mutex> ix(index_mu_);
+    subs = overlapping_locked(r);
+  }
+  for (RegionInfo* sub : subs) {
+    if (!(sub->region == r)) continue;
+    Shard& sh = shard_of(*sub);
+    std::unique_lock<std::mutex> lk(sh.mu);
+    lock_region(sh, lk, *sub);
+    ++sub->version;
+    sub->valid.clear();
+    sub->valid.insert(kHostSpace);
+    for (auto& [s, c] : sub->copies) c.dirty = false;  // shadowed: never write back
+    mark_dirty_locked(sh, *sub);
+    unlock_region(sh, *sub);
+  }
+  if (verify_mode_ == verify::VerifyMode::kAll) verify_touched("early_release");
 }
 
 void CoherenceManager::sync_transfers(int space) {

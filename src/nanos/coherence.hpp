@@ -87,7 +87,18 @@ public:
 
   /// Post-execution bookkeeping: bumps versions for written regions, applies
   /// the cache policy (write-through/no-cache writebacks), unpins entries.
+  /// Accesses in `t`'s released_mask were already committed by an early
+  /// release: their version bump is skipped (a successor may have produced a
+  /// newer version since), but device entries are still unpinned.
   void release(Task& t, int space);
+
+  /// Early-release commit of a host write: the running producer declares the
+  /// bytes of `r` final, making the host copy the current version now (same
+  /// exact-identity clobber as the host branch of release(): entries strictly
+  /// contained in `r` belong to child tasks and are preserved).  Called
+  /// before the dependence arcs over `r` drop, so a successor staging the
+  /// region sees settled data.
+  void commit_host_write(const common::Region& r);
 
   /// Makes the host copy of every region current (taskwait's implicit flush).
   /// Also publishes the directory counters into the stats sink.
@@ -234,8 +245,12 @@ private:
   /// entries (with writeback) until it fits.  Called with the acquiring
   /// region's shard lock held via `lk` and its busy flag set; the lock is
   /// dropped during the victim hunt (never two shards at once) and re-taken
-  /// before returning.
-  void* alloc_on_device(std::unique_lock<std::mutex>& lk, int space, std::size_t bytes);
+  /// before returning.  `self_pins` maps entries to the pin count the
+  /// *acquiring task* already holds on them (earlier accesses of the same
+  /// acquire): a candidate whose pins are all the caller's own can never be
+  /// freed by waiting — it is a hard OOM, not a transient one.
+  void* alloc_on_device(std::unique_lock<std::mutex>& lk, int space, std::size_t bytes,
+                        const std::map<const RegionInfo*, int>* self_pins = nullptr);
 
   vt::Clock& clock_;
   simcuda::Platform& platform_;

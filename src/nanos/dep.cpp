@@ -28,20 +28,24 @@ void DependencyDomain::submit(Task* t) {
       overlap_scratch_.clear();
       scanned_ += records_.for_overlapping(
           a.region, [this](auto& e) { overlap_scratch_.push_back(&e.value); });
-      // Arcs against the current state of every overlapping record.
+      // Arcs against the current state of every overlapping record, each
+      // tagged with the record's region (what early release matches on).
       for (detail::DepRecord* rec : overlap_scratch_) {
-        if (reads(a.mode)) add_arc_locked(rec->last_writer, t);  // RAW
+        if (reads(a.mode)) add_arc_locked(rec->last_writer, t, rec->region);  // RAW
         if (writes(a.mode)) {
-          add_arc_locked(rec->last_writer, t);                   // WAW
-          for (Task* r : rec->readers_since_write) add_arc_locked(r, t);  // WAR
+          add_arc_locked(rec->last_writer, t, rec->region);                   // WAW
+          for (Task* r : rec->readers_since_write)
+            add_arc_locked(r, t, rec->region);  // WAR
         }
       }
       // State update.  Writers become the last writer of every overlapping
       // record; an exact record is created if none exists for this region.
       auto [it, inserted] = records_.try_emplace(a.region);
+      if (inserted) it->second.value.region = a.region;
       if (!inserted && a.region.size > it->second.region.size) {
         // Same start, larger size: conservatively grow the record.
         records_.update_extent(it, a.region.size);
+        it->second.value.region = it->second.region;
       }
       if (writes(a.mode)) {
         for (detail::DepRecord* rec : overlap_scratch_) become_writer_locked(*rec, t);
@@ -80,9 +84,9 @@ void DependencyDomain::on_complete(Task* t) {
       drop_ref_locked(t, t->dep_refs[i]);  // may repair later refs in place
     }
     t->dep_refs.clear();
-    for (Task* succ : t->successors) {
-      assert(succ->pending_preds > 0);
-      if (--succ->pending_preds == 0) released.push_back(succ);
+    for (const DepArc& arc : t->successors) {
+      assert(arc.succ->pending_preds > 0);
+      if (--arc.succ->pending_preds == 0) released.push_back(arc.succ);
     }
     t->successors.clear();
   }
@@ -96,6 +100,52 @@ void DependencyDomain::on_complete(Task* t) {
   }
   for (Task* succ : released) on_ready_(succ, t);
   live_.done();
+}
+
+void DependencyDomain::release_region(Task* t, const common::Region& r) {
+  // Sequence the release in the oracle *before* any successor can become
+  // ready (mirrors on_complete: the hook fixes t's release clock, which a
+  // released successor's ready hook joins).  Outside mu_, keeping the two
+  // global locks unnested.
+  if (oracle_ != nullptr) oracle_->on_release(t, r);
+  std::vector<Task*> released;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Detach t from every covered record so later submits stop creating
+    // arcs against it there — its data for those bytes is settled.  A
+    // record that grew beyond the released range stays attached
+    // (conservative: the arc may guard bytes t still owns).
+    auto& refs = t->dep_refs;
+    for (std::size_t i = 0; i < refs.size();) {
+      if (refs[i].rec != nullptr && r.contains(refs[i].rec->region)) {
+        const DepRef ref = refs[i];  // by value: drop may repair refs in place
+        refs[i] = refs.back();
+        refs.pop_back();
+        drop_ref_locked(t, ref);
+      } else {
+        ++i;
+      }
+    }
+    // Release the covered arcs; the rest wait for on_complete.
+    auto& arcs = t->successors;
+    for (std::size_t i = 0; i < arcs.size();) {
+      if (r.contains(arcs[i].region)) {
+        Task* succ = arcs[i].succ;
+        assert(succ->pending_preds > 0);
+        if (--succ->pending_preds == 0) released.push_back(succ);
+        arcs[i] = arcs.back();
+        arcs.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  // Same two-phase ordering as on_complete: fix every released successor's
+  // ready clock before handing any of them to the scheduler.
+  if (oracle_ != nullptr) {
+    for (Task* succ : released) oracle_->on_ready(succ);
+  }
+  for (Task* succ : released) on_ready_(succ, t);
 }
 
 void DependencyDomain::wait_all() {
@@ -131,9 +181,9 @@ std::uint64_t DependencyDomain::records_scanned() const {
   return scanned_;
 }
 
-void DependencyDomain::add_arc_locked(Task* pred, Task* succ) {
+void DependencyDomain::add_arc_locked(Task* pred, Task* succ, const common::Region& region) {
   if (pred == nullptr || pred == succ) return;
-  pred->successors.push_back(succ);
+  pred->successors.push_back({succ, region});
   ++succ->pending_preds;
   ++arcs_;
   if (oracle_ != nullptr) oracle_->on_arc(pred, succ);

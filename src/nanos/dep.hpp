@@ -44,6 +44,11 @@ struct DepRecord {
   Task* last_writer = nullptr;
   std::vector<Task*> readers_since_write;
   std::uint64_t reader_epoch = 0;
+  /// The directory region this record indexes (mirrors the interval-map
+  /// entry, which back-references cannot reach).  Arcs created against the
+  /// record are tagged with it, and early release matches released ranges
+  /// against it.
+  common::Region region;
 };
 
 }  // namespace detail
@@ -70,6 +75,16 @@ public:
   /// those whose last predecessor this was).
   void on_complete(Task* t);
 
+  /// Early (per-access) release: `t`'s still-running body is done with every
+  /// byte of `r`.  Releases the arcs whose directory region `r` covers and
+  /// detaches `t` from the covered records (so later submits stop ordering
+  /// against it there), firing ready callbacks exactly like on_complete —
+  /// but `t` itself stays live, and arcs over uncovered regions stay put
+  /// until completion.  The caller must have committed the region's data
+  /// first: a released successor may run (and overwrite the bytes)
+  /// immediately.
+  void release_region(Task* t, const common::Region& r);
+
   /// Blocks until every task submitted so far has completed (taskwait).
   void wait_all();
 
@@ -90,8 +105,9 @@ public:
   std::uint64_t records_scanned() const;  ///< directory records visited by them
 
 private:
-  // Adds an arc pred -> succ unless pred already completed. mu_ held.
-  void add_arc_locked(Task* pred, Task* succ);
+  // Adds an arc pred -> succ over `region` unless pred already completed.
+  // mu_ held.
+  void add_arc_locked(Task* pred, Task* succ, const common::Region& region);
   // Makes `t` the last writer of `rec`, clearing prior readers. mu_ held.
   void become_writer_locked(detail::DepRecord& rec, Task* t);
   // Detaches one back-reference of `t` (by value: the repair step may mutate

@@ -1,0 +1,172 @@
+// Wait-free ready queue: bounded lock-free ring + mutex-guarded overflow.
+//
+// The scheduler hot path (publish a ready task, pick/steal one) used to take
+// a per-queue std::mutex on every operation.  Under streaming ingestion
+// (bench/str01_servicebench) those locks are the dominant cost: every worker
+// and every releasing task serializes on the same handful of queues.  This
+// queue makes the common case mutex-free:
+//
+//  * a bounded MPMC ring (Vyukov-style, per-slot sequence numbers) absorbs
+//    pushes and pops with one CAS each — no locks, no spurious failure when
+//    the ring is neither full nor empty;
+//  * an overflow list (std::mutex + deque) catches pushes that find the ring
+//    full, so push() never fails and never spins.  The lock is touched only
+//    while the overflow list is actually in use — a correctly sized ring
+//    keeps it cold.
+//
+// Ordering is FIFO: ring entries are always older than overflow entries
+// (pushes divert to the overflow list whenever it is non-empty, so ring and
+// overflow never interleave out of age order), and pops drain the ring
+// first.  The check is racy across concurrent pushers, so two tasks
+// published at the same instant may swap — schedulers only promise rough
+// FIFO anyway.
+//
+// The queue is single-ended: thieves pop the same (oldest) end the owner
+// does.  The previous deque stole from the back ("least-affine recent
+// work"); oldest-first stealing trades that affinity heuristic for bounded
+// waiting time under sustained load, which the streaming scenario cares
+// about more.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace nanos {
+
+class Task;
+
+namespace detail {
+
+class ReadyQueue {
+public:
+  /// `capacity` is rounded up to a power of two (minimum 4).
+  explicit ReadyQueue(std::size_t capacity = 512) {
+    std::size_t cap = 4;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    mask_ = cap - 1;
+  }
+
+  ReadyQueue(const ReadyQueue&) = delete;
+  ReadyQueue& operator=(const ReadyQueue&) = delete;
+  ReadyQueue(ReadyQueue&&) = delete;
+
+  /// Publishes `t`.  Lock-free unless the ring is full or the overflow list
+  /// is already in use; never fails.
+  void push(Task* t) {
+    // Overflow entries are younger than every ring entry; keep it that way
+    // (FIFO) by diverting new pushes while any overflow remains.
+    if (overflow_size_.load(std::memory_order_acquire) == 0 && try_push_ring(t)) return;
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    overflow_.push_back(t);
+    overflow_size_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Pops the oldest task, or nullptr when the queue is empty.  Lock-free on
+  /// the ring; takes the overflow lock only when the overflow list is
+  /// non-empty.
+  Task* try_pop() {
+    if (Task* t = try_pop_ring()) return t;
+    if (overflow_size_.load(std::memory_order_acquire) == 0) return nullptr;
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    return pop_overflow_locked();
+  }
+
+  /// Non-blocking steal probe: like try_pop(), but the overflow lock is only
+  /// try-locked.  When the probe comes up empty *because* the lock was held,
+  /// `*collided` is set — the caller must re-sweep with try_pop() before
+  /// concluding the queue is empty (skipping could strand the only runnable
+  /// task and deadlock the virtual clock).
+  Task* try_pop_weak(bool* collided) {
+    if (Task* t = try_pop_ring()) return t;
+    if (overflow_size_.load(std::memory_order_acquire) == 0) return nullptr;
+    std::unique_lock<std::mutex> lk(overflow_mu_, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      if (collided != nullptr) *collided = true;
+      return nullptr;
+    }
+    return pop_overflow_locked();
+  }
+
+  /// Approximate emptiness (racy by nature; used for placement heuristics).
+  bool empty() const {
+    if (overflow_size_.load(std::memory_order_acquire) != 0) return false;
+    const std::size_t pos = head_.load(std::memory_order_acquire);
+    const Cell& c = cells_[pos & mask_];
+    const std::size_t seq = c.seq.load(std::memory_order_acquire);
+    return static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) < 0;
+  }
+
+private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    Task* task = nullptr;
+  };
+
+  bool try_push_ring(Task* t) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      const std::size_t seq = c.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          c.task = t;
+          c.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  Task* try_pop_ring() {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      const std::size_t seq = c.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          Task* t = c.task;
+          c.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return t;
+        }
+      } else if (dif < 0) {
+        return nullptr;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  Task* pop_overflow_locked() {
+    if (overflow_.empty()) return nullptr;
+    Task* t = overflow_.front();
+    overflow_.pop_front();
+    overflow_size_.fetch_sub(1, std::memory_order_release);
+    return t;
+  }
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> overflow_size_{0};
+  std::mutex overflow_mu_;
+  std::deque<Task*> overflow_;
+};
+
+}  // namespace detail
+}  // namespace nanos

@@ -46,6 +46,21 @@ void ClusterRuntime::fail_task_locked(Task* t, const std::string& why,
 }
 
 void ClusterRuntime::retry_or_fail_task(Task* t) {
+  if (t->released_mask.load(std::memory_order_acquire) != 0) {
+    // The task released outputs early: its arcs were dropped and a successor
+    // may already have consumed — or overwritten — the released bytes.
+    // Re-executing it would commit a second copy of data the graph has moved
+    // past, so this failure is terminal regardless of the retry budget.
+    std::vector<Task*> failures;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fail_task_locked(t, "cluster: task '" + t->label() +
+                              "' lost to node failure after an early release "
+                              "(not retryable)", failures);
+    }
+    for (Task* f : failures) domain_->on_complete(f);
+    return;
+  }
   if (cfg_.resilience.retry() && ++t->retries <= cfg_.resilience.max_task_retries) {
     stats_.incr("res.tasks_retried");
     on_ready(t, nullptr);  // re-place on a surviving node

@@ -39,6 +39,7 @@ RuntimeConfig RuntimeConfig::from(const common::Config& c) {
   cfg.verify = c.get_string("verify", cfg.verify);
   cfg.verify_sample = static_cast<int>(c.get_int("verify_sample", cfg.verify_sample));
   cfg.verify_crosscheck = c.get_bool("verify_crosscheck", cfg.verify_crosscheck);
+  cfg.early_release = c.get_bool("early_release", cfg.early_release);
   cfg.presend = static_cast<int>(c.get_int("presend", cfg.presend));
   cfg.slave_to_slave = c.get_bool("stos", cfg.slave_to_slave);
   int gpus = static_cast<int>(c.get_int("gpus", 0));
@@ -185,6 +186,11 @@ void Runtime::taskwait(bool flush) {
     root_domain_->wait_all();
   }
   if (flush) coherence_->flush_all();
+  // Quiesce point: counters accumulated since the last taskwait become
+  // visible even when this is a `noflush` wait (flush_all would otherwise be
+  // the only publisher this side of shutdown).
+  sched_->flush_stats();
+  if (oracle_) oracle_->flush_stats();
   rethrow_task_error();
 }
 
@@ -295,6 +301,42 @@ void Runtime::finish_task(Task* t, int resource) {
 
 void Runtime::submit_external(Task* t, int releaser_resource) {
   sched_->submit(t, releaser_resource);
+}
+
+void Runtime::early_release(Task& t, const common::Region& r) {
+  if (!cfg_.early_release) return;
+  // Gate on fully covered accesses: commit and mask are per-access, so a
+  // range covering only part of an access releases nothing (conservative —
+  // the body may still touch the uncovered bytes, and the access's arcs
+  // guard the whole region).
+  const auto& accesses = t.accesses();
+  const std::size_t n = std::min<std::size_t>(accesses.size(), 64);
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!accesses[i].region.empty() && r.contains(accesses[i].region)) bits |= 1ull << i;
+  }
+  if (bits == 0) return;
+  const std::uint64_t prev = t.released_mask.fetch_or(bits, std::memory_order_acq_rel);
+  const std::uint64_t fresh = bits & ~prev;
+  if (fresh == 0) return;  // double release of the same range: idempotent
+  stats_.incr("tasks.early_releases");
+  // Commit written data before any arc drops: the moment a successor's last
+  // arc falls it may run and overwrite the bytes.
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((fresh & (1ull << i)) == 0) continue;
+    const Access& a = accesses[i];
+    if (writes(a.mode) && a.copy) coherence_->commit_host_write(a.region);
+  }
+  // Cluster hook next (node-directory commit + vouch to the master), still
+  // ahead of the local arc release for the same reason.  Once per *fresh*
+  // access — never per released range — so overlapping release calls commit
+  // each access exactly once.
+  if (t.desc().release_cb) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((fresh & (1ull << i)) != 0) t.desc().release_cb(accesses[i].region);
+    }
+  }
+  if (t.domain != nullptr) t.domain->release_region(&t, r);
 }
 
 }  // namespace nanos

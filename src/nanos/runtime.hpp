@@ -56,6 +56,12 @@ struct RuntimeConfig {
   /// an entry without marking it).  Expensive; for tests and soak runs.
   bool verify_crosscheck = false;
 
+  /// Honour TaskContext::release() calls: commit the released bytes and drop
+  /// the dependence arcs they guard while the producer is still running.
+  /// Off by default — bodies that release and then touch the bytes again are
+  /// broken, and only the race oracle (verify=race|all) can prove they don't.
+  bool early_release = false;
+
   // Cluster-only knobs (consumed by ClusterRuntime).
   int presend = 0;                    ///< tasks sent ahead per remote node
   bool slave_to_slave = true;         ///< direct transfers between slaves
@@ -121,6 +127,14 @@ public:
   /// Cluster hook: creates a Task owned by this runtime without submitting it
   /// to any domain.
   Task* allocate_task(TaskDesc desc);
+
+  /// Implements TaskContext::release(): commits the declared accesses of `t`
+  /// that `r` fully covers (written copy data becomes host-current) and
+  /// releases their dependence arcs ahead of task completion.  No-op when the
+  /// `early_release` config key is off or `r` covers no not-yet-released
+  /// access.  Thread-safe per task: concurrent calls race only on the
+  /// released-access bitmask; each access is committed and released once.
+  void early_release(Task& t, const common::Region& r);
 
 private:
   friend class ClusterRuntime;

@@ -8,9 +8,9 @@ namespace detail {
 // ---------------------------------------------------------------------------
 // SchedulerBase
 
-SchedulerBase::~SchedulerBase() { publish_stats(); }
+SchedulerBase::~SchedulerBase() { flush_stats(); }
 
-void SchedulerBase::publish_stats() {
+void SchedulerBase::publish_stats_locked() {
   if (stats_ == nullptr) return;
   const std::uint64_t steals = steals_.load(std::memory_order_relaxed);
   if (steals != published_steals_) {
@@ -22,18 +22,33 @@ void SchedulerBase::publish_stats() {
     stats_->add("sched.lock_collisions", static_cast<double>(coll - published_collisions_));
     published_collisions_ = coll;
   }
+  const std::uint64_t spurious = spurious_wakes_.load(std::memory_order_relaxed);
+  if (spurious != published_spurious_) {
+    stats_->add("sched.spurious_wakes", static_cast<double>(spurious - published_spurious_));
+    published_spurious_ = spurious;
+  }
+}
+
+void SchedulerBase::flush_stats() {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  publish_stats_locked();
 }
 
 void SchedulerBase::submit(Task* t, int releaser_resource) {
   queued_count_.fetch_add(1, std::memory_order_relaxed);
+  const DeviceKind kind = t->device();
   place(t, releaser_resource);
-  // Dekker-style pairing with get(): the waiter bumps waiters_ (seq_cst)
-  // *before* re-scanning the queues; we publish the task (queue unlock)
-  // *before* this seq_cst load.  Either we observe the waiter and notify, or
-  // the waiter's re-scan observes the task — a sleep can't swallow a submit.
-  if (waiters_.load(std::memory_order_seq_cst) > 0) {
-    std::lock_guard<std::mutex> lk(wait_mu_);
-    mon_.notify_all();
+  // Dekker-style pairing with get(): the waiter bumps waiters (seq_cst)
+  // *before* re-scanning the queues; we publish the task (ring release
+  // store) *before* this seq_cst load.  Either we observe the waiter and
+  // notify, or the waiter's re-scan observes the task — a sleep can't
+  // swallow a submit.  One published task wakes ONE worker of the task's
+  // kind; waking them all is a thundering herd (every loser re-scans the
+  // queues, finds nothing, and goes back to sleep).
+  WaitSlot& ws = wait_for(kind);
+  if (ws.waiters.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(ws.mu);
+    ws.mon.notify_one();
   }
 }
 
@@ -42,15 +57,23 @@ Task* SchedulerBase::get(int resource) {
     queued_count_.fetch_sub(1, std::memory_order_relaxed);
     return t;
   }
-  std::unique_lock<std::mutex> lk(wait_mu_);
-  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  WaitSlot& ws = wait_for(kind_of(resource));
+  std::unique_lock<std::mutex> lk(ws.mu);
+  ws.waiters.fetch_add(1, std::memory_order_seq_cst);
   Task* t = nullptr;
-  mon_.wait(lk, [&] {
-    if (shutdown_.load(std::memory_order_acquire)) return true;
+  bool slept = false;
+  for (;;) {
+    if (shutdown_.load(std::memory_order_acquire)) break;
     t = pick(resource);
-    return t != nullptr;
-  });
-  waiters_.fetch_sub(1, std::memory_order_relaxed);
+    if (t != nullptr) break;
+    // Woken but found nothing: either another getter raced us to the task
+    // or the wake had no cause.  With one notify_one per published task
+    // this stays near zero (asserted in sched_test).
+    if (slept) spurious_wakes_.fetch_add(1, std::memory_order_relaxed);
+    ws.mon.wait(lk);
+    slept = true;
+  }
+  ws.waiters.fetch_sub(1, std::memory_order_relaxed);
   if (t != nullptr) queued_count_.fetch_sub(1, std::memory_order_relaxed);
   return t;
 }
@@ -64,15 +87,50 @@ Task* SchedulerBase::try_get(int resource) {
 
 void SchedulerBase::shutdown() {
   shutdown_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lk(wait_mu_);
-    mon_.notify_all();
+  for (WaitSlot* ws : {&wait_smp_, &wait_cuda_}) {
+    std::lock_guard<std::mutex> lk(ws->mu);
+    ws->mon.notify_all();
   }
-  publish_stats();
+  flush_stats();
 }
 
 std::size_t SchedulerBase::queued() const {
   return queued_count_.load(std::memory_order_relaxed);
+}
+
+Task* SchedulerBase::steal_local(int resource) {
+  // First pass: non-blocking probes only — an overflow-lock collision is
+  // counted and remembered, never blocked on mid-sweep.
+  bool collided_any = false;
+  for (std::size_t r = 0; r < resource_count(); ++r) {
+    if (static_cast<int>(r) == resource || kind_of(static_cast<int>(r)) != kind_of(resource))
+      continue;
+    bool collided = false;
+    if (Task* t = local_[r].try_pop_weak(&collided)) {
+      t->resource = resource;
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+    if (collided) {
+      lock_collisions_.fetch_add(1, std::memory_order_relaxed);
+      collided_any = true;
+    }
+  }
+  // Second pass, only when a collision may have hidden work: blocking pops.
+  // Returning empty-handed past a held lock could strand the only runnable
+  // task and deadlock the virtual clock.
+  if (collided_any) {
+    for (std::size_t r = 0; r < resource_count(); ++r) {
+      if (static_cast<int>(r) == resource || kind_of(static_cast<int>(r)) != kind_of(resource))
+        continue;
+      if (Task* t = local_[r].try_pop()) {
+        t->resource = resource;
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }
+    }
+  }
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -91,11 +149,12 @@ void DependenciesScheduler::place(Task* t, int releaser_resource) {
                                                                       : DeviceKind::kSmp)) {
     // *One* successor of the just-finished task runs next on its resource
     // (they share data).  Further released successors go to the global
-    // queue — reserving them all would starve the other resources.
-    TaskQueue& slot = local_[static_cast<std::size_t>(releaser_resource)];
-    std::unique_lock<std::mutex> lk(slot.mu);
-    if (slot.q.empty()) {
-      slot.q.push_back(t);
+    // queue — reserving them all would starve the other resources.  The
+    // empty check is racy across concurrent releasers; the worst case is
+    // two successors parked in the slot, which the FIFO drain absorbs.
+    ReadyQueue& slot = local_[static_cast<std::size_t>(releaser_resource)];
+    if (slot.empty()) {
+      slot.push(t);
       return;
     }
   }
@@ -103,17 +162,15 @@ void DependenciesScheduler::place(Task* t, int releaser_resource) {
 }
 
 Task* DependenciesScheduler::pick(int resource) {
-  TaskQueue& slot = local_[static_cast<std::size_t>(resource)];
-  {
-    std::lock_guard<std::mutex> lk(slot.mu);
-    if (!slot.q.empty()) {
-      Task* t = slot.q.front();
-      slot.q.pop_front();
-      t->resource = resource;
-      return t;
-    }
+  if (Task* t = local_[static_cast<std::size_t>(resource)].try_pop()) {
+    t->resource = resource;
+    return t;
   }
-  return BreadthFirstScheduler::pick(resource);
+  if (Task* t = BreadthFirstScheduler::pick(resource)) return t;
+  // A successor slot is normally drained by its own resource right after the
+  // releaser finishes — but an early-releasing task keeps its resource busy
+  // long after parking a successor there.  Idle peers must be able to take it.
+  return steal_local(resource);
 }
 
 // ---------------------------------------------------------------------------
@@ -146,9 +203,7 @@ void AffinityScheduler::place(Task* t, int) {
     }
   }
   if (best_resource >= 0 && !tie) {
-    TaskQueue& tq = local_[static_cast<std::size_t>(best_resource)];
-    std::lock_guard<std::mutex> lk(tq.mu);
-    tq.q.push_back(t);
+    local_[static_cast<std::size_t>(best_resource)].push(t);
   } else {
     push_shared(t);
   }
@@ -156,40 +211,14 @@ void AffinityScheduler::place(Task* t, int) {
 
 Task* AffinityScheduler::pick(int resource) {
   // 1. own local queue
-  {
-    TaskQueue& mine = local_[static_cast<std::size_t>(resource)];
-    std::lock_guard<std::mutex> lk(mine.mu);
-    if (!mine.q.empty()) {
-      Task* t = mine.q.front();
-      mine.q.pop_front();
-      t->resource = resource;
-      return t;
-    }
+  if (Task* t = local_[static_cast<std::size_t>(resource)].try_pop()) {
+    t->resource = resource;
+    return t;
   }
   // 2. global queue of my kind
   if (Task* t = pop_shared(resource)) return t;
-  // 3. steal from the back of a peer's local queue (load balance).  Peer
-  // queues are try-locked; on collision we count it and take the blocking
-  // lock anyway — skipping could strand the only runnable task and
-  // deadlock the virtual clock.
-  for (std::size_t r = 0; r < resource_count(); ++r) {
-    if (static_cast<int>(r) == resource || kind_of(static_cast<int>(r)) != kind_of(resource))
-      continue;
-    TaskQueue& peer = local_[r];
-    std::unique_lock<std::mutex> lk(peer.mu, std::try_to_lock);
-    if (!lk.owns_lock()) {
-      lock_collisions_.fetch_add(1, std::memory_order_relaxed);
-      lk.lock();
-    }
-    if (!peer.q.empty()) {
-      Task* t = peer.q.back();
-      peer.q.pop_back();
-      t->resource = resource;
-      steals_.fetch_add(1, std::memory_order_relaxed);
-      return t;
-    }
-  }
-  return nullptr;
+  // 3. steal from a peer's local queue (load balance).
+  return steal_local(resource);
 }
 
 }  // namespace detail

@@ -15,21 +15,24 @@
 //    global queue when no resource stands out.  Resources drain their local
 //    queue first, then the global queue, then steal from peers.
 //
-// Locking: there is no global scheduler mutex.  Every queue — one local
-// queue per resource plus one shared queue per device kind — carries its own
-// lock, so submits and picks touching different queues run concurrently
-// (submit throughput used to serialize every worker on one mutex; see
-// bench/over01_taskbench).  Blocked getters park on a separate wait monitor;
-// submitters only touch it when the waiter count (a seq_cst counter, giving
-// the store/load ordering that makes a missed-wakeup race impossible) says
-// someone is actually parked.  The affinity steal path try-locks peer queues
-// and falls back to a blocking lock on collision — a collision is counted
-// ("sched.lock_collisions"), never used to skip work, which could strand the
-// only runnable task.
+// Locking: the publish/pick/steal hot path is mutex-free.  Every queue — one
+// local queue per resource plus one shared queue per device kind — is a
+// lock-free bounded ring with a mutex-guarded overflow list (ReadyQueue);
+// the overflow lock is touched only when a ring actually fills.  Blocked
+// getters park on a per-device-kind wait monitor; submitters touch it only
+// when the kind's waiter count (a seq_cst counter, giving the store/load
+// ordering that makes a missed-wakeup race impossible) says someone is
+// actually parked, and then wake exactly ONE worker — a notify_all here is a
+// thundering herd under streaming ingestion, with every wake but one finding
+// nothing ("sched.spurious_wakes" counts those; sched_test asserts it stays
+// near zero).  The affinity steal path sweeps all peers with non-blocking
+// probes first; only when the whole pass came up empty AND an overflow-lock
+// collision ("sched.lock_collisions") may have hidden work does it re-sweep
+// with blocking pops — skipping outright could strand the only runnable task
+// and deadlock the virtual clock.
 #pragma once
 
 #include <atomic>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "nanos/readyqueue.hpp"
 #include "nanos/task.hpp"
 #include "vt/sync.hpp"
 
@@ -67,8 +71,13 @@ public:
   virtual Task* try_get(int resource) = 0;
 
   /// Wakes all blocked get() calls with nullptr and publishes the scheduler
-  /// counters ("sched.steals", "sched.lock_collisions") into the stats sink.
+  /// counters into the stats sink.
   virtual void shutdown() = 0;
+
+  /// Publishes the counter deltas ("sched.steals", "sched.lock_collisions",
+  /// "sched.spurious_wakes") into the stats sink without shutting down.
+  /// Called at quiesce points (taskwait) so short runs report true totals.
+  virtual void flush_stats() = 0;
 
   /// Tasks queued but not yet picked (diagnostics).
   virtual std::size_t queued() const = 0;
@@ -85,73 +94,85 @@ public:
 namespace detail {
 
 /// Common queue plumbing and blocking/shutdown machinery; policies implement
-/// placement and picking on top of the per-queue locks.
+/// placement and picking on top of the lock-free queues.
 class SchedulerBase : public Scheduler {
 public:
   SchedulerBase(vt::Clock& clock, std::vector<DeviceKind> kinds, common::Stats* stats)
-      : local_(kinds.size()), mon_(clock), kinds_(std::move(kinds)), stats_(stats) {}
+      : local_(kinds.size()),
+        wait_smp_(clock),
+        wait_cuda_(clock),
+        kinds_(std::move(kinds)),
+        stats_(stats) {}
   ~SchedulerBase() override;
 
   void submit(Task* t, int releaser_resource) final;
   Task* get(int resource) final;
   Task* try_get(int resource) final;
   void shutdown() final;
+  void flush_stats() final;
   std::size_t queued() const final;
 
 protected:
-  struct TaskQueue {
-    std::mutex mu;
-    std::deque<Task*> q;
-  };
-
-  // Placement/picking; called with NO lock held — implementations take the
-  // individual queue locks they need (at most one at a time).
+  // Placement/picking; called with NO lock held — queue operations are
+  // individually lock-free (overflow locks aside).
   virtual void place(Task* t, int releaser_resource) = 0;
   virtual Task* pick(int resource) = 0;
 
   DeviceKind kind_of(int r) const { return kinds_.at(static_cast<std::size_t>(r)); }
   std::size_t resource_count() const { return kinds_.size(); }
-  TaskQueue& shared_for(DeviceKind k) {
+  ReadyQueue& shared_for(DeviceKind k) {
     return k == DeviceKind::kCuda ? shared_cuda_ : shared_smp_;
   }
 
-  void push_shared(Task* t) {
-    TaskQueue& tq = shared_for(t->device());
-    std::lock_guard<std::mutex> lk(tq.mu);
-    tq.q.push_back(t);
-  }
+  void push_shared(Task* t) { shared_for(t->device()).push(t); }
   Task* pop_shared(int resource) {
-    TaskQueue& tq = shared_for(kind_of(resource));
-    std::lock_guard<std::mutex> lk(tq.mu);
-    if (tq.q.empty()) return nullptr;
-    Task* t = tq.q.front();
-    tq.q.pop_front();
-    t->resource = resource;
+    Task* t = shared_for(kind_of(resource)).try_pop();
+    if (t != nullptr) t->resource = resource;
     return t;
   }
 
   common::Stats* stats() { return stats_; }
 
+  /// Steal the oldest task from a same-kind peer's local queue (the ring is
+  /// single-ended, so thieves take the task that has waited longest).  Shared
+  /// by every policy with local queues: without it, a successor parked in a
+  /// busy resource's slot is invisible to the idle resources — which stalls
+  /// exactly the early-release case, where the releaser keeps running long
+  /// after its successor became ready.
+  Task* steal_local(int resource);
+
   /// Per-resource queues: successor slots for the "dep" policy, local
-  /// affinity queues for "affinity".  Each guarded by its own mutex.
-  std::vector<TaskQueue> local_;
+  /// affinity queues for "affinity".
+  std::vector<ReadyQueue> local_;
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> lock_collisions_{0};
+  std::atomic<std::uint64_t> spurious_wakes_{0};
 
 private:
-  void publish_stats();
+  /// Sleep/wake edge, one per device kind: workers of a kind park here; a
+  /// submit of that kind wakes exactly one of them.
+  struct WaitSlot {
+    explicit WaitSlot(vt::Clock& clock) : mon(clock) {}
+    std::mutex mu;
+    vt::Monitor mon;  // over mu
+    std::atomic<int> waiters{0};
+  };
+  WaitSlot& wait_for(DeviceKind k) { return k == DeviceKind::kCuda ? wait_cuda_ : wait_smp_; }
 
-  std::mutex wait_mu_;
-  vt::Monitor mon_;  // over wait_mu_
+  void publish_stats_locked();
+
+  WaitSlot wait_smp_;
+  WaitSlot wait_cuda_;
   std::vector<DeviceKind> kinds_;
   common::Stats* stats_;
-  TaskQueue shared_smp_;
-  TaskQueue shared_cuda_;
-  std::atomic<int> waiters_{0};
+  ReadyQueue shared_smp_;
+  ReadyQueue shared_cuda_;
   std::atomic<bool> shutdown_{false};
   std::atomic<std::size_t> queued_count_{0};
+  std::mutex stats_mu_;  // serializes publish deltas (flush can race shutdown)
   std::uint64_t published_steals_ = 0;
   std::uint64_t published_collisions_ = 0;
+  std::uint64_t published_spurious_ = 0;
 };
 
 class BreadthFirstScheduler : public SchedulerBase {

@@ -1,6 +1,9 @@
 #include "nanos/task.hpp"
 
+#include <algorithm>
+
 #include "nanos/dep.hpp"
+#include "nanos/runtime.hpp"
 #include "nanos/verify/raceoracle.hpp"
 
 namespace nanos {
@@ -18,6 +21,30 @@ void TaskContext::observe(const void* p, std::size_t n, AccessMode mode) {
   Task* target = task_.desc().verify_alias != nullptr ? task_.desc().verify_alias : &task_;
   if (target->race_oracle == nullptr) return;
   target->race_oracle->observe(target, common::Region(p, n), mode);
+}
+
+void TaskContext::release(const void* p, std::size_t n) {
+  // CUDA bodies run as kernel payloads: the cost model owns their completion
+  // time, so their data is not settled in virtual time until the kernel ends
+  // — nothing can be released from inside one.
+  if (device_ != nullptr) return;
+  const common::Region r(p, n);
+  const Task* alias = task_.desc().verify_alias;
+  if (alias != nullptr) {
+    // Cluster proxy: the body names master/user addresses (mcc captures the
+    // original parameters), but this task's accesses are the staged local
+    // regions.  The access tables align 1:1, so translate per covered master
+    // access and release the corresponding local region.
+    const auto& master = alias->accesses();
+    const auto& local = task_.accesses();
+    const std::size_t count = std::min(master.size(), local.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!master[i].region.empty() && r.contains(master[i].region))
+        rt_.early_release(task_, local[i].region);
+    }
+    return;
+  }
+  rt_.early_release(task_, r);
 }
 
 }  // namespace nanos

@@ -73,6 +73,16 @@ public:
   /// original pointer, not a device-translated one).  No-op when `verify`
   /// is off; routed to the master oracle for cluster-remote bodies.
   void observe(const void* p, std::size_t n, AccessMode mode);
+  /// Early dependency release: the body is done with every byte of
+  /// [p, p+n) — it will not read or write them again.  Declared accesses
+  /// fully covered by the range are committed (the written data becomes
+  /// visible to successors) and their dependence arcs released immediately,
+  /// instead of at task end.  No-op when the `early_release` config key is
+  /// off, for CUDA tasks (the simulated kernel's cost model owns their
+  /// completion time), and for ranges covering no declared access.
+  /// Releasing bytes the body then touches again is a program error — with
+  /// `verify` armed the race oracle flags exactly that.
+  void release(const void* p, std::size_t n);
   /// Executing GPU, or nullptr for SMP tasks.
   simcuda::Device* device() const { return device_; }
   simcuda::Stream* stream() const { return stream_; }
@@ -108,6 +118,13 @@ struct TaskDesc {
   /// executes.  TaskContext::observe() reports against the alias (with
   /// master/user addresses) so remote bodies feed the master's race oracle.
   Task* verify_alias = nullptr;
+  /// Cluster hook for TaskContext::release(): invoked (on the executing
+  /// node) after the local commit, once per *freshly released access* with
+  /// that access's exact region — never per released range, so overlapping
+  /// release calls commit each access exactly once.  The cluster layer uses
+  /// it to commit the bytes in the node directory and vouch them to the
+  /// master ahead of task completion.
+  std::function<void(const common::Region&)> release_cb;
 };
 
 class DependencyDomain;
@@ -130,6 +147,15 @@ struct DepRef {
   static constexpr std::uint32_t kWriterRef = 0xffffffffu;
 };
 
+/// One dependence arc hanging off a predecessor, tagged with the directory
+/// region whose conflict created it.  Early release walks a finishing
+/// producer's arcs and releases exactly those whose region the released
+/// range covers; task completion releases whatever remains.
+struct DepArc {
+  Task* succ = nullptr;
+  common::Region region;
+};
+
 /// Runtime-internal task state.  Users interact through TaskDesc / ompss::.
 class Task {
 public:
@@ -147,11 +173,17 @@ public:
   vt::Flag& done_flag() { return done_; }
 
   // -- dependency-graph state (owned by DependencyDomain) -------------------
-  std::vector<Task*> successors;
+  std::vector<DepArc> successors;
   std::size_t pending_preds = 0;
   std::vector<DepRef> dep_refs;  ///< directory records this task appears in
   DependencyDomain* domain = nullptr;
   bool submitted_to_sched = false;
+  /// Bitmask of declared-access indices the body released early via
+  /// TaskContext::release() (accesses beyond 64 never release early).  The
+  /// end-of-task paths — coherence release, cluster commit, retry — skip the
+  /// masked accesses: their data was already committed and their arcs
+  /// dropped, and a successor may have overwritten the bytes since.
+  std::atomic<std::uint64_t> released_mask{0};
 
   // -- scheduling state ------------------------------------------------------
   /// Resource the task ran on; -1 until placed.

@@ -152,19 +152,25 @@ void RaceOracle::on_ready(Task* t) {
   std::lock_guard<std::mutex> lk(mu_);
   TaskClock* tc = clock_of(t);
   if (tc == nullptr || tc->ready) return;
-  // Every declared predecessor has completed (that is what "ready" means),
-  // so their end clocks are final — join them.
-  for (TaskClock* p : tc->preds) tc->start_vc.join(p->end_vc);
+  // Every declared predecessor settled the arcs that held this task back —
+  // by completing (end clock final) or by an early release (release clock
+  // covers every release so far, including the one that freed us; the dep
+  // mutex orders that release before this ready).  Join what is final.
+  for (TaskClock* p : tc->preds) {
+    tc->start_vc.join(p->completed ? p->end_vc : (p->released ? p->release_vc : p->end_vc));
+  }
   // Chain assignment: extend a predecessor's chain when that predecessor is
   // still its chain's tail; otherwise reuse a chain whose tail task has
   // completed.  Each earlier occupant of a reused chain completed before the
   // next occupant became ready (an arc releases its successor only after the
   // predecessor completes; the free pool admits only completed tails), so by
   // induction every stamp already on the chain is ordered before this task —
-  // the raise() below claims exactly that.
+  // the raise() below claims exactly that.  An early-releasing predecessor
+  // must NOT be extended while still running: it keeps stamping its chain at
+  // positions this task's clock does not cover.
   TaskClock* tail_pred = nullptr;
   for (TaskClock* p : tc->preds) {
-    if (chain_tail_[p->chain] == p->end_pos) {
+    if (p->completed && chain_tail_[p->chain] == p->end_pos) {
       tail_pred = p;
       break;
     }
@@ -185,6 +191,33 @@ void RaceOracle::on_ready(Task* t) {
   const bool check = sampled_locked(*tc);
   if (!check) ++sample_skipped_;  // deferred stat: published at taskwait
   for (const Access& a : t->accesses()) check_access_locked(*tc, a.region, a.mode, check);
+}
+
+void RaceOracle::on_release(Task* t, const common::Region&) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TaskClock* tc = clock_of(t);
+  if (tc == nullptr || !tc->ready || tc->completed) return;
+  // The release event settles everything the body stamped so far: stamps
+  // carry end_pos, and raising the release clock to end_pos orders them
+  // before any successor this release frees.  (Which arcs are freed is the
+  // dependency layer's per-region decision; the clock event is chain-wide —
+  // sound, since everything stamped so far physically precedes the release.)
+  if (!tc->released) {
+    tc->release_vc = tc->start_vc;
+    tc->released = true;
+  }
+  tc->release_vc.raise(tc->chain, tc->end_pos);
+  // Advance the stamp position: accesses after this release claim a chain
+  // position the freed successors' clocks do NOT cover, so a producer
+  // touching released bytes again races with the successor now allowed in.
+  // The task stays its chain's tail while running (successors only extend
+  // chains of *completed* tails), so the bump extends its own chain.
+  tc->end_pos = chain_tail_[tc->chain] + 1;
+  chain_tail_[tc->chain] = tc->end_pos;
+  chain_tail_task_[tc->chain] = tc;
+  // Top bit distinguishes release events from the ready (id*2) and complete
+  // (id*2+1) points in the replay token's schedule hash.
+  mix_schedule_locked((1ull << 63) | (t->id() * 2));
 }
 
 void RaceOracle::on_complete(Task* t) {
@@ -254,6 +287,11 @@ void RaceOracle::observe(Task* t, const common::Region& r, AccessMode mode) {
 std::uint64_t RaceOracle::violations() const {
   std::lock_guard<std::mutex> lk(mu_);
   return violations_;
+}
+
+void RaceOracle::flush_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  publish_stats_locked();
 }
 
 TaskClock* RaceOracle::clock_of(Task* t) const {

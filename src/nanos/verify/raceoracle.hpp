@@ -87,9 +87,21 @@ struct TaskClock {
   Task* task = nullptr;
   std::uint32_t chain = 0;
   std::uint32_t start_pos = 0;  ///< this task's start event on `chain`
-  std::uint32_t end_pos = 0;    ///< its end event (start_pos + 1)
+  /// The task's NEXT settling event on `chain`: its end event when it never
+  /// releases early, otherwise its next per-region release event.  Shadow
+  /// stamps snapshot this value, so a stamp is ordered before a successor
+  /// exactly when the successor's clock covers the release (or completion)
+  /// that settled it; each release bumps it, leaving the body's later
+  /// (post-release) stamps unordered with the successors released before
+  /// them — the tail-access race early-release can introduce.
+  std::uint32_t end_pos = 0;
   ChainClock start_vc;          ///< fixed when the task becomes ready
   ChainClock end_vc;            ///< fixed at completion (joins taskwaited work)
+  /// Running clock of the task's early releases: start clock plus every
+  /// release event so far.  What a successor freed by a release (rather
+  /// than by completion) joins at ready.
+  ChainClock release_vc;
+  bool released = false;  ///< release_vc is live (at least one early release)
   std::vector<TaskClock*> preds;  ///< declared-dependence predecessors
   TaskClock* spawner = nullptr;   ///< task whose body spawned this one
   /// Oracle-global sequence numbers for the ready / complete events.  A task
@@ -130,6 +142,12 @@ public:
   /// Every predecessor settled: fix the start clock, then race-check and
   /// record the task's declared accesses.
   void on_ready(Task* t);
+  /// `t`'s still-running body released `r` early (before completion).  Fixes
+  /// the release clock successors released by this event will join, then
+  /// advances t's stamp position so accesses the body performs AFTER this
+  /// release stay unordered with those successors — the oracle flags a
+  /// producer touching bytes it already released.
+  void on_release(Task* t, const common::Region& r);
   /// Task complete: fix the end clock (joining any children) and fold it
   /// into its domain's join clock.
   void on_complete(Task* t);
@@ -145,6 +163,11 @@ public:
 
   /// Races detected so far (also exported as the "verify.races" stat).
   std::uint64_t violations() const;
+
+  /// Publishes the deferred counters ("verify.tasks", "verify.sample_skipped")
+  /// into the stats sink.  Taskwaits flush implicitly; quiesce/shutdown paths
+  /// that never taskwait call this so short runs report true totals.
+  void flush_stats();
 
   /// Arms the replay token printed with every violation: `config_digest` is
   /// the owning runtime's canonical-config digest, `net_seed` its fault-plan

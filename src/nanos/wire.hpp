@@ -47,6 +47,17 @@ struct VouchMsg {
   int exec_node;
 };
 
+/// kEarlyCommit (exec node -> home) and kEarlyVouch (home -> master): a
+/// still-running task released one written region early.  Carries the size —
+/// unlike VouchMsg — because the master releases the region's dependence
+/// arcs, which needs the full extent, not just the directory key.
+struct EarlyCommitMsg {
+  std::uint64_t ticket;
+  std::uintptr_t start;
+  std::size_t size;
+  int exec_node;
+};
+
 /// kDoneAck: a count-prefixed batch of completion tickets.  Only the used
 /// prefix travels on the wire (sizeof(count) + count * 8 bytes).
 constexpr int kAckVecMax = 32;

@@ -269,6 +269,29 @@ TEST_F(CoherenceTest, OomGivesUpAfterBoundedRetriesWhenPinNeverDrops) {
   EXPECT_GE(stats_.count("coh.evict_retries"), 64u);
 }
 
+TEST_F(CoherenceTest, SelfPinnedWorkingSetFailsFastNotAfterRetries) {
+  // One task whose own accesses exceed device memory: the first two regions
+  // fit and get pinned, the third finds only victims pinned by the acquiring
+  // task itself.  Those pins can never drop while this acquire waits, so the
+  // failure must be an immediate hard OOM naming the self-pin cause — not 64
+  // futile wait-and-rescan rounds ending in the generic retry message.
+  init(CachePolicy::kWriteBack, /*gpus=*/1, /*dev_mem=*/1u << 16);
+  constexpr std::size_t kN = (24u << 10) / sizeof(float);
+  std::vector<float> a(kN), b(kN), c(kN);
+  Task* t = make_task({Access::out(a.data(), a.size() * sizeof(float)),
+                       Access::out(b.data(), b.size() * sizeof(float)),
+                       Access::out(c.data(), c.size() * sizeof(float))});
+  std::string msg;
+  try {
+    coh_->acquire(*t, 1);
+  } catch (const std::runtime_error& e) {
+    msg = e.what();
+  }
+  ASSERT_FALSE(msg.empty()) << "an over-device-memory working set must throw";
+  EXPECT_NE(msg.find("pinned by the acquiring task itself"), std::string::npos) << msg;
+  EXPECT_EQ(stats_.count("coh.evict_retries"), 0u);
+}
+
 TEST_F(CoherenceTest, PartialOverlapRejected) {
   init(CachePolicy::kWriteBack);
   std::vector<float> a(128);

@@ -2,6 +2,7 @@
 // semantics, conservative overlap handling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -324,6 +325,70 @@ TEST_F(DepTest, DisjointTileWavesScanO1RecordsPerSubmit) {
   domain_.on_complete(wave1[7]);
   ASSERT_EQ(ready_.size(), kTiles + 1);
   EXPECT_EQ(ready_.back(), wave2[7]);  // releasing a tile releases *its* writer
+}
+
+// -- early dependency release (release_region) --------------------------------
+
+TEST_F(DepTest, EarlyReleaseUnblocksOnlyCoveredSuccessors) {
+  Task* w = make_task({Access::out(data_a, sizeof(data_a)), Access::out(data_b, sizeof(data_b))});
+  Task* ra = make_task({Access::in(data_a, sizeof(data_a))});
+  Task* rb = make_task({Access::in(data_b, sizeof(data_b))});
+  domain_.submit(w);
+  domain_.submit(ra);
+  domain_.submit(rb);
+  domain_.release_region(w, common::Region(data_a, sizeof(data_a)));
+  EXPECT_TRUE(is_ready(ra));  // its producing region released mid-task
+  EXPECT_FALSE(is_ready(rb));  // b still owned by the running producer
+  EXPECT_EQ(releasers_.back(), w);
+  domain_.on_complete(w);
+  EXPECT_TRUE(is_ready(rb));
+}
+
+TEST_F(DepTest, PartialRangeReleasesNothing) {
+  // Released bytes must *cover* an access to drop its arc — a prefix of the
+  // region keeps the successor blocked.
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* r = make_task({Access::in(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  domain_.submit(r);
+  domain_.release_region(w, common::Region(data_a, sizeof(data_a) / 2));
+  EXPECT_FALSE(is_ready(r));
+  domain_.on_complete(w);
+  EXPECT_TRUE(is_ready(r));
+}
+
+TEST_F(DepTest, DoubleReleaseThenCompleteFiresReadyOnce) {
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  Task* r = make_task({Access::in(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  domain_.submit(r);
+  domain_.release_region(w, common::Region(data_a, sizeof(data_a)));
+  domain_.release_region(w, common::Region(data_a, sizeof(data_a)));
+  domain_.on_complete(w);
+  EXPECT_EQ(std::count(ready_.begin(), ready_.end(), r), 1);
+}
+
+TEST_F(DepTest, ReaderEarlyReleaseDropsWarArc) {
+  Task* r = make_task({Access::in(data_a, sizeof(data_a))});
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(r);
+  domain_.submit(w);
+  EXPECT_FALSE(is_ready(w));  // WAR: writer waits for the live reader
+  domain_.release_region(r, common::Region(data_a, sizeof(data_a)));
+  EXPECT_TRUE(is_ready(w));
+}
+
+TEST_F(DepTest, LaterWriterSkipsEarlyReleasedProducer) {
+  // Once w released a, it no longer appears in a's directory record: a writer
+  // submitted afterwards must not grow an arc to the still-running w.
+  Task* w = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w);
+  domain_.release_region(w, common::Region(data_a, sizeof(data_a)));
+  Task* w2 = make_task({Access::out(data_a, sizeof(data_a))});
+  domain_.submit(w2);
+  EXPECT_TRUE(is_ready(w2));
+  domain_.on_complete(w);  // must not double-release or crash
+  EXPECT_EQ(std::count(ready_.begin(), ready_.end(), w2), 1);
 }
 
 }  // namespace

@@ -247,6 +247,29 @@ TEST(MccTranslateTest, OutOfLineBodyStillObserved) {
       << out;
 }
 
+TEST(MccTranslateTest, DeclaredRegionsReleasedAfterImplCall) {
+  // Every declared dep is released once the body returns, so successors can
+  // unblock before the end-of-task bookkeeping (a no-op unless early_release
+  // is armed).  The releases land after the impl call, inside the lambda.
+  std::string out = mcc::translate(
+      "#pragma omp task input([n] a) output([n] c)\n"
+      "void copy(const double *a, double *c, int n) {\n"
+      "  for (int i = 0; i < n; ++i) c[i] = a[i];\n"
+      "}\n");
+  EXPECT_NE(out.find("mcc_ctx.release(a, (n) * sizeof(*a));"), std::string::npos) << out;
+  EXPECT_NE(out.find("mcc_ctx.release(c, (n) * sizeof(*c));"), std::string::npos) << out;
+  EXPECT_LT(out.find("copy__task_impl(static_cast"), out.find("mcc_ctx.release("));
+  EXPECT_LT(out.find("mcc_ctx.release("), out.find("});"));
+}
+
+TEST(MccTranslateTest, BlockSectionReleaseUsesClauseOffsets) {
+  std::string out = mcc::translate(
+      "#pragma omp task inout([off:n] a)\n"
+      "void shift(double *a, int off, int n);\n");
+  EXPECT_NE(out.find("mcc_ctx.release(a + (off), (n) * sizeof(*a));"), std::string::npos)
+      << out;
+}
+
 TEST(MccTranslateTest, DanglingTaskPragmaThrows) {
   EXPECT_THROW(mcc::translate("#pragma omp task input([n] a)\n"), std::runtime_error);
 }
